@@ -1,0 +1,39 @@
+// Figure 10: local-cluster (16 nodes, 32x 1080 Ti, 56 Gbps IB) training
+// speedups for Bert-base and VGG19 atop MXNet with onebit, normalized to
+// the non-compression BytePS baseline.
+//
+// Paper: HiPress outperforms the non-compression baselines by up to 133.1%
+// and BytePS(OSS-onebit) by up to 53.3%; BytePS(OSS-onebit) even runs 8.5%
+// slower than Ring.
+#include "bench/bench_util.h"
+
+using namespace hipress;
+using namespace hipress::bench;
+
+int main() {
+  const ClusterSpec cluster = ClusterSpec::Local(16);
+  Header("Figure 10: local cluster speedup vs BytePS (32x 1080 Ti, 56Gbps)");
+  std::printf("%-38s %12s %12s\n", "System", "Bert-base", "VGG19");
+
+  const char* systems[] = {"byteps", "ring", "byteps-oss", "hipress-ps",
+                           "hipress-ring"};
+  const char* labels[] = {"BytePS", "Ring", "BytePS(OSS-onebit)",
+                          "HiPress-CaSync-PS(CompLL-onebit)",
+                          "HiPress-CaSync-Ring(CompLL-onebit)"};
+
+  double bert_base_throughput = 0.0;
+  double vgg_base_throughput = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const TrainReport bert = Run("bert-base", systems[i], cluster, "onebit");
+    const TrainReport vgg = Run("vgg19", systems[i], cluster, "onebit");
+    if (i == 0) {
+      bert_base_throughput = bert.throughput;
+      vgg_base_throughput = vgg.throughput;
+    }
+    std::printf("%-38s %11.2fx %11.2fx\n", labels[i],
+                bert.throughput / bert_base_throughput,
+                vgg.throughput / vgg_base_throughput);
+  }
+  std::printf("\npaper: HiPress up to 2.33x BytePS; OSS-onebit below Ring\n");
+  return 0;
+}

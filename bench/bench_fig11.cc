@@ -1,0 +1,107 @@
+// Figure 11: effect of enabling the synchronization optimizations one by
+// one, on the 16-node local cluster with onebit — VGG19 under CaSync-PS and
+// Bert-base under CaSync-Ring.
+//
+// Bars (cumulative):
+//   Default      BytePS / Ring without compression
+//   on-CPU       + the open-source on-CPU onebit (PS only; Ring's OSS path
+//                  is GPU-based)
+//   on-GPU       + CompLL's GPU onebit, still serialized in the OSS style
+//   +Pipelining  CaSync overlaps compression with communication
+//   +Bulk        coordinated bulk communication
+//   +SeCoPa      selective compression and partitioning
+#include "bench/bench_util.h"
+
+using namespace hipress;
+using namespace hipress::bench;
+
+namespace {
+
+TrainReport RunConfig(const char* model, const SyncConfig& config) {
+  auto profile = GetModelProfile(model);
+  auto report = SimulateTraining(*profile, config);
+  if (!report.ok()) {
+    std::fprintf(stderr, "fig11 run failed: %s\n",
+                 report.status().ToString().c_str());
+    std::abort();
+  }
+  return *report;
+}
+
+SyncConfig StageConfig(StrategyKind strategy, const ClusterSpec& cluster,
+                       int stage) {
+  // Stage 0 handled by presets; stages 1..5 build on the compression path.
+  SyncConfig config;
+  config.strategy = strategy;
+  config.num_nodes = cluster.num_nodes;
+  config.gpus_per_node = cluster.gpus_per_node;
+  config.platform = cluster.platform;
+  config.net = cluster.net;
+  config.intra_node_bytes_per_sec = cluster.intra_node_bytes_per_sec;
+  config.algorithm = "onebit";
+  config.compression = true;
+  config.codec_impl = stage == 1 ? CodecImpl::kCpu : CodecImpl::kCompLL;
+  config.pipelining = stage >= 3;
+  config.bulk = stage >= 4;
+  config.secopa = stage >= 5;
+  if (strategy == StrategyKind::kRing) {
+    config.fixed_partitions = cluster.num_nodes;
+    // The pre-CaSync ring stages inherit Horovod's fusion buffers,
+    // sequencing, and side-queue codec placement (the TF allreduce path).
+    if (stage < 3) {
+      config.ring_fusion_bytes = 64 * kMiB;
+      config.sequential_collectives = true;
+      config.per_gradient_negotiation = FromMicros(400.0);
+    }
+    config.codec_on_compute_stream = false;
+  }
+  return config;
+}
+
+void Panel(const char* title, const char* model, StrategyKind strategy,
+           const char* default_system) {
+  const ClusterSpec cluster = ClusterSpec::Local(16);
+  Header(title);
+  std::printf("%-14s %14s %18s %12s\n", "Stage", "computation",
+              "synchronization", "iteration");
+
+  const TrainReport base = Run(model, default_system, cluster, "onebit");
+  auto row = [&](const char* label, const TrainReport& report) {
+    std::printf("%-14s %12.1fms %16.1fms %10.1fms", label,
+                ToMillis(report.compute_time), ToMillis(report.sync_tail),
+                ToMillis(report.iteration_time));
+    std::printf("   [enc %5.1fms  dec %5.1fms  wire %6.1fMB  msgs %5llu]\n",
+                ToMillis(report.engine_stats.encode_time),
+                ToMillis(report.engine_stats.decode_time),
+                static_cast<double>(report.engine_stats.wire_bytes) /
+                    (1024.0 * 1024.0),
+                static_cast<unsigned long long>(
+                    report.engine_stats.send_tasks));
+  };
+  row("Default", base);
+  const char* labels[] = {"", "on-CPU", "on-GPU", "+Pipelining", "+Bulk",
+                          "+SeCoPa"};
+  for (int stage = 1; stage <= 5; ++stage) {
+    if (stage == 1 && strategy == StrategyKind::kRing) {
+      std::printf("%-14s %s\n", "on-CPU",
+                  "(not applicable: Ring's OSS path is GPU-based)");
+      continue;
+    }
+    row(labels[stage],
+        RunConfig(model, StageConfig(strategy, cluster, stage)));
+  }
+}
+
+}  // namespace
+
+int main() {
+  Panel("Figure 11a: VGG19, CaSync-PS, local cluster", "vgg19",
+        StrategyKind::kPs, "byteps");
+  Panel("Figure 11b: Bert-base, CaSync-Ring, local cluster", "bert-base",
+        StrategyKind::kRing, "ring");
+  std::printf(
+      "\npaper: on-CPU ADDS 32.2%% sync cost for VGG19; on-GPU cuts it by "
+      "41.2%%/10.0%%;\npipelining adds 7.8%%/10.6%%; bulk 26.1%%/6.6%%; "
+      "SeCoPa 19.9%%/7.4%%; final scaling efficiency 0.90\n");
+  return 0;
+}

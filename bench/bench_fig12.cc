@@ -1,0 +1,81 @@
+// Figure 12: sensitivity studies.
+//   (a) Network bandwidth: Bert-base with HiPress-CaSync-PS(onebit) on the
+//       EC2 cluster at 100 vs 25 Gbps and the local cluster at 56 vs
+//       10 Gbps — speedup over the non-compression baseline should hold at
+//       low bandwidth (HiPress needs no exotic networks).
+//   (b) Compression rate: VGG19 with CaSync-PS on the local cluster,
+//       TernGrad at 2/4/8-bit and DGC at 0.1/1/5%.
+#include "bench/bench_util.h"
+
+using namespace hipress;
+using namespace hipress::bench;
+
+namespace {
+
+void BandwidthRow(const char* label, ClusterSpec cluster, double gbps) {
+  cluster.net.link_bandwidth =
+      Bandwidth::Gbps(gbps * (cluster.platform == GpuPlatform::kV100
+                                  ? 0.75   // EC2 goodput derate
+                                  : 44.0 / 56.0));
+  const TrainReport base = Run("bert-base", "ring", cluster, "onebit");
+  const TrainReport hipress = Run("bert-base", "hipress-ps", cluster,
+                                  "onebit");
+  std::printf("%-28s %14.0f %14.0f %9.2fx\n", label, base.throughput,
+              hipress.throughput, hipress.throughput / base.throughput);
+}
+
+}  // namespace
+
+int main() {
+  Header("Figure 12a: impact of network bandwidth (Bert-base)");
+  std::printf("%-28s %14s %14s %10s\n", "Network", "Ring (base)",
+              "HiPress-PS", "speedup");
+  BandwidthRow("EC2 100Gbps (16 nodes)", ClusterSpec::Ec2(16), 100.0);
+  BandwidthRow("EC2 25Gbps  (16 nodes)", ClusterSpec::Ec2(16), 25.0);
+  BandwidthRow("local 56Gbps (16 nodes)", ClusterSpec::Local(16), 56.0);
+  BandwidthRow("local 10Gbps (16 nodes)", ClusterSpec::Local(16), 10.0);
+  std::printf("\npaper: similar HiPress speedups at high and low bandwidth\n");
+
+  Header("Figure 12b: impact of compression rate (VGG19, CaSync-PS, local)");
+  // Two network settings: the paper's 56 Gbps cluster (where our simulated
+  // pipeline hides most of the extra volume) and a 10 Gbps variant where
+  // synchronization is clearly the bottleneck and the paper's trend is
+  // fully visible.
+  for (double gbps : {56.0, 10.0}) {
+    ClusterSpec cluster = ClusterSpec::Local(16);
+    cluster.net.link_bandwidth = Bandwidth::Gbps(gbps * 44.0 / 56.0);
+    std::printf("\n-- %2.0f Gbps --\n", gbps);
+    std::printf("%-28s %14s %10s\n", "Algorithm", "samples/sec", "vs best");
+
+    double terngrad_best = 0.0;
+    for (unsigned bitwidth : {2u, 4u, 8u}) {
+      CompressorParams params;
+      params.bitwidth = bitwidth;
+      const TrainReport report =
+          Run("vgg19", "hipress-ps", cluster, "terngrad", params);
+      if (bitwidth == 2) {
+        terngrad_best = report.throughput;
+      }
+      std::printf("TernGrad %u-bit %13s %14.0f %9.1f%%\n", bitwidth, "",
+                  report.throughput,
+                  100.0 * (report.throughput / terngrad_best - 1.0));
+    }
+    double dgc_best = 0.0;
+    for (double ratio : {0.001, 0.01, 0.05}) {
+      CompressorParams params;
+      params.sparsity_ratio = ratio;
+      const TrainReport report =
+          Run("vgg19", "hipress-ps", cluster, "dgc", params);
+      if (ratio == 0.001) {
+        dgc_best = report.throughput;
+      }
+      std::printf("DGC %.1f%% %18s %14.0f %9.1f%%\n", ratio * 100.0, "",
+                  report.throughput,
+                  100.0 * (report.throughput / dgc_best - 1.0));
+    }
+  }
+  std::printf(
+      "\npaper: TernGrad 2->4/8-bit drops 12.8%%/23.6%%; DGC 0.1->1/5%% "
+      "drops 6.7%%/11.3%%\n");
+  return 0;
+}

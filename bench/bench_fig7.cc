@@ -1,0 +1,73 @@
+// Figure 7: end-to-end training throughput of the computer-vision models on
+// the EC2 V100 cluster, weak scaling from 8 to 128 GPUs (1 to 16 nodes).
+//
+//   (a) VGG19 atop MXNet: BytePS, Ring, BytePS(OSS-onebit),
+//       HiPress-CaSync-PS/Ring(CompLL-onebit)
+//   (b) ResNet50 atop TensorFlow: BytePS, Ring, Ring(OSS-DGC),
+//       HiPress-CaSync-Ring(CompLL-DGC)
+//   (c) UGATIT atop PyTorch: BytePS, Ring,
+//       HiPress-CaSync-PS(CompLL-TernGrad)
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace hipress;
+using namespace hipress::bench;
+
+namespace {
+
+struct Series {
+  const char* label;
+  const char* system;
+  const char* algorithm;
+};
+
+void Panel(const char* title, const char* model,
+           const std::vector<Series>& series, const CompressorParams& params) {
+  Header(title);
+  std::printf("%-34s", "samples/sec @ GPUs:");
+  for (int nodes : {1, 2, 4, 8, 16}) {
+    std::printf(" %9d", nodes * 8);
+  }
+  std::printf("\n");
+  for (const Series& s : series) {
+    std::printf("%-34s", s.label);
+    for (int nodes : {1, 2, 4, 8, 16}) {
+      const TrainReport report =
+          Run(model, s.system, ClusterSpec::Ec2(nodes), s.algorithm, params);
+      std::printf(" %9.0f", report.throughput);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  CompressorParams params;
+  params.sparsity_ratio = 0.001;
+
+  Panel("Figure 7a: VGG19 (MXNet, onebit)", "vgg19",
+        {{"BytePS", "byteps", "onebit"},
+         {"Ring", "ring", "onebit"},
+         {"BytePS(OSS-onebit)", "byteps-oss", "onebit"},
+         {"HiPress-CaSync-PS(CompLL-onebit)", "hipress-ps", "onebit"},
+         {"HiPress-CaSync-Ring(CompLL-onebit)", "hipress-ring", "onebit"}},
+        params);
+
+  Panel("Figure 7b: ResNet50 (TensorFlow, DGC)", "resnet50",
+        {{"BytePS", "byteps", "dgc"},
+         {"Ring", "ring", "dgc"},
+         {"Ring(OSS-DGC)", "ring-oss", "dgc"},
+         {"HiPress-CaSync-Ring(CompLL-DGC)", "hipress-ring", "dgc"}},
+        params);
+
+  CompressorParams terngrad_params;
+  terngrad_params.bitwidth = 2;
+  Panel("Figure 7c: UGATIT (PyTorch, TernGrad)", "ugatit",
+        {{"BytePS", "byteps", "terngrad"},
+         {"Ring", "ring", "terngrad"},
+         {"HiPress-CaSync-PS(CompLL-TernGrad)", "hipress-ps", "terngrad"}},
+        terngrad_params);
+  return 0;
+}

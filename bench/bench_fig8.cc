@@ -1,0 +1,70 @@
+// Figure 8: end-to-end training throughput of the NLP models on the EC2
+// V100 cluster, weak scaling from 8 to 128 GPUs.
+//
+//   (a) Bert-large atop MXNet (batch 32 sequences, onebit)
+//   (b) Transformer atop TensorFlow (batch 2048 tokens, DGC)
+//   (c) LSTM atop PyTorch (batch 80 sequences, TernGrad)
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace hipress;
+using namespace hipress::bench;
+
+namespace {
+
+struct Series {
+  const char* label;
+  const char* system;
+  const char* algorithm;
+};
+
+void Panel(const char* title, const char* model, const char* unit,
+           const std::vector<Series>& series, const CompressorParams& params) {
+  Header(title);
+  std::printf("%-34s", (std::string(unit) + "/sec @ GPUs:").c_str());
+  for (int nodes : {1, 2, 4, 8, 16}) {
+    std::printf(" %9d", nodes * 8);
+  }
+  std::printf("\n");
+  for (const Series& s : series) {
+    std::printf("%-34s", s.label);
+    for (int nodes : {1, 2, 4, 8, 16}) {
+      const TrainReport report =
+          Run(model, s.system, ClusterSpec::Ec2(nodes), s.algorithm, params);
+      std::printf(" %9.0f", report.throughput);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  CompressorParams onebit_params;
+  Panel("Figure 8a: Bert-large (MXNet, onebit)", "bert-large", "sequences",
+        {{"BytePS", "byteps", "onebit"},
+         {"Ring", "ring", "onebit"},
+         {"BytePS(OSS-onebit)", "byteps-oss", "onebit"},
+         {"HiPress-CaSync-PS(CompLL-onebit)", "hipress-ps", "onebit"},
+         {"HiPress-CaSync-Ring(CompLL-onebit)", "hipress-ring", "onebit"}},
+        onebit_params);
+
+  CompressorParams dgc_params;
+  dgc_params.sparsity_ratio = 0.001;
+  Panel("Figure 8b: Transformer (TensorFlow, DGC)", "transformer", "tokens",
+        {{"BytePS", "byteps", "dgc"},
+         {"Ring", "ring", "dgc"},
+         {"Ring(OSS-DGC)", "ring-oss", "dgc"},
+         {"HiPress-CaSync-Ring(CompLL-DGC)", "hipress-ring", "dgc"}},
+        dgc_params);
+
+  CompressorParams terngrad_params;
+  terngrad_params.bitwidth = 2;
+  Panel("Figure 8c: LSTM (PyTorch, TernGrad)", "lstm", "sequences",
+        {{"BytePS", "byteps", "terngrad"},
+         {"Ring", "ring", "terngrad"},
+         {"HiPress-CaSync-PS(CompLL-TernGrad)", "hipress-ps", "terngrad"}},
+        terngrad_params);
+  return 0;
+}

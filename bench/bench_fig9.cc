@@ -1,0 +1,87 @@
+// Figure 9: GPU utilization over time, non-compression Ring vs the
+// best-performing HiPress configuration, for Bert-large and UGATIT on 128
+// GPUs. We render the node-0 device's DNN-compute utilization in fixed
+// windows over the measured iteration: Ring shows deep idle valleys during
+// gradient transmission; HiPress keeps the device busy.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace hipress;
+using namespace hipress::bench;
+
+namespace {
+
+void UtilizationRow(const char* label, const char* model, const char* system,
+                    const char* algorithm) {
+  HiPressOptions options;
+  options.model = model;
+  options.system = system;
+  options.algorithm = algorithm;
+  options.cluster = ClusterSpec::Ec2(16);
+  options.train.record_timeline = true;
+  options.train.iterations = 3;  // show repeated compute/sync cycles
+  auto result = RunTrainingSimulation(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "fig9 run failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  const TrainReport& report = result->report;
+
+  // 40 windows spanning two iterations ending at the measured one.
+  const SimTime span = 2 * report.iteration_time;
+  const SimTime start = std::max<SimTime>(
+      0, report.timeline_origin + report.iteration_time - span);
+  const int windows = 40;
+  const SimTime window = span / windows;
+
+  std::printf("%-44s |", label);
+  std::string bar;
+  double mean = 0.0;
+  for (int w = 0; w < windows; ++w) {
+    const SimTime lo = start + w * window;
+    const SimTime hi = lo + window;
+    SimTime busy = 0;
+    for (const GpuInterval& interval : report.timeline) {
+      if (interval.kind != GpuTaskKind::kCompute) {
+        continue;
+      }
+      const SimTime clipped_lo = std::max(interval.start, lo);
+      const SimTime clipped_hi = std::min(interval.end, hi);
+      if (clipped_hi > clipped_lo) {
+        busy += clipped_hi - clipped_lo;
+      }
+    }
+    const double utilization =
+        static_cast<double>(busy) / static_cast<double>(window);
+    mean += utilization;
+    const char* glyphs = " .:-=+*#%@";
+    bar += glyphs[std::min(9, static_cast<int>(utilization * 10.0))];
+  }
+  mean /= windows;
+  std::printf("%s| mean %.0f%%\n", bar.c_str(), mean * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  Header("Figure 9: GPU compute utilization over time (node 0, 16 nodes)");
+  std::printf("each column is one time window; darker = busier\n\n");
+  UtilizationRow("Bert-large  Ring (no compression)", "bert-large", "ring",
+                 "onebit");
+  UtilizationRow("Bert-large  HiPress-CaSync-PS(onebit)", "bert-large",
+                 "hipress-ps", "onebit");
+  std::printf("\n");
+  UtilizationRow("UGATIT      Ring (no compression)", "ugatit", "ring",
+                 "terngrad");
+  UtilizationRow("UGATIT      HiPress-CaSync-PS(TernGrad)", "ugatit",
+                 "hipress-ps", "terngrad");
+  std::printf(
+      "\npaper: both peak near 100%%; Ring's usage is sparse (idle during\n"
+      "gradient transmission) while HiPress keeps the GPU doing useful "
+      "work\n");
+  return 0;
+}

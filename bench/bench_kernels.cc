@@ -1,0 +1,123 @@
+// Section 4.4 microbenchmarks: encode/decode speed of the optimized
+// (CompLL-grade) codecs vs their naive OSS counterparts, on real data.
+// google-benchmark binary; also exercises gradient sizes 1-64 MB.
+//
+// The paper's contrasts to look for in the output:
+//   * optimized TBQ encode ~an order of magnitude above OSS-TBQ,
+//   * optimized DGC several times above OSS-DGC's full-sort encode,
+//   * decode generally faster than encode.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/compress/registry.h"
+#include "src/tensor/tensor.h"
+
+namespace hipress {
+namespace {
+
+Tensor MakeGradient(size_t bytes) {
+  Rng rng(bytes);
+  Tensor tensor("g", bytes / sizeof(float));
+  tensor.FillGaussian(rng);
+  return tensor;
+}
+
+void BM_Encode(benchmark::State& state, const std::string& algorithm) {
+  CompressorParams params;
+  params.sparsity_ratio = 0.001;
+  auto codec = CreateCompressor(algorithm, params);
+  if (!codec.ok()) {
+    state.SkipWithError("codec creation failed");
+    return;
+  }
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  const Tensor gradient = MakeGradient(bytes);
+  ByteBuffer encoded;
+  for (auto _ : state) {
+    const Status status = (*codec)->Encode(gradient.span(), &encoded);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(encoded.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * bytes);
+}
+
+void BM_Decode(benchmark::State& state, const std::string& algorithm) {
+  CompressorParams params;
+  params.sparsity_ratio = 0.001;
+  auto codec = CreateCompressor(algorithm, params);
+  if (!codec.ok()) {
+    state.SkipWithError("codec creation failed");
+    return;
+  }
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  const Tensor gradient = MakeGradient(bytes);
+  ByteBuffer encoded;
+  if (!(*codec)->Encode(gradient.span(), &encoded).ok()) {
+    state.SkipWithError("encode failed");
+    return;
+  }
+  std::vector<float> decoded(gradient.size());
+  for (auto _ : state) {
+    const Status status = (*codec)->Decode(encoded, decoded);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * bytes);
+}
+
+constexpr int64_t kSmall = 1 << 20;   // 1 MB
+constexpr int64_t kLarge = 64 << 20;  // 64 MB
+
+#define HIPRESS_CODEC_BENCH(name)                                      \
+  BENCHMARK_CAPTURE(BM_Encode, name, #name)                            \
+      ->Arg(kSmall)                                                    \
+      ->Arg(kLarge)                                                    \
+      ->MinTime(0.05)                                                  \
+      ->Unit(benchmark::kMillisecond);                                 \
+  BENCHMARK_CAPTURE(BM_Decode, name, #name)                            \
+      ->Arg(kSmall)                                                    \
+      ->Arg(kLarge)                                                    \
+      ->MinTime(0.05)                                                  \
+      ->Unit(benchmark::kMillisecond)
+
+HIPRESS_CODEC_BENCH(onebit);
+HIPRESS_CODEC_BENCH(tbq);
+HIPRESS_CODEC_BENCH(terngrad);
+HIPRESS_CODEC_BENCH(dgc);
+HIPRESS_CODEC_BENCH(graddrop);
+
+// OSS counterparts (encode only at 1 MB plus one large point for the
+// headline contrasts; the naive DGC sort at 64 MB is intentionally slow).
+BENCHMARK_CAPTURE(BM_Encode, oss_onebit, "oss-onebit")
+    ->Arg(kSmall)
+    ->Arg(kLarge)
+    ->MinTime(0.05)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Encode, oss_tbq, "oss-tbq")
+    ->Arg(kSmall)
+    ->Arg(kLarge)
+    ->MinTime(0.05)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Encode, oss_terngrad, "oss-terngrad")
+    ->Arg(kSmall)
+    ->Arg(kLarge)
+    ->MinTime(0.05)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Encode, oss_dgc, "oss-dgc")
+    ->Arg(kSmall)
+    ->Arg(8 << 20)
+    ->MinTime(0.05)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hipress
+
+BENCHMARK_MAIN();

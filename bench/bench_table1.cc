@@ -1,0 +1,45 @@
+// Table 1: scaling efficiency and communication ratio for Bert-large
+// (BytePS +/- onebit) and Transformer (Ring-allreduce +/- DGC) on the
+// 16-node / 128-GPU, 100 Gbps EC2 cluster.
+//
+// Paper values for reference:
+//   Transformer  Ring w/o compression      eff 0.47   comm 76.8%
+//   Transformer  Ring w/ DGC               eff 0.61   comm 70.3%
+//   Bert-large   BytePS w/o compression    eff 0.71   comm 63.6%
+//   Bert-large   BytePS w/ onebit          eff 0.76   comm 60.9%
+#include "bench/bench_util.h"
+
+using namespace hipress;
+using namespace hipress::bench;
+
+int main() {
+  const ClusterSpec cluster = ClusterSpec::Ec2(16);
+  Header("Table 1: scaling efficiency & communication ratio (16 nodes)");
+  std::printf("%-12s %-28s %10s %12s\n", "Model", "System configuration",
+              "Scaling", "Comm ratio");
+
+  struct Row {
+    const char* model;
+    const char* system;
+    const char* algorithm;
+    const char* label;
+  };
+  const Row rows[] = {
+      {"transformer", "ring", "dgc", "Ring w/o compression"},
+      {"transformer", "ring-oss", "dgc", "Ring w/ DGC compression"},
+      {"bert-large", "byteps", "onebit", "BytePS w/o compression"},
+      {"bert-large", "byteps-oss", "onebit", "BytePS w/ onebit"},
+  };
+  CompressorParams params;
+  params.sparsity_ratio = 0.001;  // DGC at 0.1%
+  for (const Row& row : rows) {
+    const TrainReport report =
+        Run(row.model, row.system, cluster, row.algorithm, params);
+    std::printf("%-12s %-28s %10.2f %11.1f%%\n", row.model, row.label,
+                report.scaling_efficiency, report.comm_ratio * 100.0);
+  }
+  std::printf(
+      "\npaper: Ring 0.47/76.8%% -> Ring-DGC 0.61/70.3%%; "
+      "BytePS 0.71/63.6%% -> BytePS-onebit 0.76/60.9%%\n");
+  return 0;
+}

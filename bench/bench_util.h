@@ -1,0 +1,44 @@
+// Shared helpers for the table/figure reproduction benches.
+#ifndef HIPRESS_BENCH_BENCH_UTIL_H_
+#define HIPRESS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/hipress/hipress.h"
+
+namespace hipress::bench {
+
+// Runs one training simulation, aborting the bench with a message on error.
+inline TrainReport Run(const std::string& model, const std::string& system,
+                       const ClusterSpec& cluster,
+                       const std::string& algorithm = "onebit",
+                       const CompressorParams& params = {},
+                       bool timeline = false) {
+  HiPressOptions options;
+  options.model = model;
+  options.system = system;
+  options.algorithm = algorithm;
+  options.codec_params = params;
+  options.cluster = cluster;
+  // The paper runs BytePS without RDMA on EC2 (no EFA support).
+  options.disable_rdma = (system == "byteps" || system == "byteps-oss" ||
+                          system == "byteps-cpu") &&
+                         cluster.platform == GpuPlatform::kV100;
+  options.train.record_timeline = timeline;
+  auto result = RunTrainingSimulation(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench run failed (%s/%s): %s\n", model.c_str(),
+                 system.c_str(), result.status().ToString().c_str());
+    std::abort();
+  }
+  return result->report;
+}
+
+inline void Header(const char* title) {
+  std::printf("\n==== %s ====\n", title);
+}
+
+}  // namespace hipress::bench
+
+#endif  // HIPRESS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,153 @@
+// compll_tool — the CompLL toolkit as a command-line program.
+//
+//   compll_tool list                 list the built-in DSL algorithms
+//   compll_tool show <alg>           print an algorithm's DSL source
+//   compll_tool gen  <alg>           generate its C++ implementation
+//   compll_tool gen  <file.cll>      generate C++ from a DSL file
+//   compll_tool run  <alg|file.cll>  interpret: round-trip a random
+//                                    gradient and report size/error
+//
+// This is the paper's developer workflow: write ~25 lines of DSL, let the
+// toolkit generate the optimized kernels and wire them into the framework.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+#include "src/compll/builtin_algorithms.h"
+#include "src/compll/codegen.h"
+#include "src/compll/dsl_compressor.h"
+#include "src/tensor/tensor.h"
+
+using namespace hipress;
+using namespace hipress::compll;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: compll_tool list\n"
+               "       compll_tool show <algorithm>\n"
+               "       compll_tool gen  <algorithm | file.cll>\n"
+               "       compll_tool run  <algorithm | file.cll>\n");
+  return 2;
+}
+
+// Resolves an argument to DSL source: built-in algorithm name or .cll path.
+bool LoadSource(const std::string& arg, std::string* source,
+                std::string* name, bool* is_sparse) {
+  if (const DslAlgorithm* algorithm = FindDslAlgorithm(arg)) {
+    *source = algorithm->source;
+    *name = algorithm->algorithm;
+    *is_sparse = algorithm->is_sparse;
+    return true;
+  }
+  std::ifstream file(arg);
+  if (!file.good()) {
+    std::fprintf(stderr, "error: no built-in algorithm or file named '%s'\n",
+                 arg.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  *source = buffer.str();
+  std::string base = arg;
+  if (const size_t slash = base.rfind('/'); slash != std::string::npos) {
+    base = base.substr(slash + 1);
+  }
+  if (const size_t dot = base.rfind('.'); dot != std::string::npos) {
+    base = base.substr(0, dot);
+  }
+  *name = base;
+  // Heuristic: programs using scatter produce sparse payloads.
+  *is_sparse = source->find("scatter(") != std::string::npos;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+
+  if (command == "list") {
+    std::printf("%-14s %-10s %6s  %s\n", "name", "kind", "LoC",
+                "registry id");
+    for (const DslAlgorithm& algorithm : BuiltinDslAlgorithms()) {
+      std::printf("%-14s %-10s %6d  %s\n", algorithm.algorithm.c_str(),
+                  algorithm.is_sparse ? "sparse" : "quantize",
+                  CountDslLines(algorithm.source), algorithm.name.c_str());
+    }
+    return 0;
+  }
+
+  if (argc < 3) {
+    return Usage();
+  }
+  std::string source;
+  std::string name;
+  bool is_sparse = false;
+  if (!LoadSource(argv[2], &source, &name, &is_sparse)) {
+    return 1;
+  }
+
+  if (command == "show") {
+    std::printf("%s", source.c_str());
+    return 0;
+  }
+
+  if (command == "gen") {
+    CodegenOptions options;
+    options.algorithm_name = name;
+    auto generated = GenerateCppFromSource(source, options);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "codegen failed: %s\n",
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", generated->c_str());
+    return 0;
+  }
+
+  if (command == "run") {
+    CompressorParams params;
+    params.sparsity_ratio = 0.01;
+    auto codec = DslCompressor::Create(name, source, is_sparse, params);
+    if (!codec.ok()) {
+      std::fprintf(stderr, "compile failed: %s\n",
+                   codec.status().ToString().c_str());
+      return 1;
+    }
+    Rng rng(7);
+    Tensor gradient("probe", 64 * 1024);
+    gradient.FillGaussian(rng);
+    ByteBuffer encoded;
+    if (auto status = (*codec)->Encode(gradient.span(), &encoded);
+        !status.ok()) {
+      std::fprintf(stderr, "encode failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::vector<float> decoded(gradient.size());
+    if (auto status = (*codec)->Decode(encoded, decoded); !status.ok()) {
+      std::fprintf(stderr, "decode failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("algorithm:  %s (%s)\n", name.c_str(),
+                is_sparse ? "sparsification" : "quantization");
+    std::printf("input:      %s (%zu elements)\n",
+                HumanBytes(gradient.byte_size()).c_str(), gradient.size());
+    std::printf("compressed: %s (rate %.4f)\n",
+                HumanBytes(encoded.size()).c_str(),
+                static_cast<double>(encoded.size()) / gradient.byte_size());
+    std::printf("rms error:  %.5f\n",
+                RmsDiff(gradient.span(), std::span<const float>(decoded)));
+    return 0;
+  }
+
+  return Usage();
+}

@@ -1,0 +1,127 @@
+// custom_algorithm — author a brand-new compression algorithm in CompLL's
+// DSL, validate it, register it into the framework, and train through it.
+// The paper's extensibility story (Section 4.4) end to end:
+//
+//   DSL source -> analyzer -> interpreter-backed Compressor -> registry
+//   -> error-feedback distributed SGD -> converges.
+//
+// The algorithm here is Random-K sparsification (examples/algorithms/
+// randomk.cll ships the same program as a standalone file for compll_tool).
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+#include "src/compll/dsl_compressor.h"
+#include "src/compress/registry.h"
+#include "src/minidnn/dist_trainer.h"
+
+using namespace hipress;
+using namespace hipress::compll;
+
+namespace {
+
+constexpr const char* kRandomKDsl = R"DSL(
+param EncodeParams {
+  float ratio;
+}
+param DecodeParams {
+  float ratio;
+}
+float keepRatio;
+
+uint1 lottery(float elem) {
+  if (random<float>(0, 1) < keepRatio) { return 1; }
+  return 0;
+}
+
+void encode(float* gradient, uint8* compressed, EncodeParams params) {
+  keepRatio = params.ratio;
+  int32* idx = findex(gradient, lottery);
+  float* vals = gather(gradient, idx);
+  compressed = concat(gradient.size, idx.size, idx, vals);
+}
+
+void decode(uint8* compressed, float* gradient, DecodeParams params) {
+  int32 n = extract<int32>(compressed);
+  int32 k = extract<int32>(compressed);
+  int32* idx = extract<int32*>(compressed, k);
+  float* vals = extract<float*>(compressed, k);
+  gradient = scatter(idx, vals, n);
+}
+)DSL";
+
+}  // namespace
+
+int main() {
+  // 1. Compile the DSL program into a Compressor (parses + validates +
+  //    probes the compression rate).
+  CompressorParams params;
+  params.sparsity_ratio = 0.25;
+  auto probe =
+      DslCompressor::Create("randomk", kRandomKDsl, /*is_sparse=*/true,
+                            params);
+  if (!probe.ok()) {
+    std::fprintf(stderr, "DSL compile failed: %s\n",
+                 probe.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("compiled randomk: rate %.3f at ratio %.2f\n",
+              (*probe)->CompressionRate(1 << 20), params.sparsity_ratio);
+
+  // 2. Quick functional check.
+  Rng rng(11);
+  Tensor gradient("g", 10000);
+  gradient.FillGaussian(rng);
+  ByteBuffer encoded;
+  if (!(*probe)->Encode(gradient.span(), &encoded).ok()) {
+    return 1;
+  }
+  std::vector<float> decoded(gradient.size());
+  (void)(*probe)->Decode(encoded, decoded);
+  size_t kept = 0;
+  for (size_t i = 0; i < decoded.size(); ++i) {
+    if (decoded[i] != 0.0f) {
+      ++kept;
+    }
+  }
+  std::printf("kept %zu / %zu elements (%.1f%%), payload %s\n", kept,
+              gradient.size(), 100.0 * kept / gradient.size(),
+              HumanBytes(encoded.size()).c_str());
+
+  // 3. Register into the global framework registry (automated
+  //    integration), then train with error feedback.
+  (void)CompressorRegistry::Instance().Register(
+      "randomk", [](const CompressorParams& p) -> std::unique_ptr<Compressor> {
+        auto codec = DslCompressor::Create("randomk", kRandomKDsl, true, p);
+        return codec.ok() ? std::move(codec).value() : nullptr;
+      });
+
+  DistTrainConfig config;
+  config.num_workers = 4;
+  config.batch_per_worker = 32;
+  config.learning_rate = 0.05f;
+  config.momentum = 0.9f;
+  config.algorithm = "randomk";
+  config.codec_params = params;
+  auto trainer = DistTrainer::Create(config);
+  if (!trainer.ok()) {
+    std::fprintf(stderr, "trainer: %s\n",
+                 trainer.status().ToString().c_str());
+    return 1;
+  }
+  auto result = (*trainer)->Train(120, 20, 0.9);
+  if (!result.ok()) {
+    std::fprintf(stderr, "training: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ntraining with randomk (4 workers, error feedback):\n");
+  for (const TrainCurvePoint& point : result->curve) {
+    std::printf("  step %3d  loss %.3f  accuracy %.1f%%\n", point.step,
+                point.loss, point.accuracy * 100.0);
+  }
+  std::printf("final accuracy %.1f%% — a 25%%-density random sparsifier\n"
+              "written in ~30 lines of DSL trains to convergence.\n",
+              result->final_accuracy * 100.0);
+  return 0;
+}

@@ -1,0 +1,164 @@
+// train_cluster — simulate data-parallel training of any Table 6 model on a
+// configurable cluster and print the evaluation metrics.
+//
+//   train_cluster [--model vgg19] [--system hipress-ps] [--algorithm onebit]
+//                 [--nodes 16] [--cluster ec2|local] [--gbps <bandwidth>]
+//                 [--bitwidth N] [--ratio R] [--no-rdma] [--compare]
+//
+// --compare runs all systems side by side (a miniature Figure 7/8 panel).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/common/string_util.h"
+#include "src/casync/workflow.h"
+#include "src/train/trace.h"
+
+using namespace hipress;
+
+namespace {
+
+struct Args {
+  std::string model = "bert-large";
+  std::string system = "hipress-ps";
+  std::string algorithm = "onebit";
+  std::string cluster = "ec2";
+  int nodes = 16;
+  double gbps = 0.0;  // 0 = cluster default
+  unsigned bitwidth = 2;
+  double ratio = 0.001;
+  bool no_rdma = false;
+  bool compare = false;
+  std::string trace_path;  // --trace out.json: chrome://tracing dump
+};
+
+bool Parse(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--model") {
+      args->model = next();
+    } else if (flag == "--system") {
+      args->system = next();
+    } else if (flag == "--algorithm") {
+      args->algorithm = next();
+    } else if (flag == "--cluster") {
+      args->cluster = next();
+    } else if (flag == "--nodes") {
+      args->nodes = std::atoi(next());
+    } else if (flag == "--gbps") {
+      args->gbps = std::atof(next());
+    } else if (flag == "--bitwidth") {
+      args->bitwidth = static_cast<unsigned>(std::atoi(next()));
+    } else if (flag == "--ratio") {
+      args->ratio = std::atof(next());
+    } else if (flag == "--no-rdma") {
+      args->no_rdma = true;
+    } else if (flag == "--compare") {
+      args->compare = true;
+    } else if (flag == "--trace") {
+      args->trace_path = next();
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintReport(const std::string& system, const TrainReport& report,
+                 const ModelProfile& profile) {
+  std::printf("%-14s %10.0f %s/s   eff %.3f   iter %7.2f ms   "
+              "tail %6.2f ms   comm %4.1f%%\n",
+              system.c_str(), report.throughput,
+              profile.sample_unit.c_str(), report.scaling_efficiency,
+              ToMillis(report.iteration_time), ToMillis(report.sync_tail),
+              report.comm_ratio * 100.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, &args)) {
+    return 2;
+  }
+
+  ClusterSpec cluster = args.cluster == "local"
+                            ? ClusterSpec::Local(args.nodes)
+                            : ClusterSpec::Ec2(args.nodes);
+  if (args.gbps > 0) {
+    cluster.net.link_bandwidth = Bandwidth::Gbps(args.gbps);
+  }
+  CompressorParams params;
+  params.bitwidth = args.bitwidth;
+  params.sparsity_ratio = args.ratio;
+
+  auto profile = GetModelProfile(args.model);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("model %s (%s): %zu gradients, %s total, batch %d %s/GPU\n",
+              args.model.c_str(), profile->framework.c_str(),
+              profile->num_gradients(),
+              HumanBytes(profile->total_bytes()).c_str(),
+              profile->batch_per_gpu, profile->sample_unit.c_str());
+  std::printf("cluster: %d nodes x %d GPUs (%s), %.0f Gbps\n", args.nodes,
+              cluster.gpus_per_node,
+              cluster.platform == GpuPlatform::kV100 ? "V100" : "1080Ti",
+              cluster.net.link_bandwidth.bits_per_second / 1e9);
+  if (!args.compare) {
+    if (auto config = MakeSystemConfig(args.system, cluster, args.algorithm);
+        config.ok()) {
+      std::printf("%s", DescribeStrategy(*config, config->compression).c_str());
+    }
+  }
+  std::printf("\n");
+
+  auto run_one = [&](const std::string& system) {
+    HiPressOptions options;
+    options.model = args.model;
+    options.system = system;
+    options.algorithm = args.algorithm;
+    options.codec_params = params;
+    options.cluster = cluster;
+    options.disable_rdma =
+        args.no_rdma ||
+        (system.rfind("byteps", 0) == 0 &&
+         cluster.platform == GpuPlatform::kV100);
+    options.train.record_timeline = !args.trace_path.empty();
+    auto result = RunTrainingSimulation(options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", system.c_str(),
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    PrintReport(system, result->report, *profile);
+    if (!args.trace_path.empty() && !args.compare) {
+      auto status = WriteChromeTrace(args.trace_path,
+                                     result->report.timeline,
+                                     result->report.timeline_origin);
+      if (status.ok()) {
+        std::printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n",
+                    args.trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      }
+    }
+  };
+
+  if (args.compare) {
+    for (const char* system : {"byteps", "ring", "byteps-oss", "ring-oss",
+                               "hipress-ps", "hipress-ring"}) {
+      run_one(system);
+    }
+  } else {
+    run_one(args.system);
+  }
+  return 0;
+}

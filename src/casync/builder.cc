@@ -1,0 +1,321 @@
+#include "src/casync/builder.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace hipress {
+namespace {
+
+uint64_t WireBytes(uint64_t partition_bytes, const GradientSync& gradient) {
+  if (!gradient.compress) {
+    return partition_bytes;
+  }
+  const auto compressed = static_cast<uint64_t>(
+      static_cast<double>(partition_bytes) * gradient.rate);
+  return std::max(compressed, kMinWireBytes);
+}
+
+SyncTask MakeTask(PrimitiveType type, int node, uint64_t bytes,
+                  uint32_t gradient_id, int peer = -1) {
+  SyncTask task;
+  task.type = type;
+  task.node = node;
+  task.peer = peer;
+  task.bytes = bytes;
+  task.gradient_id = gradient_id;
+  return task;
+}
+
+}  // namespace
+
+void AppendSyncTasks(const SyncConfig& config, const GradientSync& gradient,
+                     TaskGraph* graph) {
+  switch (config.strategy) {
+    case StrategyKind::kPs:
+      AppendPsSyncTasks(config, gradient, graph);
+      return;
+    case StrategyKind::kRing:
+      AppendRingSyncTasks(config, gradient, graph);
+      return;
+    case StrategyKind::kTree:
+      AppendTreeSyncTasks(config, gradient, graph);
+      return;
+  }
+}
+
+void AppendPsSyncTasks(const SyncConfig& config, const GradientSync& gradient,
+                       TaskGraph* graph) {
+  const int n = config.num_nodes;
+  CHECK_GT(n, 0);
+  const int k = std::max(1, gradient.partitions);
+  const uint64_t partition_bytes =
+      std::max<uint64_t>(1, gradient.bytes / static_cast<uint64_t>(k));
+  const uint64_t wire = WireBytes(partition_bytes, gradient);
+
+  for (int p = 0; p < k; ++p) {
+    // Aggregator assignment: spread partitions across nodes, offset by the
+    // gradient id so different gradients load-balance (BytePS-style).
+    const int aggregator = static_cast<int>((gradient.id + p) % n);
+
+    // Aggregate-ready join point: all remote shards merged.
+    const TaskId aggregate =
+        graph->Add(MakeTask(PrimitiveType::kBarrier, aggregator,
+                            partition_bytes, gradient.id));
+
+    for (int w = 0; w < n; ++w) {
+      if (w == aggregator) {
+        // Co-located shard: merged locally, no network round trip
+        // (Section 6.1's adjusted alpha = 2(N-1)).
+        const TaskId local_merge = graph->Add(MakeTask(
+            PrimitiveType::kMerge, aggregator, partition_bytes, gradient.id));
+        graph->AddDep(local_merge, aggregate);
+        continue;
+      }
+      TaskId head;
+      if (gradient.compress) {
+        const TaskId enc = graph->Add(MakeTask(
+            PrimitiveType::kEncode, w, partition_bytes, gradient.id));
+        head = enc;
+      } else {
+        head = kInvalidTask;
+      }
+      const TaskId send = graph->Add(MakeTask(PrimitiveType::kSend, w, wire,
+                                              gradient.id, aggregator));
+      if (head != kInvalidTask) {
+        graph->AddDep(head, send);
+      }
+      const TaskId recv = graph->Add(MakeTask(
+          PrimitiveType::kRecv, aggregator, wire, gradient.id));
+      graph->AddDep(send, recv);
+      if (gradient.compress) {
+        // Fused decode+merge into the aggregate.
+        const TaskId dec = graph->Add(MakeTask(
+            PrimitiveType::kDecode, aggregator, partition_bytes, gradient.id));
+        graph->AddDep(recv, dec);
+        graph->AddDep(dec, aggregate);
+      } else {
+        const TaskId merge = graph->Add(MakeTask(
+            PrimitiveType::kMerge, aggregator, partition_bytes, gradient.id));
+        graph->AddDep(recv, merge);
+        graph->AddDep(merge, aggregate);
+      }
+    }
+
+    // Push the aggregate back to the workers.
+    TaskId push_root = aggregate;
+    if (gradient.compress) {
+      const TaskId enc_back = graph->Add(MakeTask(
+          PrimitiveType::kEncode, aggregator, partition_bytes, gradient.id));
+      graph->AddDep(aggregate, enc_back);
+      push_root = enc_back;
+    }
+    for (int w = 0; w < n; ++w) {
+      if (w == aggregator) {
+        continue;
+      }
+      const TaskId send = graph->Add(MakeTask(PrimitiveType::kSend, aggregator,
+                                              wire, gradient.id, w));
+      graph->AddDep(push_root, send);
+      const TaskId recv =
+          graph->Add(MakeTask(PrimitiveType::kRecv, w, wire, gradient.id));
+      graph->AddDep(send, recv);
+      if (gradient.compress) {
+        const TaskId dec = graph->Add(MakeTask(
+            PrimitiveType::kDecode, w, partition_bytes, gradient.id));
+        graph->AddDep(recv, dec);
+      }
+    }
+  }
+}
+
+void AppendRingSyncTasks(const SyncConfig& config,
+                         const GradientSync& gradient, TaskGraph* graph) {
+  const int n = config.num_nodes;
+  CHECK_GT(n, 0);
+  if (n == 1) {
+    graph->Add(MakeTask(PrimitiveType::kBarrier, 0, gradient.bytes,
+                        gradient.id));
+    return;
+  }
+  const int k = std::max(1, gradient.partitions);
+  const uint64_t chunk_bytes =
+      std::max<uint64_t>(1, gradient.bytes / static_cast<uint64_t>(k));
+  const uint64_t wire = WireBytes(chunk_bytes, gradient);
+
+  for (int c = 0; c < k; ++c) {
+    const int start = c % n;  // chunks start spread around the ring
+
+    // ---------------- aggregation phase: N-1 hops ----------------------
+    // prev_ready: the task after which node u's partially-aggregated chunk
+    // value is available for forwarding.
+    TaskId prev_ready = kInvalidTask;
+    for (int h = 1; h < n; ++h) {
+      const int u = (start + h - 1) % n;
+      const int v = (start + h) % n;
+      TaskId forward_root = prev_ready;
+      if (gradient.compress) {
+        // Data dependency: u can only encode after it has decoded and
+        // merged its predecessor's chunk (Section 3.3).
+        const TaskId enc = graph->Add(
+            MakeTask(PrimitiveType::kEncode, u, chunk_bytes, gradient.id));
+        if (prev_ready != kInvalidTask) {
+          graph->AddDep(prev_ready, enc);
+        }
+        forward_root = enc;
+      }
+      const TaskId send = graph->Add(
+          MakeTask(PrimitiveType::kSend, u, wire, gradient.id, v));
+      if (forward_root != kInvalidTask) {
+        graph->AddDep(forward_root, send);
+      }
+      const TaskId recv =
+          graph->Add(MakeTask(PrimitiveType::kRecv, v, wire, gradient.id));
+      graph->AddDep(send, recv);
+      if (gradient.compress) {
+        const TaskId dec = graph->Add(
+            MakeTask(PrimitiveType::kDecode, v, chunk_bytes, gradient.id));
+        graph->AddDep(recv, dec);
+        prev_ready = dec;  // fused decode+merge
+      } else {
+        const TaskId merge = graph->Add(
+            MakeTask(PrimitiveType::kMerge, v, chunk_bytes, gradient.id));
+        graph->AddDep(recv, merge);
+        prev_ready = merge;
+      }
+    }
+
+    // ---------------- dissemination phase: N-1 hops ---------------------
+    // The fully-aggregated chunk lives at f = start + N - 1. It is encoded
+    // once; intermediate nodes forward the encoded buffer and decode in
+    // parallel with the forwarding (gamma analysis: only the last decode is
+    // on the critical path).
+    const int final_node = (start + n - 1) % n;
+    TaskId carry = prev_ready;
+    if (gradient.compress) {
+      const TaskId enc_final = graph->Add(MakeTask(
+          PrimitiveType::kEncode, final_node, chunk_bytes, gradient.id));
+      graph->AddDep(prev_ready, enc_final);
+      carry = enc_final;
+    }
+    for (int g = 1; g < n; ++g) {
+      const int u = (final_node + g - 1) % n;
+      const int v = (final_node + g) % n;
+      const TaskId send = graph->Add(
+          MakeTask(PrimitiveType::kSend, u, wire, gradient.id, v));
+      graph->AddDep(carry, send);
+      const TaskId recv =
+          graph->Add(MakeTask(PrimitiveType::kRecv, v, wire, gradient.id));
+      graph->AddDep(send, recv);
+      if (gradient.compress) {
+        // Receiver's decode overlaps the onward forward (the forward
+        // depends on recv, not on the decode).
+        const TaskId dec = graph->Add(
+            MakeTask(PrimitiveType::kDecode, v, chunk_bytes, gradient.id));
+        graph->AddDep(recv, dec);
+      }
+      carry = recv;
+    }
+  }
+}
+
+void AppendTreeSyncTasks(const SyncConfig& config,
+                         const GradientSync& gradient, TaskGraph* graph) {
+  const int n = config.num_nodes;
+  CHECK_GT(n, 0);
+  if (n == 1) {
+    graph->Add(MakeTask(PrimitiveType::kBarrier, 0, gradient.bytes,
+                        gradient.id));
+    return;
+  }
+  const int k = std::max(1, gradient.partitions);
+  const uint64_t partition_bytes =
+      std::max<uint64_t>(1, gradient.bytes / static_cast<uint64_t>(k));
+  const uint64_t wire = WireBytes(partition_bytes, gradient);
+  int rounds = 0;
+  while ((1 << rounds) < n) {
+    ++rounds;
+  }
+
+  for (int p = 0; p < k; ++p) {
+    // Rotate the tree root per partition so no node hotspots.
+    const int root = static_cast<int>((gradient.id + p) % n);
+    auto node = [&](int logical) { return (logical + root) % n; };
+
+    // ready[u]: task after which logical node u's partial aggregate is
+    // current (kInvalidTask = the local gradient, available at launch).
+    std::vector<TaskId> ready(n, kInvalidTask);
+
+    // ---------------- reduce phase: log N rounds toward logical 0 -------
+    for (int r = 0; r < rounds; ++r) {
+      const int stride = 1 << r;
+      for (int u = stride; u < n; u += 2 * stride) {
+        const int v = u - stride;  // u sends its aggregate to v
+        TaskId forward_root = ready[u];
+        if (gradient.compress) {
+          const TaskId enc = graph->Add(MakeTask(
+              PrimitiveType::kEncode, node(u), partition_bytes, gradient.id));
+          if (ready[u] != kInvalidTask) {
+            graph->AddDep(ready[u], enc);
+          }
+          forward_root = enc;
+        }
+        const TaskId send = graph->Add(MakeTask(
+            PrimitiveType::kSend, node(u), wire, gradient.id, node(v)));
+        if (forward_root != kInvalidTask) {
+          graph->AddDep(forward_root, send);
+        }
+        const TaskId recv = graph->Add(
+            MakeTask(PrimitiveType::kRecv, node(v), wire, gradient.id));
+        graph->AddDep(send, recv);
+        const TaskId absorb = graph->Add(MakeTask(
+            gradient.compress ? PrimitiveType::kDecode : PrimitiveType::kMerge,
+            node(v), partition_bytes, gradient.id));
+        graph->AddDep(recv, absorb);
+        if (ready[v] != kInvalidTask) {
+          // Merges into v's aggregate serialize with v's earlier rounds.
+          graph->AddDep(ready[v], absorb);
+        }
+        ready[v] = absorb;
+      }
+    }
+
+    // ---------------- broadcast phase: reverse rounds from logical 0 ----
+    // carry[u]: the task holding the (encoded, when compressed) final
+    // aggregate at logical node u, ready to forward.
+    std::vector<TaskId> carry(n, kInvalidTask);
+    if (gradient.compress) {
+      const TaskId enc_root = graph->Add(MakeTask(
+          PrimitiveType::kEncode, node(0), partition_bytes, gradient.id));
+      if (ready[0] != kInvalidTask) {
+        graph->AddDep(ready[0], enc_root);
+      }
+      carry[0] = enc_root;
+    } else {
+      carry[0] = ready[0];
+    }
+    for (int r = rounds - 1; r >= 0; --r) {
+      const int stride = 1 << r;
+      for (int v = 0; v + stride < n; v += 2 * stride) {
+        const int u = v + stride;
+        const TaskId send = graph->Add(MakeTask(
+            PrimitiveType::kSend, node(v), wire, gradient.id, node(u)));
+        if (carry[v] != kInvalidTask) {
+          graph->AddDep(carry[v], send);
+        }
+        const TaskId recv = graph->Add(
+            MakeTask(PrimitiveType::kRecv, node(u), wire, gradient.id));
+        graph->AddDep(send, recv);
+        if (gradient.compress) {
+          // Decode overlaps onward forwarding (only recv gates the carry).
+          const TaskId dec = graph->Add(MakeTask(
+              PrimitiveType::kDecode, node(u), partition_bytes, gradient.id));
+          graph->AddDep(recv, dec);
+        }
+        carry[u] = recv;
+      }
+    }
+  }
+}
+
+}  // namespace hipress

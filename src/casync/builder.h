@@ -1,0 +1,60 @@
+// Task-graph builders for the CaSync synchronization strategies.
+//
+// Given a gradient and its <compress?, K> plan, these construct the
+// dependency graph of encode/decode/merge/send/recv primitives for either
+// topology (Section 3.1):
+//
+//  * PS (bipartite, aggregators co-located with workers): each partition is
+//    owned by one aggregator; workers encode and push their shard, the
+//    aggregator decodes+merges arrivals as they land (pipelining), encodes
+//    the aggregate once, and pushes it back; workers decode.
+//  * Ring: each partition travels the ring; every aggregation hop is
+//    decode+merge+encode (data dependency, Section 3.3's beta/gamma
+//    analysis), dissemination forwards the final encoded buffer with decodes
+//    overlapping the forwarding sends.
+//
+// Decode-into-aggregate is modelled fused (Section 5's decode/merge fusion):
+// compressed arrivals emit a single decode-cost task; explicit merge tasks
+// appear only on the raw path.
+#ifndef HIPRESS_SRC_CASYNC_BUILDER_H_
+#define HIPRESS_SRC_CASYNC_BUILDER_H_
+
+#include <cstdint>
+
+#include "src/casync/config.h"
+#include "src/casync/task.h"
+
+namespace hipress {
+
+struct GradientSync {
+  uint32_t id = 0;
+  uint64_t bytes = 0;
+  bool compress = false;
+  int partitions = 1;
+  // Compression rate r for wire sizing (ignored when !compress).
+  double rate = 1.0;
+};
+
+// Minimum bytes on the wire for a compressed partition (codec headers).
+inline constexpr uint64_t kMinWireBytes = 16;
+
+// Appends the synchronization task DAG for `gradient` to `graph`,
+// dispatching on config.strategy. Tasks become runnable when the engine
+// executes the graph, so callers launch the graph at the moment the
+// gradient is ready.
+void AppendSyncTasks(const SyncConfig& config, const GradientSync& gradient,
+                     TaskGraph* graph);
+
+void AppendPsSyncTasks(const SyncConfig& config, const GradientSync& gradient,
+                       TaskGraph* graph);
+void AppendRingSyncTasks(const SyncConfig& config,
+                         const GradientSync& gradient, TaskGraph* graph);
+// Binomial-tree reduce + broadcast: ceil(log2 N) rounds each way, root
+// rotated per partition. Demonstrates that CaSync's primitives compose
+// into topologies beyond the paper's two (Section 3.1's generality claim).
+void AppendTreeSyncTasks(const SyncConfig& config,
+                         const GradientSync& gradient, TaskGraph* graph);
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_CASYNC_BUILDER_H_

@@ -1,0 +1,56 @@
+#include "src/casync/coordinator.h"
+
+namespace hipress {
+
+void BulkCoordinator::Enqueue(int src, int dst, uint64_t bytes,
+                              std::function<void()> on_delivered) {
+  LinkQueue& queue = links_[{src, dst}];
+  queue.pending.push_back(Pending{bytes, std::move(on_delivered)});
+  queue.queued_bytes += bytes;
+
+  if (queue.queued_bytes >= size_threshold_) {
+    Flush(src, dst);
+    return;
+  }
+  // Work-conserving: when the link is idle there is nothing to batch
+  // against — send immediately. Batching only pays under backpressure.
+  if (net_->EarliestStart(src, dst) <= sim_->now()) {
+    Flush(src, dst);
+    return;
+  }
+  if (queue.pending.size() == 1) {
+    // First entry in an empty queue arms the batch timeout.
+    const uint64_t epoch = queue.flush_epoch;
+    sim_->Schedule(timeout_, [this, src, dst, epoch] {
+      auto it = links_.find({src, dst});
+      if (it != links_.end() && it->second.flush_epoch == epoch &&
+          !it->second.pending.empty()) {
+        Flush(src, dst);
+      }
+    });
+  }
+}
+
+void BulkCoordinator::Flush(int src, int dst) {
+  LinkQueue& queue = links_[{src, dst}];
+  std::vector<Pending> batch = std::move(queue.pending);
+  const uint64_t batch_bytes = queue.queued_bytes;
+  queue.pending.clear();
+  queue.queued_bytes = 0;
+  ++queue.flush_epoch;
+  ++batches_sent_;
+  transfers_batched_ += batch.size();
+
+  NetMessage message;
+  message.src = src;
+  message.dst = dst;
+  message.bytes = batch_bytes;
+  net_->Send(std::move(message),
+             [batch = std::move(batch)](const NetMessage&) mutable {
+               for (Pending& pending : batch) {
+                 pending.on_delivered();
+               }
+             });
+}
+
+}  // namespace hipress

@@ -1,0 +1,242 @@
+#include "src/casync/dataflow.h"
+
+#include <algorithm>
+
+namespace hipress {
+namespace {
+
+struct PartitionRange {
+  size_t offset;
+  size_t count;
+};
+
+std::vector<PartitionRange> MakePartitions(size_t elements, int partitions) {
+  const size_t k = std::max(1, partitions);
+  std::vector<PartitionRange> ranges;
+  ranges.reserve(k);
+  const size_t base = elements / k;
+  size_t offset = 0;
+  for (size_t p = 0; p < k; ++p) {
+    // Remainder spread over the leading partitions for balance.
+    const size_t count = base + (p < elements % k ? 1 : 0);
+    ranges.push_back(PartitionRange{offset, count});
+    offset += count;
+  }
+  return ranges;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Tensor>> DataflowRunner::Run(
+    const std::vector<Tensor>& inputs, int partitions) const {
+  if (inputs.empty()) {
+    return InvalidArgumentError("dataflow: no worker inputs");
+  }
+  for (const Tensor& input : inputs) {
+    if (input.size() != inputs[0].size()) {
+      return InvalidArgumentError("dataflow: worker gradient sizes differ");
+    }
+  }
+  switch (strategy_) {
+    case StrategyKind::kPs:
+      return RunPs(inputs, partitions);
+    case StrategyKind::kRing:
+      return RunRing(inputs, partitions);
+    case StrategyKind::kTree:
+      return RunTree(inputs, partitions);
+  }
+  return InvalidArgumentError("dataflow: unknown strategy");
+}
+
+StatusOr<std::vector<Tensor>> DataflowRunner::RunPs(
+    const std::vector<Tensor>& inputs, int partitions) const {
+  const int n = static_cast<int>(inputs.size());
+  const size_t elements = inputs[0].size();
+  const auto ranges = MakePartitions(elements, partitions);
+
+  std::vector<Tensor> outputs(n);
+  for (int w = 0; w < n; ++w) {
+    outputs[w] = Tensor(inputs[w].name(), elements);
+  }
+
+  for (size_t p = 0; p < ranges.size(); ++p) {
+    const auto [offset, count] = ranges[p];
+    if (count == 0) {
+      continue;
+    }
+    const int aggregator = static_cast<int>(p) % n;
+
+    // Aggregate the co-located shard plus each worker's (compressed) push.
+    std::vector<float> aggregate(
+        inputs[aggregator].slice(offset, count).begin(),
+        inputs[aggregator].slice(offset, count).end());
+    for (int w = 0; w < n; ++w) {
+      if (w == aggregator) {
+        continue;
+      }
+      const auto shard = inputs[w].slice(offset, count);
+      if (codec_ != nullptr) {
+        ByteBuffer wire;
+        RETURN_IF_ERROR(codec_->Encode(shard, &wire));
+        RETURN_IF_ERROR(
+            codec_->DecodeAdd(wire, std::span<float>(aggregate)));
+      } else {
+        for (size_t i = 0; i < count; ++i) {
+          aggregate[i] += shard[i];
+        }
+      }
+    }
+
+    // Pull phase. Compressed: every replica — including the aggregator —
+    // installs decode(encode(aggregate)) so replicas stay bit-identical.
+    if (codec_ != nullptr) {
+      ByteBuffer wire;
+      RETURN_IF_ERROR(
+          codec_->Encode(std::span<const float>(aggregate), &wire));
+      std::vector<float> pulled(count, 0.0f);
+      RETURN_IF_ERROR(codec_->Decode(wire, std::span<float>(pulled)));
+      for (int w = 0; w < n; ++w) {
+        std::copy(pulled.begin(), pulled.end(),
+                  outputs[w].slice(offset, count).begin());
+      }
+    } else {
+      for (int w = 0; w < n; ++w) {
+        std::copy(aggregate.begin(), aggregate.end(),
+                  outputs[w].slice(offset, count).begin());
+      }
+    }
+  }
+  return outputs;
+}
+
+StatusOr<std::vector<Tensor>> DataflowRunner::RunRing(
+    const std::vector<Tensor>& inputs, int partitions) const {
+  const int n = static_cast<int>(inputs.size());
+  const size_t elements = inputs[0].size();
+  const auto ranges = MakePartitions(elements, partitions);
+
+  std::vector<Tensor> outputs(n);
+  for (int w = 0; w < n; ++w) {
+    outputs[w] = Tensor(inputs[w].name(), elements);
+  }
+
+  for (size_t c = 0; c < ranges.size(); ++c) {
+    const auto [offset, count] = ranges[c];
+    if (count == 0) {
+      continue;
+    }
+    const int start = static_cast<int>(c) % n;
+
+    // Aggregation: the chunk value travels start -> start+1 -> ... with a
+    // decode+merge+encode at every hop (data dependency chain).
+    std::vector<float> value(inputs[start].slice(offset, count).begin(),
+                             inputs[start].slice(offset, count).end());
+    for (int h = 1; h < n; ++h) {
+      const int v = (start + h) % n;
+      const auto local = inputs[v].slice(offset, count);
+      if (codec_ != nullptr) {
+        ByteBuffer wire;
+        RETURN_IF_ERROR(
+            codec_->Encode(std::span<const float>(value), &wire));
+        std::vector<float> next(local.begin(), local.end());
+        RETURN_IF_ERROR(codec_->DecodeAdd(wire, std::span<float>(next)));
+        value = std::move(next);
+      } else {
+        for (size_t i = 0; i < count; ++i) {
+          value[i] += local[i];
+        }
+      }
+    }
+
+    // Dissemination: encode once, forward the same buffer; every node
+    // (including the final aggregator, for replica consistency) installs
+    // the decoded value.
+    if (codec_ != nullptr) {
+      ByteBuffer wire;
+      RETURN_IF_ERROR(codec_->Encode(std::span<const float>(value), &wire));
+      std::vector<float> decoded(count, 0.0f);
+      RETURN_IF_ERROR(codec_->Decode(wire, std::span<float>(decoded)));
+      for (int w = 0; w < n; ++w) {
+        std::copy(decoded.begin(), decoded.end(),
+                  outputs[w].slice(offset, count).begin());
+      }
+    } else {
+      for (int w = 0; w < n; ++w) {
+        std::copy(value.begin(), value.end(),
+                  outputs[w].slice(offset, count).begin());
+      }
+    }
+  }
+  return outputs;
+}
+
+StatusOr<std::vector<Tensor>> DataflowRunner::RunTree(
+    const std::vector<Tensor>& inputs, int partitions) const {
+  const int n = static_cast<int>(inputs.size());
+  const size_t elements = inputs[0].size();
+  const auto ranges = MakePartitions(elements, partitions);
+
+  std::vector<Tensor> outputs(n);
+  for (int w = 0; w < n; ++w) {
+    outputs[w] = Tensor(inputs[w].name(), elements);
+  }
+  int rounds = 0;
+  while ((1 << rounds) < n) {
+    ++rounds;
+  }
+
+  for (size_t p = 0; p < ranges.size(); ++p) {
+    const auto [offset, count] = ranges[p];
+    if (count == 0) {
+      continue;
+    }
+    const int root = static_cast<int>(p) % n;
+    auto node = [&](int logical) { return (logical + root) % n; };
+
+    // Per-logical-node partial aggregates, seeded with the local shards.
+    std::vector<std::vector<float>> partial(n);
+    for (int u = 0; u < n; ++u) {
+      const auto shard = inputs[node(u)].slice(offset, count);
+      partial[u].assign(shard.begin(), shard.end());
+    }
+
+    // Reduce: each round, odd-subtree owners push (compressed) to their
+    // parents, which decode+merge.
+    for (int r = 0; r < rounds; ++r) {
+      const int stride = 1 << r;
+      for (int u = stride; u < n; u += 2 * stride) {
+        const int v = u - stride;
+        if (codec_ != nullptr) {
+          ByteBuffer wire;
+          RETURN_IF_ERROR(
+              codec_->Encode(std::span<const float>(partial[u]), &wire));
+          RETURN_IF_ERROR(
+              codec_->DecodeAdd(wire, std::span<float>(partial[v])));
+        } else {
+          for (size_t i = 0; i < count; ++i) {
+            partial[v][i] += partial[u][i];
+          }
+        }
+      }
+    }
+
+    // Broadcast: every replica installs decode(encode(aggregate)) so all
+    // nodes stay bit-identical (compressed), or the exact sum (raw).
+    std::vector<float> final_value = partial[0];
+    if (codec_ != nullptr) {
+      ByteBuffer wire;
+      RETURN_IF_ERROR(
+          codec_->Encode(std::span<const float>(final_value), &wire));
+      std::vector<float> decoded(count, 0.0f);
+      RETURN_IF_ERROR(codec_->Decode(wire, std::span<float>(decoded)));
+      final_value = std::move(decoded);
+    }
+    for (int w = 0; w < n; ++w) {
+      std::copy(final_value.begin(), final_value.end(),
+                outputs[w].slice(offset, count).begin());
+    }
+  }
+  return outputs;
+}
+
+}  // namespace hipress

@@ -1,0 +1,50 @@
+// Functional dataflow runner: executes the same primitive chains the task
+// graphs describe, but on real tensors with real codecs (no simulated
+// timing). Integration tests use it to verify that
+//
+//  * the raw (no-compression) pipelines produce the exact element-wise sum
+//    on every node, for both PS and Ring;
+//  * compressed pipelines leave every replica bit-identical (all nodes end
+//    with decode(encode(aggregate)), so training stays consistent); and
+//  * quantized results stay within the codec's reconstruction bounds.
+//
+// This is the "verify the correctness of the implemented algorithms"
+// property Section 2.5 says the OSS co-designs make hard.
+#ifndef HIPRESS_SRC_CASYNC_DATAFLOW_H_
+#define HIPRESS_SRC_CASYNC_DATAFLOW_H_
+
+#include <vector>
+
+#include "src/casync/config.h"
+#include "src/common/status.h"
+#include "src/compress/compressor.h"
+#include "src/tensor/tensor.h"
+
+namespace hipress {
+
+class DataflowRunner {
+ public:
+  // `codec` may be null for raw synchronization. Must outlive the runner.
+  DataflowRunner(StrategyKind strategy, const Compressor* codec)
+      : strategy_(strategy), codec_(codec) {}
+
+  // Synchronizes inputs (one gradient per worker, equal sizes); returns the
+  // per-worker results after the full push/pull or ring traversal.
+  StatusOr<std::vector<Tensor>> Run(const std::vector<Tensor>& inputs,
+                                    int partitions) const;
+
+ private:
+  StatusOr<std::vector<Tensor>> RunPs(const std::vector<Tensor>& inputs,
+                                      int partitions) const;
+  StatusOr<std::vector<Tensor>> RunRing(const std::vector<Tensor>& inputs,
+                                        int partitions) const;
+  StatusOr<std::vector<Tensor>> RunTree(const std::vector<Tensor>& inputs,
+                                        int partitions) const;
+
+  StrategyKind strategy_;
+  const Compressor* codec_;
+};
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_CASYNC_DATAFLOW_H_

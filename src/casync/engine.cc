@@ -1,0 +1,193 @@
+#include "src/casync/engine.h"
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace hipress {
+
+const char* StrategyKindName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kPs:
+      return "ps";
+    case StrategyKind::kRing:
+      return "ring";
+    case StrategyKind::kTree:
+      return "tree";
+  }
+  return "unknown";
+}
+
+CaSyncEngine::CaSyncEngine(Simulator* sim, Network* net,
+                           std::vector<GpuDevice*> gpus,
+                           const SyncConfig& config)
+    : sim_(sim), net_(net), gpus_(std::move(gpus)), config_(config) {
+  CHECK_EQ(static_cast<int>(gpus_.size()), config_.num_nodes);
+  codec_speed_ =
+      GetCodecSpeed(config_.algorithm, config_.codec_impl, config_.platform);
+  merge_cost_ = GetMergeCost(config_.platform);
+  if (config_.bulk) {
+    coordinator_ = std::make_unique<BulkCoordinator>(
+        sim_, net_, config_.bulk_size_threshold, config_.bulk_timeout);
+  }
+  serial_.reserve(gpus_.size());
+  for (size_t node = 0; node < gpus_.size(); ++node) {
+    serial_.push_back(std::make_unique<SimResource>(
+        sim_, StrFormat("serial/%zu", node)));
+  }
+}
+
+SimTime CaSyncEngine::compute_busy(int node) const {
+  return gpus_[node]->busy_time(GpuDevice::kKernelStream);
+}
+
+void CaSyncEngine::Execute(TaskGraph* graph, std::function<void()> on_done) {
+  auto running = std::make_shared<RunningGraph>();
+  running->graph = graph;
+  running->remaining = graph->size();
+  running->on_done = std::move(on_done);
+  if (running->remaining == 0) {
+    if (running->on_done) {
+      running->on_done();
+    }
+    return;
+  }
+  // Snapshot the roots before dispatching: barriers complete synchronously
+  // and may drop another task's dependency count to zero mid-scan, which
+  // dispatches it from Complete(); re-dispatching it here would run it
+  // twice.
+  std::vector<TaskId> roots;
+  for (TaskId id = 0; id < graph->size(); ++id) {
+    if (graph->task(id).pending_deps == 0) {
+      roots.push_back(id);
+    }
+  }
+  for (const TaskId id : roots) {
+    Dispatch(running, id);
+  }
+}
+
+SimTime CaSyncEngine::ComputeDuration(const SyncTask& task) const {
+  switch (task.type) {
+    case PrimitiveType::kEncode:
+      return codec_speed_.encode.Time(task.bytes);
+    case PrimitiveType::kDecode:
+      return codec_speed_.decode.Time(task.bytes);
+    case PrimitiveType::kMerge:
+      return merge_cost_.Time(task.bytes);
+    default:
+      return 0;
+  }
+}
+
+void CaSyncEngine::Dispatch(const GraphHandle& running, TaskId id) {
+  SyncTask& task = running->graph->task(id);
+  switch (task.type) {
+    case PrimitiveType::kEncode:
+    case PrimitiveType::kDecode:
+    case PrimitiveType::kMerge: {
+      const SimTime duration = ComputeDuration(task);
+      auto done = [this, running, id] { Complete(running, id); };
+      GpuTaskKind kind = GpuTaskKind::kMerge;
+      if (task.type == PrimitiveType::kEncode) {
+        kind = GpuTaskKind::kEncode;
+        ++stats_.encode_tasks;
+        stats_.encode_time += duration;
+      } else if (task.type == PrimitiveType::kDecode) {
+        kind = GpuTaskKind::kDecode;
+        ++stats_.decode_tasks;
+        stats_.decode_time += duration;
+      } else {
+        ++stats_.merge_tasks;
+        stats_.merge_time += duration;
+      }
+      if (config_.pipelining) {
+        // CaSync: a dedicated kernel queue (the paper adds a task queue and
+        // scheduling thread to each DNN system) overlaps compression with
+        // both DNN compute and communication.
+        gpus_[task.node]->SubmitKernel(kind, duration, std::move(done));
+      } else if (config_.codec_on_compute_stream) {
+        // OSS engine integrations (BytePS/MXNet) push codec ops through the
+        // framework's single execution queue: they contend with backward
+        // computation on the device and cannot hide behind it.
+        gpus_[task.node]->Submit(GpuDevice::kComputeStream, kind, duration,
+                                 std::move(done));
+      } else {
+        // OSS allreduce-path integrations (TF Ring-DGC): codec ops overlap
+        // backward but serialize against the node's communication.
+        serial_[task.node]->Submit(duration, std::move(done));
+      }
+      return;
+    }
+    case PrimitiveType::kSend: {
+      ++stats_.send_tasks;
+      stats_.wire_bytes += task.bytes;
+      const SimTime copy_overhead = config_.extra_copy_overhead;
+      auto deliver = [this, running, id] { Complete(running, id); };
+      auto start_send = [this, running, id, deliver] {
+        SyncTask& send = running->graph->task(id);
+        if (config_.pipelining) {
+          if (coordinator_ != nullptr) {
+            coordinator_->Enqueue(send.node, send.peer, send.bytes, deliver);
+            return;
+          }
+          NetMessage message;
+          message.src = send.node;
+          message.dst = send.peer;
+          message.bytes = send.bytes;
+          message.tag = send.gradient_id;
+          net_->Send(std::move(message),
+                     [deliver](const NetMessage&) { deliver(); });
+          return;
+        }
+        // Non-pipelined: the send waits for the node's sync path to drain,
+        // then blocks it for the transfer's duration (the OSS path's
+        // synchronous send). The wire transfer starts only once the node
+        // owns the slot, and endpoint contention still applies on the
+        // shared network.
+        serial_[send.node]->Submit(0, [this, running, id, deliver] {
+          SyncTask& inner = running->graph->task(id);
+          serial_[inner.node]->Submit(
+              net_->UncontendedSendTime(inner.bytes), [] {});
+          NetMessage message;
+          message.src = inner.node;
+          message.dst = inner.peer;
+          message.bytes = inner.bytes;
+          message.tag = inner.gradient_id;
+          net_->Send(std::move(message),
+                     [deliver](const NetMessage&) { deliver(); });
+        });
+      };
+      if (copy_overhead > 0) {
+        // Extra staging copies before the transfer (BytePS OSS path).
+        sim_->Schedule(copy_overhead, start_send);
+      } else {
+        start_send();
+      }
+      return;
+    }
+    case PrimitiveType::kRecv:
+    case PrimitiveType::kBarrier: {
+      // Zero-cost join points: complete immediately (the paying work — the
+      // matching send, or upstream kernels — is in the dependencies).
+      Complete(running, id);
+      return;
+    }
+  }
+}
+
+void CaSyncEngine::Complete(const GraphHandle& running, TaskId id) {
+  SyncTask& task = running->graph->task(id);
+  if (task.action) {
+    task.action();
+  }
+  for (const TaskId dependent : task.dependents) {
+    if (--running->graph->task(dependent).pending_deps == 0) {
+      Dispatch(running, dependent);
+    }
+  }
+  if (--running->remaining == 0 && running->on_done) {
+    running->on_done();
+  }
+}
+
+}  // namespace hipress

@@ -1,0 +1,92 @@
+// CaSync execution engine.
+//
+// Realizes the architecture of Figure 2 on the simulated cluster: each
+// node's task manager maintains computing and communication queues; ready
+// tasks dispatch to the node's GPU kernel stream (computing primitives) or
+// to the network / bulk coordinator (communication primitives); completions
+// clear dependency edges and promote newly-ready tasks. Multiple task
+// graphs — typically one per gradient — execute concurrently, which is what
+// produces the compression/communication pipelining the paper relies on.
+//
+// With `pipelining` disabled the engine routes every sync-path task through
+// a per-node serial resource, reproducing the OSS co-designs where
+// compression kernels and transfers block one another.
+#ifndef HIPRESS_SRC_CASYNC_ENGINE_H_
+#define HIPRESS_SRC_CASYNC_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/casync/config.h"
+#include "src/casync/coordinator.h"
+#include "src/casync/task.h"
+#include "src/net/network.h"
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+#include "src/simgpu/gpu.h"
+
+namespace hipress {
+
+// Aggregate execution statistics, for latency breakdowns (Figure 11) and
+// the ablation benches.
+struct EngineStats {
+  uint64_t encode_tasks = 0;
+  uint64_t decode_tasks = 0;
+  uint64_t merge_tasks = 0;
+  uint64_t send_tasks = 0;
+  SimTime encode_time = 0;  // modelled kernel time summed over all nodes
+  SimTime decode_time = 0;
+  SimTime merge_time = 0;
+  uint64_t wire_bytes = 0;  // bytes handed to the network / coordinator
+};
+
+class CaSyncEngine {
+ public:
+  // `gpus` holds one device per node (the node's sync GPU; local
+  // aggregation across a node's other GPUs is modelled upstream by the
+  // trainer). All pointers must outlive the engine.
+  CaSyncEngine(Simulator* sim, Network* net, std::vector<GpuDevice*> gpus,
+               const SyncConfig& config);
+
+  // Begins executing `graph` now; `on_done` fires at the simulated time the
+  // last task completes. The graph must outlive execution. Multiple graphs
+  // may be in flight concurrently.
+  void Execute(TaskGraph* graph, std::function<void()> on_done);
+
+  const SyncConfig& config() const { return config_; }
+  BulkCoordinator* coordinator() { return coordinator_.get(); }
+
+  // Total simulated time the node's sync path spent on compression-related
+  // kernels (for latency breakdowns).
+  SimTime compute_busy(int node) const;
+
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  struct RunningGraph {
+    TaskGraph* graph = nullptr;
+    size_t remaining = 0;
+    std::function<void()> on_done;
+  };
+  using GraphHandle = std::shared_ptr<RunningGraph>;
+
+  void Dispatch(const GraphHandle& running, TaskId id);
+  void Complete(const GraphHandle& running, TaskId id);
+  SimTime ComputeDuration(const SyncTask& task) const;
+
+  Simulator* sim_;
+  Network* net_;
+  std::vector<GpuDevice*> gpus_;
+  SyncConfig config_;
+  CodecSpeed codec_speed_;
+  KernelCost merge_cost_;
+  std::unique_ptr<BulkCoordinator> coordinator_;
+  // Per-node serializer used when pipelining is off.
+  std::vector<std::unique_ptr<SimResource>> serial_;
+  EngineStats stats_;
+};
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_CASYNC_ENGINE_H_

@@ -1,0 +1,67 @@
+// SeCoPa — selective compression and partitioning (Section 3.3).
+//
+// Implements the paper's cost model verbatim:
+//
+//   T_sync_orig(m, K) = alpha * T_send(m/K)                          (Eq. 1)
+//   T_sync_cpr(m, K)  = alpha * T_send(r * m/K)
+//                     + beta * T_enc(m/K) + gamma * T_dec(m/K)       (Eq. 2)
+//
+// with the Table 3 coefficients. As deployed in Section 6.1 (aggregators
+// co-located with workers), CaSync-PS uses alpha = 2(N-1), beta = K,
+// gamma = N; CaSync-Ring uses alpha = 2(N-1), beta = N, gamma = N. For
+// K > N the K partitions are grouped into ceil(K/N) serial batches.
+//
+// The planner scans K and decides, per gradient, whether compression pays
+// and how many partitions to use — producing the <compress?, K> plans of
+// Table 7. All inputs (T_enc/T_dec curves, compression rate r, network
+// timing) come from the same profiles the simulator executes with, matching
+// the paper's profile-on-first-iteration approach.
+#ifndef HIPRESS_SRC_CASYNC_SECOPA_H_
+#define HIPRESS_SRC_CASYNC_SECOPA_H_
+
+#include <memory>
+
+#include "src/casync/config.h"
+#include "src/compress/compressor.h"
+#include "src/compress/speed_profile.h"
+
+namespace hipress {
+
+struct SyncPlan {
+  bool compress = false;
+  int partitions = 1;
+  SimTime t_plain = 0;       // best no-compression cost
+  int plain_partitions = 1;  // K achieving t_plain
+  SimTime t_compressed = 0;  // best with-compression cost
+};
+
+class SeCoPaPlanner {
+ public:
+  // `config` supplies strategy, node count, network timing, and codec;
+  // `rate` is the codec's compression rate r (compressed/original bytes).
+  SeCoPaPlanner(const SyncConfig& config, double rate);
+
+  // Cost of synchronizing an m-byte gradient in K partitions, per Eq. 1/2.
+  SimTime SyncCostPlain(uint64_t bytes, int partitions) const;
+  SimTime SyncCostCompressed(uint64_t bytes, int partitions) const;
+
+  // Full per-gradient decision. max_partitions defaults to 2N.
+  SyncPlan Plan(uint64_t bytes) const;
+  SyncPlan Plan(uint64_t bytes, int max_partitions) const;
+
+  double rate() const { return rate_; }
+
+ private:
+  double Alpha() const;
+  double Beta(int partitions) const;
+  double Gamma() const;
+  SimTime SendTime(double bytes) const;
+
+  SyncConfig config_;
+  double rate_;
+  CodecSpeed codec_;
+};
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_CASYNC_SECOPA_H_

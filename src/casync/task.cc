@@ -1,0 +1,48 @@
+#include "src/casync/task.h"
+
+#include <queue>
+
+namespace hipress {
+
+const char* PrimitiveTypeName(PrimitiveType type) {
+  switch (type) {
+    case PrimitiveType::kEncode:
+      return "encode";
+    case PrimitiveType::kDecode:
+      return "decode";
+    case PrimitiveType::kMerge:
+      return "merge";
+    case PrimitiveType::kSend:
+      return "send";
+    case PrimitiveType::kRecv:
+      return "recv";
+    case PrimitiveType::kBarrier:
+      return "barrier";
+  }
+  return "unknown";
+}
+
+bool TaskGraph::IsAcyclic() const {
+  std::vector<int> pending(tasks_.size());
+  std::queue<TaskId> ready;
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    pending[i] = tasks_[i].pending_deps;
+    if (pending[i] == 0) {
+      ready.push(static_cast<TaskId>(i));
+    }
+  }
+  size_t visited = 0;
+  while (!ready.empty()) {
+    const TaskId id = ready.front();
+    ready.pop();
+    ++visited;
+    for (const TaskId dependent : tasks_[id].dependents) {
+      if (--pending[dependent] == 0) {
+        ready.push(dependent);
+      }
+    }
+  }
+  return visited == tasks_.size();
+}
+
+}  // namespace hipress

@@ -1,0 +1,87 @@
+// CaSync task graph.
+//
+// Section 3.1 decouples gradient synchronization into five primitives —
+// encode, decode, merge, send, recv — and coordinates them through a
+// dependency graph (Figure 2). A TaskGraph is one synchronization round's
+// worth of primitives with data-dependency edges; the engine drains it over
+// the simulated cluster, dispatching computing tasks to per-node GPU kernel
+// streams and communication tasks to the network (optionally through the
+// bulk coordinator).
+#ifndef HIPRESS_SRC_CASYNC_TASK_H_
+#define HIPRESS_SRC_CASYNC_TASK_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace hipress {
+
+enum class PrimitiveType {
+  kEncode,
+  kDecode,
+  kMerge,
+  kSend,
+  kRecv,
+  // Synthetic no-op used as a join point (e.g. "gradient fully synced").
+  kBarrier,
+};
+
+const char* PrimitiveTypeName(PrimitiveType type);
+
+using TaskId = uint32_t;
+inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
+
+struct SyncTask {
+  PrimitiveType type = PrimitiveType::kBarrier;
+  int node = -1;  // executing node
+  int peer = -1;  // destination node for kSend (unused otherwise)
+  // Bytes of *input* processed for compute tasks (cost-model argument), or
+  // wire bytes for kSend.
+  uint64_t bytes = 0;
+  // Gradient this task belongs to (for tracing and bulk batching).
+  uint32_t gradient_id = 0;
+  // Dependency bookkeeping, managed by the engine at run time.
+  int pending_deps = 0;
+  std::vector<TaskId> dependents;
+  // Optional real-data action executed when the task runs (integration
+  // tests move actual tensors through the graph; pure timing runs leave it
+  // empty).
+  std::function<void()> action;
+};
+
+class TaskGraph {
+ public:
+  TaskId Add(SyncTask task) {
+    tasks_.push_back(std::move(task));
+    return static_cast<TaskId>(tasks_.size() - 1);
+  }
+
+  // Declares that `to` cannot start until `from` completes.
+  void AddDep(TaskId from, TaskId to) {
+    tasks_[from].dependents.push_back(to);
+    ++tasks_[to].pending_deps;
+  }
+
+  SyncTask& task(TaskId id) { return tasks_[id]; }
+  const SyncTask& task(TaskId id) const { return tasks_[id]; }
+  size_t size() const { return tasks_.size(); }
+  bool empty() const { return tasks_.empty(); }
+
+  std::vector<SyncTask>& tasks() { return tasks_; }
+  const std::vector<SyncTask>& tasks() const { return tasks_; }
+
+  // Simple cycle check (Kahn); true when every task is reachable by
+  // repeatedly removing zero-dependency tasks.
+  bool IsAcyclic() const;
+
+ private:
+  std::vector<SyncTask> tasks_;
+};
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_CASYNC_TASK_H_

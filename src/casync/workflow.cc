@@ -1,0 +1,73 @@
+#include "src/casync/workflow.h"
+
+#include "src/common/string_util.h"
+
+namespace hipress {
+
+const char* NodeRoleName(NodeRole role) {
+  switch (role) {
+    case NodeRole::kWorker:
+      return "worker";
+    case NodeRole::kAggregator:
+      return "aggregator";
+    case NodeRole::kBoth:
+      return "worker+aggregator";
+  }
+  return "unknown";
+}
+
+NodeRole RoleOf(const SyncConfig& config, int node) {
+  // All shipped deployments co-locate roles (Section 6.1); a disaggregated
+  // PS would return kWorker/kAggregator by node id here.
+  (void)node;
+  (void)config;
+  return NodeRole::kBoth;
+}
+
+std::string DescribeWorkflow(const SyncConfig& config, NodeRole role,
+                             bool compressed) {
+  const char* enc = compressed ? "encode -> " : "";
+  const char* dec = compressed ? " -> decode" : " -> merge";
+  switch (config.strategy) {
+    case StrategyKind::kPs:
+      if (role == NodeRole::kWorker) {
+        return StrFormat("%ssend(aggregator) | recv(aggregator)%s", enc,
+                         compressed ? " -> decode" : "");
+      }
+      if (role == NodeRole::kAggregator) {
+        return StrFormat(
+            "recv(x%d workers)%s -> barrier -> %ssend(x%d workers)",
+            config.num_nodes - 1, dec, enc, config.num_nodes - 1);
+      }
+      return StrFormat(
+          "[worker] %ssend | [aggregator] recv%s -> barrier -> %ssend | "
+          "[worker] recv%s",
+          enc, dec, enc, compressed ? " -> decode" : "");
+    case StrategyKind::kRing:
+      return StrFormat(
+          "x%d: recv(pred)%s -> %ssend(succ); then forward encoded "
+          "aggregate x%d with overlapped decode",
+          config.num_nodes - 1, dec, enc, config.num_nodes - 1);
+    case StrategyKind::kTree:
+      return StrFormat(
+          "log2(%d) reduce rounds: recv(child)%s, %ssend(parent); "
+          "then broadcast with overlapped decode",
+          config.num_nodes, dec, enc);
+  }
+  return "unknown strategy";
+}
+
+std::string DescribeStrategy(const SyncConfig& config, bool compressed) {
+  std::string out = StrFormat(
+      "strategy %s over %d nodes (%s roles)\n", StrategyKindName(config.strategy),
+      config.num_nodes, NodeRoleName(RoleOf(config, 0)));
+  out += "  workflow: " +
+         DescribeWorkflow(config, NodeRole::kBoth, compressed) + "\n";
+  out += StrFormat(
+      "  pipelining %s, bulk coordination %s, SeCoPa %s\n",
+      config.pipelining ? "on" : "off", config.bulk ? "on" : "off",
+      config.secopa ? "on" : "off");
+  return out;
+}
+
+}  // namespace hipress

@@ -1,0 +1,39 @@
+// Workflow introspection (Figure 2's per-role workflow specifications).
+//
+// The task manager executes whatever the builders emit; these helpers
+// render, for a given strategy and node role, the sequence of primitives a
+// node runs for one gradient — the human-readable form of the workflow the
+// paper's task manager "consults". Used by tooling and docs; tests pin the
+// descriptions to the builders' actual task counts.
+#ifndef HIPRESS_SRC_CASYNC_WORKFLOW_H_
+#define HIPRESS_SRC_CASYNC_WORKFLOW_H_
+
+#include <string>
+
+#include "src/casync/config.h"
+
+namespace hipress {
+
+enum class NodeRole {
+  kWorker,
+  kAggregator,
+  kBoth,  // ring/tree nodes and co-located PS deployments
+};
+
+const char* NodeRoleName(NodeRole role);
+
+// Role a node plays under the strategy (co-located PS => kBoth).
+NodeRole RoleOf(const SyncConfig& config, int node);
+
+// One-line workflow for the role, e.g. for a compressed PS worker:
+//   "encode -> send(aggregator) | recv(aggregator) -> decode".
+std::string DescribeWorkflow(const SyncConfig& config, NodeRole role,
+                             bool compressed);
+
+// Multi-line summary of the whole synchronization strategy (roles, steps,
+// alpha/beta/gamma shape) for --explain style tooling.
+std::string DescribeStrategy(const SyncConfig& config, bool compressed);
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_CASYNC_WORKFLOW_H_

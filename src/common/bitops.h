@@ -1,0 +1,87 @@
+// Bit-level helpers used by the quantization codecs and the CompLL code
+// generator for packing sub-byte integer arrays.
+#ifndef HIPRESS_SRC_COMMON_BITOPS_H_
+#define HIPRESS_SRC_COMMON_BITOPS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hipress {
+
+// Number of bytes needed to store `count` values of `bits` bits each,
+// padded to whole bytes.
+constexpr size_t PackedBytes(size_t count, unsigned bits) {
+  return (count * bits + 7) / 8;
+}
+
+// Writes the low `bits` bits of `value` at bit offset `bit_pos` in `buffer`.
+// Values must not straddle more than 8 bytes; bits must be in [1, 32].
+inline void WriteBits(uint8_t* buffer, size_t bit_pos, unsigned bits,
+                      uint32_t value) {
+  for (unsigned i = 0; i < bits; ++i) {
+    const size_t pos = bit_pos + i;
+    const size_t byte = pos >> 3;
+    const unsigned offset = pos & 7;
+    const uint8_t mask = static_cast<uint8_t>(1u << offset);
+    if ((value >> i) & 1u) {
+      buffer[byte] |= mask;
+    } else {
+      buffer[byte] &= static_cast<uint8_t>(~mask);
+    }
+  }
+}
+
+// Reads `bits` bits starting at bit offset `bit_pos` in `buffer`.
+inline uint32_t ReadBits(const uint8_t* buffer, size_t bit_pos,
+                         unsigned bits) {
+  uint32_t value = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    const size_t pos = bit_pos + i;
+    const size_t byte = pos >> 3;
+    const unsigned offset = pos & 7;
+    value |= static_cast<uint32_t>((buffer[byte] >> offset) & 1u) << i;
+  }
+  return value;
+}
+
+// Fast paths for whole-byte-aligned 1/2/4-bit packing used by hot codec
+// loops: pack 8/4/2 values into one byte in a single store.
+inline uint8_t Pack8x1(const uint8_t* values) {
+  uint8_t byte = 0;
+  for (int i = 0; i < 8; ++i) {
+    byte |= static_cast<uint8_t>((values[i] & 1u) << i);
+  }
+  return byte;
+}
+
+inline void Unpack8x1(uint8_t byte, uint8_t* values) {
+  for (int i = 0; i < 8; ++i) {
+    values[i] = (byte >> i) & 1u;
+  }
+}
+
+inline uint8_t Pack4x2(const uint8_t* values) {
+  return static_cast<uint8_t>((values[0] & 3u) | ((values[1] & 3u) << 2) |
+                              ((values[2] & 3u) << 4) |
+                              ((values[3] & 3u) << 6));
+}
+
+inline void Unpack4x2(uint8_t byte, uint8_t* values) {
+  values[0] = byte & 3u;
+  values[1] = (byte >> 2) & 3u;
+  values[2] = (byte >> 4) & 3u;
+  values[3] = (byte >> 6) & 3u;
+}
+
+inline uint8_t Pack2x4(const uint8_t* values) {
+  return static_cast<uint8_t>((values[0] & 0xfu) | ((values[1] & 0xfu) << 4));
+}
+
+inline void Unpack2x4(uint8_t byte, uint8_t* values) {
+  values[0] = byte & 0xfu;
+  values[1] = (byte >> 4) & 0xfu;
+}
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_COMMON_BITOPS_H_

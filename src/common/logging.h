@@ -1,0 +1,74 @@
+// Minimal leveled logging with compile-away debug logs and CHECK macros.
+#ifndef HIPRESS_SRC_COMMON_LOGGING_H_
+#define HIPRESS_SRC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hipress {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Global minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// One log statement. Streams into itself, emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is disabled.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace hipress
+
+#define HIPRESS_LOG_ENABLED(level) \
+  (::hipress::LogLevel::level >= ::hipress::GetLogLevel())
+
+#define LOG(level)                          \
+  !HIPRESS_LOG_ENABLED(k##level)            \
+      ? (void)0                             \
+      : ::hipress::LogMessageVoidify() &    \
+            ::hipress::LogMessage(::hipress::LogLevel::k##level, __FILE__, \
+                                  __LINE__)                                \
+                .stream()
+
+#define CHECK(condition)                                                  \
+  (condition) ? (void)0                                                   \
+              : ::hipress::LogMessageVoidify() &                          \
+                    ::hipress::LogMessage(::hipress::LogLevel::kFatal,    \
+                                          __FILE__, __LINE__)             \
+                            .stream()                                     \
+                        << "Check failed: " #condition " "
+
+#define CHECK_EQ(a, b) CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_NE(a, b) CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_LT(a, b) CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_LE(a, b) CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_GT(a, b) CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_GE(a, b) CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // HIPRESS_SRC_COMMON_LOGGING_H_

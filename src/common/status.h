@@ -1,0 +1,126 @@
+// Lightweight Status / StatusOr error handling, used across all HiPress
+// modules instead of exceptions. Mirrors the absl::Status surface closely
+// enough that call sites read familiarly, without the dependency.
+#ifndef HIPRESS_SRC_COMMON_STATUS_H_
+#define HIPRESS_SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace hipress {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+  kCancelled,
+};
+
+// Human-readable name for a status code, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Default constructed status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Returns "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status CancelledError(std::string message);
+
+// Value-or-error union. Accessing value() on a non-OK StatusOr aborts, so
+// callers must check ok() (or use the RETURN_IF_ERROR / ASSIGN_OR_RETURN
+// macros) first.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK StatusOr must carry a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define HIPRESS_CONCAT_IMPL(x, y) x##y
+#define HIPRESS_CONCAT(x, y) HIPRESS_CONCAT_IMPL(x, y)
+
+#define RETURN_IF_ERROR(expr)                 \
+  do {                                        \
+    ::hipress::Status _status = (expr);       \
+    if (!_status.ok()) {                      \
+      return _status;                         \
+    }                                         \
+  } while (false)
+
+#define ASSIGN_OR_RETURN(lhs, expr)                              \
+  auto HIPRESS_CONCAT(_status_or_, __LINE__) = (expr);           \
+  if (!HIPRESS_CONCAT(_status_or_, __LINE__).ok()) {             \
+    return HIPRESS_CONCAT(_status_or_, __LINE__).status();       \
+  }                                                              \
+  lhs = std::move(HIPRESS_CONCAT(_status_or_, __LINE__)).value()
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_COMMON_STATUS_H_

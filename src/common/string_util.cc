@@ -1,0 +1,83 @@
+#include "src/common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace hipress {
+
+std::vector<std::string> Split(const std::string& text, char delimiter) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (;;) {
+    const size_t pos = text.find(delimiter, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string Trim(const std::string& text) {
+  const char* whitespace = " \t\r\n";
+  const size_t begin = text.find_first_not_of(whitespace);
+  if (begin == std::string::npos) {
+    return "";
+  }
+  const size_t end = text.find_last_not_of(whitespace);
+  return text.substr(begin, end - begin + 1);
+}
+
+bool StartsWith(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int size = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string result;
+  if (size > 0) {
+    result.resize(static_cast<size_t>(size));
+    std::vsnprintf(result.data(), result.size() + 1, format, args_copy);
+  }
+  va_end(args_copy);
+  return result;
+}
+
+std::string Join(const std::vector<std::string>& items,
+                 const std::string& separator) {
+  std::string result;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) {
+      result += separator;
+    }
+    result += items[i];
+  }
+  return result;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  if (bytes >= 1024ull * 1024 * 1024) {
+    return StrFormat("%.1fGB", static_cast<double>(bytes) / (1024.0 * 1024 * 1024));
+  }
+  if (bytes >= 1024ull * 1024) {
+    return StrFormat("%.1fMB", static_cast<double>(bytes) / (1024.0 * 1024));
+  }
+  if (bytes >= 1024ull) {
+    return StrFormat("%.0fKB", static_cast<double>(bytes) / 1024.0);
+  }
+  return StrFormat("%lluB", static_cast<unsigned long long>(bytes));
+}
+
+}  // namespace hipress

@@ -1,0 +1,32 @@
+// Small string helpers used by CompLL's parser and by report formatting.
+#ifndef HIPRESS_SRC_COMMON_STRING_UTIL_H_
+#define HIPRESS_SRC_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace hipress {
+
+// Splits `text` on `delimiter`, keeping empty fields.
+std::vector<std::string> Split(const std::string& text, char delimiter);
+
+// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& text);
+
+bool StartsWith(const std::string& text, const std::string& prefix);
+bool EndsWith(const std::string& text, const std::string& suffix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Joins items with a separator.
+std::string Join(const std::vector<std::string>& items,
+                 const std::string& separator);
+
+// Formats a byte count with a human unit, e.g. "392.0MB", "64KB".
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_COMMON_STRING_UTIL_H_

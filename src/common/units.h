@@ -1,0 +1,66 @@
+// Time, size and bandwidth units shared by the simulator and cost models.
+// Simulated time is int64 nanoseconds to keep event ordering exact.
+#ifndef HIPRESS_SRC_COMMON_UNITS_H_
+#define HIPRESS_SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace hipress {
+
+// Simulated time in nanoseconds.
+using SimTime = int64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / kSecond; }
+constexpr double ToMillis(SimTime t) {
+  return static_cast<double>(t) / kMillisecond;
+}
+constexpr SimTime FromSeconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+constexpr SimTime FromMillis(double ms) {
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+}
+constexpr SimTime FromMicros(double us) {
+  return static_cast<SimTime>(us * static_cast<double>(kMicrosecond));
+}
+
+constexpr uint64_t kKiB = 1024;
+constexpr uint64_t kMiB = 1024 * kKiB;
+constexpr uint64_t kGiB = 1024 * kMiB;
+
+constexpr double ToMiB(uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kMiB);
+}
+
+// Bandwidth in bits per second. Networks are quoted in Gbps (SI).
+struct Bandwidth {
+  double bits_per_second = 0.0;
+
+  static constexpr Bandwidth Gbps(double gbps) {
+    return Bandwidth{gbps * 1e9};
+  }
+  static constexpr Bandwidth GBps(double gigabytes_per_second) {
+    return Bandwidth{gigabytes_per_second * 8e9};
+  }
+
+  constexpr double bytes_per_second() const { return bits_per_second / 8.0; }
+
+  // Time to move `bytes` at this bandwidth (no latency term).
+  constexpr SimTime TransferTime(uint64_t bytes) const {
+    if (bits_per_second <= 0.0) {
+      return 0;
+    }
+    return static_cast<SimTime>(static_cast<double>(bytes) /
+                                bytes_per_second() *
+                                static_cast<double>(kSecond));
+  }
+};
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_COMMON_UNITS_H_

@@ -1,0 +1,409 @@
+#include "src/compll/analyzer.h"
+
+#include <map>
+
+#include "src/common/string_util.h"
+#include "src/compll/operators.h"
+
+namespace hipress::compll {
+namespace {
+
+const std::set<std::string>& StandardExtensions() {
+  static const std::set<std::string>* extensions =
+      new std::set<std::string>{"scatter", "stride", "gather"};
+  return *extensions;
+}
+
+bool IsMathBuiltin(const std::string& name) {
+  return name == "floor" || name == "ceil" || name == "abs" ||
+         name == "sqrt" || name == "min" || name == "max";
+}
+
+class Analyzer {
+ public:
+  Analyzer(const Program& program, const std::set<std::string>& extensions)
+      : program_(program), extensions_(extensions) {}
+
+  std::vector<Diagnostic> Run() {
+    CheckTopLevel();
+    for (const FunctionDecl& fn : program_.functions) {
+      CheckFunction(fn);
+    }
+    return std::move(diagnostics_);
+  }
+
+ private:
+  void Report(int line, std::string message) {
+    diagnostics_.push_back(Diagnostic{line, std::move(message)});
+  }
+
+  // ------------------------------------------------------------ top level
+
+  void CheckTopLevel() {
+    std::set<std::string> names;
+    for (const ParamBlock& block : program_.param_blocks) {
+      if (!names.insert(block.name).second) {
+        Report(0, "duplicate param block '" + block.name + "'");
+      }
+      std::set<std::string> fields;
+      for (const Field& field : block.fields) {
+        if (!fields.insert(field.name).second) {
+          Report(0, "duplicate field '" + field.name + "' in param block '" +
+                        block.name + "'");
+        }
+      }
+    }
+    for (const GlobalDecl& decl : program_.globals) {
+      for (const std::string& name : decl.names) {
+        if (!globals_.insert(name).second) {
+          Report(0, "duplicate global '" + name + "'");
+        }
+      }
+    }
+    std::set<std::string> functions;
+    for (const FunctionDecl& fn : program_.functions) {
+      if (!functions.insert(fn.name).second) {
+        Report(0, "duplicate function '" + fn.name + "'");
+      }
+    }
+    CheckEntrySignature("encode", ScalarType::kFloat, ScalarType::kUint8);
+    CheckEntrySignature("decode", ScalarType::kUint8, ScalarType::kFloat);
+  }
+
+  void CheckEntrySignature(const std::string& name, ScalarType input,
+                           ScalarType output) {
+    const FunctionDecl* fn = program_.FindFunction(name);
+    if (fn == nullptr) {
+      return;  // a library of udfs alone is legal
+    }
+    if (fn->params.size() < 2 || fn->params.size() > 3) {
+      Report(0, name + " must take (input*, output*[, params])");
+      return;
+    }
+    if (!fn->params[0].type.is_array || fn->params[0].type.scalar != input) {
+      Report(0, name + "'s first parameter must be " +
+                    TypeName(Type{input, true, {}}));
+    }
+    if (!fn->params[1].type.is_array || fn->params[1].type.scalar != output) {
+      Report(0, name + "'s second parameter must be " +
+                    TypeName(Type{output, true, {}}));
+    }
+    if (fn->params.size() == 3 &&
+        fn->params[2].type.scalar != ScalarType::kParamStruct) {
+      Report(0, name + "'s third parameter must be a param struct");
+    }
+    if (fn->return_type.scalar != ScalarType::kVoid) {
+      Report(0, name + " must return void");
+    }
+  }
+
+  // ------------------------------------------------------------ functions
+
+  void CheckFunction(const FunctionDecl& fn) {
+    scope_.clear();
+    param_structs_.clear();
+    for (const Field& param : fn.params) {
+      scope_.insert(param.name);
+      if (param.type.scalar == ScalarType::kParamStruct) {
+        param_structs_[param.name] = param.type.struct_name;
+      }
+    }
+    CheckBlock(fn.body);
+
+    const bool needs_return = fn.return_type.scalar != ScalarType::kVoid &&
+                              fn.name != "encode" && fn.name != "decode";
+    if (needs_return &&
+        (fn.body.empty() ||
+         !AlwaysReturns(*fn.body.back()))) {
+      Report(fn.body.empty() ? 0 : fn.body.back()->line,
+             "function '" + fn.name + "' may fall off the end without "
+             "returning a value");
+    }
+  }
+
+  static bool AlwaysReturns(const Stmt& stmt) {
+    if (stmt.kind == StmtKind::kReturn) {
+      return true;
+    }
+    if (stmt.kind == StmtKind::kIf) {
+      const auto& if_stmt = static_cast<const IfStmt&>(stmt);
+      return !if_stmt.then_body.empty() && !if_stmt.else_body.empty() &&
+             AlwaysReturns(*if_stmt.then_body.back()) &&
+             AlwaysReturns(*if_stmt.else_body.back());
+    }
+    return false;
+  }
+
+  void CheckBlock(const std::vector<StmtPtr>& body) {
+    for (const StmtPtr& stmt : body) {
+      CheckStmt(*stmt);
+    }
+  }
+
+  void CheckStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kDecl: {
+        const auto& decl = static_cast<const DeclStmt&>(stmt);
+        if (decl.init != nullptr) {
+          CheckExpr(*decl.init);
+        }
+        scope_.insert(decl.name);
+        return;
+      }
+      case StmtKind::kAssign: {
+        const auto& assign = static_cast<const AssignStmt&>(stmt);
+        CheckExpr(*assign.value);
+        if (assign.target->kind == ExprKind::kVar) {
+          const auto& var = static_cast<const VarExpr&>(*assign.target);
+          if (!IsKnownVariable(var.name)) {
+            Report(stmt.line,
+                   "assignment to undefined variable '" + var.name + "'");
+          }
+        } else {
+          CheckExpr(*assign.target);
+        }
+        return;
+      }
+      case StmtKind::kReturn: {
+        const auto& ret = static_cast<const ReturnStmt&>(stmt);
+        if (ret.value != nullptr) {
+          CheckExpr(*ret.value);
+        }
+        return;
+      }
+      case StmtKind::kExpr:
+        CheckExpr(*static_cast<const ExprStmt&>(stmt).expr);
+        return;
+      case StmtKind::kIf: {
+        const auto& if_stmt = static_cast<const IfStmt&>(stmt);
+        CheckExpr(*if_stmt.condition);
+        CheckBlock(if_stmt.then_body);
+        CheckBlock(if_stmt.else_body);
+        return;
+      }
+    }
+  }
+
+  bool IsKnownVariable(const std::string& name) const {
+    return scope_.count(name) > 0 || globals_.count(name) > 0;
+  }
+
+  // udf names passed as bare identifiers to operators are function refs,
+  // not variable reads.
+  void CheckUdfRef(const Expr& expr, int want_params, const char* context) {
+    if (expr.kind != ExprKind::kVar) {
+      Report(expr.line, std::string(context) + " requires a function name");
+      return;
+    }
+    const std::string& name = static_cast<const VarExpr&>(expr).name;
+    if (want_params == 2 && ParseBuiltinUdf(name).ok()) {
+      return;  // builtin combiner
+    }
+    const FunctionDecl* fn = program_.FindFunction(name);
+    if (fn == nullptr) {
+      Report(expr.line, std::string(context) + ": no function named '" +
+                            name + "'");
+      return;
+    }
+    if (static_cast<int>(fn->params.size()) != want_params) {
+      Report(expr.line,
+             StrFormat("%s: '%s' must take %d parameter(s), takes %zu",
+                       context, name.c_str(), want_params,
+                       fn->params.size()));
+    }
+  }
+
+  void CheckExpr(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kNumber:
+        return;
+      case ExprKind::kVar: {
+        const auto& var = static_cast<const VarExpr&>(expr);
+        if (!IsKnownVariable(var.name) &&
+            program_.FindFunction(var.name) == nullptr) {
+          Report(expr.line, "undefined variable '" + var.name + "'");
+        }
+        return;
+      }
+      case ExprKind::kUnary:
+        CheckExpr(*static_cast<const UnaryExpr&>(expr).operand);
+        return;
+      case ExprKind::kBinary: {
+        const auto& binary = static_cast<const BinaryExpr&>(expr);
+        CheckExpr(*binary.lhs);
+        CheckExpr(*binary.rhs);
+        return;
+      }
+      case ExprKind::kMember: {
+        const auto& member = static_cast<const MemberExpr&>(expr);
+        if (member.member == "size") {
+          CheckExpr(*member.object);
+          return;
+        }
+        if (member.object->kind == ExprKind::kVar) {
+          const auto& var = static_cast<const VarExpr&>(*member.object);
+          auto it = param_structs_.find(var.name);
+          if (it != param_structs_.end()) {
+            const ParamBlock* block = program_.FindParamBlock(it->second);
+            bool found = false;
+            if (block != nullptr) {
+              for (const Field& field : block->fields) {
+                found = found || field.name == member.member;
+              }
+            }
+            if (!found) {
+              Report(expr.line, "param block '" + it->second +
+                                    "' has no field '" + member.member + "'");
+            }
+            return;
+          }
+        }
+        Report(expr.line,
+               "unsupported member access '." + member.member + "'");
+        return;
+      }
+      case ExprKind::kIndex: {
+        const auto& index = static_cast<const IndexExpr&>(expr);
+        CheckExpr(*index.object);
+        CheckExpr(*index.index);
+        return;
+      }
+      case ExprKind::kCall:
+        CheckCall(static_cast<const CallExpr&>(expr));
+        return;
+    }
+  }
+
+  void CheckCall(const CallExpr& call) {
+    const std::string& name = call.callee;
+    auto check_args = [&](size_t from = 0) {
+      for (size_t i = from; i < call.args.size(); ++i) {
+        CheckExpr(*call.args[i]);
+      }
+    };
+
+    if (name == "map" || name == "filter" || name == "findex") {
+      if (call.args.size() != 2) {
+        Report(call.line, name + "(G, udf) takes 2 arguments");
+        check_args();
+        return;
+      }
+      CheckExpr(*call.args[0]);
+      CheckUdfRef(*call.args[1], 1, name.c_str());
+      return;
+    }
+    if (name == "reduce") {
+      if (call.args.size() != 2) {
+        Report(call.line, "reduce(G, udf) takes 2 arguments");
+        check_args();
+        return;
+      }
+      CheckExpr(*call.args[0]);
+      CheckUdfRef(*call.args[1], 2, "reduce");
+      return;
+    }
+    if (name == "sort") {
+      if (call.args.size() != 2 || call.args[1]->kind != ExprKind::kVar) {
+        Report(call.line, "sort(G, order) takes an array and an order");
+        check_args();
+        return;
+      }
+      CheckExpr(*call.args[0]);
+      const std::string& order =
+          static_cast<const VarExpr&>(*call.args[1]).name;
+      auto builtin = ParseBuiltinUdf(order);
+      if (!builtin.ok() || (builtin.value() != BuiltinUdf::kSmaller &&
+                            builtin.value() != BuiltinUdf::kGreater)) {
+        Report(call.line, "sort order must be 'smaller' or 'greater'");
+      }
+      return;
+    }
+    if (name == "random") {
+      if (!call.type_arg.has_value()) {
+        Report(call.line, "random requires a type argument: random<float>");
+      }
+      if (call.args.size() != 2) {
+        Report(call.line, "random(a, b) takes 2 arguments");
+      }
+      check_args();
+      return;
+    }
+    if (name == "concat") {
+      if (call.args.empty()) {
+        Report(call.line, "concat needs at least one argument");
+      }
+      check_args();
+      return;
+    }
+    if (name == "extract") {
+      if (!call.type_arg.has_value()) {
+        Report(call.line, "extract requires a type argument: extract<T>");
+      }
+      if (call.args.empty() || call.args.size() > 2) {
+        Report(call.line, "extract<T>(buffer[, count])");
+      }
+      if (call.args.size() == 2 && call.type_arg.has_value() &&
+          !call.type_arg->is_array) {
+        Report(call.line, "extract count only applies to array types");
+      }
+      check_args();
+      return;
+    }
+    if (IsMathBuiltin(name)) {
+      const size_t expected = (name == "min" || name == "max") ? 2 : 1;
+      if (call.args.size() != expected) {
+        Report(call.line, StrFormat("%s takes %zu argument(s)", name.c_str(),
+                                    expected));
+      }
+      check_args();
+      return;
+    }
+    if (StandardExtensions().count(name) > 0 || extensions_.count(name) > 0) {
+      check_args();
+      return;
+    }
+    if (const FunctionDecl* fn = program_.FindFunction(name)) {
+      if (fn->params.size() != call.args.size()) {
+        Report(call.line,
+               StrFormat("'%s' takes %zu argument(s), given %zu",
+                         name.c_str(), fn->params.size(), call.args.size()));
+      }
+      check_args();
+      return;
+    }
+    Report(call.line, "unknown function '" + name + "'");
+  }
+
+  const Program& program_;
+  const std::set<std::string>& extensions_;
+  std::vector<Diagnostic> diagnostics_;
+  std::set<std::string> globals_;
+  std::set<std::string> scope_;
+  std::map<std::string, std::string> param_structs_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> AnalyzeProgram(
+    const Program& program, const std::set<std::string>& extension_operators) {
+  Analyzer analyzer(program, extension_operators);
+  return analyzer.Run();
+}
+
+Status ValidateProgram(const Program& program,
+                       const std::set<std::string>& extension_operators) {
+  const auto diagnostics = AnalyzeProgram(program, extension_operators);
+  if (diagnostics.empty()) {
+    return OkStatus();
+  }
+  std::vector<std::string> messages;
+  messages.reserve(diagnostics.size());
+  for (const Diagnostic& diagnostic : diagnostics) {
+    messages.push_back(StrFormat("line %d: %s", diagnostic.line,
+                                 diagnostic.message.c_str()));
+  }
+  return InvalidArgumentError("DSL validation failed: " +
+                              Join(messages, "; "));
+}
+
+}  // namespace hipress::compll

@@ -1,0 +1,50 @@
+// CompLL semantic analyzer.
+//
+// Static validation of a parsed DSL program, run before interpretation or
+// code generation so authors get every diagnostic at once (the paper's
+// workflow: the toolkit rejects malformed algorithms at development time,
+// not inside a training job). Checks:
+//
+//   * unique function / param-block / global names;
+//   * variables defined before use; assignment targets exist;
+//   * calls resolve to user functions, Table 4 operators, math builtins, or
+//     registered extension operators — with correct arity;
+//   * udf arguments of map/filter/findex name 1-argument functions, reduce
+//     accepts builtin combiners or 2-argument functions, sort orders are
+//     builtin;
+//   * random<>/extract<> carry their type arguments;
+//   * member access is `.size` or a field of a param-struct parameter;
+//   * entry points have the unified API shape (Figure 4): encode(float*,
+//     uint8*[, Params]) and decode(uint8*, float*[, Params]);
+//   * non-void functions return on their final statement path.
+#ifndef HIPRESS_SRC_COMPLL_ANALYZER_H_
+#define HIPRESS_SRC_COMPLL_ANALYZER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/compll/ast.h"
+
+namespace hipress::compll {
+
+struct Diagnostic {
+  int line = 0;
+  std::string message;
+};
+
+// Returns every problem found (empty = program is well-formed).
+// `extension_operators` lists extra registered operator names (scatter,
+// stride, gather are always accepted as the standard extensions).
+std::vector<Diagnostic> AnalyzeProgram(
+    const Program& program,
+    const std::set<std::string>& extension_operators = {});
+
+// Convenience: InvalidArgument with all diagnostics joined, or OK.
+Status ValidateProgram(const Program& program,
+                       const std::set<std::string>& extension_operators = {});
+
+}  // namespace hipress::compll
+
+#endif  // HIPRESS_SRC_COMPLL_ANALYZER_H_

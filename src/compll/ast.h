@@ -1,0 +1,210 @@
+// CompLL DSL abstract syntax tree.
+#ifndef HIPRESS_SRC_COMPLL_AST_H_
+#define HIPRESS_SRC_COMPLL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/compll/lexer.h"
+#include "src/compll/types.h"
+
+namespace hipress::compll {
+
+// ------------------------------------------------------------ expressions --
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kNumber,
+  kVar,
+  kBinary,
+  kUnary,
+  kCall,
+  kMember,
+  kIndex,
+};
+
+struct Expr {
+  explicit Expr(ExprKind kind, int line) : kind(kind), line(line) {}
+  virtual ~Expr() = default;
+  ExprKind kind;
+  int line;
+};
+
+struct NumberExpr : Expr {
+  NumberExpr(double value, bool is_float, int line)
+      : Expr(ExprKind::kNumber, line), value(value), is_float(is_float) {}
+  double value;
+  bool is_float;
+};
+
+struct VarExpr : Expr {
+  VarExpr(std::string name, int line)
+      : Expr(ExprKind::kVar, line), name(std::move(name)) {}
+  std::string name;
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr(TokenKind op, ExprPtr lhs, ExprPtr rhs, int line)
+      : Expr(ExprKind::kBinary, line),
+        op(op),
+        lhs(std::move(lhs)),
+        rhs(std::move(rhs)) {}
+  TokenKind op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct UnaryExpr : Expr {
+  UnaryExpr(TokenKind op, ExprPtr operand, int line)
+      : Expr(ExprKind::kUnary, line), op(op), operand(std::move(operand)) {}
+  TokenKind op;
+  ExprPtr operand;
+};
+
+// Calls cover both common operators (map, reduce, concat, extract, ...) and
+// user-defined functions. `type_arg` holds the angle-bracket argument in
+// forms like random<float>(0, 1) or extract<float>(buffer).
+struct CallExpr : Expr {
+  CallExpr(std::string callee, int line)
+      : Expr(ExprKind::kCall, line), callee(std::move(callee)) {}
+  std::string callee;
+  std::optional<Type> type_arg;
+  std::vector<ExprPtr> args;
+};
+
+// `object.member`, e.g. gradient.size or params.bitwidth.
+struct MemberExpr : Expr {
+  MemberExpr(ExprPtr object, std::string member, int line)
+      : Expr(ExprKind::kMember, line),
+        object(std::move(object)),
+        member(std::move(member)) {}
+  ExprPtr object;
+  std::string member;
+};
+
+struct IndexExpr : Expr {
+  IndexExpr(ExprPtr object, ExprPtr index, int line)
+      : Expr(ExprKind::kIndex, line),
+        object(std::move(object)),
+        index(std::move(index)) {}
+  ExprPtr object;
+  ExprPtr index;
+};
+
+// ------------------------------------------------------------- statements --
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind {
+  kDecl,
+  kAssign,
+  kReturn,
+  kExpr,
+  kIf,
+};
+
+struct Stmt {
+  explicit Stmt(StmtKind kind, int line) : kind(kind), line(line) {}
+  virtual ~Stmt() = default;
+  StmtKind kind;
+  int line;
+};
+
+struct DeclStmt : Stmt {
+  DeclStmt(Type type, std::string name, ExprPtr init, int line)
+      : Stmt(StmtKind::kDecl, line),
+        type(type),
+        name(std::move(name)),
+        init(std::move(init)) {}
+  Type type;
+  std::string name;
+  ExprPtr init;  // may be null
+};
+
+struct AssignStmt : Stmt {
+  AssignStmt(ExprPtr target, ExprPtr value, int line)
+      : Stmt(StmtKind::kAssign, line),
+        target(std::move(target)),
+        value(std::move(value)) {}
+  ExprPtr target;  // VarExpr or IndexExpr
+  ExprPtr value;
+};
+
+struct ReturnStmt : Stmt {
+  ReturnStmt(ExprPtr value, int line)
+      : Stmt(StmtKind::kReturn, line), value(std::move(value)) {}
+  ExprPtr value;  // may be null for bare return
+};
+
+struct ExprStmt : Stmt {
+  ExprStmt(ExprPtr expr, int line)
+      : Stmt(StmtKind::kExpr, line), expr(std::move(expr)) {}
+  ExprPtr expr;
+};
+
+struct IfStmt : Stmt {
+  IfStmt(ExprPtr condition, int line)
+      : Stmt(StmtKind::kIf, line), condition(std::move(condition)) {}
+  ExprPtr condition;
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;
+};
+
+// ------------------------------------------------------------ top level ----
+
+struct Field {
+  Type type;
+  std::string name;
+};
+
+// `param Name { ... }` block (algorithm parameters, Figure 5 lines 1-3).
+struct ParamBlock {
+  std::string name;
+  std::vector<Field> fields;
+};
+
+// File-scope variable declarations (Figure 5 line 4).
+struct GlobalDecl {
+  Type type;
+  std::vector<std::string> names;
+};
+
+struct FunctionDecl {
+  Type return_type;
+  std::string name;
+  std::vector<Field> params;
+  std::vector<StmtPtr> body;
+};
+
+struct Program {
+  std::vector<ParamBlock> param_blocks;
+  std::vector<GlobalDecl> globals;
+  std::vector<FunctionDecl> functions;
+
+  const FunctionDecl* FindFunction(const std::string& name) const {
+    for (const auto& fn : functions) {
+      if (fn.name == name) {
+        return &fn;
+      }
+    }
+    return nullptr;
+  }
+
+  const ParamBlock* FindParamBlock(const std::string& name) const {
+    for (const auto& block : param_blocks) {
+      if (block.name == name) {
+        return &block;
+      }
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace hipress::compll
+
+#endif  // HIPRESS_SRC_COMPLL_AST_H_

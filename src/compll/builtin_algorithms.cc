@@ -1,0 +1,257 @@
+#include "src/compll/builtin_algorithms.h"
+
+#include "src/common/string_util.h"
+
+namespace hipress::compll {
+namespace {
+
+// ---------------------------------------------------------------- onebit --
+
+constexpr const char* kOnebitDsl = R"DSL(
+// onebit: 1-bit quantization, reconstructing with signed means.
+float posMean, negMean;
+
+float relu(float elem) {
+  if (elem >= 0) { return elem; }
+  return 0;
+}
+
+float reluNeg(float elem) {
+  if (elem < 0) { return elem; }
+  return 0;
+}
+
+float isPos(float elem) {
+  if (elem >= 0) { return 1; }
+  return 0;
+}
+
+uint1 signBit(float elem) {
+  if (elem >= 0) { return 1; }
+  return 0;
+}
+
+float bitToFloat(uint1 s) {
+  if (s > 0) { return posMean; }
+  return negMean;
+}
+
+void encode(float* gradient, uint8* compressed) {
+  float posSum = reduce(map(gradient, relu), sum);
+  float posCnt = reduce(map(gradient, isPos), sum);
+  float negSum = reduce(map(gradient, reluNeg), sum);
+  float negCnt = gradient.size - posCnt;
+  posMean = 0;
+  negMean = 0;
+  if (posCnt > 0) { posMean = posSum / posCnt; }
+  if (negCnt > 0) { negMean = negSum / negCnt; }
+  uint1* S = map(gradient, signBit);
+  compressed = concat(negMean, posMean, S);
+}
+
+void decode(uint8* compressed, float* gradient) {
+  negMean = extract<float>(compressed);
+  posMean = extract<float>(compressed);
+  uint1* S = extract<uint1*>(compressed);
+  gradient = map(S, bitToFloat);
+}
+)DSL";
+
+// ------------------------------------------------------------------- tbq --
+
+constexpr const char* kTbqDsl = R"DSL(
+// TBQ: threshold binary quantization to {0, +tau, -tau}.
+param EncodeParams {
+  float threshold;
+}
+param DecodeParams {
+  float threshold;
+}
+float tau;
+
+uint2 quantize(float elem) {
+  if (elem > tau) { return 1; }
+  if (elem < -tau) { return 2; }
+  return 0;
+}
+
+float dequantize(uint2 q) {
+  if (q == 1) { return tau; }
+  if (q == 2) { return -tau; }
+  return 0;
+}
+
+void encode(float* gradient, uint8* compressed, EncodeParams params) {
+  tau = params.threshold;
+  uint2* Q = map(gradient, quantize);
+  compressed = concat(tau, Q);
+}
+
+void decode(uint8* compressed, float* gradient, DecodeParams params) {
+  tau = extract<float>(compressed);
+  uint2* Q = extract<uint2*>(compressed);
+  gradient = map(Q, dequantize);
+}
+)DSL";
+
+// -------------------------------------------------------------- terngrad --
+
+// Encode follows the paper's Figure 5 line by line (bitwidth = 2).
+constexpr const char* kTernGradDsl = R"DSL(
+// TernGrad: stochastic min/max quantization (Figure 5 of the paper).
+param EncodeParams {
+  uint8 bitwidth;
+}
+param DecodeParams {
+  uint8 bitwidth;
+}
+float min, max, gap;
+
+uint2 floatToUint(float elem) {
+  float r = (elem - min) / gap;
+  return floor(r + random<float>(0, 1));
+}
+
+float uintToFloat(uint2 q) {
+  return min + q * gap;
+}
+
+void encode(float* gradient, uint8* compressed, EncodeParams params) {
+  min = reduce(gradient, smaller);
+  max = reduce(gradient, greater);
+  gap = (max - min) / ((1 << params.bitwidth) - 1);
+  uint8 tail = gradient.size % (1 << params.bitwidth);
+  uint2* Q = map(gradient, floatToUint);
+  compressed = concat(params.bitwidth, tail, min, max, Q);
+}
+
+void decode(uint8* compressed, float* gradient, DecodeParams params) {
+  uint8 bitwidth = extract<uint8>(compressed);
+  uint8 tail = extract<uint8>(compressed);
+  min = extract<float>(compressed);
+  max = extract<float>(compressed);
+  gap = (max - min) / ((1 << bitwidth) - 1);
+  uint2* Q = extract<uint2*>(compressed);
+  gradient = map(Q, uintToFloat);
+}
+)DSL";
+
+// ------------------------------------------------------------------- dgc --
+
+constexpr const char* kDgcDsl = R"DSL(
+// DGC: top-k sparsification; threshold from exact selection over
+// magnitudes, payload as (indices, values).
+param EncodeParams {
+  float ratio;
+}
+param DecodeParams {
+  float ratio;
+}
+float threshold;
+
+float magnitude(float elem) {
+  return abs(elem);
+}
+
+uint1 aboveThreshold(float elem) {
+  if (abs(elem) >= threshold) { return 1; }
+  return 0;
+}
+
+void encode(float* gradient, uint8* compressed, EncodeParams params) {
+  float* mags = map(gradient, magnitude);
+  float* sorted = sort(mags, greater);
+  int32 k = max(1, ceil(gradient.size * params.ratio));
+  threshold = sorted[k - 1];
+  int32* idx = findex(gradient, aboveThreshold);
+  float* vals = filter(gradient, aboveThreshold);
+  compressed = concat(gradient.size, idx.size, idx, vals);
+}
+
+void decode(uint8* compressed, float* gradient, DecodeParams params) {
+  int32 n = extract<int32>(compressed);
+  int32 k = extract<int32>(compressed);
+  int32* idx = extract<int32*>(compressed, k);
+  float* vals = extract<float*>(compressed, k);
+  gradient = scatter(idx, vals, n);
+}
+)DSL";
+
+// -------------------------------------------------------------- graddrop --
+
+constexpr const char* kGradDropDsl = R"DSL(
+// GradDrop: drop below a sampled-quantile threshold; the 1-in-100 strided
+// sample keeps threshold estimation O(n/100 log n).
+param EncodeParams {
+  float ratio;
+}
+param DecodeParams {
+  float ratio;
+}
+float threshold;
+
+float magnitude(float elem) {
+  return abs(elem);
+}
+
+uint1 keep(float elem) {
+  if (abs(elem) >= threshold) { return 1; }
+  return 0;
+}
+
+void encode(float* gradient, uint8* compressed, EncodeParams params) {
+  float* mags = map(gradient, magnitude);
+  float* sample = stride(mags, 100);
+  float* sorted = sort(sample, greater);
+  int32 k = max(1, ceil(sorted.size * params.ratio));
+  threshold = sorted[k - 1];
+  int32* idx = findex(gradient, keep);
+  float* vals = gather(gradient, idx);
+  compressed = concat(gradient.size, idx.size, idx, vals);
+}
+
+void decode(uint8* compressed, float* gradient, DecodeParams params) {
+  int32 n = extract<int32>(compressed);
+  int32 k = extract<int32>(compressed);
+  int32* idx = extract<int32*>(compressed, k);
+  float* vals = extract<float*>(compressed, k);
+  gradient = scatter(idx, vals, n);
+}
+)DSL";
+
+}  // namespace
+
+const std::vector<DslAlgorithm>& BuiltinDslAlgorithms() {
+  static const std::vector<DslAlgorithm>* algorithms =
+      new std::vector<DslAlgorithm>{
+          {"dsl-onebit", "onebit", kOnebitDsl, false},
+          {"dsl-tbq", "tbq", kTbqDsl, false},
+          {"dsl-terngrad", "terngrad", kTernGradDsl, false},
+          {"dsl-dgc", "dgc", kDgcDsl, true},
+          {"dsl-graddrop", "graddrop", kGradDropDsl, true},
+      };
+  return *algorithms;
+}
+
+const DslAlgorithm* FindDslAlgorithm(const std::string& algorithm) {
+  for (const DslAlgorithm& entry : BuiltinDslAlgorithms()) {
+    if (entry.algorithm == algorithm || entry.name == algorithm) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+int CountDslLines(const char* source) {
+  int lines = 0;
+  for (const std::string& raw : Split(source, '\n')) {
+    const std::string line = Trim(raw);
+    if (line.empty() || StartsWith(line, "//")) {
+      continue;
+    }
+    ++lines;
+  }
+  return lines;
+}
+
+}  // namespace hipress::compll

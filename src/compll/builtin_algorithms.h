@@ -1,0 +1,34 @@
+// The five state-of-the-art compression algorithms expressed in CompLL's
+// DSL (Section 4.4, Table 5). TernGrad's encode follows the paper's Figure 5
+// listing. The sparsification programs additionally use the registered
+// extension operators findex/scatter/stride/gather on top of the Table 4
+// built-ins, exercising the toolkit's extensibility path.
+#ifndef HIPRESS_SRC_COMPLL_BUILTIN_ALGORITHMS_H_
+#define HIPRESS_SRC_COMPLL_BUILTIN_ALGORITHMS_H_
+
+#include <string>
+#include <vector>
+
+namespace hipress::compll {
+
+struct DslAlgorithm {
+  std::string name;     // registry name, e.g. "dsl-terngrad"
+  std::string algorithm;  // base algorithm, e.g. "terngrad"
+  const char* source;   // DSL program text
+  bool is_sparse;
+};
+
+// All built-in DSL programs.
+const std::vector<DslAlgorithm>& BuiltinDslAlgorithms();
+
+// Lookup by base algorithm name ("onebit", "tbq", "terngrad", "dgc",
+// "graddrop"); nullptr if unknown.
+const DslAlgorithm* FindDslAlgorithm(const std::string& algorithm);
+
+// Lines of code of a DSL program, counting non-empty, non-comment lines —
+// the metric Table 5 reports.
+int CountDslLines(const char* source);
+
+}  // namespace hipress::compll
+
+#endif  // HIPRESS_SRC_COMPLL_BUILTIN_ALGORITHMS_H_

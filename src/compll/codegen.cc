@@ -1,0 +1,1049 @@
+#include "src/compll/codegen.h"
+
+#include <map>
+#include <sstream>
+
+#include "src/common/string_util.h"
+#include "src/compll/operators.h"
+#include "src/compll/parser.h"
+
+namespace hipress::compll {
+namespace {
+
+// The fixed runtime preamble embedded in every generated unit: the common
+// operator library lowered to host C++ (CUDA kernels in the paper's
+// backend). Kept dependency-free so generated files compile standalone.
+constexpr const char* kRuntimePreamble = R"CPP(
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+namespace {
+
+using Array = std::vector<double>;
+using Bytes = std::vector<uint8_t>;
+
+inline double __coerce_float(double v) {
+  return static_cast<double>(static_cast<float>(v));
+}
+inline double __coerce_int32(double v) {
+  return static_cast<double>(static_cast<int32_t>(v));
+}
+inline double __coerce_uint(double v, unsigned bits) {
+  const uint64_t mask = (1ull << bits) - 1;
+  return static_cast<double>(
+      static_cast<uint64_t>(static_cast<int64_t>(v)) & mask);
+}
+
+// Deterministic per-element uniform in [0,1): counter-based, so results do
+// not depend on execution order (the GPU backend keys this on thread id).
+inline double __random01(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + index * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 40) * 0x1.0p-24;
+}
+inline double __random(double a, double b, uint64_t seed, uint64_t index) {
+  return a + (b - a) * __random01(seed, index);
+}
+
+template <typename F>
+Array __map(const Array& input, F udf) {
+  Array output(input.size());
+  for (size_t i = 0; i < input.size(); ++i) {
+    output[i] = udf(input[i], i);
+  }
+  return output;
+}
+
+template <typename F>
+Array __filter(const Array& input, F pred) {
+  Array output;
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (pred(input[i], i) != 0.0) {
+      output.push_back(input[i]);
+    }
+  }
+  return output;
+}
+
+template <typename F>
+Array __findex(const Array& input, F pred) {
+  Array output;
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (pred(input[i], i) != 0.0) {
+      output.push_back(static_cast<double>(i));
+    }
+  }
+  return output;
+}
+
+inline Array __sort_asc(Array input) {
+  std::sort(input.begin(), input.end());
+  return input;
+}
+inline Array __sort_desc(Array input) {
+  std::sort(input.begin(), input.end(), std::greater<double>());
+  return input;
+}
+
+inline double __reduce_min(const Array& input) {
+  double r = input.empty() ? 0.0 : input[0];
+  for (double v : input) r = std::min(r, v);
+  return r;
+}
+inline double __reduce_max(const Array& input) {
+  double r = input.empty() ? 0.0 : input[0];
+  for (double v : input) r = std::max(r, v);
+  return r;
+}
+inline double __reduce_sum(const Array& input) {
+  double r = 0.0;
+  for (double v : input) r += v;
+  return r;
+}
+inline double __reduce_maxabs(const Array& input) {
+  double r = 0.0;
+  for (double v : input) r = std::max(r, std::abs(v));
+  return r;
+}
+
+inline Array __stride(const Array& input, double step_value) {
+  const size_t step = step_value < 1.0 ? 1 : static_cast<size_t>(step_value);
+  Array output;
+  for (size_t i = 0; i < input.size(); i += step) {
+    output.push_back(input[i]);
+  }
+  return output;
+}
+
+inline Array __gather(const Array& input, const Array& indices) {
+  Array output(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    output[i] = input[static_cast<size_t>(indices[i])];
+  }
+  return output;
+}
+
+inline Array __scatter(const Array& indices, const Array& values, double n) {
+  Array output(static_cast<size_t>(n), 0.0);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    output[static_cast<size_t>(indices[i])] = values[i];
+  }
+  return output;
+}
+
+// concat: append primitives with the minimal-zero-padding packing rule.
+inline void __append_f32(Bytes& buffer, double v) {
+  const float f = static_cast<float>(v);
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&f);
+  buffer.insert(buffer.end(), p, p + sizeof(f));
+}
+inline void __append_i32(Bytes& buffer, double v) {
+  const int32_t i = static_cast<int32_t>(v);
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&i);
+  buffer.insert(buffer.end(), p, p + sizeof(i));
+}
+inline void __append_byte(Bytes& buffer, double v) {
+  buffer.push_back(static_cast<uint8_t>(__coerce_uint(v, 8)));
+}
+inline void __write_bits(uint8_t* buffer, size_t bit_pos, unsigned bits,
+                         uint32_t value) {
+  for (unsigned i = 0; i < bits; ++i) {
+    const size_t pos = bit_pos + i;
+    if ((value >> i) & 1u) {
+      buffer[pos >> 3] |= static_cast<uint8_t>(1u << (pos & 7));
+    }
+  }
+}
+inline uint32_t __read_bits(const uint8_t* buffer, size_t bit_pos,
+                            unsigned bits) {
+  uint32_t value = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    const size_t pos = bit_pos + i;
+    value |= static_cast<uint32_t>((buffer[pos >> 3] >> (pos & 7)) & 1u) << i;
+  }
+  return value;
+}
+inline void __append_packed(Bytes& buffer, const Array& values,
+                            unsigned bits) {
+  if (bits == 32) {
+    for (double v : values) __append_f32(buffer, v);
+    return;
+  }
+  const size_t offset = buffer.size();
+  buffer.resize(offset + (values.size() * bits + 7) / 8, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    __write_bits(buffer.data() + offset, i * bits, bits,
+                 static_cast<uint32_t>(__coerce_uint(values[i], bits)));
+  }
+}
+inline void __append_i32_array(Bytes& buffer, const Array& values) {
+  for (double v : values) __append_i32(buffer, v);
+}
+inline void __append_f32_array(Bytes& buffer, const Array& values) {
+  for (double v : values) __append_f32(buffer, v);
+}
+
+// extract: sequential reads through a cursor.
+struct Reader {
+  const uint8_t* data;
+  size_t size;
+  size_t cursor = 0;
+
+  double read_f32() {
+    float f = 0.0f;
+    if (cursor + sizeof(f) <= size) {
+      std::memcpy(&f, data + cursor, sizeof(f));
+      cursor += sizeof(f);
+    }
+    return static_cast<double>(f);
+  }
+  double read_i32() {
+    int32_t i = 0;
+    if (cursor + sizeof(i) <= size) {
+      std::memcpy(&i, data + cursor, sizeof(i));
+      cursor += sizeof(i);
+    }
+    return static_cast<double>(i);
+  }
+  double read_byte() {
+    return cursor < size ? static_cast<double>(data[cursor++]) : 0.0;
+  }
+  Array read_packed(unsigned bits, long long count) {
+    size_t elements;
+    size_t bytes;
+    if (count < 0) {
+      bytes = size - cursor;
+      elements = bytes * 8 / bits;
+    } else {
+      elements = static_cast<size_t>(count);
+      bytes = (elements * bits + 7) / 8;
+    }
+    Array values(elements, 0.0);
+    for (size_t i = 0; i < elements; ++i) {
+      values[i] =
+          static_cast<double>(__read_bits(data + cursor, i * bits, bits));
+    }
+    cursor += bytes;
+    return values;
+  }
+  Array read_f32_array(long long count) {
+    const size_t elements = count < 0 ? (size - cursor) / sizeof(float)
+                                      : static_cast<size_t>(count);
+    Array values(elements, 0.0);
+    for (size_t i = 0; i < elements; ++i) {
+      values[i] = read_f32();
+    }
+    return values;
+  }
+  Array read_i32_array(long long count) {
+    const size_t elements = count < 0 ? (size - cursor) / sizeof(int32_t)
+                                      : static_cast<size_t>(count);
+    Array values(elements, 0.0);
+    for (size_t i = 0; i < elements; ++i) {
+      values[i] = read_i32();
+    }
+    return values;
+  }
+};
+
+}  // namespace
+)CPP";
+
+// Static expression types the generator tracks (a reduced Type).
+struct CgType {
+  ScalarType scalar = ScalarType::kFloat;
+  bool is_array = false;
+  bool is_bytes = false;
+
+  static CgType Scalar(ScalarType s) { return CgType{s, false, false}; }
+  static CgType Array(ScalarType s) { return CgType{s, true, false}; }
+  static CgType Bytes() {
+    return CgType{ScalarType::kUint8, false, true};
+  }
+  bool IsInt() const {
+    return !is_array && !is_bytes && scalar != ScalarType::kFloat &&
+           ScalarBits(scalar) > 0;
+  }
+};
+
+class Codegen {
+ public:
+  Codegen(const Program& program, const CodegenOptions& options)
+      : program_(program), options_(options) {}
+
+  StatusOr<std::string> Generate() {
+    out_ << "// Generated by CompLL from DSL source. Do not edit.\n";
+    out_ << "// Algorithm: " << options_.algorithm_name << "\n";
+    out_ << kRuntimePreamble << "\n";
+    out_ << "namespace compll_gen_" << options_.algorithm_name << " {\n\n";
+    out_ << "constexpr uint64_t kSeed = " << options_.seed << "ull;\n\n";
+
+    EmitParamStructs();
+    RETURN_IF_ERROR(EmitGlobals());
+    RETURN_IF_ERROR(EmitFunctionPrototypes());
+    for (const FunctionDecl& fn : program_.functions) {
+      RETURN_IF_ERROR(EmitFunction(fn));
+    }
+    out_ << "}  // namespace compll_gen_" << options_.algorithm_name << "\n";
+    EmitCApi();
+    return out_.str();
+  }
+
+ private:
+  // ------------------------------------------------------------ sections --
+
+  // Plain-C entry points so the generated unit can be built as a shared
+  // object and loaded at runtime — the paper's automated integration path.
+  // Param-struct fields are passed positionally as doubles.
+  void EmitCApi() {
+    const std::string& ns = "compll_gen_" + options_.algorithm_name;
+    auto emit_param_fill = [&](const FunctionDecl* fn) {
+      if (fn == nullptr || fn->params.size() < 3) {
+        out_ << "  (void)params; (void)n_params;\n";
+        return std::string();
+      }
+      const std::string type = fn->params[2].type.struct_name;
+      out_ << "  " << ns << "::" << type << " p;\n";
+      const ParamBlock* block = program_.FindParamBlock(type);
+      if (block != nullptr) {
+        for (size_t i = 0; i < block->fields.size(); ++i) {
+          out_ << "  if (n_params > " << i << ") { p."
+               << block->fields[i].name << " = params[" << i << "]; }\n";
+        }
+      }
+      return std::string(", p");
+    };
+
+    const FunctionDecl* encode = program_.FindFunction("encode");
+    const FunctionDecl* decode = program_.FindFunction("decode");
+    if (encode != nullptr) {
+      out_ << "\nextern \"C\" int " << options_.algorithm_name
+           << "_encode_c(const float* input, size_t n, uint8_t* out,\n"
+           << "    size_t out_capacity, size_t* out_size,\n"
+           << "    const double* params, size_t n_params) {\n";
+      const std::string pass = emit_param_fill(encode);
+      out_ << "  std::vector<uint8_t> buffer;\n"
+           << "  " << ns << "::" << options_.algorithm_name
+           << "_encode(input, n, buffer" << pass << ");\n"
+           << "  if (buffer.size() > out_capacity) { return -1; }\n"
+           << "  std::memcpy(out, buffer.data(), buffer.size());\n"
+           << "  *out_size = buffer.size();\n"
+           << "  return 0;\n}\n";
+    }
+    if (decode != nullptr) {
+      out_ << "\nextern \"C\" int " << options_.algorithm_name
+           << "_decode_c(const uint8_t* input, size_t n, float* out,\n"
+           << "    size_t out_capacity, size_t* out_size,\n"
+           << "    const double* params, size_t n_params) {\n";
+      const std::string pass = emit_param_fill(decode);
+      out_ << "  std::vector<double> buffer;\n"
+           << "  " << ns << "::" << options_.algorithm_name
+           << "_decode(input, n, buffer" << pass << ");\n"
+           << "  if (buffer.size() > out_capacity) { return -1; }\n"
+           << "  for (size_t i = 0; i < buffer.size(); ++i) {\n"
+           << "    out[i] = static_cast<float>(buffer[i]);\n"
+           << "  }\n"
+           << "  *out_size = buffer.size();\n"
+           << "  return 0;\n}\n";
+    }
+  }
+
+  void EmitParamStructs() {
+    for (const ParamBlock& block : program_.param_blocks) {
+      out_ << "struct " << block.name << " {\n";
+      for (const Field& field : block.fields) {
+        out_ << "  double " << field.name << " = 0;\n";
+      }
+      out_ << "};\n\n";
+    }
+  }
+
+  Status EmitGlobals() {
+    for (const GlobalDecl& decl : program_.globals) {
+      for (const std::string& name : decl.names) {
+        if (decl.type.is_array) {
+          out_ << "static Array g_" << name << ";\n";
+          globals_[name] = CgType::Array(decl.type.scalar);
+        } else {
+          out_ << "static double g_" << name << " = 0;\n";
+          globals_[name] = CgType::Scalar(decl.type.scalar);
+        }
+      }
+    }
+    out_ << "\n";
+    return OkStatus();
+  }
+
+  Status EmitFunctionPrototypes() {
+    for (const FunctionDecl& fn : program_.functions) {
+      if (fn.name == "encode" || fn.name == "decode") {
+        continue;
+      }
+      ASSIGN_OR_RETURN(std::string signature,
+                       UdfSignature(fn, /*with_default=*/true));
+      out_ << signature << ";\n";
+    }
+    out_ << "\n";
+    return OkStatus();
+  }
+
+  StatusOr<std::string> UdfSignature(const FunctionDecl& fn,
+                                     bool with_default) {
+    std::string result = "static double " + fn.name + "(";
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+      if (fn.params[i].type.is_array) {
+        result += "const Array& " + fn.params[i].name;
+      } else {
+        result += "double " + fn.params[i].name;
+      }
+      result += ", ";
+    }
+    // Hidden element index for counter-based randomness (GPU analogue:
+    // thread id). Defaulted in the prototype only.
+    result += with_default ? "size_t __idx = 0)" : "size_t __idx)";
+    return result;
+  }
+
+  Status EmitFunction(const FunctionDecl& fn) {
+    scope_.clear();
+    if (fn.name == "encode" || fn.name == "decode") {
+      return EmitEntry(fn);
+    }
+    ASSIGN_OR_RETURN(std::string signature,
+                     UdfSignature(fn, /*with_default=*/false));
+    out_ << signature << " {\n";
+    out_ << "  (void)__idx;\n";
+    for (const Field& param : fn.params) {
+      scope_[param.name] = param.type.is_array
+                               ? CgType::Array(param.type.scalar)
+                               : CgType::Scalar(param.type.scalar);
+    }
+    return_coerce_ = fn.return_type.scalar;
+    indent_ = 1;
+    RETURN_IF_ERROR(EmitBlock(fn.body));
+    out_ << "  return 0;\n}\n\n";
+    return OkStatus();
+  }
+
+  Status EmitEntry(const FunctionDecl& fn) {
+    if (fn.params.size() < 2) {
+      return InvalidArgumentError(fn.name + " must take at least 2 params");
+    }
+    const bool is_encode = fn.name == "encode";
+    const std::string& input = fn.params[0].name;
+    const std::string& output = fn.params[1].name;
+    const std::string params_type =
+        fn.params.size() >= 3 ? fn.params[2].type.struct_name : "";
+    const std::string prefix = options_.algorithm_name;
+
+    if (is_encode) {
+      out_ << "void " << prefix
+           << "_encode(const float* __input, size_t __n, Bytes& __out";
+      if (!params_type.empty()) {
+        out_ << ", const " << params_type << "& " << fn.params[2].name;
+      }
+      out_ << ") {\n";
+      out_ << "  Array " << input << "(__input, __input + __n);\n";
+      out_ << "  Bytes " << output << ";\n";
+      scope_[input] = CgType::Array(ScalarType::kFloat);
+      scope_[output] = CgType::Bytes();
+    } else {
+      out_ << "void " << prefix
+           << "_decode(const uint8_t* __input, size_t __n, Array& __out";
+      if (!params_type.empty()) {
+        out_ << ", const " << params_type << "& " << fn.params[2].name;
+      }
+      out_ << ") {\n";
+      out_ << "  Reader __reader_" << input << "{__input, __n, 0};\n";
+      out_ << "  Array " << output << ";\n";
+      scope_[input] = CgType::Bytes();
+      scope_[output] = CgType::Array(ScalarType::kFloat);
+      reader_names_[input] = "__reader_" + input;
+    }
+    if (!params_type.empty()) {
+      param_vars_[fn.params[2].name] = params_type;
+    }
+    // Element index for any udf invoked outside a map/filter loop.
+    out_ << "  [[maybe_unused]] constexpr size_t __idx = 0;\n";
+    return_coerce_ = ScalarType::kVoid;
+    indent_ = 1;
+    RETURN_IF_ERROR(EmitBlock(fn.body));
+    out_ << "  __out = std::move(" << output << ");\n}\n\n";
+    param_vars_.clear();
+    reader_names_.clear();
+    return OkStatus();
+  }
+
+  // ----------------------------------------------------------- statements --
+
+  std::string Indent() const { return std::string(indent_ * 2, ' '); }
+
+  Status EmitBlock(const std::vector<StmtPtr>& body) {
+    for (const StmtPtr& stmt : body) {
+      RETURN_IF_ERROR(EmitStmt(*stmt));
+    }
+    return OkStatus();
+  }
+
+  Status EmitStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kDecl: {
+        const auto& decl = static_cast<const DeclStmt&>(stmt);
+        if (decl.type.is_array) {
+          scope_[decl.name] = CgType::Array(decl.type.scalar);
+          if (decl.init != nullptr) {
+            ASSIGN_OR_RETURN(auto init, EmitExpr(*decl.init));
+            out_ << Indent() << "Array " << decl.name << " = " << init.code
+                 << ";\n";
+          } else {
+            out_ << Indent() << "Array " << decl.name << ";\n";
+          }
+          return OkStatus();
+        }
+        scope_[decl.name] = CgType::Scalar(decl.type.scalar);
+        if (decl.init != nullptr) {
+          ASSIGN_OR_RETURN(auto init, EmitExpr(*decl.init));
+          out_ << Indent() << "double " << decl.name << " = "
+               << Coerce(decl.type.scalar, init.code) << ";\n";
+        } else {
+          out_ << Indent() << "double " << decl.name << " = 0;\n";
+        }
+        return OkStatus();
+      }
+      case StmtKind::kAssign: {
+        const auto& assign = static_cast<const AssignStmt&>(stmt);
+        ASSIGN_OR_RETURN(auto value, EmitExpr(*assign.value));
+        if (assign.target->kind == ExprKind::kVar) {
+          const auto& var = static_cast<const VarExpr&>(*assign.target);
+          ASSIGN_OR_RETURN(CgType target_type, TypeOfVar(var.name, stmt.line));
+          const std::string lhs = VarRef(var.name);
+          if (target_type.is_array || target_type.is_bytes) {
+            out_ << Indent() << lhs << " = " << value.code << ";\n";
+          } else {
+            out_ << Indent() << lhs << " = "
+                 << Coerce(target_type.scalar, value.code) << ";\n";
+          }
+          return OkStatus();
+        }
+        const auto& index_expr = static_cast<const IndexExpr&>(*assign.target);
+        ASSIGN_OR_RETURN(auto object, EmitExpr(*index_expr.object));
+        ASSIGN_OR_RETURN(auto index, EmitExpr(*index_expr.index));
+        out_ << Indent() << object.code << "[static_cast<size_t>("
+             << index.code << ")] = " << value.code << ";\n";
+        return OkStatus();
+      }
+      case StmtKind::kReturn: {
+        const auto& ret = static_cast<const ReturnStmt&>(stmt);
+        if (ret.value == nullptr) {
+          out_ << Indent() << "return;\n";
+          return OkStatus();
+        }
+        ASSIGN_OR_RETURN(auto value, EmitExpr(*ret.value));
+        out_ << Indent() << "return " << Coerce(return_coerce_, value.code)
+             << ";\n";
+        return OkStatus();
+      }
+      case StmtKind::kExpr: {
+        const auto& expr_stmt = static_cast<const ExprStmt&>(stmt);
+        ASSIGN_OR_RETURN(auto value, EmitExpr(*expr_stmt.expr));
+        out_ << Indent() << "(void)(" << value.code << ");\n";
+        return OkStatus();
+      }
+      case StmtKind::kIf: {
+        const auto& if_stmt = static_cast<const IfStmt&>(stmt);
+        ASSIGN_OR_RETURN(auto condition, EmitExpr(*if_stmt.condition));
+        out_ << Indent() << "if ((" << condition.code << ") != 0.0) {\n";
+        ++indent_;
+        RETURN_IF_ERROR(EmitBlock(if_stmt.then_body));
+        --indent_;
+        if (!if_stmt.else_body.empty()) {
+          out_ << Indent() << "} else {\n";
+          ++indent_;
+          RETURN_IF_ERROR(EmitBlock(if_stmt.else_body));
+          --indent_;
+        }
+        out_ << Indent() << "}\n";
+        return OkStatus();
+      }
+    }
+    return InternalError("codegen: unknown statement kind");
+  }
+
+  // ---------------------------------------------------------- expressions --
+
+  struct EmittedExpr {
+    std::string code;
+    CgType type;
+  };
+
+  static std::string Coerce(ScalarType type, const std::string& code) {
+    switch (type) {
+      case ScalarType::kFloat:
+        return "__coerce_float(" + code + ")";
+      case ScalarType::kInt32:
+        return "__coerce_int32(" + code + ")";
+      case ScalarType::kUint1:
+      case ScalarType::kUint2:
+      case ScalarType::kUint4:
+      case ScalarType::kUint8:
+        return StrFormat("__coerce_uint(%s, %u)", code.c_str(),
+                         ScalarBits(type));
+      case ScalarType::kVoid:
+      case ScalarType::kParamStruct:
+        return code;
+    }
+    return code;
+  }
+
+  std::string VarRef(const std::string& name) const {
+    if (scope_.count(name) > 0) {
+      return name;
+    }
+    return "g_" + name;
+  }
+
+  StatusOr<CgType> TypeOfVar(const std::string& name, int line) const {
+    if (auto it = scope_.find(name); it != scope_.end()) {
+      return it->second;
+    }
+    if (auto it = globals_.find(name); it != globals_.end()) {
+      return it->second;
+    }
+    return InvalidArgumentError(
+        StrFormat("codegen: undefined variable '%s' at line %d", name.c_str(),
+                  line));
+  }
+
+  StatusOr<EmittedExpr> EmitExpr(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kNumber: {
+        const auto& number = static_cast<const NumberExpr&>(expr);
+        if (number.is_float) {
+          return EmittedExpr{StrFormat("%g", number.value),
+                             CgType::Scalar(ScalarType::kFloat)};
+        }
+        return EmittedExpr{
+            StrFormat("%lld", static_cast<long long>(number.value)),
+            CgType::Scalar(ScalarType::kInt32)};
+      }
+      case ExprKind::kVar: {
+        const auto& var = static_cast<const VarExpr&>(expr);
+        ASSIGN_OR_RETURN(CgType type, TypeOfVar(var.name, expr.line));
+        return EmittedExpr{VarRef(var.name), type};
+      }
+      case ExprKind::kUnary: {
+        const auto& unary = static_cast<const UnaryExpr&>(expr);
+        ASSIGN_OR_RETURN(auto operand, EmitExpr(*unary.operand));
+        if (unary.op == TokenKind::kMinus) {
+          return EmittedExpr{"(-(" + operand.code + "))", operand.type};
+        }
+        return EmittedExpr{"(((" + operand.code + ") == 0.0) ? 1.0 : 0.0)",
+                           CgType::Scalar(ScalarType::kInt32)};
+      }
+      case ExprKind::kBinary:
+        return EmitBinary(static_cast<const BinaryExpr&>(expr));
+      case ExprKind::kMember:
+        return EmitMember(static_cast<const MemberExpr&>(expr));
+      case ExprKind::kIndex: {
+        const auto& index_expr = static_cast<const IndexExpr&>(expr);
+        ASSIGN_OR_RETURN(auto object, EmitExpr(*index_expr.object));
+        ASSIGN_OR_RETURN(auto index, EmitExpr(*index_expr.index));
+        return EmittedExpr{object.code + "[static_cast<size_t>(" +
+                               index.code + ")]",
+                           CgType::Scalar(object.type.scalar)};
+      }
+      case ExprKind::kCall:
+        return EmitCall(static_cast<const CallExpr&>(expr));
+    }
+    return InternalError("codegen: unknown expression kind");
+  }
+
+  StatusOr<EmittedExpr> EmitBinary(const BinaryExpr& expr) {
+    ASSIGN_OR_RETURN(auto lhs, EmitExpr(*expr.lhs));
+    ASSIGN_OR_RETURN(auto rhs, EmitExpr(*expr.rhs));
+    const bool both_int = lhs.type.IsInt() && rhs.type.IsInt();
+    const CgType int_type = CgType::Scalar(ScalarType::kInt32);
+    const CgType result_type =
+        both_int ? int_type : CgType::Scalar(ScalarType::kFloat);
+    auto ll = [](const std::string& code) {
+      return "static_cast<long long>(" + code + ")";
+    };
+    switch (expr.op) {
+      case TokenKind::kPlus:
+      case TokenKind::kMinus:
+      case TokenKind::kStar: {
+        const char* op = expr.op == TokenKind::kPlus
+                             ? "+"
+                             : (expr.op == TokenKind::kMinus ? "-" : "*");
+        return EmittedExpr{"(" + lhs.code + " " + op + " " + rhs.code + ")",
+                           result_type};
+      }
+      case TokenKind::kSlash:
+        if (both_int) {
+          return EmittedExpr{StrFormat("static_cast<double>(%s / %s)",
+                                       ll(lhs.code).c_str(),
+                                       ll(rhs.code).c_str()),
+                             int_type};
+        }
+        return EmittedExpr{"(" + lhs.code + " / " + rhs.code + ")",
+                           result_type};
+      case TokenKind::kPercent:
+        return EmittedExpr{StrFormat("static_cast<double>(%s %% %s)",
+                                     ll(lhs.code).c_str(),
+                                     ll(rhs.code).c_str()),
+                           int_type};
+      case TokenKind::kShl:
+        return EmittedExpr{StrFormat("static_cast<double>(%s << %s)",
+                                     ll(lhs.code).c_str(),
+                                     ll(rhs.code).c_str()),
+                           int_type};
+      case TokenKind::kShr:
+        return EmittedExpr{StrFormat("static_cast<double>(%s >> %s)",
+                                     ll(lhs.code).c_str(),
+                                     ll(rhs.code).c_str()),
+                           int_type};
+      case TokenKind::kAmp:
+      case TokenKind::kPipe:
+      case TokenKind::kCaret: {
+        const char* op = expr.op == TokenKind::kAmp
+                             ? "&"
+                             : (expr.op == TokenKind::kPipe ? "|" : "^");
+        return EmittedExpr{StrFormat("static_cast<double>(%s %s %s)",
+                                     ll(lhs.code).c_str(), op,
+                                     ll(rhs.code).c_str()),
+                           int_type};
+      }
+      case TokenKind::kLess:
+      case TokenKind::kGreater:
+      case TokenKind::kLessEq:
+      case TokenKind::kGreaterEq:
+      case TokenKind::kEqEq:
+      case TokenKind::kNotEq: {
+        const char* op = "==";
+        switch (expr.op) {
+          case TokenKind::kLess:
+            op = "<";
+            break;
+          case TokenKind::kGreater:
+            op = ">";
+            break;
+          case TokenKind::kLessEq:
+            op = "<=";
+            break;
+          case TokenKind::kGreaterEq:
+            op = ">=";
+            break;
+          case TokenKind::kNotEq:
+            op = "!=";
+            break;
+          default:
+            break;
+        }
+        return EmittedExpr{StrFormat("((%s %s %s) ? 1.0 : 0.0)",
+                                     lhs.code.c_str(), op, rhs.code.c_str()),
+                           int_type};
+      }
+      case TokenKind::kAndAnd:
+        return EmittedExpr{StrFormat("(((%s != 0.0) && (%s != 0.0)) ? 1.0 : 0.0)",
+                                     lhs.code.c_str(), rhs.code.c_str()),
+                           int_type};
+      case TokenKind::kOrOr:
+        return EmittedExpr{StrFormat("(((%s != 0.0) || (%s != 0.0)) ? 1.0 : 0.0)",
+                                     lhs.code.c_str(), rhs.code.c_str()),
+                           int_type};
+      default:
+        return InvalidArgumentError("codegen: unsupported binary operator");
+    }
+  }
+
+  StatusOr<EmittedExpr> EmitMember(const MemberExpr& expr) {
+    if (expr.member == "size") {
+      ASSIGN_OR_RETURN(auto object, EmitExpr(*expr.object));
+      return EmittedExpr{
+          "static_cast<double>(" + object.code + ".size())",
+          CgType::Scalar(ScalarType::kInt32)};
+    }
+    if (expr.object->kind == ExprKind::kVar) {
+      const auto& var = static_cast<const VarExpr&>(*expr.object);
+      if (auto it = param_vars_.find(var.name); it != param_vars_.end()) {
+        // Param fields are declared uint8/float etc.; look up the declared
+        // type so integer semantics (shifts) come out right.
+        const ParamBlock* block = program_.FindParamBlock(it->second);
+        ScalarType field_type = ScalarType::kFloat;
+        if (block != nullptr) {
+          for (const Field& field : block->fields) {
+            if (field.name == expr.member) {
+              field_type = field.type.scalar;
+            }
+          }
+        }
+        return EmittedExpr{var.name + "." + expr.member,
+                           CgType::Scalar(field_type)};
+      }
+    }
+    return InvalidArgumentError("codegen: unsupported member access '." +
+                                expr.member + "'");
+  }
+
+  // Emits a udf reference as a lambda adapting (double, size_t) -> double.
+  StatusOr<std::string> UdfLambda(const Expr& udf_expr) {
+    if (udf_expr.kind != ExprKind::kVar) {
+      return InvalidArgumentError("codegen: udf argument must be a name");
+    }
+    const std::string name = static_cast<const VarExpr&>(udf_expr).name;
+    return "[](double __x, size_t __i) { return " + name + "(__x, __i); }";
+  }
+
+  StatusOr<EmittedExpr> EmitCall(const CallExpr& call) {
+    const std::string& callee = call.callee;
+
+    auto arg = [&](size_t i) -> StatusOr<EmittedExpr> {
+      return EmitExpr(*call.args[i]);
+    };
+
+    if (callee == "map" || callee == "filter" || callee == "findex") {
+      if (call.args.size() != 2) {
+        return InvalidArgumentError("codegen: " + callee + " takes 2 args");
+      }
+      ASSIGN_OR_RETURN(auto input, arg(0));
+      ASSIGN_OR_RETURN(std::string lambda, UdfLambda(*call.args[1]));
+      const std::string fn =
+          callee == "map" ? "__map" : (callee == "filter" ? "__filter" : "__findex");
+      ScalarType elem = ScalarType::kFloat;
+      if (callee == "map") {
+        const std::string udf_name =
+            static_cast<const VarExpr&>(*call.args[1]).name;
+        if (const FunctionDecl* fn_decl = program_.FindFunction(udf_name)) {
+          elem = fn_decl->return_type.scalar;
+        }
+      } else if (callee == "findex") {
+        elem = ScalarType::kInt32;
+      } else {
+        elem = input.type.scalar;
+      }
+      return EmittedExpr{fn + "(" + input.code + ", " + lambda + ")",
+                         CgType::Array(elem)};
+    }
+
+    if (callee == "reduce") {
+      if (call.args.size() != 2 || call.args[1]->kind != ExprKind::kVar) {
+        return InvalidArgumentError("codegen: reduce(G, udf)");
+      }
+      ASSIGN_OR_RETURN(auto input, arg(0));
+      const std::string udf =
+          static_cast<const VarExpr&>(*call.args[1]).name;
+      std::string fn;
+      if (udf == "smaller") {
+        fn = "__reduce_min";
+      } else if (udf == "greater") {
+        fn = "__reduce_max";
+      } else if (udf == "sum") {
+        fn = "__reduce_sum";
+      } else if (udf == "maxAbs") {
+        fn = "__reduce_maxabs";
+      } else {
+        return InvalidArgumentError("codegen: reduce needs a builtin udf");
+      }
+      return EmittedExpr{fn + "(" + input.code + ")",
+                         CgType::Scalar(ScalarType::kFloat)};
+    }
+
+    if (callee == "sort") {
+      if (call.args.size() != 2 || call.args[1]->kind != ExprKind::kVar) {
+        return InvalidArgumentError("codegen: sort(G, order)");
+      }
+      ASSIGN_OR_RETURN(auto input, arg(0));
+      const std::string order =
+          static_cast<const VarExpr&>(*call.args[1]).name;
+      const std::string fn =
+          order == "greater" ? "__sort_desc" : "__sort_asc";
+      return EmittedExpr{fn + "(" + input.code + ")", input.type};
+    }
+
+    if (callee == "random") {
+      if (call.args.size() != 2) {
+        return InvalidArgumentError("codegen: random(a, b)");
+      }
+      ASSIGN_OR_RETURN(auto a, arg(0));
+      ASSIGN_OR_RETURN(auto b, arg(1));
+      // Inside udfs, __idx is the hidden element index.
+      return EmittedExpr{"__random(" + a.code + ", " + b.code +
+                             ", kSeed, __idx)",
+                         CgType::Scalar(ScalarType::kFloat)};
+    }
+
+    if (callee == "concat") {
+      // concat only appears as the RHS of an assignment to the output
+      // buffer; emit an immediately-invoked lambda building the bytes.
+      std::string code = "[&]() { Bytes __b;";
+      for (const ExprPtr& argument : call.args) {
+        ASSIGN_OR_RETURN(auto value, EmitExpr(*argument));
+        if (value.type.is_bytes) {
+          code += " __b.insert(__b.end(), " + value.code + ".begin(), " +
+                  value.code + ".end());";
+        } else if (value.type.is_array) {
+          const unsigned bits = ScalarBits(value.type.scalar);
+          if (value.type.scalar == ScalarType::kFloat) {
+            code += " __append_f32_array(__b, " + value.code + ");";
+          } else if (value.type.scalar == ScalarType::kInt32) {
+            code += " __append_i32_array(__b, " + value.code + ");";
+          } else {
+            code += StrFormat(" __append_packed(__b, %s, %u);",
+                              value.code.c_str(), bits);
+          }
+        } else {
+          switch (value.type.scalar) {
+            case ScalarType::kFloat:
+              code += " __append_f32(__b, " + value.code + ");";
+              break;
+            case ScalarType::kInt32:
+              code += " __append_i32(__b, " + value.code + ");";
+              break;
+            default:
+              code += " __append_byte(__b, " + value.code + ");";
+              break;
+          }
+        }
+      }
+      code += " return __b; }()";
+      return EmittedExpr{code, CgType::Bytes()};
+    }
+
+    if (callee == "extract") {
+      if (!call.type_arg.has_value() || call.args.empty()) {
+        return InvalidArgumentError("codegen: extract<T>(buffer[, count])");
+      }
+      if (call.args[0]->kind != ExprKind::kVar) {
+        return InvalidArgumentError("codegen: extract buffer must be a var");
+      }
+      const std::string buffer =
+          static_cast<const VarExpr&>(*call.args[0]).name;
+      auto it = reader_names_.find(buffer);
+      if (it == reader_names_.end()) {
+        return InvalidArgumentError(
+            "codegen: extract source must be the decode input buffer");
+      }
+      const std::string reader = it->second;
+      const Type& type = *call.type_arg;
+      if (!type.is_array) {
+        switch (type.scalar) {
+          case ScalarType::kFloat:
+            return EmittedExpr{reader + ".read_f32()",
+                               CgType::Scalar(ScalarType::kFloat)};
+          case ScalarType::kInt32:
+            return EmittedExpr{reader + ".read_i32()",
+                               CgType::Scalar(ScalarType::kInt32)};
+          default:
+            return EmittedExpr{reader + ".read_byte()",
+                               CgType::Scalar(type.scalar)};
+        }
+      }
+      std::string count = "-1";
+      if (call.args.size() == 2) {
+        ASSIGN_OR_RETURN(auto count_expr, arg(1));
+        count = "static_cast<long long>(" + count_expr.code + ")";
+      }
+      switch (type.scalar) {
+        case ScalarType::kFloat:
+          return EmittedExpr{reader + ".read_f32_array(" + count + ")",
+                             CgType::Array(ScalarType::kFloat)};
+        case ScalarType::kInt32:
+          return EmittedExpr{reader + ".read_i32_array(" + count + ")",
+                             CgType::Array(ScalarType::kInt32)};
+        default:
+          return EmittedExpr{
+              StrFormat("%s.read_packed(%u, %s)", reader.c_str(),
+                        ScalarBits(type.scalar), count.c_str()),
+              CgType::Array(type.scalar)};
+      }
+    }
+
+    // Extension operators with direct lowerings.
+    if (callee == "stride" || callee == "gather" || callee == "scatter") {
+      std::vector<EmittedExpr> args;
+      for (const ExprPtr& argument : call.args) {
+        ASSIGN_OR_RETURN(auto value, EmitExpr(*argument));
+        args.push_back(std::move(value));
+      }
+      std::string code = "__" + callee + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) {
+          code += ", ";
+        }
+        code += args[i].code;
+      }
+      code += ")";
+      const ScalarType elem =
+          callee == "scatter" ? ScalarType::kFloat : args[0].type.scalar;
+      return EmittedExpr{code, CgType::Array(elem)};
+    }
+
+    // Math builtins.
+    if (callee == "floor" || callee == "ceil" || callee == "sqrt" ||
+        callee == "abs") {
+      if (call.args.size() != 1) {
+        return InvalidArgumentError("codegen: " + callee + " takes 1 arg");
+      }
+      ASSIGN_OR_RETURN(auto value, arg(0));
+      const std::string fn = callee == "abs" ? "std::abs" : "std::" + callee;
+      return EmittedExpr{fn + "(" + value.code + ")",
+                         CgType::Scalar(ScalarType::kFloat)};
+    }
+    if (callee == "min" || callee == "max") {
+      if (call.args.size() != 2) {
+        return InvalidArgumentError("codegen: " + callee + " takes 2 args");
+      }
+      ASSIGN_OR_RETURN(auto a, arg(0));
+      ASSIGN_OR_RETURN(auto b, arg(1));
+      return EmittedExpr{StrFormat("std::%s<double>(%s, %s)", callee.c_str(),
+                                   a.code.c_str(), b.code.c_str()),
+                         CgType::Scalar(ScalarType::kFloat)};
+    }
+
+    // User-defined function call.
+    if (const FunctionDecl* fn = program_.FindFunction(callee)) {
+      std::string code = callee + "(";
+      for (size_t i = 0; i < call.args.size(); ++i) {
+        ASSIGN_OR_RETURN(auto value, EmitExpr(*call.args[i]));
+        code += value.code + ", ";
+      }
+      code += "__idx)";  // propagate the hidden element index
+      return EmittedExpr{code, CgType::Scalar(fn->return_type.scalar)};
+    }
+
+    return InvalidArgumentError("codegen: unknown function '" + callee + "'");
+  }
+
+  const Program& program_;
+  CodegenOptions options_;
+  std::ostringstream out_;
+  int indent_ = 0;
+  ScalarType return_coerce_ = ScalarType::kVoid;
+  std::map<std::string, CgType> scope_;
+  std::map<std::string, CgType> globals_;
+  std::map<std::string, std::string> param_vars_;   // var -> struct name
+  std::map<std::string, std::string> reader_names_;  // buffer var -> reader
+};
+
+}  // namespace
+
+StatusOr<std::string> GenerateCpp(const Program& program,
+                                  const CodegenOptions& options) {
+  Codegen generator(program, options);
+  return generator.Generate();
+}
+
+StatusOr<std::string> GenerateCppFromSource(const std::string& source,
+                                            const CodegenOptions& options) {
+  ASSIGN_OR_RETURN(Program program, ParseProgram(source));
+  return GenerateCpp(program, options);
+}
+
+}  // namespace hipress::compll

@@ -1,0 +1,46 @@
+// CompLL code generator.
+//
+// The paper's CompLL translates DSL programs into CUDA kernels wired into
+// the DNN system. Our substrate has no GPU, so the generator emits a
+// self-contained C++ translation unit with the same structure a CUDA
+// backend would produce: a runtime preamble (the common operator library,
+// specialized per call site), file-scope globals, user-defined functions
+// (taking a hidden element-index parameter so counter-based randomness is
+// reproducible — the GPU analogue is the thread id), and the two entry
+// points:
+//
+//   void <name>_encode(const float* input, size_t n,
+//                      std::vector<uint8_t>& compressed, EncodeParams p);
+//   void <name>_decode(const uint8_t* input, size_t n,
+//                      std::vector<float>& gradient, DecodeParams p);
+//
+// Generated sources compile standalone (tests compile them with the host
+// compiler); semantics are cross-validated against the interpreter.
+#ifndef HIPRESS_SRC_COMPLL_CODEGEN_H_
+#define HIPRESS_SRC_COMPLL_CODEGEN_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/compll/ast.h"
+
+namespace hipress::compll {
+
+struct CodegenOptions {
+  // Namespace / symbol prefix for the generated unit.
+  std::string algorithm_name = "algorithm";
+  uint64_t seed = 0x5eed;
+};
+
+// Generates a C++ translation unit for the program. Fails on constructs the
+// generator cannot translate (which the built-in programs never use).
+StatusOr<std::string> GenerateCpp(const Program& program,
+                                  const CodegenOptions& options);
+
+// Parses `source` then generates (convenience for tools/tests).
+StatusOr<std::string> GenerateCppFromSource(const std::string& source,
+                                            const CodegenOptions& options);
+
+}  // namespace hipress::compll
+
+#endif  // HIPRESS_SRC_COMPLL_CODEGEN_H_

@@ -1,0 +1,179 @@
+#include "src/compll/dsl_compressor.h"
+
+#include <cstring>
+
+#include "src/common/rng.h"
+#include "src/compll/analyzer.h"
+#include "src/compll/parser.h"
+#include "src/compress/registry.h"
+#include "src/tensor/tensor.h"
+
+namespace hipress::compll {
+namespace {
+
+constexpr size_t kProbeElements = 4096;
+
+}  // namespace
+
+DslCompressor::DslCompressor(std::string name, bool is_sparse,
+                             CompressorParams params,
+                             std::unique_ptr<Program> program)
+    : name_(std::move(name)),
+      is_sparse_(is_sparse),
+      params_(params),
+      program_(std::move(program)) {
+  interpreter_ = std::make_unique<Interpreter>(program_.get(), params_.seed);
+  RegisterStandardExtensions(*interpreter_);
+}
+
+StatusOr<std::unique_ptr<DslCompressor>> DslCompressor::Create(
+    std::string name, const std::string& source, bool is_sparse,
+    const CompressorParams& params) {
+  ASSIGN_OR_RETURN(Program parsed, ParseProgram(source));
+  if (parsed.FindFunction("encode") == nullptr) {
+    return InvalidArgumentError("DSL program lacks an encode function");
+  }
+  if (parsed.FindFunction("decode") == nullptr) {
+    return InvalidArgumentError("DSL program lacks a decode function");
+  }
+  // Static validation first: authors get every diagnostic at once instead
+  // of the interpreter's first runtime error.
+  RETURN_IF_ERROR(ValidateProgram(parsed));
+  auto program = std::make_unique<Program>(std::move(parsed));
+  std::unique_ptr<DslCompressor> compressor(
+      new DslCompressor(std::move(name), is_sparse, params,
+                        std::move(program)));
+
+  // Probe the rate with a small Gaussian gradient: run a full round trip so
+  // a broken program fails fast at Create time, not deep inside training.
+  Rng rng(params.seed);
+  Tensor probe("probe", kProbeElements);
+  probe.FillGaussian(rng);
+  ByteBuffer encoded;
+  RETURN_IF_ERROR(compressor->Encode(probe.span(), &encoded));
+  std::vector<float> decoded(kProbeElements, 0.0f);
+  RETURN_IF_ERROR(compressor->Decode(encoded, decoded));
+  compressor->probed_rate_ =
+      static_cast<double>(encoded.size()) /
+      static_cast<double>(kProbeElements * sizeof(float));
+  return compressor;
+}
+
+StatusOr<std::unique_ptr<DslCompressor>> DslCompressor::CreateBuiltin(
+    const std::string& algorithm, const CompressorParams& params) {
+  const DslAlgorithm* entry = FindDslAlgorithm(algorithm);
+  if (entry == nullptr) {
+    return NotFoundError("no built-in DSL algorithm named " + algorithm);
+  }
+  return Create(entry->name, entry->source, entry->is_sparse, params);
+}
+
+StatusOr<ParamBindings> DslCompressor::BindParams(
+    const std::string& block_name) const {
+  ParamBindings bindings;
+  const ParamBlock* block = program_->FindParamBlock(block_name);
+  if (block == nullptr) {
+    return bindings;  // parameterless algorithm
+  }
+  for (const Field& field : block->fields) {
+    if (field.name == "bitwidth") {
+      bindings[field.name] = static_cast<double>(params_.bitwidth);
+    } else if (field.name == "threshold") {
+      bindings[field.name] = static_cast<double>(params_.threshold);
+    } else if (field.name == "ratio") {
+      bindings[field.name] = params_.sparsity_ratio;
+    } else if (field.name == "seed") {
+      bindings[field.name] = static_cast<double>(params_.seed);
+    } else {
+      return InvalidArgumentError(
+          "no CompressorParams binding for DSL param field '" + field.name +
+          "'");
+    }
+  }
+  return bindings;
+}
+
+Status DslCompressor::Encode(std::span<const float> gradient,
+                             ByteBuffer* out) const {
+  ASSIGN_OR_RETURN(ParamBindings bindings, BindParams("EncodeParams"));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                   interpreter_->RunEncode(gradient, bindings));
+  // Wrapper framing: element count header, then the DSL payload.
+  out->Resize(kCountHeaderBytes + payload.size());
+  const uint32_t count = static_cast<uint32_t>(gradient.size());
+  std::memcpy(out->data(), &count, sizeof(count));
+  std::memcpy(out->data() + kCountHeaderBytes, payload.data(),
+              payload.size());
+  return OkStatus();
+}
+
+Status DslCompressor::Decode(const ByteBuffer& in,
+                             std::span<float> out) const {
+  if (in.size() < kCountHeaderBytes) {
+    return InvalidArgumentError("dsl: buffer shorter than header");
+  }
+  size_t offset = 0;
+  const uint32_t count = in.ReadAt<uint32_t>(offset);
+  if (out.size() != count) {
+    return InvalidArgumentError("dsl: output size mismatch");
+  }
+  ASSIGN_OR_RETURN(ParamBindings bindings, BindParams("DecodeParams"));
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::span<const uint8_t> payload(in.data() + kCountHeaderBytes,
+                                   in.size() - kCountHeaderBytes);
+  ASSIGN_OR_RETURN(std::vector<float> decoded,
+                   interpreter_->RunDecode(payload, bindings));
+  // Sub-byte packing rounds the element count up to a whole byte; drop the
+  // slack.
+  if (decoded.size() < count) {
+    return InvalidArgumentError("dsl: decode produced too few elements");
+  }
+  std::memcpy(out.data(), decoded.data(), count * sizeof(float));
+  return OkStatus();
+}
+
+StatusOr<size_t> DslCompressor::EncodedElementCount(
+    const ByteBuffer& in) const {
+  if (in.size() < kCountHeaderBytes) {
+    return InvalidArgumentError("dsl: buffer shorter than header");
+  }
+  size_t offset = 0;
+  return static_cast<size_t>(in.ReadAt<uint32_t>(offset));
+}
+
+size_t DslCompressor::MaxEncodedSize(size_t elements) const {
+  // Probed rate with 2x slack for sparse jitter, plus framing.
+  const double bytes =
+      static_cast<double>(elements * sizeof(float)) * probed_rate_;
+  return kCountHeaderBytes + 64 +
+         static_cast<size_t>(bytes * (is_sparse_ ? 2.0 : 1.05));
+}
+
+double DslCompressor::CompressionRate(size_t elements) const {
+  return probed_rate_;
+}
+
+Status DslCompressor::RegisterBuiltinsIntoRegistry() {
+  for (const DslAlgorithm& entry : BuiltinDslAlgorithms()) {
+    if (CompressorRegistry::Instance().Contains(entry.name)) {
+      continue;
+    }
+    const DslAlgorithm* algorithm = &entry;
+    RETURN_IF_ERROR(CompressorRegistry::Instance().Register(
+        entry.name,
+        [algorithm](const CompressorParams& params)
+            -> std::unique_ptr<Compressor> {
+          auto compressor =
+              DslCompressor::Create(algorithm->name, algorithm->source,
+                                    algorithm->is_sparse, params);
+          if (!compressor.ok()) {
+            return nullptr;
+          }
+          return std::move(compressor).value();
+        }));
+  }
+  return OkStatus();
+}
+
+}  // namespace hipress::compll

@@ -1,0 +1,73 @@
+// DslCompressor — adapts an interpreted CompLL DSL program to the Compressor
+// interface, making DSL-authored algorithms directly usable by CaSync.
+//
+// This mirrors the paper's automated integration: CompLL "creates wrapper
+// functions for encode and decode primitives to obtain pointers to gradients
+// and the algorithm-specific arguments from the training context". The
+// wrapper owns the framing metadata the DSL program does not (a uint32
+// element-count header), binds CompressorParams fields to the program's
+// param block by name, and truncates packing slack on decode.
+#ifndef HIPRESS_SRC_COMPLL_DSL_COMPRESSOR_H_
+#define HIPRESS_SRC_COMPLL_DSL_COMPRESSOR_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/compll/ast.h"
+#include "src/compll/builtin_algorithms.h"
+#include "src/compll/interpreter.h"
+#include "src/compress/compressor.h"
+
+namespace hipress::compll {
+
+class DslCompressor : public Compressor {
+ public:
+  // Parses and validates `source`; probes a small random gradient to
+  // estimate the compression rate for the cost model.
+  static StatusOr<std::unique_ptr<DslCompressor>> Create(
+      std::string name, const std::string& source, bool is_sparse,
+      const CompressorParams& params);
+
+  // Convenience: builds the DslCompressor for a built-in DSL algorithm
+  // ("onebit", "tbq", "terngrad", "dgc", "graddrop").
+  static StatusOr<std::unique_ptr<DslCompressor>> CreateBuiltin(
+      const std::string& algorithm, const CompressorParams& params = {});
+
+  std::string_view name() const override { return name_; }
+  bool is_sparse() const override { return is_sparse_; }
+
+  Status Encode(std::span<const float> gradient,
+                ByteBuffer* out) const override;
+  Status Decode(const ByteBuffer& in, std::span<float> out) const override;
+  StatusOr<size_t> EncodedElementCount(const ByteBuffer& in) const override;
+  size_t MaxEncodedSize(size_t elements) const override;
+  double CompressionRate(size_t elements) const override;
+
+  // Registers this algorithm into the global CompressorRegistry under
+  // "dsl-<name>", the automated-integration step.
+  static Status RegisterBuiltinsIntoRegistry();
+
+ private:
+  DslCompressor(std::string name, bool is_sparse, CompressorParams params,
+                std::unique_ptr<Program> program);
+
+  // Field-name to CompressorParams bindings for the encode/decode param
+  // blocks of this program.
+  StatusOr<ParamBindings> BindParams(const std::string& block_name) const;
+
+  std::string name_;
+  bool is_sparse_;
+  CompressorParams params_;
+  std::unique_ptr<Program> program_;
+  double probed_rate_ = 1.0;
+
+  // The interpreter mutates globals during a run; Encode/Decode are
+  // logically const, so serialize access.
+  mutable std::mutex mutex_;
+  mutable std::unique_ptr<Interpreter> interpreter_;
+};
+
+}  // namespace hipress::compll
+
+#endif  // HIPRESS_SRC_COMPLL_DSL_COMPRESSOR_H_

@@ -1,0 +1,782 @@
+#include "src/compll/interpreter.h"
+
+#include <cmath>
+
+#include "src/common/string_util.h"
+
+namespace hipress::compll {
+namespace {
+
+constexpr int kMaxCallDepth = 64;
+
+bool IsIntegerType(ScalarType type) {
+  return type != ScalarType::kFloat && ScalarBits(type) > 0;
+}
+
+}  // namespace
+
+Interpreter::Interpreter(const Program* program, uint64_t seed)
+    : program_(program), seed_(seed) {
+  // Globals start zero-initialized with their declared types.
+  for (const GlobalDecl& decl : program->globals) {
+    for (const std::string& name : decl.names) {
+      if (decl.type.is_array) {
+        globals_[name] = Value::Array(decl.type.scalar, {});
+      } else {
+        globals_[name] = Value::Scalar(decl.type.scalar, 0.0);
+      }
+    }
+  }
+}
+
+Status Interpreter::RegisterOperator(const std::string& name,
+                                     ExtensionFn fn) {
+  if (extensions_.count(name) > 0) {
+    return AlreadyExistsError("operator already registered: " + name);
+  }
+  extensions_[name] = std::move(fn);
+  return OkStatus();
+}
+
+Status Interpreter::ErrorAt(int line, const std::string& message) const {
+  return InvalidArgumentError(
+      StrFormat("runtime error at line %d: %s", line, message.c_str()));
+}
+
+// ------------------------------------------------------------ entry points
+
+StatusOr<Value> Interpreter::RunEntry(const std::string& fn_name, Value input,
+                                      Value output_seed,
+                                      const ParamBindings& params) {
+  const FunctionDecl* fn = program_->FindFunction(fn_name);
+  if (fn == nullptr) {
+    return NotFoundError("DSL program has no '" + fn_name + "' function");
+  }
+  if (fn->params.size() < 2) {
+    return InvalidArgumentError(fn_name + " must take (input, output[, params])");
+  }
+
+  scopes_.emplace_back();
+  param_scopes_.emplace_back();
+  auto& scope = scopes_.back();
+  scope[fn->params[0].name] = std::move(input);
+  const std::string output_name = fn->params[1].name;
+  scope[output_name] = std::move(output_seed);
+  if (fn->params.size() >= 3) {
+    param_scopes_.back()[fn->params[2].name] =
+        BoundParams{fn->params[2].type.struct_name, params};
+  }
+
+  auto result = ExecBlock(fn->body);
+  if (!result.ok()) {
+    scopes_.pop_back();
+    param_scopes_.pop_back();
+    return result.status();
+  }
+  Value output = scopes_.back()[output_name];
+  scopes_.pop_back();
+  param_scopes_.pop_back();
+  return output;
+}
+
+StatusOr<std::vector<uint8_t>> Interpreter::RunEncode(
+    std::span<const float> gradient, const ParamBindings& params) {
+  random_counter_ = 0;
+  std::vector<double> data(gradient.begin(), gradient.end());
+  Value input = Value::Array(ScalarType::kFloat, std::move(data));
+  Value output = Value::Bytes({});
+  ASSIGN_OR_RETURN(Value result,
+                   RunEntry("encode", std::move(input), std::move(output),
+                            params));
+  if (!result.is_bytes()) {
+    return InvalidArgumentError(
+        "encode did not assign a byte buffer (concat result) to its output");
+  }
+  return *result.bytes;
+}
+
+StatusOr<std::vector<float>> Interpreter::RunDecode(
+    std::span<const uint8_t> payload, const ParamBindings& params) {
+  random_counter_ = 0;
+  Value input = Value::Bytes(
+      std::vector<uint8_t>(payload.begin(), payload.end()));
+  Value output = Value::Array(ScalarType::kFloat, {});
+  ASSIGN_OR_RETURN(Value result,
+                   RunEntry("decode", std::move(input), std::move(output),
+                            params));
+  if (!result.is_array()) {
+    return InvalidArgumentError(
+        "decode did not assign an array to its gradient output");
+  }
+  std::vector<float> floats(result.array->size());
+  for (size_t i = 0; i < floats.size(); ++i) {
+    floats[i] = static_cast<float>((*result.array)[i]);
+  }
+  return floats;
+}
+
+StatusOr<Value> Interpreter::CallFunction(const std::string& name,
+                                          std::vector<Value> args) {
+  const FunctionDecl* fn = program_->FindFunction(name);
+  if (fn == nullptr) {
+    return NotFoundError("no such DSL function: " + name);
+  }
+  if (fn->params.size() != args.size()) {
+    return InvalidArgumentError(
+        StrFormat("%s expects %zu args, got %zu", name.c_str(),
+                  fn->params.size(), args.size()));
+  }
+  if (++call_depth_ > kMaxCallDepth) {
+    --call_depth_;
+    return ResourceExhaustedError("DSL call depth exceeded");
+  }
+  scopes_.emplace_back();
+  param_scopes_.emplace_back();
+  for (size_t i = 0; i < args.size(); ++i) {
+    Value arg = std::move(args[i]);
+    if (arg.is_scalar()) {
+      arg.scalar = CoerceToType(fn->params[i].type.scalar, arg.scalar);
+      arg.elem_type = fn->params[i].type.scalar;
+    }
+    scopes_.back()[fn->params[i].name] = std::move(arg);
+  }
+  auto result = ExecBlock(fn->body);
+  scopes_.pop_back();
+  param_scopes_.pop_back();
+  --call_depth_;
+  if (!result.ok()) {
+    return result.status();
+  }
+  Value value = result.value().returned ? result.value().value
+                                        : Value::Float(0.0);
+  if (value.is_scalar() && fn->return_type.scalar != ScalarType::kVoid &&
+      !fn->return_type.is_array) {
+    value.scalar = CoerceToType(fn->return_type.scalar, value.scalar);
+    value.elem_type = fn->return_type.scalar;
+  }
+  return value;
+}
+
+// -------------------------------------------------------------- statements
+
+StatusOr<Interpreter::ExecResult> Interpreter::ExecBlock(
+    const std::vector<StmtPtr>& body) {
+  for (const StmtPtr& stmt : body) {
+    ASSIGN_OR_RETURN(ExecResult result, ExecStmt(*stmt));
+    if (result.returned) {
+      return result;
+    }
+  }
+  return ExecResult{};
+}
+
+StatusOr<Interpreter::ExecResult> Interpreter::ExecStmt(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::kDecl: {
+      const auto& decl = static_cast<const DeclStmt&>(stmt);
+      Value value;
+      if (decl.init != nullptr) {
+        ASSIGN_OR_RETURN(value, Eval(*decl.init));
+      } else if (decl.type.is_array) {
+        value = Value::Array(decl.type.scalar, {});
+      } else {
+        value = Value::Scalar(decl.type.scalar, 0.0);
+      }
+      if (value.is_scalar()) {
+        value.scalar = CoerceToType(decl.type.scalar, value.scalar);
+        value.elem_type = decl.type.scalar;
+      } else if (value.is_array()) {
+        // Re-tag the array with the declared element type; values coerce
+        // lazily at pack/consume time.
+        value.elem_type = decl.type.scalar;
+      }
+      scopes_.back()[decl.name] = std::move(value);
+      return ExecResult{};
+    }
+    case StmtKind::kAssign: {
+      const auto& assign = static_cast<const AssignStmt&>(stmt);
+      ASSIGN_OR_RETURN(Value value, Eval(*assign.value));
+      if (assign.target->kind == ExprKind::kVar) {
+        const auto& var = static_cast<const VarExpr&>(*assign.target);
+        RETURN_IF_ERROR(AssignVar(var.name, std::move(value), stmt.line));
+        return ExecResult{};
+      }
+      // Element assignment: arr[i] = v.
+      const auto& index_expr = static_cast<const IndexExpr&>(*assign.target);
+      if (index_expr.object->kind != ExprKind::kVar) {
+        return ErrorAt(stmt.line, "indexed assignment target must be a variable");
+      }
+      const auto& base = static_cast<const VarExpr&>(*index_expr.object);
+      Value* target = FindVar(base.name);
+      if (target == nullptr) {
+        return ErrorAt(stmt.line, "undefined variable '" + base.name + "'");
+      }
+      if (!target->is_array()) {
+        return ErrorAt(stmt.line, "'" + base.name + "' is not an array");
+      }
+      ASSIGN_OR_RETURN(Value index, Eval(*index_expr.index));
+      const long long i = index.AsInt();
+      if (i < 0 || static_cast<size_t>(i) >= target->array->size()) {
+        return ErrorAt(stmt.line,
+                       StrFormat("index %lld out of range [0, %zu)", i,
+                                 target->array->size()));
+      }
+      (*target->array)[static_cast<size_t>(i)] =
+          CoerceToType(target->elem_type, value.scalar);
+      return ExecResult{};
+    }
+    case StmtKind::kReturn: {
+      const auto& ret = static_cast<const ReturnStmt&>(stmt);
+      ExecResult result;
+      result.returned = true;
+      if (ret.value != nullptr) {
+        ASSIGN_OR_RETURN(result.value, Eval(*ret.value));
+      }
+      return result;
+    }
+    case StmtKind::kExpr: {
+      const auto& expr_stmt = static_cast<const ExprStmt&>(stmt);
+      ASSIGN_OR_RETURN(Value ignored, Eval(*expr_stmt.expr));
+      (void)ignored;
+      return ExecResult{};
+    }
+    case StmtKind::kIf: {
+      const auto& if_stmt = static_cast<const IfStmt&>(stmt);
+      ASSIGN_OR_RETURN(Value condition, Eval(*if_stmt.condition));
+      if (condition.AsBool()) {
+        return ExecBlock(if_stmt.then_body);
+      }
+      return ExecBlock(if_stmt.else_body);
+    }
+  }
+  return ErrorAt(stmt.line, "unknown statement kind");
+}
+
+// ------------------------------------------------------------- expressions
+
+Value* Interpreter::FindVar(const std::string& name) {
+  if (!scopes_.empty()) {
+    auto it = scopes_.back().find(name);
+    if (it != scopes_.back().end()) {
+      return &it->second;
+    }
+  }
+  auto it = globals_.find(name);
+  if (it != globals_.end()) {
+    return &it->second;
+  }
+  return nullptr;
+}
+
+Status Interpreter::AssignVar(const std::string& name, Value value,
+                              int line) {
+  Value* existing = FindVar(name);
+  if (existing == nullptr) {
+    return ErrorAt(line, "assignment to undefined variable '" + name + "'");
+  }
+  if (existing->is_scalar() && value.is_scalar()) {
+    // Preserve the declared type of the slot.
+    value.scalar = CoerceToType(existing->elem_type, value.scalar);
+    value.elem_type = existing->elem_type;
+  }
+  *existing = std::move(value);
+  return OkStatus();
+}
+
+StatusOr<Value> Interpreter::Eval(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kNumber: {
+      const auto& number = static_cast<const NumberExpr&>(expr);
+      return number.is_float ? Value::Float(number.value)
+                             : Value::Int(static_cast<long long>(number.value));
+    }
+    case ExprKind::kVar: {
+      const auto& var = static_cast<const VarExpr&>(expr);
+      Value* value = FindVar(var.name);
+      if (value == nullptr) {
+        return ErrorAt(expr.line, "undefined variable '" + var.name + "'");
+      }
+      return *value;
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(static_cast<const BinaryExpr&>(expr));
+    case ExprKind::kUnary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      ASSIGN_OR_RETURN(Value operand, Eval(*unary.operand));
+      if (unary.op == TokenKind::kMinus) {
+        return Value::Scalar(operand.elem_type == ScalarType::kFloat
+                                 ? ScalarType::kFloat
+                                 : ScalarType::kInt32,
+                             -operand.scalar);
+      }
+      return Value::Int(operand.AsBool() ? 0 : 1);
+    }
+    case ExprKind::kCall:
+      return EvalCall(static_cast<const CallExpr&>(expr));
+    case ExprKind::kMember: {
+      const auto& member = static_cast<const MemberExpr&>(expr);
+      // `<array>.size`.
+      if (member.member == "size") {
+        ASSIGN_OR_RETURN(Value object, Eval(*member.object));
+        if (!object.is_array() && !object.is_bytes()) {
+          return ErrorAt(expr.line, ".size requires an array");
+        }
+        return Value::Int(static_cast<long long>(object.size()));
+      }
+      // `<params-var>.<field>`.
+      if (member.object->kind == ExprKind::kVar) {
+        const auto& var = static_cast<const VarExpr&>(*member.object);
+        if (!param_scopes_.empty()) {
+          auto scope_it = param_scopes_.back().find(var.name);
+          if (scope_it != param_scopes_.back().end()) {
+            const BoundParams& bound = scope_it->second;
+            auto field_it = bound.bindings.find(member.member);
+            if (field_it == bound.bindings.end()) {
+              return ErrorAt(expr.line, "param struct has no field '" +
+                                            member.member + "'");
+            }
+            // The field's declared type governs integer semantics and wire
+            // width (e.g. a uint8 bitwidth concats as one byte).
+            ScalarType field_type = ScalarType::kFloat;
+            if (const ParamBlock* block =
+                    program_->FindParamBlock(bound.block)) {
+              for (const Field& field : block->fields) {
+                if (field.name == member.member) {
+                  field_type = field.type.scalar;
+                }
+              }
+            }
+            return Value::Scalar(field_type,
+                                 CoerceToType(field_type, field_it->second));
+          }
+        }
+      }
+      return ErrorAt(expr.line, "unsupported member access '." +
+                                    member.member + "'");
+    }
+    case ExprKind::kIndex: {
+      const auto& index_expr = static_cast<const IndexExpr&>(expr);
+      ASSIGN_OR_RETURN(Value object, Eval(*index_expr.object));
+      ASSIGN_OR_RETURN(Value index, Eval(*index_expr.index));
+      if (!object.is_array()) {
+        return ErrorAt(expr.line, "indexing requires an array");
+      }
+      const long long i = index.AsInt();
+      if (i < 0 || static_cast<size_t>(i) >= object.array->size()) {
+        return ErrorAt(expr.line,
+                       StrFormat("index %lld out of range [0, %zu)", i,
+                                 object.array->size()));
+      }
+      return Value::Scalar(object.elem_type,
+                           (*object.array)[static_cast<size_t>(i)]);
+    }
+  }
+  return ErrorAt(expr.line, "unknown expression kind");
+}
+
+StatusOr<Value> Interpreter::EvalBinary(const BinaryExpr& expr) {
+  ASSIGN_OR_RETURN(Value lhs, Eval(*expr.lhs));
+  ASSIGN_OR_RETURN(Value rhs, Eval(*expr.rhs));
+  if (!lhs.is_scalar() || !rhs.is_scalar()) {
+    return ErrorAt(expr.line, "binary operators require scalar operands");
+  }
+  const bool both_int =
+      IsIntegerType(lhs.elem_type) && IsIntegerType(rhs.elem_type);
+  const double a = lhs.scalar;
+  const double b = rhs.scalar;
+  const long long ia = lhs.AsInt();
+  const long long ib = rhs.AsInt();
+
+  auto number = [&](double v) {
+    return both_int ? Value::Int(static_cast<long long>(v)) : Value::Float(v);
+  };
+
+  switch (expr.op) {
+    case TokenKind::kPlus:
+      return number(both_int ? static_cast<double>(ia + ib) : a + b);
+    case TokenKind::kMinus:
+      return number(both_int ? static_cast<double>(ia - ib) : a - b);
+    case TokenKind::kStar:
+      return number(both_int ? static_cast<double>(ia * ib) : a * b);
+    case TokenKind::kSlash:
+      if (both_int) {
+        if (ib == 0) {
+          return ErrorAt(expr.line, "integer division by zero");
+        }
+        return Value::Int(ia / ib);
+      }
+      return Value::Float(a / b);
+    case TokenKind::kPercent:
+      if (ib == 0) {
+        return ErrorAt(expr.line, "modulo by zero");
+      }
+      return Value::Int(ia % ib);
+    case TokenKind::kShl:
+      return Value::Int(ia << ib);
+    case TokenKind::kShr:
+      return Value::Int(ia >> ib);
+    case TokenKind::kAmp:
+      return Value::Int(ia & ib);
+    case TokenKind::kPipe:
+      return Value::Int(ia | ib);
+    case TokenKind::kCaret:
+      return Value::Int(ia ^ ib);
+    case TokenKind::kLess:
+      return Value::Int(a < b ? 1 : 0);
+    case TokenKind::kGreater:
+      return Value::Int(a > b ? 1 : 0);
+    case TokenKind::kLessEq:
+      return Value::Int(a <= b ? 1 : 0);
+    case TokenKind::kGreaterEq:
+      return Value::Int(a >= b ? 1 : 0);
+    case TokenKind::kEqEq:
+      return Value::Int(a == b ? 1 : 0);
+    case TokenKind::kNotEq:
+      return Value::Int(a != b ? 1 : 0);
+    case TokenKind::kAndAnd:
+      return Value::Int((a != 0.0 && b != 0.0) ? 1 : 0);
+    case TokenKind::kOrOr:
+      return Value::Int((a != 0.0 || b != 0.0) ? 1 : 0);
+    default:
+      return ErrorAt(expr.line, "unsupported binary operator");
+  }
+}
+
+StatusOr<Value> Interpreter::EvalCall(const CallExpr& call) {
+  // --- Table 4 common operators ---------------------------------------
+  if (call.callee == "map") {
+    if (call.args.size() != 2) {
+      return ErrorAt(call.line, "map(G, udf) takes 2 arguments");
+    }
+    ASSIGN_OR_RETURN(Value input, Eval(*call.args[0]));
+    if (!input.is_array()) {
+      return ErrorAt(call.line, "map: first argument must be an array");
+    }
+    if (call.args[1]->kind != ExprKind::kVar) {
+      return ErrorAt(call.line, "map: second argument must name a udf");
+    }
+    const std::string udf_name =
+        static_cast<const VarExpr&>(*call.args[1]).name;
+    const FunctionDecl* fn = program_->FindFunction(udf_name);
+    if (fn == nullptr || fn->params.size() != 1) {
+      return ErrorAt(call.line,
+                     "map: '" + udf_name + "' is not a 1-argument function");
+    }
+    // Sequential walk so udfs may read globals and call random(); the
+    // per-element random counter keeps stochastic rounding reproducible.
+    std::vector<double> output(input.array->size());
+    for (size_t i = 0; i < input.array->size(); ++i) {
+      random_counter_ = i;
+      ASSIGN_OR_RETURN(
+          Value mapped,
+          CallFunction(udf_name, {Value::Scalar(input.elem_type,
+                                                (*input.array)[i])}));
+      output[i] = mapped.scalar;
+    }
+    return Value::Array(fn->return_type.scalar, std::move(output));
+  }
+
+  if (call.callee == "reduce") {
+    if (call.args.size() != 2) {
+      return ErrorAt(call.line, "reduce(G, udf) takes 2 arguments");
+    }
+    ASSIGN_OR_RETURN(Value input, Eval(*call.args[0]));
+    if (!input.is_array()) {
+      return ErrorAt(call.line, "reduce: first argument must be an array");
+    }
+    if (call.args[1]->kind != ExprKind::kVar) {
+      return ErrorAt(call.line, "reduce: second argument must name a udf");
+    }
+    const std::string udf_name =
+        static_cast<const VarExpr&>(*call.args[1]).name;
+    if (auto builtin = ParseBuiltinUdf(udf_name); builtin.ok()) {
+      return Value::Float(ReduceOp(*input.array, builtin.value()));
+    }
+    const FunctionDecl* fn = program_->FindFunction(udf_name);
+    if (fn == nullptr || fn->params.size() != 2) {
+      return ErrorAt(call.line, "reduce: '" + udf_name +
+                                    "' is not a builtin or 2-argument udf");
+    }
+    double accum = input.array->empty() ? 0.0 : (*input.array)[0];
+    for (size_t i = 1; i < input.array->size(); ++i) {
+      ASSIGN_OR_RETURN(
+          Value combined,
+          CallFunction(udf_name, {Value::Float(accum),
+                                  Value::Scalar(input.elem_type,
+                                                (*input.array)[i])}));
+      accum = combined.scalar;
+    }
+    return Value::Float(accum);
+  }
+
+  if (call.callee == "filter" || call.callee == "findex") {
+    if (call.args.size() != 2) {
+      return ErrorAt(call.line, call.callee + "(G, udf) takes 2 arguments");
+    }
+    ASSIGN_OR_RETURN(Value input, Eval(*call.args[0]));
+    if (!input.is_array()) {
+      return ErrorAt(call.line, call.callee + ": first argument must be an array");
+    }
+    if (call.args[1]->kind != ExprKind::kVar) {
+      return ErrorAt(call.line, call.callee + ": second argument must name a udf");
+    }
+    const std::string udf_name =
+        static_cast<const VarExpr&>(*call.args[1]).name;
+    const FunctionDecl* fn = program_->FindFunction(udf_name);
+    if (fn == nullptr || fn->params.size() != 1) {
+      return ErrorAt(call.line, call.callee + ": '" + udf_name +
+                                    "' is not a 1-argument function");
+    }
+    std::vector<double> output;
+    for (size_t i = 0; i < input.array->size(); ++i) {
+      random_counter_ = i;
+      ASSIGN_OR_RETURN(
+          Value keep,
+          CallFunction(udf_name, {Value::Scalar(input.elem_type,
+                                                (*input.array)[i])}));
+      if (keep.AsBool()) {
+        output.push_back(call.callee == "filter"
+                             ? (*input.array)[i]
+                             : static_cast<double>(i));
+      }
+    }
+    return Value::Array(call.callee == "filter" ? input.elem_type
+                                                : ScalarType::kInt32,
+                        std::move(output));
+  }
+
+  if (call.callee == "sort") {
+    if (call.args.size() != 2 || call.args[1]->kind != ExprKind::kVar) {
+      return ErrorAt(call.line, "sort(G, order) takes an array and an order");
+    }
+    ASSIGN_OR_RETURN(Value input, Eval(*call.args[0]));
+    if (!input.is_array()) {
+      return ErrorAt(call.line, "sort: first argument must be an array");
+    }
+    const std::string order_name =
+        static_cast<const VarExpr&>(*call.args[1]).name;
+    auto order = ParseBuiltinUdf(order_name);
+    if (!order.ok() || (order.value() != BuiltinUdf::kSmaller &&
+                        order.value() != BuiltinUdf::kGreater)) {
+      return ErrorAt(call.line, "sort: order must be 'smaller' or 'greater'");
+    }
+    return Value::Array(input.elem_type, SortOp(*input.array, order.value()));
+  }
+
+  if (call.callee == "random") {
+    if (call.args.size() != 2) {
+      return ErrorAt(call.line, "random(a, b) takes 2 arguments");
+    }
+    ASSIGN_OR_RETURN(Value a, Eval(*call.args[0]));
+    ASSIGN_OR_RETURN(Value b, Eval(*call.args[1]));
+    const double v = RandomOp(a.scalar, b.scalar, seed_, random_counter_);
+    if (call.type_arg.has_value() &&
+        call.type_arg->scalar != ScalarType::kFloat) {
+      return Value::Scalar(call.type_arg->scalar,
+                           CoerceToType(call.type_arg->scalar, v));
+    }
+    return Value::Float(v);
+  }
+
+  if (call.callee == "concat") {
+    ConcatBuilder builder;
+    for (const ExprPtr& arg : call.args) {
+      ASSIGN_OR_RETURN(Value value, Eval(*arg));
+      if (value.is_scalar()) {
+        builder.AppendScalar(value.elem_type, value.scalar);
+      } else if (value.is_array()) {
+        builder.AppendArray(value.elem_type, *value.array);
+      } else {
+        // Byte buffers concatenate verbatim.
+        ConcatBuilder* b = &builder;
+        for (uint8_t byte : *value.bytes) {
+          b->AppendScalar(ScalarType::kUint8, static_cast<double>(byte));
+        }
+      }
+    }
+    return Value::Bytes(builder.Finish());
+  }
+
+  if (call.callee == "extract") {
+    if (call.args.empty() || call.args.size() > 2) {
+      return ErrorAt(call.line, "extract<T>(buffer[, count])");
+    }
+    if (!call.type_arg.has_value()) {
+      return ErrorAt(call.line, "extract requires a type argument");
+    }
+    ASSIGN_OR_RETURN(Value buffer, Eval(*call.args[0]));
+    if (!buffer.is_bytes()) {
+      return ErrorAt(call.line, "extract: argument must be a compressed buffer");
+    }
+    ExtractReader reader(*buffer.bytes, buffer.cursor.get());
+    if (call.type_arg->is_array) {
+      long long count = -1;
+      if (call.args.size() == 2) {
+        ASSIGN_OR_RETURN(Value count_value, Eval(*call.args[1]));
+        count = count_value.AsInt();
+      }
+      auto values = reader.ReadArray(call.type_arg->scalar, count);
+      if (!values.ok()) {
+        return ErrorAt(call.line, values.status().message());
+      }
+      return Value::Array(call.type_arg->scalar, std::move(values).value());
+    }
+    auto value = reader.ReadScalar(call.type_arg->scalar);
+    if (!value.ok()) {
+      return ErrorAt(call.line, value.status().message());
+    }
+    return Value::Scalar(call.type_arg->scalar, value.value());
+  }
+
+  // --- scalar math builtins -------------------------------------------
+  if (call.callee == "floor" || call.callee == "ceil" ||
+      call.callee == "abs" || call.callee == "sqrt" ||
+      call.callee == "min" || call.callee == "max") {
+    std::vector<Value> args;
+    args.reserve(call.args.size());
+    for (const ExprPtr& arg : call.args) {
+      ASSIGN_OR_RETURN(Value value, Eval(*arg));
+      args.push_back(std::move(value));
+    }
+    return EvalBuiltinMath(call, args);
+  }
+
+  // --- registered extension operators ----------------------------------
+  if (auto it = extensions_.find(call.callee); it != extensions_.end()) {
+    std::vector<Value> args;
+    args.reserve(call.args.size());
+    for (const ExprPtr& arg : call.args) {
+      ASSIGN_OR_RETURN(Value value, Eval(*arg));
+      args.push_back(std::move(value));
+    }
+    auto result = it->second(args);
+    if (!result.ok()) {
+      return ErrorAt(call.line, result.status().message());
+    }
+    return std::move(result).value();
+  }
+
+  // --- user-defined functions -------------------------------------------
+  if (program_->FindFunction(call.callee) != nullptr) {
+    std::vector<Value> args;
+    args.reserve(call.args.size());
+    for (const ExprPtr& arg : call.args) {
+      ASSIGN_OR_RETURN(Value value, Eval(*arg));
+      args.push_back(std::move(value));
+    }
+    return CallFunction(call.callee, std::move(args));
+  }
+
+  return ErrorAt(call.line, "unknown function '" + call.callee + "'");
+}
+
+StatusOr<Value> Interpreter::EvalBuiltinMath(const CallExpr& call,
+                                             std::vector<Value>& args) {
+  auto require = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return ErrorAt(call.line,
+                     StrFormat("%s takes %zu argument(s)",
+                               call.callee.c_str(), n));
+    }
+    return OkStatus();
+  };
+  if (call.callee == "floor") {
+    RETURN_IF_ERROR(require(1));
+    return Value::Float(std::floor(args[0].scalar));
+  }
+  if (call.callee == "ceil") {
+    RETURN_IF_ERROR(require(1));
+    return Value::Float(std::ceil(args[0].scalar));
+  }
+  if (call.callee == "abs") {
+    RETURN_IF_ERROR(require(1));
+    return Value::Scalar(args[0].elem_type, std::abs(args[0].scalar));
+  }
+  if (call.callee == "sqrt") {
+    RETURN_IF_ERROR(require(1));
+    return Value::Float(std::sqrt(args[0].scalar));
+  }
+  if (call.callee == "min") {
+    RETURN_IF_ERROR(require(2));
+    return Value::Float(std::min(args[0].scalar, args[1].scalar));
+  }
+  if (call.callee == "max") {
+    RETURN_IF_ERROR(require(2));
+    return Value::Float(std::max(args[0].scalar, args[1].scalar));
+  }
+  return ErrorAt(call.line, "unknown math builtin");
+}
+
+// ------------------------------------------------------------- extensions
+
+void RegisterStandardExtensions(Interpreter& interpreter) {
+  // scatter(indices, values, n): dense n-element array with values placed
+  // at the given indices, zero elsewhere.
+  (void)interpreter.RegisterOperator(
+      "scatter", [](std::vector<Value>& args) -> StatusOr<Value> {
+        if (args.size() != 3 || !args[0].is_array() || !args[1].is_array() ||
+            !args[2].is_scalar()) {
+          return InvalidArgumentError("scatter(indices, values, n)");
+        }
+        const auto& indices = *args[0].array;
+        const auto& values = *args[1].array;
+        if (indices.size() != values.size()) {
+          return InvalidArgumentError(
+              "scatter: indices/values length mismatch");
+        }
+        const long long n = args[2].AsInt();
+        if (n < 0) {
+          return InvalidArgumentError("scatter: negative size");
+        }
+        std::vector<double> dense(static_cast<size_t>(n), 0.0);
+        for (size_t i = 0; i < indices.size(); ++i) {
+          const auto idx = static_cast<long long>(indices[i]);
+          if (idx < 0 || idx >= n) {
+            return InvalidArgumentError("scatter: index out of range");
+          }
+          dense[static_cast<size_t>(idx)] = values[i];
+        }
+        return Value::Array(ScalarType::kFloat, std::move(dense));
+      });
+
+  // stride(G, step): every step-th element of G (deterministic sampling).
+  (void)interpreter.RegisterOperator(
+      "stride", [](std::vector<Value>& args) -> StatusOr<Value> {
+        if (args.size() != 2 || !args[0].is_array() || !args[1].is_scalar()) {
+          return InvalidArgumentError("stride(G, step)");
+        }
+        const long long step = args[1].AsInt();
+        if (step <= 0) {
+          return InvalidArgumentError("stride: step must be positive");
+        }
+        const auto& input = *args[0].array;
+        std::vector<double> output;
+        output.reserve(input.size() / static_cast<size_t>(step) + 1);
+        for (size_t i = 0; i < input.size();
+             i += static_cast<size_t>(step)) {
+          output.push_back(input[i]);
+        }
+        return Value::Array(args[0].elem_type, std::move(output));
+      });
+
+  // gather(G, indices): G[indices[i]] for each i.
+  (void)interpreter.RegisterOperator(
+      "gather", [](std::vector<Value>& args) -> StatusOr<Value> {
+        if (args.size() != 2 || !args[0].is_array() || !args[1].is_array()) {
+          return InvalidArgumentError("gather(G, indices)");
+        }
+        const auto& input = *args[0].array;
+        const auto& indices = *args[1].array;
+        std::vector<double> output(indices.size());
+        for (size_t i = 0; i < indices.size(); ++i) {
+          const auto idx = static_cast<long long>(indices[i]);
+          if (idx < 0 || static_cast<size_t>(idx) >= input.size()) {
+            return InvalidArgumentError("gather: index out of range");
+          }
+          output[i] = input[static_cast<size_t>(idx)];
+        }
+        return Value::Array(args[0].elem_type, std::move(output));
+      });
+}
+
+}  // namespace hipress::compll

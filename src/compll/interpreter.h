@@ -1,0 +1,109 @@
+// Tree-walking interpreter for CompLL DSL programs.
+//
+// The interpreter is the toolkit's reference backend: it executes encode()
+// and decode() directly against float tensors, delegating bulk operator work
+// to the common operator library. Tests cross-validate the C++ code
+// generator and the hand-optimized native codecs against it. It is also how
+// DSL-authored algorithms become usable Compressors at runtime (see
+// DslCompressor) without a compile step.
+//
+// Extension operators can be registered by name, mirroring the paper's open
+// operator library: the sparsification programs use three registered
+// extensions (findex, scatter, stride) on top of Table 4's built-ins.
+#ifndef HIPRESS_SRC_COMPLL_INTERPRETER_H_
+#define HIPRESS_SRC_COMPLL_INTERPRETER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/compll/ast.h"
+#include "src/compll/operators.h"
+#include "src/compll/value.h"
+
+namespace hipress::compll {
+
+// Scalar bindings for a `param` block, keyed by field name.
+using ParamBindings = std::map<std::string, double>;
+
+class Interpreter {
+ public:
+  // `program` must outlive the interpreter.
+  explicit Interpreter(const Program* program, uint64_t seed = 0x5eed);
+
+  // Extension operator: receives evaluated argument values.
+  using ExtensionFn =
+      std::function<StatusOr<Value>(std::vector<Value>& args)>;
+  Status RegisterOperator(const std::string& name, ExtensionFn fn);
+
+  // Runs the DSL `encode` function on `gradient`; returns the bytes the
+  // program assigned to its compressed-output parameter.
+  StatusOr<std::vector<uint8_t>> RunEncode(std::span<const float> gradient,
+                                           const ParamBindings& params);
+
+  // Runs the DSL `decode` function on `payload`; returns the floats the
+  // program assigned to its gradient-output parameter. Sub-byte packing can
+  // round the recovered length up; callers truncate to the true count.
+  StatusOr<std::vector<float>> RunDecode(std::span<const uint8_t> payload,
+                                         const ParamBindings& params);
+
+  // Invokes an arbitrary DSL function with the given values (for tests).
+  StatusOr<Value> CallFunction(const std::string& name,
+                               std::vector<Value> args);
+
+ private:
+  struct ExecResult {
+    bool returned = false;
+    Value value;
+  };
+
+  // Entry-point plumbing shared by RunEncode / RunDecode: binds the two
+  // array parameters plus optional param struct, runs the body, and returns
+  // the final binding of the output parameter.
+  StatusOr<Value> RunEntry(const std::string& fn_name, Value input,
+                           Value output_seed, const ParamBindings& params);
+
+  StatusOr<ExecResult> ExecBlock(const std::vector<StmtPtr>& body);
+  StatusOr<ExecResult> ExecStmt(const Stmt& stmt);
+  StatusOr<Value> Eval(const Expr& expr);
+  StatusOr<Value> EvalCall(const CallExpr& call);
+  StatusOr<Value> EvalBinary(const BinaryExpr& expr);
+  StatusOr<Value> EvalBuiltinMath(const CallExpr& call,
+                                  std::vector<Value>& args);
+
+  // Variable lookup/assignment through the scope chain then globals.
+  Value* FindVar(const std::string& name);
+  Status AssignVar(const std::string& name, Value value, int line);
+
+  Status ErrorAt(int line, const std::string& message) const;
+
+  const Program* program_;
+  uint64_t seed_;
+  uint64_t random_counter_ = 0;
+
+  std::map<std::string, Value> globals_;
+  // One scope per active function call (innermost last).
+  std::vector<std::map<std::string, Value>> scopes_;
+  // Param-struct bindings visible as `<var>.<field>`, per scope depth; the
+  // block name recovers each field's declared type (a uint8 field written
+  // to the wire must occupy one byte, not a float's four).
+  struct BoundParams {
+    std::string block;
+    ParamBindings bindings;
+  };
+  std::vector<std::map<std::string, BoundParams>> param_scopes_;
+  std::map<std::string, ExtensionFn> extensions_;
+  int call_depth_ = 0;
+};
+
+// Registers the standard extension operators (findex, scatter, stride) used
+// by the built-in sparsification programs.
+void RegisterStandardExtensions(Interpreter& interpreter);
+
+}  // namespace hipress::compll
+
+#endif  // HIPRESS_SRC_COMPLL_INTERPRETER_H_

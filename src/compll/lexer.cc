@@ -1,0 +1,267 @@
+#include "src/compll/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "src/common/string_util.h"
+
+namespace hipress::compll {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kIntLiteral:
+      return "int literal";
+    case TokenKind::kFloatLiteral:
+      return "float literal";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kAssign:
+      return "'='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kPercent:
+      return "'%'";
+    case TokenKind::kLess:
+      return "'<'";
+    case TokenKind::kGreater:
+      return "'>'";
+    case TokenKind::kLessEq:
+      return "'<='";
+    case TokenKind::kGreaterEq:
+      return "'>='";
+    case TokenKind::kEqEq:
+      return "'=='";
+    case TokenKind::kNotEq:
+      return "'!='";
+    case TokenKind::kShl:
+      return "'<<'";
+    case TokenKind::kShr:
+      return "'>>'";
+    case TokenKind::kAmp:
+      return "'&'";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kCaret:
+      return "'^'";
+    case TokenKind::kAndAnd:
+      return "'&&'";
+    case TokenKind::kOrOr:
+      return "'||'";
+    case TokenKind::kBang:
+      return "'!'";
+    case TokenKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto push = [&](TokenKind kind, std::string text, size_t advance) {
+    tokens.push_back(Token{kind, std::move(text), 0.0, line, column});
+    column += static_cast<int>(advance);
+    i += advance;
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    // Whitespace and line continuations.
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++column;
+      ++i;
+      continue;
+    }
+    if (c == '\\') {
+      // Line continuation (the paper's listings wrap long lines with '\').
+      ++column;
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])) ||
+                       source[j] == '_')) {
+        ++j;
+      }
+      push(TokenKind::kIdentifier, source.substr(i, j - i), j - i);
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(source[j])) ||
+                       source[j] == '.' || source[j] == 'e' ||
+                       source[j] == 'E' ||
+                       ((source[j] == '+' || source[j] == '-') && j > i &&
+                        (source[j - 1] == 'e' || source[j - 1] == 'E')))) {
+        if (source[j] == '.' || source[j] == 'e' || source[j] == 'E') {
+          is_float = true;
+        }
+        ++j;
+      }
+      // Trailing 'f' suffix.
+      size_t token_end = j;
+      if (j < n && (source[j] == 'f' || source[j] == 'F')) {
+        is_float = true;
+        ++token_end;
+      }
+      Token token;
+      token.kind = is_float ? TokenKind::kFloatLiteral : TokenKind::kIntLiteral;
+      token.text = source.substr(i, j - i);
+      token.number = std::strtod(token.text.c_str(), nullptr);
+      token.line = line;
+      token.column = column;
+      tokens.push_back(std::move(token));
+      column += static_cast<int>(token_end - i);
+      i = token_end;
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < n) {
+      const char d = source[i + 1];
+      TokenKind kind = TokenKind::kEof;
+      if (c == '<' && d == '<') {
+        kind = TokenKind::kShl;
+      } else if (c == '>' && d == '>') {
+        kind = TokenKind::kShr;
+      } else if (c == '<' && d == '=') {
+        kind = TokenKind::kLessEq;
+      } else if (c == '>' && d == '=') {
+        kind = TokenKind::kGreaterEq;
+      } else if (c == '=' && d == '=') {
+        kind = TokenKind::kEqEq;
+      } else if (c == '!' && d == '=') {
+        kind = TokenKind::kNotEq;
+      } else if (c == '&' && d == '&') {
+        kind = TokenKind::kAndAnd;
+      } else if (c == '|' && d == '|') {
+        kind = TokenKind::kOrOr;
+      }
+      if (kind != TokenKind::kEof) {
+        push(kind, source.substr(i, 2), 2);
+        continue;
+      }
+    }
+    // Single-character tokens.
+    TokenKind kind;
+    switch (c) {
+      case '(':
+        kind = TokenKind::kLParen;
+        break;
+      case ')':
+        kind = TokenKind::kRParen;
+        break;
+      case '{':
+        kind = TokenKind::kLBrace;
+        break;
+      case '}':
+        kind = TokenKind::kRBrace;
+        break;
+      case '[':
+        kind = TokenKind::kLBracket;
+        break;
+      case ']':
+        kind = TokenKind::kRBracket;
+        break;
+      case ',':
+        kind = TokenKind::kComma;
+        break;
+      case ';':
+        kind = TokenKind::kSemicolon;
+        break;
+      case '.':
+        kind = TokenKind::kDot;
+        break;
+      case '=':
+        kind = TokenKind::kAssign;
+        break;
+      case '+':
+        kind = TokenKind::kPlus;
+        break;
+      case '-':
+        kind = TokenKind::kMinus;
+        break;
+      case '*':
+        kind = TokenKind::kStar;
+        break;
+      case '/':
+        kind = TokenKind::kSlash;
+        break;
+      case '%':
+        kind = TokenKind::kPercent;
+        break;
+      case '<':
+        kind = TokenKind::kLess;
+        break;
+      case '>':
+        kind = TokenKind::kGreater;
+        break;
+      case '&':
+        kind = TokenKind::kAmp;
+        break;
+      case '|':
+        kind = TokenKind::kPipe;
+        break;
+      case '^':
+        kind = TokenKind::kCaret;
+        break;
+      case '!':
+        kind = TokenKind::kBang;
+        break;
+      default:
+        return InvalidArgumentError(StrFormat(
+            "lex error at %d:%d: unexpected character '%c'", line, column, c));
+    }
+    push(kind, std::string(1, c), 1);
+  }
+  tokens.push_back(Token{TokenKind::kEof, "", 0.0, line, column});
+  return tokens;
+}
+
+}  // namespace hipress::compll

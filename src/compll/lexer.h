@@ -1,0 +1,66 @@
+// CompLL DSL lexer. The language is a C subset (Section 4.3): identifiers,
+// integer/float literals, the usual operators, and '\' line continuations as
+// used in the paper's Figure 5 listing. '//' comments run to end of line.
+#ifndef HIPRESS_SRC_COMPLL_LEXER_H_
+#define HIPRESS_SRC_COMPLL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace hipress::compll {
+
+enum class TokenKind {
+  kIdentifier,
+  kIntLiteral,
+  kFloatLiteral,
+  // Punctuation / operators.
+  kLParen,     // (
+  kRParen,     // )
+  kLBrace,     // {
+  kRBrace,     // }
+  kLBracket,   // [
+  kRBracket,   // ]
+  kComma,      // ,
+  kSemicolon,  // ;
+  kDot,        // .
+  kAssign,     // =
+  kPlus,       // +
+  kMinus,      // -
+  kStar,       // *
+  kSlash,      // /
+  kPercent,    // %
+  kLess,       // <
+  kGreater,    // >
+  kLessEq,     // <=
+  kGreaterEq,  // >=
+  kEqEq,       // ==
+  kNotEq,      // !=
+  kShl,        // <<
+  kShr,        // >>
+  kAmp,        // &
+  kPipe,       // |
+  kCaret,      // ^
+  kAndAnd,     // &&
+  kOrOr,       // ||
+  kBang,       // !
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  double number = 0.0;  // for literals
+  int line = 0;
+  int column = 0;
+};
+
+const char* TokenKindName(TokenKind kind);
+
+// Tokenizes `source`; returns a lexer error with line/column on bad input.
+StatusOr<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace hipress::compll
+
+#endif  // HIPRESS_SRC_COMPLL_LEXER_H_

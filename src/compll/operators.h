@@ -1,0 +1,104 @@
+// CompLL common operator library (Table 4).
+//
+// These are the "highly-optimized common operators" the paper ships as CUDA
+// kernels: sort, filter, map, reduce, random, concat, extract. Here they are
+// optimized host implementations — parallelized over the global worker pool
+// for large inputs, with the bit-packing paths (sub-byte uint arrays, the
+// minimal zero padding rule of Section 4.3) shared with the code generator's
+// emitted code. The interpreter delegates its bulk work to these functions,
+// so an algorithm written against the operator library inherits the same
+// optimizations whether interpreted or generated.
+#ifndef HIPRESS_SRC_COMPLL_OPERATORS_H_
+#define HIPRESS_SRC_COMPLL_OPERATORS_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/compll/types.h"
+#include "src/compll/value.h"
+
+namespace hipress::compll {
+
+// Built-in user-defined-function names accepted where a udf argument is
+// expected (reduce comparators/combiners and sort orders).
+enum class BuiltinUdf {
+  kSmaller,  // reduce: minimum          sort: ascending
+  kGreater,  // reduce: maximum          sort: descending
+  kSum,      // reduce: sum
+  kMaxAbs,   // reduce: max |x|
+};
+StatusOr<BuiltinUdf> ParseBuiltinUdf(const std::string& name);
+
+// map(G, udf): H[i] = udf(G[i]). The per-element function is supplied by the
+// caller (the interpreter closes over a DSL function; generated code inlines
+// it). Parallelized; `udf` must be thread-safe.
+std::vector<double> MapOp(std::span<const double> input,
+                          const std::function<double(double)>& udf);
+
+// reduce(G, udf) for the builtin combiners (single parallel pass).
+double ReduceOp(std::span<const double> input, BuiltinUdf udf);
+// reduce(G, udf) with a user combiner: sequential fold (user folds are rare
+// and order-sensitive).
+double ReduceOp(std::span<const double> input,
+                const std::function<double(double, double)>& udf);
+
+// filter(G, pred): elements where pred(G[i]) != 0, order preserved.
+std::vector<double> FilterOp(std::span<const double> input,
+                             const std::function<double(double)>& pred);
+// Companion returning the *indices* of selected elements (registered
+// extension operator used by the sparsification algorithms).
+std::vector<double> FilterIndexOp(std::span<const double> input,
+                                  const std::function<double(double)>& pred);
+
+// sort(G, udf): sorted copy, ascending for kSmaller / descending for
+// kGreater.
+std::vector<double> SortOp(std::span<const double> input, BuiltinUdf order);
+
+// random(a, b): uniform value in [a, b) from a deterministic per-call
+// stream. `index` is the element index, so parallel map bodies stay
+// reproducible.
+double RandomOp(double a, double b, uint64_t seed, uint64_t index);
+
+// ----------------------------------------------------------- concat/extract
+
+// Incremental builder implementing concat(...): scalars and arrays appended
+// in order; sub-byte arrays are bit-packed with minimal zero padding so the
+// total is a whole number of bytes (Section 4.3).
+class ConcatBuilder {
+ public:
+  void AppendScalar(ScalarType type, double value);
+  void AppendArray(ScalarType elem_type, std::span<const double> values);
+  std::vector<uint8_t> Finish() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+// Stream reader implementing extract<T>() / extract<T*>(): reads fields in
+// the order concat wrote them, advancing `cursor`.
+class ExtractReader {
+ public:
+  ExtractReader(std::span<const uint8_t> buffer, size_t* cursor)
+      : buffer_(buffer), cursor_(cursor) {}
+
+  StatusOr<double> ReadScalar(ScalarType type);
+  // Reads `count` packed elements; count < 0 consumes the rest of the
+  // buffer (element count inferred from remaining bits).
+  StatusOr<std::vector<double>> ReadArray(ScalarType elem_type, long long count);
+
+  size_t remaining() const {
+    return *cursor_ <= buffer_.size() ? buffer_.size() - *cursor_ : 0;
+  }
+
+ private:
+  std::span<const uint8_t> buffer_;
+  size_t* cursor_;
+};
+
+}  // namespace hipress::compll
+
+#endif  // HIPRESS_SRC_COMPLL_OPERATORS_H_

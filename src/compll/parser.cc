@@ -1,0 +1,439 @@
+#include "src/compll/parser.h"
+
+#include <utility>
+
+#include "src/common/string_util.h"
+
+namespace hipress::compll {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Program> Parse() {
+    Program program;
+    while (!AtEnd()) {
+      if (CheckIdent("param")) {
+        auto block = ParseParamBlock();
+        if (!block.ok()) {
+          return block.status();
+        }
+        program.param_blocks.push_back(std::move(block).value());
+        continue;
+      }
+      // Either a global declaration or a function definition; both start
+      // with a type name.
+      auto result = ParseGlobalOrFunction(&program);
+      if (!result.ok()) {
+        return result;
+      }
+    }
+    return program;
+  }
+
+ private:
+  // ---------------------------------------------------------- utilities --
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t index = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[index];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEof; }
+
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool CheckIdent(const std::string& text) const {
+    return Peek().kind == TokenKind::kIdentifier && Peek().text == text;
+  }
+
+  bool Match(TokenKind kind) {
+    if (Check(kind)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(TokenKind kind, const char* context) {
+    if (Check(kind)) {
+      Advance();
+      return OkStatus();
+    }
+    return Error(StrFormat("expected %s %s, found %s '%s'",
+                           TokenKindName(kind), context,
+                           TokenKindName(Peek().kind), Peek().text.c_str()));
+  }
+
+  Status Error(const std::string& message) const {
+    return InvalidArgumentError(
+        StrFormat("parse error at line %d: %s", Peek().line, message.c_str()));
+  }
+
+  // True if the current token begins a type (scalar type name or a declared
+  // param struct name).
+  bool AtType(const Program* program) const {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return false;
+    }
+    if (ParseScalarType(Peek().text).has_value()) {
+      return true;
+    }
+    return program != nullptr && program->FindParamBlock(Peek().text) != nullptr;
+  }
+
+  // Parses "type" or "type*".
+  StatusOr<Type> ParseType(const Program* program) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected a type name");
+    }
+    Type type;
+    const std::string name = Peek().text;
+    if (auto scalar = ParseScalarType(name); scalar.has_value()) {
+      type.scalar = *scalar;
+    } else if (program != nullptr &&
+               program->FindParamBlock(name) != nullptr) {
+      type = Type::Struct(name);
+    } else {
+      return Error("unknown type '" + name + "'");
+    }
+    Advance();
+    if (Match(TokenKind::kStar)) {
+      type.is_array = true;
+    }
+    return type;
+  }
+
+  // ---------------------------------------------------------- top level --
+
+  StatusOr<ParamBlock> ParseParamBlock() {
+    Advance();  // 'param'
+    if (!Check(TokenKind::kIdentifier)) {
+      return Error("expected param block name");
+    }
+    ParamBlock block;
+    block.name = Advance().text;
+    RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "after param block name"));
+    while (!Check(TokenKind::kRBrace)) {
+      ASSIGN_OR_RETURN(Type type, ParseType(nullptr));
+      if (!Check(TokenKind::kIdentifier)) {
+        return Error("expected field name in param block");
+      }
+      const std::string name = Advance().text;
+      RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "after param field"));
+      block.fields.push_back(Field{type, name});
+    }
+    Advance();  // '}'
+    return block;
+  }
+
+  Status ParseGlobalOrFunction(Program* program) {
+    ASSIGN_OR_RETURN(Type type, ParseType(program));
+    if (!Check(TokenKind::kIdentifier)) {
+      return Error("expected identifier after type");
+    }
+    const std::string name = Advance().text;
+    if (Check(TokenKind::kLParen)) {
+      return ParseFunctionRest(program, type, name);
+    }
+    // Global declaration: one or more comma-separated names.
+    GlobalDecl decl;
+    decl.type = type;
+    decl.names.push_back(name);
+    while (Match(TokenKind::kComma)) {
+      if (!Check(TokenKind::kIdentifier)) {
+        return Error("expected identifier in declaration list");
+      }
+      decl.names.push_back(Advance().text);
+    }
+    RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "after global declaration"));
+    program->globals.push_back(std::move(decl));
+    return OkStatus();
+  }
+
+  Status ParseFunctionRest(Program* program, const Type& return_type,
+                           const std::string& name) {
+    FunctionDecl fn;
+    fn.return_type = return_type;
+    fn.name = name;
+    Advance();  // '('
+    if (!Check(TokenKind::kRParen)) {
+      for (;;) {
+        ASSIGN_OR_RETURN(Type type, ParseType(program));
+        if (!Check(TokenKind::kIdentifier)) {
+          return Error("expected parameter name");
+        }
+        fn.params.push_back(Field{type, Advance().text});
+        if (!Match(TokenKind::kComma)) {
+          break;
+        }
+      }
+    }
+    RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after parameter list"));
+    RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "to open function body"));
+    ASSIGN_OR_RETURN(fn.body, ParseBlockBody(program));
+    program->functions.push_back(std::move(fn));
+    return OkStatus();
+  }
+
+  // ---------------------------------------------------------- statements --
+
+  // Parses statements until '}' (consumed).
+  StatusOr<std::vector<StmtPtr>> ParseBlockBody(const Program* program) {
+    std::vector<StmtPtr> body;
+    while (!Check(TokenKind::kRBrace)) {
+      if (AtEnd()) {
+        return Error("unexpected end of input in block");
+      }
+      ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement(program));
+      body.push_back(std::move(stmt));
+    }
+    Advance();  // '}'
+    return body;
+  }
+
+  StatusOr<StmtPtr> ParseStatement(const Program* program) {
+    const int line = Peek().line;
+    if (CheckIdent("return")) {
+      Advance();
+      ExprPtr value;
+      if (!Check(TokenKind::kSemicolon)) {
+        ASSIGN_OR_RETURN(value, ParseExpression());
+      }
+      RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "after return"));
+      return StmtPtr(new ReturnStmt(std::move(value), line));
+    }
+    if (CheckIdent("if")) {
+      return ParseIf(program);
+    }
+    if (AtType(program) && Peek(1).kind == TokenKind::kIdentifier) {
+      // Declaration.
+      ASSIGN_OR_RETURN(Type type, ParseType(program));
+      const std::string name = Advance().text;
+      ExprPtr init;
+      if (Match(TokenKind::kAssign)) {
+        ASSIGN_OR_RETURN(init, ParseExpression());
+      }
+      RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "after declaration"));
+      return StmtPtr(new DeclStmt(type, name, std::move(init), line));
+    }
+    if (AtType(program) && Peek(1).kind == TokenKind::kStar &&
+        Peek(2).kind == TokenKind::kIdentifier) {
+      // Array declaration: "uint2* Q = ...".
+      ASSIGN_OR_RETURN(Type type, ParseType(program));
+      const std::string name = Advance().text;
+      ExprPtr init;
+      if (Match(TokenKind::kAssign)) {
+        ASSIGN_OR_RETURN(init, ParseExpression());
+      }
+      RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "after declaration"));
+      return StmtPtr(new DeclStmt(type, name, std::move(init), line));
+    }
+    // Assignment or expression statement.
+    ASSIGN_OR_RETURN(ExprPtr expr, ParseExpression());
+    if (Match(TokenKind::kAssign)) {
+      if (expr->kind != ExprKind::kVar && expr->kind != ExprKind::kIndex) {
+        return Error("assignment target must be a variable or element");
+      }
+      ASSIGN_OR_RETURN(ExprPtr value, ParseExpression());
+      RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "after assignment"));
+      return StmtPtr(new AssignStmt(std::move(expr), std::move(value), line));
+    }
+    RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "after expression"));
+    return StmtPtr(new ExprStmt(std::move(expr), line));
+  }
+
+  StatusOr<StmtPtr> ParseIf(const Program* program) {
+    const int line = Peek().line;
+    Advance();  // 'if'
+    RETURN_IF_ERROR(Expect(TokenKind::kLParen, "after if"));
+    ASSIGN_OR_RETURN(ExprPtr condition, ParseExpression());
+    RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after if condition"));
+    auto stmt = std::make_unique<IfStmt>(std::move(condition), line);
+    RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "to open if body"));
+    ASSIGN_OR_RETURN(stmt->then_body, ParseBlockBody(program));
+    if (CheckIdent("else")) {
+      Advance();
+      RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "to open else body"));
+      ASSIGN_OR_RETURN(stmt->else_body, ParseBlockBody(program));
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  // --------------------------------------------------------- expressions --
+
+  StatusOr<ExprPtr> ParseExpression() { return ParseBinary(0); }
+
+  // Binary operator precedence, low to high.
+  static int Precedence(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kOrOr:
+        return 1;
+      case TokenKind::kAndAnd:
+        return 2;
+      case TokenKind::kPipe:
+        return 3;
+      case TokenKind::kCaret:
+        return 4;
+      case TokenKind::kAmp:
+        return 5;
+      case TokenKind::kEqEq:
+      case TokenKind::kNotEq:
+        return 6;
+      case TokenKind::kLess:
+      case TokenKind::kGreater:
+      case TokenKind::kLessEq:
+      case TokenKind::kGreaterEq:
+        return 7;
+      case TokenKind::kShl:
+      case TokenKind::kShr:
+        return 8;
+      case TokenKind::kPlus:
+      case TokenKind::kMinus:
+        return 9;
+      case TokenKind::kStar:
+      case TokenKind::kSlash:
+      case TokenKind::kPercent:
+        return 10;
+      default:
+        return 0;
+    }
+  }
+
+  StatusOr<ExprPtr> ParseBinary(int min_precedence) {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    for (;;) {
+      const TokenKind op = Peek().kind;
+      const int precedence = Precedence(op);
+      if (precedence == 0 || precedence < min_precedence) {
+        return lhs;
+      }
+      const int line = Peek().line;
+      Advance();
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseBinary(precedence + 1));
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs),
+                                         line);
+    }
+  }
+
+  StatusOr<ExprPtr> ParseUnary() {
+    if (Check(TokenKind::kMinus) || Check(TokenKind::kBang)) {
+      const TokenKind op = Peek().kind;
+      const int line = Advance().line;
+      ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return ExprPtr(new UnaryExpr(op, std::move(operand), line));
+    }
+    return ParsePostfix();
+  }
+
+  StatusOr<ExprPtr> ParsePostfix() {
+    ASSIGN_OR_RETURN(ExprPtr expr, ParsePrimary());
+    for (;;) {
+      if (Check(TokenKind::kDot)) {
+        const int line = Advance().line;
+        if (!Check(TokenKind::kIdentifier)) {
+          return Error("expected member name after '.'");
+        }
+        expr = std::make_unique<MemberExpr>(std::move(expr), Advance().text,
+                                            line);
+        continue;
+      }
+      if (Check(TokenKind::kLBracket)) {
+        const int line = Advance().line;
+        ASSIGN_OR_RETURN(ExprPtr index, ParseExpression());
+        RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "after index"));
+        expr = std::make_unique<IndexExpr>(std::move(expr), std::move(index),
+                                           line);
+        continue;
+      }
+      return expr;
+    }
+  }
+
+  // True when the upcoming tokens match '<' type ['*'] '>' '(' — a generic
+  // call like random<float>(...) rather than a less-than comparison.
+  bool AtGenericCallSuffix() const {
+    if (Peek().kind != TokenKind::kLess) {
+      return false;
+    }
+    size_t i = 1;
+    if (Peek(i).kind != TokenKind::kIdentifier ||
+        !ParseScalarType(Peek(i).text).has_value()) {
+      return false;
+    }
+    ++i;
+    if (Peek(i).kind == TokenKind::kStar) {
+      ++i;
+    }
+    return Peek(i).kind == TokenKind::kGreater &&
+           Peek(i + 1).kind == TokenKind::kLParen;
+  }
+
+  StatusOr<ExprPtr> ParsePrimary() {
+    const Token& token = Peek();
+    if (token.kind == TokenKind::kIntLiteral ||
+        token.kind == TokenKind::kFloatLiteral) {
+      const bool is_float = token.kind == TokenKind::kFloatLiteral;
+      const double value = token.number;
+      const int line = token.line;
+      Advance();
+      return ExprPtr(new NumberExpr(value, is_float, line));
+    }
+    if (token.kind == TokenKind::kLParen) {
+      Advance();
+      ASSIGN_OR_RETURN(ExprPtr expr, ParseExpression());
+      RETURN_IF_ERROR(Expect(TokenKind::kRParen, "to close expression"));
+      return expr;
+    }
+    if (token.kind == TokenKind::kIdentifier) {
+      const std::string name = token.text;
+      const int line = token.line;
+      Advance();
+      // Generic call: name<type>(args).
+      if (AtGenericCallSuffix()) {
+        Advance();  // '<'
+        ASSIGN_OR_RETURN(Type type_arg, ParseType(nullptr));
+        RETURN_IF_ERROR(Expect(TokenKind::kGreater, "after type argument"));
+        return ParseCallArgs(name, type_arg, line);
+      }
+      // Plain call: name(args).
+      if (Check(TokenKind::kLParen)) {
+        return ParseCallArgs(name, std::nullopt, line);
+      }
+      return ExprPtr(new VarExpr(name, line));
+    }
+    return Error(StrFormat("unexpected token %s '%s' in expression",
+                           TokenKindName(token.kind), token.text.c_str()));
+  }
+
+  StatusOr<ExprPtr> ParseCallArgs(const std::string& callee,
+                                  std::optional<Type> type_arg, int line) {
+    auto call = std::make_unique<CallExpr>(callee, line);
+    call->type_arg = type_arg;
+    RETURN_IF_ERROR(Expect(TokenKind::kLParen, "to open call"));
+    if (!Check(TokenKind::kRParen)) {
+      for (;;) {
+        ASSIGN_OR_RETURN(ExprPtr arg, ParseExpression());
+        call->args.push_back(std::move(arg));
+        if (!Match(TokenKind::kComma)) {
+          break;
+        }
+      }
+    }
+    RETURN_IF_ERROR(Expect(TokenKind::kRParen, "to close call"));
+    return ExprPtr(std::move(call));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Program> ParseProgram(const std::string& source) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace hipress::compll

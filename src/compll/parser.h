@@ -1,0 +1,17 @@
+// Recursive-descent parser for the CompLL DSL.
+#ifndef HIPRESS_SRC_COMPLL_PARSER_H_
+#define HIPRESS_SRC_COMPLL_PARSER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/compll/ast.h"
+
+namespace hipress::compll {
+
+// Parses DSL source into a Program. Errors carry line numbers.
+StatusOr<Program> ParseProgram(const std::string& source);
+
+}  // namespace hipress::compll
+
+#endif  // HIPRESS_SRC_COMPLL_PARSER_H_

@@ -1,0 +1,121 @@
+#include "src/compll/types.h"
+
+#include "src/common/logging.h"
+
+namespace hipress::compll {
+
+Type Type::Uint(unsigned bits, bool array) {
+  switch (bits) {
+    case 1:
+      return Type{ScalarType::kUint1, array, {}};
+    case 2:
+      return Type{ScalarType::kUint2, array, {}};
+    case 4:
+      return Type{ScalarType::kUint4, array, {}};
+    case 8:
+      return Type{ScalarType::kUint8, array, {}};
+    default:
+      LOG(Fatal) << "unsupported uint bitwidth " << bits;
+      return Type::Void();
+  }
+}
+
+unsigned ScalarBits(ScalarType type) {
+  switch (type) {
+    case ScalarType::kUint1:
+      return 1;
+    case ScalarType::kUint2:
+      return 2;
+    case ScalarType::kUint4:
+      return 4;
+    case ScalarType::kUint8:
+      return 8;
+    case ScalarType::kInt32:
+    case ScalarType::kFloat:
+      return 32;
+    case ScalarType::kVoid:
+    case ScalarType::kParamStruct:
+      return 0;
+  }
+  return 0;
+}
+
+std::optional<ScalarType> ParseScalarType(const std::string& name) {
+  if (name == "void") {
+    return ScalarType::kVoid;
+  }
+  if (name == "uint1") {
+    return ScalarType::kUint1;
+  }
+  if (name == "uint2") {
+    return ScalarType::kUint2;
+  }
+  if (name == "uint4") {
+    return ScalarType::kUint4;
+  }
+  if (name == "uint8") {
+    return ScalarType::kUint8;
+  }
+  if (name == "int32") {
+    return ScalarType::kInt32;
+  }
+  if (name == "float") {
+    return ScalarType::kFloat;
+  }
+  return std::nullopt;
+}
+
+std::string TypeName(const Type& type) {
+  std::string base;
+  switch (type.scalar) {
+    case ScalarType::kVoid:
+      base = "void";
+      break;
+    case ScalarType::kUint1:
+      base = "uint1";
+      break;
+    case ScalarType::kUint2:
+      base = "uint2";
+      break;
+    case ScalarType::kUint4:
+      base = "uint4";
+      break;
+    case ScalarType::kUint8:
+      base = "uint8";
+      break;
+    case ScalarType::kInt32:
+      base = "int32";
+      break;
+    case ScalarType::kFloat:
+      base = "float";
+      break;
+    case ScalarType::kParamStruct:
+      base = type.struct_name;
+      break;
+  }
+  if (type.is_array) {
+    base += "*";
+  }
+  return base;
+}
+
+std::string CppStorageType(ScalarType type) {
+  switch (type) {
+    case ScalarType::kUint1:
+    case ScalarType::kUint2:
+    case ScalarType::kUint4:
+    case ScalarType::kUint8:
+      return "uint8_t";
+    case ScalarType::kInt32:
+      return "int32_t";
+    case ScalarType::kFloat:
+      return "float";
+    case ScalarType::kVoid:
+      return "void";
+    case ScalarType::kParamStruct:
+      return "struct";
+  }
+  return "void";
+}
+
+}  // namespace hipress::compll

@@ -1,0 +1,66 @@
+// CompLL DSL type system.
+//
+// The DSL supports the basic data types from Section 4.3 — uint1, uint2,
+// uint4, uint8, int32, float — plus array (pointer) variants, void for
+// procedures, byte buffers for compressed outputs, and named param structs.
+// Sub-byte uint types are first-class: the code generator packs arrays of
+// them with minimal zero padding, and the interpreter models their reduced
+// range exactly.
+#ifndef HIPRESS_SRC_COMPLL_TYPES_H_
+#define HIPRESS_SRC_COMPLL_TYPES_H_
+
+#include <optional>
+#include <string>
+
+namespace hipress::compll {
+
+enum class ScalarType {
+  kVoid,
+  kUint1,
+  kUint2,
+  kUint4,
+  kUint8,
+  kInt32,
+  kFloat,
+  kParamStruct,  // named parameter block
+};
+
+struct Type {
+  ScalarType scalar = ScalarType::kVoid;
+  bool is_array = false;           // T* in the DSL
+  std::string struct_name;         // for kParamStruct
+
+  bool operator==(const Type& other) const {
+    return scalar == other.scalar && is_array == other.is_array &&
+           struct_name == other.struct_name;
+  }
+
+  static Type Void() { return Type{ScalarType::kVoid, false, {}}; }
+  static Type Float(bool array = false) {
+    return Type{ScalarType::kFloat, array, {}};
+  }
+  static Type Int32(bool array = false) {
+    return Type{ScalarType::kInt32, array, {}};
+  }
+  static Type Uint(unsigned bits, bool array = false);
+  static Type Struct(std::string name) {
+    return Type{ScalarType::kParamStruct, false, std::move(name)};
+  }
+};
+
+// Bit width of a scalar type (0 for void/struct).
+unsigned ScalarBits(ScalarType type);
+
+// Parses a type keyword ("uint2", "float", ...); nullopt if not a type name.
+std::optional<ScalarType> ParseScalarType(const std::string& name);
+
+// DSL spelling ("uint2", "float", ...).
+std::string TypeName(const Type& type);
+
+// C++ storage type emitted by the code generator ("uint8_t", "float", ...).
+// Sub-byte uints are stored in a byte each (packed only inside arrays).
+std::string CppStorageType(ScalarType type);
+
+}  // namespace hipress::compll
+
+#endif  // HIPRESS_SRC_COMPLL_TYPES_H_

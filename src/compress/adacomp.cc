@@ -1,0 +1,76 @@
+#include "src/compress/adacomp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/compress/sparse_format.h"
+
+namespace hipress {
+
+Status AdaCompCompressor::Encode(std::span<const float> gradient,
+                                 ByteBuffer* out) const {
+  const size_t n = gradient.size();
+  std::vector<uint32_t> indices;
+  std::vector<float> values;
+  // Rough reservation: gaussian bins keep a few elements each.
+  indices.reserve(n / 64 + 8);
+  values.reserve(n / 64 + 8);
+
+  for (size_t begin = 0; begin < n; begin += kBinSize) {
+    const size_t end = std::min(n, begin + kBinSize);
+    float local_max = 0.0f;
+    for (size_t i = begin; i < end; ++i) {
+      local_max = std::max(local_max, std::abs(gradient[i]));
+    }
+    if (local_max == 0.0f) {
+      continue;  // all-zero bin sends nothing
+    }
+    const float threshold = selectivity_ * local_max;
+    for (size_t i = begin; i < end; ++i) {
+      if (std::abs(gradient[i]) >= threshold) {
+        indices.push_back(static_cast<uint32_t>(i));
+        values.push_back(gradient[i]);
+      }
+    }
+  }
+  SparseEncode(static_cast<uint32_t>(n), indices, values, out);
+  return OkStatus();
+}
+
+Status AdaCompCompressor::Decode(const ByteBuffer& in,
+                                 std::span<float> out) const {
+  return SparseDecode(in, out);
+}
+
+Status AdaCompCompressor::DecodeAdd(const ByteBuffer& in,
+                                    std::span<float> accum) const {
+  return SparseDecodeAdd(in, accum);
+}
+
+StatusOr<size_t> AdaCompCompressor::EncodedElementCount(
+    const ByteBuffer& in) const {
+  ASSIGN_OR_RETURN(SparseView view, SparseParse(in));
+  return static_cast<size_t>(view.count);
+}
+
+size_t AdaCompCompressor::MaxEncodedSize(size_t elements) const {
+  // Worst case every element ties its bin's maximum; in practice Gaussian
+  // bins keep a handful. Size for a conservative 1/8 of the elements.
+  const size_t expected = std::max<size_t>(1, elements / 8);
+  return SparseEncodedSize(std::min(elements, expected));
+}
+
+double AdaCompCompressor::CompressionRate(size_t elements) const {
+  if (elements == 0) {
+    return 1.0;
+  }
+  // Expected rate for Gaussian-ish gradients: ~2 elements kept per bin of
+  // 512 at selectivity 0.9; scale inversely with selectivity.
+  const double keep_per_bin = 2.0 / std::max(0.1f, selectivity_);
+  const double keep_fraction =
+      std::min(1.0, keep_per_bin / static_cast<double>(kBinSize));
+  return keep_fraction * 2.0;  // 8 bytes per kept vs 4 per original
+}
+
+}  // namespace hipress

@@ -1,0 +1,50 @@
+// AdaComp — adaptive residual gradient compression (Chen et al., 2017).
+//
+// Section 4.4 cites AdaComp as expressible in CompLL with map, reduce,
+// filter, concat and extract; here it is also a first-class native codec.
+// The algorithm divides the gradient into fixed-size bins, finds each bin's
+// local maximum magnitude, and selects every element whose magnitude
+// reaches `selectivity` x that local max — self-adapting the effective
+// sparsity per layer and per bin (dense bins send more, flat bins less).
+// Dropped elements are carried by ErrorFeedback as usual.
+//
+// Encoded layout: the shared sparse payload (count | k | indices | values).
+#ifndef HIPRESS_SRC_COMPRESS_ADACOMP_H_
+#define HIPRESS_SRC_COMPRESS_ADACOMP_H_
+
+#include "src/compress/compressor.h"
+
+namespace hipress {
+
+class AdaCompCompressor : public Compressor {
+ public:
+  // params.threshold is reused as the selectivity factor in (0, 1]; the
+  // original paper's recipe corresponds to ~1.0 with residual doubling —
+  // lower values keep more elements per bin.
+  explicit AdaCompCompressor(const CompressorParams& params)
+      : selectivity_(params.threshold > 0 && params.threshold <= 1.0f
+                         ? params.threshold
+                         : 0.9f) {}
+
+  static constexpr size_t kBinSize = 512;
+
+  std::string_view name() const override { return "adacomp"; }
+  bool is_sparse() const override { return true; }
+
+  Status Encode(std::span<const float> gradient,
+                ByteBuffer* out) const override;
+  Status Decode(const ByteBuffer& in, std::span<float> out) const override;
+  Status DecodeAdd(const ByteBuffer& in, std::span<float> accum) const override;
+  StatusOr<size_t> EncodedElementCount(const ByteBuffer& in) const override;
+  size_t MaxEncodedSize(size_t elements) const override;
+  double CompressionRate(size_t elements) const override;
+
+  float selectivity() const { return selectivity_; }
+
+ private:
+  float selectivity_;
+};
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_COMPRESS_ADACOMP_H_

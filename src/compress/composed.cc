@@ -1,0 +1,159 @@
+#include "src/compress/composed.h"
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "src/compress/registry.h"
+#include "src/compress/sparse_format.h"
+
+namespace hipress {
+
+ComposedCompressor::ComposedCompressor(std::unique_ptr<Compressor> sparsifier,
+                                       std::unique_ptr<Compressor> quantizer)
+    : sparsifier_(std::move(sparsifier)), quantizer_(std::move(quantizer)) {
+  name_ = std::string(sparsifier_->name()) + "+" +
+          std::string(quantizer_->name());
+}
+
+StatusOr<std::unique_ptr<ComposedCompressor>> ComposedCompressor::Create(
+    std::unique_ptr<Compressor> sparsifier,
+    std::unique_ptr<Compressor> quantizer) {
+  if (sparsifier == nullptr || quantizer == nullptr) {
+    return InvalidArgumentError("composed: null codec");
+  }
+  if (!sparsifier->is_sparse()) {
+    return InvalidArgumentError(
+        "composed: outer codec must be a sparsifier, got " +
+        std::string(sparsifier->name()));
+  }
+  if (quantizer->is_sparse()) {
+    return InvalidArgumentError(
+        "composed: inner codec must be dense, got " +
+        std::string(quantizer->name()));
+  }
+  return std::unique_ptr<ComposedCompressor>(new ComposedCompressor(
+      std::move(sparsifier), std::move(quantizer)));
+}
+
+StatusOr<std::unique_ptr<ComposedCompressor>>
+ComposedCompressor::CreateFromNames(const std::string& sparsifier,
+                                    const std::string& quantizer,
+                                    const CompressorParams& params) {
+  ASSIGN_OR_RETURN(auto outer, CreateCompressor(sparsifier, params));
+  ASSIGN_OR_RETURN(auto inner, CreateCompressor(quantizer, params));
+  return Create(std::move(outer), std::move(inner));
+}
+
+Status ComposedCompressor::Encode(std::span<const float> gradient,
+                                  ByteBuffer* out) const {
+  ByteBuffer sparse;
+  RETURN_IF_ERROR(sparsifier_->Encode(gradient, &sparse));
+  ASSIGN_OR_RETURN(SparseView view, SparseParse(sparse));
+
+  ByteBuffer inner;
+  RETURN_IF_ERROR(quantizer_->Encode(
+      std::span<const float>(view.values, view.k), &inner));
+
+  out->Resize(2 * sizeof(uint32_t) + view.k * sizeof(uint32_t) +
+              sizeof(uint32_t) + inner.size());
+  uint8_t* bytes = out->data();
+  size_t write = 0;
+  std::memcpy(bytes + write, &view.count, sizeof(uint32_t));
+  write += sizeof(uint32_t);
+  std::memcpy(bytes + write, &view.k, sizeof(uint32_t));
+  write += sizeof(uint32_t);
+  std::memcpy(bytes + write, view.indices, view.k * sizeof(uint32_t));
+  write += view.k * sizeof(uint32_t);
+  const uint32_t inner_size = static_cast<uint32_t>(inner.size());
+  std::memcpy(bytes + write, &inner_size, sizeof(inner_size));
+  write += sizeof(inner_size);
+  std::memcpy(bytes + write, inner.data(), inner.size());
+  return OkStatus();
+}
+
+Status ComposedCompressor::DecodeEach(
+    const ByteBuffer& in, size_t expected_elements,
+    const std::function<void(uint32_t, float)>& emit) const {
+  if (in.size() < 3 * sizeof(uint32_t)) {
+    return InvalidArgumentError("composed: buffer shorter than header");
+  }
+  size_t offset = 0;
+  const uint32_t count = in.ReadAt<uint32_t>(offset);
+  const uint32_t k = in.ReadAt<uint32_t>(offset);
+  if (expected_elements != count) {
+    return InvalidArgumentError("composed: output size mismatch");
+  }
+  if (k > count) {
+    return InvalidArgumentError("composed: k exceeds element count");
+  }
+  if (in.size() < 2 * sizeof(uint32_t) + k * sizeof(uint32_t) +
+                      sizeof(uint32_t)) {
+    return InvalidArgumentError("composed: truncated index block");
+  }
+  const auto* indices =
+      reinterpret_cast<const uint32_t*>(in.data() + offset);
+  offset += k * sizeof(uint32_t);
+  const uint32_t inner_size = in.ReadAt<uint32_t>(offset);
+  if (in.size() < offset + inner_size) {
+    return InvalidArgumentError("composed: truncated inner payload");
+  }
+  ByteBuffer inner(std::vector<uint8_t>(in.data() + offset,
+                                        in.data() + offset + inner_size));
+  std::vector<float> values(k, 0.0f);
+  RETURN_IF_ERROR(quantizer_->Decode(inner, values));
+  for (uint32_t i = 0; i < k; ++i) {
+    if (indices[i] >= count) {
+      return InvalidArgumentError("composed: index out of range");
+    }
+    emit(indices[i], values[i]);
+  }
+  return OkStatus();
+}
+
+Status ComposedCompressor::Decode(const ByteBuffer& in,
+                                  std::span<float> out) const {
+  std::fill(out.begin(), out.end(), 0.0f);
+  return DecodeEach(in, out.size(),
+                    [&out](uint32_t index, float value) {
+                      out[index] = value;
+                    });
+}
+
+Status ComposedCompressor::DecodeAdd(const ByteBuffer& in,
+                                     std::span<float> accum) const {
+  return DecodeEach(in, accum.size(),
+                    [&accum](uint32_t index, float value) {
+                      accum[index] += value;
+                    });
+}
+
+StatusOr<size_t> ComposedCompressor::EncodedElementCount(
+    const ByteBuffer& in) const {
+  if (in.size() < sizeof(uint32_t)) {
+    return InvalidArgumentError("composed: buffer shorter than header");
+  }
+  size_t offset = 0;
+  return static_cast<size_t>(in.ReadAt<uint32_t>(offset));
+}
+
+size_t ComposedCompressor::MaxEncodedSize(size_t elements) const {
+  // Outer bound on k from the sparsifier's own sizing.
+  const size_t outer = sparsifier_->MaxEncodedSize(elements);
+  const size_t k = outer >= SparseEncodedSize(0)
+                       ? (outer - 2 * sizeof(uint32_t)) /
+                             (sizeof(uint32_t) + sizeof(float))
+                       : 0;
+  return 3 * sizeof(uint32_t) + k * sizeof(uint32_t) +
+         quantizer_->MaxEncodedSize(k);
+}
+
+double ComposedCompressor::CompressionRate(size_t elements) const {
+  if (elements == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(MaxEncodedSize(elements)) /
+         static_cast<double>(elements * sizeof(float));
+}
+
+}  // namespace hipress

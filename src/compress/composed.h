@@ -1,0 +1,69 @@
+// ComposedCompressor — sparsify, then quantize the survivors.
+//
+// Sparsifiers (DGC/GradDrop/Random-K) ship fp32 values for the kept
+// elements; for very aggressive pipelines the values themselves can be
+// quantized too (GRACE catalogues several such stacks). This adapter runs
+// an outer sparse codec, then re-encodes its value array with an inner
+// dense codec:
+//
+//   outer payload: count | k | indices        (from the sparse codec)
+//   inner payload: the k values, quantized    (from the dense codec)
+//
+// Encoded layout:
+//   uint32 count | uint32 k | k * uint32 indices | uint32 inner_size |
+//   inner payload
+//
+// Decode reverses both stages. Compression rate multiplies roughly as
+// outer_rate * inner_rate / value_share.
+#ifndef HIPRESS_SRC_COMPRESS_COMPOSED_H_
+#define HIPRESS_SRC_COMPRESS_COMPOSED_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/compress/compressor.h"
+
+namespace hipress {
+
+class ComposedCompressor : public Compressor {
+ public:
+  // `sparsifier` must produce the shared sparse payload layout (DGC,
+  // GradDrop, or any codec whose is_sparse() is true); `quantizer` is any
+  // dense codec. Both are owned.
+  static StatusOr<std::unique_ptr<ComposedCompressor>> Create(
+      std::unique_ptr<Compressor> sparsifier,
+      std::unique_ptr<Compressor> quantizer);
+
+  // Convenience: build from registry names, e.g. ("dgc", "fp16").
+  static StatusOr<std::unique_ptr<ComposedCompressor>> CreateFromNames(
+      const std::string& sparsifier, const std::string& quantizer,
+      const CompressorParams& params = {});
+
+  std::string_view name() const override { return name_; }
+  bool is_sparse() const override { return true; }
+
+  Status Encode(std::span<const float> gradient,
+                ByteBuffer* out) const override;
+  Status Decode(const ByteBuffer& in, std::span<float> out) const override;
+  Status DecodeAdd(const ByteBuffer& in, std::span<float> accum) const override;
+  StatusOr<size_t> EncodedElementCount(const ByteBuffer& in) const override;
+  size_t MaxEncodedSize(size_t elements) const override;
+  double CompressionRate(size_t elements) const override;
+
+ private:
+  ComposedCompressor(std::unique_ptr<Compressor> sparsifier,
+                     std::unique_ptr<Compressor> quantizer);
+
+  // Decodes indices and quantized values; calls `emit(index, value)`.
+  Status DecodeEach(const ByteBuffer& in, size_t expected_elements,
+                    const std::function<void(uint32_t, float)>& emit) const;
+
+  std::string name_;
+  std::unique_ptr<Compressor> sparsifier_;
+  std::unique_ptr<Compressor> quantizer_;
+};
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_COMPRESS_COMPOSED_H_

@@ -1,0 +1,28 @@
+#include "src/compress/compressor.h"
+
+#include <vector>
+
+namespace hipress {
+
+Status Compressor::DecodeAdd(const ByteBuffer& in,
+                             std::span<float> accum) const {
+  // Generic fallback: decode into scratch, then add. Codecs override this
+  // with a single-pass fused version where profitable.
+  std::vector<float> scratch(accum.size(), 0.0f);
+  RETURN_IF_ERROR(Decode(in, std::span<float>(scratch)));
+  for (size_t i = 0; i < accum.size(); ++i) {
+    accum[i] += scratch[i];
+  }
+  return OkStatus();
+}
+
+float HashUniform(uint64_t seed, uint64_t index) {
+  // SplitMix64-style finalizer over (seed ^ index-mix).
+  uint64_t z = seed + index * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<float>(z >> 40) * 0x1.0p-24f;
+}
+
+}  // namespace hipress

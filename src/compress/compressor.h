@@ -1,0 +1,89 @@
+// Gradient compression codec interface (CompLL's unified API abstraction).
+//
+// The paper's CompLL exposes exactly two entry points per algorithm:
+//
+//   void encode(float* input, uint8* output, params);
+//   void decode(uint8* input, float* output, params);
+//
+// Compressor mirrors that contract. Codecs are stateless pure functions of
+// their input; algorithm state needed for convergence (error-feedback
+// residuals, momentum correction) lives in ErrorFeedback, layered on top.
+//
+// Encoded buffers are self-describing: every codec writes a small header
+// containing at least the original element count, so decode never needs
+// out-of-band metadata. Compressed gradients are NOT aggregatable — an
+// aggregator must decode, merge, and re-encode, which is precisely the extra
+// work CaSync schedules along the synchronization path.
+#ifndef HIPRESS_SRC_COMPRESS_COMPRESSOR_H_
+#define HIPRESS_SRC_COMPRESS_COMPRESSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/tensor/tensor.h"
+
+namespace hipress {
+
+// Algorithm-specific knobs, following each paper's defaults.
+struct CompressorParams {
+  // TernGrad: quantization bitwidth (2 => 4 levels). Fig. 12b sweeps 2/4/8.
+  unsigned bitwidth = 2;
+  // DGC / GradDrop: fraction of elements kept (0.001 = 0.1%).
+  double sparsity_ratio = 0.001;
+  // TBQ: quantization threshold tau.
+  float threshold = 0.05f;
+  // Seed for stochastic rounding / sampling; element-indexed hashing keeps
+  // results independent of thread sharding.
+  uint64_t seed = 0x5eed;
+};
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Sparsification (index/value pairs) vs quantization (dense low precision).
+  virtual bool is_sparse() const = 0;
+
+  // Compresses `gradient` into `out` (overwritten).
+  virtual Status Encode(std::span<const float> gradient,
+                        ByteBuffer* out) const = 0;
+
+  // Decompresses `in` into `out`, overwriting all elements (sparse codecs
+  // zero-fill the complement). `out.size()` must equal the encoded element
+  // count.
+  virtual Status Decode(const ByteBuffer& in, std::span<float> out) const = 0;
+
+  // Fused decode+merge: accumulates the decoded gradient into `accum`
+  // (the decode/merge fusion called out in Section 5).
+  virtual Status DecodeAdd(const ByteBuffer& in,
+                           std::span<float> accum) const;
+
+  // Number of elements recorded in an encoded buffer's header.
+  virtual StatusOr<size_t> EncodedElementCount(const ByteBuffer& in) const = 0;
+
+  // Worst-case encoded byte size for `elements` input elements.
+  virtual size_t MaxEncodedSize(size_t elements) const = 0;
+
+  // Expected compression rate r = encoded_bytes / original_bytes, used by
+  // the SeCoPa cost model (Table 2's `r`).
+  virtual double CompressionRate(size_t elements) const = 0;
+};
+
+// Shared header every codec places first: element count as uint32.
+// (Gradients above 4G elements would be partitioned long before encoding.)
+inline constexpr size_t kCountHeaderBytes = sizeof(uint32_t);
+
+// Deterministic per-element uniform in [0,1): hash of (seed, index). Using a
+// counter-based generator keeps stochastic rounding identical no matter how
+// encode work is sharded across threads.
+float HashUniform(uint64_t seed, uint64_t index);
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_COMPRESS_COMPRESSOR_H_

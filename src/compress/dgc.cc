@@ -1,0 +1,167 @@
+#include "src/compress/dgc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <future>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/compress/sparse_format.h"
+
+namespace hipress {
+namespace {
+
+// Below this size exact selection is cheaper than sampling + fixup.
+constexpr size_t kExactSelectionLimit = 1 << 16;
+
+// Exact top-k: returns the k-th largest magnitude (selection threshold).
+float ExactThreshold(std::span<const float> gradient, size_t k) {
+  std::vector<float> magnitudes(gradient.size());
+  for (size_t i = 0; i < gradient.size(); ++i) {
+    magnitudes[i] = std::abs(gradient[i]);
+  }
+  std::nth_element(magnitudes.begin(), magnitudes.begin() + (k - 1),
+                   magnitudes.end(), std::greater<float>());
+  return magnitudes[k - 1];
+}
+
+// Sampled threshold: deterministic strided sample, then quantile selection.
+float SampledThreshold(std::span<const float> gradient, size_t k,
+                       uint64_t seed) {
+  const size_t n = gradient.size();
+  const size_t sample_size = std::max<size_t>(4096, n / 100);
+  const size_t stride = std::max<size_t>(1, n / sample_size);
+  const size_t start = seed % stride;
+  std::vector<float> sample;
+  sample.reserve(n / stride + 1);
+  for (size_t i = start; i < n; i += stride) {
+    sample.push_back(std::abs(gradient[i]));
+  }
+  // Keep the same fraction in the sample as in the full gradient.
+  size_t sample_k = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(k) * sample.size() /
+                             static_cast<double>(n)));
+  sample_k = std::min(sample_k, sample.size());
+  std::nth_element(sample.begin(), sample.begin() + (sample_k - 1),
+                   sample.end(), std::greater<float>());
+  return sample[sample_k - 1];
+}
+
+}  // namespace
+
+size_t DgcCompressor::TargetK(size_t elements) const {
+  if (elements == 0) {
+    return 0;
+  }
+  return std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(static_cast<double>(elements) * ratio_)));
+}
+
+Status DgcCompressor::Encode(std::span<const float> gradient,
+                             ByteBuffer* out) const {
+  const size_t n = gradient.size();
+  const size_t target_k = TargetK(n);
+  if (n == 0) {
+    SparseEncode(0, {}, {}, out);
+    return OkStatus();
+  }
+
+  const float threshold = n <= kExactSelectionLimit
+                              ? ExactThreshold(gradient, target_k)
+                              : SampledThreshold(gradient, target_k, seed_);
+
+  // Parallel scan: collect indices above the threshold per shard, in order.
+  const size_t num_shards =
+      std::min<size_t>(ThreadPool::Global().num_threads(),
+                       std::max<size_t>(1, n / (256 * 1024)) );
+  std::vector<std::vector<uint32_t>> shard_hits(std::max<size_t>(1, num_shards));
+  {
+    const size_t shards = shard_hits.size();
+    const size_t shard_size = (n + shards - 1) / shards;
+    std::vector<std::future<void>> futures;
+    for (size_t s = 0; s < shards; ++s) {
+      const size_t begin = s * shard_size;
+      const size_t end = std::min(n, begin + shard_size);
+      if (begin >= end) {
+        continue;
+      }
+      futures.push_back(ThreadPool::Global().Submit([&, s, begin, end] {
+        auto& hits = shard_hits[s];
+        for (size_t i = begin; i < end; ++i) {
+          if (std::abs(gradient[i]) >= threshold) {
+            hits.push_back(static_cast<uint32_t>(i));
+          }
+        }
+      }));
+    }
+    for (auto& f : futures) {
+      f.wait();
+    }
+  }
+
+  std::vector<uint32_t> indices;
+  for (const auto& hits : shard_hits) {
+    indices.insert(indices.end(), hits.begin(), hits.end());
+  }
+
+  // Sampling can overshoot; trim to exactly target_k by magnitude, then
+  // restore index order. (It can also undershoot, in which case we send the
+  // smaller set — the original DGC accepts the same slack.)
+  if (indices.size() > target_k) {
+    std::nth_element(indices.begin(), indices.begin() + (target_k - 1),
+                     indices.end(), [&](uint32_t a, uint32_t b) {
+                       return std::abs(gradient[a]) > std::abs(gradient[b]);
+                     });
+    indices.resize(target_k);
+    std::sort(indices.begin(), indices.end());
+  }
+  if (indices.empty()) {
+    // Degenerate all-zero gradient: send the single largest element so the
+    // payload is never empty (keeps k >= 1 like TargetK promises).
+    uint32_t best = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (std::abs(gradient[i]) > std::abs(gradient[best])) {
+        best = static_cast<uint32_t>(i);
+      }
+    }
+    indices.push_back(best);
+  }
+
+  std::vector<float> values(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    values[i] = gradient[indices[i]];
+  }
+  SparseEncode(static_cast<uint32_t>(n), indices, values, out);
+  return OkStatus();
+}
+
+Status DgcCompressor::Decode(const ByteBuffer& in, std::span<float> out) const {
+  return SparseDecode(in, out);
+}
+
+Status DgcCompressor::DecodeAdd(const ByteBuffer& in,
+                                std::span<float> accum) const {
+  return SparseDecodeAdd(in, accum);
+}
+
+StatusOr<size_t> DgcCompressor::EncodedElementCount(
+    const ByteBuffer& in) const {
+  ASSIGN_OR_RETURN(SparseView view, SparseParse(in));
+  return static_cast<size_t>(view.count);
+}
+
+size_t DgcCompressor::MaxEncodedSize(size_t elements) const {
+  return SparseEncodedSize(TargetK(elements));
+}
+
+double DgcCompressor::CompressionRate(size_t elements) const {
+  if (elements == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(MaxEncodedSize(elements)) /
+         static_cast<double>(elements * sizeof(float));
+}
+
+}  // namespace hipress

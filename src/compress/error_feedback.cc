@@ -1,0 +1,38 @@
+#include "src/compress/error_feedback.h"
+
+namespace hipress {
+
+Status ErrorFeedback::EncodeWithFeedback(const std::string& key,
+                                         std::span<const float> gradient,
+                                         ByteBuffer* out) {
+  auto& residual = residuals_[key];
+  if (residual.size() != gradient.size()) {
+    residual.assign(gradient.size(), 0.0f);
+  }
+
+  // corrected = gradient + residual
+  std::vector<float> corrected(gradient.size());
+  for (size_t i = 0; i < gradient.size(); ++i) {
+    corrected[i] = gradient[i] + residual[i];
+  }
+
+  RETURN_IF_ERROR(compressor_->Encode(corrected, out));
+
+  // residual = corrected - decode(encode(corrected))
+  std::vector<float> decoded(gradient.size(), 0.0f);
+  RETURN_IF_ERROR(compressor_->Decode(*out, decoded));
+  for (size_t i = 0; i < gradient.size(); ++i) {
+    residual[i] = corrected[i] - decoded[i];
+  }
+  return OkStatus();
+}
+
+std::span<const float> ErrorFeedback::residual(const std::string& key) const {
+  auto it = residuals_.find(key);
+  if (it == residuals_.end()) {
+    return {};
+  }
+  return std::span<const float>(it->second);
+}
+
+}  // namespace hipress

@@ -1,0 +1,159 @@
+#include "src/compress/fp16.h"
+
+#include <cstring>
+
+#include "src/common/thread_pool.h"
+
+namespace hipress {
+namespace {
+
+constexpr size_t kParallelGrain = 64 * 1024;
+
+}  // namespace
+
+uint16_t FloatToHalf(float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  int32_t exponent = static_cast<int32_t>((bits >> 23) & 0xff) - 127 + 15;
+  uint32_t mantissa = bits & 0x7fffffu;
+
+  if (exponent >= 0x1f) {
+    // Overflow / inf / NaN.
+    const uint32_t payload = ((bits >> 23) & 0xff) == 0xff && mantissa != 0
+                                 ? 0x200u  // quiet NaN
+                                 : 0u;
+    return static_cast<uint16_t>(sign | 0x7c00u | payload);
+  }
+  if (exponent <= 0) {
+    if (exponent < -10) {
+      return static_cast<uint16_t>(sign);  // underflow to signed zero
+    }
+    // Subnormal: shift mantissa (with implicit leading 1) into place.
+    mantissa |= 0x800000u;
+    const uint32_t shift = static_cast<uint32_t>(14 - exponent);
+    const uint32_t rounded =
+        (mantissa + (1u << (shift - 1))) >> shift;
+    return static_cast<uint16_t>(sign | rounded);
+  }
+  // Normal: round mantissa to 10 bits (round-to-nearest-even).
+  uint32_t half = sign | (static_cast<uint32_t>(exponent) << 10) |
+                  (mantissa >> 13);
+  const uint32_t round_bits = mantissa & 0x1fffu;
+  if (round_bits > 0x1000u ||
+      (round_bits == 0x1000u && (half & 1u) != 0)) {
+    ++half;  // may carry into the exponent, which is still correct
+  }
+  return static_cast<uint16_t>(half);
+}
+
+float HalfToFloat(uint16_t half) {
+  const uint32_t sign = static_cast<uint32_t>(half & 0x8000u) << 16;
+  const uint32_t exponent = (half >> 10) & 0x1fu;
+  const uint32_t mantissa = half & 0x3ffu;
+  uint32_t bits;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      bits = sign;  // signed zero
+    } else {
+      // Subnormal half: renormalize.
+      int e = -1;
+      uint32_t m = mantissa;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      bits = sign | static_cast<uint32_t>(127 - 15 - e) << 23 |
+             ((m & 0x3ffu) << 13);
+    }
+  } else if (exponent == 0x1f) {
+    bits = sign | 0x7f800000u | (mantissa << 13);  // inf / NaN
+  } else {
+    bits = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  float value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+Status Fp16Compressor::Encode(std::span<const float> gradient,
+                              ByteBuffer* out) const {
+  const size_t n = gradient.size();
+  out->Resize(kCountHeaderBytes + n * sizeof(uint16_t));
+  const uint32_t count = static_cast<uint32_t>(n);
+  std::memcpy(out->data(), &count, sizeof(count));
+  auto* halves =
+      reinterpret_cast<uint16_t*>(out->data() + kCountHeaderBytes);
+  ThreadPool::Global().ParallelFor(n, kParallelGrain,
+                                   [&](size_t begin, size_t end) {
+                                     for (size_t i = begin; i < end; ++i) {
+                                       halves[i] = FloatToHalf(gradient[i]);
+                                     }
+                                   });
+  return OkStatus();
+}
+
+namespace {
+
+template <bool kAccumulate>
+Status Fp16DecodeImpl(const ByteBuffer& in, std::span<float> out) {
+  if (in.size() < kCountHeaderBytes) {
+    return InvalidArgumentError("fp16: buffer shorter than header");
+  }
+  size_t offset = 0;
+  const uint32_t count = in.ReadAt<uint32_t>(offset);
+  if (out.size() != count) {
+    return InvalidArgumentError("fp16: output size mismatch");
+  }
+  if (in.size() < kCountHeaderBytes + count * sizeof(uint16_t)) {
+    return InvalidArgumentError("fp16: truncated payload");
+  }
+  const auto* halves =
+      reinterpret_cast<const uint16_t*>(in.data() + kCountHeaderBytes);
+  ThreadPool::Global().ParallelFor(
+      count, kParallelGrain, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          if constexpr (kAccumulate) {
+            out[i] += HalfToFloat(halves[i]);
+          } else {
+            out[i] = HalfToFloat(halves[i]);
+          }
+        }
+      });
+  return OkStatus();
+}
+
+}  // namespace
+
+Status Fp16Compressor::Decode(const ByteBuffer& in,
+                              std::span<float> out) const {
+  return Fp16DecodeImpl<false>(in, out);
+}
+
+Status Fp16Compressor::DecodeAdd(const ByteBuffer& in,
+                                 std::span<float> accum) const {
+  return Fp16DecodeImpl<true>(in, accum);
+}
+
+StatusOr<size_t> Fp16Compressor::EncodedElementCount(
+    const ByteBuffer& in) const {
+  if (in.size() < kCountHeaderBytes) {
+    return InvalidArgumentError("fp16: buffer shorter than header");
+  }
+  size_t offset = 0;
+  return static_cast<size_t>(in.ReadAt<uint32_t>(offset));
+}
+
+size_t Fp16Compressor::MaxEncodedSize(size_t elements) const {
+  return kCountHeaderBytes + elements * sizeof(uint16_t);
+}
+
+double Fp16Compressor::CompressionRate(size_t elements) const {
+  if (elements == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(MaxEncodedSize(elements)) /
+         static_cast<double>(elements * sizeof(float));
+}
+
+}  // namespace hipress

@@ -1,0 +1,39 @@
+// fp16 — half-precision truncation codec.
+//
+// Not one of the paper's five evaluated algorithms, but the baseline every
+// gradient-compression library ships (GRACE includes it, and frameworks'
+// "fp16 allreduce" is the most widely deployed compression of all). Rate is
+// exactly 1/2; the error is bounded by half-precision rounding. Useful in
+// benches as the conservative end of the rate spectrum.
+//
+// Encoded layout: uint32 count | count * 2-byte IEEE half values.
+#ifndef HIPRESS_SRC_COMPRESS_FP16_H_
+#define HIPRESS_SRC_COMPRESS_FP16_H_
+
+#include "src/compress/compressor.h"
+
+namespace hipress {
+
+// Scalar conversions (round-to-nearest-even, overflow to +/-inf).
+uint16_t FloatToHalf(float value);
+float HalfToFloat(uint16_t half);
+
+class Fp16Compressor : public Compressor {
+ public:
+  explicit Fp16Compressor(const CompressorParams& params = {}) {}
+
+  std::string_view name() const override { return "fp16"; }
+  bool is_sparse() const override { return false; }
+
+  Status Encode(std::span<const float> gradient,
+                ByteBuffer* out) const override;
+  Status Decode(const ByteBuffer& in, std::span<float> out) const override;
+  Status DecodeAdd(const ByteBuffer& in, std::span<float> accum) const override;
+  StatusOr<size_t> EncodedElementCount(const ByteBuffer& in) const override;
+  size_t MaxEncodedSize(size_t elements) const override;
+  double CompressionRate(size_t elements) const override;
+};
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_COMPRESS_FP16_H_

@@ -1,0 +1,87 @@
+#include "src/compress/graddrop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "src/compress/sparse_format.h"
+
+namespace hipress {
+
+Status GradDropCompressor::Encode(std::span<const float> gradient,
+                                  ByteBuffer* out) const {
+  const size_t n = gradient.size();
+  if (n == 0) {
+    SparseEncode(0, {}, {}, out);
+    return OkStatus();
+  }
+
+  // Sample ~1% (at least 1024) magnitudes with a deterministic stride and
+  // take the drop threshold at the (1 - ratio) quantile of the sample.
+  const size_t sample_size = std::min(n, std::max<size_t>(1024, n / 100));
+  const size_t stride = std::max<size_t>(1, n / sample_size);
+  std::vector<float> sample;
+  sample.reserve(n / stride + 1);
+  for (size_t i = seed_ % stride; i < n; i += stride) {
+    sample.push_back(std::abs(gradient[i]));
+  }
+  size_t keep_in_sample = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(static_cast<double>(sample.size()) * ratio_)));
+  keep_in_sample = std::min(keep_in_sample, sample.size());
+  std::nth_element(sample.begin(), sample.begin() + (keep_in_sample - 1),
+                   sample.end(), std::greater<float>());
+  const float threshold = sample[keep_in_sample - 1];
+
+  std::vector<uint32_t> indices;
+  std::vector<float> values;
+  indices.reserve(static_cast<size_t>(static_cast<double>(n) * ratio_ * 2) + 8);
+  for (size_t i = 0; i < n; ++i) {
+    if (std::abs(gradient[i]) >= threshold && gradient[i] != 0.0f) {
+      indices.push_back(static_cast<uint32_t>(i));
+      values.push_back(gradient[i]);
+    }
+  }
+  values.resize(indices.size());
+  SparseEncode(static_cast<uint32_t>(n), indices, values, out);
+  return OkStatus();
+}
+
+Status GradDropCompressor::Decode(const ByteBuffer& in,
+                                  std::span<float> out) const {
+  return SparseDecode(in, out);
+}
+
+Status GradDropCompressor::DecodeAdd(const ByteBuffer& in,
+                                     std::span<float> accum) const {
+  return SparseDecodeAdd(in, accum);
+}
+
+StatusOr<size_t> GradDropCompressor::EncodedElementCount(
+    const ByteBuffer& in) const {
+  ASSIGN_OR_RETURN(SparseView view, SparseParse(in));
+  return static_cast<size_t>(view.count);
+}
+
+size_t GradDropCompressor::MaxEncodedSize(size_t elements) const {
+  // Thresholding can overshoot the target fraction; size for 2x slack.
+  const size_t expected = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(static_cast<double>(elements) * ratio_ * 2.0)));
+  return SparseEncodedSize(std::min(elements, expected));
+}
+
+double GradDropCompressor::CompressionRate(size_t elements) const {
+  if (elements == 0) {
+    return 1.0;
+  }
+  // Expected (not worst-case) rate for the cost model.
+  const size_t expected = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(static_cast<double>(elements) * ratio_)));
+  return static_cast<double>(SparseEncodedSize(expected)) /
+         static_cast<double>(elements * sizeof(float));
+}
+
+}  // namespace hipress

@@ -1,0 +1,40 @@
+// GradDrop — sparse communication for distributed SGD (Aji & Heafield,
+// 2017). Drops all but (approximately) the top `sparsity_ratio` fraction of
+// elements by absolute value. Unlike DGC there is no exact-k fixup: the
+// threshold comes from a deterministic sample quantile and every element at
+// or above it is sent, so the selected count jitters around the target —
+// matching the original algorithm. Dropped values are retained locally by
+// the ErrorFeedback wrapper.
+#ifndef HIPRESS_SRC_COMPRESS_GRADDROP_H_
+#define HIPRESS_SRC_COMPRESS_GRADDROP_H_
+
+#include "src/compress/compressor.h"
+
+namespace hipress {
+
+class GradDropCompressor : public Compressor {
+ public:
+  explicit GradDropCompressor(const CompressorParams& params)
+      : ratio_(params.sparsity_ratio), seed_(params.seed) {}
+
+  std::string_view name() const override { return "graddrop"; }
+  bool is_sparse() const override { return true; }
+
+  Status Encode(std::span<const float> gradient,
+                ByteBuffer* out) const override;
+  Status Decode(const ByteBuffer& in, std::span<float> out) const override;
+  Status DecodeAdd(const ByteBuffer& in, std::span<float> accum) const override;
+  StatusOr<size_t> EncodedElementCount(const ByteBuffer& in) const override;
+  size_t MaxEncodedSize(size_t elements) const override;
+  double CompressionRate(size_t elements) const override;
+
+  double ratio() const { return ratio_; }
+
+ private:
+  double ratio_;
+  uint64_t seed_;
+};
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_COMPRESS_GRADDROP_H_

@@ -1,0 +1,170 @@
+#include "src/compress/onebit.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+
+#include "src/common/bitops.h"
+#include "src/common/thread_pool.h"
+
+namespace hipress {
+namespace {
+
+constexpr size_t kHeaderBytes =
+    kCountHeaderBytes + 2 * sizeof(float);  // count, neg_mean, pos_mean
+constexpr size_t kParallelGrain = 64 * 1024;
+
+struct SignStats {
+  double pos_sum = 0.0;
+  double neg_sum = 0.0;
+  size_t pos_count = 0;
+  size_t neg_count = 0;
+};
+
+}  // namespace
+
+Status OnebitCompressor::Encode(std::span<const float> gradient,
+                                ByteBuffer* out) const {
+  const size_t n = gradient.size();
+  out->Resize(kHeaderBytes + PackedBytes(n, 1));
+  uint8_t* bytes = out->data();
+
+  // Pass 1: signed means (sharded reduce).
+  SignStats stats;
+  std::mutex stats_mutex;
+  ThreadPool::Global().ParallelFor(n, kParallelGrain, [&](size_t begin,
+                                                          size_t end) {
+    SignStats local;
+    for (size_t i = begin; i < end; ++i) {
+      const float v = gradient[i];
+      if (v >= 0.0f) {
+        local.pos_sum += v;
+        ++local.pos_count;
+      } else {
+        local.neg_sum += v;
+        ++local.neg_count;
+      }
+    }
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    stats.pos_sum += local.pos_sum;
+    stats.neg_sum += local.neg_sum;
+    stats.pos_count += local.pos_count;
+    stats.neg_count += local.neg_count;
+  });
+  const float pos_mean =
+      stats.pos_count > 0
+          ? static_cast<float>(stats.pos_sum / static_cast<double>(stats.pos_count))
+          : 0.0f;
+  const float neg_mean =
+      stats.neg_count > 0
+          ? static_cast<float>(stats.neg_sum / static_cast<double>(stats.neg_count))
+          : 0.0f;
+
+  const uint32_t count = static_cast<uint32_t>(n);
+  std::memcpy(bytes, &count, sizeof(count));
+  std::memcpy(bytes + sizeof(count), &neg_mean, sizeof(neg_mean));
+  std::memcpy(bytes + sizeof(count) + sizeof(neg_mean), &pos_mean,
+              sizeof(pos_mean));
+
+  // Pass 2: pack sign bits, 8 elements per output byte. Shards are aligned
+  // to 8-element groups so no two shards touch the same byte.
+  uint8_t* packed = bytes + kHeaderBytes;
+  const size_t num_bytes = PackedBytes(n, 1);
+  ThreadPool::Global().ParallelFor(
+      num_bytes, kParallelGrain / 8, [&](size_t byte_begin, size_t byte_end) {
+        for (size_t b = byte_begin; b < byte_end; ++b) {
+          uint8_t byte = 0;
+          const size_t base = b * 8;
+          const size_t limit = std::min<size_t>(8, n - base);
+          for (size_t i = 0; i < limit; ++i) {
+            if (gradient[base + i] >= 0.0f) {
+              byte |= static_cast<uint8_t>(1u << i);
+            }
+          }
+          packed[b] = byte;
+        }
+      });
+  return OkStatus();
+}
+
+Status OnebitCompressor::Decode(const ByteBuffer& in,
+                                std::span<float> out) const {
+  if (in.size() < kHeaderBytes) {
+    return InvalidArgumentError("onebit: buffer shorter than header");
+  }
+  size_t offset = 0;
+  const uint32_t count = in.ReadAt<uint32_t>(offset);
+  const float neg_mean = in.ReadAt<float>(offset);
+  const float pos_mean = in.ReadAt<float>(offset);
+  if (out.size() != count) {
+    return InvalidArgumentError("onebit: output size mismatch");
+  }
+  if (in.size() < kHeaderBytes + PackedBytes(count, 1)) {
+    return InvalidArgumentError("onebit: truncated payload");
+  }
+  const uint8_t* packed = in.data() + kHeaderBytes;
+  ThreadPool::Global().ParallelFor(
+      PackedBytes(count, 1), kParallelGrain / 8,
+      [&](size_t byte_begin, size_t byte_end) {
+        for (size_t b = byte_begin; b < byte_end; ++b) {
+          const uint8_t byte = packed[b];
+          const size_t base = b * 8;
+          const size_t limit = std::min<size_t>(8, count - base);
+          for (size_t i = 0; i < limit; ++i) {
+            out[base + i] = ((byte >> i) & 1u) ? pos_mean : neg_mean;
+          }
+        }
+      });
+  return OkStatus();
+}
+
+Status OnebitCompressor::DecodeAdd(const ByteBuffer& in,
+                                   std::span<float> accum) const {
+  if (in.size() < kHeaderBytes) {
+    return InvalidArgumentError("onebit: buffer shorter than header");
+  }
+  size_t offset = 0;
+  const uint32_t count = in.ReadAt<uint32_t>(offset);
+  const float neg_mean = in.ReadAt<float>(offset);
+  const float pos_mean = in.ReadAt<float>(offset);
+  if (accum.size() != count) {
+    return InvalidArgumentError("onebit: accumulator size mismatch");
+  }
+  const uint8_t* packed = in.data() + kHeaderBytes;
+  ThreadPool::Global().ParallelFor(
+      PackedBytes(count, 1), kParallelGrain / 8,
+      [&](size_t byte_begin, size_t byte_end) {
+        for (size_t b = byte_begin; b < byte_end; ++b) {
+          const uint8_t byte = packed[b];
+          const size_t base = b * 8;
+          const size_t limit = std::min<size_t>(8, count - base);
+          for (size_t i = 0; i < limit; ++i) {
+            accum[base + i] += ((byte >> i) & 1u) ? pos_mean : neg_mean;
+          }
+        }
+      });
+  return OkStatus();
+}
+
+StatusOr<size_t> OnebitCompressor::EncodedElementCount(
+    const ByteBuffer& in) const {
+  if (in.size() < kCountHeaderBytes) {
+    return InvalidArgumentError("onebit: buffer shorter than header");
+  }
+  size_t offset = 0;
+  return static_cast<size_t>(in.ReadAt<uint32_t>(offset));
+}
+
+size_t OnebitCompressor::MaxEncodedSize(size_t elements) const {
+  return kHeaderBytes + PackedBytes(elements, 1);
+}
+
+double OnebitCompressor::CompressionRate(size_t elements) const {
+  if (elements == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(MaxEncodedSize(elements)) /
+         static_cast<double>(elements * sizeof(float));
+}
+
+}  // namespace hipress

@@ -1,0 +1,340 @@
+#include "src/compress/oss_baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "src/common/bitops.h"
+#include "src/compress/sparse_format.h"
+
+namespace hipress {
+namespace {
+
+constexpr size_t kOnebitHeaderBytes = kCountHeaderBytes + 2 * sizeof(float);
+constexpr size_t kTbqHeaderBytes = kCountHeaderBytes + sizeof(float);
+constexpr size_t kTernGradHeaderBytes =
+    kCountHeaderBytes + sizeof(uint8_t) + 2 * sizeof(float);
+
+}  // namespace
+
+// ---------------------------------------------------------------- onebit --
+
+Status OssOnebitCompressor::Encode(std::span<const float> gradient,
+                                   ByteBuffer* out) const {
+  const size_t n = gradient.size();
+  out->Resize(kOnebitHeaderBytes + PackedBytes(n, 1));
+  uint8_t* bytes = out->data();
+
+  // Pass 1 & 2: separate scans for positive and negative means (the OSS
+  // version reduces each side independently).
+  double pos_sum = 0.0;
+  size_t pos_count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (gradient[i] >= 0.0f) {
+      pos_sum += gradient[i];
+      ++pos_count;
+    }
+  }
+  double neg_sum = 0.0;
+  size_t neg_count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (gradient[i] < 0.0f) {
+      neg_sum += gradient[i];
+      ++neg_count;
+    }
+  }
+  const float pos_mean =
+      pos_count > 0 ? static_cast<float>(pos_sum / static_cast<double>(pos_count)) : 0.0f;
+  const float neg_mean =
+      neg_count > 0 ? static_cast<float>(neg_sum / static_cast<double>(neg_count)) : 0.0f;
+
+  const uint32_t count = static_cast<uint32_t>(n);
+  std::memcpy(bytes, &count, sizeof(count));
+  std::memcpy(bytes + sizeof(count), &neg_mean, sizeof(neg_mean));
+  std::memcpy(bytes + sizeof(count) + sizeof(neg_mean), &pos_mean,
+              sizeof(pos_mean));
+
+  // Pass 3: per-bit writes through the generic bit I/O path.
+  uint8_t* packed = bytes + kOnebitHeaderBytes;
+  std::memset(packed, 0, PackedBytes(n, 1));
+  for (size_t i = 0; i < n; ++i) {
+    WriteBits(packed, i, 1, gradient[i] >= 0.0f ? 1u : 0u);
+  }
+  return OkStatus();
+}
+
+Status OssOnebitCompressor::Decode(const ByteBuffer& in,
+                                   std::span<float> out) const {
+  if (in.size() < kOnebitHeaderBytes) {
+    return InvalidArgumentError("oss-onebit: buffer shorter than header");
+  }
+  size_t offset = 0;
+  const uint32_t count = in.ReadAt<uint32_t>(offset);
+  const float neg_mean = in.ReadAt<float>(offset);
+  const float pos_mean = in.ReadAt<float>(offset);
+  if (out.size() != count) {
+    return InvalidArgumentError("oss-onebit: output size mismatch");
+  }
+  if (in.size() < kOnebitHeaderBytes + PackedBytes(count, 1)) {
+    return InvalidArgumentError("oss-onebit: truncated payload");
+  }
+  const uint8_t* packed = in.data() + kOnebitHeaderBytes;
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = ReadBits(packed, i, 1) != 0 ? pos_mean : neg_mean;
+  }
+  return OkStatus();
+}
+
+StatusOr<size_t> OssOnebitCompressor::EncodedElementCount(
+    const ByteBuffer& in) const {
+  if (in.size() < kCountHeaderBytes) {
+    return InvalidArgumentError("oss-onebit: buffer shorter than header");
+  }
+  size_t offset = 0;
+  return static_cast<size_t>(in.ReadAt<uint32_t>(offset));
+}
+
+size_t OssOnebitCompressor::MaxEncodedSize(size_t elements) const {
+  return kOnebitHeaderBytes + PackedBytes(elements, 1);
+}
+
+double OssOnebitCompressor::CompressionRate(size_t elements) const {
+  if (elements == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(MaxEncodedSize(elements)) /
+         static_cast<double>(elements * sizeof(float));
+}
+
+// ------------------------------------------------------------------- tbq --
+
+Status OssTbqCompressor::Encode(std::span<const float> gradient,
+                                ByteBuffer* out) const {
+  const size_t n = gradient.size();
+  out->Resize(kTbqHeaderBytes + PackedBytes(n, 2));
+  uint8_t* bytes = out->data();
+  const uint32_t count = static_cast<uint32_t>(n);
+  std::memcpy(bytes, &count, sizeof(count));
+  std::memcpy(bytes + sizeof(count), &threshold_, sizeof(threshold_));
+
+  // Materialize the ternary codes in a temporary vector first (extra copy),
+  // then pack with generic bit writes.
+  std::vector<uint8_t> codes(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (gradient[i] > threshold_) {
+      codes[i] = 1;
+    } else if (gradient[i] < -threshold_) {
+      codes[i] = 2;
+    }
+  }
+  uint8_t* packed = bytes + kTbqHeaderBytes;
+  std::memset(packed, 0, PackedBytes(n, 2));
+  for (size_t i = 0; i < n; ++i) {
+    WriteBits(packed, i * 2, 2, codes[i]);
+  }
+  return OkStatus();
+}
+
+Status OssTbqCompressor::Decode(const ByteBuffer& in,
+                                std::span<float> out) const {
+  if (in.size() < kTbqHeaderBytes) {
+    return InvalidArgumentError("oss-tbq: buffer shorter than header");
+  }
+  size_t offset = 0;
+  const uint32_t count = in.ReadAt<uint32_t>(offset);
+  const float tau = in.ReadAt<float>(offset);
+  if (out.size() != count) {
+    return InvalidArgumentError("oss-tbq: output size mismatch");
+  }
+  if (in.size() < kTbqHeaderBytes + PackedBytes(count, 2)) {
+    return InvalidArgumentError("oss-tbq: truncated payload");
+  }
+  const uint8_t* packed = in.data() + kTbqHeaderBytes;
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t code = ReadBits(packed, i * 2, 2);
+    out[i] = code == 1 ? tau : (code == 2 ? -tau : 0.0f);
+  }
+  return OkStatus();
+}
+
+StatusOr<size_t> OssTbqCompressor::EncodedElementCount(
+    const ByteBuffer& in) const {
+  if (in.size() < kCountHeaderBytes) {
+    return InvalidArgumentError("oss-tbq: buffer shorter than header");
+  }
+  size_t offset = 0;
+  return static_cast<size_t>(in.ReadAt<uint32_t>(offset));
+}
+
+size_t OssTbqCompressor::MaxEncodedSize(size_t elements) const {
+  return kTbqHeaderBytes + PackedBytes(elements, 2);
+}
+
+double OssTbqCompressor::CompressionRate(size_t elements) const {
+  if (elements == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(MaxEncodedSize(elements)) /
+         static_cast<double>(elements * sizeof(float));
+}
+
+// -------------------------------------------------------------- terngrad --
+
+Status OssTernGradCompressor::Encode(std::span<const float> gradient,
+                                     ByteBuffer* out) const {
+  if (!(bitwidth_ == 1 || bitwidth_ == 2 || bitwidth_ == 4 || bitwidth_ == 8)) {
+    return InvalidArgumentError("oss-terngrad: bitwidth must be 1/2/4/8");
+  }
+  const size_t n = gradient.size();
+  out->Resize(kTernGradHeaderBytes + PackedBytes(n, bitwidth_));
+  uint8_t* bytes = out->data();
+
+  float min_value = n > 0 ? gradient[0] : 0.0f;
+  float max_value = min_value;
+  for (size_t i = 1; i < n; ++i) {
+    min_value = std::min(min_value, gradient[i]);
+  }
+  for (size_t i = 1; i < n; ++i) {
+    max_value = std::max(max_value, gradient[i]);
+  }
+
+  const uint32_t count = static_cast<uint32_t>(n);
+  const uint8_t bits = static_cast<uint8_t>(bitwidth_);
+  size_t write = 0;
+  std::memcpy(bytes + write, &count, sizeof(count));
+  write += sizeof(count);
+  std::memcpy(bytes + write, &bits, sizeof(bits));
+  write += sizeof(bits);
+  std::memcpy(bytes + write, &min_value, sizeof(min_value));
+  write += sizeof(min_value);
+  std::memcpy(bytes + write, &max_value, sizeof(max_value));
+
+  const uint32_t levels = (1u << bitwidth_) - 1;
+  const float gap =
+      levels > 0 ? (max_value - min_value) / static_cast<float>(levels) : 0.0f;
+
+  // Temporary quantized vector, then a second packing pass.
+  std::vector<uint32_t> quantized(n, 0);
+  if (gap > 0.0f) {
+    for (size_t i = 0; i < n; ++i) {
+      const float r = (gradient[i] - min_value) / gap;
+      const float u = HashUniform(seed_, i);
+      quantized[i] =
+          std::min(levels, static_cast<uint32_t>(std::floor(r + u)));
+    }
+  }
+  uint8_t* packed = bytes + kTernGradHeaderBytes;
+  std::memset(packed, 0, PackedBytes(n, bitwidth_));
+  for (size_t i = 0; i < n; ++i) {
+    WriteBits(packed, i * bitwidth_, bitwidth_, quantized[i]);
+  }
+  return OkStatus();
+}
+
+Status OssTernGradCompressor::Decode(const ByteBuffer& in,
+                                     std::span<float> out) const {
+  if (in.size() < kTernGradHeaderBytes) {
+    return InvalidArgumentError("oss-terngrad: buffer shorter than header");
+  }
+  size_t offset = 0;
+  const uint32_t count = in.ReadAt<uint32_t>(offset);
+  const uint8_t bits = in.ReadAt<uint8_t>(offset);
+  const float min_value = in.ReadAt<float>(offset);
+  const float max_value = in.ReadAt<float>(offset);
+  if (out.size() != count) {
+    return InvalidArgumentError("oss-terngrad: output size mismatch");
+  }
+  if (in.size() < kTernGradHeaderBytes + PackedBytes(count, bits)) {
+    return InvalidArgumentError("oss-terngrad: truncated payload");
+  }
+  const uint32_t levels = (1u << bits) - 1;
+  const float gap =
+      levels > 0 ? (max_value - min_value) / static_cast<float>(levels) : 0.0f;
+  const uint8_t* packed = in.data() + kTernGradHeaderBytes;
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t q = ReadBits(packed, i * bits, bits);
+    out[i] = min_value + static_cast<float>(q) * gap;
+  }
+  return OkStatus();
+}
+
+StatusOr<size_t> OssTernGradCompressor::EncodedElementCount(
+    const ByteBuffer& in) const {
+  if (in.size() < kCountHeaderBytes) {
+    return InvalidArgumentError("oss-terngrad: buffer shorter than header");
+  }
+  size_t offset = 0;
+  return static_cast<size_t>(in.ReadAt<uint32_t>(offset));
+}
+
+size_t OssTernGradCompressor::MaxEncodedSize(size_t elements) const {
+  return kTernGradHeaderBytes + PackedBytes(elements, bitwidth_);
+}
+
+double OssTernGradCompressor::CompressionRate(size_t elements) const {
+  if (elements == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(MaxEncodedSize(elements)) /
+         static_cast<double>(elements * sizeof(float));
+}
+
+// ------------------------------------------------------------------- dgc --
+
+Status OssDgcCompressor::Encode(std::span<const float> gradient,
+                                ByteBuffer* out) const {
+  const size_t n = gradient.size();
+  if (n == 0) {
+    SparseEncode(0, {}, {}, out);
+    return OkStatus();
+  }
+  const size_t target_k = std::max<size_t>(
+      1,
+      static_cast<size_t>(std::ceil(static_cast<double>(n) * ratio_)));
+
+  // Full sort of every index by magnitude: exact but O(n log n).
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return std::abs(gradient[a]) > std::abs(gradient[b]);
+  });
+  order.resize(std::min(target_k, n));
+  std::sort(order.begin(), order.end());
+
+  std::vector<float> values(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    values[i] = gradient[order[i]];
+  }
+  SparseEncode(static_cast<uint32_t>(n), order, values, out);
+  return OkStatus();
+}
+
+Status OssDgcCompressor::Decode(const ByteBuffer& in,
+                                std::span<float> out) const {
+  return SparseDecode(in, out);
+}
+
+StatusOr<size_t> OssDgcCompressor::EncodedElementCount(
+    const ByteBuffer& in) const {
+  ASSIGN_OR_RETURN(SparseView view, SparseParse(in));
+  return static_cast<size_t>(view.count);
+}
+
+size_t OssDgcCompressor::MaxEncodedSize(size_t elements) const {
+  const size_t k = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(static_cast<double>(elements) * ratio_)));
+  return SparseEncodedSize(std::min(elements, k));
+}
+
+double OssDgcCompressor::CompressionRate(size_t elements) const {
+  if (elements == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(MaxEncodedSize(elements)) /
+         static_cast<double>(elements * sizeof(float));
+}
+
+}  // namespace hipress

@@ -1,0 +1,85 @@
+#include "src/compress/registry.h"
+
+#include "src/compress/adacomp.h"
+#include "src/compress/dgc.h"
+#include "src/compress/fp16.h"
+#include "src/compress/graddrop.h"
+#include "src/compress/onebit.h"
+#include "src/compress/oss_baselines.h"
+#include "src/compress/tbq.h"
+#include "src/compress/terngrad.h"
+
+namespace hipress {
+namespace {
+
+template <typename T>
+CompressorRegistry::Factory MakeFactory() {
+  return [](const CompressorParams& params) {
+    return std::make_unique<T>(params);
+  };
+}
+
+}  // namespace
+
+CompressorRegistry::CompressorRegistry() {
+  factories_.emplace_back("onebit", MakeFactory<OnebitCompressor>());
+  factories_.emplace_back("fp16", MakeFactory<Fp16Compressor>());
+  factories_.emplace_back("tbq", MakeFactory<TbqCompressor>());
+  factories_.emplace_back("terngrad", MakeFactory<TernGradCompressor>());
+  factories_.emplace_back("dgc", MakeFactory<DgcCompressor>());
+  factories_.emplace_back("graddrop", MakeFactory<GradDropCompressor>());
+  factories_.emplace_back("adacomp", MakeFactory<AdaCompCompressor>());
+  factories_.emplace_back("oss-onebit", MakeFactory<OssOnebitCompressor>());
+  factories_.emplace_back("oss-tbq", MakeFactory<OssTbqCompressor>());
+  factories_.emplace_back("oss-terngrad",
+                          MakeFactory<OssTernGradCompressor>());
+  factories_.emplace_back("oss-dgc", MakeFactory<OssDgcCompressor>());
+}
+
+CompressorRegistry& CompressorRegistry::Instance() {
+  static CompressorRegistry* registry = new CompressorRegistry();
+  return *registry;
+}
+
+Status CompressorRegistry::Register(const std::string& name, Factory factory) {
+  if (Contains(name)) {
+    return AlreadyExistsError("compressor already registered: " + name);
+  }
+  factories_.emplace_back(name, std::move(factory));
+  return OkStatus();
+}
+
+StatusOr<std::unique_ptr<Compressor>> CompressorRegistry::Create(
+    const std::string& name, const CompressorParams& params) const {
+  for (const auto& [registered, factory] : factories_) {
+    if (registered == name) {
+      return factory(params);
+    }
+  }
+  return NotFoundError("unknown compressor: " + name);
+}
+
+bool CompressorRegistry::Contains(const std::string& name) const {
+  for (const auto& [registered, factory] : factories_) {
+    if (registered == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> CompressorRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+StatusOr<std::unique_ptr<Compressor>> CreateCompressor(
+    const std::string& name, const CompressorParams& params) {
+  return CompressorRegistry::Instance().Create(name, params);
+}
+
+}  // namespace hipress

@@ -1,0 +1,78 @@
+#include "src/compress/sparse_format.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace hipress {
+
+void SparseEncode(uint32_t original_count, std::span<const uint32_t> indices,
+                  std::span<const float> values, ByteBuffer* out) {
+  CHECK_EQ(indices.size(), values.size());
+  const uint32_t k = static_cast<uint32_t>(indices.size());
+  out->Resize(SparseEncodedSize(k));
+  uint8_t* bytes = out->data();
+  size_t write = 0;
+  std::memcpy(bytes + write, &original_count, sizeof(original_count));
+  write += sizeof(original_count);
+  std::memcpy(bytes + write, &k, sizeof(k));
+  write += sizeof(k);
+  if (k > 0) {
+    std::memcpy(bytes + write, indices.data(), k * sizeof(uint32_t));
+    write += k * sizeof(uint32_t);
+    std::memcpy(bytes + write, values.data(), k * sizeof(float));
+  }
+}
+
+StatusOr<SparseView> SparseParse(const ByteBuffer& in) {
+  if (in.size() < 2 * sizeof(uint32_t)) {
+    return InvalidArgumentError("sparse: buffer shorter than header");
+  }
+  SparseView view;
+  size_t offset = 0;
+  view.count = in.ReadAt<uint32_t>(offset);
+  view.k = in.ReadAt<uint32_t>(offset);
+  if (view.k > view.count) {
+    return InvalidArgumentError("sparse: k exceeds element count");
+  }
+  if (in.size() < SparseEncodedSize(view.k)) {
+    return InvalidArgumentError("sparse: truncated payload");
+  }
+  view.indices =
+      reinterpret_cast<const uint32_t*>(in.data() + 2 * sizeof(uint32_t));
+  view.values = reinterpret_cast<const float*>(
+      in.data() + 2 * sizeof(uint32_t) + view.k * sizeof(uint32_t));
+  return view;
+}
+
+Status SparseDecode(const ByteBuffer& in, std::span<float> out) {
+  ASSIGN_OR_RETURN(SparseView view, SparseParse(in));
+  if (out.size() != view.count) {
+    return InvalidArgumentError("sparse: output size mismatch");
+  }
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (uint32_t i = 0; i < view.k; ++i) {
+    if (view.indices[i] >= view.count) {
+      return InvalidArgumentError("sparse: index out of range");
+    }
+    out[view.indices[i]] = view.values[i];
+  }
+  return OkStatus();
+}
+
+Status SparseDecodeAdd(const ByteBuffer& in, std::span<float> accum) {
+  ASSIGN_OR_RETURN(SparseView view, SparseParse(in));
+  if (accum.size() != view.count) {
+    return InvalidArgumentError("sparse: accumulator size mismatch");
+  }
+  for (uint32_t i = 0; i < view.k; ++i) {
+    if (view.indices[i] >= view.count) {
+      return InvalidArgumentError("sparse: index out of range");
+    }
+    accum[view.indices[i]] += view.values[i];
+  }
+  return OkStatus();
+}
+
+}  // namespace hipress

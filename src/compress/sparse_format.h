@@ -1,0 +1,46 @@
+// Shared index/value payload layout for sparsification codecs (DGC,
+// GradDrop):
+//
+//   uint32 count | uint32 k | k * uint32 indices | k * float values
+//
+// Indices are strictly increasing, which the decoder relies on for
+// cache-friendly scatters and the fuzz tests verify.
+#ifndef HIPRESS_SRC_COMPRESS_SPARSE_FORMAT_H_
+#define HIPRESS_SRC_COMPRESS_SPARSE_FORMAT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tensor/tensor.h"
+
+namespace hipress {
+
+struct SparseView {
+  uint32_t count = 0;  // original element count
+  uint32_t k = 0;      // selected element count
+  const uint32_t* indices = nullptr;
+  const float* values = nullptr;
+};
+
+constexpr size_t SparseEncodedSize(size_t k) {
+  return 2 * sizeof(uint32_t) + k * (sizeof(uint32_t) + sizeof(float));
+}
+
+// Writes the payload from parallel index/value arrays (already sorted by
+// index ascending).
+void SparseEncode(uint32_t original_count, std::span<const uint32_t> indices,
+                  std::span<const float> values, ByteBuffer* out);
+
+// Validates and maps a payload without copying.
+StatusOr<SparseView> SparseParse(const ByteBuffer& in);
+
+// Scatter into `out` (zero-filling the complement when kOverwrite).
+Status SparseDecode(const ByteBuffer& in, std::span<float> out);
+// Scatter-add into `accum` (fused decode+merge).
+Status SparseDecodeAdd(const ByteBuffer& in, std::span<float> accum);
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_COMPRESS_SPARSE_FORMAT_H_

@@ -1,0 +1,110 @@
+#include "src/compress/speed_profile.h"
+
+namespace hipress {
+namespace {
+
+struct BaseSpeed {
+  double encode_gbps;  // GB/s of original bytes, CompLL impl on V100
+  double decode_gbps;
+  double oss_slowdown;  // CompLL / OSS encode speed ratio (Section 4.4)
+};
+
+// CompLL-grade V100 throughputs per algorithm.
+BaseSpeed BaseFor(std::string_view algorithm) {
+  if (algorithm == "onebit") {
+    // Two passes (signed means + bit packing) over HBM.
+    return BaseSpeed{120.0, 160.0, 1.4};
+  }
+  if (algorithm == "fp16") {
+    // Single pass, pure conversion: the fastest codec.
+    return BaseSpeed{200.0, 250.0, 2.0};
+  }
+  if (algorithm == "tbq") {
+    // One thresholding pass; OSS version measured at ~7 GB/s (12x slower).
+    return BaseSpeed{80.0, 140.0, 12.0};
+  }
+  if (algorithm == "terngrad") {
+    // Two reduces (min/max) + stochastic map.
+    return BaseSpeed{70.0, 130.0, 3.5};
+  }
+  if (algorithm == "dgc") {
+    // Sampling + selection + compaction; OSS is 5.1x slower.
+    return BaseSpeed{30.0, 200.0, 5.1};
+  }
+  if (algorithm == "graddrop") {
+    return BaseSpeed{35.0, 200.0, 4.0};
+  }
+  if (algorithm == "adacomp") {
+    // Two passes per bin (local max + selection), cache-friendly.
+    return BaseSpeed{45.0, 200.0, 4.0};
+  }
+  // Unknown / user-registered algorithm: conservative default.
+  return BaseSpeed{50.0, 100.0, 4.0};
+}
+
+constexpr double kGB = 1e9;
+// 1080 Ti : V100 memory bandwidth ratio (484 / 900 GB/s).
+constexpr double k1080TiScale = 484.0 / 900.0;
+// On-CPU onebit is 35.6x slower than CompLL's GPU kernel (Section 2.5).
+constexpr double kCpuSlowdown = 35.6;
+
+}  // namespace
+
+CodecSpeed GetCodecSpeed(std::string_view algorithm, CodecImpl impl,
+                         GpuPlatform platform) {
+  const BaseSpeed base = BaseFor(algorithm);
+  double encode_bps = base.encode_gbps * kGB;
+  double decode_bps = base.decode_gbps * kGB;
+  // Kernel launch + stream sync + CPU-GPU handshake per operator.
+  SimTime overhead = FromMicros(25.0);
+
+  switch (impl) {
+    case CodecImpl::kCompLL:
+      break;
+    case CodecImpl::kOss:
+      encode_bps /= base.oss_slowdown;
+      decode_bps /= base.oss_slowdown;
+      overhead = FromMicros(30.0);  // extra memory copies in the OSS path
+      break;
+    case CodecImpl::kCpu:
+      encode_bps /= kCpuSlowdown;
+      decode_bps /= kCpuSlowdown;
+      // CPU path additionally pays a PCIe round trip for the gradient; fold
+      // a 12 GB/s device-to-host copy into the effective throughput.
+      encode_bps = 1.0 / (1.0 / encode_bps + 1.0 / 12e9);
+      decode_bps = 1.0 / (1.0 / decode_bps + 1.0 / 12e9);
+      overhead = FromMicros(50.0);
+      break;
+  }
+  if (platform == GpuPlatform::k1080Ti && impl != CodecImpl::kCpu) {
+    encode_bps *= k1080TiScale;
+    decode_bps *= k1080TiScale;
+  }
+
+  CodecSpeed speed;
+  speed.encode = KernelCost{overhead, encode_bps};
+  speed.decode = KernelCost{overhead, decode_bps};
+  return speed;
+}
+
+KernelCost GetMergeCost(GpuPlatform platform) {
+  double bps = 220e9;  // axpy-style kernel, read+read+write over HBM
+  if (platform == GpuPlatform::k1080Ti) {
+    bps *= k1080TiScale;
+  }
+  return KernelCost{FromMicros(10.0), bps};
+}
+
+double ComputeScale(GpuPlatform platform) {
+  switch (platform) {
+    case GpuPlatform::kV100:
+      return 1.0;
+    case GpuPlatform::k1080Ti:
+      // fp32 TFLOPS ratio: ~11.3 (1080 Ti) vs ~15.7 (V100), further derated
+      // for the V100's tensor-core advantage on DNN kernels.
+      return 0.55;
+  }
+  return 1.0;
+}
+
+}  // namespace hipress

@@ -1,0 +1,61 @@
+// Calibrated kernel-speed profiles for the discrete-event simulations.
+//
+// The cluster simulator needs T_enc(m) / T_dec(m) / T_merge(m) (Table 2)
+// without running the real codecs over 100+ MB tensors on every simulated
+// step. These linear profiles (launch overhead + bytes/throughput) are
+// calibrated against the figures the paper reports:
+//
+//   * OSS-TBQ GPU encodes 256 MB in 38.2 ms (~7 GB/s); CompLL-TBQ is 12x
+//     faster (Section 4.4).
+//   * CompLL-DGC outperforms the hand-optimized OSS-DGC GPU encode by up to
+//     5.1x (Section 4.4).
+//   * CompLL-onebit runs up to 35.6x faster than the OSS CPU onebit
+//     (Sections 2.5 and 4.4).
+//   * V100 HBM2 ~900 GB/s; a multi-pass quantizer lands at 70-160 GB/s of
+//     input traffic. The 1080 Ti scales by its 484/900 bandwidth ratio.
+//
+// Throughputs are in bytes of ORIGINAL (uncompressed) gradient processed per
+// second, so T(m) is always a function of the uncompressed partition size —
+// matching how the paper's cost model is parameterized.
+#ifndef HIPRESS_SRC_COMPRESS_SPEED_PROFILE_H_
+#define HIPRESS_SRC_COMPRESS_SPEED_PROFILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/units.h"
+#include "src/simgpu/gpu.h"
+
+namespace hipress {
+
+enum class GpuPlatform {
+  kV100,    // AWS p3dn.24xlarge cluster
+  k1080Ti,  // local cluster
+};
+
+enum class CodecImpl {
+  kCompLL,  // generated, optimized (on-GPU)
+  kOss,     // open-source counterpart (on-GPU where one exists)
+  kCpu,     // on-CPU implementation (BytePS's original onebit)
+};
+
+struct CodecSpeed {
+  KernelCost encode;
+  KernelCost decode;
+};
+
+// Speed profile for one (algorithm, implementation, platform) triple.
+// Unknown algorithm names get a conservative generic profile.
+CodecSpeed GetCodecSpeed(std::string_view algorithm, CodecImpl impl,
+                         GpuPlatform platform);
+
+// Gradient merge (element-wise add) kernel cost.
+KernelCost GetMergeCost(GpuPlatform platform);
+
+// DNN compute capability scale factor relative to V100 (used by the model
+// compute-time profiles).
+double ComputeScale(GpuPlatform platform);
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_COMPRESS_SPEED_PROFILE_H_

@@ -1,0 +1,132 @@
+#include "src/compress/tbq.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/bitops.h"
+#include "src/common/thread_pool.h"
+
+namespace hipress {
+namespace {
+
+constexpr size_t kHeaderBytes = kCountHeaderBytes + sizeof(float);
+constexpr size_t kParallelGrain = 16 * 1024;  // bytes of packed output
+
+constexpr uint8_t kZero = 0;
+constexpr uint8_t kPlus = 1;
+constexpr uint8_t kMinus = 2;
+
+}  // namespace
+
+Status TbqCompressor::Encode(std::span<const float> gradient,
+                             ByteBuffer* out) const {
+  const size_t n = gradient.size();
+  out->Resize(kHeaderBytes + PackedBytes(n, 2));
+  uint8_t* bytes = out->data();
+  const uint32_t count = static_cast<uint32_t>(n);
+  std::memcpy(bytes, &count, sizeof(count));
+  std::memcpy(bytes + sizeof(count), &threshold_, sizeof(threshold_));
+
+  uint8_t* packed = bytes + kHeaderBytes;
+  const size_t num_bytes = PackedBytes(n, 2);
+  const float tau = threshold_;
+  // 4 codes per output byte; shards own disjoint bytes.
+  ThreadPool::Global().ParallelFor(
+      num_bytes, kParallelGrain, [&](size_t byte_begin, size_t byte_end) {
+        for (size_t b = byte_begin; b < byte_end; ++b) {
+          uint8_t byte = 0;
+          const size_t base = b * 4;
+          const size_t limit = std::min<size_t>(4, n - base);
+          for (size_t i = 0; i < limit; ++i) {
+            const float v = gradient[base + i];
+            uint8_t code = kZero;
+            if (v > tau) {
+              code = kPlus;
+            } else if (v < -tau) {
+              code = kMinus;
+            }
+            byte |= static_cast<uint8_t>(code << (2 * i));
+          }
+          packed[b] = byte;
+        }
+      });
+  return OkStatus();
+}
+
+namespace {
+
+// Shared decode walk; Accumulate selects overwrite vs fused add.
+template <bool kAccumulate>
+Status TbqDecodeImpl(const ByteBuffer& in, std::span<float> out) {
+  if (in.size() < kHeaderBytes) {
+    return InvalidArgumentError("tbq: buffer shorter than header");
+  }
+  size_t offset = 0;
+  const uint32_t count = in.ReadAt<uint32_t>(offset);
+  const float tau = in.ReadAt<float>(offset);
+  if (out.size() != count) {
+    return InvalidArgumentError("tbq: output size mismatch");
+  }
+  if (in.size() < kHeaderBytes + PackedBytes(count, 2)) {
+    return InvalidArgumentError("tbq: truncated payload");
+  }
+  const uint8_t* packed = in.data() + kHeaderBytes;
+  ThreadPool::Global().ParallelFor(
+      PackedBytes(count, 2), kParallelGrain,
+      [&](size_t byte_begin, size_t byte_end) {
+        for (size_t b = byte_begin; b < byte_end; ++b) {
+          const uint8_t byte = packed[b];
+          const size_t base = b * 4;
+          const size_t limit = std::min<size_t>(4, count - base);
+          for (size_t i = 0; i < limit; ++i) {
+            const uint8_t code = (byte >> (2 * i)) & 3u;
+            float value = 0.0f;
+            if (code == kPlus) {
+              value = tau;
+            } else if (code == kMinus) {
+              value = -tau;
+            }
+            if constexpr (kAccumulate) {
+              out[base + i] += value;
+            } else {
+              out[base + i] = value;
+            }
+          }
+        }
+      });
+  return OkStatus();
+}
+
+}  // namespace
+
+Status TbqCompressor::Decode(const ByteBuffer& in, std::span<float> out) const {
+  return TbqDecodeImpl<false>(in, out);
+}
+
+Status TbqCompressor::DecodeAdd(const ByteBuffer& in,
+                                std::span<float> accum) const {
+  return TbqDecodeImpl<true>(in, accum);
+}
+
+StatusOr<size_t> TbqCompressor::EncodedElementCount(
+    const ByteBuffer& in) const {
+  if (in.size() < kCountHeaderBytes) {
+    return InvalidArgumentError("tbq: buffer shorter than header");
+  }
+  size_t offset = 0;
+  return static_cast<size_t>(in.ReadAt<uint32_t>(offset));
+}
+
+size_t TbqCompressor::MaxEncodedSize(size_t elements) const {
+  return kHeaderBytes + PackedBytes(elements, 2);
+}
+
+double TbqCompressor::CompressionRate(size_t elements) const {
+  if (elements == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(MaxEncodedSize(elements)) /
+         static_cast<double>(elements * sizeof(float));
+}
+
+}  // namespace hipress

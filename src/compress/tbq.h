@@ -1,0 +1,41 @@
+// TBQ — threshold binary quantization (Strom, 2015).
+//
+// Elements whose magnitude exceeds a fixed threshold tau are transmitted as
+// +tau or -tau; everything else becomes zero (and is carried in the error
+// residual by the ErrorFeedback wrapper, per the original algorithm). Each
+// element costs 2 bits: {0 -> 0, 1 -> +tau, 2 -> -tau}.
+//
+// Encoded layout:
+//   uint32 count | float threshold | ceil(count/4) code bytes (2 bits each)
+#ifndef HIPRESS_SRC_COMPRESS_TBQ_H_
+#define HIPRESS_SRC_COMPRESS_TBQ_H_
+
+#include "src/compress/compressor.h"
+
+namespace hipress {
+
+class TbqCompressor : public Compressor {
+ public:
+  explicit TbqCompressor(const CompressorParams& params)
+      : threshold_(params.threshold) {}
+
+  std::string_view name() const override { return "tbq"; }
+  bool is_sparse() const override { return false; }
+
+  Status Encode(std::span<const float> gradient,
+                ByteBuffer* out) const override;
+  Status Decode(const ByteBuffer& in, std::span<float> out) const override;
+  Status DecodeAdd(const ByteBuffer& in, std::span<float> accum) const override;
+  StatusOr<size_t> EncodedElementCount(const ByteBuffer& in) const override;
+  size_t MaxEncodedSize(size_t elements) const override;
+  double CompressionRate(size_t elements) const override;
+
+  float threshold() const { return threshold_; }
+
+ private:
+  float threshold_;
+};
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_COMPRESS_TBQ_H_

@@ -1,0 +1,177 @@
+#include "src/compress/terngrad.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+
+#include "src/common/bitops.h"
+#include "src/common/thread_pool.h"
+
+namespace hipress {
+namespace {
+
+constexpr size_t kHeaderBytes =
+    kCountHeaderBytes + sizeof(uint8_t) + 2 * sizeof(float);
+constexpr size_t kParallelGrain = 16 * 1024;
+
+bool ValidBitwidth(unsigned bits) {
+  return bits == 1 || bits == 2 || bits == 4 || bits == 8;
+}
+
+}  // namespace
+
+Status TernGradCompressor::Encode(std::span<const float> gradient,
+                                  ByteBuffer* out) const {
+  if (!ValidBitwidth(bitwidth_)) {
+    return InvalidArgumentError("terngrad: bitwidth must be 1/2/4/8");
+  }
+  const size_t n = gradient.size();
+  out->Resize(kHeaderBytes + PackedBytes(n, bitwidth_));
+  uint8_t* bytes = out->data();
+
+  // Pass 1: min/max reduce (sharded).
+  float min_value = n > 0 ? gradient[0] : 0.0f;
+  float max_value = min_value;
+  std::mutex minmax_mutex;
+  ThreadPool::Global().ParallelFor(n, 64 * 1024, [&](size_t begin,
+                                                     size_t end) {
+    float local_min = gradient[begin];
+    float local_max = gradient[begin];
+    for (size_t i = begin + 1; i < end; ++i) {
+      local_min = std::min(local_min, gradient[i]);
+      local_max = std::max(local_max, gradient[i]);
+    }
+    std::lock_guard<std::mutex> lock(minmax_mutex);
+    min_value = std::min(min_value, local_min);
+    max_value = std::max(max_value, local_max);
+  });
+
+  const uint32_t count = static_cast<uint32_t>(n);
+  const uint8_t bits = static_cast<uint8_t>(bitwidth_);
+  size_t write = 0;
+  std::memcpy(bytes + write, &count, sizeof(count));
+  write += sizeof(count);
+  std::memcpy(bytes + write, &bits, sizeof(bits));
+  write += sizeof(bits);
+  std::memcpy(bytes + write, &min_value, sizeof(min_value));
+  write += sizeof(min_value);
+  std::memcpy(bytes + write, &max_value, sizeof(max_value));
+
+  const uint32_t levels = (1u << bitwidth_) - 1;
+  const float gap =
+      levels > 0 ? (max_value - min_value) / static_cast<float>(levels) : 0.0f;
+  const float inv_gap = gap > 0.0f ? 1.0f / gap : 0.0f;
+  uint8_t* packed = bytes + kHeaderBytes;
+  const unsigned per_byte = 8 / bitwidth_;
+  const size_t num_bytes = PackedBytes(n, bitwidth_);
+  const uint64_t seed = seed_;
+  const unsigned bitwidth = bitwidth_;
+
+  // Pass 2: stochastic quantize + pack. Element-indexed hashing makes the
+  // rounding independent of how shards split the range.
+  ThreadPool::Global().ParallelFor(
+      num_bytes, kParallelGrain, [&](size_t byte_begin, size_t byte_end) {
+        for (size_t b = byte_begin; b < byte_end; ++b) {
+          uint8_t byte = 0;
+          const size_t base = b * per_byte;
+          const size_t limit = std::min<size_t>(per_byte, n - base);
+          for (size_t i = 0; i < limit; ++i) {
+            const size_t idx = base + i;
+            uint32_t q = 0;
+            if (gap > 0.0f) {
+              const float r = (gradient[idx] - min_value) * inv_gap;
+              const float u = HashUniform(seed, idx);
+              q = static_cast<uint32_t>(std::floor(r + u));
+              q = std::min(q, levels);
+            }
+            byte |= static_cast<uint8_t>(q << (i * bitwidth));
+          }
+          packed[b] = byte;
+        }
+      });
+  return OkStatus();
+}
+
+namespace {
+
+template <bool kAccumulate>
+Status TernGradDecodeImpl(const ByteBuffer& in, std::span<float> out) {
+  if (in.size() < kHeaderBytes) {
+    return InvalidArgumentError("terngrad: buffer shorter than header");
+  }
+  size_t offset = 0;
+  const uint32_t count = in.ReadAt<uint32_t>(offset);
+  const uint8_t bits = in.ReadAt<uint8_t>(offset);
+  const float min_value = in.ReadAt<float>(offset);
+  const float max_value = in.ReadAt<float>(offset);
+  if (!(bits == 1 || bits == 2 || bits == 4 || bits == 8)) {
+    return InvalidArgumentError("terngrad: corrupt bitwidth");
+  }
+  if (out.size() != count) {
+    return InvalidArgumentError("terngrad: output size mismatch");
+  }
+  if (in.size() < kHeaderBytes + PackedBytes(count, bits)) {
+    return InvalidArgumentError("terngrad: truncated payload");
+  }
+  const uint32_t levels = (1u << bits) - 1;
+  const float gap =
+      levels > 0 ? (max_value - min_value) / static_cast<float>(levels) : 0.0f;
+  const uint8_t* packed = in.data() + kHeaderBytes;
+  const unsigned per_byte = 8 / bits;
+  const uint8_t mask = static_cast<uint8_t>((1u << bits) - 1);
+  ThreadPool::Global().ParallelFor(
+      PackedBytes(count, bits), kParallelGrain,
+      [&](size_t byte_begin, size_t byte_end) {
+        for (size_t b = byte_begin; b < byte_end; ++b) {
+          const uint8_t byte = packed[b];
+          const size_t base = b * per_byte;
+          const size_t limit = std::min<size_t>(per_byte, count - base);
+          for (size_t i = 0; i < limit; ++i) {
+            const uint32_t q = (byte >> (i * bits)) & mask;
+            const float value = min_value + static_cast<float>(q) * gap;
+            if constexpr (kAccumulate) {
+              out[base + i] += value;
+            } else {
+              out[base + i] = value;
+            }
+          }
+        }
+      });
+  return OkStatus();
+}
+
+}  // namespace
+
+Status TernGradCompressor::Decode(const ByteBuffer& in,
+                                  std::span<float> out) const {
+  return TernGradDecodeImpl<false>(in, out);
+}
+
+Status TernGradCompressor::DecodeAdd(const ByteBuffer& in,
+                                     std::span<float> accum) const {
+  return TernGradDecodeImpl<true>(in, accum);
+}
+
+StatusOr<size_t> TernGradCompressor::EncodedElementCount(
+    const ByteBuffer& in) const {
+  if (in.size() < kCountHeaderBytes) {
+    return InvalidArgumentError("terngrad: buffer shorter than header");
+  }
+  size_t offset = 0;
+  return static_cast<size_t>(in.ReadAt<uint32_t>(offset));
+}
+
+size_t TernGradCompressor::MaxEncodedSize(size_t elements) const {
+  return kHeaderBytes + PackedBytes(elements, bitwidth_);
+}
+
+double TernGradCompressor::CompressionRate(size_t elements) const {
+  if (elements == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(MaxEncodedSize(elements)) /
+         static_cast<double>(elements * sizeof(float));
+}
+
+}  // namespace hipress

@@ -1,0 +1,27 @@
+#include "src/hipress/hipress.h"
+
+#include "src/compll/dsl_compressor.h"
+
+namespace hipress {
+
+StatusOr<HiPressResult> RunTrainingSimulation(const HiPressOptions& options) {
+  HiPressResult result;
+  ASSIGN_OR_RETURN(result.profile, GetModelProfile(options.model));
+  ClusterSpec cluster = options.cluster;
+  if (options.disable_rdma) {
+    cluster.net = WithoutRdma(cluster.net);
+  }
+  ASSIGN_OR_RETURN(result.config,
+                   MakeSystemConfig(options.system, cluster,
+                                    options.algorithm, options.codec_params));
+  ASSIGN_OR_RETURN(result.report,
+                   SimulateTraining(result.profile, result.config,
+                                    options.train));
+  return result;
+}
+
+Status RegisterDslAlgorithms() {
+  return compll::DslCompressor::RegisterBuiltinsIntoRegistry();
+}
+
+}  // namespace hipress

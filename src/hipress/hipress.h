@@ -1,0 +1,53 @@
+// HiPress — top-level public API.
+//
+// Ties CaSync, CompLL and the substrates together the way the paper's
+// framework does: pick a model (Table 6), a system (baseline or HiPress
+// configuration), a compression algorithm, and a cluster; run data-parallel
+// training; collect the evaluation metrics.
+//
+//   HiPressOptions options;
+//   options.model = "bert-large";
+//   options.system = "hipress-ps";
+//   options.algorithm = "onebit";
+//   options.cluster = ClusterSpec::Ec2(16);
+//   auto result = RunTrainingSimulation(options);
+//   // result->report.throughput, .scaling_efficiency, ...
+#ifndef HIPRESS_SRC_HIPRESS_HIPRESS_H_
+#define HIPRESS_SRC_HIPRESS_HIPRESS_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/models/model_profile.h"
+#include "src/strategies/presets.h"
+#include "src/train/trainer.h"
+
+namespace hipress {
+
+struct HiPressOptions {
+  std::string model = "bert-large";
+  std::string system = "hipress-ps";  // see presets.h for the catalogue
+  std::string algorithm = "onebit";
+  CompressorParams codec_params;
+  ClusterSpec cluster = ClusterSpec::Ec2(16);
+  TrainOptions train;
+  // Strips RDMA from the network (BytePS on EC2, Section 6.1).
+  bool disable_rdma = false;
+};
+
+struct HiPressResult {
+  ModelProfile profile;
+  SyncConfig config;
+  TrainReport report;
+};
+
+// Runs one end-to-end training simulation.
+StatusOr<HiPressResult> RunTrainingSimulation(const HiPressOptions& options);
+
+// Registers the CompLL DSL-built algorithms ("dsl-onebit", ...) into the
+// global compressor registry. Idempotent.
+Status RegisterDslAlgorithms();
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_HIPRESS_HIPRESS_H_

@@ -1,0 +1,145 @@
+#include "src/minidnn/dist_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/compress/registry.h"
+
+namespace hipress {
+
+void SyntheticTask::Sample(Rng& rng, int batch, std::vector<float>* inputs,
+                           std::vector<int>* labels) const {
+  inputs->assign(static_cast<size_t>(batch) * input_dim, 0.0f);
+  labels->assign(batch, 0);
+  // Class means on deterministic unit directions derived from the task
+  // seed, so every worker/eval batch shares the same geometry.
+  Rng mean_rng(seed);
+  std::vector<float> means(static_cast<size_t>(num_classes) * input_dim);
+  for (float& m : means) {
+    m = static_cast<float>(mean_rng.NextGaussian());
+  }
+  for (int s = 0; s < batch; ++s) {
+    const int label = static_cast<int>(rng.NextBounded(num_classes));
+    (*labels)[s] = label;
+    const float* mean = &means[static_cast<size_t>(label) * input_dim];
+    float* x = &(*inputs)[static_cast<size_t>(s) * input_dim];
+    for (int i = 0; i < input_dim; ++i) {
+      x[i] = mean[i] +
+             cluster_spread * static_cast<float>(rng.NextGaussian());
+    }
+  }
+}
+
+DistTrainer::DistTrainer(const DistTrainConfig& config)
+    : config_(config), model_(config.model), eval_rng_(config.task.seed ^ 0xe7a1) {}
+
+StatusOr<std::unique_ptr<DistTrainer>> DistTrainer::Create(
+    const DistTrainConfig& config) {
+  if (config.num_workers < 1) {
+    return InvalidArgumentError("need at least one worker");
+  }
+  if (config.model.input_dim != config.task.input_dim ||
+      config.model.output_dim != config.task.num_classes) {
+    return InvalidArgumentError("model dims must match the task");
+  }
+  std::unique_ptr<DistTrainer> trainer(new DistTrainer(config));
+  if (!config.algorithm.empty()) {
+    ASSIGN_OR_RETURN(trainer->codec_, CreateCompressor(config.algorithm,
+                                                       config.codec_params));
+    auto shared = std::shared_ptr<const Compressor>(
+        trainer->codec_.get(), [](const Compressor*) {});
+    for (int w = 0; w < config.num_workers; ++w) {
+      trainer->feedback_.push_back(std::make_unique<ErrorFeedback>(shared));
+    }
+  }
+  trainer->dataflow_ = std::make_unique<DataflowRunner>(
+      config.strategy, trainer->codec_.get());
+  Rng root(config.task.seed);
+  for (int w = 0; w < config.num_workers; ++w) {
+    trainer->worker_rngs_.push_back(root.Fork(static_cast<uint64_t>(w) + 1));
+  }
+  config.task.Sample(trainer->eval_rng_, trainer->eval_batch_,
+                     &trainer->eval_inputs_, &trainer->eval_labels_);
+  return trainer;
+}
+
+StatusOr<double> DistTrainer::Step() {
+  const int workers = config_.num_workers;
+  const size_t num_params = model_.parameters().size();
+
+  // Per-worker local gradients.
+  std::vector<std::vector<Tensor>> worker_grads(workers);
+  double loss_sum = 0.0;
+  for (int w = 0; w < workers; ++w) {
+    worker_grads[w] = model_.MakeGradients();
+    std::vector<float> inputs;
+    std::vector<int> labels;
+    config_.task.Sample(worker_rngs_[w], config_.batch_per_worker, &inputs,
+                        &labels);
+    loss_sum += model_.BackwardCrossEntropy(inputs, labels,
+                                            config_.batch_per_worker,
+                                            &worker_grads[w]);
+  }
+
+  // Synchronize parameter by parameter (layer-wise, like the paper).
+  std::vector<Tensor> synced = model_.MakeGradients();
+  for (size_t p = 0; p < num_params; ++p) {
+    std::vector<Tensor> inputs;
+    inputs.reserve(workers);
+    for (int w = 0; w < workers; ++w) {
+      Tensor& grad = worker_grads[w][p];
+      if (codec_ != nullptr) {
+        // Error feedback: feed corrected = grad + residual into the sync;
+        // EncodeWithFeedback updates the worker's residual with the same
+        // deterministic encode the dataflow will apply.
+        Tensor corrected(grad.name(), grad.size());
+        const auto residual = feedback_[w]->residual(grad.name());
+        for (size_t i = 0; i < grad.size(); ++i) {
+          corrected[i] =
+              grad[i] + (i < residual.size() ? residual[i] : 0.0f);
+        }
+        ByteBuffer scratch;
+        RETURN_IF_ERROR(feedback_[w]->EncodeWithFeedback(grad.name(),
+                                                         grad.span(),
+                                                         &scratch));
+        inputs.push_back(std::move(corrected));
+      } else {
+        inputs.push_back(grad);
+      }
+    }
+    ASSIGN_OR_RETURN(std::vector<Tensor> outputs,
+                     dataflow_->Run(inputs, config_.partitions));
+    synced[p] = std::move(outputs[0]);
+    synced[p].Scale(1.0f / static_cast<float>(workers));
+  }
+
+  model_.ApplySgd(synced, config_.learning_rate, config_.momentum,
+                  &velocity_);
+  return loss_sum / workers;
+}
+
+StatusOr<DistTrainResult> DistTrainer::Train(int steps, int eval_every,
+                                             double target_accuracy) {
+  DistTrainResult result;
+  for (int step = 1; step <= steps; ++step) {
+    ASSIGN_OR_RETURN(const double loss, Step());
+    if (step % eval_every == 0 || step == steps) {
+      TrainCurvePoint point;
+      point.step = step;
+      point.loss = loss;
+      point.perplexity = std::exp(loss);
+      point.accuracy =
+          model_.Accuracy(eval_inputs_, eval_labels_, eval_batch_);
+      result.curve.push_back(point);
+      if (result.steps_to_target < 0 &&
+          point.accuracy >= target_accuracy) {
+        result.steps_to_target = step;
+      }
+      result.final_accuracy = point.accuracy;
+      result.final_loss = loss;
+    }
+  }
+  return result;
+}
+
+}  // namespace hipress

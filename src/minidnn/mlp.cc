@@ -1,0 +1,183 @@
+#include "src/minidnn/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace hipress {
+namespace {
+
+// Hidden activations for one batch; returned alongside logits so backward
+// can reuse them.
+struct ForwardState {
+  std::vector<float> hidden;  // batch x hidden (post-tanh)
+  std::vector<float> logits;  // batch x output
+};
+
+ForwardState RunForward(const MlpConfig& config,
+                        const std::vector<Tensor>& params,
+                        const std::vector<float>& inputs, int batch) {
+  const int in = config.input_dim;
+  const int hid = config.hidden_dim;
+  const int out = config.output_dim;
+  const Tensor& w1 = params[0];
+  const Tensor& b1 = params[1];
+  const Tensor& w2 = params[2];
+  const Tensor& b2 = params[3];
+
+  ForwardState state;
+  state.hidden.assign(static_cast<size_t>(batch) * hid, 0.0f);
+  state.logits.assign(static_cast<size_t>(batch) * out, 0.0f);
+  for (int s = 0; s < batch; ++s) {
+    const float* x = &inputs[static_cast<size_t>(s) * in];
+    float* h = &state.hidden[static_cast<size_t>(s) * hid];
+    for (int j = 0; j < hid; ++j) {
+      float sum = b1[j];
+      const float* row = w1.data() + static_cast<size_t>(j) * in;
+      for (int i = 0; i < in; ++i) {
+        sum += row[i] * x[i];
+      }
+      h[j] = std::tanh(sum);
+    }
+    float* z = &state.logits[static_cast<size_t>(s) * out];
+    for (int k = 0; k < out; ++k) {
+      float sum = b2[k];
+      const float* row = w2.data() + static_cast<size_t>(k) * hid;
+      for (int j = 0; j < hid; ++j) {
+        sum += row[j] * h[j];
+      }
+      z[k] = sum;
+    }
+  }
+  return state;
+}
+
+}  // namespace
+
+Mlp::Mlp(const MlpConfig& config) : config_(config) {
+  Rng rng(config.init_seed);
+  const int in = config.input_dim;
+  const int hid = config.hidden_dim;
+  const int out = config.output_dim;
+  params_.emplace_back("w1", static_cast<size_t>(hid) * in);
+  params_.emplace_back("b1", static_cast<size_t>(hid));
+  params_.emplace_back("w2", static_cast<size_t>(out) * hid);
+  params_.emplace_back("b2", static_cast<size_t>(out));
+  // Xavier-style init.
+  const float s1 = std::sqrt(2.0f / static_cast<float>(in + hid));
+  const float s2 = std::sqrt(2.0f / static_cast<float>(hid + out));
+  params_[0].FillGaussian(rng, s1);
+  params_[2].FillGaussian(rng, s2);
+}
+
+std::vector<float> Mlp::Forward(const std::vector<float>& inputs,
+                                int batch) const {
+  return RunForward(config_, params_, inputs, batch).logits;
+}
+
+double Mlp::BackwardCrossEntropy(const std::vector<float>& inputs,
+                                 const std::vector<int>& labels, int batch,
+                                 std::vector<Tensor>* grads) const {
+  CHECK_EQ(grads->size(), params_.size());
+  const int in = config_.input_dim;
+  const int hid = config_.hidden_dim;
+  const int out = config_.output_dim;
+  const ForwardState state = RunForward(config_, params_, inputs, batch);
+  const Tensor& w2 = params_[2];
+  Tensor& gw1 = (*grads)[0];
+  Tensor& gb1 = (*grads)[1];
+  Tensor& gw2 = (*grads)[2];
+  Tensor& gb2 = (*grads)[3];
+
+  double total_loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  std::vector<float> dh(hid);
+  for (int s = 0; s < batch; ++s) {
+    const float* x = &inputs[static_cast<size_t>(s) * in];
+    const float* h = &state.hidden[static_cast<size_t>(s) * hid];
+    const float* z = &state.logits[static_cast<size_t>(s) * out];
+    // Softmax + CE.
+    float max_z = z[0];
+    for (int k = 1; k < out; ++k) {
+      max_z = std::max(max_z, z[k]);
+    }
+    double denom = 0.0;
+    for (int k = 0; k < out; ++k) {
+      denom += std::exp(static_cast<double>(z[k] - max_z));
+    }
+    const int label = labels[s];
+    total_loss +=
+        -(static_cast<double>(z[label] - max_z) - std::log(denom));
+
+    std::fill(dh.begin(), dh.end(), 0.0f);
+    for (int k = 0; k < out; ++k) {
+      const float p = static_cast<float>(
+          std::exp(static_cast<double>(z[k] - max_z)) / denom);
+      const float dz = (p - (k == label ? 1.0f : 0.0f)) * inv_batch;
+      gb2[k] += dz;
+      float* gw2_row = gw2.data() + static_cast<size_t>(k) * hid;
+      const float* w2_row = w2.data() + static_cast<size_t>(k) * hid;
+      for (int j = 0; j < hid; ++j) {
+        gw2_row[j] += dz * h[j];
+        dh[j] += dz * w2_row[j];
+      }
+    }
+    for (int j = 0; j < hid; ++j) {
+      const float dt = dh[j] * (1.0f - h[j] * h[j]);  // tanh'
+      gb1[j] += dt;
+      float* gw1_row = gw1.data() + static_cast<size_t>(j) * in;
+      for (int i = 0; i < in; ++i) {
+        gw1_row[i] += dt * x[i];
+      }
+    }
+  }
+  return total_loss / batch;
+}
+
+double Mlp::Accuracy(const std::vector<float>& inputs,
+                     const std::vector<int>& labels, int batch) const {
+  const std::vector<float> logits = Forward(inputs, batch);
+  const int out = config_.output_dim;
+  int correct = 0;
+  for (int s = 0; s < batch; ++s) {
+    const float* z = &logits[static_cast<size_t>(s) * out];
+    int best = 0;
+    for (int k = 1; k < out; ++k) {
+      if (z[k] > z[best]) {
+        best = k;
+      }
+    }
+    if (best == labels[s]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / batch;
+}
+
+std::vector<Tensor> Mlp::MakeGradients() const {
+  std::vector<Tensor> grads;
+  grads.reserve(params_.size());
+  for (const Tensor& param : params_) {
+    grads.emplace_back(param.name(), param.size());
+  }
+  return grads;
+}
+
+void Mlp::ApplySgd(const std::vector<Tensor>& grads, float lr, float momentum,
+                   std::vector<Tensor>* velocity) {
+  if (velocity->empty()) {
+    *velocity = MakeGradients();
+  }
+  for (size_t p = 0; p < params_.size(); ++p) {
+    Tensor& param = params_[p];
+    Tensor& v = (*velocity)[p];
+    const Tensor& g = grads[p];
+    for (size_t i = 0; i < param.size(); ++i) {
+      v[i] = momentum * v[i] + g[i];
+      param[i] -= lr * v[i];
+    }
+  }
+}
+
+}  // namespace hipress

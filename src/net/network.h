@@ -1,0 +1,95 @@
+// Simulated cluster network.
+//
+// Models N homogeneous nodes joined by full-duplex links of configurable
+// bandwidth and latency (the paper's settings: 100/56/25/10 Gbps). Each node
+// has one uplink and one downlink, each FIFO-serialized; a transfer occupies
+// the sender's uplink and the receiver's downlink for bytes/bandwidth and is
+// delivered one propagation latency later. This captures the first-order
+// properties HiPress depends on: per-link serialization, bidirectional
+// bandwidth, and contention when multiple transfers share an endpoint.
+#ifndef HIPRESS_SRC_NET_NETWORK_H_
+#define HIPRESS_SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+
+namespace hipress {
+
+struct NetworkConfig {
+  Bandwidth link_bandwidth = Bandwidth::Gbps(100.0);
+  SimTime latency = FromMicros(5.0);
+  // Fixed per-message software overhead (RPC framing, RDMA post, etc.).
+  SimTime per_message_overhead = FromMicros(2.0);
+  // Deterministic per-transfer bandwidth jitter in [0, 1): each message's
+  // serialization time is scaled by a factor in [1, 1 + jitter], drawn from
+  // a hash of the message counter. Models the interference the paper's
+  // cost-model future work worries about; 0 disables.
+  double bandwidth_jitter = 0.0;
+  uint64_t jitter_seed = 0x71773;
+};
+
+// A message in flight. The payload pointer is opaque to the network and may
+// be null for timing-only simulations.
+struct NetMessage {
+  int src = -1;
+  int dst = -1;
+  uint64_t bytes = 0;
+  uint64_t tag = 0;
+  std::shared_ptr<void> payload;
+};
+
+class Network {
+ public:
+  Network(Simulator* sim, int num_nodes, NetworkConfig config);
+
+  // Sends `message` from message.src to message.dst; `on_delivered` fires at
+  // the receiver's delivery time. src/dst must be valid and distinct.
+  void Send(NetMessage message,
+            std::function<void(const NetMessage&)> on_delivered);
+
+  // Earliest time a new transfer from src to dst could start serializing,
+  // given current backlog on the two link endpoints.
+  SimTime EarliestStart(int src, int dst) const;
+
+  // Pure serialization time of `bytes` on one link (no latency/overhead).
+  SimTime TransferTime(uint64_t bytes) const {
+    return config_.link_bandwidth.TransferTime(bytes);
+  }
+
+  // Modelled end-to-end time for an uncontended `bytes` transfer.
+  SimTime UncontendedSendTime(uint64_t bytes) const {
+    return TransferTime(bytes) + config_.latency + config_.per_message_overhead;
+  }
+
+  int num_nodes() const { return num_nodes_; }
+  const NetworkConfig& config() const { return config_; }
+
+  uint64_t tx_bytes(int node) const { return tx_bytes_[node]; }
+  uint64_t rx_bytes(int node) const { return rx_bytes_[node]; }
+  SimTime uplink_busy(int node) const { return uplink_busy_[node]; }
+  uint64_t messages_delivered() const { return messages_delivered_; }
+
+ private:
+  Simulator* sim_;
+  int num_nodes_;
+  NetworkConfig config_;
+
+  // free_at per uplink / downlink endpoint.
+  std::vector<SimTime> uplink_free_;
+  std::vector<SimTime> downlink_free_;
+  std::vector<SimTime> uplink_busy_;
+  std::vector<uint64_t> tx_bytes_;
+  std::vector<uint64_t> rx_bytes_;
+  uint64_t messages_delivered_ = 0;
+  uint64_t messages_sent_ = 0;
+};
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_NET_NETWORK_H_

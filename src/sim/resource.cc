@@ -1,0 +1,22 @@
+#include "src/sim/resource.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace hipress {
+
+void SimResource::Submit(SimTime duration, std::function<void()> done) {
+  CHECK_GE(duration, 0);
+  const SimTime start = std::max(sim_->now(), free_at_);
+  free_at_ = start + duration;
+  busy_time_ += duration;
+  ++outstanding_;
+  sim_->ScheduleAt(free_at_, [this, done = std::move(done)] {
+    ++jobs_completed_;
+    --outstanding_;
+    done();
+  });
+}
+
+}  // namespace hipress

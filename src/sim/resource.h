@@ -1,0 +1,47 @@
+// FIFO-serialized simulated resource (one server, unit capacity by default).
+//
+// Used for anything that processes requests one at a time in simulated time:
+// a network link direction, a GPU compute stream, a copy engine. Callers
+// submit jobs with a service duration; the resource runs them back to back
+// and invokes each completion callback at its finish time.
+#ifndef HIPRESS_SRC_SIM_RESOURCE_H_
+#define HIPRESS_SRC_SIM_RESOURCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+
+namespace hipress {
+
+class SimResource {
+ public:
+  SimResource(Simulator* sim, std::string name)
+      : sim_(sim), name_(std::move(name)) {}
+
+  // Enqueues a job of `duration` ns; `done` fires when it completes.
+  void Submit(SimTime duration, std::function<void()> done);
+
+  // Total busy time accumulated so far (for utilization metrics).
+  SimTime busy_time() const { return busy_time_; }
+  // Time when the current backlog will drain (>= now).
+  SimTime free_at() const { return free_at_; }
+  bool busy() const { return outstanding_ > 0; }
+  uint64_t jobs_completed() const { return jobs_completed_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  SimTime free_at_ = 0;
+  SimTime busy_time_ = 0;
+  uint64_t jobs_completed_ = 0;
+  uint64_t outstanding_ = 0;
+};
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_SIM_RESOURCE_H_

@@ -1,0 +1,46 @@
+#include "src/sim/simulator.h"
+
+#include "src/common/logging.h"
+
+namespace hipress {
+
+void Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  CHECK_GE(delay, 0);
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  CHECK_GE(when, now_);
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+SimTime Simulator::Run() {
+  while (Step()) {
+  }
+  return now_;
+}
+
+SimTime Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Step();
+  }
+  if (now_ < deadline && queue_.empty()) {
+    now_ = deadline;
+  }
+  return now_;
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // Move the event out before popping so the handler can schedule more.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.when;
+  ++events_processed_;
+  event.fn();
+  return true;
+}
+
+}  // namespace hipress

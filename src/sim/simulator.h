@@ -1,0 +1,68 @@
+// Discrete-event simulation core.
+//
+// The cluster substrate (network links, GPU streams, training loops) runs on
+// this engine. Events at equal timestamps fire in scheduling order, which
+// makes whole-cluster simulations bit-reproducible.
+#ifndef HIPRESS_SRC_SIM_SIMULATOR_H_
+#define HIPRESS_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace hipress {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+  uint64_t events_processed() const { return events_processed_; }
+
+  // Schedules `fn` to run `delay` ns from now (delay >= 0).
+  void Schedule(SimTime delay, std::function<void()> fn);
+
+  // Schedules `fn` at absolute time `when` (must be >= now()).
+  void ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Runs until the event queue drains. Returns the final time.
+  SimTime Run();
+
+  // Runs until the queue drains or simulated time would exceed `deadline`;
+  // events after the deadline stay queued. Returns the current time.
+  SimTime RunUntil(SimTime deadline);
+
+  // Runs a single event if one is pending; returns false when idle.
+  bool Step();
+
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;  // Tie-break so same-time events run FIFO.
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_SIM_SIMULATOR_H_

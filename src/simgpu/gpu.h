@@ -1,0 +1,93 @@
+// Simulated accelerator device.
+//
+// The paper runs compression kernels on the same GPU as DNN computation, on
+// separate CUDA streams. We model a device as a set of FIFO streams over the
+// discrete-event simulator: stream 0 carries DNN forward/backward compute,
+// stream 1 carries compression kernels (encode/decode/merge), so compression
+// overlaps communication but serializes against other kernels on its stream.
+// Every executed interval is recorded so benches can reconstruct the GPU
+// utilization timelines of Figure 9.
+#ifndef HIPRESS_SRC_SIMGPU_GPU_H_
+#define HIPRESS_SRC_SIMGPU_GPU_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+
+namespace hipress {
+
+enum class GpuTaskKind {
+  kCompute,  // DNN forward/backward.
+  kEncode,
+  kDecode,
+  kMerge,
+  kMemcpy,
+};
+
+const char* GpuTaskKindName(GpuTaskKind kind);
+
+// Linear kernel cost: launch overhead + bytes / throughput.
+struct KernelCost {
+  SimTime launch_overhead = FromMicros(20.0);
+  double bytes_per_second = 100e9;
+
+  SimTime Time(uint64_t bytes) const {
+    return launch_overhead +
+           static_cast<SimTime>(static_cast<double>(bytes) /
+                                bytes_per_second *
+                                static_cast<double>(kSecond));
+  }
+};
+
+struct GpuInterval {
+  SimTime start = 0;
+  SimTime end = 0;
+  GpuTaskKind kind = GpuTaskKind::kCompute;
+};
+
+class GpuDevice {
+ public:
+  // Stream 0: DNN compute; stream 1: compression kernels.
+  static constexpr int kComputeStream = 0;
+  static constexpr int kKernelStream = 1;
+
+  GpuDevice(Simulator* sim, int id, int num_streams = 2);
+
+  // Runs a task of `duration` ns FIFO on `stream`; `done` fires at its finish
+  // time.
+  void Submit(int stream, GpuTaskKind kind, SimTime duration,
+              std::function<void()> done);
+
+  void SubmitCompute(SimTime duration, std::function<void()> done) {
+    Submit(kComputeStream, GpuTaskKind::kCompute, duration, std::move(done));
+  }
+  void SubmitKernel(GpuTaskKind kind, SimTime duration,
+                    std::function<void()> done) {
+    Submit(kKernelStream, kind, duration, std::move(done));
+  }
+
+  int id() const { return id_; }
+  SimTime stream_free_at(int stream) const { return stream_free_[stream]; }
+  SimTime busy_time(int stream) const { return stream_busy_[stream]; }
+  const std::vector<GpuInterval>& timeline() const { return timeline_; }
+  void set_record_timeline(bool record) { record_timeline_ = record; }
+
+  // Fraction of [window_start, window_end) covered by compute intervals.
+  double ComputeUtilization(SimTime window_start, SimTime window_end) const;
+
+ private:
+  Simulator* sim_;
+  int id_;
+  std::vector<SimTime> stream_free_;
+  std::vector<SimTime> stream_busy_;
+  std::vector<GpuInterval> timeline_;
+  bool record_timeline_ = false;
+};
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_SIMGPU_GPU_H_

@@ -1,0 +1,143 @@
+#include "src/strategies/presets.h"
+
+namespace hipress {
+
+ClusterSpec ClusterSpec::Ec2(int num_nodes) {
+  ClusterSpec spec;
+  spec.num_nodes = num_nodes;
+  spec.gpus_per_node = 8;
+  spec.platform = GpuPlatform::kV100;
+  // 100 Gbps EFA; effective per-flow goodput derated to ~75% of line rate
+  // (protocol + incast effects measured on p3dn instances).
+  spec.net.link_bandwidth = Bandwidth::Gbps(75.0);
+  spec.net.latency = FromMicros(20.0);
+  spec.net.per_message_overhead = FromMicros(12.0);
+  spec.intra_node_bytes_per_sec = 150e9;  // NVLink
+  return spec;
+}
+
+ClusterSpec ClusterSpec::Local(int num_nodes) {
+  ClusterSpec spec;
+  spec.num_nodes = num_nodes;
+  spec.gpus_per_node = 2;
+  spec.platform = GpuPlatform::k1080Ti;
+  // 56 Gbps InfiniBand, RDMA verbs.
+  spec.net.link_bandwidth = Bandwidth::Gbps(44.0);
+  spec.net.latency = FromMicros(5.0);
+  spec.net.per_message_overhead = FromMicros(15.0);
+  spec.intra_node_bytes_per_sec = 10e9;  // PCIe switch
+  return spec;
+}
+
+NetworkConfig WithoutRdma(NetworkConfig net) {
+  net.link_bandwidth.bits_per_second *= 0.93;
+  net.latency *= 3;
+  net.per_message_overhead *= 3;
+  return net;
+}
+
+StatusOr<SyncConfig> MakeSystemConfig(const std::string& system,
+                                      const ClusterSpec& cluster,
+                                      const std::string& algorithm,
+                                      const CompressorParams& params) {
+  SyncConfig config;
+  config.num_nodes = cluster.num_nodes;
+  config.gpus_per_node = cluster.gpus_per_node;
+  config.platform = cluster.platform;
+  config.net = cluster.net;
+  config.intra_node_bytes_per_sec = cluster.intra_node_bytes_per_sec;
+  config.algorithm = algorithm;
+  config.codec_params = params;
+
+  if (system == "byteps") {
+    config.strategy = StrategyKind::kPs;
+    config.compression = false;
+    config.pipelining = true;
+    config.bulk = false;
+    config.secopa = false;
+    config.ps_partition_bytes = 4 * kMiB;
+    config.extra_copy_overhead = FromMicros(10.0);
+    return config;
+  }
+  if (system == "ring") {
+    config.strategy = StrategyKind::kRing;
+    // NCCL's ring protocol sustains ~85% of the verbs-level goodput.
+    config.net.link_bandwidth.bits_per_second *= 0.85;
+    config.compression = false;
+    config.pipelining = true;
+    config.bulk = false;
+    config.secopa = false;
+    config.ring_fusion_bytes = 64 * kMiB;
+    config.sequential_collectives = true;
+    config.per_gradient_negotiation = FromMicros(400.0);
+    return config;
+  }
+  if (system == "byteps-oss") {
+    config.strategy = StrategyKind::kPs;
+    config.compression = true;
+    config.codec_impl = CodecImpl::kOss;
+    config.pipelining = false;  // compression serialized on the sync path
+    config.bulk = false;
+    config.secopa = false;
+    config.fixed_partitions = 4;  // BytePS slices, compression per slice
+    config.extra_copy_overhead = FromMicros(10.0);
+    return config;
+  }
+  if (system == "byteps-cpu") {
+    config.strategy = StrategyKind::kPs;
+    config.compression = true;
+    config.codec_impl = CodecImpl::kCpu;
+    config.pipelining = false;
+    config.bulk = false;
+    config.secopa = false;
+    config.fixed_partitions = 4;
+    config.extra_copy_overhead = FromMicros(10.0);
+    return config;
+  }
+  if (system == "ring-oss") {
+    config.strategy = StrategyKind::kRing;
+    config.net.link_bandwidth.bits_per_second *= 0.85;
+    config.compression = true;
+    config.codec_impl = CodecImpl::kOss;
+    config.pipelining = false;
+    config.codec_on_compute_stream = false;  // TF side queue
+    config.bulk = false;
+    config.secopa = false;
+    config.ring_fusion_bytes = 64 * kMiB;
+    config.sequential_collectives = true;
+    config.per_gradient_negotiation = FromMicros(400.0);
+    config.fixed_partitions = cluster.num_nodes;
+    return config;
+  }
+  if (system == "hipress-ps") {
+    config.strategy = StrategyKind::kPs;
+    config.compression = true;
+    config.codec_impl = CodecImpl::kCompLL;
+    config.pipelining = true;
+    config.bulk = true;
+    config.secopa = true;
+    return config;
+  }
+  if (system == "hipress-tree") {
+    // Generality demonstration: CaSync over a binomial-tree topology.
+    config.strategy = StrategyKind::kTree;
+    config.compression = true;
+    config.codec_impl = CodecImpl::kCompLL;
+    config.pipelining = true;
+    config.bulk = true;
+    config.secopa = true;
+    return config;
+  }
+  if (system == "hipress-ring") {
+    config.strategy = StrategyKind::kRing;
+    config.compression = true;
+    config.codec_impl = CodecImpl::kCompLL;
+    config.pipelining = true;
+    config.bulk = true;
+    config.secopa = true;
+    return config;
+  }
+  return NotFoundError("unknown system preset: " + system);
+}
+
+}  // namespace hipress

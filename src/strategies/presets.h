@@ -1,0 +1,57 @@
+// Named system presets: the baselines and HiPress configurations the
+// evaluation compares (Section 6.1).
+//
+//   byteps            BytePS: PS, no compression, 4 MB partitions, extra
+//                     staging copies, no coordinated bulk communication.
+//   ring              Horovod Ring-allreduce: 64 MB fusion buffers, ring
+//                     chunking, no compression.
+//   byteps-oss        BytePS(OSS-<alg>): BytePS plus a compression algorithm
+//                     wired in the OSS style — encode/decode serialized
+//                     against transfers (no pipelining), everything
+//                     compressed, no partitioning decisions.
+//   byteps-cpu        Same but with the on-CPU codec (Figure 11's "on-CPU").
+//   ring-oss          Ring(OSS-<alg>): fused ring with compression at every
+//                     hop, serialized (the TensorFlow DGC pull request).
+//   hipress-ps        HiPress CaSync-PS: compression-aware PS with
+//                     pipelining, bulk communication and SeCoPa.
+//   hipress-ring      HiPress CaSync-Ring.
+//
+// Cluster specs mirror the paper's two testbeds.
+#ifndef HIPRESS_SRC_STRATEGIES_PRESETS_H_
+#define HIPRESS_SRC_STRATEGIES_PRESETS_H_
+
+#include <string>
+
+#include "src/casync/config.h"
+#include "src/common/status.h"
+
+namespace hipress {
+
+struct ClusterSpec {
+  int num_nodes = 16;
+  int gpus_per_node = 8;
+  GpuPlatform platform = GpuPlatform::kV100;
+  NetworkConfig net;
+  double intra_node_bytes_per_sec = 150e9;
+
+  // 16 p3dn.24xlarge: 8 V100 (NVLink), 100 Gbps, EFA RDMA.
+  static ClusterSpec Ec2(int num_nodes = 16);
+  // Local cluster: 2x 1080 Ti (PCIe switch), 56 Gbps InfiniBand RDMA.
+  static ClusterSpec Local(int num_nodes = 16);
+};
+
+// Degraded network for systems running without RDMA (BytePS does not
+// support EC2's EFA, Section 6.1): TCP stack overheads and lower effective
+// per-flow bandwidth.
+NetworkConfig WithoutRdma(NetworkConfig net);
+
+// Builds the SyncConfig for `system` on `cluster`. `algorithm` selects the
+// compression codec for compression-enabled systems (ignored otherwise).
+StatusOr<SyncConfig> MakeSystemConfig(const std::string& system,
+                                      const ClusterSpec& cluster,
+                                      const std::string& algorithm = "onebit",
+                                      const CompressorParams& params = {});
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_STRATEGIES_PRESETS_H_

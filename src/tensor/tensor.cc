@@ -1,0 +1,70 @@
+#include "src/tensor/tensor.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace hipress {
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::Add(const Tensor& other) {
+  CHECK_EQ(size(), other.size());
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += other.data_[i];
+  }
+}
+
+void Tensor::Scale(float scale) {
+  for (float& value : data_) {
+    value *= scale;
+  }
+}
+
+double Tensor::Norm() const {
+  double sum = 0.0;
+  for (float value : data_) {
+    sum += static_cast<double>(value) * static_cast<double>(value);
+  }
+  return std::sqrt(sum);
+}
+
+void Tensor::FillGaussian(Rng& rng, float stddev) {
+  for (float& value : data_) {
+    value = static_cast<float>(rng.NextGaussian()) * stddev;
+  }
+}
+
+void Tensor::FillUniform(Rng& rng, float lo, float hi) {
+  for (float& value : data_) {
+    value = static_cast<float>(rng.NextUniform(lo, hi));
+  }
+}
+
+double MaxAbsDiff(std::span<const float> a, std::span<const float> b) {
+  CHECK_EQ(a.size(), b.size());
+  double max_diff = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::abs(static_cast<double>(a[i]) - b[i]));
+  }
+  return max_diff;
+}
+
+double RmsDiff(std::span<const float> a, std::span<const float> b) {
+  CHECK_EQ(a.size(), b.size());
+  if (a.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+}  // namespace hipress

@@ -1,0 +1,127 @@
+// Gradient tensors and compressed byte buffers.
+//
+// Gradients in data-parallel training are synchronized as flat fp32 arrays
+// (layer shape is irrelevant to synchronization), so Tensor is a named,
+// contiguous float buffer. Compressed gradients are opaque byte strings
+// (ByteBuffer) whose layout is private to each compression codec.
+#ifndef HIPRESS_SRC_TENSOR_TENSOR_H_
+#define HIPRESS_SRC_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace hipress {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(size_t size) : data_(size, 0.0f) {}
+  Tensor(std::string name, size_t size)
+      : name_(std::move(name)), data_(size, 0.0f) {}
+  Tensor(std::string name, std::vector<float> data)
+      : name_(std::move(name)), data_(std::move(data)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t size() const { return data_.size(); }
+  size_t byte_size() const { return data_.size() * sizeof(float); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+
+  std::span<float> span() { return std::span<float>(data_); }
+  std::span<const float> span() const { return std::span<const float>(data_); }
+
+  // Subrange view [offset, offset + count).
+  std::span<float> slice(size_t offset, size_t count) {
+    return std::span<float>(data_).subspan(offset, count);
+  }
+  std::span<const float> slice(size_t offset, size_t count) const {
+    return std::span<const float>(data_).subspan(offset, count);
+  }
+
+  void Fill(float value);
+  void Resize(size_t size) { data_.resize(size, 0.0f); }
+
+  // Element-wise accumulate: this += other. Sizes must match.
+  void Add(const Tensor& other);
+  // this *= scale.
+  void Scale(float scale);
+
+  // L2 norm of the tensor.
+  double Norm() const;
+
+  // Fills with N(0, stddev) values from `rng`.
+  void FillGaussian(Rng& rng, float stddev = 1.0f);
+
+  // Fills with U[lo, hi) values from `rng`.
+  void FillUniform(Rng& rng, float lo, float hi);
+
+ private:
+  std::string name_;
+  std::vector<float> data_;
+};
+
+// Opaque compressed payload.
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(size_t size) : data_(size, 0) {}
+  explicit ByteBuffer(std::vector<uint8_t> data) : data_(std::move(data)) {}
+
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  uint8_t* data() { return data_.data(); }
+  const uint8_t* data() const { return data_.data(); }
+
+  uint8_t& operator[](size_t i) { return data_[i]; }
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  void Resize(size_t size) { data_.resize(size, 0); }
+  void Clear() { data_.clear(); }
+
+  std::span<uint8_t> span() { return std::span<uint8_t>(data_); }
+  std::span<const uint8_t> span() const {
+    return std::span<const uint8_t>(data_);
+  }
+
+  // Typed append/read helpers for codec headers. Reads advance `offset`.
+  template <typename T>
+  void Append(const T& value) {
+    const auto* bytes = reinterpret_cast<const uint8_t*>(&value);
+    data_.insert(data_.end(), bytes, bytes + sizeof(T));
+  }
+
+  template <typename T>
+  T ReadAt(size_t& offset) const {
+    T value;
+    std::memcpy(&value, data_.data() + offset, sizeof(T));
+    offset += sizeof(T);
+    return value;
+  }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+// Maximum absolute difference between two float spans (for codec tests).
+double MaxAbsDiff(std::span<const float> a, std::span<const float> b);
+
+// Root-mean-square difference between two float spans.
+double RmsDiff(std::span<const float> a, std::span<const float> b);
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_TENSOR_TENSOR_H_

@@ -1,0 +1,52 @@
+#include "src/train/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace hipress {
+
+std::string TimelineToChromeTrace(const std::vector<GpuInterval>& timeline,
+                                  SimTime origin) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const GpuInterval& interval : timeline) {
+    if (interval.end <= origin) {
+      continue;
+    }
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    const double start_us =
+        static_cast<double>(interval.start - origin) / kMicrosecond;
+    const double duration_us =
+        static_cast<double>(interval.end - interval.start) / kMicrosecond;
+    // tid groups rows by task kind; compute on row 0.
+    const int tid = static_cast<int>(interval.kind);
+    out << StrFormat(
+        "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+        "\"pid\":0,\"tid\":%d}",
+        GpuTaskKindName(interval.kind), start_us, duration_us, tid);
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<GpuInterval>& timeline,
+                        SimTime origin) {
+  std::ofstream file(path);
+  if (!file.good()) {
+    return InvalidArgumentError("cannot open trace file: " + path);
+  }
+  file << TimelineToChromeTrace(timeline, origin);
+  if (!file.good()) {
+    return InternalError("failed writing trace file: " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace hipress

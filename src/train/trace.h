@@ -1,0 +1,28 @@
+// Chrome trace export: dump a recorded GPU timeline as a
+// chrome://tracing / Perfetto JSON file, so a simulated run can be
+// inspected visually (compute blocks vs compression kernels — the picture
+// behind Figure 9).
+#ifndef HIPRESS_SRC_TRAIN_TRACE_H_
+#define HIPRESS_SRC_TRAIN_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/simgpu/gpu.h"
+
+namespace hipress {
+
+// Serializes intervals as complete events ("ph":"X"), one thread row per
+// task kind; timestamps in microseconds relative to `origin`.
+std::string TimelineToChromeTrace(const std::vector<GpuInterval>& timeline,
+                                  SimTime origin = 0);
+
+// Writes the JSON to `path`.
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<GpuInterval>& timeline,
+                        SimTime origin = 0);
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_TRAIN_TRACE_H_

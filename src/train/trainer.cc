@@ -1,0 +1,482 @@
+#include "src/train/trainer.h"
+
+#include <algorithm>
+
+#include "src/casync/builder.h"
+#include "src/casync/engine.h"
+#include "src/common/logging.h"
+#include "src/compress/registry.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace hipress {
+namespace {
+
+// One gradient (or Horovod-style fusion bucket) to synchronize.
+struct SyncUnit {
+  uint64_t bytes = 0;
+  SimTime ready_offset = 0;  // from backward start, incl. local aggregation
+  int members = 1;           // gradients fused into this unit
+  GradientSync plan;
+};
+
+// Intra-node aggregation across the node's `g` GPUs over NVLink/PCIe:
+// ring reduce-scatter + allgather inside the node.
+SimTime LocalAggregationTime(uint64_t bytes, const SyncConfig& config) {
+  const int g = config.gpus_per_node;
+  if (g <= 1) {
+    return 0;
+  }
+  const double volume = 2.0 * (g - 1) / g * static_cast<double>(bytes);
+  return FromMicros(20.0) +
+         static_cast<SimTime>(volume / config.intra_node_bytes_per_sec *
+                              static_cast<double>(kSecond));
+}
+
+}  // namespace
+
+StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
+                                       const SyncConfig& config,
+                                       const TrainOptions& options) {
+  if (model.gradient_bytes.empty()) {
+    return InvalidArgumentError("model has no gradients");
+  }
+  if (config.num_nodes < 1) {
+    return InvalidArgumentError("need at least one node");
+  }
+
+  const double compute_scale = ComputeScale(config.platform);
+  const SimTime forward = static_cast<SimTime>(
+      static_cast<double>(model.forward_time_v100) / compute_scale);
+  const SimTime backward = static_cast<SimTime>(
+      static_cast<double>(model.backward_time_v100) / compute_scale);
+  const SimTime compute_time = forward + backward;
+  // Straggler: its shard gates every gradient's aggregation, so sync
+  // launches follow the slow node's timeline and the barrier waits for its
+  // compute.
+  const bool has_straggler = options.straggler_node >= 0 &&
+                             options.straggler_node < config.num_nodes &&
+                             options.straggler_factor > 1.0;
+  const double launch_stretch =
+      has_straggler ? options.straggler_factor : 1.0;
+  const SimTime slowest_compute = static_cast<SimTime>(
+      static_cast<double>(compute_time) * launch_stretch);
+
+  // ---------------------------------------------------------------------
+  // Per-gradient plans. SeCoPa consults the cost model; baselines compress
+  // everything (or nothing) with their fixed partitioning rules.
+  // ---------------------------------------------------------------------
+  double rate = 1.0;
+  if (config.compression) {
+    // Rate comes from the real codec so sparse ratios and quantization
+    // bitwidths flow through to wire sizes.
+    const std::string codec_name =
+        config.codec_impl == CodecImpl::kCompLL
+            ? config.algorithm
+            : (CompressorRegistry::Instance().Contains("oss-" +
+                                                       config.algorithm)
+                   ? "oss-" + config.algorithm
+                   : config.algorithm);
+    ASSIGN_OR_RETURN(auto codec,
+                     CreateCompressor(codec_name, config.codec_params));
+    rate = codec->CompressionRate(1 << 20);
+  }
+  SeCoPaPlanner planner(config, rate);
+
+  auto plan_gradient = [&](uint32_t id, uint64_t bytes) {
+    GradientSync sync;
+    sync.id = id;
+    sync.bytes = bytes;
+    sync.rate = rate;
+    if (!config.compression) {
+      sync.compress = false;
+      sync.partitions =
+          config.strategy == StrategyKind::kRing
+              ? std::min<int>(config.num_nodes,
+                              std::max<int>(1, static_cast<int>(
+                                                   bytes / (256 * 1024))))
+              : std::max<int>(1, static_cast<int>(
+                                     bytes / config.ps_partition_bytes));
+      sync.partitions = std::max(1, sync.partitions);
+      return sync;
+    }
+    if (config.secopa) {
+      const SyncPlan plan = planner.Plan(bytes);
+      sync.compress = plan.compress;
+      sync.partitions = plan.partitions;
+      return sync;
+    }
+    // Compression without SeCoPa: compress everything. PS baselines keep
+    // their size-based slicing (BytePS compresses per 4 MB slice); ring
+    // baselines use natural ring chunking, capped so small gradients are
+    // not shredded into sub-header chunks.
+    sync.compress = true;
+    sync.partitions =
+        config.strategy == StrategyKind::kRing
+            ? std::min({config.num_nodes, std::max(1, config.fixed_partitions),
+                        std::max<int>(1, static_cast<int>(bytes /
+                                                          (256 * 1024)))})
+            : std::max<int>(1, static_cast<int>(
+                                   bytes / config.ps_partition_bytes));
+    return sync;
+  };
+
+  // ---------------------------------------------------------------------
+  // Sync units: per gradient, or per fusion bucket for Horovod-style ring.
+  // ---------------------------------------------------------------------
+  std::vector<SyncUnit> units;
+  if (config.ring_fusion_bytes > 0 &&
+      config.strategy == StrategyKind::kRing) {
+    uint64_t bucket_bytes = 0;
+    SimTime bucket_ready = 0;
+    uint32_t bucket_id = 0;
+    int bucket_members = 0;
+    auto flush = [&]() {
+      if (bucket_bytes == 0) {
+        return;
+      }
+      SyncUnit unit;
+      unit.bytes = bucket_bytes;
+      unit.ready_offset = bucket_ready + LocalAggregationTime(bucket_bytes, config);
+      unit.members = bucket_members;
+      unit.plan = plan_gradient(bucket_id++, bucket_bytes);
+      units.push_back(unit);
+      bucket_bytes = 0;
+      bucket_ready = 0;
+      bucket_members = 0;
+    };
+    for (size_t i = 0; i < model.gradient_bytes.size(); ++i) {
+      bucket_bytes += model.gradient_bytes[i];
+      ++bucket_members;
+      bucket_ready =
+          std::max(bucket_ready, model.GradientReadyOffset(i, compute_scale));
+      if (bucket_bytes >= config.ring_fusion_bytes) {
+        flush();
+      }
+    }
+    flush();
+  } else {
+    for (size_t i = 0; i < model.gradient_bytes.size(); ++i) {
+      SyncUnit unit;
+      unit.bytes = model.gradient_bytes[i];
+      unit.ready_offset = model.GradientReadyOffset(i, compute_scale) +
+                          LocalAggregationTime(unit.bytes, config);
+      unit.plan = plan_gradient(static_cast<uint32_t>(i), unit.bytes);
+      units.push_back(unit);
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Build the simulated cluster.
+  // ---------------------------------------------------------------------
+  Simulator sim;
+  Network net(&sim, config.num_nodes, config.net);
+  std::vector<std::unique_ptr<GpuDevice>> gpu_storage;
+  std::vector<GpuDevice*> gpus;
+  for (int node = 0; node < config.num_nodes; ++node) {
+    gpu_storage.push_back(std::make_unique<GpuDevice>(&sim, node));
+    if (node == 0 && options.record_timeline) {
+      gpu_storage.back()->set_record_timeline(true);
+    }
+    gpus.push_back(gpu_storage.back().get());
+  }
+  CaSyncEngine engine(&sim, &net, gpus, config);
+
+  // Pre-build one task graph per unit; graphs are reusable templates but
+  // dependency counters mutate during execution, so build per iteration.
+  TrainReport report;
+  report.compute_time = compute_time;
+  report.total_gpus = config.num_nodes * config.gpus_per_node;
+
+  // -----------------------------------------------------------------------
+  // SSP path: iterations pipeline under the staleness bound. Iteration k's
+  // compute may start once iteration k-1-staleness has synchronized; the
+  // GPU compute stream still serializes successive forwards/backwards, so
+  // the win is hiding the sync tail behind the next iteration's compute.
+  // -----------------------------------------------------------------------
+  if (options.staleness > 0) {
+    const int total_iterations = std::max(options.iterations,
+                                          options.staleness + 3);
+    struct SspState {
+      std::vector<bool> sync_done;
+      std::vector<SimTime> iteration_end;  // sync completion time
+      int started = 0;
+    };
+    SspState state;
+    state.sync_done.assign(total_iterations, false);
+    state.iteration_end.assign(total_iterations, 0);
+    std::vector<std::unique_ptr<TaskGraph>> all_graphs;
+
+    // Ordered-collectives chain (Horovod semantics hold across iterations
+    // too): a unit executes only after every earlier unit finished AND its
+    // own gradients are ready.
+    struct SequentialChain {
+      struct Entry {
+        TaskGraph* graph = nullptr;
+        SimTime negotiation = 0;
+        std::function<void()> on_done;
+        bool ready = false;
+      };
+      std::vector<Entry> entries;
+      size_t next = 0;
+      bool in_flight = false;
+    };
+    auto chain = std::make_shared<SequentialChain>();
+    // Entries are referenced while in flight; pre-reserve so later
+    // iterations' pushes never reallocate.
+    chain->entries.reserve(static_cast<size_t>(total_iterations) *
+                           units.size());
+    auto chain_pump = std::make_shared<std::function<void()>>();
+    *chain_pump = [&engine, &sim, chain, chain_pump] {
+      if (chain->in_flight || chain->next >= chain->entries.size() ||
+          !chain->entries[chain->next].ready) {
+        return;
+      }
+      chain->in_flight = true;
+      auto& entry = chain->entries[chain->next];
+      ++chain->next;
+      sim.Schedule(entry.negotiation, [&engine, &entry, chain, chain_pump] {
+        engine.Execute(entry.graph, [&entry, chain, chain_pump] {
+          chain->in_flight = false;
+          if (entry.on_done) {
+            entry.on_done();
+          }
+          (*chain_pump)();
+        });
+      });
+    };
+
+    std::function<void()> start_ready_iterations = [&] {
+      while (state.started < total_iterations) {
+        const int k = state.started;
+        const int gate = k - 1 - options.staleness;
+        if (gate >= 0 && !state.sync_done[gate]) {
+          return;
+        }
+        ++state.started;
+        // Compute queues FIFO on the device; its actual start time is the
+        // stream's free time, which all launch offsets key off.
+        const SimTime compute_start =
+            std::max(sim.now(), gpus[0]->stream_free_at(
+                                    GpuDevice::kComputeStream));
+        for (int node = 0; node < config.num_nodes; ++node) {
+          gpus[node]->SubmitCompute(compute_time, [] {});
+        }
+        auto remaining = std::make_shared<size_t>(units.size());
+        auto unit_done = [remaining, k, &state, &sim,
+                          &start_ready_iterations] {
+          if (--*remaining == 0) {
+            state.sync_done[k] = true;
+            state.iteration_end[k] = sim.now();
+            start_ready_iterations();
+          }
+        };
+        for (const SyncUnit& unit : units) {
+          auto graph = std::make_unique<TaskGraph>();
+          AppendSyncTasks(config, unit.plan, graph.get());
+          TaskGraph* graph_ptr = graph.get();
+          all_graphs.push_back(std::move(graph));
+          const SimTime launch_at = compute_start + forward +
+                                    unit.ready_offset +
+                                    options.launch_overhead;
+          if (config.sequential_collectives) {
+            chain->entries.push_back(SequentialChain::Entry{
+                graph_ptr, unit.members * config.per_gradient_negotiation,
+                unit_done, false});
+            const size_t index = chain->entries.size() - 1;
+            sim.ScheduleAt(std::max(launch_at, sim.now()),
+                           [chain, index, chain_pump] {
+              chain->entries[index].ready = true;
+              (*chain_pump)();
+            });
+            continue;
+          }
+          sim.ScheduleAt(std::max(launch_at, sim.now()),
+                         [&engine, graph_ptr, unit_done] {
+            engine.Execute(graph_ptr, unit_done);
+          });
+        }
+      }
+    };
+    sim.Schedule(0, start_ready_iterations);
+    sim.Run();
+
+    // Steady-state average over the pipelined window (skip iteration 0).
+    const SimTime first_end = state.iteration_end[0];
+    const SimTime last_end = state.iteration_end[total_iterations - 1];
+    const SimTime average =
+        (last_end - first_end) / (total_iterations - 1);
+    report.iteration_time = average;
+    const double seconds = ToSeconds(average);
+    if (seconds > 0) {
+      report.throughput = static_cast<double>(report.total_gpus) *
+                          model.batch_per_gpu / seconds;
+      report.scaling_efficiency = static_cast<double>(compute_time) /
+                                  static_cast<double>(average);
+    }
+    report.engine_stats = engine.stats();
+    return report;
+  }
+
+  SimTime iter_start = 0;
+  SimTime measured_iter_time = 0;
+  SimTime measured_uplink_busy = 0;
+  SimTime measured_sync_tail = 0;
+  SimTime measured_sync_span = 0;
+
+  std::vector<std::unique_ptr<TaskGraph>> graphs;
+  for (int iteration = 0; iteration < options.iterations; ++iteration) {
+    graphs.clear();
+    size_t remaining = units.size();
+    SimTime iteration_end = 0;
+    const SimTime uplink_busy_before = net.uplink_busy(0);
+    const EngineStats stats_before = engine.stats();
+    const bool measured = iteration == options.iterations - 1;
+    // Stray coordinator-timeout events can fire slightly after the last
+    // sync completes; align the next iteration start past them.
+    iter_start = std::max(iter_start, sim.now());
+    if (measured && options.record_timeline) {
+      report.timeline_origin = iter_start;
+    }
+
+    // One starter event at the iteration boundary submits compute and arms
+    // the per-gradient sync launches, so all offsets are iteration-relative.
+    sim.ScheduleAt(iter_start, [&] {
+      // Forward + backward occupy the compute stream on every node.
+      for (int node = 0; node < config.num_nodes; ++node) {
+        const SimTime node_compute =
+            node == options.straggler_node ? slowest_compute : compute_time;
+        gpus[node]->SubmitCompute(node_compute, [] {});
+      }
+      // Build the per-unit sync graphs up front.
+      std::vector<TaskGraph*> graph_ptrs;
+      for (const SyncUnit& unit : units) {
+        auto graph = std::make_unique<TaskGraph>();
+        AppendSyncTasks(config, unit.plan, graph.get());
+        graph_ptrs.push_back(graph.get());
+        graphs.push_back(std::move(graph));
+      }
+
+      auto complete_one = [&remaining, &sim, &iteration_end] {
+        if (--remaining == 0) {
+          iteration_end = sim.now();
+        }
+      };
+
+      if (!config.sequential_collectives) {
+        // CaSync: every gradient's graph launches the moment it is ready;
+        // graphs execute concurrently and pipeline.
+        for (size_t i = 0; i < units.size(); ++i) {
+          const SimTime launch_at = static_cast<SimTime>(
+              static_cast<double>(forward + units[i].ready_offset) *
+              launch_stretch) + options.launch_overhead;
+          TaskGraph* graph_ptr = graph_ptrs[i];
+          sim.Schedule(launch_at, [&engine, graph_ptr, complete_one] {
+            engine.Execute(graph_ptr, complete_one);
+          });
+        }
+      } else {
+        // Horovod-style ordered collectives: unit i+1 starts only after
+        // unit i's allreduce finished AND its own gradients are ready.
+        struct SequentialState {
+          size_t next = 0;
+          bool in_flight = false;
+          std::vector<bool> ready;
+        };
+        auto state = std::make_shared<SequentialState>();
+        state->ready.assign(units.size(), false);
+        std::vector<SimTime> negotiation;
+        negotiation.reserve(units.size());
+        for (const SyncUnit& unit : units) {
+          negotiation.push_back(unit.members *
+                                config.per_gradient_negotiation);
+        }
+        auto pump = std::make_shared<std::function<void()>>();
+        *pump = [&engine, &sim, graph_ptrs, negotiation, state, complete_one,
+                 pump] {
+          if (state->in_flight || state->next >= graph_ptrs.size() ||
+              !state->ready[state->next]) {
+            return;
+          }
+          state->in_flight = true;
+          const size_t index = state->next;
+          ++state->next;
+          TaskGraph* graph_ptr = graph_ptrs[index];
+          // Per-tensor negotiation happens on the critical path between
+          // collectives (Horovod's coordination cycle).
+          sim.Schedule(negotiation[index],
+                       [&engine, graph_ptr, state, complete_one, pump] {
+            engine.Execute(graph_ptr, [state, complete_one, pump] {
+              state->in_flight = false;
+              complete_one();
+              (*pump)();
+            });
+          });
+        };
+        for (size_t i = 0; i < units.size(); ++i) {
+          const SimTime launch_at = static_cast<SimTime>(
+              static_cast<double>(forward + units[i].ready_offset) *
+              launch_stretch) + options.launch_overhead;
+          sim.Schedule(launch_at, [state, i, pump] {
+            state->ready[i] = true;
+            (*pump)();
+          });
+        }
+      }
+    });
+
+    sim.Run();
+    const SimTime end =
+        std::max(iteration_end, iter_start + slowest_compute);
+    if (measured) {
+      measured_iter_time = end - iter_start;
+      measured_uplink_busy = net.uplink_busy(0) - uplink_busy_before;
+      measured_sync_tail =
+          std::max<SimTime>(0, end - (iter_start + compute_time));
+      // Synchronization span: from the first gradient's sync launch to the
+      // last gradient's completion (the paper's communication-time metric
+      // counts the whole synchronization window, overlapped or not).
+      SimTime first_launch = forward + units[0].ready_offset;
+      for (const SyncUnit& unit : units) {
+        first_launch = std::min(first_launch, forward + unit.ready_offset);
+      }
+      const SimTime sync_end = iteration_end > 0 ? iteration_end : end;
+      measured_sync_span =
+          std::max<SimTime>(0, sync_end - (iter_start + first_launch));
+      EngineStats delta = engine.stats();
+      delta.encode_tasks -= stats_before.encode_tasks;
+      delta.decode_tasks -= stats_before.decode_tasks;
+      delta.merge_tasks -= stats_before.merge_tasks;
+      delta.send_tasks -= stats_before.send_tasks;
+      delta.encode_time -= stats_before.encode_time;
+      delta.decode_time -= stats_before.decode_time;
+      delta.merge_time -= stats_before.merge_time;
+      delta.wire_bytes -= stats_before.wire_bytes;
+      report.engine_stats = delta;
+    }
+    iter_start = end;
+  }
+
+  report.iteration_time = measured_iter_time;
+  report.sync_tail = measured_sync_tail;
+  const double iter_seconds = ToSeconds(measured_iter_time);
+  if (iter_seconds > 0) {
+    report.throughput = static_cast<double>(report.total_gpus) *
+                        model.batch_per_gpu / iter_seconds;
+    report.scaling_efficiency =
+        static_cast<double>(compute_time) /
+        static_cast<double>(measured_iter_time);
+    report.comm_ratio =
+        std::min(1.0, static_cast<double>(measured_sync_span) /
+                          static_cast<double>(measured_iter_time));
+    report.network_busy_ratio =
+        std::min(1.0, static_cast<double>(measured_uplink_busy) /
+                          static_cast<double>(measured_iter_time));
+  }
+  if (options.record_timeline) {
+    report.timeline = gpus[0]->timeline();
+  }
+  return report;
+}
+
+}  // namespace hipress

@@ -1,0 +1,76 @@
+// Data-parallel training-loop simulator.
+//
+// Drives one model profile over the simulated cluster under a SyncConfig:
+// every node runs forward+backward on its GPU; gradients become available
+// back-to-front during backward (after intra-node local aggregation across
+// the node's GPUs, Section 5); each gradient's synchronization task graph
+// launches the moment it is ready, so communication and compression overlap
+// the remaining backward computation. An iteration ends when every
+// gradient has been synchronized on every node (BSP barrier).
+//
+// Reports the metrics the evaluation section uses: throughput
+// (samples/sec), scaling efficiency, communication ratio, and the
+// computation/synchronization latency breakdown of Figure 11.
+#ifndef HIPRESS_SRC_TRAIN_TRAINER_H_
+#define HIPRESS_SRC_TRAIN_TRAINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/casync/config.h"
+#include "src/casync/engine.h"
+#include "src/casync/secopa.h"
+#include "src/common/status.h"
+#include "src/models/model_profile.h"
+#include "src/simgpu/gpu.h"
+
+namespace hipress {
+
+struct TrainOptions {
+  int iterations = 2;           // the last iteration is the measured one
+  bool record_timeline = false;  // keep node-0 GPU intervals (Figure 9)
+  // Per-gradient sync launch overhead (framework negotiation/dispatch).
+  SimTime launch_overhead = FromMicros(50.0);
+  // Straggler injection: node `straggler_node` computes
+  // `straggler_factor` times slower (its gradients — which every
+  // aggregation needs — arrive late, stretching BSP iterations).
+  int straggler_node = -1;
+  double straggler_factor = 1.0;
+  // Bounded staleness (SSP, the paper's Section 7 extension): iteration k
+  // may start computing once iteration k-1-staleness has fully
+  // synchronized, so up to `staleness`+1 iterations pipeline. 0 = BSP.
+  // With staleness > 0 the report carries average iteration time and
+  // throughput; the per-iteration breakdown fields are zero.
+  int staleness = 0;
+};
+
+struct TrainReport {
+  SimTime iteration_time = 0;
+  SimTime compute_time = 0;  // single-GPU forward+backward
+  // Time after backward completes until the last gradient is synchronized
+  // (the non-hidden communication the paper's pipelining fights).
+  SimTime sync_tail = 0;
+  double throughput = 0.0;          // cluster samples (or tokens)/sec
+  double scaling_efficiency = 0.0;  // vs. linear scaling of one GPU
+  // Fraction of the iteration covered by the synchronization window (first
+  // sync launch to last completion) — the paper's communication-time ratio.
+  double comm_ratio = 0.0;
+  // Node-0 uplink busy share (pure wire-serialization view).
+  double network_busy_ratio = 0.0;
+  int total_gpus = 0;
+  // Engine-side accounting for the measured iteration: primitive counts,
+  // modelled kernel time, and bytes on the wire (sums over all nodes).
+  EngineStats engine_stats;
+  std::vector<GpuInterval> timeline;  // node-0 device (if recorded)
+  SimTime timeline_origin = 0;        // measured iteration's start time
+};
+
+// Runs the simulation; deterministic for fixed inputs.
+StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
+                                       const SyncConfig& config,
+                                       const TrainOptions& options = {});
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_TRAIN_TRAINER_H_

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "src/compll/analyzer.h"
+#include "src/compll/builtin_algorithms.h"
+#include "src/compll/parser.h"
+
+namespace hipress::compll {
+namespace {
+
+std::vector<Diagnostic> Analyze(const std::string& source) {
+  auto program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return AnalyzeProgram(*program);
+}
+
+bool HasDiagnostic(const std::vector<Diagnostic>& diagnostics,
+                   const std::string& fragment) {
+  for (const Diagnostic& diagnostic : diagnostics) {
+    if (diagnostic.message.find(fragment) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(AnalyzerTest, AllBuiltinProgramsAreClean) {
+  for (const DslAlgorithm& algorithm : BuiltinDslAlgorithms()) {
+    auto program = ParseProgram(algorithm.source);
+    ASSERT_TRUE(program.ok());
+    const auto diagnostics = AnalyzeProgram(*program);
+    EXPECT_TRUE(diagnostics.empty())
+        << algorithm.name << ": " << diagnostics[0].message;
+  }
+}
+
+TEST(AnalyzerTest, UndefinedVariable) {
+  const auto diagnostics = Analyze(R"(
+float f(float x) {
+  return y + 1;
+}
+)");
+  EXPECT_TRUE(HasDiagnostic(diagnostics, "undefined variable 'y'"));
+}
+
+TEST(AnalyzerTest, AssignmentToUndefinedVariable) {
+  const auto diagnostics = Analyze(R"(
+float f(float x) {
+  z = 3;
+  return x;
+}
+)");
+  EXPECT_TRUE(HasDiagnostic(diagnostics, "assignment to undefined"));
+}
+
+TEST(AnalyzerTest, UnknownFunction) {
+  const auto diagnostics = Analyze(R"(
+float f(float x) {
+  return mystery(x);
+}
+)");
+  EXPECT_TRUE(HasDiagnostic(diagnostics, "unknown function 'mystery'"));
+}
+
+TEST(AnalyzerTest, WrongUserFunctionArity) {
+  const auto diagnostics = Analyze(R"(
+float add(float a, float b) {
+  return a + b;
+}
+float f(float x) {
+  return add(x);
+}
+)");
+  EXPECT_TRUE(HasDiagnostic(diagnostics, "takes 2 argument(s), given 1"));
+}
+
+TEST(AnalyzerTest, MapUdfMustTakeOneParameter) {
+  const auto diagnostics = Analyze(R"(
+float two(float a, float b) {
+  return a;
+}
+void encode(float* gradient, uint8* compressed) {
+  float* q = map(gradient, two);
+  compressed = concat(q);
+}
+void decode(uint8* compressed, float* gradient) {
+  gradient = extract<float*>(compressed);
+}
+)");
+  EXPECT_TRUE(HasDiagnostic(diagnostics, "must take 1 parameter(s)"));
+}
+
+TEST(AnalyzerTest, ReduceAcceptsBuiltinCombiners) {
+  const auto diagnostics = Analyze(R"(
+void encode(float* gradient, uint8* compressed) {
+  float lo = reduce(gradient, smaller);
+  compressed = concat(lo);
+}
+void decode(uint8* compressed, float* gradient) {
+  gradient = extract<float*>(compressed);
+}
+)");
+  EXPECT_TRUE(diagnostics.empty());
+}
+
+TEST(AnalyzerTest, SortRequiresBuiltinOrder) {
+  const auto diagnostics = Analyze(R"(
+float weird(float a) {
+  return a;
+}
+void encode(float* gradient, uint8* compressed) {
+  float* s = sort(gradient, weird);
+  compressed = concat(s);
+}
+void decode(uint8* compressed, float* gradient) {
+  gradient = extract<float*>(compressed);
+}
+)");
+  EXPECT_TRUE(HasDiagnostic(diagnostics, "sort order"));
+}
+
+TEST(AnalyzerTest, RandomAndExtractNeedTypeArguments) {
+  auto program = ParseProgram(R"(
+float f(float x) {
+  return random(0, 1);
+}
+)");
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(HasDiagnostic(AnalyzeProgram(*program), "type argument"));
+}
+
+TEST(AnalyzerTest, ParamFieldMustExist) {
+  const auto diagnostics = Analyze(R"(
+param P {
+  uint8 bitwidth;
+}
+void encode(float* gradient, uint8* compressed, P params) {
+  uint8 b = params.missing;
+  compressed = concat(b, gradient);
+}
+void decode(uint8* compressed, float* gradient, P params) {
+  gradient = extract<float*>(compressed);
+}
+)");
+  EXPECT_TRUE(HasDiagnostic(diagnostics, "no field 'missing'"));
+}
+
+TEST(AnalyzerTest, EntrySignatureIsValidated) {
+  const auto diagnostics = Analyze(R"(
+void encode(uint8* wrong, float* alsowrong) {
+}
+void decode(uint8* compressed, float* gradient) {
+  gradient = extract<float*>(compressed);
+}
+)");
+  EXPECT_TRUE(HasDiagnostic(diagnostics, "encode's first parameter"));
+  EXPECT_TRUE(HasDiagnostic(diagnostics, "encode's second parameter"));
+}
+
+TEST(AnalyzerTest, MissingReturnOnFallthrough) {
+  const auto diagnostics = Analyze(R"(
+float f(float x) {
+  if (x > 0) {
+    return 1;
+  }
+}
+)");
+  EXPECT_TRUE(HasDiagnostic(diagnostics, "fall off the end"));
+}
+
+TEST(AnalyzerTest, IfElseBothReturningIsAccepted) {
+  const auto diagnostics = Analyze(R"(
+float sign(float x) {
+  if (x >= 0) {
+    return 1;
+  } else {
+    return -1;
+  }
+}
+)");
+  EXPECT_TRUE(diagnostics.empty());
+}
+
+TEST(AnalyzerTest, DuplicateDefinitions) {
+  const auto diagnostics = Analyze(R"(
+float x;
+float x;
+float f(float a) {
+  return a;
+}
+float f(float a) {
+  return a;
+}
+)");
+  EXPECT_TRUE(HasDiagnostic(diagnostics, "duplicate global 'x'"));
+  EXPECT_TRUE(HasDiagnostic(diagnostics, "duplicate function 'f'"));
+}
+
+TEST(AnalyzerTest, ExtensionOperatorsAreAccepted) {
+  auto program = ParseProgram(R"(
+void encode(float* gradient, uint8* compressed) {
+  float* s = myop(gradient);
+  compressed = concat(s);
+}
+void decode(uint8* compressed, float* gradient) {
+  gradient = extract<float*>(compressed);
+}
+)");
+  ASSERT_TRUE(program.ok());
+  // Unknown without registration...
+  EXPECT_TRUE(HasDiagnostic(AnalyzeProgram(*program), "unknown function"));
+  // ...accepted once registered (the paper's open operator library).
+  EXPECT_TRUE(AnalyzeProgram(*program, {"myop"}).empty());
+}
+
+TEST(AnalyzerTest, ValidateProgramJoinsDiagnostics) {
+  auto program = ParseProgram(R"(
+float f(float x) {
+  return y + z;
+}
+)");
+  ASSERT_TRUE(program.ok());
+  const Status status = ValidateProgram(*program);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("'y'"), std::string::npos);
+  EXPECT_NE(status.message().find("'z'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hipress::compll

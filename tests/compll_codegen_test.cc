@@ -1,0 +1,167 @@
+// Code generator: structural checks on the emitted C++ plus a host-compiler
+// syntax pass over every generated built-in algorithm (the generated unit
+// must be a valid, self-contained translation unit).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "src/compll/builtin_algorithms.h"
+#include "src/compll/codegen.h"
+
+namespace hipress::compll {
+namespace {
+
+std::string MustGenerate(const std::string& source, const std::string& name) {
+  CodegenOptions options;
+  options.algorithm_name = name;
+  auto generated = GenerateCppFromSource(source, options);
+  EXPECT_TRUE(generated.ok()) << generated.status();
+  return std::move(generated).value();
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(CodegenTest, EmitsEntryPointsAndNamespace) {
+  const DslAlgorithm* terngrad = FindDslAlgorithm("terngrad");
+  ASSERT_NE(terngrad, nullptr);
+  const std::string code = MustGenerate(terngrad->source, "terngrad");
+  EXPECT_TRUE(Contains(code, "namespace compll_gen_terngrad"));
+  EXPECT_TRUE(Contains(code, "void terngrad_encode(const float* __input"));
+  EXPECT_TRUE(Contains(code, "void terngrad_decode(const uint8_t* __input"));
+  EXPECT_TRUE(Contains(code, "struct EncodeParams"));
+}
+
+TEST(CodegenTest, GlobalsBecomeFileScopeVariables) {
+  const DslAlgorithm* terngrad = FindDslAlgorithm("terngrad");
+  const std::string code = MustGenerate(terngrad->source, "terngrad");
+  EXPECT_TRUE(Contains(code, "static double g_min"));
+  EXPECT_TRUE(Contains(code, "static double g_max"));
+  EXPECT_TRUE(Contains(code, "static double g_gap"));
+}
+
+TEST(CodegenTest, MapLowersToRuntimeHelperWithHiddenIndex) {
+  const DslAlgorithm* terngrad = FindDslAlgorithm("terngrad");
+  const std::string code = MustGenerate(terngrad->source, "terngrad");
+  EXPECT_TRUE(Contains(code, "__map("));
+  EXPECT_TRUE(Contains(code, "floatToUint(__x, __i)"));
+  // random() lowers to the counter-based uniform keyed on the element index.
+  EXPECT_TRUE(Contains(code, "__random(0, 1, kSeed, __idx)"));
+}
+
+TEST(CodegenTest, SubByteArraysUseBitPacking) {
+  const DslAlgorithm* terngrad = FindDslAlgorithm("terngrad");
+  const std::string code = MustGenerate(terngrad->source, "terngrad");
+  EXPECT_TRUE(Contains(code, "__append_packed(__b, Q, 2)"));
+  EXPECT_TRUE(Contains(code, "read_packed(2,"));
+}
+
+TEST(CodegenTest, SparseProgramsUseScatter) {
+  const DslAlgorithm* dgc = FindDslAlgorithm("dgc");
+  const std::string code = MustGenerate(dgc->source, "dgc");
+  EXPECT_TRUE(Contains(code, "__scatter("));
+  EXPECT_TRUE(Contains(code, "__findex("));
+  EXPECT_TRUE(Contains(code, "__sort_desc("));
+}
+
+TEST(CodegenTest, IfElseAndElementAssignmentLower) {
+  const std::string code = MustGenerate(R"(
+float clampPositive(float x) {
+  if (x > 0) {
+    return x;
+  } else {
+    return 0;
+  }
+}
+void encode(float* gradient, uint8* compressed) {
+  gradient[0] = clampPositive(gradient[0]);
+  compressed = concat(gradient);
+}
+void decode(uint8* compressed, float* gradient) {
+  gradient = extract<float*>(compressed);
+}
+)",
+                                        "clamp");
+  EXPECT_TRUE(Contains(code, "if (("));
+  EXPECT_TRUE(Contains(code, "} else {"));
+  EXPECT_TRUE(Contains(code, "gradient[static_cast<size_t>(0)] ="));
+  EXPECT_TRUE(Contains(code, "clampPositive("));
+}
+
+TEST(CodegenTest, CoercionsFollowDeclaredTypes) {
+  const std::string code = MustGenerate(R"(
+void encode(float* gradient, uint8* compressed) {
+  uint2 q = 7;
+  int32 n = gradient.size;
+  compressed = concat(q, n, gradient);
+}
+void decode(uint8* compressed, float* gradient) {
+  gradient = extract<float*>(compressed);
+}
+)",
+                                        "coerce");
+  EXPECT_TRUE(Contains(code, "__coerce_uint(7, 2)"));
+  EXPECT_TRUE(Contains(code, "__coerce_int32("));
+}
+
+TEST(CodegenTest, EmitsCEntryPoints) {
+  const DslAlgorithm* terngrad = FindDslAlgorithm("terngrad");
+  const std::string code = MustGenerate(terngrad->source, "terngrad");
+  EXPECT_TRUE(Contains(code, "extern \"C\" int terngrad_encode_c("));
+  EXPECT_TRUE(Contains(code, "extern \"C\" int terngrad_decode_c("));
+  // Positional param marshalling for the EncodeParams block.
+  EXPECT_TRUE(Contains(code, "p.bitwidth = params[0]"));
+}
+
+TEST(CodegenTest, RejectsUnknownFunctions) {
+  CodegenOptions options;
+  auto generated = GenerateCppFromSource(R"(
+void encode(float* g, uint8* out) {
+  out = mystery(g);
+}
+void decode(uint8* in, float* g) {
+  g = extract<float*>(in);
+}
+)",
+                                         options);
+  EXPECT_FALSE(generated.ok());
+}
+
+// Compile every generated built-in with the host compiler (-fsyntax-only):
+// the generated unit must stand alone.
+class CodegenCompileTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CodegenCompileTest, GeneratedCodeCompiles) {
+  const DslAlgorithm* algorithm = FindDslAlgorithm(GetParam());
+  ASSERT_NE(algorithm, nullptr);
+  const std::string code = MustGenerate(algorithm->source, GetParam());
+
+  const std::string path =
+      std::string("/tmp/compll_gen_") + GetParam() + ".cc";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << code;
+    // Reference the entry points so unused-function warnings cannot hide
+    // missing definitions.
+  }
+  const std::string command =
+      "c++ -std=c++20 -fsyntax-only -Wall " + path + " 2>/dev/null";
+  const int rc = std::system(command.c_str());
+  if (rc == -1 || WEXITSTATUS(rc) == 127) {
+    GTEST_SKIP() << "host compiler unavailable";
+  }
+  EXPECT_EQ(WEXITSTATUS(rc), 0) << "generated code failed to compile:\n"
+                                << code;
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, CodegenCompileTest,
+                         ::testing::Values("onebit", "tbq", "terngrad",
+                                           "dgc", "graddrop"));
+
+}  // namespace
+}  // namespace hipress::compll

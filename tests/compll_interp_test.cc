@@ -1,0 +1,407 @@
+// Interpreter semantics: operator behaviour, the five built-in DSL
+// algorithms end-to-end, and cross-validation of the DSL implementations
+// against the hand-optimized native codecs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/compll/builtin_algorithms.h"
+#include "src/compll/dsl_compressor.h"
+#include "src/compll/interpreter.h"
+#include "src/compll/parser.h"
+#include <fstream>
+#include <sstream>
+
+#include "src/compress/registry.h"
+#include "src/tensor/tensor.h"
+
+namespace hipress::compll {
+namespace {
+
+Program MustParse(const std::string& source) {
+  auto program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+Tensor RandomGradient(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  Tensor tensor("g", size);
+  tensor.FillGaussian(rng);
+  return tensor;
+}
+
+// --------------------------------------------------------- call semantics
+
+TEST(InterpreterTest, CallsUserFunction) {
+  Program program = MustParse(R"(
+float add3(float a, float b, float c) {
+  return a + b + c;
+}
+)");
+  Interpreter interpreter(&program);
+  auto result = interpreter.CallFunction(
+      "add3", {Value::Float(1), Value::Float(2), Value::Float(3)});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_DOUBLE_EQ(result->scalar, 6.0);
+}
+
+TEST(InterpreterTest, IntegerAndFloatArithmetic) {
+  Program program = MustParse(R"(
+float f(float x) {
+  return (7 / 2) + x / 2;
+}
+)");
+  Interpreter interpreter(&program);
+  auto result = interpreter.CallFunction("f", {Value::Float(1.0)});
+  ASSERT_TRUE(result.ok());
+  // 7/2 is integer division (3); 1.0/2 is float (0.5).
+  EXPECT_DOUBLE_EQ(result->scalar, 3.5);
+}
+
+TEST(InterpreterTest, ShiftAndModulo) {
+  Program program = MustParse(R"(
+float f(int32 b) {
+  return ((1 << b) - 1) + (10 % 4) * 100;
+}
+)");
+  Interpreter interpreter(&program);
+  auto result = interpreter.CallFunction("f", {Value::Int(3)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->scalar, 7 + 200);
+}
+
+TEST(InterpreterTest, SubByteReturnTypesWrap) {
+  Program program = MustParse(R"(
+uint2 f(float x) {
+  return x;
+}
+)");
+  Interpreter interpreter(&program);
+  auto result = interpreter.CallFunction("f", {Value::Float(5.0)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->scalar, 1.0);  // 5 mod 4
+}
+
+TEST(InterpreterTest, IfElseAndComparisons) {
+  Program program = MustParse(R"(
+float sign(float x) {
+  if (x > 0) { return 1; }
+  if (x < 0) { return -1; }
+  return 0;
+}
+)");
+  Interpreter interpreter(&program);
+  EXPECT_DOUBLE_EQ(
+      interpreter.CallFunction("sign", {Value::Float(3)})->scalar, 1.0);
+  EXPECT_DOUBLE_EQ(
+      interpreter.CallFunction("sign", {Value::Float(-3)})->scalar, -1.0);
+  EXPECT_DOUBLE_EQ(
+      interpreter.CallFunction("sign", {Value::Float(0)})->scalar, 0.0);
+}
+
+TEST(InterpreterTest, RecursionDepthIsBounded) {
+  Program program = MustParse(R"(
+float loop(float x) {
+  return loop(x + 1);
+}
+)");
+  Interpreter interpreter(&program);
+  EXPECT_FALSE(interpreter.CallFunction("loop", {Value::Float(0)}).ok());
+}
+
+TEST(InterpreterTest, UndefinedVariableIsError) {
+  Program program = MustParse(R"(
+float f(float x) {
+  return y;
+}
+)");
+  Interpreter interpreter(&program);
+  EXPECT_FALSE(interpreter.CallFunction("f", {Value::Float(0)}).ok());
+}
+
+// ------------------------------------------------------- encode pipelines
+
+TEST(InterpreterTest, MinimalEncodeDecodeRoundTrip) {
+  // Identity-ish program: pack floats into the payload, read them back.
+  Program program = MustParse(R"(
+void encode(float* gradient, uint8* compressed) {
+  compressed = concat(gradient);
+}
+void decode(uint8* compressed, float* gradient) {
+  gradient = extract<float*>(compressed);
+}
+)");
+  Interpreter interpreter(&program);
+  std::vector<float> input = {1.5f, -2.25f, 3.0f};
+  auto encoded = interpreter.RunEncode(input, {});
+  ASSERT_TRUE(encoded.ok()) << encoded.status();
+  EXPECT_EQ(encoded->size(), 12u);
+  auto decoded = interpreter.RunDecode(*encoded, {});
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ((*decoded)[i], input[i]);
+  }
+}
+
+TEST(InterpreterTest, ReduceBuiltins) {
+  Program program = MustParse(R"(
+void encode(float* gradient, uint8* compressed) {
+  float lo = reduce(gradient, smaller);
+  float hi = reduce(gradient, greater);
+  float total = reduce(gradient, sum);
+  float amax = reduce(gradient, maxAbs);
+  compressed = concat(lo, hi, total, amax);
+}
+void decode(uint8* compressed, float* gradient) {
+  gradient = extract<float*>(compressed);
+}
+)");
+  Interpreter interpreter(&program);
+  std::vector<float> input = {3.0f, -5.0f, 2.0f};
+  auto encoded = interpreter.RunEncode(input, {});
+  ASSERT_TRUE(encoded.ok()) << encoded.status();
+  auto decoded = interpreter.RunDecode(*encoded, {});
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 4u);
+  EXPECT_FLOAT_EQ((*decoded)[0], -5.0f);
+  EXPECT_FLOAT_EQ((*decoded)[1], 3.0f);
+  EXPECT_FLOAT_EQ((*decoded)[2], 0.0f);
+  EXPECT_FLOAT_EQ((*decoded)[3], 5.0f);
+}
+
+TEST(InterpreterTest, SubBytePackingIsCompact) {
+  // 10 uint2 values pack into 3 bytes (minimal zero padding).
+  Program program = MustParse(R"(
+uint2 two(float x) {
+  return 2;
+}
+void encode(float* gradient, uint8* compressed) {
+  uint2* Q = map(gradient, two);
+  compressed = concat(Q);
+}
+void decode(uint8* compressed, float* gradient) {
+  gradient = extract<float*>(compressed);
+}
+)");
+  Interpreter interpreter(&program);
+  std::vector<float> input(10, 0.0f);
+  auto encoded = interpreter.RunEncode(input, {});
+  ASSERT_TRUE(encoded.ok()) << encoded.status();
+  EXPECT_EQ(encoded->size(), 3u);
+}
+
+// ---------------------------------------------- built-in DSL algorithms
+
+class BuiltinDslTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BuiltinDslTest, CreatesAndRoundTrips) {
+  CompressorParams params;
+  params.sparsity_ratio = 0.05;
+  auto codec = DslCompressor::CreateBuiltin(GetParam(), params);
+  ASSERT_TRUE(codec.ok()) << codec.status();
+  Tensor gradient = RandomGradient(503, 1234);
+  ByteBuffer encoded;
+  ASSERT_TRUE((*codec)->Encode(gradient.span(), &encoded).ok());
+  std::vector<float> decoded(gradient.size());
+  ASSERT_TRUE((*codec)->Decode(encoded, decoded).ok());
+  auto count = (*codec)->EncodedElementCount(encoded);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, gradient.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, BuiltinDslTest,
+                         ::testing::Values("onebit", "tbq", "terngrad",
+                                           "dgc", "graddrop"));
+
+TEST(DslCrossValidationTest, OnebitMatchesNativeCodec) {
+  auto dsl = DslCompressor::CreateBuiltin("onebit");
+  ASSERT_TRUE(dsl.ok()) << dsl.status();
+  auto native = CreateCompressor("onebit");
+  ASSERT_TRUE(native.ok());
+  Tensor gradient = RandomGradient(1000, 55);
+
+  ByteBuffer dsl_encoded;
+  ASSERT_TRUE((*dsl)->Encode(gradient.span(), &dsl_encoded).ok());
+  std::vector<float> dsl_decoded(1000);
+  ASSERT_TRUE((*dsl)->Decode(dsl_encoded, dsl_decoded).ok());
+
+  ByteBuffer native_encoded;
+  ASSERT_TRUE((*native)->Encode(gradient.span(), &native_encoded).ok());
+  std::vector<float> native_decoded(1000);
+  ASSERT_TRUE((*native)->Decode(native_encoded, native_decoded).ok());
+
+  EXPECT_LT(MaxAbsDiff(std::span<const float>(dsl_decoded),
+                       std::span<const float>(native_decoded)),
+            1e-5);
+}
+
+TEST(DslCrossValidationTest, TbqMatchesNativeCodec) {
+  CompressorParams params;
+  params.threshold = 0.4f;
+  auto dsl = DslCompressor::CreateBuiltin("tbq", params);
+  ASSERT_TRUE(dsl.ok()) << dsl.status();
+  auto native = CreateCompressor("tbq", params);
+  ASSERT_TRUE(native.ok());
+  Tensor gradient = RandomGradient(777, 56);
+
+  ByteBuffer encoded;
+  ASSERT_TRUE((*dsl)->Encode(gradient.span(), &encoded).ok());
+  std::vector<float> dsl_decoded(777);
+  ASSERT_TRUE((*dsl)->Decode(encoded, dsl_decoded).ok());
+  ByteBuffer native_encoded;
+  ASSERT_TRUE((*native)->Encode(gradient.span(), &native_encoded).ok());
+  std::vector<float> native_decoded(777);
+  ASSERT_TRUE((*native)->Decode(native_encoded, native_decoded).ok());
+  EXPECT_EQ(MaxAbsDiff(std::span<const float>(dsl_decoded),
+                       std::span<const float>(native_decoded)),
+            0.0);
+}
+
+TEST(DslCrossValidationTest, TernGradReconstructionBound) {
+  auto dsl = DslCompressor::CreateBuiltin("terngrad");
+  ASSERT_TRUE(dsl.ok()) << dsl.status();
+  Tensor gradient = RandomGradient(2000, 57);
+  ByteBuffer encoded;
+  ASSERT_TRUE((*dsl)->Encode(gradient.span(), &encoded).ok());
+  std::vector<float> decoded(2000);
+  ASSERT_TRUE((*dsl)->Decode(encoded, decoded).ok());
+
+  float min_v = gradient[0];
+  float max_v = gradient[0];
+  for (size_t i = 0; i < gradient.size(); ++i) {
+    min_v = std::min(min_v, gradient[i]);
+    max_v = std::max(max_v, gradient[i]);
+  }
+  const float gap = (max_v - min_v) / 3.0f;
+  // Allow one wrap outlier from the paper-faithful floor(+u) formulation.
+  size_t outliers = 0;
+  for (size_t i = 0; i < gradient.size(); ++i) {
+    if (std::abs(decoded[i] - gradient[i]) > gap * 1.0001f) {
+      ++outliers;
+    }
+  }
+  EXPECT_LE(outliers, 2u);
+}
+
+TEST(DslCrossValidationTest, DgcKeepsLargestElements) {
+  CompressorParams params;
+  params.sparsity_ratio = 0.02;
+  auto dsl = DslCompressor::CreateBuiltin("dgc", params);
+  ASSERT_TRUE(dsl.ok()) << dsl.status();
+  Tensor gradient = RandomGradient(500, 58);
+  ByteBuffer encoded;
+  ASSERT_TRUE((*dsl)->Encode(gradient.span(), &encoded).ok());
+  std::vector<float> decoded(500);
+  ASSERT_TRUE((*dsl)->Decode(encoded, decoded).ok());
+  size_t kept = 0;
+  float min_kept = 1e30f;
+  float max_dropped = 0.0f;
+  for (size_t i = 0; i < 500; ++i) {
+    if (decoded[i] != 0.0f) {
+      EXPECT_FLOAT_EQ(decoded[i], gradient[i]);
+      min_kept = std::min(min_kept, std::abs(gradient[i]));
+      ++kept;
+    } else {
+      max_dropped = std::max(max_dropped, std::abs(gradient[i]));
+    }
+  }
+  EXPECT_GE(kept, 10u);  // ceil(500 * 0.02) = 10, ties may add more
+  EXPECT_GE(min_kept, max_dropped);
+}
+
+TEST(DslCrossValidationTest, GradDropKeepsApproximateFraction) {
+  CompressorParams params;
+  params.sparsity_ratio = 0.05;
+  auto dsl = DslCompressor::CreateBuiltin("graddrop", params);
+  ASSERT_TRUE(dsl.ok()) << dsl.status();
+  Tensor gradient = RandomGradient(20000, 59);
+  ByteBuffer encoded;
+  ASSERT_TRUE((*dsl)->Encode(gradient.span(), &encoded).ok());
+  std::vector<float> decoded(20000);
+  ASSERT_TRUE((*dsl)->Decode(encoded, decoded).ok());
+  size_t kept = 0;
+  for (float v : decoded) {
+    if (v != 0.0f) {
+      ++kept;
+    }
+  }
+  EXPECT_GT(kept, 20000 * 0.05 * 0.3);
+  EXPECT_LT(kept, 20000 * 0.05 * 3.0);
+}
+
+TEST(DslRegistryTest, RegisteredAlgorithmsWorkThroughRegistry) {
+  ASSERT_TRUE(DslCompressor::RegisterBuiltinsIntoRegistry().ok());
+  auto codec = CreateCompressor("dsl-terngrad");
+  ASSERT_TRUE(codec.ok()) << codec.status();
+  Tensor gradient = RandomGradient(256, 60);
+  ByteBuffer encoded;
+  ASSERT_TRUE((*codec)->Encode(gradient.span(), &encoded).ok());
+  std::vector<float> decoded(256);
+  EXPECT_TRUE((*codec)->Decode(encoded, decoded).ok());
+  // Idempotent.
+  EXPECT_TRUE(DslCompressor::RegisterBuiltinsIntoRegistry().ok());
+}
+
+TEST(DslCompressorTest, CompressionRateIsProbed) {
+  auto onebit = DslCompressor::CreateBuiltin("onebit");
+  ASSERT_TRUE(onebit.ok());
+  EXPECT_NEAR((*onebit)->CompressionRate(1 << 20), 1.0 / 32, 0.01);
+  CompressorParams params;
+  params.sparsity_ratio = 0.01;
+  auto dgc = DslCompressor::CreateBuiltin("dgc", params);
+  ASSERT_TRUE(dgc.ok());
+  EXPECT_NEAR((*dgc)->CompressionRate(1 << 20), 0.02, 0.015);
+}
+
+TEST(DslCompressorTest, ShippedRandomKFileCompilesAndRuns) {
+  // The user-facing .cll file must stay a working program.
+  std::ifstream file(std::string(HIPRESS_SOURCE_DIR) +
+                     "/examples/algorithms/randomk.cll");
+  ASSERT_TRUE(file.good());
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  CompressorParams params;
+  params.sparsity_ratio = 0.5;
+  auto codec = DslCompressor::Create("randomk", buffer.str(),
+                                     /*is_sparse=*/true, params);
+  ASSERT_TRUE(codec.ok()) << codec.status();
+  Tensor gradient = RandomGradient(2000, 77);
+  ByteBuffer encoded;
+  ASSERT_TRUE((*codec)->Encode(gradient.span(), &encoded).ok());
+  std::vector<float> decoded(2000);
+  ASSERT_TRUE((*codec)->Decode(encoded, decoded).ok());
+  size_t kept = 0;
+  for (float v : decoded) {
+    if (v != 0.0f) {
+      ++kept;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(kept) / 2000.0, 0.5, 0.1);
+}
+
+TEST(DslCompressorTest, RejectsProgramsWithoutEntryPoints) {
+  EXPECT_FALSE(
+      DslCompressor::Create("x", "float f(float a) { return a; }", false, {})
+          .ok());
+}
+
+TEST(DslCompressorTest, UnknownParamFieldIsRejected) {
+  const char* source = R"(
+param EncodeParams {
+  float mystery;
+}
+void encode(float* gradient, uint8* compressed, EncodeParams params) {
+  compressed = concat(gradient);
+}
+void decode(uint8* compressed, float* gradient) {
+  gradient = extract<float*>(compressed);
+}
+)";
+  EXPECT_FALSE(DslCompressor::Create("x", source, false, {}).ok());
+}
+
+}  // namespace
+}  // namespace hipress::compll

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "src/compll/lexer.h"
+
+namespace hipress::compll {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& source) {
+  auto tokens = Tokenize(source);
+  EXPECT_TRUE(tokens.ok()) << tokens.status();
+  return std::move(tokens).value();
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  const auto tokens = MustTokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, IdentifiersAndNumbers) {
+  const auto tokens = MustTokenize("foo 42 3.5 1e3 2.5f _bar");
+  ASSERT_EQ(tokens.size(), 7u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "foo");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(tokens[1].number, 42.0);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kFloatLiteral);
+  EXPECT_EQ(tokens[2].number, 3.5);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kFloatLiteral);
+  EXPECT_EQ(tokens[3].number, 1000.0);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kFloatLiteral);
+  EXPECT_EQ(tokens[4].number, 2.5);
+  EXPECT_EQ(tokens[5].text, "_bar");
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  const auto tokens = MustTokenize("<< >> <= >= == != && ||");
+  const TokenKind expected[] = {TokenKind::kShl,    TokenKind::kShr,
+                                TokenKind::kLessEq, TokenKind::kGreaterEq,
+                                TokenKind::kEqEq,   TokenKind::kNotEq,
+                                TokenKind::kAndAnd, TokenKind::kOrOr};
+  ASSERT_EQ(tokens.size(), 9u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, SingleCharPunctuation) {
+  const auto tokens = MustTokenize("(){}[],;.=+-*/%<>&|^!");
+  ASSERT_EQ(tokens.size(), 22u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kLBracket);
+  EXPECT_EQ(tokens[8].kind, TokenKind::kDot);
+  EXPECT_EQ(tokens[9].kind, TokenKind::kAssign);
+  EXPECT_EQ(tokens[20].kind, TokenKind::kBang);
+}
+
+TEST(LexerTest, CommentsRunToEndOfLine) {
+  const auto tokens = MustTokenize("a // comment with * and (\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, LineContinuationIsSkipped) {
+  // The paper's Figure 5 wraps lines with a trailing backslash.
+  const auto tokens = MustTokenize("concat(a, \\\n b)");
+  ASSERT_EQ(tokens.size(), 7u);
+  EXPECT_EQ(tokens[4].text, "b");
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  const auto tokens = MustTokenize("a\nb\n  c");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 3);
+  EXPECT_EQ(tokens[2].column, 3);
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+  EXPECT_FALSE(Tokenize("x # y").ok());
+}
+
+TEST(LexerTest, FloatWithExponentSign) {
+  const auto tokens = MustTokenize("1.5e-3 2E+4");
+  EXPECT_EQ(tokens[0].number, 0.0015);
+  EXPECT_EQ(tokens[1].number, 20000.0);
+}
+
+}  // namespace
+}  // namespace hipress::compll

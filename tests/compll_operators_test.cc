@@ -1,0 +1,159 @@
+// Direct tests of the CompLL common-operator library (Table 4), including
+// the sub-byte packing rules of Section 4.3.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/compll/operators.h"
+
+namespace hipress::compll {
+namespace {
+
+TEST(OperatorsTest, MapAppliesUdfElementwise) {
+  const std::vector<double> input = {1, 2, 3, 4};
+  const auto output = MapOp(input, [](double x) { return x * x; });
+  EXPECT_EQ(output, (std::vector<double>{1, 4, 9, 16}));
+}
+
+TEST(OperatorsTest, MapOnLargeInputParallelizesCorrectly) {
+  std::vector<double> input(300000);
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<double>(i);
+  }
+  const auto output = MapOp(input, [](double x) { return x + 1; });
+  for (size_t i = 0; i < input.size(); ++i) {
+    ASSERT_EQ(output[i], input[i] + 1) << i;
+  }
+}
+
+TEST(OperatorsTest, ReduceBuiltins) {
+  const std::vector<double> input = {3, -5, 2, 4};
+  EXPECT_EQ(ReduceOp(input, BuiltinUdf::kSmaller), -5);
+  EXPECT_EQ(ReduceOp(input, BuiltinUdf::kGreater), 4);
+  EXPECT_EQ(ReduceOp(input, BuiltinUdf::kSum), 4);
+  EXPECT_EQ(ReduceOp(input, BuiltinUdf::kMaxAbs), 5);
+}
+
+TEST(OperatorsTest, ReduceParallelMatchesSequential) {
+  std::vector<double> input(500000);
+  double expected_sum = 0;
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = std::sin(static_cast<double>(i));
+    expected_sum += input[i];
+  }
+  EXPECT_NEAR(ReduceOp(input, BuiltinUdf::kSum), expected_sum, 1e-6);
+}
+
+TEST(OperatorsTest, ReduceEmptyIsZero) {
+  EXPECT_EQ(ReduceOp(std::vector<double>{}, BuiltinUdf::kSum), 0.0);
+}
+
+TEST(OperatorsTest, ReduceUserCombinerFoldsInOrder) {
+  const std::vector<double> input = {8, 4, 2};
+  // Non-commutative fold: ((8 / 4) / 2) = 1.
+  EXPECT_EQ(ReduceOp(input, [](double a, double b) { return a / b; }), 1.0);
+}
+
+TEST(OperatorsTest, FilterAndFilterIndex) {
+  const std::vector<double> input = {5, -1, 7, -2, 9};
+  auto positive = [](double x) { return x > 0 ? 1.0 : 0.0; };
+  EXPECT_EQ(FilterOp(input, positive), (std::vector<double>{5, 7, 9}));
+  EXPECT_EQ(FilterIndexOp(input, positive), (std::vector<double>{0, 2, 4}));
+}
+
+TEST(OperatorsTest, SortAscendingAndDescending) {
+  const std::vector<double> input = {3, 1, 2};
+  EXPECT_EQ(SortOp(input, BuiltinUdf::kSmaller),
+            (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(SortOp(input, BuiltinUdf::kGreater),
+            (std::vector<double>{3, 2, 1}));
+}
+
+TEST(OperatorsTest, RandomIsDeterministicPerIndex) {
+  const double a = RandomOp(0, 1, 42, 7);
+  EXPECT_EQ(RandomOp(0, 1, 42, 7), a);
+  EXPECT_NE(RandomOp(0, 1, 42, 8), a);
+  EXPECT_NE(RandomOp(0, 1, 43, 7), a);
+  EXPECT_GE(a, 0.0);
+  EXPECT_LT(a, 1.0);
+  const double scaled = RandomOp(5, 9, 1, 1);
+  EXPECT_GE(scaled, 5.0);
+  EXPECT_LT(scaled, 9.0);
+}
+
+TEST(ConcatBuilderTest, ScalarsOccupyDeclaredWidths) {
+  ConcatBuilder builder;
+  builder.AppendScalar(ScalarType::kUint8, 200);   // 1 byte
+  builder.AppendScalar(ScalarType::kUint2, 7);     // 1 byte, wraps to 3
+  builder.AppendScalar(ScalarType::kFloat, 1.5);   // 4 bytes
+  builder.AppendScalar(ScalarType::kInt32, -9);    // 4 bytes
+  const auto bytes = builder.Finish();
+  ASSERT_EQ(bytes.size(), 10u);
+  EXPECT_EQ(bytes[0], 200);
+  EXPECT_EQ(bytes[1], 3);  // 7 mod 4
+}
+
+TEST(ConcatBuilderTest, SubByteArraysPackWithMinimalPadding) {
+  ConcatBuilder builder;
+  // 10 x uint2 = 20 bits -> 3 bytes.
+  std::vector<double> values(10, 3.0);
+  builder.AppendArray(ScalarType::kUint2, values);
+  EXPECT_EQ(builder.size(), 3u);
+  // 9 x uint1 -> 2 bytes.
+  ConcatBuilder bits;
+  bits.AppendArray(ScalarType::kUint1, std::vector<double>(9, 1.0));
+  EXPECT_EQ(bits.size(), 2u);
+}
+
+TEST(ConcatExtractTest, RoundTripAllTypes) {
+  ConcatBuilder builder;
+  builder.AppendScalar(ScalarType::kFloat, 2.75);
+  builder.AppendScalar(ScalarType::kInt32, -1234);
+  builder.AppendScalar(ScalarType::kUint8, 99);
+  const std::vector<double> packed = {1, 0, 3, 2, 1};
+  builder.AppendArray(ScalarType::kUint2, packed);
+  const std::vector<double> floats = {1.5, -2.5};
+  builder.AppendArray(ScalarType::kFloat, floats);
+  const auto buffer = builder.Finish();
+
+  size_t cursor = 0;
+  ExtractReader reader(buffer, &cursor);
+  EXPECT_EQ(reader.ReadScalar(ScalarType::kFloat).value(), 2.75);
+  EXPECT_EQ(reader.ReadScalar(ScalarType::kInt32).value(), -1234);
+  EXPECT_EQ(reader.ReadScalar(ScalarType::kUint8).value(), 99);
+  EXPECT_EQ(reader.ReadArray(ScalarType::kUint2, 5).value(), packed);
+  EXPECT_EQ(reader.ReadArray(ScalarType::kFloat, 2).value(), floats);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ConcatExtractTest, RestOfBufferArrayRead) {
+  ConcatBuilder builder;
+  builder.AppendScalar(ScalarType::kFloat, 1.0);
+  builder.AppendArray(ScalarType::kUint1, std::vector<double>(16, 1.0));
+  const auto buffer = builder.Finish();
+  size_t cursor = 0;
+  ExtractReader reader(buffer, &cursor);
+  (void)reader.ReadScalar(ScalarType::kFloat);
+  const auto rest = reader.ReadArray(ScalarType::kUint1, -1);
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(rest->size(), 16u);
+}
+
+TEST(ConcatExtractTest, ExhaustedBufferErrors) {
+  std::vector<uint8_t> tiny = {1, 2};
+  size_t cursor = 0;
+  ExtractReader reader(tiny, &cursor);
+  EXPECT_FALSE(reader.ReadScalar(ScalarType::kFloat).ok());
+  EXPECT_FALSE(reader.ReadArray(ScalarType::kFloat, 4).ok());
+}
+
+TEST(BuiltinUdfTest, ParseNames) {
+  EXPECT_TRUE(ParseBuiltinUdf("smaller").ok());
+  EXPECT_TRUE(ParseBuiltinUdf("greater").ok());
+  EXPECT_TRUE(ParseBuiltinUdf("sum").ok());
+  EXPECT_TRUE(ParseBuiltinUdf("maxAbs").ok());
+  EXPECT_FALSE(ParseBuiltinUdf("median").ok());
+}
+
+}  // namespace
+}  // namespace hipress::compll

@@ -1,0 +1,253 @@
+// Interpreter semantics beyond the algorithm round trips: coercions,
+// element assignment, buffer concatenation, extension operators, and error
+// paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/compll/interpreter.h"
+#include "src/compll/parser.h"
+
+namespace hipress::compll {
+namespace {
+
+Program MustParse(const std::string& source) {
+  auto program = ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+double Call1(const std::string& source, const std::string& fn, double arg) {
+  Program program = MustParse(source);
+  Interpreter interpreter(&program);
+  auto result = interpreter.CallFunction(fn, {Value::Float(arg)});
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result->scalar;
+}
+
+TEST(SemanticsTest, DeclarationCoercesToDeclaredType) {
+  EXPECT_EQ(Call1(R"(
+float f(float x) {
+  int32 t = x;
+  return t;
+}
+)",
+                  "f", 3.9),
+            3.0);  // truncation toward zero
+  EXPECT_EQ(Call1(R"(
+float f(float x) {
+  uint4 t = x;
+  return t;
+}
+)",
+                  "f", 20.0),
+            4.0);  // 20 mod 16
+}
+
+TEST(SemanticsTest, AssignmentPreservesSlotType) {
+  // `t` is declared uint2; later assignments keep wrapping.
+  EXPECT_EQ(Call1(R"(
+float f(float x) {
+  uint2 t = 0;
+  t = x;
+  return t;
+}
+)",
+                  "f", 7.0),
+            3.0);
+}
+
+TEST(SemanticsTest, NegativeFloatsTruncateTowardZero) {
+  EXPECT_EQ(Call1(R"(
+float f(float x) {
+  int32 t = x;
+  return t;
+}
+)",
+                  "f", -3.7),
+            -3.0);
+}
+
+TEST(SemanticsTest, ElementAssignmentWritesThroughArray) {
+  Program program = MustParse(R"(
+void encode(float* gradient, uint8* compressed) {
+  gradient[0] = 42;
+  gradient[2] = gradient[0] + 1;
+  compressed = concat(gradient);
+}
+void decode(uint8* compressed, float* gradient) {
+  gradient = extract<float*>(compressed);
+}
+)");
+  Interpreter interpreter(&program);
+  std::vector<float> input = {1, 2, 3};
+  auto encoded = interpreter.RunEncode(input, {});
+  ASSERT_TRUE(encoded.ok()) << encoded.status();
+  auto decoded = interpreter.RunDecode(*encoded, {});
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FLOAT_EQ((*decoded)[0], 42.0f);
+  EXPECT_FLOAT_EQ((*decoded)[1], 2.0f);
+  EXPECT_FLOAT_EQ((*decoded)[2], 43.0f);
+}
+
+TEST(SemanticsTest, ElementAssignmentOutOfRangeErrors) {
+  Program program = MustParse(R"(
+void encode(float* gradient, uint8* compressed) {
+  gradient[99] = 1;
+  compressed = concat(gradient);
+}
+void decode(uint8* compressed, float* gradient) {
+  gradient = extract<float*>(compressed);
+}
+)");
+  Interpreter interpreter(&program);
+  std::vector<float> input = {1, 2, 3};
+  EXPECT_FALSE(interpreter.RunEncode(input, {}).ok());
+}
+
+TEST(SemanticsTest, IndexReadOutOfRangeErrors) {
+  Program program = MustParse(R"(
+void encode(float* gradient, uint8* compressed) {
+  float x = gradient[gradient.size];
+  compressed = concat(x);
+}
+void decode(uint8* compressed, float* gradient) {
+  gradient = extract<float*>(compressed);
+}
+)");
+  Interpreter interpreter(&program);
+  std::vector<float> input = {1, 2};
+  EXPECT_FALSE(interpreter.RunEncode(input, {}).ok());
+}
+
+TEST(SemanticsTest, ScatterRejectsBadIndices) {
+  Program program = MustParse(R"(
+void encode(float* gradient, uint8* compressed) {
+  compressed = concat(gradient);
+}
+void decode(uint8* compressed, float* gradient) {
+  float* vals = extract<float*>(compressed);
+  gradient = scatter(vals, vals, 1);
+}
+)");
+  Interpreter interpreter(&program);
+  RegisterStandardExtensions(interpreter);
+  std::vector<float> input = {5, 6};  // index 5 and 6 out of range for n=1
+  auto encoded = interpreter.RunEncode(input, {});
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_FALSE(interpreter.RunDecode(*encoded, {}).ok());
+}
+
+TEST(SemanticsTest, LogicalOperatorsShortCircuitSemantics) {
+  // Values, not short-circuit evaluation (no side effects in the DSL).
+  EXPECT_EQ(Call1(R"(
+float f(float x) {
+  if (x > 0 && x < 10) { return 1; }
+  if (x < 0 || x > 100) { return 2; }
+  return 3;
+}
+)",
+                  "f", 5.0),
+            1.0);
+  EXPECT_EQ(Call1(R"(
+float f(float x) {
+  if (x > 0 && x < 10) { return 1; }
+  if (x < 0 || x > 100) { return 2; }
+  return 3;
+}
+)",
+                  "f", 500.0),
+            2.0);
+}
+
+TEST(SemanticsTest, UnaryNotAndMinus) {
+  EXPECT_EQ(Call1("float f(float x) { return !x; }", "f", 0.0), 1.0);
+  EXPECT_EQ(Call1("float f(float x) { return !x; }", "f", 2.0), 0.0);
+  EXPECT_EQ(Call1("float f(float x) { return -x; }", "f", 2.5), -2.5);
+}
+
+TEST(SemanticsTest, DivisionAndModuloByZeroError) {
+  Program int_div = MustParse("float f(float x) { return 1 / 0; }");
+  Interpreter interpreter(&int_div);
+  EXPECT_FALSE(interpreter.CallFunction("f", {Value::Float(0)}).ok());
+  Program mod = MustParse("float f(float x) { return 1 % 0; }");
+  Interpreter mod_interp(&mod);
+  EXPECT_FALSE(mod_interp.CallFunction("f", {Value::Float(0)}).ok());
+}
+
+TEST(SemanticsTest, FloatDivisionByZeroIsInfinity) {
+  const double v = Call1("float f(float x) { return x / 0.0; }", "f", 1.0);
+  EXPECT_TRUE(std::isinf(v));
+}
+
+TEST(SemanticsTest, GlobalsPersistAcrossUdfCalls) {
+  Program program = MustParse(R"(
+float counter;
+float bump(float x) {
+  counter = counter + 1;
+  return counter;
+}
+void encode(float* gradient, uint8* compressed) {
+  float a = bump(0);
+  float b = bump(0);
+  compressed = concat(a, b, counter);
+}
+void decode(uint8* compressed, float* gradient) {
+  gradient = extract<float*>(compressed);
+}
+)");
+  Interpreter interpreter(&program);
+  std::vector<float> input = {0.0f};
+  auto encoded = interpreter.RunEncode(input, {});
+  ASSERT_TRUE(encoded.ok()) << encoded.status();
+  auto decoded = interpreter.RunDecode(*encoded, {});
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FLOAT_EQ((*decoded)[0], 1.0f);
+  EXPECT_FLOAT_EQ((*decoded)[1], 2.0f);
+  EXPECT_FLOAT_EQ((*decoded)[2], 2.0f);
+}
+
+TEST(SemanticsTest, RandomInMapIsIndexKeyed) {
+  // Two encodes of the same input give identical payloads: randomness is
+  // keyed on (seed, element index), not on a mutating stream.
+  Program program = MustParse(R"(
+float jitter(float x) {
+  return x + random<float>(0, 1);
+}
+void encode(float* gradient, uint8* compressed) {
+  float* j = map(gradient, jitter);
+  compressed = concat(j);
+}
+void decode(uint8* compressed, float* gradient) {
+  gradient = extract<float*>(compressed);
+}
+)");
+  Interpreter interpreter(&program);
+  std::vector<float> input(32, 1.0f);
+  auto a = interpreter.RunEncode(input, {});
+  auto b = interpreter.RunEncode(input, {});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(SemanticsTest, ExtensionRegistrationConflictsAreRejected) {
+  Program program = MustParse("float f(float x) { return x; }");
+  Interpreter interpreter(&program);
+  ASSERT_TRUE(interpreter
+                  .RegisterOperator("twice",
+                                    [](std::vector<Value>& args) {
+                                      return StatusOr<Value>(Value::Float(
+                                          args[0].scalar * 2));
+                                    })
+                  .ok());
+  EXPECT_FALSE(interpreter
+                   .RegisterOperator("twice",
+                                     [](std::vector<Value>& args) {
+                                       return StatusOr<Value>(
+                                           Value::Float(0));
+                                     })
+                   .ok());
+}
+
+}  // namespace
+}  // namespace hipress::compll

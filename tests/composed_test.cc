@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/compress/composed.h"
+#include "src/compress/registry.h"
+#include "src/compress/sparse_format.h"
+
+namespace hipress {
+namespace {
+
+Tensor RandomGradient(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  Tensor tensor("g", size);
+  tensor.FillGaussian(rng);
+  return tensor;
+}
+
+TEST(ComposedTest, RejectsWrongStageKinds) {
+  CompressorParams params;
+  // Dense outer codec: invalid.
+  EXPECT_FALSE(
+      ComposedCompressor::CreateFromNames("onebit", "fp16", params).ok());
+  // Sparse inner codec: invalid.
+  EXPECT_FALSE(
+      ComposedCompressor::CreateFromNames("dgc", "graddrop", params).ok());
+  EXPECT_FALSE(
+      ComposedCompressor::CreateFromNames("dgc", "nope", params).ok());
+}
+
+TEST(ComposedTest, DgcPlusFp16RoundTrip) {
+  CompressorParams params;
+  params.sparsity_ratio = 0.01;
+  auto codec = ComposedCompressor::CreateFromNames("dgc", "fp16", params);
+  ASSERT_TRUE(codec.ok()) << codec.status();
+  EXPECT_EQ((*codec)->name(), "dgc+fp16");
+  EXPECT_TRUE((*codec)->is_sparse());
+
+  Tensor gradient = RandomGradient(10000, 1);
+  ByteBuffer encoded;
+  ASSERT_TRUE((*codec)->Encode(gradient.span(), &encoded).ok());
+  std::vector<float> decoded(gradient.size());
+  ASSERT_TRUE((*codec)->Decode(encoded, decoded).ok());
+
+  // Kept elements: the top-1% by magnitude, at half precision.
+  size_t kept = 0;
+  for (size_t i = 0; i < decoded.size(); ++i) {
+    if (decoded[i] != 0.0f) {
+      ++kept;
+      EXPECT_NEAR(decoded[i], gradient[i],
+                  std::abs(gradient[i]) / 512.0f)
+          << i;
+    }
+  }
+  EXPECT_EQ(kept, 100u);
+}
+
+TEST(ComposedTest, PayloadIsSmallerThanPlainSparsifier) {
+  CompressorParams params;
+  params.sparsity_ratio = 0.01;
+  auto plain = CreateCompressor("dgc", params);
+  auto composed =
+      ComposedCompressor::CreateFromNames("dgc", "fp16", params);
+  ASSERT_TRUE(plain.ok() && composed.ok());
+  Tensor gradient = RandomGradient(50000, 2);
+  ByteBuffer plain_wire;
+  ByteBuffer composed_wire;
+  ASSERT_TRUE((*plain)->Encode(gradient.span(), &plain_wire).ok());
+  ASSERT_TRUE((*composed)->Encode(gradient.span(), &composed_wire).ok());
+  EXPECT_LT(composed_wire.size(), plain_wire.size());
+  EXPECT_LT((*composed)->CompressionRate(50000),
+            (*plain)->CompressionRate(50000) * 0.95);
+}
+
+TEST(ComposedTest, DecodeAddAccumulates) {
+  CompressorParams params;
+  params.sparsity_ratio = 0.05;
+  auto codec = ComposedCompressor::CreateFromNames("graddrop", "terngrad",
+                                                   params);
+  ASSERT_TRUE(codec.ok());
+  Tensor gradient = RandomGradient(5000, 3);
+  ByteBuffer encoded;
+  ASSERT_TRUE((*codec)->Encode(gradient.span(), &encoded).ok());
+  std::vector<float> base(5000, 1.0f);
+  std::vector<float> accum = base;
+  ASSERT_TRUE((*codec)->DecodeAdd(encoded, accum).ok());
+  std::vector<float> decoded(5000);
+  ASSERT_TRUE((*codec)->Decode(encoded, decoded).ok());
+  for (size_t i = 0; i < accum.size(); ++i) {
+    EXPECT_FLOAT_EQ(accum[i], base[i] + decoded[i]);
+  }
+}
+
+TEST(ComposedTest, RejectsCorruptPayloads) {
+  CompressorParams params;
+  params.sparsity_ratio = 0.01;
+  auto codec = ComposedCompressor::CreateFromNames("dgc", "fp16", params);
+  ASSERT_TRUE(codec.ok());
+  Tensor gradient = RandomGradient(1000, 4);
+  ByteBuffer encoded;
+  ASSERT_TRUE((*codec)->Encode(gradient.span(), &encoded).ok());
+  std::vector<float> out(1000);
+  for (size_t keep :
+       {size_t{0}, size_t{3}, size_t{8}, encoded.size() - 1}) {
+    ByteBuffer truncated(
+        std::vector<uint8_t>(encoded.data(), encoded.data() + keep));
+    EXPECT_FALSE((*codec)->Decode(truncated, out).ok()) << keep;
+  }
+  std::vector<float> wrong(999);
+  EXPECT_FALSE((*codec)->Decode(encoded, wrong).ok());
+}
+
+TEST(ComposedTest, ElementCountComesFromHeader) {
+  CompressorParams params;
+  params.sparsity_ratio = 0.02;
+  auto codec = ComposedCompressor::CreateFromNames("dgc", "fp16", params);
+  ASSERT_TRUE(codec.ok());
+  Tensor gradient = RandomGradient(777, 5);
+  ByteBuffer encoded;
+  ASSERT_TRUE((*codec)->Encode(gradient.span(), &encoded).ok());
+  auto count = (*codec)->EncodedElementCount(encoded);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 777u);
+}
+
+}  // namespace
+}  // namespace hipress

@@ -1,0 +1,132 @@
+// OSS baselines must be functionally equivalent to the optimized codecs —
+// slower by construction, never different. onebit/tbq/terngrad emit
+// byte-identical payloads (same format, same seed), so optimized decoders
+// can read OSS payloads and vice versa.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/common/rng.h"
+#include "src/compress/dgc.h"
+#include "src/compress/onebit.h"
+#include "src/compress/oss_baselines.h"
+#include "src/compress/sparse_format.h"
+#include "src/compress/tbq.h"
+#include "src/compress/terngrad.h"
+
+namespace hipress {
+namespace {
+
+Tensor RandomGradient(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  Tensor tensor("g", size);
+  tensor.FillGaussian(rng);
+  return tensor;
+}
+
+TEST(OssEquivalenceTest, OnebitPayloadsAreByteIdentical) {
+  OnebitCompressor fast;
+  OssOnebitCompressor slow;
+  for (size_t size : {1u, 63u, 64u, 1000u, 8192u}) {
+    Tensor gradient = RandomGradient(size, size);
+    ByteBuffer a;
+    ByteBuffer b;
+    ASSERT_TRUE(fast.Encode(gradient.span(), &a).ok());
+    ASSERT_TRUE(slow.Encode(gradient.span(), &b).ok());
+    ASSERT_EQ(a.size(), b.size()) << size;
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0) << size;
+  }
+}
+
+TEST(OssEquivalenceTest, TbqPayloadsAreByteIdentical) {
+  CompressorParams params;
+  params.threshold = 0.3f;
+  TbqCompressor fast(params);
+  OssTbqCompressor slow(params);
+  for (size_t size : {1u, 5u, 128u, 10001u}) {
+    Tensor gradient = RandomGradient(size, 100 + size);
+    ByteBuffer a;
+    ByteBuffer b;
+    ASSERT_TRUE(fast.Encode(gradient.span(), &a).ok());
+    ASSERT_TRUE(slow.Encode(gradient.span(), &b).ok());
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0) << size;
+  }
+}
+
+TEST(OssEquivalenceTest, TernGradPayloadsAreByteIdenticalWithSameSeed) {
+  CompressorParams params;
+  params.bitwidth = 2;
+  params.seed = 99;
+  TernGradCompressor fast(params);
+  OssTernGradCompressor slow(params);
+  for (size_t size : {4u, 100u, 4096u}) {
+    Tensor gradient = RandomGradient(size, 200 + size);
+    ByteBuffer a;
+    ByteBuffer b;
+    ASSERT_TRUE(fast.Encode(gradient.span(), &a).ok());
+    ASSERT_TRUE(slow.Encode(gradient.span(), &b).ok());
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0) << size;
+  }
+}
+
+TEST(OssEquivalenceTest, CrossDecodeWorks) {
+  // Optimized decoder reads an OSS payload and vice versa.
+  OnebitCompressor fast;
+  OssOnebitCompressor slow;
+  Tensor gradient = RandomGradient(500, 42);
+  ByteBuffer from_slow;
+  ASSERT_TRUE(slow.Encode(gradient.span(), &from_slow).ok());
+  std::vector<float> via_fast(500);
+  ASSERT_TRUE(fast.Decode(from_slow, via_fast).ok());
+  ByteBuffer from_fast;
+  ASSERT_TRUE(fast.Encode(gradient.span(), &from_fast).ok());
+  std::vector<float> via_slow(500);
+  ASSERT_TRUE(slow.Decode(from_fast, via_slow).ok());
+  EXPECT_EQ(MaxAbsDiff(std::span<const float>(via_fast),
+                       std::span<const float>(via_slow)),
+            0.0);
+}
+
+TEST(OssEquivalenceTest, DgcSelectsSameElementsOnExactPath) {
+  // Small gradients: the optimized DGC takes the exact-selection path and
+  // must match the OSS full-sort result (same k, same element set up to
+  // magnitude ties).
+  CompressorParams params;
+  params.sparsity_ratio = 0.02;
+  DgcCompressor fast(params);
+  OssDgcCompressor slow(params);
+  Tensor gradient = RandomGradient(5000, 77);
+  ByteBuffer a;
+  ByteBuffer b;
+  ASSERT_TRUE(fast.Encode(gradient.span(), &a).ok());
+  ASSERT_TRUE(slow.Encode(gradient.span(), &b).ok());
+  auto va = SparseParse(a);
+  auto vb = SparseParse(b);
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(vb.ok());
+  ASSERT_EQ(va->k, vb->k);
+  for (uint32_t i = 0; i < va->k; ++i) {
+    EXPECT_EQ(va->indices[i], vb->indices[i]);
+    EXPECT_FLOAT_EQ(va->values[i], vb->values[i]);
+  }
+}
+
+TEST(OssEquivalenceTest, DefaultDecodeAddFallbackMatchesDecodePlusAdd) {
+  // OSS codecs use Compressor's generic DecodeAdd (scratch decode + add).
+  OssOnebitCompressor codec;
+  Tensor gradient = RandomGradient(321, 9);
+  ByteBuffer encoded;
+  ASSERT_TRUE(codec.Encode(gradient.span(), &encoded).ok());
+  std::vector<float> accum(321, 2.5f);
+  ASSERT_TRUE(codec.DecodeAdd(encoded, accum).ok());
+  std::vector<float> decoded(321);
+  ASSERT_TRUE(codec.Decode(encoded, decoded).ok());
+  for (size_t i = 0; i < accum.size(); ++i) {
+    EXPECT_FLOAT_EQ(accum[i], 2.5f + decoded[i]);
+  }
+}
+
+}  // namespace
+}  // namespace hipress

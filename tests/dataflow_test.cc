@@ -1,0 +1,182 @@
+// Integration correctness: real tensors through the full PS/Ring primitive
+// chains, with and without compression.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/casync/dataflow.h"
+#include "src/common/rng.h"
+#include "src/compress/registry.h"
+
+namespace hipress {
+namespace {
+
+std::vector<Tensor> WorkerGradients(int workers, size_t size,
+                                    uint64_t seed) {
+  Rng root(seed);
+  std::vector<Tensor> gradients;
+  for (int w = 0; w < workers; ++w) {
+    Rng rng = root.Fork(static_cast<uint64_t>(w));
+    Tensor tensor("g", size);
+    tensor.FillGaussian(rng);
+    gradients.push_back(std::move(tensor));
+  }
+  return gradients;
+}
+
+Tensor ExactSum(const std::vector<Tensor>& inputs) {
+  Tensor sum("sum", inputs[0].size());
+  for (const Tensor& input : inputs) {
+    sum.Add(input);
+  }
+  return sum;
+}
+
+struct RawCase {
+  StrategyKind strategy;
+  int workers;
+  int partitions;
+  size_t size;
+};
+
+class RawSyncTest : public ::testing::TestWithParam<RawCase> {};
+
+TEST_P(RawSyncTest, MatchesExactSumOnEveryNode) {
+  const RawCase& param = GetParam();
+  const auto inputs =
+      WorkerGradients(param.workers, param.size, 42 + param.size);
+  DataflowRunner runner(param.strategy, nullptr);
+  auto outputs = runner.Run(inputs, param.partitions);
+  ASSERT_TRUE(outputs.ok()) << outputs.status();
+  const Tensor expected = ExactSum(inputs);
+  for (int w = 0; w < param.workers; ++w) {
+    EXPECT_LT(MaxAbsDiff((*outputs)[w].span(), expected.span()), 1e-4)
+        << "worker " << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RawSyncTest,
+    ::testing::Values(RawCase{StrategyKind::kPs, 2, 1, 100},
+                      RawCase{StrategyKind::kPs, 4, 3, 1000},
+                      RawCase{StrategyKind::kPs, 8, 8, 4096},
+                      RawCase{StrategyKind::kPs, 3, 7, 65},
+                      RawCase{StrategyKind::kTree, 2, 1, 100},
+                      RawCase{StrategyKind::kTree, 5, 3, 1000},
+                      RawCase{StrategyKind::kTree, 8, 8, 4096},
+                      RawCase{StrategyKind::kRing, 2, 1, 100},
+                      RawCase{StrategyKind::kRing, 4, 4, 1000},
+                      RawCase{StrategyKind::kRing, 8, 3, 4096},
+                      RawCase{StrategyKind::kRing, 5, 5, 63}));
+
+struct CompressedCase {
+  StrategyKind strategy;
+  const char* algorithm;
+  int workers;
+  int partitions;
+};
+
+class CompressedSyncTest : public ::testing::TestWithParam<CompressedCase> {};
+
+TEST_P(CompressedSyncTest, ReplicasAreBitIdentical) {
+  const CompressedCase& param = GetParam();
+  CompressorParams codec_params;
+  codec_params.sparsity_ratio = 0.05;
+  auto codec = CreateCompressor(param.algorithm, codec_params);
+  ASSERT_TRUE(codec.ok());
+  const auto inputs = WorkerGradients(param.workers, 2048, 7);
+  DataflowRunner runner(param.strategy, codec->get());
+  auto outputs = runner.Run(inputs, param.partitions);
+  ASSERT_TRUE(outputs.ok()) << outputs.status();
+  for (int w = 1; w < param.workers; ++w) {
+    EXPECT_EQ(MaxAbsDiff((*outputs)[0].span(), (*outputs)[w].span()), 0.0)
+        << param.algorithm << " worker " << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndTopologies, CompressedSyncTest,
+    ::testing::Values(
+        CompressedCase{StrategyKind::kPs, "onebit", 4, 2},
+        CompressedCase{StrategyKind::kPs, "terngrad", 4, 3},
+        CompressedCase{StrategyKind::kPs, "tbq", 3, 1},
+        CompressedCase{StrategyKind::kPs, "dgc", 4, 2},
+        CompressedCase{StrategyKind::kPs, "graddrop", 4, 2},
+        CompressedCase{StrategyKind::kTree, "onebit", 4, 2},
+        CompressedCase{StrategyKind::kTree, "terngrad", 5, 3},
+        CompressedCase{StrategyKind::kTree, "dgc", 6, 2},
+        CompressedCase{StrategyKind::kRing, "onebit", 4, 2},
+        CompressedCase{StrategyKind::kRing, "terngrad", 5, 5},
+        CompressedCase{StrategyKind::kRing, "tbq", 3, 2},
+        CompressedCase{StrategyKind::kRing, "dgc", 4, 1},
+        CompressedCase{StrategyKind::kRing, "graddrop", 4, 4}));
+
+TEST(CompressedSyncAccuracyTest, TernGradStaysWithinAggregateGap) {
+  // PS with TernGrad: each of the N-1 pushes quantizes within one gap of
+  // its input, the pull adds one more stage; the total deviation from the
+  // exact sum is bounded by the sum of stage gaps.
+  CompressorParams params;
+  params.bitwidth = 8;  // fine quantization for a tight bound
+  auto codec = CreateCompressor("terngrad", params);
+  ASSERT_TRUE(codec.ok());
+  const int workers = 4;
+  const auto inputs = WorkerGradients(workers, 4096, 21);
+  DataflowRunner runner(StrategyKind::kPs, codec->get());
+  auto outputs = runner.Run(inputs, 2);
+  ASSERT_TRUE(outputs.ok());
+  const Tensor expected = ExactSum(inputs);
+  // Each worker's range is ~[-4.5, 4.5]; gap ~ 9/255 ~ 0.035. Aggregate
+  // passes multiply the error; 1.0 is a comfortably tight envelope compared
+  // to gradient magnitudes (~4).
+  EXPECT_LT(MaxAbsDiff((*outputs)[0].span(), expected.span()), 1.0);
+}
+
+TEST(CompressedSyncAccuracyTest, OnebitPreservesAggregateSignStructure) {
+  auto codec = CreateCompressor("onebit");
+  ASSERT_TRUE(codec.ok());
+  const int workers = 4;
+  // Strongly-signed inputs: all workers agree on each element's sign.
+  Rng rng(5);
+  std::vector<Tensor> inputs;
+  Tensor signs("s", 512);
+  signs.FillGaussian(rng);
+  for (int w = 0; w < workers; ++w) {
+    Tensor tensor("g", 512);
+    for (size_t i = 0; i < 512; ++i) {
+      tensor[i] = (signs[i] >= 0 ? 1.0f : -1.0f) *
+                  (0.5f + 0.5f * rng.NextFloat());
+    }
+    inputs.push_back(std::move(tensor));
+  }
+  DataflowRunner runner(StrategyKind::kRing, codec->get());
+  auto outputs = runner.Run(inputs, 2);
+  ASSERT_TRUE(outputs.ok());
+  for (size_t i = 0; i < 512; ++i) {
+    EXPECT_EQ((*outputs)[0][i] >= 0, signs[i] >= 0) << i;
+  }
+}
+
+TEST(DataflowTest, RejectsMismatchedWorkerSizes) {
+  std::vector<Tensor> inputs;
+  inputs.emplace_back("a", 10);
+  inputs.emplace_back("b", 11);
+  DataflowRunner runner(StrategyKind::kPs, nullptr);
+  EXPECT_FALSE(runner.Run(inputs, 1).ok());
+}
+
+TEST(DataflowTest, RejectsEmptyInput) {
+  DataflowRunner runner(StrategyKind::kPs, nullptr);
+  EXPECT_FALSE(runner.Run({}, 1).ok());
+}
+
+TEST(DataflowTest, MorePartitionsThanElements) {
+  const auto inputs = WorkerGradients(3, 5, 11);
+  DataflowRunner runner(StrategyKind::kRing, nullptr);
+  auto outputs = runner.Run(inputs, 16);
+  ASSERT_TRUE(outputs.ok()) << outputs.status();
+  const Tensor expected = ExactSum(inputs);
+  EXPECT_LT(MaxAbsDiff((*outputs)[0].span(), expected.span()), 1e-4);
+}
+
+}  // namespace
+}  // namespace hipress

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/compress/error_feedback.h"
+#include "src/compress/onebit.h"
+#include "src/compress/registry.h"
+#include "src/compress/tbq.h"
+
+namespace hipress {
+namespace {
+
+std::shared_ptr<const Compressor> MakeShared(const char* name,
+                                             CompressorParams params = {}) {
+  auto codec = CreateCompressor(name, params);
+  EXPECT_TRUE(codec.ok());
+  return std::shared_ptr<const Compressor>(std::move(codec).value());
+}
+
+TEST(ErrorFeedbackTest, ResidualEqualsCompressionError) {
+  auto codec = MakeShared("onebit");
+  ErrorFeedback feedback(codec);
+  Rng rng(1);
+  Tensor gradient("g", 100);
+  gradient.FillGaussian(rng);
+
+  ByteBuffer encoded;
+  ASSERT_TRUE(
+      feedback.EncodeWithFeedback("g", gradient.span(), &encoded).ok());
+
+  std::vector<float> decoded(100);
+  ASSERT_TRUE(codec->Decode(encoded, decoded).ok());
+  const auto residual = feedback.residual("g");
+  ASSERT_EQ(residual.size(), 100u);
+  for (size_t i = 0; i < 100; ++i) {
+    // First step: corrected == gradient, so residual = g - decode(enc(g)).
+    EXPECT_NEAR(residual[i], gradient[i] - decoded[i], 1e-6) << i;
+  }
+}
+
+TEST(ErrorFeedbackTest, ResidualCarriesAcrossSteps) {
+  CompressorParams params;
+  params.threshold = 10.0f;  // TBQ quantizes everything to zero
+  auto codec = MakeShared("tbq", params);
+  ErrorFeedback feedback(codec);
+  Tensor gradient("g", 10);
+  gradient.Fill(1.0f);
+
+  // With tau=10, every encode emits zeros; residual accumulates the full
+  // gradient every step: after k steps residual = k * gradient.
+  ByteBuffer encoded;
+  for (int step = 1; step <= 3; ++step) {
+    ASSERT_TRUE(
+        feedback.EncodeWithFeedback("g", gradient.span(), &encoded).ok());
+    const auto residual = feedback.residual("g");
+    for (size_t i = 0; i < 10; ++i) {
+      EXPECT_FLOAT_EQ(residual[i], static_cast<float>(step));
+    }
+  }
+}
+
+TEST(ErrorFeedbackTest, AccumulatedTransmissionApproachesAccumulatedGradient) {
+  // The defining EF property: sum of decoded transmissions tracks the sum
+  // of raw gradients with bounded lag.
+  auto codec = MakeShared("onebit");
+  ErrorFeedback feedback(codec);
+  Rng rng(7);
+  const size_t n = 200;
+  std::vector<double> gradient_sum(n, 0.0);
+  std::vector<double> sent_sum(n, 0.0);
+  for (int step = 0; step < 50; ++step) {
+    Tensor gradient("g", n);
+    gradient.FillGaussian(rng, 0.5f);
+    for (size_t i = 0; i < n; ++i) {
+      gradient_sum[i] += gradient[i];
+    }
+    ByteBuffer encoded;
+    ASSERT_TRUE(
+        feedback.EncodeWithFeedback("g", gradient.span(), &encoded).ok());
+    std::vector<float> decoded(n);
+    ASSERT_TRUE(codec->Decode(encoded, decoded).ok());
+    for (size_t i = 0; i < n; ++i) {
+      sent_sum[i] += decoded[i];
+    }
+  }
+  // The gap equals the current residual, which stays bounded.
+  const auto residual = feedback.residual("g");
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(sent_sum[i] + residual[i], gradient_sum[i], 1e-3) << i;
+  }
+}
+
+TEST(ErrorFeedbackTest, IndependentKeysKeepIndependentResiduals) {
+  auto codec = MakeShared("onebit");
+  ErrorFeedback feedback(codec);
+  Tensor a("a", 10);
+  a.Fill(1.0f);
+  Tensor b("b", 20);
+  b.Fill(-1.0f);
+  ByteBuffer encoded;
+  ASSERT_TRUE(feedback.EncodeWithFeedback("a", a.span(), &encoded).ok());
+  ASSERT_TRUE(feedback.EncodeWithFeedback("b", b.span(), &encoded).ok());
+  EXPECT_EQ(feedback.residual("a").size(), 10u);
+  EXPECT_EQ(feedback.residual("b").size(), 20u);
+  EXPECT_EQ(feedback.residual("c").size(), 0u);
+}
+
+TEST(ErrorFeedbackTest, ResetClearsState) {
+  auto codec = MakeShared("onebit");
+  ErrorFeedback feedback(codec);
+  Tensor gradient("g", 10);
+  gradient.Fill(1.0f);
+  ByteBuffer encoded;
+  ASSERT_TRUE(
+      feedback.EncodeWithFeedback("g", gradient.span(), &encoded).ok());
+  feedback.Reset();
+  EXPECT_EQ(feedback.residual("g").size(), 0u);
+}
+
+}  // namespace
+}  // namespace hipress

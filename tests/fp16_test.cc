@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/rng.h"
+#include "src/compress/fp16.h"
+#include "src/compress/registry.h"
+
+namespace hipress {
+namespace {
+
+TEST(HalfConversionTest, ExactValuesRoundTrip) {
+  for (float value : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -2.5f, 1024.0f,
+                      0.25f, -0.125f, 65504.0f /* max half */}) {
+    EXPECT_EQ(HalfToFloat(FloatToHalf(value)), value) << value;
+  }
+}
+
+TEST(HalfConversionTest, SignedZeroPreserved) {
+  EXPECT_EQ(FloatToHalf(0.0f), 0x0000);
+  EXPECT_EQ(FloatToHalf(-0.0f), 0x8000);
+  EXPECT_TRUE(std::signbit(HalfToFloat(0x8000)));
+}
+
+TEST(HalfConversionTest, OverflowGoesToInfinity) {
+  EXPECT_TRUE(std::isinf(HalfToFloat(FloatToHalf(1e6f))));
+  EXPECT_TRUE(std::isinf(HalfToFloat(FloatToHalf(-1e6f))));
+  EXPECT_LT(HalfToFloat(FloatToHalf(-1e6f)), 0.0f);
+}
+
+TEST(HalfConversionTest, NanPropagates) {
+  EXPECT_TRUE(std::isnan(
+      HalfToFloat(FloatToHalf(std::numeric_limits<float>::quiet_NaN()))));
+}
+
+TEST(HalfConversionTest, SubnormalsRoundTrip) {
+  const float smallest_normal_half = 6.103515625e-05f;  // 2^-14
+  EXPECT_EQ(HalfToFloat(FloatToHalf(smallest_normal_half)),
+            smallest_normal_half);
+  const float subnormal = 5.960464477539063e-08f;  // 2^-24, smallest half
+  EXPECT_EQ(HalfToFloat(FloatToHalf(subnormal)), subnormal);
+  // Underflow below the smallest subnormal snaps to zero.
+  EXPECT_EQ(HalfToFloat(FloatToHalf(1e-9f)), 0.0f);
+}
+
+TEST(HalfConversionTest, RelativeErrorWithinHalfPrecision) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const float value =
+        static_cast<float>(rng.NextUniform(-100.0, 100.0));
+    const float round_tripped = HalfToFloat(FloatToHalf(value));
+    if (value != 0.0f) {
+      EXPECT_LE(std::abs(round_tripped - value) / std::abs(value),
+                1.0f / 1024.0f)
+          << value;
+    }
+  }
+}
+
+TEST(Fp16CompressorTest, RoundTripAndRate) {
+  auto codec = CreateCompressor("fp16");
+  ASSERT_TRUE(codec.ok());
+  Rng rng(5);
+  Tensor gradient("g", 4096);
+  gradient.FillGaussian(rng);
+  ByteBuffer encoded;
+  ASSERT_TRUE((*codec)->Encode(gradient.span(), &encoded).ok());
+  EXPECT_EQ(encoded.size(), 4u + 4096 * 2);
+  EXPECT_NEAR((*codec)->CompressionRate(1 << 20), 0.5, 1e-4);
+  std::vector<float> decoded(4096);
+  ASSERT_TRUE((*codec)->Decode(encoded, decoded).ok());
+  EXPECT_LT(RmsDiff(gradient.span(), std::span<const float>(decoded)),
+            0.002);
+}
+
+TEST(Fp16CompressorTest, DecodeAddAccumulates) {
+  Fp16Compressor codec;
+  Tensor gradient("g", 64);
+  gradient.Fill(1.5f);
+  ByteBuffer encoded;
+  ASSERT_TRUE(codec.Encode(gradient.span(), &encoded).ok());
+  std::vector<float> accum(64, 2.0f);
+  ASSERT_TRUE(codec.DecodeAdd(encoded, accum).ok());
+  for (float v : accum) {
+    EXPECT_FLOAT_EQ(v, 3.5f);
+  }
+}
+
+TEST(Fp16CompressorTest, RejectsBadBuffers) {
+  Fp16Compressor codec;
+  std::vector<float> out(10);
+  EXPECT_FALSE(codec.Decode(ByteBuffer(std::vector<uint8_t>{1, 2}), out).ok());
+  Tensor gradient("g", 10);
+  ByteBuffer encoded;
+  ASSERT_TRUE(codec.Encode(gradient.span(), &encoded).ok());
+  std::vector<float> wrong(9);
+  EXPECT_FALSE(codec.Decode(encoded, wrong).ok());
+}
+
+}  // namespace
+}  // namespace hipress

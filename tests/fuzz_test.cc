@@ -1,0 +1,152 @@
+// Robustness: decoders must survive arbitrary garbage, truncation, and bit
+// flips — returning an error or tolerating the corruption, never crashing
+// or reading out of bounds. Gradients cross the (simulated) network;
+// defensive decoding is part of the codec contract.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/compll/dsl_compressor.h"
+#include "src/compress/registry.h"
+
+namespace hipress {
+namespace {
+
+const std::vector<std::string>& FuzzedCodecs() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "onebit", "fp16",   "tbq",      "terngrad",     "dgc",  "adacomp",
+      "graddrop", "oss-onebit", "oss-tbq", "oss-terngrad", "oss-dgc"};
+  return *names;
+}
+
+CompressorParams FuzzParams() {
+  CompressorParams params;
+  params.sparsity_ratio = 0.05;
+  return params;
+}
+
+TEST(FuzzTest, RandomGarbageNeverCrashesDecoders) {
+  Rng rng(0xfa22);
+  for (const std::string& name : FuzzedCodecs()) {
+    auto codec = CreateCompressor(name, FuzzParams());
+    ASSERT_TRUE(codec.ok()) << name;
+    for (int trial = 0; trial < 200; ++trial) {
+      const size_t size = rng.NextBounded(256);
+      ByteBuffer garbage(size);
+      for (size_t i = 0; i < size; ++i) {
+        garbage[i] = static_cast<uint8_t>(rng.NextU32());
+      }
+      std::vector<float> out(rng.NextBounded(128) + 1);
+      // Must return (error or ok), never crash.
+      (void)(*codec)->Decode(garbage, out);
+      (void)(*codec)->EncodedElementCount(garbage);
+    }
+  }
+}
+
+TEST(FuzzTest, EveryTruncationIsHandled) {
+  Rng rng(0x7276);
+  Tensor gradient("g", 100);
+  gradient.FillGaussian(rng);
+  for (const std::string& name : FuzzedCodecs()) {
+    auto codec = CreateCompressor(name, FuzzParams());
+    ASSERT_TRUE(codec.ok()) << name;
+    ByteBuffer encoded;
+    ASSERT_TRUE((*codec)->Encode(gradient.span(), &encoded).ok()) << name;
+    for (size_t keep = 0; keep < encoded.size(); ++keep) {
+      ByteBuffer truncated(
+          std::vector<uint8_t>(encoded.data(), encoded.data() + keep));
+      std::vector<float> out(100);
+      const Status status = (*codec)->Decode(truncated, out);
+      // A strictly shorter buffer can never be a complete payload for the
+      // same element count.
+      EXPECT_FALSE(status.ok()) << name << " keep=" << keep;
+    }
+  }
+}
+
+TEST(FuzzTest, BitFlipsEitherErrorOrDecode) {
+  Rng rng(0xb17);
+  Tensor gradient("g", 64);
+  gradient.FillGaussian(rng);
+  for (const std::string& name : FuzzedCodecs()) {
+    auto codec = CreateCompressor(name, FuzzParams());
+    ASSERT_TRUE(codec.ok()) << name;
+    ByteBuffer encoded;
+    ASSERT_TRUE((*codec)->Encode(gradient.span(), &encoded).ok()) << name;
+    for (int trial = 0; trial < 200; ++trial) {
+      ByteBuffer corrupted(
+          std::vector<uint8_t>(encoded.data(), encoded.data() + encoded.size()));
+      const size_t byte = rng.NextBounded(corrupted.size());
+      corrupted[byte] ^= static_cast<uint8_t>(1u << rng.NextBounded(8));
+      std::vector<float> out(64);
+      (void)(*codec)->Decode(corrupted, out);  // must not crash
+    }
+  }
+}
+
+TEST(FuzzTest, DecodeAddToleratesSameCorruptions) {
+  Rng rng(0xadd);
+  Tensor gradient("g", 64);
+  gradient.FillGaussian(rng);
+  for (const std::string& name :
+       {std::string("onebit"), std::string("dgc"), std::string("fp16")}) {
+    auto codec = CreateCompressor(name, FuzzParams());
+    ASSERT_TRUE(codec.ok());
+    ByteBuffer encoded;
+    ASSERT_TRUE((*codec)->Encode(gradient.span(), &encoded).ok());
+    for (int trial = 0; trial < 100; ++trial) {
+      ByteBuffer corrupted(
+          std::vector<uint8_t>(encoded.data(), encoded.data() + encoded.size()));
+      corrupted[rng.NextBounded(corrupted.size())] ^=
+          static_cast<uint8_t>(rng.NextU32() | 1);
+      std::vector<float> accum(64, 1.0f);
+      (void)(*codec)->DecodeAdd(corrupted, accum);
+    }
+  }
+}
+
+TEST(FuzzTest, DslDecodersRejectGarbage) {
+  auto codec = compll::DslCompressor::CreateBuiltin("terngrad");
+  ASSERT_TRUE(codec.ok());
+  Rng rng(0xd51);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t size = rng.NextBounded(64);
+    ByteBuffer garbage(size);
+    for (size_t i = 0; i < size; ++i) {
+      garbage[i] = static_cast<uint8_t>(rng.NextU32());
+    }
+    std::vector<float> out(16);
+    (void)(*codec)->Decode(garbage, out);  // must not crash
+  }
+}
+
+TEST(FuzzTest, EncodeHandlesAdversarialValues) {
+  // Infinities, NaNs, denormals, huge magnitudes: encode/decode round trips
+  // must not crash (NaN contamination is acceptable for quantizers).
+  std::vector<float> nasty = {0.0f,
+                              -0.0f,
+                              1e38f,
+                              -1e38f,
+                              1e-38f,
+                              std::numeric_limits<float>::infinity(),
+                              -std::numeric_limits<float>::infinity(),
+                              std::numeric_limits<float>::quiet_NaN(),
+                              1.0f,
+                              -1.0f};
+  for (const std::string& name : FuzzedCodecs()) {
+    auto codec = CreateCompressor(name, FuzzParams());
+    ASSERT_TRUE(codec.ok()) << name;
+    ByteBuffer encoded;
+    const Status status =
+        (*codec)->Encode(std::span<const float>(nasty), &encoded);
+    if (status.ok()) {
+      std::vector<float> out(nasty.size());
+      (void)(*codec)->Decode(encoded, out);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hipress

@@ -1,0 +1,132 @@
+// Top-level facade behaviour, engine accounting, and cross-algorithm
+// throughput sweeps through the public API.
+#include <gtest/gtest.h>
+
+#include "src/hipress/hipress.h"
+
+namespace hipress {
+namespace {
+
+TEST(HiPressTest, UnknownModelIsRejected) {
+  HiPressOptions options;
+  options.model = "gpt5";
+  auto result = RunTrainingSimulation(options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(HiPressTest, UnknownSystemIsRejected) {
+  HiPressOptions options;
+  options.system = "sorcery";
+  EXPECT_FALSE(RunTrainingSimulation(options).ok());
+}
+
+TEST(HiPressTest, UnknownAlgorithmIsRejected) {
+  HiPressOptions options;
+  options.system = "hipress-ps";
+  options.algorithm = "no-such-codec";
+  EXPECT_FALSE(RunTrainingSimulation(options).ok());
+}
+
+TEST(HiPressTest, DisableRdmaSlowsTraining) {
+  HiPressOptions options;
+  options.model = "vgg19";
+  options.system = "ring";
+  options.cluster = ClusterSpec::Ec2(8);
+  auto fast = RunTrainingSimulation(options);
+  options.disable_rdma = true;
+  auto slow = RunTrainingSimulation(options);
+  ASSERT_TRUE(fast.ok() && slow.ok());
+  EXPECT_GT(fast->report.throughput, slow->report.throughput);
+}
+
+TEST(HiPressTest, DslAlgorithmsRegisterAndRunEndToEnd) {
+  ASSERT_TRUE(RegisterDslAlgorithms().ok());
+  HiPressOptions options;
+  options.model = "bert-base";
+  options.system = "hipress-ps";
+  options.algorithm = "dsl-onebit";  // DSL-built codec drives the plan
+  options.cluster = ClusterSpec::Ec2(4);
+  auto result = RunTrainingSimulation(options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->report.throughput, 0.0);
+}
+
+TEST(HiPressTest, ConfigReflectsPresetAndCluster) {
+  HiPressOptions options;
+  options.system = "hipress-ring";
+  options.cluster = ClusterSpec::Local(8);
+  auto result = RunTrainingSimulation(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->config.strategy, StrategyKind::kRing);
+  EXPECT_EQ(result->config.num_nodes, 8);
+  EXPECT_EQ(result->config.platform, GpuPlatform::k1080Ti);
+  EXPECT_TRUE(result->config.secopa);
+}
+
+TEST(EngineStatsTest, CompressionRunsAccountKernelsAndWire) {
+  HiPressOptions options;
+  options.model = "vgg19";
+  options.system = "hipress-ps";
+  options.cluster = ClusterSpec::Ec2(8);
+  auto result = RunTrainingSimulation(options);
+  ASSERT_TRUE(result.ok());
+  const EngineStats& stats = result->report.engine_stats;
+  EXPECT_GT(stats.encode_tasks, 0u);
+  EXPECT_GT(stats.decode_tasks, 0u);
+  EXPECT_GT(stats.encode_time, 0);
+  EXPECT_GT(stats.decode_time, 0);
+  // onebit on VGG19: wire bytes far below the raw 2 x 548MB x (N-1)/N.
+  EXPECT_LT(stats.wire_bytes, 600ull * 1024 * 1024);
+  EXPECT_GT(stats.wire_bytes, 10ull * 1024 * 1024);
+}
+
+TEST(EngineStatsTest, RawRunsHaveNoCodecTasks) {
+  HiPressOptions options;
+  options.model = "resnet50";
+  options.system = "ring";
+  options.cluster = ClusterSpec::Ec2(4);
+  auto result = RunTrainingSimulation(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->report.engine_stats.encode_tasks, 0u);
+  EXPECT_EQ(result->report.engine_stats.decode_tasks, 0u);
+  EXPECT_GT(result->report.engine_stats.merge_tasks, 0u);
+}
+
+struct AlgorithmSweepCase {
+  const char* algorithm;
+  double min_gain_over_ring;  // at 16 nodes on Bert-large
+};
+
+class AlgorithmSweepTest
+    : public ::testing::TestWithParam<AlgorithmSweepCase> {};
+
+TEST_P(AlgorithmSweepTest, EveryCodecAcceleratesCommBoundTraining) {
+  HiPressOptions options;
+  options.model = "bert-large";
+  options.cluster = ClusterSpec::Ec2(16);
+  options.system = "ring";
+  auto base = RunTrainingSimulation(options);
+  ASSERT_TRUE(base.ok());
+  options.system = "hipress-ps";
+  options.algorithm = GetParam().algorithm;
+  options.codec_params.sparsity_ratio = 0.001;
+  auto hipress = RunTrainingSimulation(options);
+  ASSERT_TRUE(hipress.ok()) << GetParam().algorithm;
+  EXPECT_GT(hipress->report.throughput,
+            base->report.throughput * GetParam().min_gain_over_ring)
+      << GetParam().algorithm;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, AlgorithmSweepTest,
+    ::testing::Values(AlgorithmSweepCase{"onebit", 1.5},
+                      AlgorithmSweepCase{"fp16", 1.2},
+                      AlgorithmSweepCase{"tbq", 1.5},
+                      AlgorithmSweepCase{"terngrad", 1.5},
+                      AlgorithmSweepCase{"dgc", 1.5},
+                      AlgorithmSweepCase{"graddrop", 1.5},
+                      AlgorithmSweepCase{"adacomp", 1.5}));
+
+}  // namespace
+}  // namespace hipress

@@ -1,0 +1,110 @@
+// Model profiles must reproduce Table 6's statistics.
+#include <gtest/gtest.h>
+
+#include "src/models/model_profile.h"
+
+namespace hipress {
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+struct TableSixRow {
+  const char* name;
+  double total_mb;
+  double max_mb;
+  size_t gradients;
+};
+
+class TableSixTest : public ::testing::TestWithParam<TableSixRow> {};
+
+TEST_P(TableSixTest, MatchesPaperStatistics) {
+  const TableSixRow& row = GetParam();
+  auto profile = GetModelProfile(row.name);
+  ASSERT_TRUE(profile.ok()) << profile.status();
+  EXPECT_EQ(profile->num_gradients(), row.gradients);
+  EXPECT_NEAR(static_cast<double>(profile->total_bytes()) / kMB,
+              row.total_mb, row.total_mb * 0.002)
+      << row.name;
+  EXPECT_NEAR(static_cast<double>(profile->max_gradient_bytes()) / kMB,
+              row.max_mb, row.max_mb * 0.01)
+      << row.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, TableSixTest,
+    ::testing::Values(TableSixRow{"vgg19", 548.05, 392.0, 38},
+                      TableSixRow{"resnet50", 97.46, 9.0, 155},
+                      TableSixRow{"ugatit", 2558.75, 1024.0, 148},
+                      TableSixRow{"ugatit-light", 511.25, 128.0, 148},
+                      TableSixRow{"bert-base", 420.02, 89.42, 207},
+                      TableSixRow{"bert-large", 1282.60, 119.23, 399},
+                      TableSixRow{"lstm", 327.97, 190.42, 10},
+                      TableSixRow{"transformer", 234.08, 65.84, 185}));
+
+TEST(ModelProfileTest, UnknownModelIsNotFound) {
+  EXPECT_FALSE(GetModelProfile("alexnet").ok());
+}
+
+TEST(ModelProfileTest, AllNamesResolve) {
+  for (const std::string& name : ModelProfileNames()) {
+    EXPECT_TRUE(GetModelProfile(name).ok()) << name;
+  }
+}
+
+TEST(ModelProfileTest, Vgg19HasTheFamous392MbGradient) {
+  auto profile = GetModelProfile("vgg19");
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->max_gradient_bytes(), 102760448ull * 4);
+}
+
+TEST(ModelProfileTest, BertBaseSmallGradientFractionMatchesSection63) {
+  // Section 6.3: 62.7% of Bert-base gradients are below 16 KB.
+  auto profile = GetModelProfile("bert-base");
+  ASSERT_TRUE(profile.ok());
+  size_t small = 0;
+  for (uint64_t bytes : profile->gradient_bytes) {
+    if (bytes < 16 * 1024) {
+      ++small;
+    }
+  }
+  const double fraction =
+      static_cast<double>(small) / profile->num_gradients();
+  EXPECT_NEAR(fraction, 0.627, 0.05);
+}
+
+TEST(ModelProfileTest, GradientReadyOffsetsAreMonotone) {
+  auto profile = GetModelProfile("bert-large");
+  ASSERT_TRUE(profile.ok());
+  SimTime previous = 0;
+  for (size_t i = 0; i < profile->num_gradients(); ++i) {
+    const SimTime ready = profile->GradientReadyOffset(i, 1.0);
+    EXPECT_GT(ready, previous);
+    previous = ready;
+  }
+  // The last gradient lands at the end of backward.
+  EXPECT_NEAR(
+      static_cast<double>(
+          profile->GradientReadyOffset(profile->num_gradients() - 1, 1.0)),
+      static_cast<double>(profile->backward_time_v100),
+      static_cast<double>(kMillisecond));
+}
+
+TEST(ModelProfileTest, ComputeScaleStretchesReadyTimes) {
+  auto profile = GetModelProfile("vgg19");
+  ASSERT_TRUE(profile.ok());
+  const SimTime fast = profile->GradientReadyOffset(5, 1.0);
+  const SimTime slow = profile->GradientReadyOffset(5, 0.5);
+  EXPECT_NEAR(static_cast<double>(slow), 2.0 * static_cast<double>(fast),
+              1.0);
+}
+
+TEST(ModelProfileTest, ProfilesAreDeterministic) {
+  auto a = GetModelProfile("transformer");
+  auto b = GetModelProfile("transformer");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->gradient_bytes, b->gradient_bytes);
+}
+
+}  // namespace
+}  // namespace hipress

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace hipress {
+namespace {
+
+NetworkConfig FastConfig() {
+  NetworkConfig config;
+  config.link_bandwidth = Bandwidth::Gbps(80.0);  // 10 GB/s
+  config.latency = FromMicros(10.0);
+  config.per_message_overhead = FromMicros(2.0);
+  return config;
+}
+
+TEST(NetworkTest, SingleTransferTiming) {
+  Simulator sim;
+  Network net(&sim, 2, FastConfig());
+  SimTime delivered_at = -1;
+  NetMessage msg;
+  msg.src = 0;
+  msg.dst = 1;
+  msg.bytes = 10'000'000;  // 1 ms at 10 GB/s
+  net.Send(msg, [&](const NetMessage&) { delivered_at = sim.now(); });
+  sim.Run();
+  // overhead (2us) + serialize (1ms) + latency (10us).
+  EXPECT_EQ(delivered_at, FromMicros(2) + FromMillis(1) + FromMicros(10));
+  EXPECT_EQ(net.tx_bytes(0), 10'000'000u);
+  EXPECT_EQ(net.rx_bytes(1), 10'000'000u);
+  EXPECT_EQ(net.messages_delivered(), 1u);
+}
+
+TEST(NetworkTest, UplinkSerializesTransfersFromSameSource) {
+  Simulator sim;
+  Network net(&sim, 3, FastConfig());
+  std::vector<SimTime> delivered;
+  for (int dst = 1; dst <= 2; ++dst) {
+    NetMessage msg;
+    msg.src = 0;
+    msg.dst = dst;
+    msg.bytes = 10'000'000;
+    net.Send(msg, [&](const NetMessage&) { delivered.push_back(sim.now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(delivered.size(), 2u);
+  // The second transfer waits for the first to finish serializing.
+  EXPECT_GE(delivered[1] - delivered[0], FromMillis(1));
+}
+
+TEST(NetworkTest, DisjointLinksRunInParallel) {
+  Simulator sim;
+  Network net(&sim, 4, FastConfig());
+  std::vector<SimTime> delivered;
+  // 0->1 and 2->3 share no endpoints.
+  for (const auto& [src, dst] : std::vector<std::pair<int, int>>{{0, 1},
+                                                                 {2, 3}}) {
+    NetMessage msg;
+    msg.src = src;
+    msg.dst = dst;
+    msg.bytes = 10'000'000;
+    net.Send(msg, [&](const NetMessage&) { delivered.push_back(sim.now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0], delivered[1]);
+}
+
+TEST(NetworkTest, DownlinkContentionSerializesIncast) {
+  Simulator sim;
+  Network net(&sim, 3, FastConfig());
+  std::vector<SimTime> delivered;
+  // 0->2 and 1->2 share the receiver's downlink.
+  for (int src = 0; src <= 1; ++src) {
+    NetMessage msg;
+    msg.src = src;
+    msg.dst = 2;
+    msg.bytes = 10'000'000;
+    net.Send(msg, [&](const NetMessage&) { delivered.push_back(sim.now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_GE(delivered[1] - delivered[0], FromMillis(1));
+}
+
+TEST(NetworkTest, FullDuplexOppositeDirectionsOverlap) {
+  Simulator sim;
+  Network net(&sim, 2, FastConfig());
+  std::vector<SimTime> delivered;
+  for (const auto& [src, dst] : std::vector<std::pair<int, int>>{{0, 1},
+                                                                 {1, 0}}) {
+    NetMessage msg;
+    msg.src = src;
+    msg.dst = dst;
+    msg.bytes = 10'000'000;
+    net.Send(msg, [&](const NetMessage&) { delivered.push_back(sim.now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0], delivered[1]);
+}
+
+TEST(NetworkTest, UncontendedSendTimeMatchesObserved) {
+  Simulator sim;
+  Network net(&sim, 2, FastConfig());
+  SimTime delivered_at = -1;
+  NetMessage msg;
+  msg.src = 0;
+  msg.dst = 1;
+  msg.bytes = 123456;
+  net.Send(msg, [&](const NetMessage&) { delivered_at = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(delivered_at, net.UncontendedSendTime(123456));
+}
+
+TEST(NetworkTest, PayloadPointerTravelsWithMessage) {
+  Simulator sim;
+  Network net(&sim, 2, FastConfig());
+  auto payload = std::make_shared<int>(99);
+  NetMessage msg;
+  msg.src = 0;
+  msg.dst = 1;
+  msg.bytes = 100;
+  msg.payload = payload;
+  int received = 0;
+  net.Send(msg, [&](const NetMessage& delivered) {
+    received = *std::static_pointer_cast<int>(delivered.payload);
+  });
+  sim.Run();
+  EXPECT_EQ(received, 99);
+}
+
+TEST(NetworkTest, UplinkBusyAccountsSerialization) {
+  Simulator sim;
+  Network net(&sim, 2, FastConfig());
+  NetMessage msg;
+  msg.src = 0;
+  msg.dst = 1;
+  msg.bytes = 10'000'000;
+  net.Send(msg, [](const NetMessage&) {});
+  sim.Run();
+  EXPECT_EQ(net.uplink_busy(0), FromMillis(1));
+  EXPECT_EQ(net.uplink_busy(1), 0);
+}
+
+TEST(NetworkTest, BandwidthJitterSlowsTransfersDeterministically) {
+  NetworkConfig config = FastConfig();
+  config.bandwidth_jitter = 0.5;
+  auto run = [&] {
+    Simulator sim;
+    Network net(&sim, 2, config);
+    SimTime delivered = 0;
+    for (int i = 0; i < 8; ++i) {
+      NetMessage msg;
+      msg.src = 0;
+      msg.dst = 1;
+      msg.bytes = 10'000'000;
+      net.Send(msg, [&](const NetMessage&) { delivered = sim.now(); });
+    }
+    sim.Run();
+    return delivered;
+  };
+  const SimTime jittered = run();
+  config.bandwidth_jitter = 0.0;
+  Simulator sim;
+  Network net(&sim, 2, config);
+  SimTime clean = 0;
+  for (int i = 0; i < 8; ++i) {
+    NetMessage msg;
+    msg.src = 0;
+    msg.dst = 1;
+    msg.bytes = 10'000'000;
+    net.Send(msg, [&](const NetMessage&) { clean = sim.now(); });
+  }
+  sim.Run();
+  // Jitter only slows (factor in [1, 1.5]) and is deterministic.
+  EXPECT_GT(jittered, clean);
+  EXPECT_LT(jittered, clean * 3 / 2 + FromMillis(1));
+  config.bandwidth_jitter = 0.5;  // run() captures config by reference
+  EXPECT_EQ(run(), jittered);
+}
+
+}  // namespace
+}  // namespace hipress

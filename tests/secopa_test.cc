@@ -1,0 +1,165 @@
+// SeCoPa cost model: Eq. 1/2 arithmetic, convexity-driven planning, and the
+// Table 7 plan shapes (small gradients uncompressed or single-partition,
+// large gradients compressed and partitioned, more partitions on bigger
+// clusters).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "src/casync/secopa.h"
+
+namespace hipress {
+namespace {
+
+SyncConfig PlannerConfig(StrategyKind strategy, int nodes) {
+  SyncConfig config;
+  config.strategy = strategy;
+  config.num_nodes = nodes;
+  config.algorithm = "onebit";
+  config.codec_impl = CodecImpl::kCompLL;
+  config.platform = GpuPlatform::kV100;
+  config.net.link_bandwidth = Bandwidth::Gbps(75.0);
+  config.net.latency = FromMicros(20.0);
+  config.net.per_message_overhead = FromMicros(4.0);
+  return config;
+}
+
+constexpr double kOnebitRate = 1.0 / 32;
+
+TEST(SeCoPaTest, PlainCostMatchesFormula) {
+  const SyncConfig config = PlannerConfig(StrategyKind::kPs, 4);
+  SeCoPaPlanner planner(config, kOnebitRate);
+  // alpha = 2(N-1) = 6; K=1: cost = 6 * T_send(m).
+  const uint64_t m = 8 * kMiB;
+  const SimTime t_send =
+      config.net.link_bandwidth.TransferTime(m) + config.net.latency +
+      config.net.per_message_overhead;
+  EXPECT_NEAR(static_cast<double>(planner.SyncCostPlain(m, 1)),
+              6.0 * static_cast<double>(t_send),
+              static_cast<double>(kMicrosecond));
+}
+
+TEST(SeCoPaTest, CompressedCostIncludesCodecTerms) {
+  const SyncConfig config = PlannerConfig(StrategyKind::kRing, 4);
+  SeCoPaPlanner planner(config, kOnebitRate);
+  const uint64_t m = 8 * kMiB;
+  // Ring: alpha=6, beta=N=4, gamma=N=4.
+  const auto codec =
+      GetCodecSpeed("onebit", CodecImpl::kCompLL, GpuPlatform::kV100);
+  const double t_send_cpr = static_cast<double>(
+      config.net.link_bandwidth.TransferTime(
+          static_cast<uint64_t>(kOnebitRate * m)) +
+      config.net.latency + config.net.per_message_overhead);
+  const double expected = 6.0 * t_send_cpr +
+                          4.0 * static_cast<double>(codec.encode.Time(m)) +
+                          4.0 * static_cast<double>(codec.decode.Time(m));
+  EXPECT_NEAR(static_cast<double>(planner.SyncCostCompressed(m, 1)),
+              expected, expected * 0.02);
+}
+
+TEST(SeCoPaTest, LargeGradientsCompress) {
+  const SyncConfig config = PlannerConfig(StrategyKind::kPs, 16);
+  SeCoPaPlanner planner(config, kOnebitRate);
+  const SyncPlan plan = planner.Plan(392 * kMiB);
+  EXPECT_TRUE(plan.compress);
+  EXPECT_GT(plan.partitions, 1);
+}
+
+TEST(SeCoPaTest, TinyGradientsDoNotCompress) {
+  const SyncConfig config = PlannerConfig(StrategyKind::kPs, 16);
+  SeCoPaPlanner planner(config, kOnebitRate);
+  // A 4 KB gradient: codec overheads dwarf the wire savings.
+  const SyncPlan plan = planner.Plan(4 * 1024);
+  EXPECT_FALSE(plan.compress);
+}
+
+TEST(SeCoPaTest, CompressionThresholdIsMegabyteScale) {
+  // Section 6.1: with 16 nodes CaSync compresses gradients larger than
+  // ~4 MB. Scan for our model's crossover and check the order of magnitude.
+  const SyncConfig config = PlannerConfig(StrategyKind::kPs, 16);
+  SeCoPaPlanner planner(config, kOnebitRate);
+  uint64_t threshold = 0;
+  for (uint64_t bytes = 64 * 1024; bytes <= 64 * kMiB; bytes *= 2) {
+    if (planner.Plan(bytes).compress) {
+      threshold = bytes;
+      break;
+    }
+  }
+  ASSERT_GT(threshold, 0u) << "compression never chosen";
+  EXPECT_GE(threshold, 256u * 1024);
+  EXPECT_LE(threshold, 16u * kMiB);
+}
+
+TEST(SeCoPaTest, BiggerClustersPartitionMore) {
+  const uint64_t m = 392 * kMiB;
+  SeCoPaPlanner small(PlannerConfig(StrategyKind::kPs, 4), kOnebitRate);
+  SeCoPaPlanner large(PlannerConfig(StrategyKind::kPs, 16), kOnebitRate);
+  const SyncPlan small_plan = small.Plan(m);
+  const SyncPlan large_plan = large.Plan(m);
+  EXPECT_TRUE(small_plan.compress);
+  EXPECT_TRUE(large_plan.compress);
+  EXPECT_GE(large_plan.partitions, small_plan.partitions);
+}
+
+TEST(SeCoPaTest, CompressedCostIsConvexInPartitions) {
+  const SyncConfig config = PlannerConfig(StrategyKind::kPs, 8);
+  SeCoPaPlanner planner(config, kOnebitRate);
+  const uint64_t m = 64 * kMiB;
+  // Scan K over [1, N]: the cost should decrease to a minimum then increase
+  // (no second dip) — the property the planner's argmin relies on. Beyond
+  // K = N the ceil(K/N) batching term introduces a legitimate step.
+  int direction_changes = 0;
+  SimTime previous = planner.SyncCostCompressed(m, 1);
+  bool decreasing = true;
+  for (int k = 2; k <= 8; ++k) {
+    const SimTime cost = planner.SyncCostCompressed(m, k);
+    // Ignore sub-microsecond wobble from integer nanosecond rounding.
+    if (std::abs(cost - previous) > kMicrosecond) {
+      const bool now_decreasing = cost < previous;
+      if (now_decreasing != decreasing) {
+        ++direction_changes;
+        decreasing = now_decreasing;
+      }
+    }
+    previous = cost;
+  }
+  EXPECT_LE(direction_changes, 1);
+}
+
+TEST(SeCoPaTest, SlowCodecDiscouragesCompression) {
+  // With the on-CPU codec, compression should stop paying for mid-size
+  // gradients that the GPU codec would compress.
+  SyncConfig gpu_config = PlannerConfig(StrategyKind::kPs, 16);
+  SyncConfig cpu_config = gpu_config;
+  cpu_config.codec_impl = CodecImpl::kCpu;
+  SeCoPaPlanner gpu(gpu_config, kOnebitRate);
+  SeCoPaPlanner cpu(cpu_config, kOnebitRate);
+  const uint64_t m = 16 * kMiB;
+  EXPECT_TRUE(gpu.Plan(m).compress);
+  EXPECT_LT(static_cast<double>(gpu.SyncCostCompressed(m, 1)),
+            static_cast<double>(cpu.SyncCostCompressed(m, 1)));
+}
+
+TEST(SeCoPaTest, HigherRateReducesCompressionBenefit) {
+  // Figure 12b's mechanism: TernGrad 8-bit (rate 1/4) saves less wire time
+  // than 2-bit (rate 1/16), so its compressed sync cost is higher.
+  const SyncConfig config = PlannerConfig(StrategyKind::kPs, 16);
+  SeCoPaPlanner two_bit(config, 2.0 / 32);
+  SeCoPaPlanner eight_bit(config, 8.0 / 32);
+  const uint64_t m = 392 * kMiB;
+  EXPECT_LT(
+      static_cast<double>(two_bit.Plan(m).t_compressed),
+      static_cast<double>(eight_bit.Plan(m).t_compressed));
+}
+
+TEST(SeCoPaTest, PartitionsBeyondNodeCountBatch) {
+  const SyncConfig config = PlannerConfig(StrategyKind::kPs, 4);
+  SeCoPaPlanner planner(config, kOnebitRate);
+  const uint64_t m = 64 * kMiB;
+  // K = 2N groups into 2 serial batches: cost must not be lower than half
+  // the K=N cost (sanity on the ceil(K/N) term).
+  EXPECT_GE(static_cast<double>(planner.SyncCostPlain(m, 8)),
+            static_cast<double>(planner.SyncCostPlain(m, 4)) * 0.5);
+}
+
+}  // namespace
+}  // namespace hipress

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/resource.h"
+#include "src/sim/simulator.h"
+
+namespace hipress {
+namespace {
+
+TEST(SimulatorTest, StartsAtZeroAndIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.Run(), 0);
+}
+
+TEST(SimulatorTest, EventsRunAtScheduledTimes) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.Schedule(100, [&] { fired.push_back(sim.now()); });
+  sim.Schedule(50, [&] { fired.push_back(sim.now()); });
+  sim.Schedule(150, [&] { fired.push_back(sim.now()); });
+  sim.Run();
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], 50);
+  EXPECT_EQ(fired[1], 100);
+  EXPECT_EQ(fired[2], 150);
+}
+
+TEST(SimulatorTest, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(42, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) {
+      sim.Schedule(10, chain);
+    }
+  };
+  sim.Schedule(10, chain);
+  const SimTime end = sim.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(end, 50);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  bool late_fired = false;
+  sim.Schedule(100, [] {});
+  sim.Schedule(300, [&] { late_fired = true; });
+  sim.RunUntil(200);
+  EXPECT_EQ(sim.now(), 100);
+  EXPECT_FALSE(late_fired);
+  sim.Run();
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesIdleClockToDeadline) {
+  Simulator sim;
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(SimulatorTest, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.Schedule(i, [] {});
+  }
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(SimResourceTest, SerializesJobsBackToBack) {
+  Simulator sim;
+  SimResource resource(&sim, "link");
+  std::vector<SimTime> done;
+  resource.Submit(100, [&] { done.push_back(sim.now()); });
+  resource.Submit(50, [&] { done.push_back(sim.now()); });
+  resource.Submit(25, [&] { done.push_back(sim.now()); });
+  sim.Run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], 100);
+  EXPECT_EQ(done[1], 150);
+  EXPECT_EQ(done[2], 175);
+  EXPECT_EQ(resource.busy_time(), 175);
+  EXPECT_EQ(resource.jobs_completed(), 3u);
+}
+
+TEST(SimResourceTest, IdleGapsDoNotAccumulateBusyTime) {
+  Simulator sim;
+  SimResource resource(&sim, "gpu");
+  resource.Submit(10, [] {});
+  sim.Run();
+  sim.Schedule(100, [&] { resource.Submit(20, [] {}); });
+  sim.Run();
+  EXPECT_EQ(resource.busy_time(), 30);
+  // Second job started at t=110 (after the idle gap), not t=10.
+  EXPECT_EQ(resource.free_at(), 130);
+}
+
+TEST(SimResourceTest, SubmitFromWithinCompletionCallback) {
+  Simulator sim;
+  SimResource resource(&sim, "r");
+  SimTime second_done = 0;
+  resource.Submit(10, [&] {
+    resource.Submit(5, [&] { second_done = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(second_done, 15);
+}
+
+}  // namespace
+}  // namespace hipress

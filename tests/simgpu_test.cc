@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/compress/speed_profile.h"
+#include "src/sim/simulator.h"
+#include "src/simgpu/gpu.h"
+
+namespace hipress {
+namespace {
+
+TEST(GpuDeviceTest, StreamsSerializeIndependently) {
+  Simulator sim;
+  GpuDevice gpu(&sim, 0);
+  std::vector<SimTime> compute_done;
+  std::vector<SimTime> kernel_done;
+  gpu.SubmitCompute(100, [&] { compute_done.push_back(sim.now()); });
+  gpu.SubmitCompute(100, [&] { compute_done.push_back(sim.now()); });
+  gpu.SubmitKernel(GpuTaskKind::kEncode, 30,
+                   [&] { kernel_done.push_back(sim.now()); });
+  gpu.SubmitKernel(GpuTaskKind::kDecode, 30,
+                   [&] { kernel_done.push_back(sim.now()); });
+  sim.Run();
+  // Compute stream: back-to-back 100+100. Kernel stream: 30+30, overlapping
+  // compute (separate streams).
+  ASSERT_EQ(compute_done.size(), 2u);
+  EXPECT_EQ(compute_done[0], 100);
+  EXPECT_EQ(compute_done[1], 200);
+  ASSERT_EQ(kernel_done.size(), 2u);
+  EXPECT_EQ(kernel_done[0], 30);
+  EXPECT_EQ(kernel_done[1], 60);
+}
+
+TEST(GpuDeviceTest, BusyTimePerStream) {
+  Simulator sim;
+  GpuDevice gpu(&sim, 0);
+  gpu.SubmitCompute(100, [] {});
+  gpu.SubmitKernel(GpuTaskKind::kMerge, 40, [] {});
+  sim.Run();
+  EXPECT_EQ(gpu.busy_time(GpuDevice::kComputeStream), 100);
+  EXPECT_EQ(gpu.busy_time(GpuDevice::kKernelStream), 40);
+}
+
+TEST(GpuDeviceTest, TimelineRecordsIntervals) {
+  Simulator sim;
+  GpuDevice gpu(&sim, 0);
+  gpu.set_record_timeline(true);
+  gpu.SubmitCompute(100, [] {});
+  gpu.SubmitKernel(GpuTaskKind::kEncode, 50, [] {});
+  sim.Run();
+  ASSERT_EQ(gpu.timeline().size(), 2u);
+  EXPECT_EQ(gpu.timeline()[0].kind, GpuTaskKind::kCompute);
+  EXPECT_EQ(gpu.timeline()[0].start, 0);
+  EXPECT_EQ(gpu.timeline()[0].end, 100);
+  EXPECT_EQ(gpu.timeline()[1].kind, GpuTaskKind::kEncode);
+}
+
+TEST(GpuDeviceTest, ComputeUtilizationOverWindow) {
+  Simulator sim;
+  GpuDevice gpu(&sim, 0);
+  gpu.set_record_timeline(true);
+  gpu.SubmitCompute(100, [] {});
+  sim.Run();
+  sim.Schedule(100, [&] { gpu.SubmitCompute(100, [] {}); });
+  sim.RunUntil(200);
+  sim.Run();
+  // Busy [0,100) and [200,300): utilization over [0,400) = 0.5.
+  EXPECT_DOUBLE_EQ(gpu.ComputeUtilization(0, 400), 0.5);
+  EXPECT_DOUBLE_EQ(gpu.ComputeUtilization(0, 100), 1.0);
+  EXPECT_DOUBLE_EQ(gpu.ComputeUtilization(100, 200), 0.0);
+}
+
+TEST(KernelCostTest, LinearInBytes) {
+  KernelCost cost{FromMicros(10.0), 100e9};
+  const SimTime t1 = cost.Time(100'000'000);  // 1 ms + overhead
+  EXPECT_EQ(t1, FromMicros(10) + FromMillis(1));
+  EXPECT_EQ(cost.Time(0), FromMicros(10));
+}
+
+TEST(SpeedProfileTest, CompLLBeatsOssBeatsCpu) {
+  for (const char* alg : {"onebit", "tbq", "terngrad", "dgc", "graddrop"}) {
+    const auto compll =
+        GetCodecSpeed(alg, CodecImpl::kCompLL, GpuPlatform::kV100);
+    const auto oss = GetCodecSpeed(alg, CodecImpl::kOss, GpuPlatform::kV100);
+    const auto cpu = GetCodecSpeed(alg, CodecImpl::kCpu, GpuPlatform::kV100);
+    EXPECT_GT(compll.encode.bytes_per_second, oss.encode.bytes_per_second)
+        << alg;
+    EXPECT_GT(oss.encode.bytes_per_second, 0.0) << alg;
+    EXPECT_GT(compll.encode.bytes_per_second,
+              10.0 * cpu.encode.bytes_per_second)
+        << alg;
+  }
+}
+
+TEST(SpeedProfileTest, TbqOssSlowdownMatchesPaper) {
+  // OSS-TBQ: 256 MB in ~38.2 ms; CompLL 12x faster (Section 4.4).
+  const auto oss = GetCodecSpeed("tbq", CodecImpl::kOss, GpuPlatform::kV100);
+  const uint64_t bytes = 256ull * 1024 * 1024;
+  const double oss_ms = ToMillis(oss.encode.Time(bytes));
+  EXPECT_NEAR(oss_ms, 38.2, 6.0);
+  const auto compll =
+      GetCodecSpeed("tbq", CodecImpl::kCompLL, GpuPlatform::kV100);
+  const double ratio = oss_ms / ToMillis(compll.encode.Time(bytes));
+  EXPECT_NEAR(ratio, 12.0, 1.5);
+}
+
+TEST(SpeedProfileTest, CpuOnebitSlowdownMatchesPaper) {
+  const auto compll =
+      GetCodecSpeed("onebit", CodecImpl::kCompLL, GpuPlatform::kV100);
+  const auto cpu =
+      GetCodecSpeed("onebit", CodecImpl::kCpu, GpuPlatform::kV100);
+  const uint64_t bytes = 256ull * 1024 * 1024;
+  const double ratio =
+      static_cast<double>(cpu.encode.Time(bytes)) /
+      static_cast<double>(compll.encode.Time(bytes));
+  // 35.6x plus the PCIe round trip folded into the CPU path.
+  EXPECT_GT(ratio, 30.0);
+  EXPECT_LT(ratio, 60.0);
+}
+
+TEST(SpeedProfileTest, LocalPlatformIsSlower) {
+  const auto v100 =
+      GetCodecSpeed("onebit", CodecImpl::kCompLL, GpuPlatform::kV100);
+  const auto ti =
+      GetCodecSpeed("onebit", CodecImpl::kCompLL, GpuPlatform::k1080Ti);
+  EXPECT_LT(ti.encode.bytes_per_second, v100.encode.bytes_per_second);
+  EXPECT_LT(ComputeScale(GpuPlatform::k1080Ti), 1.0);
+}
+
+}  // namespace
+}  // namespace hipress

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace hipress {
+namespace {
+
+TEST(TensorTest, ConstructionAndNaming) {
+  Tensor tensor("grad0", 128);
+  EXPECT_EQ(tensor.name(), "grad0");
+  EXPECT_EQ(tensor.size(), 128u);
+  EXPECT_EQ(tensor.byte_size(), 512u);
+  for (size_t i = 0; i < tensor.size(); ++i) {
+    EXPECT_EQ(tensor[i], 0.0f);
+  }
+}
+
+TEST(TensorTest, FillAndScale) {
+  Tensor tensor(8);
+  tensor.Fill(2.0f);
+  tensor.Scale(1.5f);
+  for (size_t i = 0; i < tensor.size(); ++i) {
+    EXPECT_FLOAT_EQ(tensor[i], 3.0f);
+  }
+}
+
+TEST(TensorTest, AddAccumulatesElementwise) {
+  Tensor a(4);
+  Tensor b(4);
+  for (size_t i = 0; i < 4; ++i) {
+    a[i] = static_cast<float>(i);
+    b[i] = 10.0f;
+  }
+  a.Add(b);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(a[i], static_cast<float>(i) + 10.0f);
+  }
+}
+
+TEST(TensorTest, NormOfUnitVector) {
+  Tensor tensor(4);
+  tensor[0] = 3.0f;
+  tensor[1] = 4.0f;
+  EXPECT_DOUBLE_EQ(tensor.Norm(), 5.0);
+}
+
+TEST(TensorTest, SliceViewsUnderlyingData) {
+  Tensor tensor(10);
+  auto slice = tensor.slice(2, 3);
+  slice[0] = 7.0f;
+  EXPECT_FLOAT_EQ(tensor[2], 7.0f);
+  EXPECT_EQ(slice.size(), 3u);
+}
+
+TEST(TensorTest, FillGaussianIsDeterministic) {
+  Rng rng1(5);
+  Rng rng2(5);
+  Tensor a(64);
+  Tensor b(64);
+  a.FillGaussian(rng1);
+  b.FillGaussian(rng2);
+  EXPECT_EQ(MaxAbsDiff(a.span(), b.span()), 0.0);
+}
+
+TEST(TensorTest, FillUniformRespectsRange) {
+  Rng rng(6);
+  Tensor tensor(1000);
+  tensor.FillUniform(rng, -2.0f, 3.0f);
+  for (size_t i = 0; i < tensor.size(); ++i) {
+    EXPECT_GE(tensor[i], -2.0f);
+    EXPECT_LT(tensor[i], 3.0f);
+  }
+}
+
+TEST(ByteBufferTest, AppendAndReadScalars) {
+  ByteBuffer buffer;
+  buffer.Append<uint32_t>(42);
+  buffer.Append<float>(1.5f);
+  size_t offset = 0;
+  EXPECT_EQ(buffer.ReadAt<uint32_t>(offset), 42u);
+  EXPECT_FLOAT_EQ(buffer.ReadAt<float>(offset), 1.5f);
+  EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(ByteBufferTest, ResizeZeroFills) {
+  ByteBuffer buffer(4);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(buffer[i], 0);
+  }
+  buffer.Resize(8);
+  EXPECT_EQ(buffer.size(), 8u);
+}
+
+TEST(DiffHelpersTest, MaxAbsAndRms) {
+  Tensor a(3);
+  Tensor b(3);
+  a[0] = 1.0f;
+  b[0] = 2.0f;  // diff 1
+  a[2] = -1.0f;
+  b[2] = 1.0f;  // diff 2
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a.span(), b.span()), 2.0);
+  EXPECT_NEAR(RmsDiff(a.span(), b.span()), std::sqrt(5.0 / 3.0), 1e-9);
+}
+
+TEST(DiffHelpersTest, EmptySpansGiveZero) {
+  std::vector<float> empty;
+  EXPECT_EQ(RmsDiff(std::span<const float>(empty),
+                    std::span<const float>(empty)),
+            0.0);
+}
+
+}  // namespace
+}  // namespace hipress

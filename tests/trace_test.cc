@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/train/trace.h"
+
+namespace hipress {
+namespace {
+
+std::vector<GpuInterval> SampleTimeline() {
+  return {
+      GpuInterval{0, FromMillis(10), GpuTaskKind::kCompute},
+      GpuInterval{FromMillis(2), FromMillis(3), GpuTaskKind::kEncode},
+      GpuInterval{FromMillis(3), FromMillis(4), GpuTaskKind::kDecode},
+  };
+}
+
+TEST(TraceTest, EmitsCompleteEventsPerInterval) {
+  const std::string json = TimelineToChromeTrace(SampleTimeline());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"compute\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"encode\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"decode\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // 10 ms compute = 10000 us duration.
+  EXPECT_NE(json.find("\"dur\":10000.000"), std::string::npos);
+}
+
+TEST(TraceTest, OriginShiftsAndFilters) {
+  const std::string json =
+      TimelineToChromeTrace(SampleTimeline(), FromMillis(5));
+  // The encode/decode blocks end before the origin and are dropped; the
+  // compute block remains, starting at a negative-free offset... its start
+  // is clipped arithmetic-wise but the event is kept.
+  EXPECT_EQ(json.find("\"name\":\"encode\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"compute\""), std::string::npos);
+}
+
+TEST(TraceTest, EmptyTimelineIsValidJson) {
+  const std::string json = TimelineToChromeTrace({});
+  EXPECT_EQ(json.find("},{"), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+TEST(TraceTest, WritesFile) {
+  const std::string path = "/tmp/hipress_trace_test.json";
+  ASSERT_TRUE(WriteChromeTrace(path, SampleTimeline()).ok());
+  std::ifstream file(path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_NE(buffer.str().find("traceEvents"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, RejectsUnwritablePath) {
+  EXPECT_FALSE(
+      WriteChromeTrace("/nonexistent-dir/x.json", SampleTimeline()).ok());
+}
+
+}  // namespace
+}  // namespace hipress

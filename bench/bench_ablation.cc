@@ -8,6 +8,7 @@
 //   3. SeCoPa vs compress-all vs compress-none on a mixed-size model.
 //   4. BSP vs SSP staleness (the Section 7 extension).
 #include "bench/bench_util.h"
+#include "src/common/string_util.h"
 
 using namespace hipress;
 using namespace hipress::bench;
@@ -33,6 +34,7 @@ SyncConfig HiPressPs(const ClusterSpec& cluster) {
 }  // namespace
 
 int main() {
+  BenchReporter reporter("ablation");
   // ---------------------------------------------------------------- bulk --
   Header("Ablation 1: bulk coordinator vs direct sends (Bert-base, PS)");
   std::printf("%-26s %16s %16s\n", "per-message cost",
@@ -47,6 +49,9 @@ int main() {
     const TrainReport bulk = RunConfig("bert-base", config);
     std::printf("%22.0fus %14.2fms %14.2fms\n", overhead_us,
                 ToMillis(direct.sync_tail), ToMillis(bulk.sync_tail));
+    const std::string key = StrFormat("bulk.overhead_%.0fus", overhead_us);
+    reporter.Record(key + ".direct", direct);
+    reporter.Record(key + ".bulk", bulk);
   }
   std::printf("(batching pays once per-message costs dominate small "
               "gradients)\n");
@@ -63,6 +68,7 @@ int main() {
     const TrainReport report = RunConfig("vgg19", config);
     std::printf("%-12d %14.2fms\n", partitions,
                 ToMillis(report.iteration_time));
+    reporter.Record(StrFormat("partitions.%d", partitions), report);
   }
 
   // ---------------------------------------------------------------- secopa
@@ -82,6 +88,9 @@ int main() {
                 ToMillis(all.sync_tail));
     std::printf("%-22s %14.2fms tail\n", "SeCoPa",
                 ToMillis(secopa.sync_tail));
+    reporter.Record("secopa.none", raw);
+    reporter.Record("secopa.all", all);
+    reporter.Record("secopa.secopa", secopa);
   }
 
   // ------------------------------------------------------------------- ssp
@@ -95,6 +104,7 @@ int main() {
     options.staleness = staleness;
     options.iterations = staleness > 0 ? 8 : 2;
     const TrainReport report = RunConfig("bert-large", config, options);
+    reporter.Record(StrFormat("ssp.staleness_%d", staleness), report);
     if (staleness == 0) {
       bsp_iter = static_cast<double>(report.iteration_time);
     }
@@ -114,6 +124,7 @@ int main() {
         Run("bert-large", system, ClusterSpec::Ec2(16), "onebit");
     std::printf("%-14s %14.0f %10.3f %14.2fms\n", system, report.throughput,
                 report.scaling_efficiency, ToMillis(report.sync_tail));
+    reporter.Record(std::string("topology.") + system, report);
   }
   std::printf("(the same primitives and engine drive PS, ring and binomial "
               "tree)\n");
@@ -153,5 +164,6 @@ int main() {
   std::printf("(plans computed from clean profiles keep their advantage "
               "under 50%% jitter;\n BSP stretches with the straggler — the "
               "synchronous-coordination cost Section 2.1 notes)\n");
+  reporter.Write();
   return 0;
 }

@@ -58,8 +58,9 @@ SyncConfig StageConfig(StrategyKind strategy, const ClusterSpec& cluster,
   return config;
 }
 
-void Panel(const char* title, const char* model, StrategyKind strategy,
-           const char* default_system) {
+void Panel(const char* title, const char* panel_key, const char* model,
+           StrategyKind strategy, const char* default_system,
+           BenchReporter* reporter) {
   const ClusterSpec cluster = ClusterSpec::Local(16);
   Header(title);
   std::printf("%-14s %14s %18s %12s\n", "Stage", "computation",
@@ -77,6 +78,7 @@ void Panel(const char* title, const char* model, StrategyKind strategy,
                     (1024.0 * 1024.0),
                 static_cast<unsigned long long>(
                     report.engine_stats.send_tasks));
+    reporter->Record(std::string(panel_key) + "." + label, report);
   };
   row("Default", base);
   const char* labels[] = {"", "on-CPU", "on-GPU", "+Pipelining", "+Bulk",
@@ -95,10 +97,13 @@ void Panel(const char* title, const char* model, StrategyKind strategy,
 }  // namespace
 
 int main() {
-  Panel("Figure 11a: VGG19, CaSync-PS, local cluster", "vgg19",
-        StrategyKind::kPs, "byteps");
-  Panel("Figure 11b: Bert-base, CaSync-Ring, local cluster", "bert-base",
-        StrategyKind::kRing, "ring");
+  BenchReporter reporter("fig11");
+  Panel("Figure 11a: VGG19, CaSync-PS, local cluster", "fig11a.vgg19_ps",
+        "vgg19", StrategyKind::kPs, "byteps", &reporter);
+  Panel("Figure 11b: Bert-base, CaSync-Ring, local cluster",
+        "fig11b.bert_ring", "bert-base", StrategyKind::kRing, "ring",
+        &reporter);
+  reporter.Write();
   std::printf(
       "\npaper: on-CPU ADDS 32.2%% sync cost for VGG19; on-GPU cuts it by "
       "41.2%%/10.0%%;\npipelining adds 7.8%%/10.6%%; bulk 26.1%%/6.6%%; "

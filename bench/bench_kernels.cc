@@ -6,10 +6,23 @@
 //   * optimized TBQ encode ~an order of magnitude above OSS-TBQ,
 //   * optimized DGC several times above OSS-DGC's full-sort encode,
 //   * decode generally faster than encode.
+//
+// Before the google-benchmark run, every codec goes through a bit-exact
+// round-trip check (encode/decode reproducible across independent codec
+// instances) and a quick throughput measurement recorded into
+// BENCH_kernels.json via the metrics registry.
+// `--smoke` (or HIPRESS_BENCH_SMOKE=1) keeps only that phase on a reduced
+// size set — the CI bench-smoke job — and the process exits non-zero if
+// any round-trip check fails.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/rng.h"
 #include "src/compress/registry.h"
 #include "src/tensor/tensor.h"
@@ -117,7 +130,177 @@ BENCHMARK_CAPTURE(BM_Encode, oss_dgc, "oss-dgc")
     ->MinTime(0.05)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Round-trip verification + BENCH_kernels.json
+// ---------------------------------------------------------------------------
+
+const char* const kAllCodecs[] = {
+    "onebit",     "tbq",     "terngrad",     "dgc",     "graddrop",
+    "oss-onebit", "oss-tbq", "oss-terngrad", "oss-dgc",
+};
+
+bool BuffersEqual(const ByteBuffer& a, const ByteBuffer& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+bool FloatsBitEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+// Bit-exact round-trip: two independently constructed codec instances must
+// produce identical encoded bytes and identical decoded bits for the same
+// gradient. Any drift here means nondeterminism or a decode regression.
+// (Encode-of-decode idempotence deliberately isn't checked: quantizers
+// derive thresholds from the data, so re-quantizing a reconstruction is
+// legitimately different.)
+bool CheckRoundTrip(const std::string& algorithm, size_t bytes,
+                    MetricsRegistry* registry) {
+  CompressorParams params;
+  params.sparsity_ratio = 0.001;
+  auto codec_a = CreateCompressor(algorithm, params);
+  auto codec_b = CreateCompressor(algorithm, params);
+  registry->counter("roundtrip.checks").Increment();
+  auto fail = [&](const char* what) {
+    registry->counter("roundtrip.failures").Increment();
+    std::fprintf(stderr, "ROUNDTRIP FAIL %s @%zuB: %s\n", algorithm.c_str(),
+                 bytes, what);
+    return false;
+  };
+  if (!codec_a.ok() || !codec_b.ok()) {
+    return fail("codec creation failed");
+  }
+  const Tensor gradient = MakeGradient(bytes);
+  ByteBuffer encoded_a;
+  ByteBuffer encoded_b;
+  if (!(*codec_a)->Encode(gradient.span(), &encoded_a).ok() ||
+      !(*codec_b)->Encode(gradient.span(), &encoded_b).ok()) {
+    return fail("encode failed");
+  }
+  if (!BuffersEqual(encoded_a, encoded_b)) {
+    return fail("encode not deterministic across instances");
+  }
+  std::vector<float> decoded_a(gradient.size());
+  std::vector<float> decoded_b(gradient.size());
+  if (!(*codec_a)->Decode(encoded_a, decoded_a).ok() ||
+      !(*codec_b)->Decode(encoded_b, decoded_b).ok()) {
+    return fail("decode failed");
+  }
+  if (!FloatsBitEqual(decoded_a, decoded_b)) {
+    return fail("decode not bit-exact across instances");
+  }
+  return true;
+}
+
+// Quick single-threaded throughput measurement for the JSON trajectory
+// (the google-benchmark phase remains the precise instrument).
+void MeasureThroughput(const std::string& algorithm, size_t bytes,
+                       const std::string& size_label,
+                       MetricsRegistry* registry) {
+  CompressorParams params;
+  params.sparsity_ratio = 0.001;
+  auto codec = CreateCompressor(algorithm, params);
+  if (!codec.ok()) {
+    return;
+  }
+  const Tensor gradient = MakeGradient(bytes);
+  ByteBuffer encoded;
+  std::vector<float> decoded(gradient.size());
+  using Clock = std::chrono::steady_clock;
+  const auto mbps = [&](Clock::time_point since, int iterations) {
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - since).count();
+    return seconds <= 0.0 ? 0.0
+                          : static_cast<double>(bytes) * iterations /
+                                (1024.0 * 1024.0) / seconds;
+  };
+  constexpr int kIterations = 3;
+  const auto encode_start = Clock::now();
+  for (int i = 0; i < kIterations; ++i) {
+    if (!(*codec)->Encode(gradient.span(), &encoded).ok()) {
+      return;
+    }
+  }
+  const double encode_mbps = mbps(encode_start, kIterations);
+  const auto decode_start = Clock::now();
+  for (int i = 0; i < kIterations; ++i) {
+    if (!(*codec)->Decode(encoded, decoded).ok()) {
+      return;
+    }
+  }
+  const std::string prefix = algorithm + "." + size_label;
+  registry->gauge(prefix + ".encode_MBps").Set(encode_mbps);
+  registry->gauge(prefix + ".decode_MBps").Set(mbps(decode_start, kIterations));
+  registry->gauge(prefix + ".encoded_bytes")
+      .Set(static_cast<double>(encoded.size()));
+}
+
+// Runs the round-trip + throughput phase and writes BENCH_kernels.json
+// (into $HIPRESS_BENCH_DIR when set). Returns false when a round-trip
+// check failed.
+bool RunVerificationPhase(bool smoke) {
+  MetricsRegistry registry;
+  registry.gauge("smoke").Set(smoke ? 1.0 : 0.0);
+  struct SizePoint {
+    size_t bytes;
+    const char* label;
+  };
+  const std::vector<SizePoint> sizes =
+      smoke ? std::vector<SizePoint>{{64 * 1024, "64KB"}, {1 << 20, "1MB"}}
+            : std::vector<SizePoint>{{1 << 20, "1MB"}, {16 << 20, "16MB"}};
+  bool all_ok = true;
+  for (const char* algorithm : kAllCodecs) {
+    for (const SizePoint& size : sizes) {
+      // The naive OSS-DGC encode full-sorts; keep its large point small
+      // enough that the check phase stays fast.
+      if (std::string(algorithm) == "oss-dgc" && size.bytes > (8u << 20)) {
+        continue;
+      }
+      all_ok &= CheckRoundTrip(algorithm, size.bytes, &registry);
+      MeasureThroughput(algorithm, size.bytes, size.label, &registry);
+    }
+  }
+  const char* dir = std::getenv("HIPRESS_BENCH_DIR");
+  const std::string path = (dir != nullptr ? std::string(dir) + "/" : "") +
+                           "BENCH_kernels.json";
+  const Status status = registry.WriteJson(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return false;
+  }
+  std::printf("roundtrip: %llu checks, %llu failures; wrote %s\n",
+              static_cast<unsigned long long>(
+                  registry.counter_value("roundtrip.checks")),
+              static_cast<unsigned long long>(
+                  registry.counter_value("roundtrip.failures")),
+              path.c_str());
+  return all_ok;
+}
+
 }  // namespace
 }  // namespace hipress
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = std::getenv("HIPRESS_BENCH_SMOKE") != nullptr;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!hipress::RunVerificationPhase(smoke)) {
+    return 1;
+  }
+  if (smoke) {
+    return 0;  // CI smoke: skip the full google-benchmark sweep
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,8 +3,10 @@
 #define HIPRESS_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
+#include "src/common/metrics.h"
 #include "src/hipress/hipress.h"
 
 namespace hipress::bench {
@@ -38,6 +40,56 @@ inline TrainReport Run(const std::string& model, const std::string& system,
 inline void Header(const char* title) {
   std::printf("\n==== %s ====\n", title);
 }
+
+// Machine-readable bench output: collects metrics into a registry and dumps
+// them as BENCH_<name>.json (schema in docs/OBSERVABILITY.md), so CI can
+// archive a perf trajectory next to the human-readable text. Output lands
+// in $HIPRESS_BENCH_DIR when set, else the working directory.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string name) : name_(std::move(name)) {}
+
+  MetricsRegistry& registry() { return registry_; }
+
+  // Records the standard TrainReport metrics under `prefix`.
+  void Record(const std::string& prefix, const TrainReport& report) {
+    registry_.gauge(prefix + ".iteration_ms")
+        .Set(ToMillis(report.iteration_time));
+    registry_.gauge(prefix + ".sync_tail_ms").Set(ToMillis(report.sync_tail));
+    registry_.gauge(prefix + ".throughput").Set(report.throughput);
+    registry_.gauge(prefix + ".scaling_efficiency")
+        .Set(report.scaling_efficiency);
+    registry_.gauge(prefix + ".comm_ratio").Set(report.comm_ratio);
+    registry_.gauge(prefix + ".encode_ms")
+        .Set(ToMillis(report.engine_stats.encode_time));
+    registry_.gauge(prefix + ".decode_ms")
+        .Set(ToMillis(report.engine_stats.decode_time));
+    registry_.gauge(prefix + ".wire_mb")
+        .Set(ToMiB(report.engine_stats.wire_bytes));
+    registry_.counter(prefix + ".send_tasks")
+        .Increment(report.engine_stats.send_tasks);
+  }
+
+  // Writes BENCH_<name>.json; aborts the bench on failure (CI treats the
+  // missing artifact as a hard error anyway).
+  void Write() {
+    const char* dir = std::getenv("HIPRESS_BENCH_DIR");
+    const std::string path =
+        (dir != nullptr ? std::string(dir) + "/" : std::string()) + "BENCH_" +
+        name_ + ".json";
+    const Status status = registry_.WriteJson(path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench json write failed: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  MetricsRegistry registry_;
+};
 
 }  // namespace hipress::bench
 

@@ -140,9 +140,9 @@ int main(int argc, char** argv) {
     }
     PrintReport(system, result->report, *profile);
     if (!args.trace_path.empty() && !args.compare) {
-      auto status = WriteChromeTrace(args.trace_path,
-                                     result->report.timeline,
-                                     result->report.timeline_origin);
+      // Merged cluster trace: per-node GPU kernel rows plus the
+      // network-transfer and coordinator-round spans.
+      auto status = WriteTrainReportTrace(args.trace_path, result->report);
       if (status.ok()) {
         std::printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n",
                     args.trace_path.c_str());

@@ -1,11 +1,16 @@
 #include "src/casync/coordinator.h"
 
+#include "src/common/string_util.h"
+
 namespace hipress {
 
 void BulkCoordinator::Enqueue(int src, int dst, uint64_t bytes,
                               std::function<void()> on_delivered) {
   LinkQueue& queue = links_[{src, dst}];
-  queue.pending.push_back(Pending{bytes, std::move(on_delivered)});
+  if (queue.pending.empty()) {
+    queue.first_enqueued_at = sim_->now();
+  }
+  queue.pending.push_back(Pending{bytes, std::move(on_delivered), sim_->now()});
   queue.queued_bytes += bytes;
 
   if (queue.queued_bytes >= size_threshold_) {
@@ -40,6 +45,26 @@ void BulkCoordinator::Flush(int src, int dst) {
   ++queue.flush_epoch;
   ++batches_sent_;
   transfers_batched_ += batch.size();
+
+  if (batches_metric_ != nullptr) {
+    batches_metric_->Increment();
+    transfers_metric_->Increment(batch.size());
+    batch_bytes_->Observe(static_cast<double>(batch_bytes));
+    for (const Pending& pending : batch) {
+      queue_delay_us_->Observe(
+          static_cast<double>(sim_->now() - pending.enqueued_at) /
+          kMicrosecond);
+    }
+  }
+  if (spans_ != nullptr) {
+    // A coordinator round: from the first transfer queued on this link to
+    // the flush decision. The batched wire transfer itself shows up on the
+    // network lanes.
+    spans_->Add(src, kTraceLaneCoordinator,
+                StrFormat("round %d->%d (%zu, %s)", src, dst, batch.size(),
+                          HumanBytes(batch_bytes).c_str()),
+                queue.first_enqueued_at, sim_->now());
+  }
 
   NetMessage message;
   message.src = src;

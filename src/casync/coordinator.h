@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/net/network.h"
 #include "src/sim/simulator.h"
 
@@ -26,12 +27,27 @@ namespace hipress {
 
 class BulkCoordinator {
  public:
+  // `metrics` (optional) receives batch/transfer counts, batch-size and
+  // queueing-delay histograms ("coordinator.batches",
+  // "coordinator.batch_bytes", "coordinator.queue_delay_us"); `spans`
+  // (optional) receives one coordinator-round span per flushed batch on the
+  // source node's track.
   BulkCoordinator(Simulator* sim, Network* net, uint64_t size_threshold,
-                  SimTime timeout)
+                  SimTime timeout, MetricsRegistry* metrics = nullptr,
+                  SpanCollector* spans = nullptr)
       : sim_(sim),
         net_(net),
         size_threshold_(size_threshold),
-        timeout_(timeout) {}
+        timeout_(timeout),
+        spans_(spans) {
+    if (metrics != nullptr) {
+      batches_metric_ = &metrics->counter("coordinator.batches");
+      transfers_metric_ = &metrics->counter("coordinator.transfers_batched");
+      batch_bytes_ = &metrics->histogram("coordinator.batch_bytes",
+                                         HistogramBuckets::DefaultBytes());
+      queue_delay_us_ = &metrics->histogram("coordinator.queue_delay_us");
+    }
+  }
 
   // Submits one transfer's metadata; `on_delivered` fires when the batch
   // containing it arrives at `dst`.
@@ -45,11 +61,13 @@ class BulkCoordinator {
   struct Pending {
     uint64_t bytes;
     std::function<void()> on_delivered;
+    SimTime enqueued_at = 0;
   };
   struct LinkQueue {
     std::vector<Pending> pending;
     uint64_t queued_bytes = 0;
     uint64_t flush_epoch = 0;  // invalidates stale timeout events
+    SimTime first_enqueued_at = 0;
   };
 
   void Flush(int src, int dst);
@@ -58,6 +76,11 @@ class BulkCoordinator {
   Network* net_;
   uint64_t size_threshold_;
   SimTime timeout_;
+  SpanCollector* spans_ = nullptr;
+  Counter* batches_metric_ = nullptr;
+  Counter* transfers_metric_ = nullptr;
+  Histogram* batch_bytes_ = nullptr;
+  Histogram* queue_delay_us_ = nullptr;
   std::map<std::pair<int, int>, LinkQueue> links_;
   uint64_t batches_sent_ = 0;
   uint64_t transfers_batched_ = 0;

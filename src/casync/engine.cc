@@ -19,15 +19,36 @@ const char* StrategyKindName(StrategyKind kind) {
 
 CaSyncEngine::CaSyncEngine(Simulator* sim, Network* net,
                            std::vector<GpuDevice*> gpus,
-                           const SyncConfig& config)
+                           const SyncConfig& config, MetricsRegistry* metrics,
+                           SpanCollector* spans)
     : sim_(sim), net_(net), gpus_(std::move(gpus)), config_(config) {
   CHECK_EQ(static_cast<int>(gpus_.size()), config_.num_nodes);
   codec_speed_ =
       GetCodecSpeed(config_.algorithm, config_.codec_impl, config_.platform);
   merge_cost_ = GetMergeCost(config_.platform);
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  auto primitive = [metrics](const char* name) {
+    PrimitiveMetrics handles;
+    handles.tasks = &metrics->counter(StrFormat("engine.%s_tasks", name));
+    handles.time_ns = &metrics->counter(StrFormat("engine.%s_time_ns", name));
+    handles.duration_us = &metrics->histogram(StrFormat("engine.%s_us", name));
+    return handles;
+  };
+  encode_metrics_ = primitive("encode");
+  decode_metrics_ = primitive("decode");
+  merge_metrics_ = primitive("merge");
+  send_tasks_ = &metrics_->counter("engine.send_tasks");
+  wire_bytes_ = &metrics_->counter("engine.wire_bytes");
+  send_bytes_ = &metrics_->histogram("engine.send_bytes",
+                                     HistogramBuckets::DefaultBytes());
   if (config_.bulk) {
     coordinator_ = std::make_unique<BulkCoordinator>(
-        sim_, net_, config_.bulk_size_threshold, config_.bulk_timeout);
+        sim_, net_, config_.bulk_size_threshold, config_.bulk_timeout,
+        metrics_, spans);
   }
   serial_.reserve(gpus_.size());
   for (size_t node = 0; node < gpus_.size(); ++node) {
@@ -38,6 +59,19 @@ CaSyncEngine::CaSyncEngine(Simulator* sim, Network* net,
 
 SimTime CaSyncEngine::compute_busy(int node) const {
   return gpus_[node]->busy_time(GpuDevice::kKernelStream);
+}
+
+EngineStats CaSyncEngine::stats() const {
+  EngineStats stats;
+  stats.encode_tasks = encode_metrics_.tasks->value();
+  stats.decode_tasks = decode_metrics_.tasks->value();
+  stats.merge_tasks = merge_metrics_.tasks->value();
+  stats.send_tasks = send_tasks_->value();
+  stats.encode_time = static_cast<SimTime>(encode_metrics_.time_ns->value());
+  stats.decode_time = static_cast<SimTime>(decode_metrics_.time_ns->value());
+  stats.merge_time = static_cast<SimTime>(merge_metrics_.time_ns->value());
+  stats.wire_bytes = wire_bytes_->value();
+  return stats;
 }
 
 void CaSyncEngine::Execute(TaskGraph* graph, std::function<void()> on_done) {
@@ -88,18 +122,18 @@ void CaSyncEngine::Dispatch(const GraphHandle& running, TaskId id) {
       const SimTime duration = ComputeDuration(task);
       auto done = [this, running, id] { Complete(running, id); };
       GpuTaskKind kind = GpuTaskKind::kMerge;
+      const PrimitiveMetrics* handles = &merge_metrics_;
       if (task.type == PrimitiveType::kEncode) {
         kind = GpuTaskKind::kEncode;
-        ++stats_.encode_tasks;
-        stats_.encode_time += duration;
+        handles = &encode_metrics_;
       } else if (task.type == PrimitiveType::kDecode) {
         kind = GpuTaskKind::kDecode;
-        ++stats_.decode_tasks;
-        stats_.decode_time += duration;
-      } else {
-        ++stats_.merge_tasks;
-        stats_.merge_time += duration;
+        handles = &decode_metrics_;
       }
+      handles->tasks->Increment();
+      handles->time_ns->Increment(static_cast<uint64_t>(duration));
+      handles->duration_us->Observe(static_cast<double>(duration) /
+                                    kMicrosecond);
       if (config_.pipelining) {
         // CaSync: a dedicated kernel queue (the paper adds a task queue and
         // scheduling thread to each DNN system) overlaps compression with
@@ -119,8 +153,9 @@ void CaSyncEngine::Dispatch(const GraphHandle& running, TaskId id) {
       return;
     }
     case PrimitiveType::kSend: {
-      ++stats_.send_tasks;
-      stats_.wire_bytes += task.bytes;
+      send_tasks_->Increment();
+      wire_bytes_->Increment(task.bytes);
+      send_bytes_->Observe(static_cast<double>(task.bytes));
       const SimTime copy_overhead = config_.extra_copy_overhead;
       auto deliver = [this, running, id] { Complete(running, id); };
       auto start_send = [this, running, id, deliver] {

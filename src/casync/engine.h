@@ -21,6 +21,7 @@
 #include "src/casync/config.h"
 #include "src/casync/coordinator.h"
 #include "src/casync/task.h"
+#include "src/common/metrics.h"
 #include "src/net/network.h"
 #include "src/sim/resource.h"
 #include "src/sim/simulator.h"
@@ -29,7 +30,8 @@
 namespace hipress {
 
 // Aggregate execution statistics, for latency breakdowns (Figure 11) and
-// the ablation benches.
+// the ablation benches. Snapshot of the engine's metrics registry
+// ("engine.*" counters) at one instant.
 struct EngineStats {
   uint64_t encode_tasks = 0;
   uint64_t decode_tasks = 0;
@@ -46,8 +48,15 @@ class CaSyncEngine {
   // `gpus` holds one device per node (the node's sync GPU; local
   // aggregation across a node's other GPUs is modelled upstream by the
   // trainer). All pointers must outlive the engine.
+  //
+  // Per-primitive task counts, modelled durations and wire bytes are
+  // recorded into `metrics` ("engine.encode_tasks", "engine.encode_us",
+  // "engine.wire_bytes", ...); when null the engine keeps a private
+  // registry so stats() always works. `spans` is forwarded to the bulk
+  // coordinator for the merged trace.
   CaSyncEngine(Simulator* sim, Network* net, std::vector<GpuDevice*> gpus,
-               const SyncConfig& config);
+               const SyncConfig& config, MetricsRegistry* metrics = nullptr,
+               SpanCollector* spans = nullptr);
 
   // Begins executing `graph` now; `on_done` fires at the simulated time the
   // last task completes. The graph must outlive execution. Multiple graphs
@@ -61,7 +70,13 @@ class CaSyncEngine {
   // kernels (for latency breakdowns).
   SimTime compute_busy(int node) const;
 
-  const EngineStats& stats() const { return stats_; }
+  // Snapshot of the engine's execution counters (assembled from the
+  // metrics registry; subtract two snapshots for a per-iteration delta).
+  EngineStats stats() const;
+
+  // The registry this engine records into (the injected one, or the
+  // engine-owned fallback).
+  MetricsRegistry& metrics() { return *metrics_; }
 
  private:
   struct RunningGraph {
@@ -75,16 +90,30 @@ class CaSyncEngine {
   void Complete(const GraphHandle& running, TaskId id);
   SimTime ComputeDuration(const SyncTask& task) const;
 
+  // Cached handles into metrics_, one per instrumented primitive.
+  struct PrimitiveMetrics {
+    Counter* tasks = nullptr;
+    Counter* time_ns = nullptr;
+    Histogram* duration_us = nullptr;
+  };
+
   Simulator* sim_;
   Network* net_;
   std::vector<GpuDevice*> gpus_;
   SyncConfig config_;
   CodecSpeed codec_speed_;
   KernelCost merge_cost_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // when none injected
+  MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<BulkCoordinator> coordinator_;
   // Per-node serializer used when pipelining is off.
   std::vector<std::unique_ptr<SimResource>> serial_;
-  EngineStats stats_;
+  PrimitiveMetrics encode_metrics_;
+  PrimitiveMetrics decode_metrics_;
+  PrimitiveMetrics merge_metrics_;
+  Counter* send_tasks_ = nullptr;
+  Counter* wire_bytes_ = nullptr;
+  Histogram* send_bytes_ = nullptr;
 };
 
 }  // namespace hipress

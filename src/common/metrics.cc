@@ -1,0 +1,278 @@
+#include "src/common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace hipress {
+namespace {
+
+// JSON forbids NaN/Inf literals; metrics are measurements, so non-finite
+// values collapse to 0 rather than poisoning the document.
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) {
+    return "0";
+  }
+  std::string text = StrFormat("%.17g", value);
+  return text;
+}
+
+std::string JsonString(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ Histogram
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_[bucket];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counts_;
+}
+
+// ----------------------------------------------------------- HistogramBuckets
+
+std::vector<double> HistogramBuckets::Exponential(double start, double factor,
+                                                  int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(std::max(count, 0)));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> HistogramBuckets::Linear(double start, double step,
+                                             int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(std::max(count, 0)));
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(start + step * i);
+  }
+  return bounds;
+}
+
+std::vector<double> HistogramBuckets::DefaultTime() {
+  return Exponential(1.0, 2.0, 20);  // 1us .. ~0.5s in microseconds
+}
+
+std::vector<double> HistogramBuckets::DefaultBytes() {
+  return Exponential(64.0, 4.0, 22);  // 64B .. ~256GB
+}
+
+// ------------------------------------------------------------ MetricsRegistry
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (bounds.empty()) {
+      bounds = HistogramBuckets::DefaultTime();
+    }
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+uint64_t MetricsRegistry::histogram_count(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? 0 : it->second->count();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << JsonString(name) << ":" << counter->value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << JsonString(name) << ":" << JsonNumber(gauge->value());
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    const std::vector<uint64_t> counts = histogram->bucket_counts();
+    const std::vector<double>& bounds = histogram->bounds();
+    out << JsonString(name) << ":{\"count\":" << histogram->count()
+        << ",\"sum\":" << JsonNumber(histogram->sum())
+        << ",\"min\":" << JsonNumber(histogram->min())
+        << ",\"max\":" << JsonNumber(histogram->max()) << ",\"buckets\":[";
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      if (i > 0) {
+        out << ",";
+      }
+      out << "{\"le\":" << JsonNumber(bounds[i]) << ",\"count\":" << counts[i]
+          << "}";
+    }
+    out << "],\"overflow\":" << counts.back() << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+Status MetricsRegistry::WriteJson(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.good()) {
+    return InvalidArgumentError("cannot open metrics file: " + path);
+  }
+  file << ToJson() << "\n";
+  if (!file.good()) {
+    return InternalError("failed writing metrics file: " + path);
+  }
+  return OkStatus();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+// -------------------------------------------------------------- SpanCollector
+
+const char* TraceLaneName(int lane) {
+  switch (lane) {
+    case kTraceLaneNetUplink:
+      return "net:uplink";
+    case kTraceLaneNetDownlink:
+      return "net:downlink";
+    case kTraceLaneCoordinator:
+      return "coordinator";
+    default:
+      return "lane";
+  }
+}
+
+void SpanCollector::Add(int node, int lane, std::string name, SimTime start,
+                        SimTime end) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(TraceSpan{node, lane, std::move(name), start, end});
+}
+
+std::vector<TraceSpan> SpanCollector::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+size_t SpanCollector::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+}  // namespace hipress

@@ -1,0 +1,170 @@
+// Process-wide metrics and unified tracing.
+//
+// MetricsRegistry is the repository's observability backbone: counters,
+// gauges and fixed-bucket histograms registered by name, serializable as
+// JSON (the `BENCH_<name>.json` files CI archives, and the metrics block
+// attached to every TrainReport). Hot layers — the CaSync engine, the
+// network, the bulk coordinator, the GPU device model and both trainers —
+// record into a registry instead of ad-hoc struct members, so one dump
+// carries the whole per-primitive latency breakdown the paper's Figure 11
+// argues from.
+//
+// SpanCollector is the tracing half: components append named [start, end)
+// spans on (node, lane) rows; the exporter in src/train/trace.h merges them
+// with GPU kernel timelines into a single Perfetto/chrome://tracing JSON,
+// one process track per node.
+#ifndef HIPRESS_SRC_COMMON_METRICS_H_
+#define HIPRESS_SRC_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace hipress {
+
+// Monotonically increasing integer metric. Thread-safe.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins floating-point metric. Thread-safe.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: `bounds` are sorted inclusive upper bounds; an
+// observation lands in the first bucket whose bound is >= the value, or in
+// the overflow bucket. Tracks count/sum/min/max. Thread-safe.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const;
+  double sum() const;
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+  const std::vector<double>& bounds() const { return bounds_; }
+  // One count per bound, plus the trailing overflow bucket.
+  std::vector<uint64_t> bucket_counts() const;
+
+ private:
+  const std::vector<double> bounds_;
+  mutable std::mutex mutex_;
+  std::vector<uint64_t> counts_;  // bounds_.size() + 1 (overflow last)
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Bucket-boundary helpers for the common shapes.
+struct HistogramBuckets {
+  // {start, start*factor, ...}, `count` bounds.
+  static std::vector<double> Exponential(double start, double factor,
+                                         int count);
+  // {start, start+step, ...}, `count` bounds.
+  static std::vector<double> Linear(double start, double step, int count);
+  // 20 power-of-two microsecond-scale bounds: 1us .. ~0.5s.
+  static std::vector<double> DefaultTime();
+  // 22 power-of-four byte-scale bounds: 64B .. ~256GB.
+  static std::vector<double> DefaultBytes();
+};
+
+// Named metric registry. Registration returns references that stay valid
+// for the registry's lifetime, so hot paths can cache them and skip the
+// name lookup. All methods are thread-safe.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  // The first registration of `name` fixes the bucket bounds; later calls
+  // ignore `bounds`. Empty bounds select DefaultTime().
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  // Point reads; 0 when the metric does not exist.
+  uint64_t counter_value(const std::string& name) const;
+  double gauge_value(const std::string& name) const;
+  uint64_t histogram_count(const std::string& name) const;
+
+  // {"counters":{...},"gauges":{...},"histograms":{...}} with names in
+  // sorted order; deterministic for fixed metric values.
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+  // Process-wide default instance (components not wired to an explicit
+  // registry record here).
+  static MetricsRegistry& Default();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// ---------------------------------------------------------------------------
+// Unified tracing
+// ---------------------------------------------------------------------------
+
+// Well-known trace lanes. Lanes 0..9 are reserved for GPU task kinds (the
+// GpuTaskKind enum values); network and coordinator rows sit above them.
+inline constexpr int kTraceLaneNetUplink = 10;
+inline constexpr int kTraceLaneNetDownlink = 11;
+inline constexpr int kTraceLaneCoordinator = 12;
+
+// Human-readable row name for a lane ("net:uplink", "coordinator", ...);
+// lanes 0..9 are resolved by the exporter against GpuTaskKindName.
+const char* TraceLaneName(int lane);
+
+struct TraceSpan {
+  int node = 0;  // track (Perfetto pid)
+  int lane = 0;  // row within the track (Perfetto tid)
+  std::string name;
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+// Append-only span log. The simulator is single-threaded, but DistTrainer
+// and tests may record from worker threads, so appends are mutex-guarded.
+class SpanCollector {
+ public:
+  void Add(int node, int lane, std::string name, SimTime start, SimTime end);
+
+  // Snapshot of the recorded spans, in insertion order.
+  std::vector<TraceSpan> spans() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_COMMON_METRICS_H_

@@ -1,6 +1,7 @@
 #include "src/minidnn/dist_trainer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "src/compress/registry.h"
@@ -66,6 +67,12 @@ StatusOr<std::unique_ptr<DistTrainer>> DistTrainer::Create(
 StatusOr<double> DistTrainer::Step() {
   const int workers = config_.num_workers;
   const size_t num_params = model_.parameters().size();
+  using Clock = std::chrono::steady_clock;
+  const auto elapsed_us = [](Clock::time_point since) {
+    return std::chrono::duration<double, std::micro>(Clock::now() - since)
+        .count();
+  };
+  const auto compute_start = Clock::now();
 
   // Per-worker local gradients.
   std::vector<std::vector<Tensor>> worker_grads(workers);
@@ -80,6 +87,8 @@ StatusOr<double> DistTrainer::Step() {
                                             config_.batch_per_worker,
                                             &worker_grads[w]);
   }
+  metrics_.histogram("dist.compute_us").Observe(elapsed_us(compute_start));
+  const auto sync_start = Clock::now();
 
   // Synchronize parameter by parameter (layer-wise, like the paper).
   std::vector<Tensor> synced = model_.MakeGradients();
@@ -112,6 +121,10 @@ StatusOr<double> DistTrainer::Step() {
     synced[p] = std::move(outputs[0]);
     synced[p].Scale(1.0f / static_cast<float>(workers));
   }
+
+  metrics_.histogram("dist.sync_us").Observe(elapsed_us(sync_start));
+  metrics_.counter("dist.steps").Increment();
+  metrics_.gauge("dist.last_loss").Set(loss_sum / workers);
 
   model_.ApplySgd(synced, config_.learning_rate, config_.momentum,
                   &velocity_);

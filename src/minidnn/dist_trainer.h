@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/casync/dataflow.h"
+#include "src/common/metrics.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/compress/error_feedback.h"
@@ -74,6 +75,12 @@ class DistTrainer {
 
   const Mlp& model() const { return model_; }
 
+  // Wall-clock observability for the real trainer: per-step compute and
+  // gradient-synchronization durations ("dist.compute_us", "dist.sync_us"
+  // histograms), step counter, and last-loss gauge.
+  const MetricsRegistry& metrics() const { return metrics_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
  private:
   explicit DistTrainer(const DistTrainConfig& config);
 
@@ -81,6 +88,7 @@ class DistTrainer {
   StatusOr<double> Step();
 
   DistTrainConfig config_;
+  MetricsRegistry metrics_;
   Mlp model_;
   std::vector<Tensor> velocity_;
   std::unique_ptr<Compressor> codec_;  // null when uncompressed

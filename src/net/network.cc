@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/common/string_util.h"
 
 namespace hipress {
 
-Network::Network(Simulator* sim, int num_nodes, NetworkConfig config)
-    : sim_(sim), num_nodes_(num_nodes), config_(config) {
+Network::Network(Simulator* sim, int num_nodes, NetworkConfig config,
+                 MetricsRegistry* metrics, SpanCollector* spans)
+    : sim_(sim), num_nodes_(num_nodes), config_(config), spans_(spans) {
   CHECK_GT(num_nodes, 0);
   // std::max keeps GCC's range analysis from flagging the vector fill.
   const auto nodes = static_cast<size_t>(std::max(num_nodes, 1));
@@ -16,6 +18,14 @@ Network::Network(Simulator* sim, int num_nodes, NetworkConfig config)
   uplink_busy_.assign(nodes, 0);
   tx_bytes_.assign(nodes, 0);
   rx_bytes_.assign(nodes, 0);
+  if (metrics != nullptr) {
+    messages_sent_metric_ = &metrics->counter("net.messages_sent");
+    messages_delivered_metric_ = &metrics->counter("net.messages_delivered");
+    tx_bytes_metric_ = &metrics->counter("net.tx_bytes");
+    queue_delay_us_ = &metrics->histogram("net.queue_delay_us");
+    transfer_bytes_ = &metrics->histogram("net.transfer_bytes",
+                                          HistogramBuckets::DefaultBytes());
+  }
 }
 
 SimTime Network::EarliestStart(int src, int dst) const {
@@ -62,9 +72,35 @@ void Network::Send(NetMessage message,
       std::max(up_start + config_.latency, downlink_free_[message.dst]);
   const SimTime deliver_at = down_start + serialize;
   downlink_free_[message.dst] = deliver_at;
+
+  if (messages_sent_metric_ != nullptr) {
+    messages_sent_metric_->Increment();
+    tx_bytes_metric_->Increment(message.bytes);
+    transfer_bytes_->Observe(static_cast<double>(message.bytes));
+    // Queueing delay: time the message waited for its endpoints beyond the
+    // unavoidable overhead + propagation — uplink backlog plus any extra
+    // downlink backlog past the arrival of the first bit.
+    const SimTime uplink_wait =
+        up_start - config_.per_message_overhead - sim_->now();
+    const SimTime downlink_wait = down_start - (up_start + config_.latency);
+    queue_delay_us_->Observe(static_cast<double>(uplink_wait + downlink_wait) /
+                             kMicrosecond);
+  }
+  if (spans_ != nullptr) {
+    const std::string label = StrFormat(
+        "%s %d->%d", HumanBytes(message.bytes).c_str(), message.src,
+        message.dst);
+    spans_->Add(message.src, kTraceLaneNetUplink, "tx " + label, up_start,
+                up_done);
+    spans_->Add(message.dst, kTraceLaneNetDownlink, "rx " + label, down_start,
+                deliver_at);
+  }
   sim_->ScheduleAt(deliver_at, [this, message = std::move(message),
                                 on_delivered = std::move(on_delivered)] {
     ++messages_delivered_;
+    if (messages_delivered_metric_ != nullptr) {
+      messages_delivered_metric_->Increment();
+    }
     on_delivered(message);
   });
 }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/units.h"
 #include "src/sim/simulator.h"
 
@@ -46,7 +47,13 @@ struct NetMessage {
 
 class Network {
  public:
-  Network(Simulator* sim, int num_nodes, NetworkConfig config);
+  // `metrics` (optional) receives transfer counts/bytes and the endpoint
+  // queueing-delay histogram ("net.messages_sent", "net.tx_bytes",
+  // "net.queue_delay_us"); `spans` (optional) receives one uplink span on
+  // the sender's track and one downlink span on the receiver's per message,
+  // for the merged Perfetto trace.
+  Network(Simulator* sim, int num_nodes, NetworkConfig config,
+          MetricsRegistry* metrics = nullptr, SpanCollector* spans = nullptr);
 
   // Sends `message` from message.src to message.dst; `on_delivered` fires at
   // the receiver's delivery time. src/dst must be valid and distinct.
@@ -79,6 +86,13 @@ class Network {
   Simulator* sim_;
   int num_nodes_;
   NetworkConfig config_;
+  SpanCollector* spans_ = nullptr;
+  // Cached metric handles; all null when no registry is wired.
+  Counter* messages_sent_metric_ = nullptr;
+  Counter* messages_delivered_metric_ = nullptr;
+  Counter* tx_bytes_metric_ = nullptr;
+  Histogram* queue_delay_us_ = nullptr;
+  Histogram* transfer_bytes_ = nullptr;
 
   // free_at per uplink / downlink endpoint.
   std::vector<SimTime> uplink_free_;

@@ -22,13 +22,28 @@ const char* GpuTaskKindName(GpuTaskKind kind) {
   return "unknown";
 }
 
-GpuDevice::GpuDevice(Simulator* sim, int id, int num_streams)
+GpuDevice::GpuDevice(Simulator* sim, int id, int num_streams,
+                     MetricsRegistry* metrics)
     : sim_(sim), id_(id) {
   CHECK_GT(num_streams, 0);
   // std::max keeps GCC's range analysis from flagging the vector fill.
   const auto streams = static_cast<size_t>(std::max(num_streams, 1));
   stream_free_.assign(streams, 0);
   stream_busy_.assign(streams, 0);
+  if (metrics != nullptr) {
+    constexpr GpuTaskKind kKinds[] = {GpuTaskKind::kCompute,
+                                      GpuTaskKind::kEncode,
+                                      GpuTaskKind::kDecode, GpuTaskKind::kMerge,
+                                      GpuTaskKind::kMemcpy};
+    kind_metrics_.resize(std::size(kKinds));
+    for (const GpuTaskKind kind : kKinds) {
+      const std::string name = GpuTaskKindName(kind);
+      KindMetrics& slot = kind_metrics_[static_cast<size_t>(kind)];
+      slot.tasks = &metrics->counter("gpu.tasks." + name);
+      slot.busy_ns = &metrics->counter("gpu.busy_ns." + name);
+    }
+    kernel_us_ = &metrics->histogram("gpu.kernel_us");
+  }
 }
 
 void GpuDevice::Submit(int stream, GpuTaskKind kind, SimTime duration,
@@ -42,6 +57,13 @@ void GpuDevice::Submit(int stream, GpuTaskKind kind, SimTime duration,
   stream_busy_[stream] += duration;
   if (record_timeline_) {
     timeline_.push_back(GpuInterval{start, end, kind});
+  }
+  if (const size_t k = static_cast<size_t>(kind); k < kind_metrics_.size()) {
+    kind_metrics_[k].tasks->Increment();
+    kind_metrics_[k].busy_ns->Increment(static_cast<uint64_t>(duration));
+    if (kind != GpuTaskKind::kCompute) {
+      kernel_us_->Observe(static_cast<double>(duration) / kMicrosecond);
+    }
   }
   sim_->ScheduleAt(end, std::move(done));
 }

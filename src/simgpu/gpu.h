@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/units.h"
 #include "src/sim/simulator.h"
 
@@ -55,7 +56,11 @@ class GpuDevice {
   static constexpr int kComputeStream = 0;
   static constexpr int kKernelStream = 1;
 
-  GpuDevice(Simulator* sim, int id, int num_streams = 2);
+  // `metrics` (optional) receives per-kind task counts, busy nanoseconds
+  // and kernel-duration histograms ("gpu.tasks.encode", "gpu.busy_ns.*",
+  // "gpu.kernel_us"), aggregated across every device wired to it.
+  GpuDevice(Simulator* sim, int id, int num_streams = 2,
+            MetricsRegistry* metrics = nullptr);
 
   // Runs a task of `duration` ns FIFO on `stream`; `done` fires at its finish
   // time.
@@ -80,12 +85,20 @@ class GpuDevice {
   double ComputeUtilization(SimTime window_start, SimTime window_end) const;
 
  private:
+  // Cached per-kind metric handles (index = GpuTaskKind); null w/o metrics.
+  struct KindMetrics {
+    Counter* tasks = nullptr;
+    Counter* busy_ns = nullptr;
+  };
+
   Simulator* sim_;
   int id_;
   std::vector<SimTime> stream_free_;
   std::vector<SimTime> stream_busy_;
   std::vector<GpuInterval> timeline_;
   bool record_timeline_ = false;
+  std::vector<KindMetrics> kind_metrics_;
+  Histogram* kernel_us_ = nullptr;  // non-compute kernel durations
 };
 
 }  // namespace hipress

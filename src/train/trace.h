@@ -1,15 +1,23 @@
-// Chrome trace export: dump a recorded GPU timeline as a
-// chrome://tracing / Perfetto JSON file, so a simulated run can be
-// inspected visually (compute blocks vs compression kernels — the picture
-// behind Figure 9).
+// Chrome trace / Perfetto export.
+//
+// Two levels:
+//   * TimelineToChromeTrace — one GPU timeline, one thread row per task
+//     kind (the original single-device view behind Figure 9).
+//   * UnifiedTraceToJson — the merged cluster trace: one Perfetto process
+//     track per node carrying its GPU kernel rows plus the
+//     network-transfer and coordinator-round spans recorded by a
+//     SpanCollector. This is the visual of the compute/compression/
+//     communication overlap the paper's pipelining argument rests on.
 #ifndef HIPRESS_SRC_TRAIN_TRACE_H_
 #define HIPRESS_SRC_TRAIN_TRACE_H_
 
 #include <string>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/simgpu/gpu.h"
+#include "src/train/trainer.h"
 
 namespace hipress {
 
@@ -22,6 +30,29 @@ std::string TimelineToChromeTrace(const std::vector<GpuInterval>& timeline,
 Status WriteChromeTrace(const std::string& path,
                         const std::vector<GpuInterval>& timeline,
                         SimTime origin = 0);
+
+// Input for the merged cluster trace. `node_timelines[i]` is node i's GPU
+// timeline (may be empty); `spans` adds the network/coordinator rows (may
+// be null). Events ending at or before `origin` are dropped.
+struct UnifiedTraceInput {
+  std::vector<std::vector<GpuInterval>> node_timelines;
+  const SpanCollector* spans = nullptr;
+  SimTime origin = 0;
+};
+
+// One JSON document: pid = node (named "node<i>"), tid = row within the
+// node (GPU task kinds on rows 0..4, net:uplink/net:downlink/coordinator
+// above them), with process/thread-name metadata so Perfetto labels the
+// tracks.
+std::string UnifiedTraceToJson(const UnifiedTraceInput& input);
+
+Status WriteUnifiedTrace(const std::string& path,
+                         const UnifiedTraceInput& input);
+
+// Convenience: exports a TrainReport produced with record_timeline set
+// (every node's GPU rows + the run's network/coordinator spans).
+Status WriteTrainReportTrace(const std::string& path,
+                             const TrainReport& report);
 
 }  // namespace hipress
 

@@ -167,26 +167,57 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
   }
 
   // ---------------------------------------------------------------------
-  // Build the simulated cluster.
+  // Build the simulated cluster. One metrics registry spans every layer;
+  // the span collector (trace rows beyond the GPU) only runs when the
+  // caller wants a timeline.
   // ---------------------------------------------------------------------
+  auto metrics = std::make_shared<MetricsRegistry>();
+  std::shared_ptr<SpanCollector> spans;
+  if (options.record_timeline) {
+    spans = std::make_shared<SpanCollector>();
+  }
   Simulator sim;
-  Network net(&sim, config.num_nodes, config.net);
+  Network net(&sim, config.num_nodes, config.net, metrics.get(), spans.get());
   std::vector<std::unique_ptr<GpuDevice>> gpu_storage;
   std::vector<GpuDevice*> gpus;
   for (int node = 0; node < config.num_nodes; ++node) {
-    gpu_storage.push_back(std::make_unique<GpuDevice>(&sim, node));
-    if (node == 0 && options.record_timeline) {
+    gpu_storage.push_back(
+        std::make_unique<GpuDevice>(&sim, node, 2, metrics.get()));
+    if (options.record_timeline) {
       gpu_storage.back()->set_record_timeline(true);
     }
     gpus.push_back(gpu_storage.back().get());
   }
-  CaSyncEngine engine(&sim, &net, gpus, config);
+  CaSyncEngine engine(&sim, &net, gpus, config, metrics.get(), spans.get());
 
   // Pre-build one task graph per unit; graphs are reusable templates but
   // dependency counters mutate during execution, so build per iteration.
   TrainReport report;
   report.compute_time = compute_time;
   report.total_gpus = config.num_nodes * config.gpus_per_node;
+  report.metrics = metrics;
+  report.spans = spans;
+  Histogram& iteration_ms = metrics->histogram(
+      "train.iteration_ms", HistogramBuckets::Exponential(1.0, 2.0, 16));
+  Histogram& sync_tail_ms = metrics->histogram(
+      "train.sync_tail_ms", HistogramBuckets::Exponential(0.125, 2.0, 16));
+  Counter& iterations_counter = metrics->counter("train.iterations");
+  auto finalize_observability = [&] {
+    metrics->gauge("train.throughput").Set(report.throughput);
+    metrics->gauge("train.scaling_efficiency")
+        .Set(report.scaling_efficiency);
+    metrics->gauge("train.iteration_ms_last")
+        .Set(ToMillis(report.iteration_time));
+    metrics->gauge("train.compute_ms").Set(ToMillis(report.compute_time));
+    if (options.record_timeline) {
+      for (const GpuDevice* gpu : gpus) {
+        report.node_timelines.push_back(gpu->timeline());
+      }
+      metrics->gauge("gpu.node0.compute_utilization")
+          .Set(gpus[0]->ComputeUtilization(report.timeline_origin,
+                                           sim.now()));
+    }
+  };
 
   // -----------------------------------------------------------------------
   // SSP path: iterations pipeline under the staleness bound. Iteration k's
@@ -314,7 +345,13 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
       report.scaling_efficiency = static_cast<double>(compute_time) /
                                   static_cast<double>(average);
     }
+    for (int k = 1; k < total_iterations; ++k) {
+      iterations_counter.Increment();
+      iteration_ms.Observe(
+          ToMillis(state.iteration_end[k] - state.iteration_end[k - 1]));
+    }
     report.engine_stats = engine.stats();
+    finalize_observability();
     return report;
   }
 
@@ -428,6 +465,10 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
     sim.Run();
     const SimTime end =
         std::max(iteration_end, iter_start + slowest_compute);
+    iterations_counter.Increment();
+    iteration_ms.Observe(ToMillis(end - iter_start));
+    sync_tail_ms.Observe(ToMillis(
+        std::max<SimTime>(0, end - (iter_start + compute_time))));
     if (measured) {
       measured_iter_time = end - iter_start;
       measured_uplink_busy = net.uplink_busy(0) - uplink_busy_before;
@@ -476,6 +517,7 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
   if (options.record_timeline) {
     report.timeline = gpus[0]->timeline();
   }
+  finalize_observability();
   return report;
 }
 

@@ -21,6 +21,7 @@
 #include "src/casync/config.h"
 #include "src/casync/engine.h"
 #include "src/casync/secopa.h"
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/models/model_profile.h"
 #include "src/simgpu/gpu.h"
@@ -29,7 +30,10 @@ namespace hipress {
 
 struct TrainOptions {
   int iterations = 2;           // the last iteration is the measured one
-  bool record_timeline = false;  // keep node-0 GPU intervals (Figure 9)
+  // Record every node's GPU intervals plus network/coordinator trace spans,
+  // enabling the merged Perfetto export (WriteTrainReportTrace); the
+  // node-0 timeline also feeds Figure 9.
+  bool record_timeline = false;
   // Per-gradient sync launch overhead (framework negotiation/dispatch).
   SimTime launch_overhead = FromMicros(50.0);
   // Straggler injection: node `straggler_node` computes
@@ -64,6 +68,14 @@ struct TrainReport {
   EngineStats engine_stats;
   std::vector<GpuInterval> timeline;  // node-0 device (if recorded)
   SimTime timeline_origin = 0;        // measured iteration's start time
+  // Full run observability. `metrics` is always populated: the engine,
+  // network, coordinator and GPU counters plus the trainer's per-iteration
+  // histograms ("train.iteration_ms", ...), whole-run totals (not deltas).
+  // `spans` and `node_timelines` are populated when record_timeline is set
+  // and feed the merged Perfetto trace (one track per node).
+  std::shared_ptr<MetricsRegistry> metrics;
+  std::shared_ptr<SpanCollector> spans;
+  std::vector<std::vector<GpuInterval>> node_timelines;
 };
 
 // Runs the simulation; deterministic for fixed inputs.

@@ -248,6 +248,37 @@ TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(ThreadPoolTest, ParallelForZeroGrainActsAsGrainOne) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(64, 0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ++hits[i];
+    }
+  });
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroTotalNeverCallsEvenWithZeroGrain) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, 0, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForGrainLargerThanTotalRunsSingleShard) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(10, 100, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
 TEST(ThreadPoolTest, AtLeastOneThread) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), 1u);

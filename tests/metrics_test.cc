@@ -1,0 +1,378 @@
+#include "src/common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+namespace hipress {
+namespace {
+
+// ------------------------------------------------- mini JSON parser
+// Just enough of a recursive-descent JSON parser to round-trip what
+// MetricsRegistry::ToJson emits: objects, arrays, numbers, strings.
+struct JsonValue;
+using JsonObject = std::map<std::string, std::shared_ptr<JsonValue>>;
+using JsonArray = std::vector<std::shared_ptr<JsonValue>>;
+
+struct JsonValue {
+  std::variant<double, std::string, JsonObject, JsonArray> value;
+
+  double number() const { return std::get<double>(value); }
+  const JsonObject& object() const { return std::get<JsonObject>(value); }
+  const JsonArray& array() const { return std::get<JsonArray>(value); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::shared_ptr<JsonValue> Parse() {
+    auto value = ParseValue();
+    SkipSpace();
+    EXPECT_EQ(pos_, text_.size()) << "trailing garbage";
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipSpace();
+    EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void Expect(char c) {
+    EXPECT_EQ(Peek(), c) << "at offset " << pos_;
+    ++pos_;
+  }
+
+  std::shared_ptr<JsonValue> ParseValue() {
+    const char c = Peek();
+    auto value = std::make_shared<JsonValue>();
+    if (c == '{') {
+      value->value = ParseObject();
+    } else if (c == '[') {
+      value->value = ParseArray();
+    } else if (c == '"') {
+      value->value = ParseString();
+    } else {
+      value->value = ParseNumber();
+    }
+    return value;
+  }
+
+  JsonObject ParseObject() {
+    JsonObject object;
+    Expect('{');
+    if (Peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    for (;;) {
+      const std::string key = ParseString();
+      Expect(':');
+      object[key] = ParseValue();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return object;
+    }
+  }
+
+  JsonArray ParseArray() {
+    JsonArray array;
+    Expect('[');
+    if (Peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    for (;;) {
+      array.push_back(ParseValue());
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return array;
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char escape = text_[pos_++];
+        switch (escape) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u': {
+            // Only \u00XX (control chars) are emitted by the serializer.
+            EXPECT_LE(pos_ + 4, text_.size());
+            c = static_cast<char>(
+                std::stoi(text_.substr(pos_ + 2, 2), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: c = escape;
+        }
+      }
+      out.push_back(c);
+    }
+    Expect('"');
+    return out;
+  }
+
+  double ParseNumber() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    EXPECT_GT(pos_, start) << "expected a number";
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ----------------------------------------------------------- counters etc.
+
+TEST(MetricsTest, CounterIncrements) {
+  MetricsRegistry registry;
+  registry.counter("x").Increment();
+  registry.counter("x").Increment(41);
+  EXPECT_EQ(registry.counter_value("x"), 42u);
+  EXPECT_EQ(registry.counter_value("missing"), 0u);
+}
+
+TEST(MetricsTest, GaugeLastWriteWins) {
+  MetricsRegistry registry;
+  registry.gauge("g").Set(1.5);
+  registry.gauge("g").Set(-2.25);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("g"), -2.25);
+}
+
+TEST(MetricsTest, RegistrationReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("stable");
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("filler" + std::to_string(i));
+  }
+  counter.Increment(7);
+  EXPECT_EQ(registry.counter_value("stable"), 7u);
+}
+
+TEST(MetricsTest, HistogramBucketsAndStats) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("h", {1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // bucket 0 (le 1)
+  histogram.Observe(1.0);    // bucket 0 (inclusive bound)
+  histogram.Observe(50.0);   // bucket 2
+  histogram.Observe(1e6);    // overflow
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.max(), 1e6);
+  const std::vector<uint64_t> counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);  // overflow
+}
+
+TEST(MetricsTest, HistogramFirstRegistrationFixesBounds) {
+  MetricsRegistry registry;
+  registry.histogram("h", {1.0, 2.0});
+  Histogram& again = registry.histogram("h", {99.0});
+  EXPECT_EQ(again.bounds().size(), 2u);
+}
+
+TEST(MetricsTest, BucketHelpers) {
+  const auto exponential = HistogramBuckets::Exponential(1.0, 2.0, 4);
+  EXPECT_EQ(exponential, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  const auto linear = HistogramBuckets::Linear(0.0, 5.0, 3);
+  EXPECT_EQ(linear, (std::vector<double>{0.0, 5.0, 10.0}));
+  EXPECT_EQ(HistogramBuckets::DefaultTime().size(), 20u);
+  EXPECT_EQ(HistogramBuckets::DefaultBytes().size(), 22u);
+}
+
+TEST(MetricsTest, ConcurrentIncrementsDontLoseCounts) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("c");
+  Histogram& histogram = registry.histogram("h");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        counter.Increment();
+        histogram.Observe(static_cast<double>(i % 100));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter.value(), 40000u);
+  EXPECT_EQ(histogram.count(), 40000u);
+}
+
+// -------------------------------------------------------- JSON round-trip
+
+TEST(MetricsTest, JsonRoundTripThroughParser) {
+  MetricsRegistry registry;
+  registry.counter("engine.send_tasks").Increment(12);
+  registry.counter("zeta").Increment(0);
+  registry.gauge("train.throughput").Set(1234.5);
+  registry.gauge("negative").Set(-0.125);
+  Histogram& histogram = registry.histogram("lat_us", {1.0, 10.0});
+  histogram.Observe(0.5);
+  histogram.Observe(5.0);
+  histogram.Observe(99.0);
+
+  const std::string json = registry.ToJson();
+  auto root = JsonParser(json).Parse();
+  const JsonObject& top = root->object();
+  ASSERT_EQ(top.count("counters"), 1u);
+  ASSERT_EQ(top.count("gauges"), 1u);
+  ASSERT_EQ(top.count("histograms"), 1u);
+
+  const JsonObject& counters = top.at("counters")->object();
+  EXPECT_EQ(counters.size(), 2u);
+  EXPECT_DOUBLE_EQ(counters.at("engine.send_tasks")->number(), 12.0);
+  EXPECT_DOUBLE_EQ(counters.at("zeta")->number(), 0.0);
+
+  const JsonObject& gauges = top.at("gauges")->object();
+  EXPECT_DOUBLE_EQ(gauges.at("train.throughput")->number(), 1234.5);
+  EXPECT_DOUBLE_EQ(gauges.at("negative")->number(), -0.125);
+
+  const JsonObject& hist = top.at("histograms")->object().at("lat_us")
+                               ->object();
+  EXPECT_DOUBLE_EQ(hist.at("count")->number(), 3.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum")->number(), 104.5);
+  EXPECT_DOUBLE_EQ(hist.at("min")->number(), 0.5);
+  EXPECT_DOUBLE_EQ(hist.at("max")->number(), 99.0);
+  EXPECT_DOUBLE_EQ(hist.at("overflow")->number(), 1.0);
+  const JsonArray& buckets = hist.at("buckets")->array();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0]->object().at("le")->number(), 1.0);
+  EXPECT_DOUBLE_EQ(buckets[0]->object().at("count")->number(), 1.0);
+  EXPECT_DOUBLE_EQ(buckets[1]->object().at("le")->number(), 10.0);
+  EXPECT_DOUBLE_EQ(buckets[1]->object().at("count")->number(), 1.0);
+}
+
+TEST(MetricsTest, JsonEscapesMetricNames) {
+  MetricsRegistry registry;
+  registry.counter("weird \"name\"\nwith\tescapes\\").Increment(3);
+  const std::string json = registry.ToJson();
+  auto root = JsonParser(json).Parse();
+  const JsonObject& counters = root->object().at("counters")->object();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_DOUBLE_EQ(counters.at("weird \"name\"\nwith\tescapes\\")->number(),
+                   3.0);
+}
+
+TEST(MetricsTest, JsonClampsNonFiniteGauges) {
+  MetricsRegistry registry;
+  registry.gauge("inf").Set(std::numeric_limits<double>::infinity());
+  registry.gauge("nan").Set(std::nan(""));
+  auto root = JsonParser(registry.ToJson()).Parse();
+  const JsonObject& gauges = root->object().at("gauges")->object();
+  EXPECT_DOUBLE_EQ(gauges.at("inf")->number(), 0.0);
+  EXPECT_DOUBLE_EQ(gauges.at("nan")->number(), 0.0);
+}
+
+TEST(MetricsTest, WriteJsonRoundTripsThroughFile) {
+  MetricsRegistry registry;
+  registry.counter("written").Increment(5);
+  const std::string path =
+      testing::TempDir() + "/metrics_test_write.json";
+  ASSERT_TRUE(registry.WriteJson(path).ok());
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string contents;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+  auto root = JsonParser(contents).Parse();
+  EXPECT_DOUBLE_EQ(
+      root->object().at("counters")->object().at("written")->number(), 5.0);
+}
+
+TEST(MetricsTest, WriteJsonRejectsBadPath) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(registry.WriteJson("/nonexistent-dir/x/y.json").ok());
+}
+
+TEST(MetricsTest, DefaultRegistryIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+// ----------------------------------------------------------------- spans
+
+TEST(SpanCollectorTest, RecordsInInsertionOrder) {
+  SpanCollector collector;
+  collector.Add(0, kTraceLaneNetUplink, "tx a", 10, 20);
+  collector.Add(3, kTraceLaneCoordinator, "round", 5, 40);
+  ASSERT_EQ(collector.size(), 2u);
+  const std::vector<TraceSpan> spans = collector.spans();
+  EXPECT_EQ(spans[0].node, 0);
+  EXPECT_EQ(spans[0].lane, kTraceLaneNetUplink);
+  EXPECT_EQ(spans[0].name, "tx a");
+  EXPECT_EQ(spans[0].start, 10);
+  EXPECT_EQ(spans[0].end, 20);
+  EXPECT_EQ(spans[1].node, 3);
+  EXPECT_EQ(spans[1].lane, kTraceLaneCoordinator);
+}
+
+TEST(SpanCollectorTest, ConcurrentAddsAreSafe) {
+  SpanCollector collector;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&collector, t] {
+      for (int i = 0; i < 1000; ++i) {
+        collector.Add(t, 0, "s", i, i + 1);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(collector.size(), 4000u);
+}
+
+TEST(SpanCollectorTest, LaneNames) {
+  EXPECT_STREQ(TraceLaneName(kTraceLaneNetUplink), "net:uplink");
+  EXPECT_STREQ(TraceLaneName(kTraceLaneNetDownlink), "net:downlink");
+  EXPECT_STREQ(TraceLaneName(kTraceLaneCoordinator), "coordinator");
+}
+
+}  // namespace
+}  // namespace hipress

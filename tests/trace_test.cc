@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/common/string_util.h"
+#include "src/hipress/hipress.h"
 #include "src/train/trace.h"
 
 namespace hipress {
@@ -57,6 +59,121 @@ TEST(TraceTest, WritesFile) {
 TEST(TraceTest, RejectsUnwritablePath) {
   EXPECT_FALSE(
       WriteChromeTrace("/nonexistent-dir/x.json", SampleTimeline()).ok());
+}
+
+// ------------------------------------------------------------ unified trace
+
+TEST(UnifiedTraceTest, MergesGpuRowsAndSpansPerNode) {
+  UnifiedTraceInput input;
+  input.node_timelines.push_back(SampleTimeline());  // node 0
+  input.node_timelines.push_back({
+      GpuInterval{0, FromMillis(5), GpuTaskKind::kCompute},
+  });  // node 1
+  SpanCollector spans;
+  spans.Add(0, kTraceLaneNetUplink, "tx 1MB 0->1", FromMillis(1),
+            FromMillis(2));
+  spans.Add(1, kTraceLaneNetDownlink, "rx 1MB 0->1", FromMillis(2),
+            FromMillis(3));
+  spans.Add(0, kTraceLaneCoordinator, "round 0->1 (3, 96KB)", FromMillis(1),
+            FromMillis(4));
+  input.spans = &spans;
+
+  const std::string json = UnifiedTraceToJson(input);
+  // Process tracks, one per node.
+  EXPECT_NE(json.find("\"args\":{\"name\":\"node0\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"node1\"}"), std::string::npos);
+  // Thread rows: GPU kinds resolve against GpuTaskKindName, net and
+  // coordinator lanes against TraceLaneName.
+  EXPECT_NE(json.find("\"args\":{\"name\":\"gpu:compute\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"net:uplink\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"net:downlink\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"coordinator\"}"),
+            std::string::npos);
+  // The span events themselves, pinned to the right pid/tid.
+  EXPECT_NE(json.find("\"name\":\"tx 1MB 0->1\""), std::string::npos);
+  EXPECT_NE(json.find(StrFormat("\"pid\":1,\"tid\":%d",
+                                kTraceLaneNetDownlink)),
+            std::string::npos);
+}
+
+TEST(UnifiedTraceTest, SpansOnlyInputStillProducesTracks) {
+  UnifiedTraceInput input;
+  SpanCollector spans;
+  spans.Add(2, kTraceLaneCoordinator, "round 2->0 (1, 4KB)", 0, FromMillis(1));
+  input.spans = &spans;
+  const std::string json = UnifiedTraceToJson(input);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"node2\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"round 2->0 (1, 4KB)\""), std::string::npos);
+}
+
+TEST(UnifiedTraceTest, OriginDropsFinishedEventsAndTheirTracks) {
+  UnifiedTraceInput input;
+  input.node_timelines.push_back({
+      GpuInterval{0, FromMillis(1), GpuTaskKind::kEncode},
+  });
+  SpanCollector spans;
+  spans.Add(5, kTraceLaneNetUplink, "tx old", 0, FromMillis(2));
+  input.spans = &spans;
+  input.origin = FromMillis(3);
+  const std::string json = UnifiedTraceToJson(input);
+  EXPECT_EQ(json.find("node0"), std::string::npos);
+  EXPECT_EQ(json.find("node5"), std::string::npos);
+  EXPECT_EQ(json.find("tx old"), std::string::npos);
+}
+
+TEST(UnifiedTraceTest, WriteTrainReportTraceRequiresRecording) {
+  TrainReport report;
+  EXPECT_EQ(
+      WriteTrainReportTrace("/tmp/hipress_unified_unused.json", report).code(),
+      StatusCode::kFailedPrecondition);
+}
+
+// The acceptance path: one simulated training run exports a single
+// Perfetto JSON whose tracks carry GPU kernel rows alongside the
+// network-transfer and coordinator-round rows.
+TEST(UnifiedTraceTest, TrainerRunExportsMergedClusterTrace) {
+  HiPressOptions options;
+  options.model = "vgg19";
+  options.system = "hipress-ps";
+  options.algorithm = "onebit";
+  options.cluster = ClusterSpec::Local(4);
+  options.train.record_timeline = true;
+  auto result = RunTrainingSimulation(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const TrainReport& report = result->report;
+  ASSERT_EQ(report.node_timelines.size(), 4u);
+  ASSERT_NE(report.spans, nullptr);
+  EXPECT_GT(report.spans->size(), 0u);
+
+  const std::string json = UnifiedTraceToJson(UnifiedTraceInput{
+      report.node_timelines, report.spans.get(), report.timeline_origin});
+  EXPECT_NE(json.find("\"args\":{\"name\":\"node0\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"node3\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"gpu:encode\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"net:uplink\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"coordinator\"}"),
+            std::string::npos);
+
+  const std::string path = "/tmp/hipress_cluster_trace_test.json";
+  ASSERT_TRUE(WriteTrainReportTrace(path, report).ok());
+  std::remove(path.c_str());
+}
+
+TEST(UnifiedTraceTest, WriteTrainReportTraceFallsBackToLegacyTimeline) {
+  TrainReport report;
+  report.timeline = SampleTimeline();  // node_timelines left empty
+  const std::string path = "/tmp/hipress_unified_trace_test.json";
+  ASSERT_TRUE(WriteTrainReportTrace(path, report).ok());
+  std::ifstream file(path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_NE(buffer.str().find("\"name\":\"compute\""), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

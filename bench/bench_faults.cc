@@ -1,0 +1,129 @@
+// bench_faults — synchronization under an unhealthy network
+// (docs/FAULT_TOLERANCE.md).
+//
+// Two panels:
+//  1. loss sweep: iteration time / throughput / retransmit volume as the
+//     per-message drop probability rises, compressed vs. uncompressed —
+//     compression shrinks retransmit cost along with wire volume;
+//  2. node crash: a scheduled mid-run failure, reporting detection +
+//     recovery latency and the degraded-survivor throughput.
+//
+// Dumps BENCH_faults.json next to the human-readable text.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/string_util.h"
+#include "src/net/fault.h"
+
+using namespace hipress;
+using namespace hipress::bench;
+
+namespace {
+
+TrainReport RunWithFaults(const std::string& model, const std::string& system,
+                          const ClusterSpec& base, const std::string& spec) {
+  HiPressOptions options;
+  options.model = model;
+  options.system = system;
+  options.cluster = base;
+  if (!spec.empty()) {
+    auto faults = ParseFaultSpec(spec);
+    if (!faults.ok()) {
+      std::fprintf(stderr, "bad fault spec %s: %s\n", spec.c_str(),
+                   faults.status().ToString().c_str());
+      std::abort();
+    }
+    options.cluster.net.faults = *faults;
+  }
+  auto result = RunTrainingSimulation(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench run failed (%s/%s, faults %s): %s\n",
+                 model.c_str(), system.c_str(), spec.c_str(),
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return result->report;
+}
+
+void RecordFaultCounters(BenchReporter& reporter, const std::string& prefix,
+                         const TrainReport& report) {
+  reporter.registry()
+      .counter(prefix + ".drops")
+      .Increment(report.metrics->counter("net.drops").value());
+  reporter.registry()
+      .counter(prefix + ".retries")
+      .Increment(report.metrics->counter("net.retries").value());
+  reporter.registry()
+      .gauge(prefix + ".retransmit_mb")
+      .Set(ToMiB(report.metrics->counter("net.retransmit_bytes").value()));
+}
+
+}  // namespace
+
+int main() {
+  const ClusterSpec cluster = ClusterSpec::Ec2(8);
+  const std::string model = "vgg19";
+  BenchReporter reporter("faults");
+
+  Header("loss sweep: vgg19, 8 nodes, compressed (hipress-ps) vs raw "
+         "(byteps-oss)");
+  std::printf("%-12s %8s %12s %10s %10s %14s\n", "system", "drop", "iter ms",
+              "drops", "retries", "retransmit");
+  for (const char* system : {"hipress-ps", "byteps-oss"}) {
+    for (const double drop : {0.0, 0.001, 0.01, 0.05}) {
+      const std::string spec =
+          drop > 0.0 ? StrFormat("drop=%g,seed=13", drop) : std::string();
+      const TrainReport report = RunWithFaults(model, system, cluster, spec);
+      const std::string prefix =
+          StrFormat("loss.%s.%g", system, drop);
+      reporter.Record(prefix, report);
+      RecordFaultCounters(reporter, prefix, report);
+      std::printf("%-12s %8g %12.2f %10llu %10llu %14s\n", system, drop,
+                  ToMillis(report.iteration_time),
+                  static_cast<unsigned long long>(
+                      report.metrics->counter("net.drops").value()),
+                  static_cast<unsigned long long>(
+                      report.metrics->counter("net.retries").value()),
+                  HumanBytes(
+                      report.metrics->counter("net.retransmit_bytes").value())
+                      .c_str());
+    }
+  }
+
+  Header("node crash: vgg19, 8 nodes, hipress-ps, node 5 dies 50 ms in");
+  {
+    const TrainReport clean = RunWithFaults(model, "hipress-ps", cluster, "");
+    const TrainReport crashed =
+        RunWithFaults(model, "hipress-ps", cluster, "crash=5@50");
+    reporter.Record("crash.clean", clean);
+    reporter.Record("crash.degraded", crashed);
+    RecordFaultCounters(reporter, "crash.degraded", crashed);
+    reporter.registry()
+        .counter("crash.degraded.recoveries")
+        .Increment(crashed.recoveries);
+    reporter.registry()
+        .gauge("crash.degraded.recovery_ms")
+        .Set(ToMillis(crashed.recovery_time));
+    reporter.registry()
+        .gauge("crash.degraded.surviving_nodes")
+        .Set(crashed.surviving_nodes);
+    std::printf("clean:    %10.0f samples/s  iter %7.2f ms  (%d nodes)\n",
+                clean.throughput, ToMillis(clean.iteration_time),
+                cluster.num_nodes);
+    std::printf("degraded: %10.0f samples/s  iter %7.2f ms  "
+                "(%d survivors, %llu recoveries, %.2f ms recovering)\n",
+                crashed.throughput, ToMillis(crashed.iteration_time),
+                crashed.surviving_nodes,
+                static_cast<unsigned long long>(crashed.recoveries),
+                ToMillis(crashed.recovery_time));
+    if (!crashed.degraded || crashed.recoveries == 0) {
+      std::fprintf(stderr, "crash scenario did not degrade the run\n");
+      return 1;
+    }
+  }
+
+  reporter.Write();
+  return 0;
+}

@@ -4,8 +4,13 @@
 //   train_cluster [--model vgg19] [--system hipress-ps] [--algorithm onebit]
 //                 [--nodes 16] [--cluster ec2|local] [--gbps <bandwidth>]
 //                 [--bitwidth N] [--ratio R] [--no-rdma] [--compare]
+//                 [--faults SPEC]
 //
 // --compare runs all systems side by side (a miniature Figure 7/8 panel).
+// --faults injects network faults (docs/FAULT_TOLERANCE.md), e.g.
+//   --faults "drop=0.01,seed=7"              1% message loss
+//   --faults "crash=3@40"                    node 3 dies 40 ms in
+//   --faults "degrade=0-1@10-20@0.25"        link 0->1 at 25% bw for 10 ms
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,6 +19,7 @@
 #include "bench/bench_util.h"
 #include "src/common/string_util.h"
 #include "src/casync/workflow.h"
+#include "src/net/fault.h"
 #include "src/train/trace.h"
 
 using namespace hipress;
@@ -32,6 +38,7 @@ struct Args {
   bool no_rdma = false;
   bool compare = false;
   std::string trace_path;  // --trace out.json: chrome://tracing dump
+  std::string faults;      // --faults "drop=0.01,crash=3@40,..."
 };
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -62,6 +69,8 @@ bool Parse(int argc, char** argv, Args* args) {
       args->compare = true;
     } else if (flag == "--trace") {
       args->trace_path = next();
+    } else if (flag == "--faults") {
+      args->faults = next();
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -93,6 +102,15 @@ int main(int argc, char** argv) {
                             : ClusterSpec::Ec2(args.nodes);
   if (args.gbps > 0) {
     cluster.net.link_bandwidth = Bandwidth::Gbps(args.gbps);
+  }
+  if (!args.faults.empty()) {
+    auto faults = ParseFaultSpec(args.faults);
+    if (!faults.ok()) {
+      std::fprintf(stderr, "--faults: %s\n",
+                   faults.status().ToString().c_str());
+      return 2;
+    }
+    cluster.net.faults = *faults;
   }
   CompressorParams params;
   params.bitwidth = args.bitwidth;
@@ -139,6 +157,28 @@ int main(int argc, char** argv) {
       std::exit(1);
     }
     PrintReport(system, result->report, *profile);
+    const TrainReport& report = result->report;
+    if (!args.faults.empty()) {
+      std::printf(
+          "  faults: %llu drops, %llu retries, %s retransmitted, "
+          "%llu recoveries (%.2f ms)\n",
+          static_cast<unsigned long long>(
+              report.metrics->counter("net.drops").value()),
+          static_cast<unsigned long long>(
+              report.metrics->counter("net.retries").value()),
+          HumanBytes(report.metrics->counter("net.retransmit_bytes").value())
+              .c_str(),
+          static_cast<unsigned long long>(report.recoveries),
+          ToMillis(report.recovery_time));
+      if (report.degraded) {
+        std::string failed;
+        for (const int node : report.failed_nodes) {
+          failed += (failed.empty() ? "" : ",") + std::to_string(node);
+        }
+        std::printf("  degraded: node(s) %s failed, %d/%d surviving\n",
+                    failed.c_str(), report.surviving_nodes, args.nodes);
+      }
+    }
     if (!args.trace_path.empty() && !args.compare) {
       // Merged cluster trace: per-node GPU kernel rows plus the
       // network-transfer and coordinator-round spans.

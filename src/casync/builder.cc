@@ -44,6 +44,29 @@ void AppendSyncTasks(const SyncConfig& config, const GradientSync& gradient,
   }
 }
 
+void AppendSyncTasksOver(const SyncConfig& config, const GradientSync& gradient,
+                         const std::vector<int>& nodes, TaskGraph* graph) {
+  CHECK_GT(nodes.size(), 0u);
+  SyncConfig degraded = config;
+  degraded.num_nodes = static_cast<int>(nodes.size());
+  GradientSync clamped = gradient;
+  clamped.partitions = std::min(std::max(1, gradient.partitions),
+                                degraded.num_nodes);
+  const size_t first = graph->size();
+  AppendSyncTasks(degraded, clamped, graph);
+  // The builders emitted logical ids in [0, nodes.size()); map them onto the
+  // surviving physical nodes.
+  for (size_t id = first; id < graph->size(); ++id) {
+    SyncTask& task = graph->task(static_cast<TaskId>(id));
+    if (task.node >= 0) {
+      task.node = nodes[task.node];
+    }
+    if (task.peer >= 0) {
+      task.peer = nodes[task.peer];
+    }
+  }
+}
+
 void AppendPsSyncTasks(const SyncConfig& config, const GradientSync& gradient,
                        TaskGraph* graph) {
   const int n = config.num_nodes;

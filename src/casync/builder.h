@@ -20,6 +20,7 @@
 #define HIPRESS_SRC_CASYNC_BUILDER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/casync/config.h"
 #include "src/casync/task.h"
@@ -44,6 +45,14 @@ inline constexpr uint64_t kMinWireBytes = 16;
 // gradient is ready.
 void AppendSyncTasks(const SyncConfig& config, const GradientSync& gradient,
                      TaskGraph* graph);
+
+// Degraded-mode variant: builds the same strategy topology over only the
+// physical nodes listed in `nodes` (the survivors after a node failure),
+// in order. The builder runs with num_nodes = nodes.size() and the logical
+// node/peer ids are then remapped through `nodes`, so any strategy composes
+// with any survivor set. Partition counts are clamped to the survivor count.
+void AppendSyncTasksOver(const SyncConfig& config, const GradientSync& gradient,
+                         const std::vector<int>& nodes, TaskGraph* graph);
 
 void AppendPsSyncTasks(const SyncConfig& config, const GradientSync& gradient,
                        TaskGraph* graph);

@@ -12,6 +12,7 @@
 #include "src/compress/compressor.h"
 #include "src/compress/speed_profile.h"
 #include "src/net/network.h"
+#include "src/net/reliable_channel.h"
 
 namespace hipress {
 
@@ -71,6 +72,14 @@ struct SyncConfig {
   // --- bulk coordinator tuning -------------------------------------------
   uint64_t bulk_size_threshold = 8 * kMiB;
   SimTime bulk_timeout = FromMicros(150.0);
+
+  // --- fault tolerance ----------------------------------------------------
+  // Route sync-path transfers through the ack/retry/backoff ReliableChannel
+  // (docs/FAULT_TOLERANCE.md). Engaged automatically whenever fault
+  // injection is configured (net.faults); set it explicitly to pay the ack
+  // overhead even on a perfect network.
+  bool reliable_transport = false;
+  ReliableTransportConfig reliable;
 
   // --- platform -----------------------------------------------------------
   GpuPlatform platform = GpuPlatform::kV100;

@@ -6,11 +6,22 @@ namespace hipress {
 
 void BulkCoordinator::Enqueue(int src, int dst, uint64_t bytes,
                               std::function<void()> on_delivered) {
+  EnqueueWithStatus(src, dst, bytes,
+                    [on_delivered = std::move(on_delivered)](const Status&) {
+                      if (on_delivered) {
+                        on_delivered();
+                      }
+                    });
+}
+
+void BulkCoordinator::EnqueueWithStatus(
+    int src, int dst, uint64_t bytes,
+    std::function<void(const Status&)> on_complete) {
   LinkQueue& queue = links_[{src, dst}];
   if (queue.pending.empty()) {
     queue.first_enqueued_at = sim_->now();
   }
-  queue.pending.push_back(Pending{bytes, std::move(on_delivered), sim_->now()});
+  queue.pending.push_back(Pending{bytes, std::move(on_complete), sim_->now()});
   queue.queued_bytes += bytes;
 
   if (queue.queued_bytes >= size_threshold_) {
@@ -70,10 +81,21 @@ void BulkCoordinator::Flush(int src, int dst) {
   message.src = src;
   message.dst = dst;
   message.bytes = batch_bytes;
+  if (channel_ != nullptr) {
+    // Reliable path: the whole batch shares one transfer's fate — delivered
+    // (possibly after retries) or failed with the channel's peer status.
+    channel_->Send(std::move(message),
+                   [batch = std::move(batch)](const Status& status) mutable {
+                     for (Pending& pending : batch) {
+                       pending.on_complete(status);
+                     }
+                   });
+    return;
+  }
   net_->Send(std::move(message),
              [batch = std::move(batch)](const NetMessage&) mutable {
                for (Pending& pending : batch) {
-                 pending.on_delivered();
+                 pending.on_complete(OkStatus());
                }
              });
 }

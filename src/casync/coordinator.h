@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "src/common/metrics.h"
+#include "src/common/status.h"
 #include "src/net/network.h"
+#include "src/net/reliable_channel.h"
 #include "src/sim/simulator.h"
 
 namespace hipress {
@@ -49,10 +51,22 @@ class BulkCoordinator {
     }
   }
 
+  // Routes flushed batches through `channel` (reliable transport) instead
+  // of the raw network; batch completions then carry the channel's Status,
+  // including peer-failure reports. Must outlive the coordinator.
+  void set_channel(ReliableChannel* channel) { channel_ = channel; }
+
   // Submits one transfer's metadata; `on_delivered` fires when the batch
-  // containing it arrives at `dst`.
+  // containing it arrives at `dst`. Raw-network path only — the batch is
+  // assumed delivered.
   void Enqueue(int src, int dst, uint64_t bytes,
                std::function<void()> on_delivered);
+
+  // Status-aware variant: `on_complete` fires with OkStatus() on delivery,
+  // or with the reliable channel's error (UNAVAILABLE peer) when the batch
+  // could not be delivered.
+  void EnqueueWithStatus(int src, int dst, uint64_t bytes,
+                         std::function<void(const Status&)> on_complete);
 
   uint64_t batches_sent() const { return batches_sent_; }
   uint64_t transfers_batched() const { return transfers_batched_; }
@@ -60,7 +74,7 @@ class BulkCoordinator {
  private:
   struct Pending {
     uint64_t bytes;
-    std::function<void()> on_delivered;
+    std::function<void(const Status&)> on_complete;
     SimTime enqueued_at = 0;
   };
   struct LinkQueue {
@@ -74,6 +88,7 @@ class BulkCoordinator {
 
   Simulator* sim_;
   Network* net_;
+  ReliableChannel* channel_ = nullptr;
   uint64_t size_threshold_;
   SimTime timeout_;
   SpanCollector* spans_ = nullptr;

@@ -1,5 +1,7 @@
 #include "src/casync/engine.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
 
@@ -50,6 +52,16 @@ CaSyncEngine::CaSyncEngine(Simulator* sim, Network* net,
         sim_, net_, config_.bulk_size_threshold, config_.bulk_timeout,
         metrics_, spans);
   }
+  node_failed_.assign(gpus_.size(), false);
+  graphs_cancelled_ = &metrics_->counter("engine.graphs_cancelled");
+  if (config_.reliable_transport || config_.net.faults.any()) {
+    reliable_ = std::make_unique<ReliableChannel>(sim_, net_, config_.reliable,
+                                                  metrics_, spans);
+    reliable_->set_on_peer_failure([this](int peer) { OnPeerFailure(peer); });
+    if (coordinator_ != nullptr) {
+      coordinator_->set_channel(reliable_.get());
+    }
+  }
   serial_.reserve(gpus_.size());
   for (size_t node = 0; node < gpus_.size(); ++node) {
     serial_.push_back(std::make_unique<SimResource>(
@@ -75,16 +87,47 @@ EngineStats CaSyncEngine::stats() const {
 }
 
 void CaSyncEngine::Execute(TaskGraph* graph, std::function<void()> on_done) {
+  Execute(graph, [on_done = std::move(on_done)](const Status&) {
+    if (on_done) {
+      on_done();
+    }
+  });
+}
+
+void CaSyncEngine::Execute(TaskGraph* graph,
+                           std::function<void(const Status&)> on_done) {
   auto running = std::make_shared<RunningGraph>();
   running->graph = graph;
   running->remaining = graph->size();
   running->on_done = std::move(on_done);
   if (running->remaining == 0) {
+    running->done_fired = true;
     if (running->on_done) {
-      running->on_done();
+      running->on_done(OkStatus());
     }
     return;
   }
+  // A graph that talks to an already-failed node can never complete; fail
+  // it up front so the caller rebuilds over the survivors immediately.
+  if (!failed_nodes_.empty()) {
+    for (TaskId id = 0; id < graph->size(); ++id) {
+      const SyncTask& task = graph->task(id);
+      const bool dead_node = task.node >= 0 && node_failed_[task.node];
+      const bool dead_peer = task.peer >= 0 && node_failed_[task.peer];
+      if (dead_node || dead_peer) {
+        Fail(running, UnavailableError(StrFormat(
+                          "graph involves failed node %d",
+                          dead_node ? task.node : task.peer)));
+        return;
+      }
+    }
+  }
+  active_.erase(std::remove_if(active_.begin(), active_.end(),
+                               [](const std::weak_ptr<RunningGraph>& entry) {
+                                 return entry.expired();
+                               }),
+                active_.end());
+  active_.push_back(running);
   // Snapshot the roots before dispatching: barriers complete synchronously
   // and may drop another task's dependency count to zero mid-scan, which
   // dispatches it from Complete(); re-dispatching it here would run it
@@ -114,6 +157,9 @@ SimTime CaSyncEngine::ComputeDuration(const SyncTask& task) const {
 }
 
 void CaSyncEngine::Dispatch(const GraphHandle& running, TaskId id) {
+  if (running->done_fired) {
+    return;  // cancelled graph: nothing new leaves the task manager
+  }
   SyncTask& task = running->graph->task(id);
   switch (task.type) {
     case PrimitiveType::kEncode:
@@ -157,12 +203,31 @@ void CaSyncEngine::Dispatch(const GraphHandle& running, TaskId id) {
       wire_bytes_->Increment(task.bytes);
       send_bytes_->Observe(static_cast<double>(task.bytes));
       const SimTime copy_overhead = config_.extra_copy_overhead;
-      auto deliver = [this, running, id] { Complete(running, id); };
-      auto start_send = [this, running, id, deliver] {
+      auto deliver = [this, running, id](const Status& status) {
+        if (!status.ok()) {
+          Fail(running, status);
+          return;
+        }
+        Complete(running, id);
+      };
+      // Raw network or reliable transport, depending on configuration.
+      auto transmit = [this, deliver](NetMessage message) {
+        if (reliable_ != nullptr) {
+          reliable_->Send(std::move(message), deliver);
+          return;
+        }
+        net_->Send(std::move(message),
+                   [deliver](const NetMessage&) { deliver(OkStatus()); });
+      };
+      auto start_send = [this, running, id, deliver, transmit] {
+        if (running->done_fired) {
+          return;
+        }
         SyncTask& send = running->graph->task(id);
         if (config_.pipelining) {
           if (coordinator_ != nullptr) {
-            coordinator_->Enqueue(send.node, send.peer, send.bytes, deliver);
+            coordinator_->EnqueueWithStatus(send.node, send.peer, send.bytes,
+                                            deliver);
             return;
           }
           NetMessage message;
@@ -170,8 +235,7 @@ void CaSyncEngine::Dispatch(const GraphHandle& running, TaskId id) {
           message.dst = send.peer;
           message.bytes = send.bytes;
           message.tag = send.gradient_id;
-          net_->Send(std::move(message),
-                     [deliver](const NetMessage&) { deliver(); });
+          transmit(std::move(message));
           return;
         }
         // Non-pipelined: the send waits for the node's sync path to drain,
@@ -179,7 +243,7 @@ void CaSyncEngine::Dispatch(const GraphHandle& running, TaskId id) {
         // synchronous send). The wire transfer starts only once the node
         // owns the slot, and endpoint contention still applies on the
         // shared network.
-        serial_[send.node]->Submit(0, [this, running, id, deliver] {
+        serial_[send.node]->Submit(0, [this, running, id, transmit] {
           SyncTask& inner = running->graph->task(id);
           serial_[inner.node]->Submit(
               net_->UncontendedSendTime(inner.bytes), [] {});
@@ -188,8 +252,7 @@ void CaSyncEngine::Dispatch(const GraphHandle& running, TaskId id) {
           message.dst = inner.peer;
           message.bytes = inner.bytes;
           message.tag = inner.gradient_id;
-          net_->Send(std::move(message),
-                     [deliver](const NetMessage&) { deliver(); });
+          transmit(std::move(message));
         });
       };
       if (copy_overhead > 0) {
@@ -211,6 +274,9 @@ void CaSyncEngine::Dispatch(const GraphHandle& running, TaskId id) {
 }
 
 void CaSyncEngine::Complete(const GraphHandle& running, TaskId id) {
+  if (running->done_fired) {
+    return;  // straggler completion on a cancelled graph
+  }
   SyncTask& task = running->graph->task(id);
   if (task.action) {
     task.action();
@@ -220,8 +286,53 @@ void CaSyncEngine::Complete(const GraphHandle& running, TaskId id) {
       Dispatch(running, dependent);
     }
   }
-  if (--running->remaining == 0 && running->on_done) {
-    running->on_done();
+  if (--running->remaining == 0) {
+    running->done_fired = true;
+    if (running->on_done) {
+      running->on_done(OkStatus());
+    }
+  }
+}
+
+void CaSyncEngine::Fail(const GraphHandle& running, const Status& status) {
+  if (running->done_fired) {
+    return;
+  }
+  running->done_fired = true;
+  graphs_cancelled_->Increment();
+  if (running->on_done) {
+    running->on_done(status);
+  }
+}
+
+void CaSyncEngine::OnPeerFailure(int peer) {
+  if (node_failed_[peer]) {
+    return;
+  }
+  node_failed_[peer] = true;
+  failed_nodes_.push_back(peer);
+  LOG(Warning) << "peer " << peer
+               << " declared failed; cancelling its in-flight task graphs";
+  // Cancel every running graph that communicates with the dead node; the
+  // caller rebuilds those synchronization topologies over the survivors.
+  const Status status =
+      UnavailableError(StrFormat("node %d failed", peer));
+  std::vector<GraphHandle> doomed;
+  for (const std::weak_ptr<RunningGraph>& entry : active_) {
+    const GraphHandle running = entry.lock();
+    if (running == nullptr || running->done_fired) {
+      continue;
+    }
+    for (TaskId id = 0; id < running->graph->size(); ++id) {
+      const SyncTask& task = running->graph->task(id);
+      if (task.node == peer || task.peer == peer) {
+        doomed.push_back(running);
+        break;
+      }
+    }
+  }
+  for (const GraphHandle& running : doomed) {
+    Fail(running, status);
   }
 }
 

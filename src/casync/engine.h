@@ -22,7 +22,9 @@
 #include "src/casync/coordinator.h"
 #include "src/casync/task.h"
 #include "src/common/metrics.h"
+#include "src/common/status.h"
 #include "src/net/network.h"
+#include "src/net/reliable_channel.h"
 #include "src/sim/resource.h"
 #include "src/sim/simulator.h"
 #include "src/simgpu/gpu.h"
@@ -63,8 +65,23 @@ class CaSyncEngine {
   // may be in flight concurrently.
   void Execute(TaskGraph* graph, std::function<void()> on_done);
 
+  // Status-aware variant: `on_done` fires with OkStatus() on completion, or
+  // exactly once with an UNAVAILABLE error when the graph is cancelled
+  // because a peer it communicates with was declared failed (reliable
+  // transport's retry budget exhausted). A graph that touches an
+  // already-failed node fails immediately. After a failure the caller is
+  // expected to rebuild the synchronization topology over the survivors
+  // (AppendSyncTasksOver) and re-execute.
+  void Execute(TaskGraph* graph, std::function<void(const Status&)> on_done);
+
   const SyncConfig& config() const { return config_; }
   BulkCoordinator* coordinator() { return coordinator_.get(); }
+  // Non-null when fault injection or reliable transport is configured.
+  ReliableChannel* reliable_channel() { return reliable_.get(); }
+
+  // Nodes declared failed by the reliable transport, in detection order.
+  const std::vector<int>& failed_nodes() const { return failed_nodes_; }
+  bool node_failed(int node) const { return node_failed_[node]; }
 
   // Total simulated time the node's sync path spent on compression-related
   // kernels (for latency breakdowns).
@@ -82,12 +99,18 @@ class CaSyncEngine {
   struct RunningGraph {
     TaskGraph* graph = nullptr;
     size_t remaining = 0;
-    std::function<void()> on_done;
+    std::function<void(const Status&)> on_done;
+    // Once set, no further tasks dispatch and on_done has fired; straggler
+    // completions from kernels/transfers already in flight are ignored.
+    bool done_fired = false;
   };
   using GraphHandle = std::shared_ptr<RunningGraph>;
 
   void Dispatch(const GraphHandle& running, TaskId id);
   void Complete(const GraphHandle& running, TaskId id);
+  // Fails the graph once: fires on_done with `status` and freezes dispatch.
+  void Fail(const GraphHandle& running, const Status& status);
+  void OnPeerFailure(int peer);
   SimTime ComputeDuration(const SyncTask& task) const;
 
   // Cached handles into metrics_, one per instrumented primitive.
@@ -106,8 +129,15 @@ class CaSyncEngine {
   std::unique_ptr<MetricsRegistry> owned_metrics_;  // when none injected
   MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<BulkCoordinator> coordinator_;
+  std::unique_ptr<ReliableChannel> reliable_;
   // Per-node serializer used when pipelining is off.
   std::vector<std::unique_ptr<SimResource>> serial_;
+  // In-flight graphs, so a peer failure can cancel every graph that talks
+  // to the dead node (expired entries pruned on Execute).
+  std::vector<std::weak_ptr<RunningGraph>> active_;
+  std::vector<bool> node_failed_;
+  std::vector<int> failed_nodes_;
+  Counter* graphs_cancelled_ = nullptr;
   PrimitiveMetrics encode_metrics_;
   PrimitiveMetrics decode_metrics_;
   PrimitiveMetrics merge_metrics_;

@@ -254,6 +254,10 @@ const char* TraceLaneName(int lane) {
       return "net:downlink";
     case kTraceLaneCoordinator:
       return "coordinator";
+    case kTraceLaneRetry:
+      return "net:retry";
+    case kTraceLaneRecovery:
+      return "recovery";
     default:
       return "lane";
   }

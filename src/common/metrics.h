@@ -137,6 +137,10 @@ class MetricsRegistry {
 inline constexpr int kTraceLaneNetUplink = 10;
 inline constexpr int kTraceLaneNetDownlink = 11;
 inline constexpr int kTraceLaneCoordinator = 12;
+// Reliable-transport retries/backoff waits and trainer-level recovery
+// windows (fault injection, src/net/reliable_channel.h).
+inline constexpr int kTraceLaneRetry = 13;
+inline constexpr int kTraceLaneRecovery = 14;
 
 // Human-readable row name for a lane ("net:uplink", "coordinator", ...);
 // lanes 0..9 are resolved by the exporter against GpuTaskKindName.

@@ -23,6 +23,9 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,
   kCancelled,
+  // A peer or transport is (possibly transiently) unreachable; the caller
+  // may retry at a higher level or degrade to the surviving peers.
+  kUnavailable,
 };
 
 // Human-readable name for a status code, e.g. "INVALID_ARGUMENT".
@@ -65,6 +68,7 @@ Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status CancelledError(std::string message);
+Status UnavailableError(std::string message);
 
 // Value-or-error union. Accessing value() on a non-OK StatusOr aborts, so
 // callers must check ok() (or use the RETURN_IF_ERROR / ASSIGN_OR_RETURN

@@ -1,0 +1,135 @@
+#include "src/net/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/common/string_util.h"
+
+namespace hipress {
+
+SimTime FaultConfig::CrashTime(int node) const {
+  SimTime earliest = -1;
+  for (const NodeCrash& crash : crashes) {
+    if (crash.node == node && (earliest < 0 || crash.at < earliest)) {
+      earliest = crash.at;
+    }
+  }
+  return earliest;
+}
+
+double FaultConfig::DegradationFactor(int src, int dst, SimTime when) const {
+  double factor = 1.0;
+  for (const LinkDegradation& window : degradations) {
+    const bool src_match = window.src < 0 || window.src == src;
+    const bool dst_match = window.dst < 0 || window.dst == dst;
+    if (src_match && dst_match && when >= window.start && when < window.end &&
+        window.bandwidth_factor > 0.0) {
+      factor = std::min(factor, window.bandwidth_factor);
+    }
+  }
+  return factor;
+}
+
+double FaultUniform(uint64_t seed, uint64_t ordinal) {
+  uint64_t z = seed + (ordinal + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+namespace {
+
+// Parses an endpoint that is either an integer or the '*' wildcard (-1).
+StatusOr<int> ParseEndpoint(const std::string& text) {
+  if (text == "*") {
+    return -1;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || value < 0) {
+    return InvalidArgumentError("bad fault endpoint: " + text);
+  }
+  return static_cast<int>(value);
+}
+
+StatusOr<double> ParseDouble(const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return InvalidArgumentError("bad fault number: " + text);
+  }
+  return value;
+}
+
+}  // namespace
+
+StatusOr<FaultConfig> ParseFaultSpec(const std::string& spec) {
+  FaultConfig config;
+  for (const std::string& raw : Split(spec, ',')) {
+    const std::string clause = Trim(raw);
+    if (clause.empty()) {
+      continue;
+    }
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgumentError("fault clause missing '=': " + clause);
+    }
+    const std::string key = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    if (key == "drop") {
+      ASSIGN_OR_RETURN(config.drop_prob, ParseDouble(value));
+      if (config.drop_prob < 0.0 || config.drop_prob >= 1.0) {
+        return InvalidArgumentError("drop probability must be in [0, 1)");
+      }
+    } else if (key == "seed") {
+      ASSIGN_OR_RETURN(const double seed, ParseDouble(value));
+      config.seed = static_cast<uint64_t>(seed);
+    } else if (key == "crash") {
+      // crash=N@MS
+      const std::vector<std::string> parts = Split(value, '@');
+      if (parts.size() != 2) {
+        return InvalidArgumentError("crash clause wants N@MS: " + value);
+      }
+      NodeCrash crash;
+      ASSIGN_OR_RETURN(crash.node, ParseEndpoint(parts[0]));
+      ASSIGN_OR_RETURN(const double at_ms, ParseDouble(parts[1]));
+      if (crash.node < 0 || at_ms < 0.0) {
+        return InvalidArgumentError("bad crash clause: " + value);
+      }
+      crash.at = FromMillis(at_ms);
+      config.crashes.push_back(crash);
+    } else if (key == "degrade") {
+      // degrade=A-B@T0-T1@F (ms, remaining-bandwidth factor)
+      const std::vector<std::string> parts = Split(value, '@');
+      if (parts.size() != 3) {
+        return InvalidArgumentError("degrade clause wants A-B@T0-T1@F: " +
+                                    value);
+      }
+      const std::vector<std::string> link = Split(parts[0], '-');
+      const std::vector<std::string> window = Split(parts[1], '-');
+      if (link.size() != 2 || window.size() != 2) {
+        return InvalidArgumentError("bad degrade clause: " + value);
+      }
+      LinkDegradation degradation;
+      ASSIGN_OR_RETURN(degradation.src, ParseEndpoint(link[0]));
+      ASSIGN_OR_RETURN(degradation.dst, ParseEndpoint(link[1]));
+      ASSIGN_OR_RETURN(const double start_ms, ParseDouble(window[0]));
+      ASSIGN_OR_RETURN(const double end_ms, ParseDouble(window[1]));
+      ASSIGN_OR_RETURN(degradation.bandwidth_factor, ParseDouble(parts[2]));
+      if (start_ms < 0.0 || end_ms <= start_ms ||
+          degradation.bandwidth_factor <= 0.0 ||
+          degradation.bandwidth_factor > 1.0) {
+        return InvalidArgumentError("bad degrade clause: " + value);
+      }
+      degradation.start = FromMillis(start_ms);
+      degradation.end = FromMillis(end_ms);
+      config.degradations.push_back(degradation);
+    } else {
+      return InvalidArgumentError("unknown fault clause: " + key);
+    }
+  }
+  return config;
+}
+
+}  // namespace hipress

@@ -1,0 +1,80 @@
+// Deterministic fault injection for the simulated cluster network.
+//
+// Three fault classes, all derived from seeded hashes or fixed schedules so
+// a run is bit-reproducible (no wall-clock randomness):
+//
+//  * per-message drops — each transfer is dropped with probability
+//    `drop_prob`, decided by a SplitMix64 hash of (seed, message ordinal);
+//  * link degradation windows — a chosen link (or wildcard endpoint) loses
+//    bandwidth during [start, end), modelling congested or flapping links;
+//  * scheduled node crashes — from time `at` the node neither sends nor
+//    receives; messages touching it are blackholed.
+//
+// The network applies these at Send/delivery time; recovery (retries,
+// backoff, peer-failure reporting) lives one layer up in ReliableChannel.
+#ifndef HIPRESS_SRC_NET_FAULT_H_
+#define HIPRESS_SRC_NET_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace hipress {
+
+// Bandwidth cut on a link during [start, end). src/dst of -1 match any
+// endpoint, so {-1, 3} degrades every transfer into node 3.
+struct LinkDegradation {
+  int src = -1;
+  int dst = -1;
+  SimTime start = 0;
+  SimTime end = 0;
+  // Remaining bandwidth fraction in (0, 1]; 0.25 = link at quarter speed.
+  double bandwidth_factor = 1.0;
+};
+
+// Node `node` fails at time `at` and never recovers (fail-stop).
+struct NodeCrash {
+  int node = -1;
+  SimTime at = 0;
+};
+
+struct FaultConfig {
+  // Per-message drop probability in [0, 1).
+  double drop_prob = 0.0;
+  // Seed for the drop schedule; same seed => bit-identical schedule.
+  uint64_t seed = 0x5eedf001;
+  std::vector<LinkDegradation> degradations;
+  std::vector<NodeCrash> crashes;
+
+  bool any() const {
+    return drop_prob > 0.0 || !degradations.empty() || !crashes.empty();
+  }
+
+  // Crash time for `node`, or -1 when it never crashes.
+  SimTime CrashTime(int node) const;
+
+  // Smallest remaining-bandwidth factor over the windows matching
+  // (src, dst) at time `when`; 1.0 when no window matches.
+  double DegradationFactor(int src, int dst, SimTime when) const;
+};
+
+// Deterministic uniform double in [0, 1) from (seed, ordinal): the
+// SplitMix64 finalizer, the same generator the network's bandwidth jitter
+// uses. Order-independent — message k's fate does not depend on k-1.
+double FaultUniform(uint64_t seed, uint64_t ordinal);
+
+// Parses a fault spec of comma-separated clauses:
+//   drop=P            per-message drop probability
+//   seed=S            drop-schedule seed
+//   crash=N@MS        node N crashes at MS milliseconds
+//   degrade=A-B@T0-T1@F   link A->B at factor F during [T0, T1) ms
+//                         (A or B may be '*' for any endpoint)
+// e.g. "drop=0.01,seed=7,crash=3@40,degrade=0-1@10-20@0.5".
+StatusOr<FaultConfig> ParseFaultSpec(const std::string& spec);
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_NET_FAULT_H_

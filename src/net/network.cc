@@ -22,6 +22,9 @@ Network::Network(Simulator* sim, int num_nodes, NetworkConfig config,
     messages_sent_metric_ = &metrics->counter("net.messages_sent");
     messages_delivered_metric_ = &metrics->counter("net.messages_delivered");
     tx_bytes_metric_ = &metrics->counter("net.tx_bytes");
+    drops_metric_ = &metrics->counter("net.drops");
+    dropped_bytes_metric_ = &metrics->counter("net.dropped_bytes");
+    degraded_metric_ = &metrics->counter("net.degraded_transfers");
     queue_delay_us_ = &metrics->histogram("net.queue_delay_us");
     transfer_bytes_ = &metrics->histogram("net.transfer_bytes",
                                           HistogramBuckets::DefaultBytes());
@@ -40,21 +43,41 @@ void Network::Send(NetMessage message,
   CHECK_LT(message.dst, num_nodes_);
   CHECK_NE(message.src, message.dst);
 
+  // A crashed sender transmits nothing: blackhole without touching links.
+  if (!alive(message.src)) {
+    ++messages_dropped_;
+    if (drops_metric_ != nullptr) {
+      drops_metric_->Increment();
+      dropped_bytes_metric_->Increment(message.bytes);
+    }
+    return;
+  }
+
   SimTime serialize = TransferTime(message.bytes);
   if (config_.bandwidth_jitter > 0.0) {
-    // SplitMix64 finalizer over the message counter: deterministic,
-    // order-independent slowdown factor in [1, 1 + jitter].
-    uint64_t z = config_.jitter_seed +
-                 (messages_sent_ + 1) * 0x9e3779b97f4a7c15ULL;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    z ^= z >> 31;
-    const double uniform =
-        static_cast<double>(z >> 11) * 0x1.0p-53;
+    // Deterministic, order-independent slowdown factor in [1, 1 + jitter]
+    // hashed from the message counter.
+    const double uniform = FaultUniform(config_.jitter_seed, messages_sent_);
     serialize = static_cast<SimTime>(
         static_cast<double>(serialize) *
         (1.0 + config_.bandwidth_jitter * uniform));
   }
+  // Link-degradation window: the transfer serializes at the cut bandwidth.
+  const double degrade_factor =
+      config_.faults.DegradationFactor(message.src, message.dst, sim_->now());
+  if (degrade_factor < 1.0) {
+    serialize =
+        static_cast<SimTime>(static_cast<double>(serialize) / degrade_factor);
+    if (degraded_metric_ != nullptr) {
+      degraded_metric_->Increment();
+    }
+  }
+  // Seeded per-message loss: the message still burns uplink/downlink time
+  // (the bits were transmitted) but is never delivered.
+  const bool lost =
+      config_.faults.drop_prob > 0.0 &&
+      FaultUniform(config_.faults.seed, messages_sent_) <
+          config_.faults.drop_prob;
   ++messages_sent_;
   // Uplink and downlink serialize independently: a congested receiver must
   // not block the sender's uplink for unrelated flows. Delivery is
@@ -86,14 +109,28 @@ void Network::Send(NetMessage message,
     queue_delay_us_->Observe(static_cast<double>(uplink_wait + downlink_wait) /
                              kMicrosecond);
   }
+  // The crash schedule is static, so delivery to a node that will be dead
+  // at arrival time is decidable now: the bits are sent but never received.
+  const bool blackholed = !AliveAt(message.dst, deliver_at);
   if (spans_ != nullptr) {
     const std::string label = StrFormat(
         "%s %d->%d", HumanBytes(message.bytes).c_str(), message.src,
         message.dst);
-    spans_->Add(message.src, kTraceLaneNetUplink, "tx " + label, up_start,
+    spans_->Add(message.src, kTraceLaneNetUplink,
+                (lost || blackholed ? "tx(lost) " : "tx ") + label, up_start,
                 up_done);
-    spans_->Add(message.dst, kTraceLaneNetDownlink, "rx " + label, down_start,
-                deliver_at);
+    if (!lost && !blackholed) {
+      spans_->Add(message.dst, kTraceLaneNetDownlink, "rx " + label,
+                  down_start, deliver_at);
+    }
+  }
+  if (lost || blackholed) {
+    ++messages_dropped_;
+    if (drops_metric_ != nullptr) {
+      drops_metric_->Increment();
+      dropped_bytes_metric_->Increment(message.bytes);
+    }
+    return;
   }
   sim_->ScheduleAt(deliver_at, [this, message = std::move(message),
                                 on_delivered = std::move(on_delivered)] {

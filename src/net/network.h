@@ -18,6 +18,7 @@
 
 #include "src/common/metrics.h"
 #include "src/common/units.h"
+#include "src/net/fault.h"
 #include "src/sim/simulator.h"
 
 namespace hipress {
@@ -33,6 +34,9 @@ struct NetworkConfig {
   // cost-model future work worries about; 0 disables.
   double bandwidth_jitter = 0.0;
   uint64_t jitter_seed = 0x71773;
+  // Deterministic fault injection (drops, degradation windows, crashes);
+  // defaults to a perfect network. See src/net/fault.h.
+  FaultConfig faults;
 };
 
 // A message in flight. The payload pointer is opaque to the network and may
@@ -56,9 +60,19 @@ class Network {
           MetricsRegistry* metrics = nullptr, SpanCollector* spans = nullptr);
 
   // Sends `message` from message.src to message.dst; `on_delivered` fires at
-  // the receiver's delivery time. src/dst must be valid and distinct.
+  // the receiver's delivery time. src/dst must be valid and distinct
+  // (CHECK-enforced: out-of-range or equal endpoints abort). Under fault
+  // injection a dropped or blackholed message never fires `on_delivered` —
+  // reliability is ReliableChannel's job, one layer up.
   void Send(NetMessage message,
             std::function<void(const NetMessage&)> on_delivered);
+
+  // True when `node` has not (yet) crashed at simulated time `when`.
+  bool AliveAt(int node, SimTime when) const {
+    const SimTime crash = config_.faults.CrashTime(node);
+    return crash < 0 || when < crash;
+  }
+  bool alive(int node) const { return AliveAt(node, sim_->now()); }
 
   // Earliest time a new transfer from src to dst could start serializing,
   // given current backlog on the two link endpoints.
@@ -81,6 +95,7 @@ class Network {
   uint64_t rx_bytes(int node) const { return rx_bytes_[node]; }
   SimTime uplink_busy(int node) const { return uplink_busy_[node]; }
   uint64_t messages_delivered() const { return messages_delivered_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
 
  private:
   Simulator* sim_;
@@ -91,6 +106,9 @@ class Network {
   Counter* messages_sent_metric_ = nullptr;
   Counter* messages_delivered_metric_ = nullptr;
   Counter* tx_bytes_metric_ = nullptr;
+  Counter* drops_metric_ = nullptr;
+  Counter* dropped_bytes_metric_ = nullptr;
+  Counter* degraded_metric_ = nullptr;
   Histogram* queue_delay_us_ = nullptr;
   Histogram* transfer_bytes_ = nullptr;
 
@@ -102,6 +120,7 @@ class Network {
   std::vector<uint64_t> rx_bytes_;
   uint64_t messages_delivered_ = 0;
   uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
 };
 
 }  // namespace hipress

@@ -1,0 +1,187 @@
+#include "src/net/reliable_channel.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/string_util.h"
+
+namespace hipress {
+
+ReliableChannel::ReliableChannel(Simulator* sim, Network* net,
+                                 ReliableTransportConfig config,
+                                 MetricsRegistry* metrics,
+                                 SpanCollector* spans)
+    : sim_(sim), net_(net), config_(config), spans_(spans) {
+  peer_failed_.assign(static_cast<size_t>(net->num_nodes()), false);
+  if (metrics != nullptr) {
+    retries_metric_ = &metrics->counter("net.retries");
+    retransmit_bytes_metric_ = &metrics->counter("net.retransmit_bytes");
+    acks_metric_ = &metrics->counter("net.acks");
+    peer_failures_metric_ = &metrics->counter("net.peer_failures");
+    backoff_us_ = &metrics->histogram("net.backoff_us");
+  }
+}
+
+SimTime ReliableChannel::AttemptTimeout(const NetMessage& message) const {
+  const SimTime round_trip = net_->UncontendedSendTime(message.bytes) +
+                             net_->UncontendedSendTime(config_.ack_bytes);
+  // Both directions' visible backlog: the data message queues behind
+  // src->dst, and the ack will queue behind the receiver's own sends on
+  // the reverse path (bulk traffic there otherwise triggers spurious
+  // retransmit storms).
+  const SimTime backlog =
+      std::max<SimTime>(
+          0, net_->EarliestStart(message.src, message.dst) - sim_->now()) +
+      std::max<SimTime>(
+          0, net_->EarliestStart(message.dst, message.src) - sim_->now());
+  return static_cast<SimTime>(config_.timeout_factor *
+                              static_cast<double>(round_trip)) +
+         backlog + config_.timeout_slack;
+}
+
+SimTime ReliableChannel::BackoffDelay(int attempt) const {
+  double delay = static_cast<double>(config_.backoff_base);
+  for (int i = 1; i < attempt; ++i) {
+    delay *= config_.backoff_factor;
+  }
+  return std::min<SimTime>(config_.backoff_cap,
+                           static_cast<SimTime>(delay));
+}
+
+void ReliableChannel::Send(NetMessage message,
+                           std::function<void(const Status&)> on_complete) {
+  const int known_dead =
+      peer_failed(message.dst) ? message.dst
+      : peer_failed(message.src) ? message.src
+                                 : -1;
+  if (known_dead >= 0) {
+    // Known-dead endpoint: fail fast on the next event instead of burning
+    // a full retry budget per transfer.
+    sim_->Schedule(0, [known_dead, on_complete = std::move(on_complete)] {
+      on_complete(UnavailableError(
+          StrFormat("peer %d already marked failed", known_dead)));
+    });
+    return;
+  }
+  const uint64_t id = next_transfer_id_++;
+  Transfer& transfer = transfers_[id];
+  transfer.message = std::move(message);
+  transfer.on_complete = std::move(on_complete);
+  Attempt(id);
+}
+
+void ReliableChannel::Attempt(uint64_t id) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end() || it->second.done) {
+    return;
+  }
+  Transfer& transfer = it->second;
+  ++transfer.attempts;
+  const int attempt = transfer.attempts;
+  const NetMessage& data = transfer.message;
+  const SimTime timeout = AttemptTimeout(data);
+  // Data out; the receiver acks every received copy (duplicates from
+  // spurious retransmits are absorbed by the `done` latch).
+  net_->Send(data, [this, id](const NetMessage& delivered) {
+    NetMessage ack;
+    ack.src = delivered.dst;
+    ack.dst = delivered.src;
+    ack.bytes = config_.ack_bytes;
+    ack.tag = delivered.tag;
+    net_->Send(ack, [this, id](const NetMessage&) {
+      auto ack_it = transfers_.find(id);
+      if (ack_it == transfers_.end() || ack_it->second.done) {
+        return;
+      }
+      ack_it->second.done = true;
+      ++acks_;
+      if (acks_metric_ != nullptr) {
+        acks_metric_->Increment();
+      }
+      auto on_complete = std::move(ack_it->second.on_complete);
+      transfers_.erase(ack_it);
+      on_complete(OkStatus());
+    });
+  });
+  sim_->Schedule(timeout, [this, id, attempt] { HandleTimeout(id, attempt); });
+}
+
+void ReliableChannel::HandleTimeout(uint64_t id, int attempt) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end() || it->second.done ||
+      it->second.attempts != attempt) {
+    return;  // acked meanwhile, or a newer attempt owns the transfer
+  }
+  Transfer& transfer = it->second;
+  if (transfer.attempts >= config_.max_attempts) {
+    // Blame the endpoint that actually died: a crashed *sender* blackholes
+    // its own retransmits, and declaring the destination failed would evict
+    // an innocent node from the topology.
+    const int dead = !net_->alive(transfer.message.src)
+                         ? transfer.message.src
+                         : transfer.message.dst;
+    MarkPeerFailed(dead);
+    return;
+  }
+  ++retries_;
+  if (retries_metric_ != nullptr) {
+    retries_metric_->Increment();
+    retransmit_bytes_metric_->Increment(transfer.message.bytes);
+  }
+  const SimTime backoff = BackoffDelay(transfer.attempts);
+  if (backoff_us_ != nullptr) {
+    backoff_us_->Observe(static_cast<double>(backoff) / kMicrosecond);
+  }
+  if (spans_ != nullptr) {
+    spans_->Add(transfer.message.src, kTraceLaneRetry,
+                StrFormat("backoff #%d ->%d", transfer.attempts,
+                          transfer.message.dst),
+                sim_->now(), sim_->now() + backoff);
+  }
+  sim_->Schedule(backoff, [this, id] { Attempt(id); });
+}
+
+void ReliableChannel::MarkPeerFailed(int peer) {
+  const bool first_failure = !peer_failed_[peer];
+  if (first_failure) {
+    peer_failed_[peer] = true;
+    failed_peers_.push_back(peer);
+    if (peer_failures_metric_ != nullptr) {
+      peer_failures_metric_->Increment();
+    }
+  }
+  // Fail every open transfer touching the dead peer (either direction), not
+  // just the one whose budget ran out — they would each waste a full budget
+  // discovering the same corpse.
+  std::vector<uint64_t> doomed;
+  for (const auto& [id, transfer] : transfers_) {
+    if (!transfer.done && (transfer.message.dst == peer ||
+                           transfer.message.src == peer)) {
+      doomed.push_back(id);
+    }
+  }
+  std::vector<std::function<void(const Status&)>> callbacks;
+  callbacks.reserve(doomed.size());
+  for (const uint64_t id : doomed) {
+    auto it = transfers_.find(id);
+    if (it == transfers_.end() || it->second.done) {
+      continue;
+    }
+    it->second.done = true;
+    callbacks.push_back(std::move(it->second.on_complete));
+    transfers_.erase(it);
+  }
+  // Peer-failure handler first: the engine uses it to cancel whole task
+  // graphs before individual send completions trickle in.
+  if (first_failure && on_peer_failure_) {
+    on_peer_failure_(peer);
+  }
+  const Status status =
+      UnavailableError(StrFormat("peer %d unresponsive after %d attempts",
+                                 peer, config_.max_attempts));
+  for (auto& callback : callbacks) {
+    callback(status);
+  }
+}
+
+}  // namespace hipress

@@ -1,0 +1,108 @@
+// Reliable transport over the lossy simulated network.
+//
+// The raw Network is fire-and-forget: under fault injection a message may
+// simply never arrive. ReliableChannel layers the classic recovery loop on
+// top — ack on delivery, a per-transfer timeout derived from the network's
+// uncontended send time plus current endpoint backlog, and capped
+// exponential backoff with a bounded retry budget. Exhausting the budget
+// declares the peer failed and reports an UNAVAILABLE Status upward instead
+// of hanging, which is what lets the BSP barrier above degrade gracefully
+// rather than deadlock when a node dies.
+//
+// Everything is scheduled on the simulator and all randomness comes from
+// the network's seeded fault schedule, so runs stay bit-reproducible.
+#ifndef HIPRESS_SRC_NET_RELIABLE_CHANNEL_H_
+#define HIPRESS_SRC_NET_RELIABLE_CHANNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/status.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace hipress {
+
+struct ReliableTransportConfig {
+  // Wire size of an acknowledgement message.
+  uint64_t ack_bytes = 64;
+  // Per-attempt timeout: factor * (uncontended data + ack time) + current
+  // endpoint backlog + slack. The backlog term keeps honest congestion from
+  // masquerading as loss.
+  double timeout_factor = 3.0;
+  SimTime timeout_slack = FromMicros(100.0);
+  // Total attempts per transfer (first send + retries). Exhausting the
+  // budget fails the transfer and marks the peer dead.
+  int max_attempts = 5;
+  // Capped exponential backoff between attempts.
+  SimTime backoff_base = FromMicros(100.0);
+  double backoff_factor = 2.0;
+  SimTime backoff_cap = FromMillis(10.0);
+};
+
+class ReliableChannel {
+ public:
+  // `metrics` (optional) receives "net.retries", "net.retransmit_bytes",
+  // "net.acks", "net.peer_failures" and the "net.backoff_us" histogram;
+  // `spans` (optional) records each backoff wait on the sender's
+  // "net:retry" lane.
+  ReliableChannel(Simulator* sim, Network* net, ReliableTransportConfig config,
+                  MetricsRegistry* metrics = nullptr,
+                  SpanCollector* spans = nullptr);
+
+  // Sends `message` reliably; `on_complete` fires with OkStatus() once the
+  // sender observes the ack (possibly after retries), or with an
+  // UNAVAILABLE error once the retry budget for the peer is exhausted.
+  // Sends to a peer already marked failed fail fast on the next event.
+  void Send(NetMessage message, std::function<void(const Status&)> on_complete);
+
+  // Invoked (at most once per peer) when a retry budget exhausts against
+  // that peer; fires before the offending transfer's on_complete.
+  void set_on_peer_failure(std::function<void(int peer)> handler) {
+    on_peer_failure_ = std::move(handler);
+  }
+
+  bool peer_failed(int node) const { return peer_failed_[node]; }
+  const std::vector<int>& failed_peers() const { return failed_peers_; }
+  uint64_t retries() const { return retries_; }
+  uint64_t acks() const { return acks_; }
+
+ private:
+  struct Transfer {
+    NetMessage message;
+    std::function<void(const Status&)> on_complete;
+    int attempts = 0;
+    bool done = false;
+  };
+
+  void Attempt(uint64_t id);
+  void HandleTimeout(uint64_t id, int attempt);
+  void MarkPeerFailed(int peer);
+  SimTime AttemptTimeout(const NetMessage& message) const;
+  SimTime BackoffDelay(int attempt) const;
+
+  Simulator* sim_;
+  Network* net_;
+  ReliableTransportConfig config_;
+  SpanCollector* spans_ = nullptr;
+  Counter* retries_metric_ = nullptr;
+  Counter* retransmit_bytes_metric_ = nullptr;
+  Counter* acks_metric_ = nullptr;
+  Counter* peer_failures_metric_ = nullptr;
+  Histogram* backoff_us_ = nullptr;
+
+  std::function<void(int)> on_peer_failure_;
+  std::unordered_map<uint64_t, Transfer> transfers_;
+  std::vector<bool> peer_failed_;
+  std::vector<int> failed_peers_;
+  uint64_t next_transfer_id_ = 1;
+  uint64_t retries_ = 0;
+  uint64_t acks_ = 0;
+};
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_NET_RELIABLE_CHANNEL_H_

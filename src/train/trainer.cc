@@ -5,6 +5,7 @@
 #include "src/casync/builder.h"
 #include "src/casync/engine.h"
 #include "src/common/logging.h"
+#include "src/common/string_util.h"
 #include "src/compress/registry.h"
 #include "src/net/network.h"
 #include "src/sim/simulator.h"
@@ -43,6 +44,13 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
   }
   if (config.num_nodes < 1) {
     return InvalidArgumentError("need at least one node");
+  }
+  if (!config.net.faults.crashes.empty() &&
+      (options.staleness > 0 || config.sequential_collectives)) {
+    return InvalidArgumentError(
+        "node-crash recovery is only supported on the BSP "
+        "concurrent-collectives path (staleness == 0, "
+        "sequential_collectives off)");
   }
 
   const double compute_scale = ComputeScale(config.platform);
@@ -195,6 +203,7 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
   TrainReport report;
   report.compute_time = compute_time;
   report.total_gpus = config.num_nodes * config.gpus_per_node;
+  report.surviving_nodes = config.num_nodes;
   report.metrics = metrics;
   report.spans = spans;
   Histogram& iteration_ms = metrics->histogram(
@@ -202,7 +211,14 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
   Histogram& sync_tail_ms = metrics->histogram(
       "train.sync_tail_ms", HistogramBuckets::Exponential(0.125, 2.0, 16));
   Counter& iterations_counter = metrics->counter("train.iterations");
+  Counter& recoveries_counter = metrics->counter("train.recoveries");
+  Histogram& recovery_ms = metrics->histogram(
+      "train.recovery_ms", HistogramBuckets::Exponential(0.125, 2.0, 16));
   auto finalize_observability = [&] {
+    metrics->gauge("train.failed_nodes")
+        .Set(static_cast<double>(report.failed_nodes.size()));
+    metrics->gauge("train.surviving_nodes")
+        .Set(static_cast<double>(report.surviving_nodes));
     metrics->gauge("train.throughput").Set(report.throughput);
     metrics->gauge("train.scaling_efficiency")
         .Set(report.scaling_efficiency);
@@ -366,6 +382,9 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
     graphs.clear();
     size_t remaining = units.size();
     SimTime iteration_end = 0;
+    // First failure detection this iteration (-1: none); closes the
+    // recovery window when the degraded BSP barrier completes.
+    SimTime recovery_started_at = -1;
     const SimTime uplink_busy_before = net.uplink_busy(0);
     const EngineStats stats_before = engine.stats();
     const bool measured = iteration == options.iterations - 1;
@@ -379,17 +398,33 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
     // One starter event at the iteration boundary submits compute and arms
     // the per-gradient sync launches, so all offsets are iteration-relative.
     sim.ScheduleAt(iter_start, [&] {
-      // Forward + backward occupy the compute stream on every node.
+      // Survivors at this iteration's start; nodes already declared failed
+      // neither compute nor participate in synchronization.
+      std::vector<int> alive;
+      alive.reserve(config.num_nodes);
       for (int node = 0; node < config.num_nodes; ++node) {
+        if (!engine.node_failed(node)) {
+          alive.push_back(node);
+        }
+      }
+      const bool full_strength =
+          static_cast<int>(alive.size()) == config.num_nodes;
+      // Forward + backward occupy the compute stream on every live node.
+      for (const int node : alive) {
         const SimTime node_compute =
             node == options.straggler_node ? slowest_compute : compute_time;
         gpus[node]->SubmitCompute(node_compute, [] {});
       }
-      // Build the per-unit sync graphs up front.
+      // Build the per-unit sync graphs up front, over the survivors when
+      // already degraded.
       std::vector<TaskGraph*> graph_ptrs;
       for (const SyncUnit& unit : units) {
         auto graph = std::make_unique<TaskGraph>();
-        AppendSyncTasks(config, unit.plan, graph.get());
+        if (full_strength) {
+          AppendSyncTasks(config, unit.plan, graph.get());
+        } else {
+          AppendSyncTasksOver(config, unit.plan, alive, graph.get());
+        }
         graph_ptrs.push_back(graph.get());
         graphs.push_back(std::move(graph));
       }
@@ -402,14 +437,53 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
 
       if (!config.sequential_collectives) {
         // CaSync: every gradient's graph launches the moment it is ready;
-        // graphs execute concurrently and pipeline.
+        // graphs execute concurrently and pipeline. A graph cancelled by a
+        // peer failure is rebuilt over the survivors and re-executed, so
+        // the BSP barrier completes degraded instead of hanging.
+        auto execute_unit =
+            std::make_shared<std::function<void(size_t, TaskGraph*)>>();
+        *execute_unit = [&engine, &sim, &config, &units, &graphs, &report,
+                         &recovery_started_at, &recoveries_counter,
+                         complete_one, execute_unit](size_t i,
+                                                     TaskGraph* graph_ptr) {
+          engine.Execute(
+              graph_ptr,
+              [&engine, &sim, &config, &units, &graphs, &report,
+               &recovery_started_at, &recoveries_counter, complete_one,
+               execute_unit, i](const Status& status) {
+                if (status.ok()) {
+                  complete_one();
+                  return;
+                }
+                // Peer failure: recovery. Rebuild this unit's topology over
+                // the surviving nodes and run it again.
+                if (recovery_started_at < 0) {
+                  recovery_started_at = sim.now();
+                }
+                recoveries_counter.Increment();
+                ++report.recoveries;
+                std::vector<int> survivors;
+                for (int node = 0; node < config.num_nodes; ++node) {
+                  if (!engine.node_failed(node)) {
+                    survivors.push_back(node);
+                  }
+                }
+                CHECK_GT(survivors.size(), 0u) << "every node failed";
+                auto rebuilt = std::make_unique<TaskGraph>();
+                AppendSyncTasksOver(config, units[i].plan, survivors,
+                                    rebuilt.get());
+                TaskGraph* rebuilt_ptr = rebuilt.get();
+                graphs.push_back(std::move(rebuilt));
+                (*execute_unit)(i, rebuilt_ptr);
+              });
+        };
         for (size_t i = 0; i < units.size(); ++i) {
           const SimTime launch_at = static_cast<SimTime>(
               static_cast<double>(forward + units[i].ready_offset) *
               launch_stretch) + options.launch_overhead;
           TaskGraph* graph_ptr = graph_ptrs[i];
-          sim.Schedule(launch_at, [&engine, graph_ptr, complete_one] {
-            engine.Execute(graph_ptr, complete_one);
+          sim.Schedule(launch_at, [execute_unit, i, graph_ptr] {
+            (*execute_unit)(i, graph_ptr);
           });
         }
       } else {
@@ -465,6 +539,18 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
     sim.Run();
     const SimTime end =
         std::max(iteration_end, iter_start + slowest_compute);
+    if (recovery_started_at >= 0) {
+      // Recovery latency: failure detection to the degraded barrier.
+      const SimTime window = end - recovery_started_at;
+      report.recovery_time += window;
+      recovery_ms.Observe(ToMillis(window));
+      if (spans) {
+        spans->Add(0, kTraceLaneRecovery,
+                   StrFormat("recovery (%zu node(s) failed)",
+                             engine.failed_nodes().size()),
+                   recovery_started_at, end);
+      }
+    }
     iterations_counter.Increment();
     iteration_ms.Observe(ToMillis(end - iter_start));
     sync_tail_ms.Observe(ToMillis(
@@ -500,6 +586,14 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
 
   report.iteration_time = measured_iter_time;
   report.sync_tail = measured_sync_tail;
+  report.failed_nodes = engine.failed_nodes();
+  report.degraded = !report.failed_nodes.empty();
+  report.surviving_nodes =
+      config.num_nodes - static_cast<int>(report.failed_nodes.size());
+  if (report.degraded) {
+    // Only the survivors still contribute samples.
+    report.total_gpus = report.surviving_nodes * config.gpus_per_node;
+  }
   const double iter_seconds = ToSeconds(measured_iter_time);
   if (iter_seconds > 0) {
     report.throughput = static_cast<double>(report.total_gpus) *

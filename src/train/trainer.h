@@ -63,6 +63,18 @@ struct TrainReport {
   // Node-0 uplink busy share (pure wire-serialization view).
   double network_busy_ratio = 0.0;
   int total_gpus = 0;
+  // --- fault tolerance (docs/FAULT_TOLERANCE.md) -------------------------
+  // True when at least one node was declared failed during the run; the
+  // remaining iterations (and the throughput above) ran degraded over the
+  // survivors.
+  bool degraded = false;
+  std::vector<int> failed_nodes;  // detection order
+  int surviving_nodes = 0;
+  // Sync-unit task graphs rebuilt over the survivors after a cancellation.
+  uint64_t recoveries = 0;
+  // Total simulated time spent inside recovery windows (first failure
+  // detection in an iteration to that iteration's completion).
+  SimTime recovery_time = 0;
   // Engine-side accounting for the measured iteration: primitive counts,
   // modelled kernel time, and bytes on the wire (sums over all nodes).
   EngineStats engine_stats;

@@ -96,7 +96,7 @@ TEST(EngineTest, ActionsRunOnCompletion) {
   second.action = [&] { order.push_back(2); };
   const TaskId b = graph.Add(second);
   graph.AddDep(a, b);
-  cluster.engine->Execute(&graph, nullptr);
+  cluster.engine->Execute(&graph, std::function<void()>());
   cluster.sim.Run();
   ASSERT_EQ(order.size(), 2u);
   EXPECT_EQ(order[0], 1);
@@ -297,6 +297,38 @@ TEST(CoordinatorTest, TimeoutFlushesSmallBatchBehindBusyLink) {
   sim.Run();
   // The small transfer waited for the timeout (not the full first message).
   EXPECT_GE(delivered_at, FromMicros(200.0));
+}
+
+TEST(CoordinatorTest, StaleTimeoutIgnoredAfterSizeTriggeredFlush) {
+  // The timeout-vs-threshold race: a batch timeout armed for queue
+  // generation E must not flush the queue after a size-triggered flush
+  // advanced it to E+1 — otherwise a later batch gets cut short by a
+  // timer belonging to transfers long gone (flush_epoch guard).
+  Simulator sim;
+  NetworkConfig net_config;
+  net_config.link_bandwidth = Bandwidth::Gbps(1.0);  // keep the link busy
+  Network net(&sim, 2, net_config);
+  BulkCoordinator coordinator(&sim, &net, 10'000, FromMicros(200.0));
+  // Occupies the link for ~800us so everything below queues.
+  coordinator.Enqueue(0, 1, 100'000, [] {});
+  // Arms the batch timeout for t=200us (epoch E).
+  coordinator.Enqueue(0, 1, 100, [] {});
+  // t=50us: threshold reached -> size-triggered flush, epoch becomes E+1.
+  sim.Schedule(FromMicros(50.0), [&] {
+    coordinator.Enqueue(0, 1, 20'000, [] {});
+  });
+  // t=60us: a fresh transfer arms its own timeout for t=260us.
+  sim.Schedule(FromMicros(60.0), [&] {
+    coordinator.Enqueue(0, 1, 100, [] {});
+  });
+  // At t=250us the stale epoch-E timeout (t=200us) has fired; the fresh
+  // transfer must still be queued.
+  sim.RunUntil(FromMicros(250.0));
+  EXPECT_EQ(coordinator.batches_sent(), 2u);
+  // Its own timeout at t=260us flushes it.
+  sim.RunUntil(FromMicros(300.0));
+  EXPECT_EQ(coordinator.batches_sent(), 3u);
+  sim.Run();
 }
 
 TEST(CoordinatorTest, DistinctLinksBatchIndependently) {

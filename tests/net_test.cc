@@ -182,5 +182,26 @@ TEST(NetworkTest, BandwidthJitterSlowsTransfersDeterministically) {
   EXPECT_EQ(run(), jittered);
 }
 
+using NetworkDeathTest = ::testing::Test;
+
+TEST(NetworkDeathTest, SendChecksEndpointValidity) {
+  Simulator sim;
+  Network net(&sim, 2, FastConfig());
+  auto send = [&](int src, int dst) {
+    NetMessage msg;
+    msg.src = src;
+    msg.dst = dst;
+    msg.bytes = 1;
+    net.Send(msg, [](const NetMessage&) {});
+  };
+  EXPECT_DEATH(send(-1, 1), "Check failed");   // negative source
+  EXPECT_DEATH(send(0, 2), "Check failed");    // destination out of range
+  EXPECT_DEATH(send(2, 1), "Check failed");    // source out of range
+  EXPECT_DEATH(send(1, 1), "Check failed");    // self-send
+  send(0, 1);  // valid endpoints still accepted
+  sim.Run();
+  EXPECT_EQ(net.messages_delivered(), 1u);
+}
+
 }  // namespace
 }  // namespace hipress

@@ -205,6 +205,43 @@ TEST(StragglerTest, SlowNodeStretchesBspIterations) {
             static_cast<SimTime>(clean->report.iteration_time * 1.8));
 }
 
+TEST(StragglerTest, StragglerKnobsSurfaceInMetrics) {
+  // The straggler knobs must show up both in the report and in the
+  // observability layer: the iteration histogram/gauge stretch by roughly
+  // the straggler factor relative to a clean run.
+  HiPressOptions options;
+  options.model = "resnet50";
+  options.system = "hipress-ring";
+  options.cluster = ClusterSpec::Ec2(8);
+  auto clean = RunTrainingSimulation(options);
+  ASSERT_TRUE(clean.ok());
+  options.train.straggler_node = 2;
+  options.train.straggler_factor = 2.0;
+  auto slow = RunTrainingSimulation(options);
+  ASSERT_TRUE(slow.ok());
+
+  // Report-level stretch: ~2x, bounded loosely above (sync overlaps).
+  EXPECT_GE(slow->report.iteration_time,
+            static_cast<SimTime>(clean->report.iteration_time * 1.9));
+  EXPECT_LE(slow->report.iteration_time,
+            static_cast<SimTime>(clean->report.iteration_time * 2.4));
+
+  // Metrics-level: both runs' registries carry per-iteration histograms
+  // and the last-iteration gauge; they must reflect the same stretch.
+  MetricsRegistry& clean_metrics = *clean->report.metrics;
+  MetricsRegistry& slow_metrics = *slow->report.metrics;
+  const Histogram& clean_iter = clean_metrics.histogram("train.iteration_ms");
+  const Histogram& slow_iter = slow_metrics.histogram("train.iteration_ms");
+  ASSERT_GT(clean_iter.count(), 0u);
+  ASSERT_EQ(clean_iter.count(), slow_iter.count());
+  EXPECT_GE(slow_iter.max(), clean_iter.max() * 1.9);
+  EXPECT_NEAR(slow_metrics.gauge("train.iteration_ms_last").value(),
+              ToMillis(slow->report.iteration_time), 1e-6);
+  // The straggler's slow compute also lengthens the sync tail histogram.
+  EXPECT_GE(slow_metrics.histogram("train.sync_tail_ms").max(),
+            clean_metrics.histogram("train.sync_tail_ms").max());
+}
+
 TEST(JitterTest, SeCoPaPlansStillHelpUnderBandwidthVariance) {
   // The paper's future-work concern: profiling-based plans under network
   // dynamics. With 30% jitter the plans are computed from clean profiles

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/buffer_pool.h"
 #include "src/common/metrics.h"
 #include "src/common/rng.h"
 #include "src/compress/registry.h"
@@ -279,6 +280,86 @@ bool RunVerificationPhase(bool smoke) {
   return all_ok;
 }
 
+// Allocation-churn panel: per codec, one cold encode+decode (warm-up)
+// followed by steady-state iterations, with the global BufferPool's
+// hit/miss deltas recorded into BENCH_memory.json. The pooled-workspace
+// invariant says the steady window performs zero pool misses — any codec
+// still faulting fresh blocks after warm-up fails the phase (the CI
+// bench-smoke gate).
+bool RunMemoryPhase(bool smoke) {
+  MetricsRegistry registry;
+  registry.gauge("smoke").Set(smoke ? 1.0 : 0.0);
+  const size_t bytes = smoke ? 256 * 1024 : (4u << 20);
+  constexpr int kSteadyIterations = 5;
+  registry.gauge("gradient_bytes").Set(static_cast<double>(bytes));
+  registry.gauge("steady_iterations").Set(kSteadyIterations);
+  BufferPool& pool = BufferPool::Global();
+  bool all_ok = true;
+  for (const char* algorithm : kAllCodecs) {
+    CompressorParams params;
+    params.sparsity_ratio = 0.001;
+    auto codec = CreateCompressor(algorithm, params);
+    if (!codec.ok()) {
+      all_ok = false;
+      continue;
+    }
+    const Tensor gradient = MakeGradient(bytes);
+    ByteBuffer encoded;
+    std::vector<float> decoded(gradient.size());
+    const auto run_once = [&] {
+      return (*codec)->Encode(gradient.span(), &encoded).ok() &&
+             (*codec)->Decode(encoded, decoded).ok();
+    };
+    const BufferPool::Stats cold = pool.stats();
+    if (!run_once()) {
+      all_ok = false;
+      continue;
+    }
+    const BufferPool::Stats warm = pool.stats();
+    bool steady_ok = true;
+    for (int i = 0; i < kSteadyIterations; ++i) {
+      steady_ok &= run_once();
+    }
+    const BufferPool::Stats steady = pool.stats();
+    if (!steady_ok) {
+      all_ok = false;
+      continue;
+    }
+    const uint64_t warm_misses = warm.misses - cold.misses;
+    const uint64_t steady_misses = steady.misses - warm.misses;
+    const uint64_t steady_hits = steady.hits - warm.hits;
+    const std::string prefix(algorithm);
+    registry.gauge(prefix + ".warmup_pool_misses")
+        .Set(static_cast<double>(warm_misses));
+    registry.gauge(prefix + ".steady_pool_misses")
+        .Set(static_cast<double>(steady_misses));
+    registry.gauge(prefix + ".steady_pool_hits")
+        .Set(static_cast<double>(steady_hits));
+    if (steady_misses > 0) {
+      std::fprintf(stderr,
+                   "MEMORY GATE FAIL %s: %llu pool misses across %d "
+                   "steady-state iterations (expected 0)\n",
+                   algorithm, static_cast<unsigned long long>(steady_misses),
+                   kSteadyIterations);
+      all_ok = false;
+    }
+  }
+  registry.gauge("pool.peak_bytes")
+      .Set(static_cast<double>(pool.stats().peak_bytes));
+  const char* dir = std::getenv("HIPRESS_BENCH_DIR");
+  const std::string path = (dir != nullptr ? std::string(dir) + "/" : "") +
+                           "BENCH_memory.json";
+  const Status status = registry.WriteJson(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return false;
+  }
+  std::printf("memory: steady-state pool misses %s; wrote %s\n",
+              all_ok ? "zero for every codec" : "NONZERO (gate failed)",
+              path.c_str());
+  return all_ok;
+}
+
 }  // namespace
 }  // namespace hipress
 
@@ -293,6 +374,9 @@ int main(int argc, char** argv) {
     }
   }
   if (!hipress::RunVerificationPhase(smoke)) {
+    return 1;
+  }
+  if (!hipress::RunMemoryPhase(smoke)) {
     return 1;
   }
   if (smoke) {

@@ -59,6 +59,12 @@ StatusOr<std::vector<Tensor>> DataflowRunner::RunPs(
     outputs[w] = Tensor(inputs[w].name(), elements);
   }
 
+  // Scratch reused across every partition: one aggregation buffer and one
+  // wire payload, drawn from the pool once per run.
+  Workspace ws(pool_);
+  PooledFloats aggregate = ws.floats(0);
+  ByteBuffer wire;
+
   for (size_t p = 0; p < ranges.size(); ++p) {
     const auto [offset, count] = ranges[p];
     if (count == 0) {
@@ -67,19 +73,17 @@ StatusOr<std::vector<Tensor>> DataflowRunner::RunPs(
     const int aggregator = static_cast<int>(p) % n;
 
     // Aggregate the co-located shard plus each worker's (compressed) push.
-    std::vector<float> aggregate(
-        inputs[aggregator].slice(offset, count).begin(),
-        inputs[aggregator].slice(offset, count).end());
+    aggregate.resize(count);
+    const auto seed = inputs[aggregator].slice(offset, count);
+    std::copy(seed.begin(), seed.end(), aggregate.begin());
     for (int w = 0; w < n; ++w) {
       if (w == aggregator) {
         continue;
       }
       const auto shard = inputs[w].slice(offset, count);
       if (codec_ != nullptr) {
-        ByteBuffer wire;
         RETURN_IF_ERROR(codec_->Encode(shard, &wire));
-        RETURN_IF_ERROR(
-            codec_->DecodeAdd(wire, std::span<float>(aggregate)));
+        RETURN_IF_ERROR(codec_->DecodeAdd(wire, aggregate.span()));
       } else {
         for (size_t i = 0; i < count; ++i) {
           aggregate[i] += shard[i];
@@ -89,13 +93,14 @@ StatusOr<std::vector<Tensor>> DataflowRunner::RunPs(
 
     // Pull phase. Compressed: every replica — including the aggregator —
     // installs decode(encode(aggregate)) so replicas stay bit-identical.
+    // Decode once into worker 0's slice, then replicate that result; the
+    // wire payload is parsed exactly once regardless of worker count.
     if (codec_ != nullptr) {
-      ByteBuffer wire;
       RETURN_IF_ERROR(
-          codec_->Encode(std::span<const float>(aggregate), &wire));
-      std::vector<float> pulled(count, 0.0f);
-      RETURN_IF_ERROR(codec_->Decode(wire, std::span<float>(pulled)));
-      for (int w = 0; w < n; ++w) {
+          codec_->Encode(std::span<const float>(aggregate.span()), &wire));
+      const auto pulled = outputs[0].slice(offset, count);
+      RETURN_IF_ERROR(codec_->Decode(wire, pulled));
+      for (int w = 1; w < n; ++w) {
         std::copy(pulled.begin(), pulled.end(),
                   outputs[w].slice(offset, count).begin());
       }
@@ -120,6 +125,12 @@ StatusOr<std::vector<Tensor>> DataflowRunner::RunRing(
     outputs[w] = Tensor(inputs[w].name(), elements);
   }
 
+  // Ping-pong hop buffers and the wire payload, reused across chunks.
+  Workspace ws(pool_);
+  PooledFloats value = ws.floats(0);
+  PooledFloats next = ws.floats(0);
+  ByteBuffer wire;
+
   for (size_t c = 0; c < ranges.size(); ++c) {
     const auto [offset, count] = ranges[c];
     if (count == 0) {
@@ -129,18 +140,19 @@ StatusOr<std::vector<Tensor>> DataflowRunner::RunRing(
 
     // Aggregation: the chunk value travels start -> start+1 -> ... with a
     // decode+merge+encode at every hop (data dependency chain).
-    std::vector<float> value(inputs[start].slice(offset, count).begin(),
-                             inputs[start].slice(offset, count).end());
+    value.resize(count);
+    const auto first = inputs[start].slice(offset, count);
+    std::copy(first.begin(), first.end(), value.begin());
     for (int h = 1; h < n; ++h) {
       const int v = (start + h) % n;
       const auto local = inputs[v].slice(offset, count);
       if (codec_ != nullptr) {
-        ByteBuffer wire;
         RETURN_IF_ERROR(
-            codec_->Encode(std::span<const float>(value), &wire));
-        std::vector<float> next(local.begin(), local.end());
-        RETURN_IF_ERROR(codec_->DecodeAdd(wire, std::span<float>(next)));
-        value = std::move(next);
+            codec_->Encode(std::span<const float>(value.span()), &wire));
+        next.resize(count);
+        std::copy(local.begin(), local.end(), next.begin());
+        RETURN_IF_ERROR(codec_->DecodeAdd(wire, next.span()));
+        std::swap(value, next);
       } else {
         for (size_t i = 0; i < count; ++i) {
           value[i] += local[i];
@@ -150,13 +162,13 @@ StatusOr<std::vector<Tensor>> DataflowRunner::RunRing(
 
     // Dissemination: encode once, forward the same buffer; every node
     // (including the final aggregator, for replica consistency) installs
-    // the decoded value.
+    // the decoded value. Decoded once, then replicated.
     if (codec_ != nullptr) {
-      ByteBuffer wire;
-      RETURN_IF_ERROR(codec_->Encode(std::span<const float>(value), &wire));
-      std::vector<float> decoded(count, 0.0f);
-      RETURN_IF_ERROR(codec_->Decode(wire, std::span<float>(decoded)));
-      for (int w = 0; w < n; ++w) {
+      RETURN_IF_ERROR(
+          codec_->Encode(std::span<const float>(value.span()), &wire));
+      const auto decoded = outputs[0].slice(offset, count);
+      RETURN_IF_ERROR(codec_->Decode(wire, decoded));
+      for (int w = 1; w < n; ++w) {
         std::copy(decoded.begin(), decoded.end(),
                   outputs[w].slice(offset, count).begin());
       }
@@ -185,6 +197,16 @@ StatusOr<std::vector<Tensor>> DataflowRunner::RunTree(
     ++rounds;
   }
 
+  // Per-logical-node partial aggregates and the wire payload: acquired
+  // once per run, re-seeded for each partition.
+  Workspace ws(pool_);
+  std::vector<PooledFloats> partial;
+  partial.reserve(n);
+  for (int u = 0; u < n; ++u) {
+    partial.emplace_back(ws.pool());
+  }
+  ByteBuffer wire;
+
   for (size_t p = 0; p < ranges.size(); ++p) {
     const auto [offset, count] = ranges[p];
     if (count == 0) {
@@ -193,11 +215,11 @@ StatusOr<std::vector<Tensor>> DataflowRunner::RunTree(
     const int root = static_cast<int>(p) % n;
     auto node = [&](int logical) { return (logical + root) % n; };
 
-    // Per-logical-node partial aggregates, seeded with the local shards.
-    std::vector<std::vector<float>> partial(n);
+    // Seed the partials with the local shards.
     for (int u = 0; u < n; ++u) {
       const auto shard = inputs[node(u)].slice(offset, count);
-      partial[u].assign(shard.begin(), shard.end());
+      partial[u].resize(count);
+      std::copy(shard.begin(), shard.end(), partial[u].begin());
     }
 
     // Reduce: each round, odd-subtree owners push (compressed) to their
@@ -207,11 +229,9 @@ StatusOr<std::vector<Tensor>> DataflowRunner::RunTree(
       for (int u = stride; u < n; u += 2 * stride) {
         const int v = u - stride;
         if (codec_ != nullptr) {
-          ByteBuffer wire;
-          RETURN_IF_ERROR(
-              codec_->Encode(std::span<const float>(partial[u]), &wire));
-          RETURN_IF_ERROR(
-              codec_->DecodeAdd(wire, std::span<float>(partial[v])));
+          RETURN_IF_ERROR(codec_->Encode(
+              std::span<const float>(partial[u].span()), &wire));
+          RETURN_IF_ERROR(codec_->DecodeAdd(wire, partial[v].span()));
         } else {
           for (size_t i = 0; i < count; ++i) {
             partial[v][i] += partial[u][i];
@@ -221,19 +241,22 @@ StatusOr<std::vector<Tensor>> DataflowRunner::RunTree(
     }
 
     // Broadcast: every replica installs decode(encode(aggregate)) so all
-    // nodes stay bit-identical (compressed), or the exact sum (raw).
-    std::vector<float> final_value = partial[0];
+    // nodes stay bit-identical (compressed), or the exact sum (raw). The
+    // compressed payload is decoded once, then replicated.
     if (codec_ != nullptr) {
-      ByteBuffer wire;
       RETURN_IF_ERROR(
-          codec_->Encode(std::span<const float>(final_value), &wire));
-      std::vector<float> decoded(count, 0.0f);
-      RETURN_IF_ERROR(codec_->Decode(wire, std::span<float>(decoded)));
-      final_value = std::move(decoded);
-    }
-    for (int w = 0; w < n; ++w) {
-      std::copy(final_value.begin(), final_value.end(),
-                outputs[w].slice(offset, count).begin());
+          codec_->Encode(std::span<const float>(partial[0].span()), &wire));
+      const auto decoded = outputs[0].slice(offset, count);
+      RETURN_IF_ERROR(codec_->Decode(wire, decoded));
+      for (int w = 1; w < n; ++w) {
+        std::copy(decoded.begin(), decoded.end(),
+                  outputs[w].slice(offset, count).begin());
+      }
+    } else {
+      for (int w = 0; w < n; ++w) {
+        std::copy(partial[0].begin(), partial[0].end(),
+                  outputs[w].slice(offset, count).begin());
+      }
     }
   }
   return outputs;

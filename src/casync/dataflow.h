@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/casync/config.h"
+#include "src/common/buffer_pool.h"
 #include "src/common/status.h"
 #include "src/compress/compressor.h"
 #include "src/tensor/tensor.h"
@@ -24,9 +25,13 @@ namespace hipress {
 
 class DataflowRunner {
  public:
-  // `codec` may be null for raw synchronization. Must outlive the runner.
-  DataflowRunner(StrategyKind strategy, const Compressor* codec)
-      : strategy_(strategy), codec_(codec) {}
+  // `codec` may be null for raw synchronization. Scratch (aggregation
+  // buffers, wire payloads) is drawn from `pool` — the global pool by
+  // default — and reused across partitions within a run, so steady-state
+  // runs allocate nothing. Both must outlive the runner.
+  DataflowRunner(StrategyKind strategy, const Compressor* codec,
+                 BufferPool* pool = &BufferPool::Global())
+      : strategy_(strategy), codec_(codec), pool_(pool) {}
 
   // Synchronizes inputs (one gradient per worker, equal sizes); returns the
   // per-worker results after the full push/pull or ring traversal.
@@ -43,6 +48,7 @@ class DataflowRunner {
 
   StrategyKind strategy_;
   const Compressor* codec_;
+  BufferPool* pool_;
 };
 
 }  // namespace hipress

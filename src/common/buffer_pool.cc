@@ -1,0 +1,135 @@
+#include "src/common/buffer_pool.h"
+
+#include <new>
+#include <string>
+
+namespace hipress {
+
+BufferPool::BufferPool(MetricsRegistry* registry)
+    : registry_(registry),
+      trace_origin_(std::chrono::steady_clock::now()) {
+  if (registry_ != nullptr) {
+    hits_counter_ = &registry_->counter("mem.pool_hits");
+    misses_counter_ = &registry_->counter("mem.pool_misses");
+    in_use_gauge_ = &registry_->gauge("mem.bytes_in_use");
+    peak_gauge_ = &registry_->gauge("mem.peak_bytes");
+  }
+}
+
+BufferPool::~BufferPool() { Trim(); }
+
+int BufferPool::BucketIndex(size_t bytes) {
+  size_t capacity = kMinBucketBytes;
+  int index = 0;
+  while (capacity < bytes) {
+    capacity <<= 1;
+    ++index;
+  }
+  CHECK_LT(index, kNumBuckets) << "request of " << bytes
+                               << " bytes exceeds the largest pool bucket";
+  return index;
+}
+
+size_t BufferPool::BucketCapacity(size_t bytes) {
+  return kMinBucketBytes << BucketIndex(bytes);
+}
+
+BufferPool::Block BufferPool::Acquire(size_t bytes) {
+  if (bytes == 0) {
+    return Block();
+  }
+  const int index = BucketIndex(bytes);
+  const size_t capacity = kMinBucketBytes << index;
+  Block block;
+  block.capacity = capacity;
+  bool miss = false;
+  SpanCollector* spans = nullptr;
+  int trace_node = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<void*>& free_list = free_lists_[index];
+    if (!free_list.empty()) {
+      block.data = free_list.back();
+      free_list.pop_back();
+      ++stats_.hits;
+      stats_.free_bytes -= capacity;
+      --stats_.free_blocks;
+    } else {
+      block.data = ::operator new(capacity);
+      ++stats_.misses;
+      miss = true;
+    }
+    stats_.bytes_in_use += capacity;
+    if (stats_.bytes_in_use > stats_.peak_bytes) {
+      stats_.peak_bytes = stats_.bytes_in_use;
+    }
+    if (registry_ != nullptr) {
+      if (miss) {
+        misses_counter_->Increment();
+      } else {
+        hits_counter_->Increment();
+      }
+      in_use_gauge_->Set(static_cast<double>(stats_.bytes_in_use));
+      peak_gauge_->Set(static_cast<double>(stats_.peak_bytes));
+    }
+    spans = spans_;
+    trace_node = trace_node_;
+  }
+  if (miss && spans != nullptr) {
+    const SimTime now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - trace_origin_)
+                            .count();
+    spans->Add(trace_node, kTraceLaneMemAlloc,
+               "alloc " + std::to_string(capacity) + "B", now, now);
+  }
+  return block;
+}
+
+void BufferPool::Release(Block block) {
+  if (!block) {
+    return;
+  }
+  const int index = BucketIndex(block.capacity);
+  CHECK_EQ(static_cast<size_t>(kMinBucketBytes << index), block.capacity)
+      << "released block capacity is not bucket-rounded";
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_lists_[index].push_back(block.data);
+  stats_.bytes_in_use -= block.capacity;
+  stats_.free_bytes += block.capacity;
+  ++stats_.free_blocks;
+  if (registry_ != nullptr) {
+    in_use_gauge_->Set(static_cast<double>(stats_.bytes_in_use));
+  }
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void BufferPool::Trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::vector<void*>& free_list : free_lists_) {
+    for (void* block : free_list) {
+      ::operator delete(block);
+    }
+    free_list.clear();
+  }
+  stats_.free_bytes = 0;
+  stats_.free_blocks = 0;
+}
+
+void BufferPool::set_trace(SpanCollector* spans, int node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_ = spans;
+  trace_node_ = node;
+}
+
+BufferPool& BufferPool::Global() {
+  // Leaked on purpose: Tensor/ByteBuffer destructors release blocks here,
+  // and statics of unknown destruction order may hold such buffers.
+  static BufferPool* pool = new BufferPool(&MetricsRegistry::Default());
+  return *pool;
+}
+
+}  // namespace hipress

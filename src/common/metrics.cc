@@ -258,6 +258,8 @@ const char* TraceLaneName(int lane) {
       return "net:retry";
     case kTraceLaneRecovery:
       return "recovery";
+    case kTraceLaneMemAlloc:
+      return "mem:alloc";
     default:
       return "lane";
   }

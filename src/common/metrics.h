@@ -141,6 +141,10 @@ inline constexpr int kTraceLaneCoordinator = 12;
 // windows (fault injection, src/net/reliable_channel.h).
 inline constexpr int kTraceLaneRetry = 13;
 inline constexpr int kTraceLaneRecovery = 14;
+// Pool-miss markers from src/common/buffer_pool.h: each fresh allocation
+// the BufferPool could not serve from a free list (warm-up bursts should
+// be the only activity on this row).
+inline constexpr int kTraceLaneMemAlloc = 15;
 
 // Human-readable row name for a lane ("net:uplink", "coordinator", ...);
 // lanes 0..9 are resolved by the exporter against GpuTaskKindName.

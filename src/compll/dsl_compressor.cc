@@ -93,19 +93,22 @@ StatusOr<ParamBindings> DslCompressor::BindParams(
   return bindings;
 }
 
-Status DslCompressor::Encode(std::span<const float> gradient,
-                             ByteBuffer* out) const {
+StatusOr<size_t> DslCompressor::EncodeInto(std::span<const float> gradient,
+                                           std::span<uint8_t> out) const {
   ASSIGN_OR_RETURN(ParamBindings bindings, BindParams("EncodeParams"));
   std::lock_guard<std::mutex> lock(mutex_);
   ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
                    interpreter_->RunEncode(gradient, bindings));
   // Wrapper framing: element count header, then the DSL payload.
-  out->Resize(kCountHeaderBytes + payload.size());
+  const size_t needed = kCountHeaderBytes + payload.size();
+  if (out.size() < needed) {
+    return ResourceExhaustedError("dsl: output capacity too small");
+  }
   const uint32_t count = static_cast<uint32_t>(gradient.size());
-  std::memcpy(out->data(), &count, sizeof(count));
-  std::memcpy(out->data() + kCountHeaderBytes, payload.data(),
+  std::memcpy(out.data(), &count, sizeof(count));
+  std::memcpy(out.data() + kCountHeaderBytes, payload.data(),
               payload.size());
-  return OkStatus();
+  return needed;
 }
 
 Status DslCompressor::Decode(const ByteBuffer& in,
@@ -148,6 +151,15 @@ size_t DslCompressor::MaxEncodedSize(size_t elements) const {
       static_cast<double>(elements * sizeof(float)) * probed_rate_;
   return kCountHeaderBytes + 64 +
          static_cast<size_t>(bytes * (is_sparse_ ? 2.0 : 1.05));
+}
+
+size_t DslCompressor::WorstCaseEncodedSize(size_t elements) const {
+  // Hard bound for any built-in program: sparse algorithms emit at most one
+  // (index, value) pair per element, dense ones at most 4 bytes/element. A
+  // program exceeding this fails its Create-time probe rather than at
+  // training time.
+  return kCountHeaderBytes + 64 +
+         elements * (sizeof(uint32_t) + sizeof(float));
 }
 
 double DslCompressor::CompressionRate(size_t elements) const {

@@ -2,17 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
-#include <vector>
 
+#include "src/common/buffer_pool.h"
 #include "src/compress/sparse_format.h"
 
 namespace hipress {
 
-Status AdaCompCompressor::Encode(std::span<const float> gradient,
-                                 ByteBuffer* out) const {
+StatusOr<size_t> AdaCompCompressor::EncodeInto(std::span<const float> gradient,
+                                               std::span<uint8_t> out) const {
+  Workspace ws;
   const size_t n = gradient.size();
-  std::vector<uint32_t> indices;
-  std::vector<float> values;
+  PooledU32 indices = ws.indices(0);
+  PooledFloats values = ws.floats(0);
   // Rough reservation: gaussian bins keep a few elements each.
   indices.reserve(n / 64 + 8);
   values.reserve(n / 64 + 8);
@@ -34,8 +35,8 @@ Status AdaCompCompressor::Encode(std::span<const float> gradient,
       }
     }
   }
-  SparseEncode(static_cast<uint32_t>(n), indices, values, out);
-  return OkStatus();
+  return SparseEncodeInto(static_cast<uint32_t>(n), indices.span(),
+                          values.span(), out);
 }
 
 Status AdaCompCompressor::Decode(const ByteBuffer& in,
@@ -59,6 +60,12 @@ size_t AdaCompCompressor::MaxEncodedSize(size_t elements) const {
   // bins keep a handful. Size for a conservative 1/8 of the elements.
   const size_t expected = std::max<size_t>(1, elements / 8);
   return SparseEncodedSize(std::min(elements, expected));
+}
+
+size_t AdaCompCompressor::WorstCaseEncodedSize(size_t elements) const {
+  // Every element can tie its bin's maximum (constant bins); the hard
+  // bound keeps them all.
+  return SparseEncodedSize(elements);
 }
 
 double AdaCompCompressor::CompressionRate(size_t elements) const {

@@ -2,8 +2,8 @@
 
 #include <cstring>
 #include <functional>
-#include <vector>
 
+#include "src/common/buffer_pool.h"
 #include "src/compress/registry.h"
 #include "src/compress/sparse_format.h"
 
@@ -45,8 +45,9 @@ ComposedCompressor::CreateFromNames(const std::string& sparsifier,
   return Create(std::move(outer), std::move(inner));
 }
 
-Status ComposedCompressor::Encode(std::span<const float> gradient,
-                                  ByteBuffer* out) const {
+StatusOr<size_t> ComposedCompressor::EncodeInto(
+    std::span<const float> gradient, std::span<uint8_t> out) const {
+  // Pooled stage buffers: both shrink back into the pool on return.
   ByteBuffer sparse;
   RETURN_IF_ERROR(sparsifier_->Encode(gradient, &sparse));
   ASSIGN_OR_RETURN(SparseView view, SparseParse(sparse));
@@ -55,9 +56,12 @@ Status ComposedCompressor::Encode(std::span<const float> gradient,
   RETURN_IF_ERROR(quantizer_->Encode(
       std::span<const float>(view.values, view.k), &inner));
 
-  out->Resize(2 * sizeof(uint32_t) + view.k * sizeof(uint32_t) +
-              sizeof(uint32_t) + inner.size());
-  uint8_t* bytes = out->data();
+  const size_t needed = 2 * sizeof(uint32_t) + view.k * sizeof(uint32_t) +
+                        sizeof(uint32_t) + inner.size();
+  if (out.size() < needed) {
+    return ResourceExhaustedError("composed: output capacity too small");
+  }
+  uint8_t* bytes = out.data();
   size_t write = 0;
   std::memcpy(bytes + write, &view.count, sizeof(uint32_t));
   write += sizeof(uint32_t);
@@ -69,7 +73,7 @@ Status ComposedCompressor::Encode(std::span<const float> gradient,
   std::memcpy(bytes + write, &inner_size, sizeof(inner_size));
   write += sizeof(inner_size);
   std::memcpy(bytes + write, inner.data(), inner.size());
-  return OkStatus();
+  return needed;
 }
 
 Status ComposedCompressor::DecodeEach(
@@ -98,10 +102,10 @@ Status ComposedCompressor::DecodeEach(
   if (in.size() < offset + inner_size) {
     return InvalidArgumentError("composed: truncated inner payload");
   }
-  ByteBuffer inner(std::vector<uint8_t>(in.data() + offset,
-                                        in.data() + offset + inner_size));
-  std::vector<float> values(k, 0.0f);
-  RETURN_IF_ERROR(quantizer_->Decode(inner, values));
+  ByteBuffer inner(std::span<const uint8_t>(in.data() + offset, inner_size));
+  Workspace ws;
+  PooledFloats values = ws.zeroed_floats(k);
+  RETURN_IF_ERROR(quantizer_->Decode(inner, values.span()));
   for (uint32_t i = 0; i < k; ++i) {
     if (indices[i] >= count) {
       return InvalidArgumentError("composed: index out of range");
@@ -146,6 +150,12 @@ size_t ComposedCompressor::MaxEncodedSize(size_t elements) const {
                        : 0;
   return 3 * sizeof(uint32_t) + k * sizeof(uint32_t) +
          quantizer_->MaxEncodedSize(k);
+}
+
+size_t ComposedCompressor::WorstCaseEncodedSize(size_t elements) const {
+  // The sparsifier may keep every element on adversarial inputs.
+  return 3 * sizeof(uint32_t) + elements * sizeof(uint32_t) +
+         quantizer_->WorstCaseEncodedSize(elements);
 }
 
 double ComposedCompressor::CompressionRate(size_t elements) const {

@@ -43,12 +43,13 @@ class ComposedCompressor : public Compressor {
   std::string_view name() const override { return name_; }
   bool is_sparse() const override { return true; }
 
-  Status Encode(std::span<const float> gradient,
-                ByteBuffer* out) const override;
+  StatusOr<size_t> EncodeInto(std::span<const float> gradient,
+                              std::span<uint8_t> out) const override;
   Status Decode(const ByteBuffer& in, std::span<float> out) const override;
   Status DecodeAdd(const ByteBuffer& in, std::span<float> accum) const override;
   StatusOr<size_t> EncodedElementCount(const ByteBuffer& in) const override;
   size_t MaxEncodedSize(size_t elements) const override;
+  size_t WorstCaseEncodedSize(size_t elements) const override;
   double CompressionRate(size_t elements) const override;
 
  private:

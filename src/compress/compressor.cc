@@ -1,15 +1,35 @@
 #include "src/compress/compressor.h"
 
-#include <vector>
+#include "src/common/buffer_pool.h"
 
 namespace hipress {
 
+Status Compressor::Encode(std::span<const float> gradient,
+                          ByteBuffer* out) const {
+  out->Resize(MaxEncodedSize(gradient.size()));
+  StatusOr<size_t> written = EncodeInto(gradient, out->span());
+  if (!written.ok() &&
+      written.status().code() == StatusCode::kResourceExhausted) {
+    // Threshold sparsifiers can exceed their expected bound on adversarial
+    // inputs; retry once at the codec's hard worst case.
+    const size_t worst = WorstCaseEncodedSize(gradient.size());
+    if (worst > out->size()) {
+      out->Resize(worst);
+      written = EncodeInto(gradient, out->span());
+    }
+  }
+  RETURN_IF_ERROR(written.status());
+  out->Resize(*written);
+  return OkStatus();
+}
+
 Status Compressor::DecodeAdd(const ByteBuffer& in,
                              std::span<float> accum) const {
-  // Generic fallback: decode into scratch, then add. Codecs override this
-  // with a single-pass fused version where profitable.
-  std::vector<float> scratch(accum.size(), 0.0f);
-  RETURN_IF_ERROR(Decode(in, std::span<float>(scratch)));
+  // Generic fallback: decode into pooled scratch, then add. Codecs override
+  // this with a single-pass fused version where profitable.
+  Workspace ws;
+  PooledFloats scratch = ws.zeroed_floats(accum.size());
+  RETURN_IF_ERROR(Decode(in, scratch.span()));
   for (size_t i = 0; i < accum.size(); ++i) {
     accum[i] += scratch[i];
   }

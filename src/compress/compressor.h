@@ -50,9 +50,18 @@ class Compressor {
   // Sparsification (index/value pairs) vs quantization (dense low precision).
   virtual bool is_sparse() const = 0;
 
-  // Compresses `gradient` into `out` (overwritten).
-  virtual Status Encode(std::span<const float> gradient,
-                        ByteBuffer* out) const = 0;
+  // Compresses `gradient` into `out` (overwritten). Non-virtual
+  // convenience over EncodeInto: sizes `out` to MaxEncodedSize, encodes in
+  // place, and trims to the written length. With pooled ByteBuffer storage
+  // this allocates nothing once the pool is warm.
+  Status Encode(std::span<const float> gradient, ByteBuffer* out) const;
+
+  // Compresses `gradient` into caller-provided capacity and returns the
+  // number of bytes written. Returns ResourceExhausted (without touching
+  // `out` meaningfully) when `out.size()` is too small — callers size with
+  // MaxEncodedSize(), or WorstCaseEncodedSize() for a guaranteed fit.
+  virtual StatusOr<size_t> EncodeInto(std::span<const float> gradient,
+                                      std::span<uint8_t> out) const = 0;
 
   // Decompresses `in` into `out`, overwriting all elements (sparse codecs
   // zero-fill the complement). `out.size()` must equal the encoded element
@@ -69,6 +78,15 @@ class Compressor {
 
   // Worst-case encoded byte size for `elements` input elements.
   virtual size_t MaxEncodedSize(size_t elements) const = 0;
+
+  // Hard upper bound on EncodeInto's output. Defaults to MaxEncodedSize;
+  // codecs whose expected bound can be exceeded on adversarial inputs
+  // (threshold sparsifiers that keep more than the target fraction)
+  // override this with the true worst case. Encode() retries at this size
+  // when the MaxEncodedSize attempt comes back ResourceExhausted.
+  virtual size_t WorstCaseEncodedSize(size_t elements) const {
+    return MaxEncodedSize(elements);
+  }
 
   // Expected compression rate r = encoded_bytes / original_bytes, used by
   // the SeCoPa cost model (Table 2's `r`).

@@ -6,6 +6,7 @@
 #include <future>
 #include <vector>
 
+#include "src/common/buffer_pool.h"
 #include "src/common/thread_pool.h"
 #include "src/compress/sparse_format.h"
 
@@ -16,8 +17,9 @@ namespace {
 constexpr size_t kExactSelectionLimit = 1 << 16;
 
 // Exact top-k: returns the k-th largest magnitude (selection threshold).
-float ExactThreshold(std::span<const float> gradient, size_t k) {
-  std::vector<float> magnitudes(gradient.size());
+float ExactThreshold(std::span<const float> gradient, size_t k,
+                     Workspace& ws) {
+  PooledFloats magnitudes = ws.floats(gradient.size());
   for (size_t i = 0; i < gradient.size(); ++i) {
     magnitudes[i] = std::abs(gradient[i]);
   }
@@ -28,12 +30,12 @@ float ExactThreshold(std::span<const float> gradient, size_t k) {
 
 // Sampled threshold: deterministic strided sample, then quantile selection.
 float SampledThreshold(std::span<const float> gradient, size_t k,
-                       uint64_t seed) {
+                       uint64_t seed, Workspace& ws) {
   const size_t n = gradient.size();
   const size_t sample_size = std::max<size_t>(4096, n / 100);
   const size_t stride = std::max<size_t>(1, n / sample_size);
   const size_t start = seed % stride;
-  std::vector<float> sample;
+  PooledFloats sample = ws.floats(0);
   sample.reserve(n / stride + 1);
   for (size_t i = start; i < n; i += stride) {
     sample.push_back(std::abs(gradient[i]));
@@ -59,24 +61,28 @@ size_t DgcCompressor::TargetK(size_t elements) const {
              std::ceil(static_cast<double>(elements) * ratio_)));
 }
 
-Status DgcCompressor::Encode(std::span<const float> gradient,
-                             ByteBuffer* out) const {
+StatusOr<size_t> DgcCompressor::EncodeInto(std::span<const float> gradient,
+                                           std::span<uint8_t> out) const {
+  Workspace ws;
   const size_t n = gradient.size();
   const size_t target_k = TargetK(n);
   if (n == 0) {
-    SparseEncode(0, {}, {}, out);
-    return OkStatus();
+    return SparseEncodeInto(0, {}, {}, out);
   }
 
-  const float threshold = n <= kExactSelectionLimit
-                              ? ExactThreshold(gradient, target_k)
-                              : SampledThreshold(gradient, target_k, seed_);
+  const float threshold =
+      n <= kExactSelectionLimit
+          ? ExactThreshold(gradient, target_k, ws)
+          : SampledThreshold(gradient, target_k, seed_, ws);
 
   // Parallel scan: collect indices above the threshold per shard, in order.
   const size_t num_shards =
       std::min<size_t>(ThreadPool::Global().num_threads(),
                        std::max<size_t>(1, n / (256 * 1024)) );
-  std::vector<std::vector<uint32_t>> shard_hits(std::max<size_t>(1, num_shards));
+  std::vector<PooledU32> shard_hits;
+  for (size_t s = 0; s < std::max<size_t>(1, num_shards); ++s) {
+    shard_hits.emplace_back(ws.pool());
+  }
   {
     const size_t shards = shard_hits.size();
     const size_t shard_size = (n + shards - 1) / shards;
@@ -101,9 +107,18 @@ Status DgcCompressor::Encode(std::span<const float> gradient,
     }
   }
 
-  std::vector<uint32_t> indices;
-  for (const auto& hits : shard_hits) {
-    indices.insert(indices.end(), hits.begin(), hits.end());
+  PooledU32 indices = ws.indices(0);
+  {
+    size_t total = 0;
+    for (const auto& hits : shard_hits) {
+      total += hits.size();
+    }
+    indices.reserve(total);
+    for (const auto& hits : shard_hits) {
+      for (const uint32_t hit : hits) {
+        indices.push_back(hit);
+      }
+    }
   }
 
   // Sampling can overshoot; trim to exactly target_k by magnitude, then
@@ -129,12 +144,12 @@ Status DgcCompressor::Encode(std::span<const float> gradient,
     indices.push_back(best);
   }
 
-  std::vector<float> values(indices.size());
+  PooledFloats values = ws.floats(indices.size());
   for (size_t i = 0; i < indices.size(); ++i) {
     values[i] = gradient[indices[i]];
   }
-  SparseEncode(static_cast<uint32_t>(n), indices, values, out);
-  return OkStatus();
+  return SparseEncodeInto(static_cast<uint32_t>(n), indices.span(),
+                          values.span(), out);
 }
 
 Status DgcCompressor::Decode(const ByteBuffer& in, std::span<float> out) const {

@@ -1,5 +1,7 @@
 #include "src/compress/error_feedback.h"
 
+#include "src/common/buffer_pool.h"
+
 namespace hipress {
 
 Status ErrorFeedback::EncodeWithFeedback(const std::string& key,
@@ -11,16 +13,17 @@ Status ErrorFeedback::EncodeWithFeedback(const std::string& key,
   }
 
   // corrected = gradient + residual
-  std::vector<float> corrected(gradient.size());
+  Workspace ws;
+  PooledFloats corrected = ws.floats(gradient.size());
   for (size_t i = 0; i < gradient.size(); ++i) {
     corrected[i] = gradient[i] + residual[i];
   }
 
-  RETURN_IF_ERROR(compressor_->Encode(corrected, out));
+  RETURN_IF_ERROR(compressor_->Encode(corrected.span(), out));
 
   // residual = corrected - decode(encode(corrected))
-  std::vector<float> decoded(gradient.size(), 0.0f);
-  RETURN_IF_ERROR(compressor_->Decode(*out, decoded));
+  PooledFloats decoded = ws.zeroed_floats(gradient.size());
+  RETURN_IF_ERROR(compressor_->Decode(*out, decoded.span()));
   for (size_t i = 0; i < gradient.size(); ++i) {
     residual[i] = corrected[i] - decoded[i];
   }

@@ -76,21 +76,23 @@ float HalfToFloat(uint16_t half) {
   return value;
 }
 
-Status Fp16Compressor::Encode(std::span<const float> gradient,
-                              ByteBuffer* out) const {
+StatusOr<size_t> Fp16Compressor::EncodeInto(std::span<const float> gradient,
+                                            std::span<uint8_t> out) const {
   const size_t n = gradient.size();
-  out->Resize(kCountHeaderBytes + n * sizeof(uint16_t));
+  const size_t needed = kCountHeaderBytes + n * sizeof(uint16_t);
+  if (out.size() < needed) {
+    return ResourceExhaustedError("fp16: output capacity too small");
+  }
   const uint32_t count = static_cast<uint32_t>(n);
-  std::memcpy(out->data(), &count, sizeof(count));
-  auto* halves =
-      reinterpret_cast<uint16_t*>(out->data() + kCountHeaderBytes);
+  std::memcpy(out.data(), &count, sizeof(count));
+  auto* halves = reinterpret_cast<uint16_t*>(out.data() + kCountHeaderBytes);
   ThreadPool::Global().ParallelFor(n, kParallelGrain,
                                    [&](size_t begin, size_t end) {
                                      for (size_t i = begin; i < end; ++i) {
                                        halves[i] = FloatToHalf(gradient[i]);
                                      }
                                    });
-  return OkStatus();
+  return needed;
 }
 
 namespace {

@@ -25,8 +25,8 @@ class Fp16Compressor : public Compressor {
   std::string_view name() const override { return "fp16"; }
   bool is_sparse() const override { return false; }
 
-  Status Encode(std::span<const float> gradient,
-                ByteBuffer* out) const override;
+  StatusOr<size_t> EncodeInto(std::span<const float> gradient,
+                              std::span<uint8_t> out) const override;
   Status Decode(const ByteBuffer& in, std::span<float> out) const override;
   Status DecodeAdd(const ByteBuffer& in, std::span<float> accum) const override;
   StatusOr<size_t> EncodedElementCount(const ByteBuffer& in) const override;

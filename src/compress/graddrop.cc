@@ -3,25 +3,25 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
-#include <vector>
 
+#include "src/common/buffer_pool.h"
 #include "src/compress/sparse_format.h"
 
 namespace hipress {
 
-Status GradDropCompressor::Encode(std::span<const float> gradient,
-                                  ByteBuffer* out) const {
+StatusOr<size_t> GradDropCompressor::EncodeInto(
+    std::span<const float> gradient, std::span<uint8_t> out) const {
+  Workspace ws;
   const size_t n = gradient.size();
   if (n == 0) {
-    SparseEncode(0, {}, {}, out);
-    return OkStatus();
+    return SparseEncodeInto(0, {}, {}, out);
   }
 
   // Sample ~1% (at least 1024) magnitudes with a deterministic stride and
   // take the drop threshold at the (1 - ratio) quantile of the sample.
   const size_t sample_size = std::min(n, std::max<size_t>(1024, n / 100));
   const size_t stride = std::max<size_t>(1, n / sample_size);
-  std::vector<float> sample;
+  PooledFloats sample = ws.floats(0);
   sample.reserve(n / stride + 1);
   for (size_t i = seed_ % stride; i < n; i += stride) {
     sample.push_back(std::abs(gradient[i]));
@@ -34,18 +34,18 @@ Status GradDropCompressor::Encode(std::span<const float> gradient,
                    sample.end(), std::greater<float>());
   const float threshold = sample[keep_in_sample - 1];
 
-  std::vector<uint32_t> indices;
-  std::vector<float> values;
+  PooledU32 indices = ws.indices(0);
+  PooledFloats values = ws.floats(0);
   indices.reserve(static_cast<size_t>(static_cast<double>(n) * ratio_ * 2) + 8);
+  values.reserve(static_cast<size_t>(static_cast<double>(n) * ratio_ * 2) + 8);
   for (size_t i = 0; i < n; ++i) {
     if (std::abs(gradient[i]) >= threshold && gradient[i] != 0.0f) {
       indices.push_back(static_cast<uint32_t>(i));
       values.push_back(gradient[i]);
     }
   }
-  values.resize(indices.size());
-  SparseEncode(static_cast<uint32_t>(n), indices, values, out);
-  return OkStatus();
+  return SparseEncodeInto(static_cast<uint32_t>(n), indices.span(),
+                          values.span(), out);
 }
 
 Status GradDropCompressor::Decode(const ByteBuffer& in,
@@ -70,6 +70,12 @@ size_t GradDropCompressor::MaxEncodedSize(size_t elements) const {
       1, static_cast<size_t>(
              std::ceil(static_cast<double>(elements) * ratio_ * 2.0)));
   return SparseEncodedSize(std::min(elements, expected));
+}
+
+size_t GradDropCompressor::WorstCaseEncodedSize(size_t elements) const {
+  // An adversarial distribution can put every element above the sampled
+  // threshold; the hard bound keeps them all.
+  return SparseEncodedSize(elements);
 }
 
 double GradDropCompressor::CompressionRate(size_t elements) const {

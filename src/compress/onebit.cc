@@ -23,11 +23,14 @@ struct SignStats {
 
 }  // namespace
 
-Status OnebitCompressor::Encode(std::span<const float> gradient,
-                                ByteBuffer* out) const {
+StatusOr<size_t> OnebitCompressor::EncodeInto(std::span<const float> gradient,
+                                              std::span<uint8_t> out) const {
   const size_t n = gradient.size();
-  out->Resize(kHeaderBytes + PackedBytes(n, 1));
-  uint8_t* bytes = out->data();
+  const size_t needed = kHeaderBytes + PackedBytes(n, 1);
+  if (out.size() < needed) {
+    return ResourceExhaustedError("onebit: output capacity too small");
+  }
+  uint8_t* bytes = out.data();
 
   // Pass 1: signed means (sharded reduce).
   SignStats stats;
@@ -84,7 +87,7 @@ Status OnebitCompressor::Encode(std::span<const float> gradient,
           packed[b] = byte;
         }
       });
-  return OkStatus();
+  return needed;
 }
 
 Status OnebitCompressor::Decode(const ByteBuffer& in,
@@ -129,6 +132,9 @@ Status OnebitCompressor::DecodeAdd(const ByteBuffer& in,
   const float pos_mean = in.ReadAt<float>(offset);
   if (accum.size() != count) {
     return InvalidArgumentError("onebit: accumulator size mismatch");
+  }
+  if (in.size() < kHeaderBytes + PackedBytes(count, 1)) {
+    return InvalidArgumentError("onebit: truncated payload");
   }
   const uint8_t* packed = in.data() + kHeaderBytes;
   ThreadPool::Global().ParallelFor(

@@ -4,9 +4,9 @@
 #include <cmath>
 #include <cstring>
 #include <numeric>
-#include <vector>
 
 #include "src/common/bitops.h"
+#include "src/common/buffer_pool.h"
 #include "src/compress/sparse_format.h"
 
 namespace hipress {
@@ -21,11 +21,14 @@ constexpr size_t kTernGradHeaderBytes =
 
 // ---------------------------------------------------------------- onebit --
 
-Status OssOnebitCompressor::Encode(std::span<const float> gradient,
-                                   ByteBuffer* out) const {
+StatusOr<size_t> OssOnebitCompressor::EncodeInto(
+    std::span<const float> gradient, std::span<uint8_t> out) const {
   const size_t n = gradient.size();
-  out->Resize(kOnebitHeaderBytes + PackedBytes(n, 1));
-  uint8_t* bytes = out->data();
+  const size_t needed = kOnebitHeaderBytes + PackedBytes(n, 1);
+  if (out.size() < needed) {
+    return ResourceExhaustedError("oss-onebit: output capacity too small");
+  }
+  uint8_t* bytes = out.data();
 
   // Pass 1 & 2: separate scans for positive and negative means (the OSS
   // version reduces each side independently).
@@ -62,7 +65,7 @@ Status OssOnebitCompressor::Encode(std::span<const float> gradient,
   for (size_t i = 0; i < n; ++i) {
     WriteBits(packed, i, 1, gradient[i] >= 0.0f ? 1u : 0u);
   }
-  return OkStatus();
+  return needed;
 }
 
 Status OssOnebitCompressor::Decode(const ByteBuffer& in,
@@ -110,18 +113,23 @@ double OssOnebitCompressor::CompressionRate(size_t elements) const {
 
 // ------------------------------------------------------------------- tbq --
 
-Status OssTbqCompressor::Encode(std::span<const float> gradient,
-                                ByteBuffer* out) const {
+StatusOr<size_t> OssTbqCompressor::EncodeInto(std::span<const float> gradient,
+                                              std::span<uint8_t> out) const {
   const size_t n = gradient.size();
-  out->Resize(kTbqHeaderBytes + PackedBytes(n, 2));
-  uint8_t* bytes = out->data();
+  const size_t needed = kTbqHeaderBytes + PackedBytes(n, 2);
+  if (out.size() < needed) {
+    return ResourceExhaustedError("oss-tbq: output capacity too small");
+  }
+  uint8_t* bytes = out.data();
   const uint32_t count = static_cast<uint32_t>(n);
   std::memcpy(bytes, &count, sizeof(count));
   std::memcpy(bytes + sizeof(count), &threshold_, sizeof(threshold_));
 
-  // Materialize the ternary codes in a temporary vector first (extra copy),
+  // Materialize the ternary codes in a temporary array first (extra copy),
   // then pack with generic bit writes.
-  std::vector<uint8_t> codes(n, 0);
+  Workspace ws;
+  PooledBytes codes = ws.bytes(0);
+  codes.assign(n, 0);
   for (size_t i = 0; i < n; ++i) {
     if (gradient[i] > threshold_) {
       codes[i] = 1;
@@ -134,7 +142,7 @@ Status OssTbqCompressor::Encode(std::span<const float> gradient,
   for (size_t i = 0; i < n; ++i) {
     WriteBits(packed, i * 2, 2, codes[i]);
   }
-  return OkStatus();
+  return needed;
 }
 
 Status OssTbqCompressor::Decode(const ByteBuffer& in,
@@ -182,14 +190,17 @@ double OssTbqCompressor::CompressionRate(size_t elements) const {
 
 // -------------------------------------------------------------- terngrad --
 
-Status OssTernGradCompressor::Encode(std::span<const float> gradient,
-                                     ByteBuffer* out) const {
+StatusOr<size_t> OssTernGradCompressor::EncodeInto(
+    std::span<const float> gradient, std::span<uint8_t> out) const {
   if (!(bitwidth_ == 1 || bitwidth_ == 2 || bitwidth_ == 4 || bitwidth_ == 8)) {
     return InvalidArgumentError("oss-terngrad: bitwidth must be 1/2/4/8");
   }
   const size_t n = gradient.size();
-  out->Resize(kTernGradHeaderBytes + PackedBytes(n, bitwidth_));
-  uint8_t* bytes = out->data();
+  const size_t needed = kTernGradHeaderBytes + PackedBytes(n, bitwidth_);
+  if (out.size() < needed) {
+    return ResourceExhaustedError("oss-terngrad: output capacity too small");
+  }
+  uint8_t* bytes = out.data();
 
   float min_value = n > 0 ? gradient[0] : 0.0f;
   float max_value = min_value;
@@ -215,8 +226,10 @@ Status OssTernGradCompressor::Encode(std::span<const float> gradient,
   const float gap =
       levels > 0 ? (max_value - min_value) / static_cast<float>(levels) : 0.0f;
 
-  // Temporary quantized vector, then a second packing pass.
-  std::vector<uint32_t> quantized(n, 0);
+  // Temporary quantized array, then a second packing pass.
+  Workspace ws;
+  PooledU32 quantized = ws.indices(0);
+  quantized.assign(n, 0);
   if (gap > 0.0f) {
     for (size_t i = 0; i < n; ++i) {
       const float r = (gradient[i] - min_value) / gap;
@@ -230,7 +243,7 @@ Status OssTernGradCompressor::Encode(std::span<const float> gradient,
   for (size_t i = 0; i < n; ++i) {
     WriteBits(packed, i * bitwidth_, bitwidth_, quantized[i]);
   }
-  return OkStatus();
+  return needed;
 }
 
 Status OssTernGradCompressor::Decode(const ByteBuffer& in,
@@ -283,19 +296,19 @@ double OssTernGradCompressor::CompressionRate(size_t elements) const {
 
 // ------------------------------------------------------------------- dgc --
 
-Status OssDgcCompressor::Encode(std::span<const float> gradient,
-                                ByteBuffer* out) const {
+StatusOr<size_t> OssDgcCompressor::EncodeInto(std::span<const float> gradient,
+                                              std::span<uint8_t> out) const {
   const size_t n = gradient.size();
   if (n == 0) {
-    SparseEncode(0, {}, {}, out);
-    return OkStatus();
+    return SparseEncodeInto(0, {}, {}, out);
   }
   const size_t target_k = std::max<size_t>(
       1,
       static_cast<size_t>(std::ceil(static_cast<double>(n) * ratio_)));
 
   // Full sort of every index by magnitude: exact but O(n log n).
-  std::vector<uint32_t> order(n);
+  Workspace ws;
+  PooledU32 order = ws.indices(n);
   std::iota(order.begin(), order.end(), 0u);
   std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
     return std::abs(gradient[a]) > std::abs(gradient[b]);
@@ -303,12 +316,12 @@ Status OssDgcCompressor::Encode(std::span<const float> gradient,
   order.resize(std::min(target_k, n));
   std::sort(order.begin(), order.end());
 
-  std::vector<float> values(order.size());
+  PooledFloats values = ws.floats(order.size());
   for (size_t i = 0; i < order.size(); ++i) {
     values[i] = gradient[order[i]];
   }
-  SparseEncode(static_cast<uint32_t>(n), order, values, out);
-  return OkStatus();
+  return SparseEncodeInto(static_cast<uint32_t>(n), order.span(),
+                          values.span(), out);
 }
 
 Status OssDgcCompressor::Decode(const ByteBuffer& in,

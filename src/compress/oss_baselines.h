@@ -23,8 +23,8 @@ class OssOnebitCompressor : public Compressor {
   explicit OssOnebitCompressor(const CompressorParams& params = {}) {}
   std::string_view name() const override { return "oss-onebit"; }
   bool is_sparse() const override { return false; }
-  Status Encode(std::span<const float> gradient,
-                ByteBuffer* out) const override;
+  StatusOr<size_t> EncodeInto(std::span<const float> gradient,
+                              std::span<uint8_t> out) const override;
   Status Decode(const ByteBuffer& in, std::span<float> out) const override;
   StatusOr<size_t> EncodedElementCount(const ByteBuffer& in) const override;
   size_t MaxEncodedSize(size_t elements) const override;
@@ -38,8 +38,8 @@ class OssTbqCompressor : public Compressor {
       : threshold_(params.threshold) {}
   std::string_view name() const override { return "oss-tbq"; }
   bool is_sparse() const override { return false; }
-  Status Encode(std::span<const float> gradient,
-                ByteBuffer* out) const override;
+  StatusOr<size_t> EncodeInto(std::span<const float> gradient,
+                              std::span<uint8_t> out) const override;
   Status Decode(const ByteBuffer& in, std::span<float> out) const override;
   StatusOr<size_t> EncodedElementCount(const ByteBuffer& in) const override;
   size_t MaxEncodedSize(size_t elements) const override;
@@ -57,8 +57,8 @@ class OssTernGradCompressor : public Compressor {
       : bitwidth_(params.bitwidth), seed_(params.seed) {}
   std::string_view name() const override { return "oss-terngrad"; }
   bool is_sparse() const override { return false; }
-  Status Encode(std::span<const float> gradient,
-                ByteBuffer* out) const override;
+  StatusOr<size_t> EncodeInto(std::span<const float> gradient,
+                              std::span<uint8_t> out) const override;
   Status Decode(const ByteBuffer& in, std::span<float> out) const override;
   StatusOr<size_t> EncodedElementCount(const ByteBuffer& in) const override;
   size_t MaxEncodedSize(size_t elements) const override;
@@ -77,8 +77,8 @@ class OssDgcCompressor : public Compressor {
       : ratio_(params.sparsity_ratio) {}
   std::string_view name() const override { return "oss-dgc"; }
   bool is_sparse() const override { return true; }
-  Status Encode(std::span<const float> gradient,
-                ByteBuffer* out) const override;
+  StatusOr<size_t> EncodeInto(std::span<const float> gradient,
+                              std::span<uint8_t> out) const override;
   Status Decode(const ByteBuffer& in, std::span<float> out) const override;
   StatusOr<size_t> EncodedElementCount(const ByteBuffer& in) const override;
   size_t MaxEncodedSize(size_t elements) const override;

@@ -9,10 +9,23 @@ namespace hipress {
 
 void SparseEncode(uint32_t original_count, std::span<const uint32_t> indices,
                   std::span<const float> values, ByteBuffer* out) {
+  out->Resize(SparseEncodedSize(indices.size()));
+  const StatusOr<size_t> written =
+      SparseEncodeInto(original_count, indices, values, out->span());
+  CHECK(written.ok()) << written.status();
+}
+
+StatusOr<size_t> SparseEncodeInto(uint32_t original_count,
+                                  std::span<const uint32_t> indices,
+                                  std::span<const float> values,
+                                  std::span<uint8_t> out) {
   CHECK_EQ(indices.size(), values.size());
   const uint32_t k = static_cast<uint32_t>(indices.size());
-  out->Resize(SparseEncodedSize(k));
-  uint8_t* bytes = out->data();
+  const size_t needed = SparseEncodedSize(k);
+  if (out.size() < needed) {
+    return ResourceExhaustedError("sparse: output capacity too small");
+  }
+  uint8_t* bytes = out.data();
   size_t write = 0;
   std::memcpy(bytes + write, &original_count, sizeof(original_count));
   write += sizeof(original_count);
@@ -23,6 +36,7 @@ void SparseEncode(uint32_t original_count, std::span<const uint32_t> indices,
     write += k * sizeof(uint32_t);
     std::memcpy(bytes + write, values.data(), k * sizeof(float));
   }
+  return needed;
 }
 
 StatusOr<SparseView> SparseParse(const ByteBuffer& in) {

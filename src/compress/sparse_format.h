@@ -33,6 +33,14 @@ constexpr size_t SparseEncodedSize(size_t k) {
 void SparseEncode(uint32_t original_count, std::span<const uint32_t> indices,
                   std::span<const float> values, ByteBuffer* out);
 
+// Span variant for pooled, caller-sized destinations: writes the payload
+// into `out` and returns the bytes written, or ResourceExhausted when the
+// capacity is short of SparseEncodedSize(indices.size()).
+StatusOr<size_t> SparseEncodeInto(uint32_t original_count,
+                                  std::span<const uint32_t> indices,
+                                  std::span<const float> values,
+                                  std::span<uint8_t> out);
+
 // Validates and maps a payload without copying.
 StatusOr<SparseView> SparseParse(const ByteBuffer& in);
 

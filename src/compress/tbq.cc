@@ -18,11 +18,14 @@ constexpr uint8_t kMinus = 2;
 
 }  // namespace
 
-Status TbqCompressor::Encode(std::span<const float> gradient,
-                             ByteBuffer* out) const {
+StatusOr<size_t> TbqCompressor::EncodeInto(std::span<const float> gradient,
+                                           std::span<uint8_t> out) const {
   const size_t n = gradient.size();
-  out->Resize(kHeaderBytes + PackedBytes(n, 2));
-  uint8_t* bytes = out->data();
+  const size_t needed = kHeaderBytes + PackedBytes(n, 2);
+  if (out.size() < needed) {
+    return ResourceExhaustedError("tbq: output capacity too small");
+  }
+  uint8_t* bytes = out.data();
   const uint32_t count = static_cast<uint32_t>(n);
   std::memcpy(bytes, &count, sizeof(count));
   std::memcpy(bytes + sizeof(count), &threshold_, sizeof(threshold_));
@@ -50,7 +53,7 @@ Status TbqCompressor::Encode(std::span<const float> gradient,
           packed[b] = byte;
         }
       });
-  return OkStatus();
+  return needed;
 }
 
 namespace {

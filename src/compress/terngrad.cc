@@ -21,14 +21,17 @@ bool ValidBitwidth(unsigned bits) {
 
 }  // namespace
 
-Status TernGradCompressor::Encode(std::span<const float> gradient,
-                                  ByteBuffer* out) const {
+StatusOr<size_t> TernGradCompressor::EncodeInto(
+    std::span<const float> gradient, std::span<uint8_t> out) const {
   if (!ValidBitwidth(bitwidth_)) {
     return InvalidArgumentError("terngrad: bitwidth must be 1/2/4/8");
   }
   const size_t n = gradient.size();
-  out->Resize(kHeaderBytes + PackedBytes(n, bitwidth_));
-  uint8_t* bytes = out->data();
+  const size_t needed = kHeaderBytes + PackedBytes(n, bitwidth_);
+  if (out.size() < needed) {
+    return ResourceExhaustedError("terngrad: output capacity too small");
+  }
+  uint8_t* bytes = out.data();
 
   // Pass 1: min/max reduce (sharded).
   float min_value = n > 0 ? gradient[0] : 0.0f;
@@ -90,7 +93,7 @@ Status TernGradCompressor::Encode(std::span<const float> gradient,
           packed[b] = byte;
         }
       });
-  return OkStatus();
+  return needed;
 }
 
 namespace {

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "src/common/buffer_pool.h"
 #include "src/compress/registry.h"
 
 namespace hipress {
@@ -32,7 +33,9 @@ void SyntheticTask::Sample(Rng& rng, int batch, std::vector<float>* inputs,
 }
 
 DistTrainer::DistTrainer(const DistTrainConfig& config)
-    : config_(config), model_(config.model), eval_rng_(config.task.seed ^ 0xe7a1) {}
+    : config_(config),
+      model_(config.model),
+      eval_rng_(config.task.seed ^ 0xe7a1) {}
 
 StatusOr<std::unique_ptr<DistTrainer>> DistTrainer::Create(
     const DistTrainConfig& config) {
@@ -55,6 +58,11 @@ StatusOr<std::unique_ptr<DistTrainer>> DistTrainer::Create(
   }
   trainer->dataflow_ = std::make_unique<DataflowRunner>(
       config.strategy, trainer->codec_.get());
+  // Preallocate the momentum state here rather than lazily inside the
+  // first ApplySgd: its buffers are permanent, and taking them out of the
+  // pool up front keeps the first training step the only one that faults
+  // fresh blocks in (the steady-state zero-miss invariant).
+  trainer->velocity_ = trainer->model_.MakeGradients();
   Rng root(config.task.seed);
   for (int w = 0; w < config.num_workers; ++w) {
     trainer->worker_rngs_.push_back(root.Fork(static_cast<uint64_t>(w) + 1));
@@ -73,30 +81,40 @@ StatusOr<double> DistTrainer::Step() {
         .count();
   };
   const auto compute_start = Clock::now();
+  pool_misses_before_step_ = BufferPool::Global().stats().misses;
 
-  // Per-worker local gradients.
-  std::vector<std::vector<Tensor>> worker_grads(workers);
+  // Per-worker local gradients: allocated on the first step, re-zeroed
+  // afterwards so their pooled storage is reused every iteration.
+  if (worker_grads_.empty()) {
+    worker_grads_.resize(workers);
+    for (int w = 0; w < workers; ++w) {
+      worker_grads_[w] = model_.MakeGradients();
+    }
+  } else {
+    for (auto& grads : worker_grads_) {
+      for (Tensor& grad : grads) {
+        grad.Fill(0.0f);
+      }
+    }
+  }
   double loss_sum = 0.0;
   for (int w = 0; w < workers; ++w) {
-    worker_grads[w] = model_.MakeGradients();
-    std::vector<float> inputs;
-    std::vector<int> labels;
-    config_.task.Sample(worker_rngs_[w], config_.batch_per_worker, &inputs,
-                        &labels);
-    loss_sum += model_.BackwardCrossEntropy(inputs, labels,
+    config_.task.Sample(worker_rngs_[w], config_.batch_per_worker,
+                        &sample_inputs_, &sample_labels_);
+    loss_sum += model_.BackwardCrossEntropy(sample_inputs_, sample_labels_,
                                             config_.batch_per_worker,
-                                            &worker_grads[w]);
+                                            &worker_grads_[w]);
   }
   metrics_.histogram("dist.compute_us").Observe(elapsed_us(compute_start));
   const auto sync_start = Clock::now();
 
   // Synchronize parameter by parameter (layer-wise, like the paper).
-  std::vector<Tensor> synced = model_.MakeGradients();
+  std::vector<Tensor> synced(num_params);
   for (size_t p = 0; p < num_params; ++p) {
-    std::vector<Tensor> inputs;
-    inputs.reserve(workers);
+    sync_inputs_.clear();
+    sync_inputs_.reserve(workers);
     for (int w = 0; w < workers; ++w) {
-      Tensor& grad = worker_grads[w][p];
+      Tensor& grad = worker_grads_[w][p];
       if (codec_ != nullptr) {
         // Error feedback: feed corrected = grad + residual into the sync;
         // EncodeWithFeedback updates the worker's residual with the same
@@ -107,17 +125,15 @@ StatusOr<double> DistTrainer::Step() {
           corrected[i] =
               grad[i] + (i < residual.size() ? residual[i] : 0.0f);
         }
-        ByteBuffer scratch;
-        RETURN_IF_ERROR(feedback_[w]->EncodeWithFeedback(grad.name(),
-                                                         grad.span(),
-                                                         &scratch));
-        inputs.push_back(std::move(corrected));
+        RETURN_IF_ERROR(feedback_[w]->EncodeWithFeedback(
+            grad.name(), grad.span(), &feedback_scratch_));
+        sync_inputs_.push_back(std::move(corrected));
       } else {
-        inputs.push_back(grad);
+        sync_inputs_.push_back(grad);
       }
     }
     ASSIGN_OR_RETURN(std::vector<Tensor> outputs,
-                     dataflow_->Run(inputs, config_.partitions));
+                     dataflow_->Run(sync_inputs_, config_.partitions));
     synced[p] = std::move(outputs[0]);
     synced[p].Scale(1.0f / static_cast<float>(workers));
   }
@@ -125,6 +141,18 @@ StatusOr<double> DistTrainer::Step() {
   metrics_.histogram("dist.sync_us").Observe(elapsed_us(sync_start));
   metrics_.counter("dist.steps").Increment();
   metrics_.gauge("dist.last_loss").Set(loss_sum / workers);
+
+  // Mirror global pool health into this trainer's registry so callers can
+  // assert the steady-state invariant (step miss delta hits zero once the
+  // pool is warm) without reaching for the process-wide registry.
+  const BufferPool::Stats pool = BufferPool::Global().stats();
+  metrics_.gauge("mem.pool_hits").Set(static_cast<double>(pool.hits));
+  metrics_.gauge("mem.pool_misses").Set(static_cast<double>(pool.misses));
+  metrics_.gauge("mem.bytes_in_use").Set(
+      static_cast<double>(pool.bytes_in_use));
+  metrics_.gauge("mem.peak_bytes").Set(static_cast<double>(pool.peak_bytes));
+  metrics_.gauge("mem.step_pool_misses")
+      .Set(static_cast<double>(pool.misses - pool_misses_before_step_));
 
   model_.ApplySgd(synced, config_.learning_rate, config_.momentum,
                   &velocity_);

@@ -77,7 +77,11 @@ class DistTrainer {
 
   // Wall-clock observability for the real trainer: per-step compute and
   // gradient-synchronization durations ("dist.compute_us", "dist.sync_us"
-  // histograms), step counter, and last-loss gauge.
+  // histograms), step counter, and last-loss gauge. Memory-pool health is
+  // mirrored after every step: "mem.pool_hits" / "mem.pool_misses" /
+  // "mem.bytes_in_use" / "mem.peak_bytes" gauges snapshot the global
+  // BufferPool, and "mem.step_pool_misses" holds the miss delta of the
+  // last step — zero once the pool is warm (the steady-state invariant).
   const MetricsRegistry& metrics() const { return metrics_; }
   MetricsRegistry& metrics() { return metrics_; }
 
@@ -101,6 +105,14 @@ class DistTrainer {
   std::vector<float> eval_inputs_;
   std::vector<int> eval_labels_;
   int eval_batch_ = 256;
+  // Per-step scratch, hoisted out of Step() so the sync hot path reuses
+  // the same (pool-backed) storage every iteration instead of churning.
+  std::vector<std::vector<Tensor>> worker_grads_;
+  std::vector<float> sample_inputs_;
+  std::vector<int> sample_labels_;
+  std::vector<Tensor> sync_inputs_;
+  ByteBuffer feedback_scratch_;
+  size_t pool_misses_before_step_ = 0;
 };
 
 }  // namespace hipress

@@ -3,21 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/buffer_pool.h"
 #include "src/common/logging.h"
 
 namespace hipress {
 namespace {
 
 // Hidden activations for one batch; returned alongside logits so backward
-// can reuse them.
+// can reuse them. Pool-backed so the per-step forward/backward passes stop
+// allocating once the pool is warm.
 struct ForwardState {
-  std::vector<float> hidden;  // batch x hidden (post-tanh)
-  std::vector<float> logits;  // batch x output
+  PooledFloats hidden;  // batch x hidden (post-tanh)
+  PooledFloats logits;  // batch x output
 };
 
 ForwardState RunForward(const MlpConfig& config,
                         const std::vector<Tensor>& params,
-                        const std::vector<float>& inputs, int batch) {
+                        const std::vector<float>& inputs, int batch,
+                        Workspace& ws) {
   const int in = config.input_dim;
   const int hid = config.hidden_dim;
   const int out = config.output_dim;
@@ -27,8 +30,8 @@ ForwardState RunForward(const MlpConfig& config,
   const Tensor& b2 = params[3];
 
   ForwardState state;
-  state.hidden.assign(static_cast<size_t>(batch) * hid, 0.0f);
-  state.logits.assign(static_cast<size_t>(batch) * out, 0.0f);
+  state.hidden = ws.zeroed_floats(static_cast<size_t>(batch) * hid);
+  state.logits = ws.zeroed_floats(static_cast<size_t>(batch) * out);
   for (int s = 0; s < batch; ++s) {
     const float* x = &inputs[static_cast<size_t>(s) * in];
     float* h = &state.hidden[static_cast<size_t>(s) * hid];
@@ -73,7 +76,9 @@ Mlp::Mlp(const MlpConfig& config) : config_(config) {
 
 std::vector<float> Mlp::Forward(const std::vector<float>& inputs,
                                 int batch) const {
-  return RunForward(config_, params_, inputs, batch).logits;
+  Workspace ws;
+  const ForwardState state = RunForward(config_, params_, inputs, batch, ws);
+  return std::vector<float>(state.logits.begin(), state.logits.end());
 }
 
 double Mlp::BackwardCrossEntropy(const std::vector<float>& inputs,
@@ -83,7 +88,8 @@ double Mlp::BackwardCrossEntropy(const std::vector<float>& inputs,
   const int in = config_.input_dim;
   const int hid = config_.hidden_dim;
   const int out = config_.output_dim;
-  const ForwardState state = RunForward(config_, params_, inputs, batch);
+  Workspace ws;
+  const ForwardState state = RunForward(config_, params_, inputs, batch, ws);
   const Tensor& w2 = params_[2];
   Tensor& gw1 = (*grads)[0];
   Tensor& gb1 = (*grads)[1];
@@ -92,7 +98,7 @@ double Mlp::BackwardCrossEntropy(const std::vector<float>& inputs,
 
   double total_loss = 0.0;
   const float inv_batch = 1.0f / static_cast<float>(batch);
-  std::vector<float> dh(hid);
+  PooledFloats dh = ws.zeroed_floats(hid);
   for (int s = 0; s < batch; ++s) {
     const float* x = &inputs[static_cast<size_t>(s) * in];
     const float* h = &state.hidden[static_cast<size_t>(s) * hid];

@@ -11,11 +11,14 @@
 #define HIPRESS_SRC_NET_NETWORK_H_
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "src/common/buffer_pool.h"
 #include "src/common/metrics.h"
 #include "src/common/units.h"
 #include "src/net/fault.h"
@@ -48,6 +51,20 @@ struct NetMessage {
   uint64_t tag = 0;
   std::shared_ptr<void> payload;
 };
+
+// Wraps a copy of `bytes` as a NetMessage payload backed by `pool`. The
+// block recycles into the pool when the last reference drops, so
+// real-data sends stop allocating once the pool is warm. Readers downcast
+// with std::static_pointer_cast<PooledBytes>(message.payload).
+inline std::shared_ptr<PooledBytes> MakePooledPayload(
+    std::span<const uint8_t> bytes, BufferPool* pool = &BufferPool::Global()) {
+  auto payload = std::make_shared<PooledBytes>(pool);
+  payload->resize(bytes.size());
+  if (!bytes.empty()) {
+    std::memcpy(payload->data(), bytes.data(), bytes.size());
+  }
+  return payload;
+}
 
 class Network {
  public:

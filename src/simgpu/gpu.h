@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/buffer_pool.h"
 #include "src/common/metrics.h"
 #include "src/common/units.h"
 #include "src/sim/simulator.h"
@@ -75,6 +76,14 @@ class GpuDevice {
     Submit(kKernelStream, kind, duration, std::move(done));
   }
 
+  // Pool-backed host staging for kernel payloads, mirroring HiPress's
+  // preallocated pinned staging area: repeated launches of same-sized
+  // kernels reuse one recycled block instead of allocating per launch.
+  // Returned bytes are uninitialized; the block returns to the pool when
+  // the handle is dropped.
+  PooledBytes AcquireStaging(size_t bytes) { return {staging_pool_, bytes}; }
+  void set_staging_pool(BufferPool* pool) { staging_pool_ = pool; }
+
   int id() const { return id_; }
   SimTime stream_free_at(int stream) const { return stream_free_[stream]; }
   SimTime busy_time(int stream) const { return stream_busy_[stream]; }
@@ -99,6 +108,7 @@ class GpuDevice {
   bool record_timeline_ = false;
   std::vector<KindMetrics> kind_metrics_;
   Histogram* kernel_us_ = nullptr;  // non-compute kernel durations
+  BufferPool* staging_pool_ = &BufferPool::Global();
 };
 
 }  // namespace hipress

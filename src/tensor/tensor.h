@@ -4,6 +4,13 @@
 // (layer shape is irrelevant to synchronization), so Tensor is a named,
 // contiguous float buffer. Compressed gradients are opaque byte strings
 // (ByteBuffer) whose layout is private to each compression codec.
+//
+// Both types draw their storage from BufferPool::Global() (see
+// docs/MEMORY.md): construction, Resize and destruction recycle
+// bucket-rounded blocks instead of hitting the heap, so steady-state
+// training iterations perform zero fresh allocations. Value semantics match
+// std::vector exactly — growth zero-fills, copies deep-copy — which keeps
+// compressed outputs bit-identical to the pre-pool implementation.
 #ifndef HIPRESS_SRC_TENSOR_TENSOR_H_
 #define HIPRESS_SRC_TENSOR_TENSOR_H_
 
@@ -12,8 +19,11 @@
 #include <cstring>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/common/buffer_pool.h"
+#include "src/common/logging.h"
 #include "src/common/rng.h"
 
 namespace hipress {
@@ -21,11 +31,32 @@ namespace hipress {
 class Tensor {
  public:
   Tensor() = default;
-  explicit Tensor(size_t size) : data_(size, 0.0f) {}
-  Tensor(std::string name, size_t size)
-      : name_(std::move(name)), data_(size, 0.0f) {}
-  Tensor(std::string name, std::vector<float> data)
-      : name_(std::move(name)), data_(std::move(data)) {}
+  explicit Tensor(size_t size) { Resize(size); }
+  Tensor(std::string name, size_t size) : name_(std::move(name)) {
+    Resize(size);
+  }
+  Tensor(std::string name, std::vector<float> data) : name_(std::move(name)) {
+    Assign(data.data(), data.size());
+  }
+
+  Tensor(const Tensor& other) : name_(other.name_) {
+    Assign(other.data(), other.size());
+  }
+  Tensor& operator=(const Tensor& other) {
+    if (this != &other) {
+      name_ = other.name_;
+      Assign(other.data(), other.size());
+    }
+    return *this;
+  }
+  Tensor(Tensor&& other) noexcept
+      : name_(std::move(other.name_)), data_(std::move(other.data_)) {}
+  Tensor& operator=(Tensor&& other) noexcept {
+    name_ = std::move(other.name_);
+    data_ = std::move(other.data_);
+    return *this;
+  }
+  ~Tensor() = default;
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
@@ -40,19 +71,26 @@ class Tensor {
   float& operator[](size_t i) { return data_[i]; }
   float operator[](size_t i) const { return data_[i]; }
 
-  std::span<float> span() { return std::span<float>(data_); }
-  std::span<const float> span() const { return std::span<const float>(data_); }
+  std::span<float> span() { return data_.span(); }
+  std::span<const float> span() const { return data_.span(); }
 
   // Subrange view [offset, offset + count).
   std::span<float> slice(size_t offset, size_t count) {
-    return std::span<float>(data_).subspan(offset, count);
+    return data_.span().subspan(offset, count);
   }
   std::span<const float> slice(size_t offset, size_t count) const {
-    return std::span<const float>(data_).subspan(offset, count);
+    return data_.span().subspan(offset, count);
   }
 
   void Fill(float value);
-  void Resize(size_t size) { data_.resize(size, 0.0f); }
+  // Grows zero-filled (std::vector::resize semantics).
+  void Resize(size_t size) {
+    const size_t old_size = data_.size();
+    data_.resize(size);
+    for (size_t i = old_size; i < size; ++i) {
+      data_[i] = 0.0f;
+    }
+  }
 
   // Element-wise accumulate: this += other. Sizes must match.
   void Add(const Tensor& other);
@@ -69,16 +107,39 @@ class Tensor {
   void FillUniform(Rng& rng, float lo, float hi);
 
  private:
+  void Assign(const float* values, size_t count) {
+    data_.resize(count);
+    if (count > 0) {
+      std::memcpy(data_.data(), values, count * sizeof(float));
+    }
+  }
+
   std::string name_;
-  std::vector<float> data_;
+  PooledFloats data_;
 };
 
 // Opaque compressed payload.
 class ByteBuffer {
  public:
   ByteBuffer() = default;
-  explicit ByteBuffer(size_t size) : data_(size, 0) {}
-  explicit ByteBuffer(std::vector<uint8_t> data) : data_(std::move(data)) {}
+  explicit ByteBuffer(size_t size) { Resize(size); }
+  explicit ByteBuffer(std::vector<uint8_t> data) {
+    Assign(data.data(), data.size());
+  }
+  explicit ByteBuffer(std::span<const uint8_t> data) {
+    Assign(data.data(), data.size());
+  }
+
+  ByteBuffer(const ByteBuffer& other) { Assign(other.data(), other.size()); }
+  ByteBuffer& operator=(const ByteBuffer& other) {
+    if (this != &other) {
+      Assign(other.data(), other.size());
+    }
+    return *this;
+  }
+  ByteBuffer(ByteBuffer&&) noexcept = default;
+  ByteBuffer& operator=(ByteBuffer&&) noexcept = default;
+  ~ByteBuffer() = default;
 
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
@@ -89,23 +150,37 @@ class ByteBuffer {
   uint8_t& operator[](size_t i) { return data_[i]; }
   uint8_t operator[](size_t i) const { return data_[i]; }
 
-  void Resize(size_t size) { data_.resize(size, 0); }
+  // Grows zero-filled (std::vector::resize semantics). Shrinking keeps the
+  // pooled block for reuse.
+  void Resize(size_t size) {
+    const size_t old_size = data_.size();
+    data_.resize(size);
+    if (size > old_size) {
+      std::memset(data_.data() + old_size, 0, size - old_size);
+    }
+  }
+  void Reserve(size_t capacity) { data_.reserve(capacity); }
   void Clear() { data_.clear(); }
 
-  std::span<uint8_t> span() { return std::span<uint8_t>(data_); }
-  std::span<const uint8_t> span() const {
-    return std::span<const uint8_t>(data_);
-  }
+  std::span<uint8_t> span() { return data_.span(); }
+  std::span<const uint8_t> span() const { return data_.span(); }
 
   // Typed append/read helpers for codec headers. Reads advance `offset`.
   template <typename T>
   void Append(const T& value) {
-    const auto* bytes = reinterpret_cast<const uint8_t*>(&value);
-    data_.insert(data_.end(), bytes, bytes + sizeof(T));
+    const size_t offset = data_.size();
+    data_.resize(offset + sizeof(T));
+    std::memcpy(data_.data() + offset, &value, sizeof(T));
   }
 
+  // Bounds-checked: a read past size() is a programming error upstream
+  // (codecs must validate payload sizes before parsing) and aborts rather
+  // than reading out of bounds.
   template <typename T>
   T ReadAt(size_t& offset) const {
+    CHECK(sizeof(T) <= data_.size() && offset <= data_.size() - sizeof(T))
+        << "ByteBuffer::ReadAt of " << sizeof(T) << " bytes at offset "
+        << offset << " overruns buffer of " << data_.size() << " bytes";
     T value;
     std::memcpy(&value, data_.data() + offset, sizeof(T));
     offset += sizeof(T);
@@ -113,7 +188,14 @@ class ByteBuffer {
   }
 
  private:
-  std::vector<uint8_t> data_;
+  void Assign(const uint8_t* bytes, size_t count) {
+    data_.resize(count);
+    if (count > 0) {
+      std::memcpy(data_.data(), bytes, count);
+    }
+  }
+
+  PooledBytes data_;
 };
 
 // Maximum absolute difference between two float spans (for codec tests).

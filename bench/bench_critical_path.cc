@@ -1,0 +1,134 @@
+// bench_critical_path — critical-path attribution shares and cost-model
+// drift audit (docs/COST_MODEL.md).
+//
+// For each model/system pair this runs the training simulation, records
+// where the measured iteration's wall time went along the critical path
+// ("<case>.cp.<category>_ms" and "<case>.cp.share.<category>"), and copies
+// the engine's cost-model audit ("costmodel.err.<primitive>" relative
+// errors plus sample counts) into BENCH_critical_path.json.
+//
+// The bench doubles as a regression gate: it exits non-zero when the
+// attribution stops summing to the iteration time, or when any primitive's
+// mean relative error exceeds a (generous) drift bound — kernels execute at
+// exactly their modelled service time, so kernel drift means the engine and
+// the speed profile have diverged; send drift is real queueing/batching and
+// gets a much looser bound.
+//
+//   bench_critical_path [--smoke]   (--smoke: one small case, for CI)
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/profiler.h"
+
+using namespace hipress;
+
+namespace {
+
+// Kernel samples replay the calibrated lines, so anything beyond rounding
+// is cost-model rot. Sends run through coordinator batching and endpoint
+// contention the uncontended model ignores; the bound is intentionally
+// loose and only catches wholesale model breakage.
+constexpr double kKernelErrorBound = 0.5;
+constexpr double kSendErrorBound = 50.0;
+// Attribution must sum to the iteration wall time (5% slack).
+constexpr double kAttributionSlack = 0.05;
+
+const char* kCpNames[] = {"compute", "encode", "merge", "send",
+                          "recv",    "decode", "wait"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bench::BenchReporter reporter("critical_path");
+
+  struct Case {
+    const char* model;
+    const char* system;
+    int nodes;
+  };
+  std::vector<Case> cases;
+  if (smoke) {
+    cases = {{"vgg19", "hipress-ps", 4}};
+  } else {
+    cases = {{"vgg19", "hipress-ps", 8},
+             {"vgg19", "ring-oss", 8},
+             {"bert-large", "hipress-ps", 8},
+             {"lstm", "hipress-ring", 8}};
+  }
+
+  bool ok = true;
+  double max_err[kNumCostPrimitives] = {};
+  for (const Case& c : cases) {
+    bench::Header((std::string(c.model) + " / " + c.system).c_str());
+    const ClusterSpec cluster = ClusterSpec::Ec2(c.nodes);
+    const TrainReport report = bench::Run(c.model, c.system, cluster);
+    const std::string prefix = std::string(c.model) + "." + c.system;
+    reporter.Record(prefix, report);
+
+    const CpAttribution& cp = report.cp_attribution;
+    const double iter_ms = ToMillis(report.iteration_time);
+    const double sum_ms = ToMillis(cp.total());
+    std::printf("iteration %.2f ms, attribution sum %.2f ms, chain", iter_ms,
+                sum_ms);
+    for (int i = 0; i < kNumCpCategories; ++i) {
+      const CpCategory category = static_cast<CpCategory>(i);
+      reporter.registry()
+          .gauge(prefix + ".cp." + kCpNames[i] + "_ms")
+          .Set(ToMillis(cp[category]));
+      reporter.registry()
+          .gauge(prefix + ".cp.share." + kCpNames[i])
+          .Set(cp.Share(category));
+      std::printf(" %s=%.1f%%", kCpNames[i], cp.Share(category) * 100.0);
+    }
+    std::printf("\n");
+    if (iter_ms > 0 &&
+        std::fabs(sum_ms - iter_ms) > kAttributionSlack * iter_ms) {
+      std::fprintf(stderr,
+                   "FAIL %s: attribution sum %.3f ms vs iteration %.3f ms\n",
+                   prefix.c_str(), sum_ms, iter_ms);
+      ok = false;
+    }
+
+    for (int p = 0; p < kNumCostPrimitives; ++p) {
+      const char* name = CostPrimitiveName(static_cast<CostPrimitive>(p));
+      const double err =
+          report.metrics->gauge_value(std::string("costmodel.err.") + name);
+      const uint64_t samples = report.metrics->counter_value(
+          std::string("costmodel.samples.") + name);
+      reporter.registry()
+          .gauge(prefix + ".costmodel.err." + name)
+          .Set(err);
+      max_err[p] = std::max(max_err[p], err);
+      std::printf("costmodel %-6s err %8.4f over %llu samples\n", name, err,
+                  static_cast<unsigned long long>(samples));
+    }
+  }
+
+  // Worst drift across the cases, and the gate.
+  for (int p = 0; p < kNumCostPrimitives; ++p) {
+    const CostPrimitive primitive = static_cast<CostPrimitive>(p);
+    const char* name = CostPrimitiveName(primitive);
+    reporter.registry().gauge(std::string("costmodel.err.") + name)
+        .Set(max_err[p]);
+    const double bound =
+        primitive == CostPrimitive::kSend ? kSendErrorBound : kKernelErrorBound;
+    if (max_err[p] > bound) {
+      std::fprintf(stderr, "FAIL: costmodel.err.%s = %.4f exceeds %.2f\n",
+                   name, max_err[p], bound);
+      ok = false;
+    }
+  }
+
+  reporter.Write();
+  if (!ok) {
+    std::fprintf(stderr, "bench_critical_path: gate failed\n");
+    return 1;
+  }
+  return 0;
+}

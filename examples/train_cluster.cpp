@@ -4,9 +4,11 @@
 //   train_cluster [--model vgg19] [--system hipress-ps] [--algorithm onebit]
 //                 [--nodes 16] [--cluster ec2|local] [--gbps <bandwidth>]
 //                 [--bitwidth N] [--ratio R] [--no-rdma] [--compare]
-//                 [--faults SPEC]
+//                 [--faults SPEC] [--step-report steps.jsonl]
 //
 // --compare runs all systems side by side (a miniature Figure 7/8 panel).
+// --step-report writes one JSON object per iteration with the critical-path
+// wall-time attribution (docs/OBSERVABILITY.md).
 // --faults injects network faults (docs/FAULT_TOLERANCE.md), e.g.
 //   --faults "drop=0.01,seed=7"              1% message loss
 //   --faults "crash=3@40"                    node 3 dies 40 ms in
@@ -17,6 +19,7 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "src/common/profiler.h"
 #include "src/common/string_util.h"
 #include "src/casync/workflow.h"
 #include "src/net/fault.h"
@@ -37,8 +40,9 @@ struct Args {
   double ratio = 0.001;
   bool no_rdma = false;
   bool compare = false;
-  std::string trace_path;  // --trace out.json: chrome://tracing dump
-  std::string faults;      // --faults "drop=0.01,crash=3@40,..."
+  std::string trace_path;   // --trace out.json: chrome://tracing dump
+  std::string faults;       // --faults "drop=0.01,crash=3@40,..."
+  std::string step_report;  // --step-report steps.jsonl: per-iteration JSONL
 };
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -71,6 +75,8 @@ bool Parse(int argc, char** argv, Args* args) {
       args->trace_path = next();
     } else if (flag == "--faults") {
       args->faults = next();
+    } else if (flag == "--step-report") {
+      args->step_report = next();
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -82,11 +88,24 @@ bool Parse(int argc, char** argv, Args* args) {
 void PrintReport(const std::string& system, const TrainReport& report,
                  const ModelProfile& profile) {
   std::printf("%-14s %10.0f %s/s   eff %.3f   iter %7.2f ms   "
-              "tail %6.2f ms   comm %4.1f%%\n",
+              "p50/p95/p99 %.2f/%.2f/%.2f ms   tail %6.2f ms   comm %4.1f%%\n",
               system.c_str(), report.throughput,
               profile.sample_unit.c_str(), report.scaling_efficiency,
-              ToMillis(report.iteration_time), ToMillis(report.sync_tail),
-              report.comm_ratio * 100.0);
+              ToMillis(report.iteration_time), report.iteration_p50_ms,
+              report.iteration_p95_ms, report.iteration_p99_ms,
+              ToMillis(report.sync_tail), report.comm_ratio * 100.0);
+  if (report.cp_attribution.total() > 0) {
+    const CpAttribution& cp = report.cp_attribution;
+    std::printf("  critical path: compute %.2f  encode %.2f  merge %.2f  "
+                "send %.2f  recv %.2f  decode %.2f  wait %.2f ms\n",
+                ToMillis(cp[CpCategory::kCompute]),
+                ToMillis(cp[CpCategory::kEncode]),
+                ToMillis(cp[CpCategory::kMerge]),
+                ToMillis(cp[CpCategory::kSend]),
+                ToMillis(cp[CpCategory::kRecv]),
+                ToMillis(cp[CpCategory::kDecode]),
+                ToMillis(cp[CpCategory::kWait]));
+  }
 }
 
 }  // namespace
@@ -177,6 +196,15 @@ int main(int argc, char** argv) {
         }
         std::printf("  degraded: node(s) %s failed, %d/%d surviving\n",
                     failed.c_str(), report.surviving_nodes, args.nodes);
+      }
+    }
+    if (!args.step_report.empty() && !args.compare) {
+      auto status = WriteStepReport(args.step_report, report.steps);
+      if (status.ok()) {
+        std::printf("wrote %s (%zu iteration records)\n",
+                    args.step_report.c_str(), report.steps.size());
+      } else {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
       }
     }
     if (!args.trace_path.empty() && !args.compare) {

@@ -28,6 +28,15 @@ CaSyncEngine::CaSyncEngine(Simulator* sim, Network* net,
   codec_speed_ =
       GetCodecSpeed(config_.algorithm, config_.codec_impl, config_.platform);
   merge_cost_ = GetMergeCost(config_.platform);
+  // The lines the planner prices with become the audit baselines; every
+  // executed task then lands a measured sample next to them.
+  auditor_.SetPrediction(CostPrimitive::kEncode, codec_speed_.encode);
+  auditor_.SetPrediction(CostPrimitive::kDecode, codec_speed_.decode);
+  auditor_.SetPrediction(CostPrimitive::kMerge, merge_cost_);
+  auditor_.SetPrediction(
+      CostPrimitive::kSend,
+      KernelCost{config_.net.latency + config_.net.per_message_overhead,
+                 config_.net.link_bandwidth.bytes_per_second()});
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<MetricsRegistry>();
     metrics = owned_metrics_.get();
@@ -161,6 +170,7 @@ void CaSyncEngine::Dispatch(const GraphHandle& running, TaskId id) {
     return;  // cancelled graph: nothing new leaves the task manager
   }
   SyncTask& task = running->graph->task(id);
+  task.ready_time = sim_->now();
   switch (task.type) {
     case PrimitiveType::kEncode:
     case PrimitiveType::kDecode:
@@ -168,37 +178,46 @@ void CaSyncEngine::Dispatch(const GraphHandle& running, TaskId id) {
       const SimTime duration = ComputeDuration(task);
       auto done = [this, running, id] { Complete(running, id); };
       GpuTaskKind kind = GpuTaskKind::kMerge;
+      CostPrimitive primitive = CostPrimitive::kMerge;
       const PrimitiveMetrics* handles = &merge_metrics_;
       if (task.type == PrimitiveType::kEncode) {
         kind = GpuTaskKind::kEncode;
+        primitive = CostPrimitive::kEncode;
         handles = &encode_metrics_;
       } else if (task.type == PrimitiveType::kDecode) {
         kind = GpuTaskKind::kDecode;
+        primitive = CostPrimitive::kDecode;
         handles = &decode_metrics_;
       }
       handles->tasks->Increment();
       handles->time_ns->Increment(static_cast<uint64_t>(duration));
       handles->duration_us->Observe(static_cast<double>(duration) /
                                     kMicrosecond);
+      auditor_.AddSample(primitive, task.bytes, duration);
       if (config_.pipelining) {
         // CaSync: a dedicated kernel queue (the paper adds a task queue and
         // scheduling thread to each DNN system) overlaps compression with
         // both DNN compute and communication.
-        gpus_[task.node]->SubmitKernel(kind, duration, std::move(done));
+        task.start_time =
+            gpus_[task.node]->SubmitKernel(kind, duration, std::move(done));
       } else if (config_.codec_on_compute_stream) {
         // OSS engine integrations (BytePS/MXNet) push codec ops through the
         // framework's single execution queue: they contend with backward
         // computation on the device and cannot hide behind it.
-        gpus_[task.node]->Submit(GpuDevice::kComputeStream, kind, duration,
-                                 std::move(done));
+        task.start_time = gpus_[task.node]->Submit(
+            GpuDevice::kComputeStream, kind, duration, std::move(done));
       } else {
         // OSS allreduce-path integrations (TF Ring-DGC): codec ops overlap
         // backward but serialize against the node's communication.
-        serial_[task.node]->Submit(duration, std::move(done));
+        task.start_time = serial_[task.node]->Submit(duration, std::move(done));
       }
       return;
     }
     case PrimitiveType::kSend: {
+      // Comm tasks leave the task manager immediately; queueing, batching
+      // and the wire all live between start and completion, so the whole
+      // span is the send's service time (and the auditor's drift signal).
+      task.start_time = task.ready_time;
       send_tasks_->Increment();
       wire_bytes_->Increment(task.bytes);
       send_bytes_->Observe(static_cast<double>(task.bytes));
@@ -267,6 +286,7 @@ void CaSyncEngine::Dispatch(const GraphHandle& running, TaskId id) {
     case PrimitiveType::kBarrier: {
       // Zero-cost join points: complete immediately (the paying work — the
       // matching send, or upstream kernels — is in the dependencies).
+      task.start_time = task.ready_time;
       Complete(running, id);
       return;
     }
@@ -278,6 +298,14 @@ void CaSyncEngine::Complete(const GraphHandle& running, TaskId id) {
     return;  // straggler completion on a cancelled graph
   }
   SyncTask& task = running->graph->task(id);
+  task.end_time = sim_->now();
+  if (task.type == PrimitiveType::kSend && task.ready_time != kTaskNeverRan) {
+    // Measured end-to-end latency vs the uncontended send model: endpoint
+    // contention, coordinator batching, jitter and retries all surface as
+    // relative error here.
+    auditor_.AddSample(CostPrimitive::kSend, task.bytes,
+                       task.end_time - task.ready_time);
+  }
   if (task.action) {
     task.action();
   }

@@ -22,6 +22,7 @@
 #include "src/casync/coordinator.h"
 #include "src/casync/task.h"
 #include "src/common/metrics.h"
+#include "src/common/profiler.h"
 #include "src/common/status.h"
 #include "src/net/network.h"
 #include "src/net/reliable_channel.h"
@@ -95,6 +96,15 @@ class CaSyncEngine {
   // engine-owned fallback).
   MetricsRegistry& metrics() { return *metrics_; }
 
+  // Cost-model drift audit: every executed task contributes a measured
+  // sample next to the KernelCost line the planner prices with — kernel
+  // service times for encode/decode/merge, ready-to-delivery latency for
+  // sends (so contention, batching and retransmits register as drift
+  // against the uncontended send model). Publish into a registry with
+  // auditor().Publish(&metrics()).
+  const CostModelAuditor& auditor() const { return auditor_; }
+  CostModelAuditor& auditor() { return auditor_; }
+
  private:
   struct RunningGraph {
     TaskGraph* graph = nullptr;
@@ -137,6 +147,7 @@ class CaSyncEngine {
   std::vector<std::weak_ptr<RunningGraph>> active_;
   std::vector<bool> node_failed_;
   std::vector<int> failed_nodes_;
+  CostModelAuditor auditor_;
   Counter* graphs_cancelled_ = nullptr;
   PrimitiveMetrics encode_metrics_;
   PrimitiveMetrics decode_metrics_;

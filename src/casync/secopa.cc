@@ -11,6 +11,10 @@ SeCoPaPlanner::SeCoPaPlanner(const SyncConfig& config, double rate)
       GetCodecSpeed(config.algorithm, config.codec_impl, config.platform);
 }
 
+SeCoPaPlanner::SeCoPaPlanner(const SyncConfig& config, double rate,
+                             const CodecSpeed& codec)
+    : config_(config), rate_(rate), codec_(codec) {}
+
 namespace {
 
 int CeilLog2(int n) {

@@ -41,6 +41,16 @@ class SeCoPaPlanner {
   // `rate` is the codec's compression rate r (compressed/original bytes).
   SeCoPaPlanner(const SyncConfig& config, double rate);
 
+  // Recalibration path: plan with explicit T_enc/T_dec lines instead of
+  // the static speed profile — typically CostModelAuditor::Fit() output,
+  // so drifted calibration can be refreshed from measured runs
+  // (docs/COST_MODEL.md).
+  SeCoPaPlanner(const SyncConfig& config, double rate,
+                const CodecSpeed& codec);
+
+  // The T_enc/T_dec lines this planner prices with.
+  const CodecSpeed& codec_speed() const { return codec_; }
+
   // Cost of synchronizing an m-byte gradient in K partitions, per Eq. 1/2.
   SimTime SyncCostPlain(uint64_t bytes, int partitions) const;
   SimTime SyncCostCompressed(uint64_t bytes, int partitions) const;

@@ -35,6 +35,10 @@ const char* PrimitiveTypeName(PrimitiveType type);
 using TaskId = uint32_t;
 inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
 
+// Sentinel for the recorded task times below: the task never reached that
+// execution stage (e.g. its graph was cancelled by a peer failure).
+inline constexpr SimTime kTaskNeverRan = -1;
+
 struct SyncTask {
   PrimitiveType type = PrimitiveType::kBarrier;
   int node = -1;  // executing node
@@ -47,6 +51,15 @@ struct SyncTask {
   // Dependency bookkeeping, managed by the engine at run time.
   int pending_deps = 0;
   std::vector<TaskId> dependents;
+  // Execution timestamps recorded by the engine (kTaskNeverRan until the
+  // task reaches each stage): ready = last dependency cleared, start =
+  // began occupying its resource (GPU stream / serial slot; equals ready
+  // for communication tasks, whose queueing is part of the wire span),
+  // end = completed. start - ready is queueing; end - start is service.
+  // The critical-path profiler (src/casync/critical_path.h) consumes them.
+  SimTime ready_time = kTaskNeverRan;
+  SimTime start_time = kTaskNeverRan;
+  SimTime end_time = kTaskNeverRan;
   // Optional real-data action executed when the task runs (integration
   // tests move actual tensors through the graph; pure timing runs leave it
   // empty).

@@ -1,0 +1,31 @@
+// Linear kernel-cost line: launch overhead + bytes / throughput.
+//
+// The unit of the repository's cost modelling (Table 2's T_enc / T_dec /
+// T_merge curves): speed profiles calibrate one line per (algorithm,
+// implementation, platform) triple, the SeCoPa planner and the CaSync
+// engine evaluate it, and the cost-model auditor (src/common/profiler.h)
+// fits fresh lines from measured samples to quantify drift.
+#ifndef HIPRESS_SRC_COMMON_KERNEL_COST_H_
+#define HIPRESS_SRC_COMMON_KERNEL_COST_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+
+namespace hipress {
+
+struct KernelCost {
+  SimTime launch_overhead = FromMicros(20.0);
+  double bytes_per_second = 100e9;
+
+  SimTime Time(uint64_t bytes) const {
+    return launch_overhead +
+           static_cast<SimTime>(static_cast<double>(bytes) /
+                                bytes_per_second *
+                                static_cast<double>(kSecond));
+  }
+};
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_COMMON_KERNEL_COST_H_

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/common/logging.h"
 #include "src/common/string_util.h"
 
 namespace hipress {
@@ -97,6 +98,39 @@ std::vector<uint64_t> Histogram::bucket_counts() const {
   return counts_;
 }
 
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      // Bucket i holds ranks (cumulative, next]; interpolate linearly
+      // within its bounds, tightened by the observed extremes (the
+      // overflow bucket has no upper bound; min/max cap both ends).
+      double lo = i == 0 ? min_ : bounds_[i - 1];
+      double hi = i < bounds_.size() ? bounds_[i] : max_;
+      lo = std::max(lo, min_);
+      hi = std::min(hi, max_);
+      if (hi < lo) {
+        hi = lo;
+      }
+      const double fraction = std::clamp(
+          (target - cumulative) / static_cast<double>(counts_[i]), 0.0, 1.0);
+      return std::clamp(lo + (hi - lo) * fraction, min_, max_);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
 // ----------------------------------------------------------- HistogramBuckets
 
 std::vector<double> HistogramBuckets::Exponential(double start, double factor,
@@ -164,8 +198,12 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 
 uint64_t MetricsRegistry::counter_value(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t value = 0;
+  if (name == "metrics.nonfinite_gauges") {
+    value = nonfinite_gauges_.value();
+  }
   const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second->value();
+  return value + (it == counters_.end() ? 0 : it->second->value());
 }
 
 double MetricsRegistry::gauge_value(const std::string& name) const {
@@ -182,15 +220,45 @@ uint64_t MetricsRegistry::histogram_count(const std::string& name) const {
 
 std::string MetricsRegistry::ToJson() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  // Detect non-finite gauges before serializing the counters, so the
+  // occurrence counter below reflects this very dump. The value still
+  // collapses to 0 in the document (JSON forbids NaN/Inf literals), but
+  // the loss is signalled instead of silent.
+  for (const auto& [name, gauge] : gauges_) {
+    if (!std::isfinite(gauge->value())) {
+      nonfinite_gauges_.Increment();
+      if (warned_nonfinite_.insert(name).second) {
+        LOG(Warning) << "non-finite gauge '" << name
+                     << "' exported as 0 (metrics.nonfinite_gauges)";
+      }
+    }
+  }
+  static constexpr char kNonfiniteName[] = "metrics.nonfinite_gauges";
+  const uint64_t nonfinite = nonfinite_gauges_.value();
+  bool synthetic_pending = nonfinite > 0;
   std::ostringstream out;
   out << "{\"counters\":{";
   bool first = true;
-  for (const auto& [name, counter] : counters_) {
+  auto emit = [&](const std::string& name, uint64_t value) {
     if (!first) {
       out << ",";
     }
     first = false;
-    out << JsonString(name) << ":" << counter->value();
+    out << JsonString(name) << ":" << value;
+  };
+  for (const auto& [name, counter] : counters_) {
+    uint64_t value = counter->value();
+    if (synthetic_pending && name == kNonfiniteName) {
+      value += nonfinite;  // merge with a user-registered twin
+      synthetic_pending = false;
+    } else if (synthetic_pending && name > kNonfiniteName) {
+      emit(kNonfiniteName, nonfinite);
+      synthetic_pending = false;
+    }
+    emit(name, value);
+  }
+  if (synthetic_pending) {
+    emit(kNonfiniteName, nonfinite);
   }
   out << "},\"gauges\":{";
   first = true;
@@ -213,7 +281,11 @@ std::string MetricsRegistry::ToJson() const {
     out << JsonString(name) << ":{\"count\":" << histogram->count()
         << ",\"sum\":" << JsonNumber(histogram->sum())
         << ",\"min\":" << JsonNumber(histogram->min())
-        << ",\"max\":" << JsonNumber(histogram->max()) << ",\"buckets\":[";
+        << ",\"max\":" << JsonNumber(histogram->max())
+        << ",\"p50\":" << JsonNumber(histogram->Quantile(0.5))
+        << ",\"p95\":" << JsonNumber(histogram->Quantile(0.95))
+        << ",\"p99\":" << JsonNumber(histogram->Quantile(0.99))
+        << ",\"buckets\":[";
     for (size_t i = 0; i < bounds.size(); ++i) {
       if (i > 0) {
         out << ",";
@@ -260,6 +332,8 @@ const char* TraceLaneName(int lane) {
       return "recovery";
     case kTraceLaneMemAlloc:
       return "mem:alloc";
+    case kTraceLaneCriticalPath:
+      return "critical-path";
     default:
       return "lane";
   }

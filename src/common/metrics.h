@@ -21,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,10 @@ class Histogram {
   double sum() const;
   double min() const;  // 0 when empty
   double max() const;  // 0 when empty
+  // Quantile estimate for q in [0, 1], linearly interpolated within the
+  // bucket containing the target rank (Prometheus histogram_quantile
+  // semantics), clamped to the observed [min, max]. 0 when empty.
+  double Quantile(double q) const;
   const std::vector<double>& bounds() const { return bounds_; }
   // One count per bound, plus the trailing overflow bucket.
   std::vector<uint64_t> bucket_counts() const;
@@ -113,7 +118,11 @@ class MetricsRegistry {
   uint64_t histogram_count(const std::string& name) const;
 
   // {"counters":{...},"gauges":{...},"histograms":{...}} with names in
-  // sorted order; deterministic for fixed metric values.
+  // sorted order; deterministic for fixed metric values. Histogram blocks
+  // carry interpolated "p50"/"p95"/"p99" quantiles. Non-finite gauges are
+  // exported as 0, but not silently: each occurrence bumps the synthetic
+  // "metrics.nonfinite_gauges" counter (serialized alongside the real
+  // counters) and the first occurrence per name logs a warning.
   std::string ToJson() const;
   Status WriteJson(const std::string& path) const;
 
@@ -126,6 +135,10 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Non-finite gauge accounting (see ToJson): occurrence counter plus the
+  // names already warned about, so the log stays one line per gauge.
+  mutable Counter nonfinite_gauges_;
+  mutable std::set<std::string> warned_nonfinite_;
 };
 
 // ---------------------------------------------------------------------------
@@ -145,6 +158,10 @@ inline constexpr int kTraceLaneRecovery = 14;
 // the BufferPool could not serve from a free list (warm-up bursts should
 // be the only activity on this row).
 inline constexpr int kTraceLaneMemAlloc = 15;
+// The measured iteration's critical path (src/casync/critical_path.h):
+// one highlighted "cp:<category>" span per chain element on its executing
+// node, plus the leading "cp:compute" gate.
+inline constexpr int kTraceLaneCriticalPath = 16;
 
 // Human-readable row name for a lane ("net:uplink", "coordinator", ...);
 // lanes 0..9 are resolved by the exporter against GpuTaskKindName.

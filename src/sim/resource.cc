@@ -6,7 +6,7 @@
 
 namespace hipress {
 
-void SimResource::Submit(SimTime duration, std::function<void()> done) {
+SimTime SimResource::Submit(SimTime duration, std::function<void()> done) {
   CHECK_GE(duration, 0);
   const SimTime start = std::max(sim_->now(), free_at_);
   free_at_ = start + duration;
@@ -17,6 +17,7 @@ void SimResource::Submit(SimTime duration, std::function<void()> done) {
     --outstanding_;
     done();
   });
+  return start;
 }
 
 }  // namespace hipress

@@ -23,7 +23,9 @@ class SimResource {
       : sim_(sim), name_(std::move(name)) {}
 
   // Enqueues a job of `duration` ns; `done` fires when it completes.
-  void Submit(SimTime duration, std::function<void()> done);
+  // Returns the job's scheduled start time (now, or when the backlog
+  // drains), for queueing-vs-service attribution.
+  SimTime Submit(SimTime duration, std::function<void()> done);
 
   // Total busy time accumulated so far (for utilization metrics).
   SimTime busy_time() const { return busy_time_; }

@@ -46,8 +46,8 @@ GpuDevice::GpuDevice(Simulator* sim, int id, int num_streams,
   }
 }
 
-void GpuDevice::Submit(int stream, GpuTaskKind kind, SimTime duration,
-                       std::function<void()> done) {
+SimTime GpuDevice::Submit(int stream, GpuTaskKind kind, SimTime duration,
+                          std::function<void()> done) {
   CHECK_GE(stream, 0);
   CHECK_LT(static_cast<size_t>(stream), stream_free_.size());
   CHECK_GE(duration, 0);
@@ -66,6 +66,7 @@ void GpuDevice::Submit(int stream, GpuTaskKind kind, SimTime duration,
     }
   }
   sim_->ScheduleAt(end, std::move(done));
+  return start;
 }
 
 double GpuDevice::ComputeUtilization(SimTime window_start,

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/common/buffer_pool.h"
+#include "src/common/kernel_cost.h"
 #include "src/common/metrics.h"
 #include "src/common/units.h"
 #include "src/sim/simulator.h"
@@ -31,19 +32,6 @@ enum class GpuTaskKind {
 };
 
 const char* GpuTaskKindName(GpuTaskKind kind);
-
-// Linear kernel cost: launch overhead + bytes / throughput.
-struct KernelCost {
-  SimTime launch_overhead = FromMicros(20.0);
-  double bytes_per_second = 100e9;
-
-  SimTime Time(uint64_t bytes) const {
-    return launch_overhead +
-           static_cast<SimTime>(static_cast<double>(bytes) /
-                                bytes_per_second *
-                                static_cast<double>(kSecond));
-  }
-};
 
 struct GpuInterval {
   SimTime start = 0;
@@ -64,16 +52,19 @@ class GpuDevice {
             MetricsRegistry* metrics = nullptr);
 
   // Runs a task of `duration` ns FIFO on `stream`; `done` fires at its finish
-  // time.
-  void Submit(int stream, GpuTaskKind kind, SimTime duration,
-              std::function<void()> done);
+  // time. Returns the task's scheduled start time (>= now; later when the
+  // stream has a backlog), so callers can attribute queueing separately
+  // from service (the critical-path profiler's wait category).
+  SimTime Submit(int stream, GpuTaskKind kind, SimTime duration,
+                 std::function<void()> done);
 
-  void SubmitCompute(SimTime duration, std::function<void()> done) {
-    Submit(kComputeStream, GpuTaskKind::kCompute, duration, std::move(done));
+  SimTime SubmitCompute(SimTime duration, std::function<void()> done) {
+    return Submit(kComputeStream, GpuTaskKind::kCompute, duration,
+                  std::move(done));
   }
-  void SubmitKernel(GpuTaskKind kind, SimTime duration,
-                    std::function<void()> done) {
-    Submit(kKernelStream, kind, duration, std::move(done));
+  SimTime SubmitKernel(GpuTaskKind kind, SimTime duration,
+                       std::function<void()> done) {
+    return Submit(kKernelStream, kind, duration, std::move(done));
   }
 
   // Pool-backed host staging for kernel payloads, mirroring HiPress's

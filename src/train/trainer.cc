@@ -214,7 +214,24 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
   Counter& recoveries_counter = metrics->counter("train.recoveries");
   Histogram& recovery_ms = metrics->histogram(
       "train.recovery_ms", HistogramBuckets::Exponential(0.125, 2.0, 16));
+  // Max-minus-median of the per-node last-sync-completion offsets for the
+  // latest iteration (0 on a balanced cluster; rises under stragglers and
+  // degraded links).
+  Gauge& straggler_skew = metrics->gauge("train.straggler_skew_ms");
   auto finalize_observability = [&] {
+    report.iteration_p50_ms = iteration_ms.Quantile(0.5);
+    report.iteration_p95_ms = iteration_ms.Quantile(0.95);
+    report.iteration_p99_ms = iteration_ms.Quantile(0.99);
+    if (report.cp_attribution.total() > 0) {
+      for (int c = 0; c < kNumCpCategories; ++c) {
+        const CpCategory category = static_cast<CpCategory>(c);
+        metrics->gauge(StrFormat("cp.%s_ms", CpCategoryName(category)))
+            .Set(ToMillis(report.cp_attribution[category]));
+        metrics->gauge(StrFormat("cp.share.%s", CpCategoryName(category)))
+            .Set(report.cp_attribution.Share(category));
+      }
+    }
+    engine.auditor().Publish(metrics.get());
     metrics->gauge("train.failed_nodes")
         .Set(static_cast<double>(report.failed_nodes.size()));
     metrics->gauge("train.surviving_nodes")
@@ -549,6 +566,66 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
                    StrFormat("recovery (%zu node(s) failed)",
                              engine.failed_nodes().size()),
                    recovery_started_at, end);
+      }
+    }
+    // Critical-path attribution of this iteration's window, over every
+    // graph that executed (recovery rebuilds included). The per-category
+    // milliseconds sum to the iteration time by construction.
+    {
+      std::vector<const TaskGraph*> views;
+      views.reserve(graphs.size());
+      for (const auto& graph : graphs) {
+        views.push_back(graph.get());
+      }
+      const IterationAttribution attrib =
+          AttributeIteration(views, iter_start, end);
+      StepRecord step;
+      step.iteration = iteration;
+      step.iteration_ms = ToMillis(end - iter_start);
+      step.compute_ms = ToMillis(attrib.attribution[CpCategory::kCompute]);
+      step.encode_ms = ToMillis(attrib.attribution[CpCategory::kEncode]);
+      step.merge_ms = ToMillis(attrib.attribution[CpCategory::kMerge]);
+      step.send_ms = ToMillis(attrib.attribution[CpCategory::kSend]);
+      step.recv_ms = ToMillis(attrib.attribution[CpCategory::kRecv]);
+      step.decode_ms = ToMillis(attrib.attribution[CpCategory::kDecode]);
+      step.wait_ms = ToMillis(attrib.attribution[CpCategory::kWait]);
+      step.path_tasks = static_cast<int>(attrib.path.steps.size());
+      step.degraded = recovery_started_at >= 0;
+      // Straggler skew: per-node offset of the last sync-task completion,
+      // max minus median across the nodes that synchronized.
+      std::vector<SimTime> last_end(static_cast<size_t>(config.num_nodes),
+                                    kTaskNeverRan);
+      for (const auto& graph : graphs) {
+        for (TaskId id = 0; id < graph->size(); ++id) {
+          const SyncTask& task = graph->task(id);
+          if (task.node < 0 || task.end_time == kTaskNeverRan) {
+            continue;
+          }
+          last_end[task.node] = std::max(last_end[task.node], task.end_time);
+        }
+      }
+      std::vector<SimTime> offsets;
+      for (const SimTime t : last_end) {
+        if (t != kTaskNeverRan) {
+          offsets.push_back(t - iter_start);
+        }
+      }
+      if (offsets.size() >= 2) {
+        std::sort(offsets.begin(), offsets.end());
+        const size_t n = offsets.size();
+        const SimTime median =
+            n % 2 == 1 ? offsets[n / 2]
+                       : (offsets[n / 2 - 1] + offsets[n / 2]) / 2;
+        step.straggler_skew_ms = ToMillis(offsets.back() - median);
+      }
+      straggler_skew.Set(step.straggler_skew_ms);
+      report.steps.push_back(step);
+      if (measured) {
+        report.cp_attribution = attrib.attribution;
+        if (spans) {
+          AddCriticalPathSpans(attrib.path, iter_start, /*compute_node=*/0,
+                               spans.get());
+        }
       }
     }
     iterations_counter.Increment();

@@ -19,9 +19,11 @@
 #include <vector>
 
 #include "src/casync/config.h"
+#include "src/casync/critical_path.h"
 #include "src/casync/engine.h"
 #include "src/casync/secopa.h"
 #include "src/common/metrics.h"
+#include "src/common/profiler.h"
 #include "src/common/status.h"
 #include "src/models/model_profile.h"
 #include "src/simgpu/gpu.h"
@@ -78,6 +80,20 @@ struct TrainReport {
   // Engine-side accounting for the measured iteration: primitive counts,
   // modelled kernel time, and bytes on the wire (sums over all nodes).
   EngineStats engine_stats;
+  // Critical-path wall-time attribution of the measured iteration
+  // (src/casync/critical_path.h); sums to iteration_time on the BSP path,
+  // all-zero under SSP (pipelined iterations have no single bounding
+  // chain). Also exported as "cp.<category>_ms" / "cp.share.<category>"
+  // gauges in `metrics`.
+  CpAttribution cp_attribution;
+  // One StepRecord per BSP iteration (including warm-up), ready for
+  // WriteStepReport (`train_cluster --step-report`). Empty under SSP.
+  std::vector<StepRecord> steps;
+  // Interpolated percentiles of the per-iteration "train.iteration_ms"
+  // histogram over the whole run.
+  double iteration_p50_ms = 0.0;
+  double iteration_p95_ms = 0.0;
+  double iteration_p99_ms = 0.0;
   std::vector<GpuInterval> timeline;  // node-0 device (if recorded)
   SimTime timeline_origin = 0;        // measured iteration's start time
   // Full run observability. `metrics` is always populated: the engine,

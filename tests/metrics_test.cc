@@ -305,6 +305,66 @@ TEST(MetricsTest, JsonClampsNonFiniteGauges) {
   EXPECT_DOUBLE_EQ(gauges.at("nan")->number(), 0.0);
 }
 
+TEST(MetricsTest, NonFiniteGaugesAreCounted) {
+  MetricsRegistry registry;
+  registry.gauge("bad").Set(std::nan(""));
+  registry.gauge("good").Set(1.0);
+  auto root = JsonParser(registry.ToJson()).Parse();
+  const JsonObject& counters = root->object().at("counters")->object();
+  ASSERT_EQ(counters.count("metrics.nonfinite_gauges"), 1u);
+  EXPECT_DOUBLE_EQ(counters.at("metrics.nonfinite_gauges")->number(), 1.0);
+  EXPECT_EQ(registry.counter_value("metrics.nonfinite_gauges"), 1u);
+  // Every dump of a still-broken gauge counts again.
+  registry.ToJson();
+  EXPECT_EQ(registry.counter_value("metrics.nonfinite_gauges"), 2u);
+  // A healthy registry does not grow the synthetic counter.
+  MetricsRegistry clean;
+  clean.gauge("fine").Set(0.5);
+  auto clean_root = JsonParser(clean.ToJson()).Parse();
+  EXPECT_EQ(clean_root->object().at("counters")->object().count(
+                "metrics.nonfinite_gauges"),
+            0u);
+}
+
+TEST(MetricsTest, HistogramQuantilesInterpolate) {
+  Histogram histogram(HistogramBuckets::Linear(10.0, 10.0, 10));
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);  // empty
+  for (int i = 1; i <= 100; ++i) {
+    histogram.Observe(static_cast<double>(i));
+  }
+  // Uniform 1..100: interpolated quantiles land within one bucket width.
+  EXPECT_NEAR(histogram.Quantile(0.5), 50.0, 10.0);
+  EXPECT_NEAR(histogram.Quantile(0.95), 95.0, 10.0);
+  EXPECT_NEAR(histogram.Quantile(0.99), 99.0, 10.0);
+  // Extremes clamp to the observed range.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 100.0);
+  EXPECT_GE(histogram.Quantile(0.0), 1.0);
+}
+
+TEST(MetricsTest, HistogramQuantileSingleObservation) {
+  Histogram histogram({10.0});
+  histogram.Observe(5.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 5.0);
+}
+
+TEST(MetricsTest, JsonHistogramCarriesQuantiles) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("lat", {1.0, 10.0, 100.0});
+  for (int i = 1; i <= 99; ++i) {
+    histogram.Observe(static_cast<double>(i));
+  }
+  auto root = JsonParser(registry.ToJson()).Parse();
+  const JsonObject& hist =
+      root->object().at("histograms")->object().at("lat")->object();
+  ASSERT_EQ(hist.count("p50"), 1u);
+  ASSERT_EQ(hist.count("p95"), 1u);
+  ASSERT_EQ(hist.count("p99"), 1u);
+  EXPECT_LE(hist.at("p50")->number(), hist.at("p95")->number());
+  EXPECT_LE(hist.at("p95")->number(), hist.at("p99")->number());
+  EXPECT_LE(hist.at("p99")->number(), hist.at("max")->number());
+}
+
 TEST(MetricsTest, WriteJsonRoundTripsThroughFile) {
   MetricsRegistry registry;
   registry.counter("written").Increment(5);

@@ -1,0 +1,433 @@
+// bench_wire_pool — steady-state allocation behavior of the pooled wire
+// path (docs/COMMUNICATION.md, docs/MEMORY.md).
+//
+// Two panels:
+//  1. engine drive: a 3-worker compressed push/pull round trip through the
+//     full pooled chain — onebit encode into shared staging drawn from the
+//     network wire pool, coordinator batch frames, reliable-channel
+//     retransmits under seeded drop injection. Gates two invariants:
+//       (a) zero wire-path pool misses after the warm-up iteration;
+//       (b) delivered gradients bit-identical to an unpooled baseline
+//           (plain codec calls, no wire pool, no batching, no network).
+//  2. trainer drive: a faulted hipress-ps run recording the wire-pool and
+//     coordinator counters (net.pool_hits/misses, net.step_pool_misses,
+//     coordinator.batch_bucket_waste_bytes), gating the per-iteration
+//     steady-state miss gauge at zero.
+//
+// Dumps BENCH_wire_pool.json (archived by the CI bench-smoke job); the
+// process exits non-zero when any gate fails. `--smoke` (or
+// HIPRESS_BENCH_SMOKE=1) shrinks sizes for CI.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/casync/engine.h"
+#include "src/compress/registry.h"
+#include "src/net/fault.h"
+#include "src/net/network.h"
+#include "src/simgpu/gpu.h"
+
+using namespace hipress;
+using namespace hipress::bench;
+
+namespace {
+
+constexpr int kWorkers = 3;
+
+NetworkConfig WireNetConfig() {
+  NetworkConfig config;
+  config.link_bandwidth = Bandwidth::Gbps(80.0);
+  config.latency = FromMicros(10.0);
+  config.per_message_overhead = FromMicros(2.0);
+  config.faults.drop_prob = 0.05;  // seeded, deterministic schedule
+  config.faults.seed = 13;
+  return config;
+}
+
+SyncConfig WireEngineConfig() {
+  SyncConfig config;
+  config.strategy = StrategyKind::kPs;
+  config.num_nodes = kWorkers;
+  config.compression = true;
+  config.algorithm = "onebit";
+  config.bulk = true;  // payload sends ride coordinator batch frames
+  config.net = WireNetConfig();
+  config.reliable.max_attempts = 30;
+  return config;
+}
+
+// Deterministic per-worker gradient, constant across iterations so the
+// steady state is the realistic constant-shape training loop.
+std::vector<float> WorkerGradient(int worker, size_t elements) {
+  std::vector<float> gradient(elements);
+  for (size_t i = 0; i < elements; ++i) {
+    const float sign = ((i + worker) % 3 == 0) ? -1.0f : 1.0f;
+    gradient[i] = sign * (0.25f + 0.001f * static_cast<float>(i % 97) +
+                          0.01f * static_cast<float>(worker));
+  }
+  return gradient;
+}
+
+// The unpooled reference: the same push/pull computation with plain codec
+// calls. Returns the expected wire payloads and the final pulled gradient.
+struct Baseline {
+  std::vector<std::vector<uint8_t>> push_wire;  // worker -> encoded push
+  std::vector<uint8_t> pull_wire;               // encoded aggregate
+  std::vector<float> output;                    // decoded pull
+};
+
+Baseline ComputeBaseline(const Compressor& codec,
+                         const std::vector<std::vector<float>>& gradients) {
+  Baseline base;
+  base.push_wire.resize(kWorkers);
+  std::vector<float> aggregate = gradients[0];
+  ByteBuffer wire;
+  for (int w = 1; w < kWorkers; ++w) {
+    Status status = codec.Encode(gradients[w], &wire);
+    if (!status.ok()) {
+      std::fprintf(stderr, "baseline encode failed: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+    base.push_wire[w].assign(wire.data(), wire.data() + wire.size());
+    status = codec.DecodeAdd(wire, aggregate);
+    if (!status.ok()) {
+      std::fprintf(stderr, "baseline decode-add failed: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+  }
+  Status status = codec.Encode(aggregate, &wire);
+  if (!status.ok()) {
+    std::fprintf(stderr, "baseline aggregate encode failed: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+  base.pull_wire.assign(wire.data(), wire.data() + wire.size());
+  base.output.resize(gradients[0].size());
+  status = codec.Decode(wire, base.output);
+  if (!status.ok()) {
+    std::fprintf(stderr, "baseline decode failed: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+  return base;
+}
+
+struct EngineCluster {
+  EngineCluster(const SyncConfig& config, MetricsRegistry* metrics)
+      : net(&sim, config.num_nodes, config.net, metrics) {
+    for (int node = 0; node < config.num_nodes; ++node) {
+      gpu_storage.push_back(std::make_unique<GpuDevice>(&sim, node));
+      gpus.push_back(gpu_storage.back().get());
+      // Route staging through the wire pool so encode→staging→batch→wire
+      // is gated by one allocator.
+      gpus.back()->set_staging_pool(net.wire_pool());
+    }
+    engine = std::make_unique<CaSyncEngine>(&sim, &net, gpus, config, metrics);
+  }
+
+  Simulator sim;
+  Network net;
+  std::vector<std::unique_ptr<GpuDevice>> gpu_storage;
+  std::vector<GpuDevice*> gpus;
+  std::unique_ptr<CaSyncEngine> engine;
+};
+
+// Encodes `gradient` into a staging block drawn from the wire pool.
+std::shared_ptr<PooledBytes> EncodeToStaging(const Compressor& codec,
+                                             GpuDevice* gpu,
+                                             std::span<const float> gradient) {
+  auto staged = gpu->AcquireSharedStaging(codec.WorstCaseEncodedSize(
+      gradient.size()));
+  auto written = codec.EncodeInto(gradient, staged->span());
+  if (!written.ok()) {
+    std::fprintf(stderr, "staging encode failed: %s\n",
+                 written.status().ToString().c_str());
+    std::abort();
+  }
+  staged->resize(*written);  // shrink keeps the pooled block
+  return staged;
+}
+
+// Runs one payload hop (src -> dst per entry) through the engine and
+// collects the delivered bytes per tag into `received`.
+void RunSendRound(EngineCluster& cluster,
+                  std::vector<std::shared_ptr<PooledBytes>> payloads,
+                  const std::vector<int>& srcs, const std::vector<int>& dsts,
+                  std::vector<std::vector<uint8_t>>* received) {
+  TaskGraph graph;
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    SyncTask send;
+    send.type = PrimitiveType::kSend;
+    send.node = srcs[i];
+    send.peer = dsts[i];
+    send.bytes = payloads[i]->size();
+    send.gradient_id = static_cast<uint32_t>(i);
+    send.payload = std::move(payloads[i]);
+    std::vector<uint8_t>* sink = &(*received)[i];
+    send.deliver = [sink](std::span<const uint8_t> bytes) {
+      sink->assign(bytes.begin(), bytes.end());
+    };
+    graph.Add(send);
+  }
+  bool done = false;
+  cluster.engine->Execute(&graph, [&done] { done = true; });
+  cluster.sim.Run();
+  if (!done) {
+    std::fprintf(stderr, "engine round did not complete\n");
+    std::abort();
+  }
+}
+
+// Panel 1: the engine-driven gate. Returns false when a gate fails.
+bool RunEnginePanel(BenchReporter& reporter, bool smoke) {
+  Header("wire pool: engine drive (pooled path vs unpooled baseline)");
+  const size_t elements = smoke ? 32 * 1024 : 256 * 1024;
+  const int iterations = smoke ? 4 : 8;
+
+  auto codec_or = CreateCompressor("onebit");
+  if (!codec_or.ok()) {
+    std::fprintf(stderr, "codec: %s\n", codec_or.status().ToString().c_str());
+    return false;
+  }
+  std::unique_ptr<Compressor> codec = std::move(*codec_or);
+
+  std::vector<std::vector<float>> gradients;
+  gradients.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    gradients.push_back(WorkerGradient(w, elements));
+  }
+  const Baseline base = ComputeBaseline(*codec, gradients);
+
+  const SyncConfig config = WireEngineConfig();
+  EngineCluster cluster(config, &reporter.registry());
+
+  // Receive-side scratch, reused across iterations (heap, not wire pool).
+  std::vector<std::vector<uint8_t>> push_rx(kWorkers);
+  std::vector<std::vector<uint8_t>> pull_rx(kWorkers);
+  std::vector<float> aggregate;
+  std::vector<float> output(elements);
+  ByteBuffer rx;
+
+  uint64_t misses_after_warmup = 0;
+  bool payloads_identical = true;
+  for (int iteration = 0; iteration < iterations; ++iteration) {
+    // Push phase: workers 1..n-1 encode and send to the aggregator (0).
+    std::vector<std::shared_ptr<PooledBytes>> pushes;
+    std::vector<int> srcs;
+    std::vector<int> dsts;
+    std::vector<std::vector<uint8_t>> rx_by_entry(kWorkers - 1);
+    for (int w = 1; w < kWorkers; ++w) {
+      pushes.push_back(EncodeToStaging(*codec, cluster.gpus[w], gradients[w]));
+      srcs.push_back(w);
+      dsts.push_back(0);
+    }
+    RunSendRound(cluster, std::move(pushes), srcs, dsts, &rx_by_entry);
+    for (int w = 1; w < kWorkers; ++w) {
+      push_rx[w] = std::move(rx_by_entry[w - 1]);
+    }
+
+    // Aggregate in worker order (matches the baseline exactly).
+    aggregate = gradients[0];
+    for (int w = 1; w < kWorkers; ++w) {
+      if (push_rx[w].size() != base.push_wire[w].size() ||
+          std::memcmp(push_rx[w].data(), base.push_wire[w].data(),
+                      push_rx[w].size()) != 0) {
+        std::fprintf(stderr,
+                     "iteration %d: delivered push from worker %d differs "
+                     "from unpooled baseline\n",
+                     iteration, w);
+        payloads_identical = false;
+      }
+      rx.Resize(push_rx[w].size());
+      std::memcpy(rx.data(), push_rx[w].data(), push_rx[w].size());
+      const Status status = codec->DecodeAdd(rx, aggregate);
+      if (!status.ok()) {
+        std::fprintf(stderr, "decode-add failed: %s\n",
+                     status.ToString().c_str());
+        return false;
+      }
+    }
+
+    // Pull phase: the aggregator encodes once and pushes to each worker.
+    std::vector<std::shared_ptr<PooledBytes>> pulls;
+    srcs.clear();
+    dsts.clear();
+    std::vector<std::vector<uint8_t>> pull_by_entry(kWorkers - 1);
+    for (int w = 1; w < kWorkers; ++w) {
+      pulls.push_back(EncodeToStaging(*codec, cluster.gpus[0], aggregate));
+      srcs.push_back(0);
+      dsts.push_back(w);
+    }
+    RunSendRound(cluster, std::move(pulls), srcs, dsts, &pull_by_entry);
+    for (int w = 1; w < kWorkers; ++w) {
+      pull_rx[w] = std::move(pull_by_entry[w - 1]);
+      if (pull_rx[w].size() != base.pull_wire.size() ||
+          std::memcmp(pull_rx[w].data(), base.pull_wire.data(),
+                      pull_rx[w].size()) != 0) {
+        std::fprintf(stderr,
+                     "iteration %d: delivered pull at worker %d differs from "
+                     "unpooled baseline\n",
+                     iteration, w);
+        payloads_identical = false;
+      }
+      rx.Resize(pull_rx[w].size());
+      std::memcpy(rx.data(), pull_rx[w].data(), pull_rx[w].size());
+      const Status status = codec->Decode(rx, output);
+      if (!status.ok()) {
+        std::fprintf(stderr, "decode failed: %s\n", status.ToString().c_str());
+        return false;
+      }
+      if (std::memcmp(output.data(), base.output.data(),
+                      elements * sizeof(float)) != 0) {
+        std::fprintf(stderr,
+                     "iteration %d: decoded gradient at worker %d differs "
+                     "from unpooled baseline\n",
+                     iteration, w);
+        payloads_identical = false;
+      }
+    }
+
+    if (iteration == 0) {
+      misses_after_warmup = cluster.net.wire_pool()->stats().misses;
+    }
+  }
+
+  const BufferPool::Stats wire = cluster.net.wire_pool()->stats();
+  const uint64_t steady_misses = wire.misses - misses_after_warmup;
+  const uint64_t retries = cluster.engine->reliable_channel() != nullptr
+                               ? cluster.engine->reliable_channel()->retries()
+                               : 0;
+  std::printf(
+      "%-28s %12s %12s %10s %10s\n", "", "pool_hits", "pool_misses",
+      "steady", "retries");
+  std::printf("%-28s %12llu %12llu %10llu %10llu\n", "engine 3-worker onebit",
+              static_cast<unsigned long long>(wire.hits),
+              static_cast<unsigned long long>(wire.misses),
+              static_cast<unsigned long long>(steady_misses),
+              static_cast<unsigned long long>(retries));
+
+  reporter.registry().gauge("engine.warmup_pool_misses")
+      .Set(static_cast<double>(misses_after_warmup));
+  reporter.registry().gauge("engine.steady_pool_misses")
+      .Set(static_cast<double>(steady_misses));
+  reporter.registry().gauge("engine.payloads_bit_identical")
+      .Set(payloads_identical ? 1.0 : 0.0);
+  reporter.registry().gauge("engine.iterations")
+      .Set(static_cast<double>(iterations));
+
+  bool ok = true;
+  if (misses_after_warmup == 0) {
+    std::fprintf(stderr, "GATE: warm-up never touched the wire pool — the "
+                         "pooled path is not being exercised\n");
+    ok = false;
+  }
+  if (retries == 0) {
+    std::fprintf(stderr, "GATE: drop injection produced no retransmits — "
+                         "the fault path is not being exercised\n");
+    ok = false;
+  }
+  if (steady_misses != 0) {
+    std::fprintf(stderr,
+                 "GATE: wire pool missed %llu times after warm-up "
+                 "(expected 0)\n",
+                 static_cast<unsigned long long>(steady_misses));
+    ok = false;
+  }
+  if (!payloads_identical) {
+    std::fprintf(stderr, "GATE: pooled wire path altered delivered bytes\n");
+    ok = false;
+  }
+  return ok;
+}
+
+// Panel 2: trainer-level counters under drop injection.
+bool RunTrainerPanel(BenchReporter& reporter, bool smoke) {
+  Header("wire pool: trainer drive (hipress-ps, drop injection)");
+  HiPressOptions options;
+  options.model = smoke ? "resnet50" : "vgg19";
+  options.system = "hipress-ps";
+  options.cluster = ClusterSpec::Ec2(kWorkers);
+  auto faults = ParseFaultSpec("drop=0.02,seed=13");
+  if (!faults.ok()) {
+    std::fprintf(stderr, "fault spec: %s\n",
+                 faults.status().ToString().c_str());
+    return false;
+  }
+  options.cluster.net.faults = *faults;
+  auto result = RunTrainingSimulation(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "trainer run failed: %s\n",
+                 result.status().ToString().c_str());
+    return false;
+  }
+  const TrainReport& report = result->report;
+  reporter.Record("trainer", report);
+
+  const uint64_t pool_hits = report.metrics->counter("net.pool_hits").value();
+  const uint64_t pool_misses =
+      report.metrics->counter("net.pool_misses").value();
+  const double step_misses =
+      report.metrics->gauge("net.step_pool_misses").value();
+  const uint64_t waste =
+      report.metrics->counter("coordinator.batch_bucket_waste_bytes").value();
+  reporter.registry().counter("trainer.net_pool_hits").Increment(pool_hits);
+  reporter.registry().counter("trainer.net_pool_misses")
+      .Increment(pool_misses);
+  reporter.registry().gauge("trainer.net_step_pool_misses").Set(step_misses);
+  reporter.registry().counter("trainer.batch_bucket_waste_bytes")
+      .Increment(waste);
+  reporter.registry()
+      .counter("trainer.retries")
+      .Increment(report.metrics->counter("net.retries").value());
+
+  std::printf("%-28s %12s %12s %12s %14s\n", "", "pool_hits", "pool_misses",
+              "step_misses", "waste_bytes");
+  std::printf("%-28s %12llu %12llu %12.0f %14llu\n", options.model.c_str(),
+              static_cast<unsigned long long>(pool_hits),
+              static_cast<unsigned long long>(pool_misses), step_misses,
+              static_cast<unsigned long long>(waste));
+
+  // The steady-state invariant the trainer publishes every iteration: the
+  // final iteration's wire-pool miss delta must be zero.
+  if (step_misses != 0.0) {
+    std::fprintf(stderr,
+                 "GATE: trainer reported %.0f wire-pool misses in the final "
+                 "iteration (expected 0)\n",
+                 step_misses);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = std::getenv("HIPRESS_BENCH_SMOKE") != nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    }
+  }
+
+  BenchReporter reporter("wire_pool");
+  reporter.registry().gauge("smoke").Set(smoke ? 1.0 : 0.0);
+
+  bool ok = RunEnginePanel(reporter, smoke);
+  ok = RunTrainerPanel(reporter, smoke) && ok;
+  reporter.registry().gauge("gates_passed").Set(ok ? 1.0 : 0.0);
+  reporter.Write();
+
+  if (!ok) {
+    std::fprintf(stderr, "\nbench_wire_pool: GATE FAILURE\n");
+    return 1;
+  }
+  std::printf("\nbench_wire_pool: all gates passed\n");
+  return 0;
+}

@@ -4,6 +4,20 @@
 
 namespace hipress {
 
+namespace {
+
+// Per-entry frame overhead: u64 tag + u32 payload length.
+constexpr size_t kEntryHeaderBytes = sizeof(uint64_t) + sizeof(uint32_t);
+
+template <typename T>
+void AppendScalar(PooledBytes& frame, T value) {
+  const size_t offset = frame.size();
+  frame.resize(offset + sizeof(T));
+  std::memcpy(frame.data() + offset, &value, sizeof(T));
+}
+
+}  // namespace
+
 void BulkCoordinator::Enqueue(int src, int dst, uint64_t bytes,
                               std::function<void()> on_delivered) {
   EnqueueWithStatus(src, dst, bytes,
@@ -17,12 +31,35 @@ void BulkCoordinator::Enqueue(int src, int dst, uint64_t bytes,
 void BulkCoordinator::EnqueueWithStatus(
     int src, int dst, uint64_t bytes,
     std::function<void(const Status&)> on_complete) {
+  Pending pending;
+  pending.bytes = bytes;
+  pending.on_complete = std::move(on_complete);
+  EnqueuePending(src, dst, std::move(pending));
+}
+
+void BulkCoordinator::EnqueueTransfer(
+    int src, int dst, uint64_t tag, std::shared_ptr<PooledBytes> payload,
+    std::function<void(std::span<const uint8_t>)> on_deliver,
+    std::function<void(const Status&)> on_complete) {
+  CHECK(payload != nullptr) << "EnqueueTransfer requires a payload; use "
+                               "EnqueueWithStatus for metadata-only sends";
+  Pending pending;
+  pending.bytes = payload->size();
+  pending.tag = tag;
+  pending.payload = std::move(payload);
+  pending.on_deliver = std::move(on_deliver);
+  pending.on_complete = std::move(on_complete);
+  EnqueuePending(src, dst, std::move(pending));
+}
+
+void BulkCoordinator::EnqueuePending(int src, int dst, Pending pending) {
   LinkQueue& queue = links_[{src, dst}];
   if (queue.pending.empty()) {
     queue.first_enqueued_at = sim_->now();
   }
-  queue.pending.push_back(Pending{bytes, std::move(on_complete), sim_->now()});
-  queue.queued_bytes += bytes;
+  pending.enqueued_at = sim_->now();
+  queue.queued_bytes += pending.bytes;
+  queue.pending.push_back(std::move(pending));
 
   if (queue.queued_bytes >= size_threshold_) {
     Flush(src, dst);
@@ -47,6 +84,51 @@ void BulkCoordinator::EnqueueWithStatus(
   }
 }
 
+std::shared_ptr<PooledBytes> BulkCoordinator::BuildFrame(
+    const std::vector<Pending>& batch) {
+  // One pass to size the frame exactly, so the single resize below acquires
+  // the right bucket up front instead of growing through smaller ones.
+  size_t frame_bytes = sizeof(uint32_t);
+  for (const Pending& pending : batch) {
+    frame_bytes += kEntryHeaderBytes;
+    if (pending.payload != nullptr) {
+      frame_bytes += pending.payload->size();
+    }
+  }
+  auto frame = std::make_shared<PooledBytes>(net_->wire_pool());
+  frame->reserve(frame_bytes);
+  AppendScalar(*frame, static_cast<uint32_t>(batch.size()));
+  for (const Pending& pending : batch) {
+    AppendScalar(*frame, pending.tag);
+    const uint32_t len =
+        pending.payload != nullptr
+            ? static_cast<uint32_t>(pending.payload->size())
+            : 0;
+    AppendScalar(*frame, len);
+    if (len > 0) {
+      const size_t offset = frame->size();
+      frame->resize(offset + len);
+      std::memcpy(frame->data() + offset, pending.payload->data(), len);
+    }
+  }
+  CHECK_EQ(frame->size(), frame_bytes);
+  return frame;
+}
+
+void BulkCoordinator::DispatchFrame(const NetMessage& message,
+                                    std::vector<Pending>& batch) {
+  auto frame = std::static_pointer_cast<PooledBytes>(message.payload);
+  BatchFrameReader reader(frame->span());
+  CHECK_EQ(reader.entry_count(), batch.size())
+      << "delivered batch frame does not match the flushed transfer count";
+  for (Pending& pending : batch) {
+    const BatchFrameReader::Entry entry = reader.Next();
+    if (pending.on_deliver) {
+      pending.on_deliver(entry.payload);
+    }
+  }
+}
+
 void BulkCoordinator::Flush(int src, int dst) {
   LinkQueue& queue = links_[{src, dst}];
   std::vector<Pending> batch = std::move(queue.pending);
@@ -57,9 +139,44 @@ void BulkCoordinator::Flush(int src, int dst) {
   ++batches_sent_;
   transfers_batched_ += batch.size();
 
+  bool has_payload = false;
+  for (const Pending& pending : batch) {
+    if (pending.payload != nullptr) {
+      has_payload = true;
+      break;
+    }
+  }
+
+  NetMessage message;
+  message.src = src;
+  message.dst = dst;
+  message.bytes = batch_bytes;
+  if (has_payload) {
+    // Real-data batch: serialize into one pooled frame. The wire size is
+    // the frame size (payloads plus framing headers), and the payload
+    // shared_ptr keeps exactly this block alive across retransmits. The
+    // enqueued payloads themselves drop here — frame assembly is the last
+    // copy on the send path.
+    std::shared_ptr<PooledBytes> frame = BuildFrame(batch);
+    message.bytes = frame->size();
+    message.payload = std::move(frame);
+    for (Pending& pending : batch) {
+      pending.payload.reset();
+    }
+  }
+  // Padding between what this batch used and the pool bucket it occupies
+  // (projected from batch_bytes for metadata-only batches): the price of
+  // bucket-aligned sizing, bounded by the threshold's bucket rounding.
+  const uint64_t waste =
+      message.bytes > 0
+          ? BufferPool::BucketCapacity(message.bytes) - message.bytes
+          : 0;
+  bucket_waste_bytes_ += waste;
+
   if (batches_metric_ != nullptr) {
     batches_metric_->Increment();
     transfers_metric_->Increment(batch.size());
+    waste_metric_->Increment(waste);
     batch_bytes_->Observe(static_cast<double>(batch_bytes));
     for (const Pending& pending : batch) {
       queue_delay_us_->Observe(
@@ -77,23 +194,32 @@ void BulkCoordinator::Flush(int src, int dst) {
                 queue.first_enqueued_at, sim_->now());
   }
 
-  NetMessage message;
-  message.src = src;
-  message.dst = dst;
-  message.bytes = batch_bytes;
   if (channel_ != nullptr) {
     // Reliable path: the whole batch shares one transfer's fate — delivered
     // (possibly after retries) or failed with the channel's peer status.
-    channel_->Send(std::move(message),
-                   [batch = std::move(batch)](const Status& status) mutable {
-                     for (Pending& pending : batch) {
-                       pending.on_complete(status);
-                     }
-                   });
+    // The batch is shared between the deliver and completion callbacks;
+    // exactly one delivery dispatch fires (the channel latches duplicates).
+    auto shared_batch = std::make_shared<std::vector<Pending>>(std::move(batch));
+    channel_->Send(
+        std::move(message),
+        has_payload ? std::function<void(const NetMessage&)>(
+                          [shared_batch](const NetMessage& delivered) {
+                            DispatchFrame(delivered, *shared_batch);
+                          })
+                    : nullptr,
+        [shared_batch](const Status& status) {
+          for (Pending& pending : *shared_batch) {
+            pending.on_complete(status);
+          }
+        });
     return;
   }
   net_->Send(std::move(message),
-             [batch = std::move(batch)](const NetMessage&) mutable {
+             [batch = std::move(batch),
+              has_payload](const NetMessage& delivered) mutable {
+               if (has_payload) {
+                 DispatchFrame(delivered, batch);
+               }
                for (Pending& pending : batch) {
                  pending.on_complete(OkStatus());
                }

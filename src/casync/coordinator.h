@@ -10,15 +10,26 @@
 // parallel while same-link batches queue. The coordinator's own metadata
 // traffic is not modelled; the paper measures it as negligible because it
 // overlaps the previous batch's bulk transfer.
+//
+// Real-data transfers (EnqueueTransfer) ride the same queues with pooled
+// payloads: the flush assembles one batch frame directly into a PooledBytes
+// block drawn from the network's wire pool, and the size threshold rounds
+// up to a whole BufferPool bucket so flushed frames land in a recycled
+// block instead of a fresh heap allocation. See docs/COMMUNICATION.md.
 #ifndef HIPRESS_SRC_CASYNC_COORDINATOR_H_
 #define HIPRESS_SRC_CASYNC_COORDINATOR_H_
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <map>
+#include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
+#include "src/common/buffer_pool.h"
+#include "src/common/logging.h"
 #include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/net/network.h"
@@ -27,24 +38,91 @@
 
 namespace hipress {
 
+// Batch frame layout (little-endian, positional):
+//   u32 entry_count
+//   per entry: u64 tag, u32 payload_len, payload bytes
+// Entries map one-to-one onto the flushed transfers in enqueue order, so
+// the receiver dispatches entry i to the i-th transfer's on_deliver.
+// Metadata-only transfers batched alongside real ones carry len = 0.
+//
+// BatchFrameReader is the allocation-free cursor over such a frame. Like
+// ByteBuffer::ReadAt, every read is bounds-checked: a truncated or
+// corrupted frame is a programming error upstream (the coordinator built
+// the frame it is now parsing) and aborts rather than reading out of
+// bounds. Spans returned by Next() alias the frame.
+class BatchFrameReader {
+ public:
+  explicit BatchFrameReader(std::span<const uint8_t> frame) : frame_(frame) {
+    count_ = Read<uint32_t>();
+  }
+
+  uint32_t entry_count() const { return count_; }
+
+  struct Entry {
+    uint64_t tag = 0;
+    std::span<const uint8_t> payload;
+  };
+
+  // Reads the next entry; CHECK-fails past entry_count() or on a frame too
+  // short for its own headers/payload lengths.
+  Entry Next() {
+    CHECK_LT(read_, count_) << "BatchFrameReader::Next past the "
+                            << count_ << " entries the frame declares";
+    ++read_;
+    Entry entry;
+    entry.tag = Read<uint64_t>();
+    const uint32_t len = Read<uint32_t>();
+    CHECK(len <= frame_.size() - offset_)
+        << "batch frame entry of " << len << " bytes at offset " << offset_
+        << " overruns frame of " << frame_.size() << " bytes";
+    entry.payload = frame_.subspan(offset_, len);
+    offset_ += len;
+    return entry;
+  }
+
+ private:
+  template <typename T>
+  T Read() {
+    CHECK(sizeof(T) <= frame_.size() && offset_ <= frame_.size() - sizeof(T))
+        << "batch frame read of " << sizeof(T) << " bytes at offset "
+        << offset_ << " overruns frame of " << frame_.size() << " bytes";
+    T value;
+    std::memcpy(&value, frame_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+
+  std::span<const uint8_t> frame_;
+  size_t offset_ = 0;
+  uint32_t count_ = 0;
+  uint32_t read_ = 0;
+};
+
 class BulkCoordinator {
  public:
   // `metrics` (optional) receives batch/transfer counts, batch-size and
   // queueing-delay histograms ("coordinator.batches",
-  // "coordinator.batch_bytes", "coordinator.queue_delay_us"); `spans`
-  // (optional) receives one coordinator-round span per flushed batch on the
-  // source node's track.
+  // "coordinator.batch_bytes", "coordinator.queue_delay_us") plus the
+  // bucket-padding counter ("coordinator.batch_bucket_waste_bytes");
+  // `spans` (optional) receives one coordinator-round span per flushed
+  // batch on the source node's track.
+  //
+  // `size_threshold` rounds up to the containing BufferPool bucket
+  // (BucketCapacity), so a size-triggered flush produces a frame that fits
+  // the recycled block a previous batch released — the wire path stops
+  // allocating once every link has flushed once.
   BulkCoordinator(Simulator* sim, Network* net, uint64_t size_threshold,
                   SimTime timeout, MetricsRegistry* metrics = nullptr,
                   SpanCollector* spans = nullptr)
       : sim_(sim),
         net_(net),
-        size_threshold_(size_threshold),
+        size_threshold_(BufferPool::BucketCapacity(size_threshold)),
         timeout_(timeout),
         spans_(spans) {
     if (metrics != nullptr) {
       batches_metric_ = &metrics->counter("coordinator.batches");
       transfers_metric_ = &metrics->counter("coordinator.transfers_batched");
+      waste_metric_ = &metrics->counter("coordinator.batch_bucket_waste_bytes");
       batch_bytes_ = &metrics->histogram("coordinator.batch_bytes",
                                          HistogramBuckets::DefaultBytes());
       queue_delay_us_ = &metrics->histogram("coordinator.queue_delay_us");
@@ -68,12 +146,32 @@ class BulkCoordinator {
   void EnqueueWithStatus(int src, int dst, uint64_t bytes,
                          std::function<void(const Status&)> on_complete);
 
+  // Real-data variant: the transfer carries `payload` (pooled, refcounted)
+  // through the batch frame to the receiver. `on_deliver` (optional) fires
+  // at the receiver's delivery time with a span aliasing this transfer's
+  // bytes inside the delivered frame; `on_complete` fires as in
+  // EnqueueWithStatus. The coordinator holds the payload shared_ptr until
+  // the flush has assembled the frame; the frame itself is a pooled block
+  // that the reliable channel re-sends by reference on retransmit.
+  void EnqueueTransfer(int src, int dst, uint64_t tag,
+                       std::shared_ptr<PooledBytes> payload,
+                       std::function<void(std::span<const uint8_t>)> on_deliver,
+                       std::function<void(const Status&)> on_complete);
+
   uint64_t batches_sent() const { return batches_sent_; }
   uint64_t transfers_batched() const { return transfers_batched_; }
+  // Bucket-rounded threshold actually in force (tests assert alignment).
+  uint64_t size_threshold() const { return size_threshold_; }
+  // Cumulative padding between flushed frames (or metadata batch bytes)
+  // and the pool bucket each one occupies.
+  uint64_t bucket_waste_bytes() const { return bucket_waste_bytes_; }
 
  private:
   struct Pending {
     uint64_t bytes;
+    uint64_t tag = 0;
+    std::shared_ptr<PooledBytes> payload;  // null for metadata-only
+    std::function<void(std::span<const uint8_t>)> on_deliver;
     std::function<void(const Status&)> on_complete;
     SimTime enqueued_at = 0;
   };
@@ -84,7 +182,13 @@ class BulkCoordinator {
     SimTime first_enqueued_at = 0;
   };
 
+  void EnqueuePending(int src, int dst, Pending pending);
   void Flush(int src, int dst);
+  // Serializes `batch` into one pooled frame drawn from the network's wire
+  // pool and fans delivered entries back out to each transfer's on_deliver.
+  std::shared_ptr<PooledBytes> BuildFrame(const std::vector<Pending>& batch);
+  static void DispatchFrame(const NetMessage& message,
+                            std::vector<Pending>& batch);
 
   Simulator* sim_;
   Network* net_;
@@ -94,11 +198,13 @@ class BulkCoordinator {
   SpanCollector* spans_ = nullptr;
   Counter* batches_metric_ = nullptr;
   Counter* transfers_metric_ = nullptr;
+  Counter* waste_metric_ = nullptr;
   Histogram* batch_bytes_ = nullptr;
   Histogram* queue_delay_us_ = nullptr;
   std::map<std::pair<int, int>, LinkQueue> links_;
   uint64_t batches_sent_ = 0;
   uint64_t transfers_batched_ = 0;
+  uint64_t bucket_waste_bytes_ = 0;
 };
 
 }  // namespace hipress

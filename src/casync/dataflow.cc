@@ -63,7 +63,7 @@ StatusOr<std::vector<Tensor>> DataflowRunner::RunPs(
   // wire payload, drawn from the pool once per run.
   Workspace ws(pool_);
   PooledFloats aggregate = ws.floats(0);
-  ByteBuffer wire;
+  ByteBuffer wire(ws.pool());
 
   for (size_t p = 0; p < ranges.size(); ++p) {
     const auto [offset, count] = ranges[p];
@@ -129,7 +129,7 @@ StatusOr<std::vector<Tensor>> DataflowRunner::RunRing(
   Workspace ws(pool_);
   PooledFloats value = ws.floats(0);
   PooledFloats next = ws.floats(0);
-  ByteBuffer wire;
+  ByteBuffer wire(ws.pool());
 
   for (size_t c = 0; c < ranges.size(); ++c) {
     const auto [offset, count] = ranges[c];
@@ -205,7 +205,7 @@ StatusOr<std::vector<Tensor>> DataflowRunner::RunTree(
   for (int u = 0; u < n; ++u) {
     partial.emplace_back(ws.pool());
   }
-  ByteBuffer wire;
+  ByteBuffer wire(ws.pool());
 
   for (size_t p = 0; p < ranges.size(); ++p) {
     const auto [offset, count] = ranges[p];

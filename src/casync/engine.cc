@@ -230,13 +230,35 @@ void CaSyncEngine::Dispatch(const GraphHandle& running, TaskId id) {
         Complete(running, id);
       };
       // Raw network or reliable transport, depending on configuration.
-      auto transmit = [this, deliver](NetMessage message) {
+      // `on_payload` (the task's receiver-side deliver hook) fires at the
+      // destination's delivery time with the payload bytes; the reliable
+      // path latches it to the first delivered copy under retransmits.
+      auto transmit = [this, deliver](
+                          NetMessage message,
+                          std::function<void(std::span<const uint8_t>)>
+                              on_payload) {
+        std::function<void(const NetMessage&)> on_deliver;
+        if (on_payload) {
+          on_deliver = [on_payload = std::move(on_payload)](
+                           const NetMessage& delivered) {
+            auto bytes =
+                std::static_pointer_cast<PooledBytes>(delivered.payload);
+            on_payload(bytes != nullptr ? bytes->span()
+                                        : std::span<const uint8_t>());
+          };
+        }
         if (reliable_ != nullptr) {
-          reliable_->Send(std::move(message), deliver);
+          reliable_->Send(std::move(message), std::move(on_deliver), deliver);
           return;
         }
         net_->Send(std::move(message),
-                   [deliver](const NetMessage&) { deliver(OkStatus()); });
+                   [on_deliver = std::move(on_deliver),
+                    deliver](const NetMessage& delivered) {
+                     if (on_deliver) {
+                       on_deliver(delivered);
+                     }
+                     deliver(OkStatus());
+                   });
       };
       auto start_send = [this, running, id, deliver, transmit] {
         if (running->done_fired) {
@@ -245,6 +267,16 @@ void CaSyncEngine::Dispatch(const GraphHandle& running, TaskId id) {
         SyncTask& send = running->graph->task(id);
         if (config_.pipelining) {
           if (coordinator_ != nullptr) {
+            if (send.payload != nullptr) {
+              // Pooled real-data path: the payload rides the batch frame by
+              // reference; the graph's ref drops here so the block recycles
+              // as soon as the frame is assembled.
+              coordinator_->EnqueueTransfer(send.node, send.peer,
+                                            send.gradient_id,
+                                            std::move(send.payload),
+                                            send.deliver, deliver);
+              return;
+            }
             coordinator_->EnqueueWithStatus(send.node, send.peer, send.bytes,
                                             deliver);
             return;
@@ -254,7 +286,8 @@ void CaSyncEngine::Dispatch(const GraphHandle& running, TaskId id) {
           message.dst = send.peer;
           message.bytes = send.bytes;
           message.tag = send.gradient_id;
-          transmit(std::move(message));
+          message.payload = std::move(send.payload);
+          transmit(std::move(message), send.deliver);
           return;
         }
         // Non-pipelined: the send waits for the node's sync path to drain,
@@ -271,7 +304,8 @@ void CaSyncEngine::Dispatch(const GraphHandle& running, TaskId id) {
           message.dst = inner.peer;
           message.bytes = inner.bytes;
           message.tag = inner.gradient_id;
-          transmit(std::move(message));
+          message.payload = std::move(inner.payload);
+          transmit(std::move(message), inner.deliver);
         });
       };
       if (copy_overhead > 0) {

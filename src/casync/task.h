@@ -13,9 +13,12 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "src/common/buffer_pool.h"
 #include "src/common/units.h"
 
 namespace hipress {
@@ -64,6 +67,17 @@ struct SyncTask {
   // tests move actual tensors through the graph; pure timing runs leave it
   // empty).
   std::function<void()> action;
+  // Optional pooled wire payload for kSend: the engine moves it into the
+  // outgoing NetMessage (or the coordinator's batch frame), so the block
+  // travels by refcount through batching and retransmits — never by copy.
+  // Pure timing runs leave it null. For payload sends through the bulk
+  // coordinator, wire accounting uses payload->size() (plus framing).
+  std::shared_ptr<PooledBytes> payload;
+  // Receiver-side hook for kSend, fired at the *destination's* delivery
+  // time with bytes aliasing the delivered frame/payload (valid only for
+  // the duration of the call — copy out or decode in place). Exactly once
+  // per delivered send, even when the reliable channel retransmits.
+  std::function<void(std::span<const uint8_t>)> deliver;
 };
 
 class TaskGraph {

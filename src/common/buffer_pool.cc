@@ -5,14 +5,15 @@
 
 namespace hipress {
 
-BufferPool::BufferPool(MetricsRegistry* registry)
+BufferPool::BufferPool(MetricsRegistry* registry, const char* metric_prefix)
     : registry_(registry),
       trace_origin_(std::chrono::steady_clock::now()) {
   if (registry_ != nullptr) {
-    hits_counter_ = &registry_->counter("mem.pool_hits");
-    misses_counter_ = &registry_->counter("mem.pool_misses");
-    in_use_gauge_ = &registry_->gauge("mem.bytes_in_use");
-    peak_gauge_ = &registry_->gauge("mem.peak_bytes");
+    const std::string prefix(metric_prefix);
+    hits_counter_ = &registry_->counter(prefix + ".pool_hits");
+    misses_counter_ = &registry_->counter(prefix + ".pool_misses");
+    in_use_gauge_ = &registry_->gauge(prefix + ".bytes_in_use");
+    peak_gauge_ = &registry_->gauge(prefix + ".peak_bytes");
   }
 }
 

@@ -61,10 +61,15 @@ class BufferPool {
     uint64_t free_blocks = 0;
   };
 
-  // `registry`, when set, receives live "mem.pool_hits"/"mem.pool_misses"
-  // counters and "mem.bytes_in_use"/"mem.peak_bytes" gauges. Local pools
+  // `registry`, when set, receives live "<prefix>.pool_hits"/
+  // "<prefix>.pool_misses" counters and "<prefix>.bytes_in_use"/
+  // "<prefix>.peak_bytes" gauges. The default prefix "mem" is the
+  // process-wide workspace pool; the Network wire pool publishes under
+  // "net" so wire-path and compute-path allocation behavior are gated
+  // independently (docs/MEMORY.md, docs/COMMUNICATION.md). Local pools
   // (tests, benches) pass nullptr and read stats() directly.
-  explicit BufferPool(MetricsRegistry* registry = nullptr);
+  explicit BufferPool(MetricsRegistry* registry = nullptr,
+                      const char* metric_prefix = "mem");
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;

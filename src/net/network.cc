@@ -9,7 +9,11 @@ namespace hipress {
 
 Network::Network(Simulator* sim, int num_nodes, NetworkConfig config,
                  MetricsRegistry* metrics, SpanCollector* spans)
-    : sim_(sim), num_nodes_(num_nodes), config_(config), spans_(spans) {
+    : sim_(sim),
+      num_nodes_(num_nodes),
+      config_(config),
+      spans_(spans),
+      wire_pool_(metrics, "net") {
   CHECK_GT(num_nodes, 0);
   // std::max keeps GCC's range analysis from flagging the vector fill.
   const auto nodes = static_cast<size_t>(std::max(num_nodes, 1));

@@ -108,6 +108,14 @@ class Network {
   int num_nodes() const { return num_nodes_; }
   const NetworkConfig& config() const { return config_; }
 
+  // Pool backing wire-path payloads (batch frames, retransmit blocks,
+  // staging copies). Owned by the network so wire allocations are gated
+  // separately from compute-side scratch: it publishes "net.pool_hits"/
+  // "net.pool_misses" (plus bytes_in_use/peak_bytes) on the registry the
+  // network was constructed with. After warm-up the wire path must stop
+  // missing — the invariant bench/bench_wire_pool.cc gates.
+  BufferPool* wire_pool() { return &wire_pool_; }
+
   uint64_t tx_bytes(int node) const { return tx_bytes_[node]; }
   uint64_t rx_bytes(int node) const { return rx_bytes_[node]; }
   SimTime uplink_busy(int node) const { return uplink_busy_[node]; }
@@ -119,6 +127,7 @@ class Network {
   int num_nodes_;
   NetworkConfig config_;
   SpanCollector* spans_ = nullptr;
+  BufferPool wire_pool_;
   // Cached metric handles; all null when no registry is wired.
   Counter* messages_sent_metric_ = nullptr;
   Counter* messages_delivered_metric_ = nullptr;

@@ -50,6 +50,12 @@ SimTime ReliableChannel::BackoffDelay(int attempt) const {
 
 void ReliableChannel::Send(NetMessage message,
                            std::function<void(const Status&)> on_complete) {
+  Send(std::move(message), nullptr, std::move(on_complete));
+}
+
+void ReliableChannel::Send(NetMessage message,
+                           std::function<void(const NetMessage&)> on_deliver,
+                           std::function<void(const Status&)> on_complete) {
   const int known_dead =
       peer_failed(message.dst) ? message.dst
       : peer_failed(message.src) ? message.src
@@ -66,6 +72,7 @@ void ReliableChannel::Send(NetMessage message,
   const uint64_t id = next_transfer_id_++;
   Transfer& transfer = transfers_[id];
   transfer.message = std::move(message);
+  transfer.on_deliver = std::move(on_deliver);
   transfer.on_complete = std::move(on_complete);
   Attempt(id);
 }
@@ -83,6 +90,16 @@ void ReliableChannel::Attempt(uint64_t id) {
   // Data out; the receiver acks every received copy (duplicates from
   // spurious retransmits are absorbed by the `done` latch).
   net_->Send(data, [this, id](const NetMessage& delivered) {
+    // First successful copy reaches the application; later duplicates only
+    // refresh the ack. `delivered` aliases the transfer's stored payload —
+    // no copy happened on the way here.
+    auto deliver_it = transfers_.find(id);
+    if (deliver_it != transfers_.end() && !deliver_it->second.delivered) {
+      deliver_it->second.delivered = true;
+      if (deliver_it->second.on_deliver) {
+        deliver_it->second.on_deliver(delivered);
+      }
+    }
     NetMessage ack;
     ack.src = delivered.dst;
     ack.dst = delivered.src;

@@ -59,6 +59,18 @@ class ReliableChannel {
   // Sends to a peer already marked failed fail fast on the next event.
   void Send(NetMessage message, std::function<void(const Status&)> on_complete);
 
+  // As above, plus `on_deliver` fires exactly once at the *receiver's*
+  // delivery time with the first successfully delivered copy of the
+  // message (duplicates from spurious retransmits are latched out). The
+  // delivered NetMessage aliases the transfer's payload shared_ptr — the
+  // channel's ack/timeout/backoff bookkeeping holds the same refcounted
+  // block across every retransmit rather than a byte copy, so a pooled
+  // payload travels the full retry lifecycle without leaving pool memory
+  // (docs/COMMUNICATION.md).
+  void Send(NetMessage message,
+            std::function<void(const NetMessage&)> on_deliver,
+            std::function<void(const Status&)> on_complete);
+
   // Invoked (at most once per peer) when a retry budget exhausts against
   // that peer; fires before the offending transfer's on_complete.
   void set_on_peer_failure(std::function<void(int peer)> handler) {
@@ -72,10 +84,14 @@ class ReliableChannel {
 
  private:
   struct Transfer {
+    // Holds the payload shared_ptr for the transfer's whole lifetime;
+    // retransmits re-send this exact message, refcount and all.
     NetMessage message;
+    std::function<void(const NetMessage&)> on_deliver;  // may be empty
     std::function<void(const Status&)> on_complete;
     int attempts = 0;
-    bool done = false;
+    bool done = false;       // sender-side: ack observed or transfer failed
+    bool delivered = false;  // receiver-side: first copy handed upward
   };
 
   void Attempt(uint64_t id);

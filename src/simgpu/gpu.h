@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,14 @@ class GpuDevice {
   // Returned bytes are uninitialized; the block returns to the pool when
   // the handle is dropped.
   PooledBytes AcquireStaging(size_t bytes) { return {staging_pool_, bytes}; }
+  // Refcounted variant for the wire path: encode writes into the staging
+  // block and the same handle becomes the SyncTask/NetMessage payload, so
+  // a compressed gradient leaves the device and reaches the batch frame
+  // without an intermediate copy (docs/COMMUNICATION.md). The block
+  // recycles when the last wire reference drops.
+  std::shared_ptr<PooledBytes> AcquireSharedStaging(size_t bytes) {
+    return std::make_shared<PooledBytes>(staging_pool_, bytes);
+  }
   void set_staging_pool(BufferPool* pool) { staging_pool_ = pool; }
 
   int id() const { return id_; }

@@ -122,6 +122,9 @@ class Tensor {
 class ByteBuffer {
  public:
   ByteBuffer() = default;
+  // Storage drawn from `pool` instead of BufferPool::Global() — wire-path
+  // buffers use the network's pool so their recycling is gated separately.
+  explicit ByteBuffer(BufferPool* pool) : data_(pool) {}
   explicit ByteBuffer(size_t size) { Resize(size); }
   explicit ByteBuffer(std::vector<uint8_t> data) {
     Assign(data.data(), data.size());

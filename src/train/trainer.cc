@@ -218,6 +218,11 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
   // latest iteration (0 on a balanced cluster; rises under stragglers and
   // degraded links).
   Gauge& straggler_skew = metrics->gauge("train.straggler_skew_ms");
+  // Wire-pool misses during the latest iteration (delta of the cumulative
+  // net.pool_misses counter): 0 in steady state once every link has
+  // flushed a batch — the mem.step_pool_misses invariant, applied to the
+  // wire path (batch frames, retransmit payloads, staging copies).
+  Gauge& step_wire_pool_misses = metrics->gauge("net.step_pool_misses");
   auto finalize_observability = [&] {
     report.iteration_p50_ms = iteration_ms.Quantile(0.5);
     report.iteration_p95_ms = iteration_ms.Quantile(0.95);
@@ -404,6 +409,7 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
     SimTime recovery_started_at = -1;
     const SimTime uplink_busy_before = net.uplink_busy(0);
     const EngineStats stats_before = engine.stats();
+    const uint64_t wire_misses_before = net.wire_pool()->stats().misses;
     const bool measured = iteration == options.iterations - 1;
     // Stray coordinator-timeout events can fire slightly after the last
     // sync completes; align the next iteration start past them.
@@ -632,6 +638,8 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
     iteration_ms.Observe(ToMillis(end - iter_start));
     sync_tail_ms.Observe(ToMillis(
         std::max<SimTime>(0, end - (iter_start + compute_time))));
+    step_wire_pool_misses.Set(static_cast<double>(
+        net.wire_pool()->stats().misses - wire_misses_before));
     if (measured) {
       measured_iter_time = end - iter_start;
       measured_uplink_busy = net.uplink_busy(0) - uplink_busy_before;

@@ -2,7 +2,9 @@
 // serialized sync paths, bulk coordination, and completion callbacks.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/casync/builder.h"
@@ -277,12 +279,146 @@ TEST(CoordinatorTest, SizeThresholdFlushesEarly) {
   BulkCoordinator coordinator(&sim, &net, 10'000, FromMillis(50.0));
   int delivered = 0;
   coordinator.Enqueue(0, 1, 100'000, [&] { ++delivered; });  // occupies link
-  coordinator.Enqueue(0, 1, 6'000, [&] { ++delivered; });
-  coordinator.Enqueue(0, 1, 6'000, [&] { ++delivered; });
-  // Threshold (12000 >= 10000) flushes the pending batch without waiting
-  // for the 50 ms timeout.
+  coordinator.Enqueue(0, 1, 9'000, [&] { ++delivered; });
+  coordinator.Enqueue(0, 1, 9'000, [&] { ++delivered; });
+  // The 10'000 threshold rounds up to its 16384-byte pool bucket; 18'000
+  // queued bytes cross it and flush the pending batch without waiting for
+  // the 50 ms timeout.
   sim.RunUntil(FromMillis(2.0));
   EXPECT_EQ(delivered, 3);
+}
+
+TEST(CoordinatorTest, ThresholdRoundsUpToBucketCapacity) {
+  // Bucket-aligned sizing: a size-triggered flush should fill a whole
+  // BufferPool bucket so the frame lands in a recycled block. The
+  // configured threshold therefore rounds up to BucketCapacity.
+  Simulator sim;
+  NetworkConfig net_config;
+  net_config.link_bandwidth = Bandwidth::Gbps(1.0);  // keep the link busy
+  Network net(&sim, 2, net_config);
+  BulkCoordinator coordinator(&sim, &net, 10'000, FromMillis(50.0));
+  EXPECT_EQ(coordinator.size_threshold(), BufferPool::BucketCapacity(10'000));
+  EXPECT_EQ(coordinator.size_threshold(), 16'384u);
+  // An already-bucket-aligned threshold is unchanged.
+  BulkCoordinator aligned(&sim, &net, 8 * kMiB, FromMillis(50.0));
+  EXPECT_EQ(aligned.size_threshold(), 8 * kMiB);
+
+  int delivered = 0;
+  coordinator.Enqueue(0, 1, 100'000, [&] { ++delivered; });  // occupies link
+  // 12'000 bytes crossed the configured 10'000 but not the bucket-rounded
+  // threshold: the batch must keep queueing.
+  coordinator.Enqueue(0, 1, 6'000, [&] { ++delivered; });
+  coordinator.Enqueue(0, 1, 6'000, [&] { ++delivered; });
+  sim.RunUntil(FromMillis(2.0));
+  EXPECT_EQ(delivered, 1);
+  // Crossing the bucket boundary (18'000 >= 16'384) flushes.
+  coordinator.Enqueue(0, 1, 6'000, [&] { ++delivered; });
+  sim.RunUntil(FromMillis(4.0));
+  EXPECT_EQ(delivered, 4);
+  sim.Run();
+}
+
+TEST(CoordinatorTest, BucketWasteAccountsFramePadding) {
+  // The waste metric records the padding between each flushed batch and
+  // the pool bucket it occupies.
+  Simulator sim;
+  NetworkConfig net_config;
+  Network net(&sim, 2, net_config);
+  MetricsRegistry metrics;
+  BulkCoordinator coordinator(&sim, &net, 1 * kMiB, FromMicros(100.0),
+                              &metrics);
+  // Idle link: the metadata-only transfer flushes alone as a 6'000-byte
+  // batch, occupying an 8192-byte bucket -> 2192 bytes of padding.
+  coordinator.Enqueue(0, 1, 6'000, [] {});
+  sim.Run();
+  EXPECT_EQ(coordinator.bucket_waste_bytes(), 8192u - 6'000u);
+  EXPECT_EQ(
+      static_cast<uint64_t>(
+          metrics.counter("coordinator.batch_bucket_waste_bytes").value()),
+      coordinator.bucket_waste_bytes());
+
+  // A payload batch accounts the *frame* (payload + headers): 4-byte count
+  // + 12-byte entry header + 2048 payload bytes = 2064 -> 4096 bucket.
+  auto payload = MakePooledPayload(std::vector<uint8_t>(2048, 0xAB));
+  const uint64_t before = coordinator.bucket_waste_bytes();
+  bool delivered = false;
+  coordinator.EnqueueTransfer(
+      1, 0, /*tag=*/7, payload,
+      [&](std::span<const uint8_t> bytes) {
+        delivered = true;
+        EXPECT_EQ(bytes.size(), 2048u);
+      },
+      [](const Status& status) { EXPECT_TRUE(status.ok()); });
+  sim.Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(coordinator.bucket_waste_bytes() - before, 4096u - 2064u);
+}
+
+TEST(CoordinatorTest, BatchedPayloadsDeliverBitIdentical) {
+  // Several pooled payloads batched behind a busy link arrive in one
+  // frame, each dispatched to its own on_deliver with its exact bytes.
+  Simulator sim;
+  NetworkConfig net_config;
+  net_config.link_bandwidth = Bandwidth::Gbps(1.0);  // keep the link busy
+  Network net(&sim, 2, net_config);
+  BulkCoordinator coordinator(&sim, &net, 64 * kKiB, FromMicros(200.0));
+  coordinator.Enqueue(0, 1, 100'000, [] {});  // occupies the link
+  std::vector<std::vector<uint8_t>> sent;
+  std::vector<std::vector<uint8_t>> received(3);
+  int completions = 0;
+  for (int i = 0; i < 3; ++i) {
+    sent.emplace_back(static_cast<size_t>(100 + 37 * i),
+                      static_cast<uint8_t>(0x11 * (i + 1)));
+    coordinator.EnqueueTransfer(
+        0, 1, /*tag=*/static_cast<uint64_t>(i),
+        MakePooledPayload(sent.back(), net.wire_pool()),
+        [&received, i](std::span<const uint8_t> bytes) {
+          received[i].assign(bytes.begin(), bytes.end());
+        },
+        [&](const Status& status) {
+          EXPECT_TRUE(status.ok());
+          ++completions;
+        });
+  }
+  sim.Run();
+  EXPECT_EQ(completions, 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(received[i], sent[i]) << "payload " << i;
+  }
+  // All three payloads travelled as one batch frame.
+  EXPECT_EQ(coordinator.batches_sent(), 2u);
+}
+
+TEST(BatchFrameReaderDeathTest, TruncatedFrameAborts) {
+  // ReadAt-style hardening: parsing must CHECK, not read out of bounds,
+  // when a frame is shorter than its own headers claim.
+  // Frame declaring one entry of 100 bytes, then cut off after the entry
+  // header: Next() must abort on the missing payload.
+  std::vector<uint8_t> frame;
+  const uint32_t count = 1;
+  const uint64_t tag = 42;
+  const uint32_t len = 100;
+  auto append = [&frame](const void* p, size_t n) {
+    const auto* bytes = static_cast<const uint8_t*>(p);
+    frame.insert(frame.end(), bytes, bytes + n);
+  };
+  append(&count, sizeof(count));
+  append(&tag, sizeof(tag));
+  append(&len, sizeof(len));
+  BatchFrameReader reader(frame);
+  EXPECT_EQ(reader.entry_count(), 1u);
+  EXPECT_DEATH(reader.Next(), "overruns frame");
+
+  // A frame too short for even the entry count aborts at construction.
+  std::vector<uint8_t> stub(2, 0);
+  EXPECT_DEATH(BatchFrameReader{stub}, "overruns frame");
+
+  // Reading past the declared entry count aborts too.
+  const uint32_t zero = 0;
+  frame.clear();
+  append(&zero, sizeof(zero));
+  BatchFrameReader empty(frame);
+  EXPECT_DEATH(empty.Next(), "past the 0 entries");
 }
 
 TEST(CoordinatorTest, TimeoutFlushesSmallBatchBehindBusyLink) {

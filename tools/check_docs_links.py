@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Documentation link checker.
+
+Validates, for every markdown file under docs/ plus the top-level README.md:
+
+  1. relative markdown links `[text](path)` resolve to an existing file or
+     directory (external http(s)/mailto links and pure #anchors are skipped);
+  2. backticked repo paths like `src/net/network.h` point at real files.
+     Brace groups expand (`src/common/buffer_pool.{h,cc}` checks both),
+     glob stars are matched against the tree, and trailing `:123` line
+     references are ignored.
+
+Exits non-zero listing every broken reference, so CI fails when a rename
+or deletion strands the documentation.
+"""
+
+import glob
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Top-level directories whose backticked mentions are treated as repo paths.
+PATH_ROOTS = ("src", "docs", "tests", "bench", "examples", "tools")
+
+MD_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN_RE = re.compile(r"`([^`]+)`")
+PATH_TOKEN_RE = re.compile(
+    r"(?:%s)/[A-Za-z0-9_./{},*-]*" % "|".join(PATH_ROOTS)
+)
+
+
+def expand_braces(token: str) -> list[str]:
+    """`a.{h,cc}` -> [`a.h`, `a.cc`]; tokens without braces pass through."""
+    match = re.search(r"\{([^{}]*)\}", token)
+    if not match:
+        return [token]
+    expanded = []
+    for alt in match.group(1).split(","):
+        expanded.extend(
+            expand_braces(token[: match.start()] + alt + token[match.end():])
+        )
+    return expanded
+
+
+def repo_path_exists(token: str) -> bool:
+    token = token.rstrip("/").rstrip(".")
+    # Drop a trailing :123 line reference.
+    token = re.sub(r":\d+$", "", token)
+    if not token:
+        return True
+    if "*" in token:
+        return bool(glob.glob(str(REPO_ROOT / token)))
+    return (REPO_ROOT / token).exists()
+
+
+def check_file(md: Path) -> list[str]:
+    errors = []
+    text = md.read_text(encoding="utf-8")
+    rel = md.relative_to(REPO_ROOT)
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for target in MD_LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure anchor
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{rel}:{lineno}: broken link ({target})")
+
+        for span in CODE_SPAN_RE.findall(line):
+            for token in PATH_TOKEN_RE.findall(span):
+                for candidate in expand_braces(token):
+                    if not repo_path_exists(candidate):
+                        errors.append(
+                            f"{rel}:{lineno}: missing path ({candidate})"
+                        )
+    return errors
+
+
+def main() -> int:
+    files = sorted((REPO_ROOT / "docs").glob("*.md"))
+    files.append(REPO_ROOT / "README.md")
+    errors = []
+    for md in files:
+        errors.extend(check_file(md))
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"\n{len(errors)} broken doc reference(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} files: all doc references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

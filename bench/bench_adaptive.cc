@@ -1,0 +1,369 @@
+// bench_adaptive — the runtime-adaptive compression controller under a
+// mid-run bandwidth collapse (docs/ADAPTIVE.md).
+//
+// Three panels:
+//  1. recovery: hipress-ps/vgg19 with every link degraded to half bandwidth
+//     a few iterations in. Three runs — fixed codec at full bandwidth,
+//     fixed codec under the degradation, adaptive under the degradation —
+//     and the gate: the controller must recover at least 50% of the
+//     steady-state iteration-time gap the collapse opened
+//       recovery = (t_fixed_degraded - t_adaptive) /
+//                  (t_fixed_degraded - t_fixed_full) >= 0.5
+//     plus sanity gates (the collapse actually hurt; the controller
+//     actually re-planned; no codec flapping).
+//  2. replay: the adaptive run executes twice with the same seed and fault
+//     spec; the decision logs must match byte-for-byte (decisions are a
+//     pure function of observed inputs — no wall clock, no unseeded
+//     randomness).
+//  3. switch integrity: the codec sequence the controller chose is driven
+//     through the real-data engine path (pooled staging -> coordinator
+//     batch frames -> delivery) twice; delivered bytes must be
+//     bit-identical across the replays for every rung, so a codec switch
+//     never corrupts what the wire delivers.
+//
+// Dumps BENCH_adaptive.json (archived by CI bench-smoke, diffed against
+// bench/baselines by the bench-regression job); exits non-zero when any
+// gate fails. `--smoke` (or HIPRESS_BENCH_SMOKE=1) shrinks iteration
+// counts for CI.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/casync/engine.h"
+#include "src/compress/registry.h"
+#include "src/net/fault.h"
+#include "src/net/network.h"
+#include "src/simgpu/gpu.h"
+
+using namespace hipress;
+using namespace hipress::bench;
+
+namespace {
+
+constexpr int kNodes = 8;
+constexpr const char* kModel = "vgg19";
+constexpr const char* kConfiguredCodec = "fp16";
+constexpr const char* kCandidateCodec = "onebit";
+// Every link drops to half bandwidth 30 ms in and never recovers.
+constexpr const char* kDegradeSpec = "degrade=*-*@30-1000000@0.5";
+
+HiPressOptions ScenarioOptions(int iterations, bool adaptive,
+                               bool degraded) {
+  HiPressOptions options;
+  options.model = kModel;
+  options.system = "hipress-ps";
+  options.algorithm = kConfiguredCodec;
+  options.cluster = ClusterSpec::Ec2(kNodes);
+  options.train.iterations = iterations;
+  if (degraded) {
+    auto faults = ParseFaultSpec(kDegradeSpec);
+    if (!faults.ok()) {
+      std::fprintf(stderr, "fault spec: %s\n",
+                   faults.status().ToString().c_str());
+      std::abort();
+    }
+    options.cluster.net.faults = *faults;
+  }
+  if (adaptive) {
+    options.train.adaptive.enabled = true;
+    options.train.adaptive.candidate_algorithms = {kCandidateCodec};
+  }
+  return options;
+}
+
+TrainReport MustRun(const HiPressOptions& options) {
+  auto result = RunTrainingSimulation(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return result->report;
+}
+
+// Steady-state iteration time: mean over the last `k` iterations, past the
+// controller's detect/trigger/cooldown transient.
+double MeanLastKMs(const TrainReport& report, int k) {
+  const auto& steps = report.steps;
+  if (static_cast<int>(steps.size()) < k) {
+    std::fprintf(stderr, "run produced %zu steps, need %d\n", steps.size(),
+                 k);
+    std::abort();
+  }
+  double total = 0.0;
+  for (size_t i = steps.size() - static_cast<size_t>(k); i < steps.size();
+       ++i) {
+    total += steps[i].iteration_ms;
+  }
+  return total / k;
+}
+
+bool RunRecoveryPanel(BenchReporter& reporter, int iterations, int tail) {
+  Header("adaptive: bandwidth-collapse recovery");
+  const TrainReport full =
+      MustRun(ScenarioOptions(iterations, /*adaptive=*/false,
+                              /*degraded=*/false));
+  const TrainReport fixed_deg =
+      MustRun(ScenarioOptions(iterations, /*adaptive=*/false,
+                              /*degraded=*/true));
+  const TrainReport adapt_deg =
+      MustRun(ScenarioOptions(iterations, /*adaptive=*/true,
+                              /*degraded=*/true));
+
+  const double t_full = MeanLastKMs(full, tail);
+  const double t_fixed = MeanLastKMs(fixed_deg, tail);
+  const double t_adapt = MeanLastKMs(adapt_deg, tail);
+  const double gap = t_fixed - t_full;
+  const double recovery = gap > 0.0 ? (t_fixed - t_adapt) / gap : 0.0;
+
+  std::printf("%-32s %14s %14s\n", "", "iter_ms(tail)", "throughput");
+  std::printf("%-32s %14.2f %14.0f\n", "fixed, full bandwidth", t_full,
+              full.throughput);
+  std::printf("%-32s %14.2f %14.0f\n", "fixed, degraded", t_fixed,
+              fixed_deg.throughput);
+  std::printf("%-32s %14.2f %14.0f\n", "adaptive, degraded", t_adapt,
+              adapt_deg.throughput);
+  std::printf("gap %.2f ms, recovered %.0f%%  (%d replan(s), %d codec "
+              "switch(es), final %s)\n",
+              gap, recovery * 100.0, adapt_deg.adaptive.replans,
+              adapt_deg.adaptive.codec_switches,
+              adapt_deg.adaptive.final_algorithm.c_str());
+
+  reporter.Record("full", full);
+  reporter.Record("fixed_degraded", fixed_deg);
+  reporter.Record("adaptive_degraded", adapt_deg);
+  reporter.registry().gauge("recovery.tail_iter_ms_full").Set(t_full);
+  reporter.registry().gauge("recovery.tail_iter_ms_fixed").Set(t_fixed);
+  reporter.registry().gauge("recovery.tail_iter_ms_adaptive").Set(t_adapt);
+  reporter.registry().gauge("recovery.fraction").Set(recovery);
+  reporter.registry().gauge("recovery.replans")
+      .Set(static_cast<double>(adapt_deg.adaptive.replans));
+  reporter.registry().gauge("recovery.codec_switches")
+      .Set(static_cast<double>(adapt_deg.adaptive.codec_switches));
+
+  bool ok = true;
+  if (gap <= 0.0) {
+    std::fprintf(stderr, "GATE: bandwidth collapse did not slow the fixed "
+                         "run — the scenario exercises nothing\n");
+    ok = false;
+  }
+  if (adapt_deg.adaptive.replans < 1) {
+    std::fprintf(stderr, "GATE: controller never re-planned under a halved "
+                         "link\n");
+    ok = false;
+  }
+  if (adapt_deg.adaptive.codec_switches > 2) {
+    std::fprintf(stderr,
+                 "GATE: %d codec switches — hysteresis failed to stop "
+                 "flapping\n",
+                 adapt_deg.adaptive.codec_switches);
+    ok = false;
+  }
+  if (static_cast<int>(adapt_deg.adaptive.decisions.size()) != iterations) {
+    std::fprintf(stderr, "GATE: %zu decisions for %d iterations (want 1:1)\n",
+                 adapt_deg.adaptive.decisions.size(), iterations);
+    ok = false;
+  }
+  if (recovery < 0.5) {
+    std::fprintf(stderr,
+                 "GATE: recovered %.0f%% of the degradation gap "
+                 "(need >= 50%%)\n",
+                 recovery * 100.0);
+    ok = false;
+  }
+  return ok;
+}
+
+bool RunReplayPanel(BenchReporter& reporter, int iterations) {
+  Header("adaptive: decision replay determinism");
+  const HiPressOptions options =
+      ScenarioOptions(iterations, /*adaptive=*/true, /*degraded=*/true);
+  const TrainReport first = MustRun(options);
+  const TrainReport second = MustRun(options);
+  const bool identical =
+      first.adaptive.decision_log == second.adaptive.decision_log;
+  std::printf("%zu decision(s), logs %s\n",
+              first.adaptive.decisions.size(),
+              identical ? "bit-identical" : "DIVERGED");
+  if (!identical) {
+    std::fprintf(stderr, "--- first ---\n%s--- second ---\n%s",
+                 first.adaptive.decision_log.c_str(),
+                 second.adaptive.decision_log.c_str());
+  }
+  reporter.registry().gauge("replay.decisions")
+      .Set(static_cast<double>(first.adaptive.decisions.size()));
+  reporter.registry().gauge("replay.identical").Set(identical ? 1.0 : 0.0);
+  if (!identical) {
+    std::fprintf(stderr, "GATE: replay produced a different decision log\n");
+  }
+  return identical;
+}
+
+// ---------------------------------------------------------------------------
+// Panel 3: drive the chosen codec sequence through the real-data engine
+// path twice and require bit-identical delivered bytes.
+// ---------------------------------------------------------------------------
+
+SyncConfig SwitchEngineConfig(const std::string& algorithm) {
+  SyncConfig config;
+  config.strategy = StrategyKind::kPs;
+  config.num_nodes = 3;
+  config.compression = true;
+  config.algorithm = algorithm;
+  config.bulk = true;
+  config.net.link_bandwidth = Bandwidth::Gbps(40.0);
+  config.net.latency = FromMicros(10.0);
+  config.net.per_message_overhead = FromMicros(2.0);
+  return config;
+}
+
+struct EngineCluster {
+  EngineCluster(const SyncConfig& config, MetricsRegistry* metrics)
+      : net(&sim, config.num_nodes, config.net, metrics) {
+    for (int node = 0; node < config.num_nodes; ++node) {
+      gpu_storage.push_back(std::make_unique<GpuDevice>(&sim, node));
+      gpus.push_back(gpu_storage.back().get());
+      gpus.back()->set_staging_pool(net.wire_pool());
+    }
+    engine = std::make_unique<CaSyncEngine>(&sim, &net, gpus, config, metrics);
+  }
+
+  Simulator sim;
+  Network net;
+  std::vector<std::unique_ptr<GpuDevice>> gpu_storage;
+  std::vector<GpuDevice*> gpus;
+  std::unique_ptr<CaSyncEngine> engine;
+};
+
+std::vector<float> TestGradient(size_t elements) {
+  std::vector<float> gradient(elements);
+  for (size_t i = 0; i < elements; ++i) {
+    const float sign = (i % 5 == 0) ? -1.0f : 1.0f;
+    gradient[i] = sign * (0.125f + 0.002f * static_cast<float>(i % 131));
+  }
+  return gradient;
+}
+
+// One pass over the codec sequence: per rung, ApplyCodec on the idle
+// engine, encode the gradient into pooled staging on worker 1, ship it to
+// node 0 through the coordinator, and record the delivered bytes.
+std::vector<std::vector<uint8_t>> RunCodecSequence(
+    const std::vector<std::string>& sequence, std::span<const float> gradient) {
+  SyncConfig config = SwitchEngineConfig(sequence[0]);
+  MetricsRegistry metrics;
+  EngineCluster cluster(config, &metrics);
+  std::vector<std::vector<uint8_t>> delivered(sequence.size());
+  for (size_t s = 0; s < sequence.size(); ++s) {
+    auto codec_or = CreateCompressor(sequence[s]);
+    if (!codec_or.ok()) {
+      std::fprintf(stderr, "codec %s: %s\n", sequence[s].c_str(),
+                   codec_or.status().ToString().c_str());
+      std::abort();
+    }
+    std::unique_ptr<Compressor> codec = std::move(*codec_or);
+    cluster.engine->ApplyCodec(
+        sequence[s], config.codec_impl,
+        GetCodecSpeed(sequence[s], config.codec_impl, config.platform));
+    auto staged = cluster.gpus[1]->AcquireSharedStaging(
+        codec->WorstCaseEncodedSize(gradient.size()));
+    auto written = codec->EncodeInto(gradient, staged->span());
+    if (!written.ok()) {
+      std::fprintf(stderr, "encode failed: %s\n",
+                   written.status().ToString().c_str());
+      std::abort();
+    }
+    staged->resize(*written);
+    TaskGraph graph;
+    SyncTask send;
+    send.type = PrimitiveType::kSend;
+    send.node = 1;
+    send.peer = 0;
+    send.bytes = staged->size();
+    send.gradient_id = static_cast<uint32_t>(s);
+    send.payload = std::move(staged);
+    std::vector<uint8_t>* sink = &delivered[s];
+    send.deliver = [sink](std::span<const uint8_t> bytes) {
+      sink->assign(bytes.begin(), bytes.end());
+    };
+    graph.Add(send);
+    bool done = false;
+    cluster.engine->Execute(&graph, [&done] { done = true; });
+    cluster.sim.Run();
+    if (!done) {
+      std::fprintf(stderr, "send round for %s did not complete\n",
+                   sequence[s].c_str());
+      std::abort();
+    }
+  }
+  return delivered;
+}
+
+bool RunSwitchIntegrityPanel(BenchReporter& reporter, bool smoke) {
+  Header("adaptive: codec-switch delivered-bytes replay integrity");
+  const size_t elements = smoke ? 32 * 1024 : 128 * 1024;
+  const std::vector<float> gradient = TestGradient(elements);
+  // The ladder walk the recovery scenario takes, plus the relax direction.
+  const std::vector<std::string> sequence = {
+      kConfiguredCodec, kCandidateCodec, kConfiguredCodec};
+  const auto first = RunCodecSequence(sequence, gradient);
+  const auto second = RunCodecSequence(sequence, gradient);
+  bool identical = true;
+  for (size_t s = 0; s < sequence.size(); ++s) {
+    const bool match = first[s].size() == second[s].size() &&
+                       std::memcmp(first[s].data(), second[s].data(),
+                                   first[s].size()) == 0;
+    std::printf("rung %zu (%s): %zu delivered bytes, replay %s\n", s,
+                sequence[s].c_str(), first[s].size(),
+                match ? "identical" : "DIVERGED");
+    if (first[s].empty()) {
+      std::fprintf(stderr, "GATE: rung %zu delivered no bytes\n", s);
+      identical = false;
+    }
+    if (!match) {
+      identical = false;
+    }
+  }
+  reporter.registry().gauge("switch.rungs")
+      .Set(static_cast<double>(sequence.size()));
+  reporter.registry().gauge("switch.replay_identical")
+      .Set(identical ? 1.0 : 0.0);
+  if (!identical) {
+    std::fprintf(stderr, "GATE: codec switching altered delivered bytes "
+                         "across replays\n");
+  }
+  return identical;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = std::getenv("HIPRESS_BENCH_SMOKE") != nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    }
+  }
+  const int iterations = smoke ? 8 : 16;
+  const int tail = smoke ? 3 : 4;
+
+  BenchReporter reporter("adaptive");
+  reporter.registry().gauge("smoke").Set(smoke ? 1.0 : 0.0);
+
+  bool ok = RunRecoveryPanel(reporter, iterations, tail);
+  ok = RunReplayPanel(reporter, iterations) && ok;
+  ok = RunSwitchIntegrityPanel(reporter, smoke) && ok;
+  reporter.registry().gauge("gates_passed").Set(ok ? 1.0 : 0.0);
+  reporter.Write();
+
+  if (!ok) {
+    std::fprintf(stderr, "\nbench_adaptive: GATE FAILURE\n");
+    return 1;
+  }
+  std::printf("\nbench_adaptive: all gates passed\n");
+  return 0;
+}

@@ -5,6 +5,7 @@
 //                 [--nodes 16] [--cluster ec2|local] [--gbps <bandwidth>]
 //                 [--bitwidth N] [--ratio R] [--no-rdma] [--compare]
 //                 [--faults SPEC] [--step-report steps.jsonl]
+//                 [--iterations N] [--adaptive] [--adaptive-codecs a,b]
 //
 // --compare runs all systems side by side (a miniature Figure 7/8 panel).
 // --step-report writes one JSON object per iteration with the critical-path
@@ -13,6 +14,10 @@
 //   --faults "drop=0.01,seed=7"              1% message loss
 //   --faults "crash=3@40"                    node 3 dies 40 ms in
 //   --faults "degrade=0-1@10-20@0.25"        link 0->1 at 25% bw for 10 ms
+// --adaptive turns on the runtime-adaptive compression controller
+// (docs/ADAPTIVE.md); --adaptive-codecs adds candidate codec-ladder rungs
+// beyond the configured algorithm, e.g. --adaptive-codecs onebit,tbq.
+// Pair with --faults "degrade=..." to watch the controller re-plan.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +48,9 @@ struct Args {
   std::string trace_path;   // --trace out.json: chrome://tracing dump
   std::string faults;       // --faults "drop=0.01,crash=3@40,..."
   std::string step_report;  // --step-report steps.jsonl: per-iteration JSONL
+  int iterations = 0;       // --iterations N (0 = trainer default)
+  bool adaptive = false;
+  std::string adaptive_codecs;  // comma-separated extra ladder rungs
 };
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -77,6 +85,12 @@ bool Parse(int argc, char** argv, Args* args) {
       args->faults = next();
     } else if (flag == "--step-report") {
       args->step_report = next();
+    } else if (flag == "--iterations") {
+      args->iterations = std::atoi(next());
+    } else if (flag == "--adaptive") {
+      args->adaptive = true;
+    } else if (flag == "--adaptive-codecs") {
+      args->adaptive_codecs = next();
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -169,6 +183,17 @@ int main(int argc, char** argv) {
         (system.rfind("byteps", 0) == 0 &&
          cluster.platform == GpuPlatform::kV100);
     options.train.record_timeline = !args.trace_path.empty();
+    if (args.iterations > 0) {
+      options.train.iterations = args.iterations;
+    }
+    if (args.adaptive) {
+      options.train.adaptive.enabled = true;
+      for (const std::string& name : Split(args.adaptive_codecs, ',')) {
+        if (!name.empty()) {
+          options.train.adaptive.candidate_algorithms.push_back(name);
+        }
+      }
+    }
     auto result = RunTrainingSimulation(options);
     if (!result.ok()) {
       std::fprintf(stderr, "%s: %s\n", system.c_str(),
@@ -177,6 +202,12 @@ int main(int argc, char** argv) {
     }
     PrintReport(system, result->report, *profile);
     const TrainReport& report = result->report;
+    if (args.adaptive && report.adaptive.enabled) {
+      std::printf("  adaptive: %d replan(s), %d codec switch(es), final %s\n",
+                  report.adaptive.replans, report.adaptive.codec_switches,
+                  report.adaptive.final_algorithm.c_str());
+      std::printf("%s", report.adaptive.decision_log.c_str());
+    }
     if (!args.faults.empty()) {
       std::printf(
           "  faults: %llu drops, %llu retries, %s retransmitted, "

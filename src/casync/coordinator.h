@@ -158,6 +158,19 @@ class BulkCoordinator {
                        std::function<void(std::span<const uint8_t>)> on_deliver,
                        std::function<void(const Status&)> on_complete);
 
+  // True when no link holds queued transfers awaiting a flush. The adaptive
+  // controller's codec swap asserts this at iteration boundaries: a pending
+  // batch would otherwise be priced under one codec and delivered under
+  // another.
+  bool Idle() const {
+    for (const auto& [link, queue] : links_) {
+      if (!queue.pending.empty()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   uint64_t batches_sent() const { return batches_sent_; }
   uint64_t transfers_batched() const { return transfers_batched_; }
   // Bucket-rounded threshold actually in force (tests assert alignment).

@@ -82,6 +82,27 @@ SimTime CaSyncEngine::compute_busy(int node) const {
   return gpus_[node]->busy_time(GpuDevice::kKernelStream);
 }
 
+bool CaSyncEngine::Idle() const {
+  for (const std::weak_ptr<RunningGraph>& entry : active_) {
+    const auto running = entry.lock();
+    if (running != nullptr && !running->done_fired) {
+      return false;
+    }
+  }
+  return coordinator_ == nullptr || coordinator_->Idle();
+}
+
+void CaSyncEngine::ApplyCodec(const std::string& algorithm, CodecImpl impl,
+                              const CodecSpeed& speed) {
+  CHECK(Idle()) << "codec swap with task graphs in flight: plans already "
+                   "executing were priced under the previous codec";
+  config_.algorithm = algorithm;
+  config_.codec_impl = impl;
+  codec_speed_ = speed;
+  auditor_.SetPrediction(CostPrimitive::kEncode, codec_speed_.encode);
+  auditor_.SetPrediction(CostPrimitive::kDecode, codec_speed_.decode);
+}
+
 EngineStats CaSyncEngine::stats() const {
   EngineStats stats;
   stats.encode_tasks = encode_metrics_.tasks->value();

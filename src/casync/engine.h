@@ -96,6 +96,21 @@ class CaSyncEngine {
   // engine-owned fallback).
   MetricsRegistry& metrics() { return *metrics_; }
 
+  // True when no task graph is in flight (and, under bulk coordination, no
+  // batch is queued awaiting flush) — the only state in which the engine's
+  // codec may be swapped.
+  bool Idle() const;
+
+  // Repoints the engine at a different compression codec between
+  // iterations (the adaptive controller's switch path, docs/ADAPTIVE.md):
+  // updates the kernel-cost lines Dispatch prices encode/decode with and
+  // the auditor's prediction baselines. CHECK-fails unless Idle() — tasks
+  // already dispatched were costed under the old codec, and pooled wire
+  // buffers handed to the network must drain before their sizing
+  // assumptions change.
+  void ApplyCodec(const std::string& algorithm, CodecImpl impl,
+                  const CodecSpeed& speed);
+
   // Cost-model drift audit: every executed task contributes a measured
   // sample next to the KernelCost line the planner prices with — kernel
   // service times for encode/decode/merge, ready-to-delivery latency for

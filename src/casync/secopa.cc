@@ -15,6 +15,17 @@ SeCoPaPlanner::SeCoPaPlanner(const SyncConfig& config, double rate,
                              const CodecSpeed& codec)
     : config_(config), rate_(rate), codec_(codec) {}
 
+SeCoPaPlanner SeCoPaPlanner::WithBandwidth(Bandwidth bandwidth) const {
+  SyncConfig config = config_;
+  config.net.link_bandwidth = bandwidth;
+  return SeCoPaPlanner(config, rate_, codec_);
+}
+
+SeCoPaPlanner SeCoPaPlanner::WithCodec(double rate,
+                                       const CodecSpeed& codec) const {
+  return SeCoPaPlanner(config_, rate, codec);
+}
+
 namespace {
 
 int CeilLog2(int n) {

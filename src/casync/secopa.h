@@ -51,6 +51,15 @@ class SeCoPaPlanner {
   // The T_enc/T_dec lines this planner prices with.
   const CodecSpeed& codec_speed() const { return codec_; }
 
+  // Incremental re-plan paths (runtime adaptation, docs/ADAPTIVE.md):
+  // derive a planner identical to this one except for the wire term's
+  // bandwidth, or the codec's rate and T_enc/T_dec lines. Cheap — no
+  // profile lookup — so the adaptive controller can reprice every gradient
+  // at each decision boundary; the task-graph builders consume the
+  // refreshed <compress?, K> plans unchanged.
+  SeCoPaPlanner WithBandwidth(Bandwidth bandwidth) const;
+  SeCoPaPlanner WithCodec(double rate, const CodecSpeed& codec) const;
+
   // Cost of synchronizing an m-byte gradient in K partitions, per Eq. 1/2.
   SimTime SyncCostPlain(uint64_t bytes, int partitions) const;
   SimTime SyncCostCompressed(uint64_t bytes, int partitions) const;

@@ -334,6 +334,8 @@ const char* TraceLaneName(int lane) {
       return "mem:alloc";
     case kTraceLaneCriticalPath:
       return "critical-path";
+    case kTraceLaneAdaptive:
+      return "adaptive";
     default:
       return "lane";
   }

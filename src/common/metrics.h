@@ -162,6 +162,10 @@ inline constexpr int kTraceLaneMemAlloc = 15;
 // one highlighted "cp:<category>" span per chain element on its executing
 // node, plus the leading "cp:compute" gate.
 inline constexpr int kTraceLaneCriticalPath = 16;
+// Adaptive-controller decisions (src/casync/adaptive.h): one span per
+// iteration boundary where the controller re-planned, named
+// "adaptive:<codec>" (docs/ADAPTIVE.md).
+inline constexpr int kTraceLaneAdaptive = 17;
 
 // Human-readable row name for a lane ("net:uplink", "coordinator", ...);
 // lanes 0..9 are resolved by the exporter against GpuTaskKindName.

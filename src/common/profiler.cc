@@ -30,6 +30,46 @@ size_t Index(CostPrimitive primitive) {
 
 }  // namespace
 
+CostSampleStats CostSampleStats::Since(const CostSampleStats& earlier) const {
+  CostSampleStats window;
+  window.count = count - earlier.count;
+  window.sum_x = sum_x - earlier.sum_x;
+  window.sum_y = sum_y - earlier.sum_y;
+  window.sum_xx = sum_xx - earlier.sum_xx;
+  window.sum_xy = sum_xy - earlier.sum_xy;
+  return window;
+}
+
+bool CostSampleStats::Fit(KernelCost* out) const {
+  if (count < 2) {
+    return false;
+  }
+  const double n = static_cast<double>(count);
+  const double denom = n * sum_xx - sum_x * sum_x;
+  // denom == 0 when every sample sits at one byte size; floating-point
+  // cancellation can leave a tiny positive residue there, so require a
+  // meaningful spread relative to the magnitudes involved.
+  if (denom <= 1e-9 * n * sum_xx) {
+    return false;
+  }
+  // y = intercept + slope * x; slope is ns per byte.
+  const double slope = (n * sum_xy - sum_x * sum_y) / denom;
+  const double intercept = (sum_y - slope * sum_x) / n;
+  if (slope <= 0) {
+    return false;  // throughput would be infinite or negative
+  }
+  out->launch_overhead = static_cast<SimTime>(std::max(0.0, intercept));
+  out->bytes_per_second = static_cast<double>(kSecond) / slope;
+  return true;
+}
+
+double CostSampleStats::MeanThroughput() const {
+  if (count == 0 || sum_y <= 0) {
+    return 0.0;
+  }
+  return sum_x / sum_y * static_cast<double>(kSecond);
+}
+
 void CostModelAuditor::SetPrediction(CostPrimitive primitive,
                                      KernelCost cost) {
   PrimitiveStats& stats = stats_[Index(primitive)];
@@ -94,24 +134,21 @@ double CostModelAuditor::MeanMeasured(CostPrimitive primitive) const {
 
 bool CostModelAuditor::Fit(CostPrimitive primitive, KernelCost* out) const {
   const PrimitiveStats& stats = stats_[Index(primitive)];
-  if (stats.count < 2 || stats.min_bytes == stats.max_bytes) {
-    return false;
+  if (stats.count >= 2 && stats.min_bytes == stats.max_bytes) {
+    return false;  // one byte size: the slope is unidentifiable
   }
-  const double n = static_cast<double>(stats.count);
-  const double denom = n * stats.sum_xx - stats.sum_x * stats.sum_x;
-  if (denom <= 0) {
-    return false;
-  }
-  // y = intercept + slope * x; slope is ns per byte.
-  const double slope = (n * stats.sum_xy - stats.sum_x * stats.sum_y) / denom;
-  const double intercept = (stats.sum_y - slope * stats.sum_x) / n;
-  if (slope <= 0) {
-    return false;  // throughput would be infinite or negative
-  }
-  out->launch_overhead =
-      static_cast<SimTime>(std::max(0.0, intercept));
-  out->bytes_per_second = static_cast<double>(kSecond) / slope;
-  return true;
+  return Snapshot(primitive).Fit(out);
+}
+
+CostSampleStats CostModelAuditor::Snapshot(CostPrimitive primitive) const {
+  const PrimitiveStats& stats = stats_[Index(primitive)];
+  CostSampleStats snapshot;
+  snapshot.count = stats.count;
+  snapshot.sum_x = stats.sum_x;
+  snapshot.sum_y = stats.sum_y;
+  snapshot.sum_xx = stats.sum_xx;
+  snapshot.sum_xy = stats.sum_xy;
+  return snapshot;
 }
 
 void CostModelAuditor::Publish(MetricsRegistry* registry) const {

@@ -43,6 +43,35 @@ inline constexpr int kNumCostPrimitives = 4;
 
 const char* CostPrimitiveName(CostPrimitive primitive);
 
+// Least-squares sufficient statistics over (x = bytes, y = ns) samples.
+// Snapshots of one primitive's accumulated statistics subtract cleanly
+// (`Since`), so a caller holding the previous iteration's snapshot can fit
+// a cost line over just the samples recorded in between — the windowed
+// view the runtime-adaptive controller estimates effective bandwidth from
+// (docs/ADAPTIVE.md) without the auditor growing any per-sample state.
+struct CostSampleStats {
+  uint64_t count = 0;
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_xx = 0.0;
+  double sum_xy = 0.0;
+
+  // Delta window: statistics accumulated after `earlier` was taken.
+  // `earlier` must be a prefix snapshot of the same primitive's stream.
+  CostSampleStats Since(const CostSampleStats& earlier) const;
+
+  // Least-squares line fit time = launch_overhead + bytes / throughput.
+  // False when under-determined (fewer than two samples, or a degenerate
+  // spread of byte sizes) or when the fitted throughput is non-positive.
+  bool Fit(KernelCost* out) const;
+
+  // Aggregate bytes/second over the window (sum bytes / sum duration);
+  // 0 when empty. The fallback bandwidth estimate when Fit is
+  // under-determined — biased low by per-message overheads, but monotone
+  // in the real link speed and always available.
+  double MeanThroughput() const;
+};
+
 // Accumulates (bytes, measured duration) samples per primitive against a
 // predicted KernelCost line. Tracks mean relative error incrementally and
 // keeps least-squares sufficient statistics, so memory stays O(1) per
@@ -70,6 +99,10 @@ class CostModelAuditor {
   // than two samples, or all samples at one byte size — the slope is
   // unidentifiable) or when the fitted throughput is non-positive.
   bool Fit(CostPrimitive primitive, KernelCost* out) const;
+
+  // Snapshot of the primitive's whole-run sufficient statistics; diff two
+  // snapshots with CostSampleStats::Since for a windowed fit.
+  CostSampleStats Snapshot(CostPrimitive primitive) const;
 
   // Publishes "costmodel.samples.<p>" counters, "costmodel.err.<p>"
   // gauges, and — where a fit exists — "costmodel.fit.<p>.launch_us" /

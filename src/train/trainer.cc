@@ -52,6 +52,18 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
         "concurrent-collectives path (staleness == 0, "
         "sequential_collectives off)");
   }
+  if (options.adaptive.enabled) {
+    if (!config.compression || !config.secopa) {
+      return InvalidArgumentError(
+          "adaptive compression re-plans the SeCoPa cutoffs; enable "
+          "compression with secopa");
+    }
+    if (options.staleness > 0 || config.sequential_collectives) {
+      return InvalidArgumentError(
+          "adaptive compression swaps plans at BSP iteration boundaries; "
+          "it requires staleness == 0 and concurrent collectives");
+    }
+  }
 
   const double compute_scale = ComputeScale(config.platform);
   const SimTime forward = static_cast<SimTime>(
@@ -171,6 +183,45 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
                           LocalAggregationTime(unit.bytes, config);
       unit.plan = plan_gradient(static_cast<uint32_t>(i), unit.bytes);
       units.push_back(unit);
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Adaptive controller: candidate codec ladder + initial plans. Rung 0 is
+  // the configured codec at the configured bandwidth, so the initial plans
+  // are exactly the fixed plans above; the controller only diverges once a
+  // decision triggers.
+  // ---------------------------------------------------------------------
+  std::unique_ptr<AdaptiveController> adaptive;
+  if (options.adaptive.enabled) {
+    std::vector<AdaptiveCodecOption> ladder;
+    AdaptiveCodecOption configured;
+    configured.algorithm = config.algorithm;
+    configured.impl = config.codec_impl;
+    configured.rate = rate;
+    configured.speed = planner.codec_speed();
+    ladder.push_back(configured);
+    for (const std::string& name : options.adaptive.candidate_algorithms) {
+      if (name == config.algorithm) {
+        continue;
+      }
+      ASSIGN_OR_RETURN(auto codec, CreateCompressor(name, {}));
+      AdaptiveCodecOption option;
+      option.algorithm = name;
+      option.impl = config.codec_impl;
+      option.rate = codec->CompressionRate(1 << 20);
+      option.speed = GetCodecSpeed(name, config.codec_impl, config.platform);
+      ladder.push_back(option);
+    }
+    std::vector<uint64_t> unit_bytes;
+    unit_bytes.reserve(units.size());
+    for (const SyncUnit& unit : units) {
+      unit_bytes.push_back(unit.bytes);
+    }
+    adaptive = std::make_unique<AdaptiveController>(
+        config, options.adaptive, std::move(unit_bytes), std::move(ladder));
+    for (size_t i = 0; i < units.size(); ++i) {
+      units[i].plan = adaptive->plans()[i];
     }
   }
 
@@ -633,6 +684,38 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
                                spans.get());
         }
       }
+      // Adaptive decision boundary: the engine is idle (sim.Run drained),
+      // so refreshed plans and a codec swap cannot touch in-flight graphs
+      // or pooled wire buffers. The next iteration's graphs are built from
+      // the refreshed units[i].plan.
+      if (adaptive) {
+        const AdaptiveDecision decision =
+            adaptive->Observe(iteration, attrib.attribution,
+                              engine.auditor());
+        metrics->gauge("adaptive.send_share").Set(decision.send_share);
+        metrics->gauge("adaptive.observed_gbps").Set(decision.observed_gbps);
+        metrics->gauge("adaptive.planned_gbps").Set(decision.planned_gbps);
+        metrics->gauge("adaptive.compressed_units")
+            .Set(static_cast<double>(decision.compressed_units));
+        if (decision.replanned) {
+          metrics->counter("adaptive.replans").Increment();
+          metrics->counter("adaptive.replanned_units")
+              .Increment(static_cast<uint64_t>(decision.replanned_units));
+          for (size_t i = 0; i < units.size(); ++i) {
+            units[i].plan = adaptive->plans()[i];
+          }
+          if (decision.codec_switched) {
+            metrics->counter("adaptive.codec_switches").Increment();
+            const AdaptiveCodecOption& codec = adaptive->active_codec();
+            engine.ApplyCodec(codec.algorithm, codec.impl, codec.speed);
+          }
+          if (spans) {
+            spans->Add(0, kTraceLaneAdaptive,
+                       StrFormat("adaptive:%s", decision.algorithm.c_str()),
+                       iter_start, end);
+          }
+        }
+      }
     }
     iterations_counter.Increment();
     iteration_ms.Observe(ToMillis(end - iter_start));
@@ -671,6 +754,9 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
 
   report.iteration_time = measured_iter_time;
   report.sync_tail = measured_sync_tail;
+  if (adaptive) {
+    report.adaptive = adaptive->Report();
+  }
   report.failed_nodes = engine.failed_nodes();
   report.degraded = !report.failed_nodes.empty();
   report.surviving_nodes =

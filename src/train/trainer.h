@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/casync/adaptive.h"
 #include "src/casync/config.h"
 #include "src/casync/critical_path.h"
 #include "src/casync/engine.h"
@@ -49,6 +50,12 @@ struct TrainOptions {
   // With staleness > 0 the report carries average iteration time and
   // throughput; the per-iteration breakdown fields are zero.
   int staleness = 0;
+  // Runtime-adaptive compression (docs/ADAPTIVE.md): when enabled, an
+  // AdaptiveController observes every iteration's critical-path
+  // attribution and the engine's measured send latencies, and re-plans
+  // codec/ratio/cutoffs at iteration boundaries. Requires compression with
+  // SeCoPa on the BSP path (staleness == 0, concurrent collectives).
+  AdaptiveOptions adaptive;
 };
 
 struct TrainReport {
@@ -89,6 +96,10 @@ struct TrainReport {
   // One StepRecord per BSP iteration (including warm-up), ready for
   // WriteStepReport (`train_cluster --step-report`). Empty under SSP.
   std::vector<StepRecord> steps;
+  // Adaptive-controller summary (enabled == false when the run was fixed):
+  // one decision per iteration, replan/switch counts, and the
+  // deterministic decision log replays must reproduce byte-for-byte.
+  AdaptiveReport adaptive;
   // Interpolated percentiles of the per-iteration "train.iteration_ms"
   // histogram over the whole run.
   double iteration_p50_ms = 0.0;

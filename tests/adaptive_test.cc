@@ -1,0 +1,412 @@
+// Runtime-adaptive compression controller (docs/ADAPTIVE.md): windowed
+// bandwidth estimation over auditor snapshots, the SeCoPa re-plan path,
+// trigger/cooldown/hysteresis mechanics on synthetic signals, the engine's
+// codec-swap guard, and the end-to-end trainer integration (deterministic
+// decision replay, adaptive beating fixed under a bandwidth collapse).
+#include "src/casync/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/casync/engine.h"
+#include "src/compress/registry.h"
+#include "src/hipress/hipress.h"
+#include "src/net/fault.h"
+
+namespace hipress {
+namespace {
+
+constexpr double kNominalGbps = 75.0;
+
+SyncConfig AdaptiveConfig() {
+  SyncConfig config;
+  config.strategy = StrategyKind::kPs;
+  config.num_nodes = 8;
+  config.compression = true;
+  config.secopa = true;
+  config.algorithm = "fp16";
+  config.net.link_bandwidth = Bandwidth::Gbps(kNominalGbps);
+  return config;
+}
+
+AdaptiveCodecOption Rung(const SyncConfig& config,
+                         const std::string& algorithm) {
+  AdaptiveCodecOption option;
+  option.algorithm = algorithm;
+  option.impl = config.codec_impl;
+  auto codec = CreateCompressor(algorithm);
+  EXPECT_TRUE(codec.ok()) << codec.status().ToString();
+  option.rate = (*codec)->CompressionRate(1 << 20);
+  option.speed = GetCodecSpeed(algorithm, config.codec_impl, config.platform);
+  return option;
+}
+
+std::vector<AdaptiveCodecOption> Ladder(const SyncConfig& config) {
+  return {Rung(config, config.algorithm), Rung(config, "onebit")};
+}
+
+std::vector<uint64_t> UnitBytes() {
+  return {1 << 20, 4 << 20, 16 << 20, 32 << 20};
+}
+
+CpAttribution MakeAttribution(double send_share) {
+  CpAttribution attribution;
+  attribution[CpCategory::kSend] =
+      static_cast<SimTime>(send_share * 1e9);
+  attribution[CpCategory::kCompute] =
+      static_cast<SimTime>((1.0 - send_share) * 1e9);
+  return attribution;
+}
+
+// Adds `n` send samples whose (bytes, latency) pairs sit exactly on the
+// line of an effective `gbps` link with a fixed per-message overhead, so
+// the windowed least-squares fit recovers gbps precisely.
+void FeedSends(CostModelAuditor* auditor, double gbps, int n) {
+  const double bps = gbps * 1e9 / 8.0;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t bytes = static_cast<uint64_t>(256 * 1024) * (i + 1);
+    const SimTime latency =
+        FromMicros(12.0) + static_cast<SimTime>(static_cast<double>(bytes) /
+                                                bps * kSecond);
+    auditor->AddSample(CostPrimitive::kSend, bytes, latency);
+  }
+}
+
+TEST(CostSampleStatsTest, WindowedFitTracksLatestPhaseOnly) {
+  CostModelAuditor auditor;
+  FeedSends(&auditor, 60.0, 6);
+  const CostSampleStats boundary = auditor.Snapshot(CostPrimitive::kSend);
+  FeedSends(&auditor, 15.0, 6);
+
+  KernelCost window_fit;
+  ASSERT_TRUE(
+      auditor.Snapshot(CostPrimitive::kSend).Since(boundary).Fit(&window_fit));
+  EXPECT_NEAR(window_fit.bytes_per_second * 8.0 / 1e9, 15.0, 0.1);
+
+  // The whole-run fit blends both phases and lands in between.
+  KernelCost blended;
+  ASSERT_TRUE(auditor.Fit(CostPrimitive::kSend, &blended));
+  EXPECT_GT(blended.bytes_per_second * 8.0 / 1e9, 15.5);
+}
+
+TEST(CostSampleStatsTest, DegenerateWindowRefusesToFit) {
+  CostModelAuditor auditor;
+  // Four samples at one byte size: the slope is unidentifiable.
+  for (int i = 0; i < 4; ++i) {
+    auditor.AddSample(CostPrimitive::kSend, 1 << 20, FromMicros(100.0));
+  }
+  const CostSampleStats window = auditor.Snapshot(CostPrimitive::kSend);
+  KernelCost fit;
+  EXPECT_FALSE(window.Fit(&fit));
+  // The aggregate-throughput fallback still yields a usable estimate.
+  EXPECT_GT(window.MeanThroughput(), 0.0);
+}
+
+TEST(SeCoPaReplanTest, WithBandwidthMovesTheCompressionCutoff) {
+  const SyncConfig config = AdaptiveConfig();
+  const AdaptiveCodecOption rung = Rung(config, "fp16");
+  const SeCoPaPlanner full(config, rung.rate, rung.speed);
+  const SeCoPaPlanner slow =
+      full.WithBandwidth(Bandwidth::Gbps(kNominalGbps / 10.0));
+  int flips = 0;
+  for (uint64_t bytes = 64 * 1024; bytes <= (64u << 20); bytes *= 2) {
+    const SyncPlan fast_plan = full.Plan(bytes);
+    const SyncPlan slow_plan = slow.Plan(bytes);
+    // A slower wire can only make compression more attractive.
+    EXPECT_GE(slow_plan.compress, fast_plan.compress) << bytes;
+    if (slow_plan.compress && !fast_plan.compress) {
+      ++flips;
+    }
+    EXPECT_GT(slow_plan.t_plain, fast_plan.t_plain) << bytes;
+  }
+  EXPECT_GT(flips, 0) << "a 10x bandwidth drop should flip some gradient "
+                         "below the compression cutoff";
+}
+
+TEST(SeCoPaReplanTest, WithCodecSwapsRateAndSpeedLines) {
+  const SyncConfig config = AdaptiveConfig();
+  const AdaptiveCodecOption fp16 = Rung(config, "fp16");
+  const AdaptiveCodecOption onebit = Rung(config, "onebit");
+  const SeCoPaPlanner base(config, fp16.rate, fp16.speed);
+  const SeCoPaPlanner swapped = base.WithCodec(onebit.rate, onebit.speed);
+  EXPECT_DOUBLE_EQ(swapped.rate(), onebit.rate);
+  EXPECT_LT(swapped.rate(), base.rate());  // onebit compresses harder
+}
+
+TEST(AdaptiveControllerTest, InitialPlansMatchTheFixedPlanner) {
+  const SyncConfig config = AdaptiveConfig();
+  const auto ladder = Ladder(config);
+  const AdaptiveController controller(config, {}, UnitBytes(), ladder);
+  const SeCoPaPlanner fixed(config, ladder[0].rate, ladder[0].speed);
+  const std::vector<uint64_t> bytes = UnitBytes();
+  ASSERT_EQ(controller.plans().size(), bytes.size());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    const SyncPlan plan = fixed.Plan(bytes[i]);
+    EXPECT_EQ(controller.plans()[i].compress, plan.compress) << i;
+    EXPECT_EQ(controller.plans()[i].partitions, plan.partitions) << i;
+    EXPECT_DOUBLE_EQ(controller.plans()[i].rate, ladder[0].rate) << i;
+  }
+  EXPECT_EQ(controller.active_codec().algorithm, "fp16");
+  EXPECT_NEAR(controller.planned_gbps(), kNominalGbps, 1e-9);
+}
+
+TEST(AdaptiveControllerTest, TriggersAfterStreakThenCoolsDown) {
+  const SyncConfig config = AdaptiveConfig();
+  AdaptiveOptions options;  // trigger 2, cooldown 2, min change 0.2
+  AdaptiveController controller(config, options, UnitBytes(),
+                                Ladder(config));
+  CostModelAuditor auditor;
+
+  // Iteration 0: first breach arms the streak but must not act yet.
+  FeedSends(&auditor, kNominalGbps / 2.0, 6);
+  AdaptiveDecision d0 =
+      controller.Observe(0, MakeAttribution(0.6), auditor);
+  EXPECT_FALSE(d0.replanned);
+  EXPECT_EQ(d0.reason, "hold");
+  EXPECT_NEAR(d0.observed_gbps, kNominalGbps / 2.0, 0.5);
+
+  // Iteration 1: second consecutive breach triggers the re-plan.
+  FeedSends(&auditor, kNominalGbps / 2.0, 6);
+  AdaptiveDecision d1 =
+      controller.Observe(1, MakeAttribution(0.6), auditor);
+  EXPECT_TRUE(d1.replanned);
+  EXPECT_TRUE(d1.codec_switched);  // onebit wins at a halved link
+  EXPECT_EQ(controller.active_codec().algorithm, "onebit");
+  EXPECT_GT(d1.replanned_units, 0);
+  EXPECT_NEAR(controller.planned_gbps(), kNominalGbps / 2.0, 0.5);
+  EXPECT_EQ(d1.reason.rfind("tighten", 0), 0u) << d1.reason;
+
+  // Iterations 2-3: cooldown absorbs further breaches.
+  for (int i = 2; i <= 3; ++i) {
+    FeedSends(&auditor, kNominalGbps / 4.0, 6);
+    AdaptiveDecision d =
+        controller.Observe(i, MakeAttribution(0.6), auditor);
+    EXPECT_FALSE(d.replanned) << i;
+    EXPECT_EQ(d.reason, "cooldown") << i;
+  }
+  EXPECT_EQ(controller.replans(), 1);
+  EXPECT_EQ(controller.codec_switches(), 1);
+  EXPECT_EQ(controller.decisions().size(), 4u);
+}
+
+TEST(AdaptiveControllerTest, HysteresisAbsorbsANoisyBoundary) {
+  const SyncConfig config = AdaptiveConfig();
+  AdaptiveOptions options;
+  AdaptiveController controller(config, options, UnitBytes(),
+                                Ladder(config));
+  CostModelAuditor auditor;
+
+  // Force one switch: two clean tighten iterations at half bandwidth.
+  for (int i = 0; i < 2; ++i) {
+    FeedSends(&auditor, kNominalGbps / 2.0, 6);
+    controller.Observe(i, MakeAttribution(0.6), auditor);
+  }
+  ASSERT_EQ(controller.codec_switches(), 1);
+  const double planned = controller.planned_gbps();
+
+  // Noisy boundary: the estimate jitters +/-10% around the plan price and
+  // the send share oscillates across the watermark band. Neither side of
+  // the hysteresis (0.2 bandwidth deadband, 2-iteration streak) should
+  // arm, even long after the cooldown expires.
+  for (int i = 2; i < 20; ++i) {
+    const double jitter = (i % 2 == 0) ? 0.9 : 1.1;
+    FeedSends(&auditor, planned * jitter, 6);
+    const double share = (i % 2 == 0) ? 0.6 : 0.05;
+    controller.Observe(i, MakeAttribution(share), auditor);
+  }
+  EXPECT_EQ(controller.codec_switches(), 1) << controller.DecisionLog();
+  EXPECT_EQ(controller.replans(), 1) << controller.DecisionLog();
+}
+
+TEST(AdaptiveControllerTest, RelaxesWhenBandwidthRecovers) {
+  const SyncConfig config = AdaptiveConfig();
+  AdaptiveOptions options;
+  AdaptiveController controller(config, options, UnitBytes(),
+                                Ladder(config));
+  CostModelAuditor auditor;
+
+  for (int i = 0; i < 2; ++i) {
+    FeedSends(&auditor, kNominalGbps / 2.0, 6);
+    controller.Observe(i, MakeAttribution(0.6), auditor);
+  }
+  ASSERT_EQ(controller.replans(), 1);
+  ASSERT_NEAR(controller.planned_gbps(), kNominalGbps / 2.0, 0.5);
+
+  // Cooldown (2 iterations), then two clean recovery iterations: the wire
+  // is back to nominal and off the critical path.
+  int iteration = 2;
+  for (; iteration < 4; ++iteration) {
+    FeedSends(&auditor, kNominalGbps, 6);
+    controller.Observe(iteration, MakeAttribution(0.05), auditor);
+  }
+  AdaptiveDecision relaxed;
+  bool found = false;
+  for (; iteration < 8 && !found; ++iteration) {
+    FeedSends(&auditor, kNominalGbps, 6);
+    const AdaptiveDecision d =
+        controller.Observe(iteration, MakeAttribution(0.05), auditor);
+    if (d.replanned) {
+      relaxed = d;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << controller.DecisionLog();
+  EXPECT_EQ(relaxed.reason.rfind("relax", 0), 0u) << relaxed.reason;
+  EXPECT_NEAR(controller.planned_gbps(), kNominalGbps, 0.5);
+  EXPECT_EQ(controller.replans(), 2);
+}
+
+TEST(AdaptiveControllerTest, ThinSendWindowKeepsThePreviousEstimate) {
+  const SyncConfig config = AdaptiveConfig();
+  AdaptiveOptions options;
+  AdaptiveController controller(config, options, UnitBytes(),
+                                Ladder(config));
+  CostModelAuditor auditor;
+  FeedSends(&auditor, kNominalGbps / 2.0, 6);
+  const AdaptiveDecision first =
+      controller.Observe(0, MakeAttribution(0.6), auditor);
+  EXPECT_NEAR(first.observed_gbps, kNominalGbps / 2.0, 0.5);
+  // Under min_send_samples new samples: the estimate must not move.
+  FeedSends(&auditor, 1.0, 2);
+  const AdaptiveDecision second =
+      controller.Observe(1, MakeAttribution(0.6), auditor);
+  EXPECT_DOUBLE_EQ(second.observed_gbps, first.observed_gbps);
+}
+
+// ---------------------------------------------------------------------------
+// Engine codec swap
+// ---------------------------------------------------------------------------
+
+TEST(ApplyCodecTest, RepointsSpeedLinesAndAuditorBaselines) {
+  SyncConfig config = AdaptiveConfig();
+  config.num_nodes = 2;
+  Simulator sim;
+  Network net(&sim, config.num_nodes, config.net);
+  std::vector<std::unique_ptr<GpuDevice>> storage;
+  std::vector<GpuDevice*> gpus;
+  for (int node = 0; node < config.num_nodes; ++node) {
+    storage.push_back(std::make_unique<GpuDevice>(&sim, node));
+    gpus.push_back(storage.back().get());
+  }
+  CaSyncEngine engine(&sim, &net, gpus, config);
+  EXPECT_TRUE(engine.Idle());
+
+  const CodecSpeed onebit =
+      GetCodecSpeed("onebit", config.codec_impl, config.platform);
+  engine.ApplyCodec("onebit", config.codec_impl, onebit);
+  EXPECT_EQ(engine.config().algorithm, "onebit");
+  EXPECT_DOUBLE_EQ(
+      engine.auditor().prediction(CostPrimitive::kEncode).bytes_per_second,
+      onebit.encode.bytes_per_second);
+  EXPECT_DOUBLE_EQ(
+      engine.auditor().prediction(CostPrimitive::kDecode).bytes_per_second,
+      onebit.decode.bytes_per_second);
+}
+
+TEST(ApplyCodecDeathTest, RefusesWithGraphsInFlight) {
+  SyncConfig config = AdaptiveConfig();
+  config.num_nodes = 2;
+  Simulator sim;
+  Network net(&sim, config.num_nodes, config.net);
+  std::vector<std::unique_ptr<GpuDevice>> storage;
+  std::vector<GpuDevice*> gpus;
+  for (int node = 0; node < config.num_nodes; ++node) {
+    storage.push_back(std::make_unique<GpuDevice>(&sim, node));
+    gpus.push_back(storage.back().get());
+  }
+  CaSyncEngine engine(&sim, &net, gpus, config);
+  TaskGraph graph;
+  SyncTask encode;
+  encode.type = PrimitiveType::kEncode;
+  encode.node = 0;
+  encode.bytes = 4 << 20;
+  graph.Add(encode);
+  engine.Execute(&graph, [] {});
+  // The kernel is on the device queue but the simulator has not run: the
+  // graph is in flight and the swap must refuse.
+  EXPECT_FALSE(engine.Idle());
+  EXPECT_DEATH(engine.ApplyCodec("onebit", config.codec_impl,
+                                 GetCodecSpeed("onebit", config.codec_impl,
+                                               config.platform)),
+               "in flight");
+  sim.Run();
+  EXPECT_TRUE(engine.Idle());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end trainer integration
+// ---------------------------------------------------------------------------
+
+HiPressOptions DegradedScenario(bool adaptive) {
+  HiPressOptions options;
+  options.model = "vgg19";
+  options.system = "hipress-ps";
+  options.algorithm = "fp16";
+  options.cluster = ClusterSpec::Ec2(8);
+  options.train.iterations = 6;
+  auto faults = ParseFaultSpec("degrade=*-*@30-1000000@0.5");
+  EXPECT_TRUE(faults.ok());
+  options.cluster.net.faults = *faults;
+  if (adaptive) {
+    options.train.adaptive.enabled = true;
+    options.train.adaptive.candidate_algorithms = {"onebit"};
+  }
+  return options;
+}
+
+TEST(AdaptiveTrainerTest, DecisionReplayIsBitIdentical) {
+  auto first = RunTrainingSimulation(DegradedScenario(true));
+  auto second = RunTrainingSimulation(DegradedScenario(true));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(first->report.adaptive.enabled);
+  EXPECT_GE(first->report.adaptive.replans, 1);
+  EXPECT_GE(first->report.adaptive.codec_switches, 1);
+  EXPECT_EQ(first->report.adaptive.decisions.size(), 6u);
+  EXPECT_FALSE(first->report.adaptive.decision_log.empty());
+  EXPECT_EQ(first->report.adaptive.decision_log,
+            second->report.adaptive.decision_log);
+  // The adaptive.* metrics the trainer publishes line up with the report.
+  EXPECT_EQ(first->report.metrics->counter_value("adaptive.replans"),
+            static_cast<uint64_t>(first->report.adaptive.replans));
+  EXPECT_EQ(first->report.metrics->counter_value("adaptive.codec_switches"),
+            static_cast<uint64_t>(first->report.adaptive.codec_switches));
+}
+
+TEST(AdaptiveTrainerTest, BeatsFixedUnderABandwidthCollapse) {
+  auto fixed = RunTrainingSimulation(DegradedScenario(false));
+  auto adaptive = RunTrainingSimulation(DegradedScenario(true));
+  ASSERT_TRUE(fixed.ok()) << fixed.status().ToString();
+  ASSERT_TRUE(adaptive.ok()) << adaptive.status().ToString();
+  EXPECT_FALSE(fixed->report.adaptive.enabled);
+  EXPECT_LT(ToMillis(adaptive->report.iteration_time),
+            ToMillis(fixed->report.iteration_time));
+  EXPECT_EQ(adaptive->report.adaptive.final_algorithm, "onebit");
+}
+
+TEST(AdaptiveTrainerTest, RejectsUnsupportedConfigurations) {
+  auto profile = GetModelProfile("resnet50");
+  ASSERT_TRUE(profile.ok());
+  TrainOptions options;
+  options.adaptive.enabled = true;
+  SyncConfig no_compression = AdaptiveConfig();
+  no_compression.compression = false;
+  EXPECT_FALSE(SimulateTraining(*profile, no_compression, options).ok());
+  SyncConfig no_secopa = AdaptiveConfig();
+  no_secopa.secopa = false;
+  EXPECT_FALSE(SimulateTraining(*profile, no_secopa, options).ok());
+  TrainOptions ssp = options;
+  ssp.staleness = 1;
+  EXPECT_FALSE(SimulateTraining(*profile, AdaptiveConfig(), ssp).ok());
+}
+
+TEST(AdaptiveTrainerTest, UnknownCandidateCodecErrors) {
+  HiPressOptions options = DegradedScenario(true);
+  options.train.adaptive.candidate_algorithms = {"no-such-codec"};
+  EXPECT_FALSE(RunTrainingSimulation(options).ok());
+}
+
+}  // namespace
+}  // namespace hipress

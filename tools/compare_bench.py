@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Bench regression checker.
+
+Diffs freshly produced BENCH_*.json files (bench-smoke artifacts) against
+the checked-in baselines in bench/baselines/ and exits non-zero when any
+metric drifts outside its tolerance.
+
+The benches run inside a deterministic discrete-event simulation, so their
+simulated-time metrics (iteration_ms, comm_ratio, wire_mb, task counters,
+...) are machine-independent and can be compared tightly.  Wall-clock
+metrics (the bench_kernels encode/decode throughputs) depend on the runner
+and are excluded via the tolerance manifest.
+
+Per-metric tolerances live in bench/baselines/TOLERANCES.json:
+
+    {
+      "default": {"relative": 0.02, "absolute": 1e-9},
+      "rules": [
+        {"pattern": "BENCH_kernels:*_MBps", "skip": true},
+        {"pattern": "BENCH_adaptive:recovery.fraction",
+         "relative": 0.10, "why": "..."}
+      ]
+    }
+
+A rule's pattern is "<file-stem>:<metric>" matched with fnmatch; the first
+matching rule wins, falling back to "default".  A metric passes when
+
+    |new - base| <= relative * |base| + absolute
+
+so zero-valued baselines (e.g. steady_pool_misses) must stay (almost)
+exactly zero.  Metrics present in the baseline but missing from the fresh
+result fail; new metrics without a baseline entry are reported but pass —
+refresh the baseline with --update to start tracking them.
+
+Usage:
+    tools/compare_bench.py --baseline-dir bench/baselines --result-dir out
+    tools/compare_bench.py --update --result-dir out   # refresh baselines
+"""
+
+import argparse
+import fnmatch
+import json
+import shutil
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_metrics(path: Path) -> dict[str, float]:
+    """Flattens a BenchReporter JSON into {metric_name: value}.
+
+    Counters and gauges are compared; histogram buckets are skipped (the
+    scalar gauges already pin down the simulated timings).
+    """
+    doc = json.loads(path.read_text())
+    flat: dict[str, float] = {}
+    for section in ("counters", "gauges"):
+        for name, value in doc.get(section, {}).items():
+            flat[name] = float(value)
+    return flat
+
+
+class Tolerances:
+    def __init__(self, manifest: Path):
+        doc = json.loads(manifest.read_text()) if manifest.exists() else {}
+        self.default = doc.get("default", {"relative": 0.02, "absolute": 1e-9})
+        self.rules = doc.get("rules", [])
+
+    def lookup(self, stem: str, metric: str) -> dict:
+        key = f"{stem}:{metric}"
+        for rule in self.rules:
+            if fnmatch.fnmatch(key, rule["pattern"]):
+                return rule
+        return self.default
+
+
+def compare_file(stem: str, baseline: dict[str, float],
+                 result: dict[str, float], tol: Tolerances) -> list[str]:
+    failures = []
+    for metric, base in sorted(baseline.items()):
+        rule = tol.lookup(stem, metric)
+        if rule.get("skip"):
+            continue
+        if metric not in result:
+            failures.append(f"{stem}:{metric}: missing from fresh result "
+                            f"(baseline {base:g})")
+            continue
+        new = result[metric]
+        relative = float(rule.get("relative", tol.default["relative"]))
+        absolute = float(rule.get("absolute", tol.default["absolute"]))
+        bound = relative * abs(base) + absolute
+        if abs(new - base) > bound:
+            failures.append(
+                f"{stem}:{metric}: {new:g} vs baseline {base:g} "
+                f"(|delta| {abs(new - base):g} > {bound:g}; "
+                f"rel {relative:g}, abs {absolute:g})")
+    for metric in sorted(set(result) - set(baseline)):
+        if not tol.lookup(stem, metric).get("skip"):
+            print(f"  note: {stem}:{metric} has no baseline entry "
+                  f"(value {result[metric]:g}); --update to track it")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", type=Path,
+                        default=REPO_ROOT / "bench" / "baselines")
+    parser.add_argument("--result-dir", type=Path, required=True,
+                        help="directory holding fresh BENCH_*.json files")
+    parser.add_argument("--update", action="store_true",
+                        help="copy fresh results over the baselines instead "
+                             "of comparing")
+    args = parser.parse_args()
+
+    results = sorted(args.result_dir.glob("BENCH_*.json"))
+    if not results:
+        print(f"error: no BENCH_*.json under {args.result_dir}")
+        return 2
+
+    if args.update:
+        args.baseline_dir.mkdir(parents=True, exist_ok=True)
+        for path in results:
+            shutil.copy(path, args.baseline_dir / path.name)
+            print(f"updated {args.baseline_dir / path.name}")
+        return 0
+
+    tol = Tolerances(args.baseline_dir / "TOLERANCES.json")
+    failures: list[str] = []
+    compared = 0
+    for path in results:
+        baseline_path = args.baseline_dir / path.name
+        if not baseline_path.exists():
+            print(f"  note: {path.name} has no checked-in baseline; "
+                  f"--update to start tracking it")
+            continue
+        stem = path.stem
+        file_failures = compare_file(stem, load_metrics(baseline_path),
+                                     load_metrics(path), tol)
+        n = len(load_metrics(baseline_path))
+        status = "OK" if not file_failures else f"{len(file_failures)} FAIL"
+        print(f"{path.name}: {n} baseline metrics, {status}")
+        failures.extend(file_failures)
+        compared += 1
+    for baseline_path in sorted(args.baseline_dir.glob("BENCH_*.json")):
+        if not (args.result_dir / baseline_path.name).exists():
+            failures.append(f"{baseline_path.name}: baseline exists but no "
+                            f"fresh result was produced")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    if compared == 0:
+        print("error: nothing compared (no result matched a baseline)")
+        return 2
+    print(f"\nall {compared} bench file(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,227 @@
+// bench_membership — elastic membership: planned churn and the chaos-soak
+// gate (docs/FAULT_TOLERANCE.md).
+//
+// Two panels:
+//  1. planned churn: a scheduled leave, a standby join, and a crash+rejoin
+//     on a 4-node cluster, reporting drain/re-sync cost and checking the
+//     post-quiesce model state against the churn-free run;
+//  2. chaos soak (the gate): a seeded MakeChaosSchedule run interleaving
+//     crashes, rejoins, joins, leaves and link degradations. The bench
+//     exits non-zero unless the run completes, the post-quiesce model
+//     state is bit-identical to the churn-free run with the same seed, a
+//     second run replays the membership event log byte-for-byte, a
+//     crashed node rejoins and contributes compute again, the final
+//     iteration's wire path serves entirely from pooled buffers
+//     (steady-state misses == 0), and the re-sync/recovery time stays
+//     inside budget.
+//
+// `--smoke` shrinks the soak for CI's bench-smoke job; the default run is
+// the full 200-iteration gate. Dumps BENCH_membership.json next to the
+// human-readable text.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/common/string_util.h"
+#include "src/net/fault.h"
+
+using namespace hipress;
+using namespace hipress::bench;
+
+namespace {
+
+TrainReport RunElastic(const std::string& model, const ClusterSpec& base,
+                       const FaultConfig& faults, int iterations) {
+  HiPressOptions options;
+  options.model = model;
+  options.system = "hipress-ps";
+  options.cluster = base;
+  options.cluster.net.faults = faults;
+  options.train.iterations = iterations;
+  auto result = RunTrainingSimulation(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench run failed (%s, %d iterations): %s\n",
+                 model.c_str(), iterations, result.status().ToString().c_str());
+    std::abort();
+  }
+  return result->report;
+}
+
+FaultConfig ParseOrDie(const std::string& spec) {
+  auto faults = ParseFaultSpec(spec);
+  if (!faults.ok()) {
+    std::fprintf(stderr, "bad fault spec %s: %s\n", spec.c_str(),
+                 faults.status().ToString().c_str());
+    std::abort();
+  }
+  return *faults;
+}
+
+void RecordMembership(BenchReporter& reporter, const std::string& prefix,
+                      const MembershipReport& m) {
+  MetricsRegistry& reg = reporter.registry();
+  reg.gauge(prefix + ".final_epoch").Set(static_cast<double>(m.final_epoch));
+  reg.gauge(prefix + ".final_members")
+      .Set(static_cast<double>(m.final_members.size()));
+  reg.gauge(prefix + ".joins").Set(static_cast<double>(m.joins));
+  reg.gauge(prefix + ".leaves").Set(static_cast<double>(m.leaves));
+  reg.gauge(prefix + ".crashes").Set(static_cast<double>(m.crashes));
+  reg.gauge(prefix + ".rejoins").Set(static_cast<double>(m.rejoins));
+  reg.gauge(prefix + ".resyncs").Set(static_cast<double>(m.resyncs));
+  reg.gauge(prefix + ".resync_mb").Set(ToMiB(m.resync_bytes));
+  reg.gauge(prefix + ".resync_ms").Set(ToMillis(m.resync_time));
+  reg.gauge(prefix + ".rejoined_contributions")
+      .Set(static_cast<double>(m.rejoined_contributions));
+  reg.gauge(prefix + ".state_consistent").Set(m.state_consistent ? 1.0 : 0.0);
+  // Gauges are doubles; the low 32 bits are exactly representable, enough
+  // to pin the fingerprint against the checked-in baseline.
+  reg.gauge(prefix + ".fingerprint_low32")
+      .Set(static_cast<double>(m.model_fingerprint & 0xffffffffull));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const std::string model = "resnet50";
+  const ClusterSpec cluster = ClusterSpec::Ec2(4);
+  BenchReporter reporter("membership");
+  int failures = 0;
+  auto gate = [&failures](bool ok, const std::string& what) {
+    std::printf("  gate %-52s %s\n", what.c_str(), ok ? "ok" : "FAILED");
+    if (!ok) ++failures;
+  };
+
+  Header("planned churn: resnet50, 4 nodes, hipress-ps, 8 iterations");
+  {
+    const TrainReport clean = RunElastic(model, cluster, FaultConfig{}, 8);
+    const uint64_t clean_fp = clean.membership.model_fingerprint;
+    struct Scenario {
+      const char* name;
+      const char* spec;
+    };
+    const Scenario scenarios[] = {
+        {"leave", "leave=2@60"},
+        {"join", "standby=3,join=3@60"},
+        {"rejoin", "crash=1@60,rejoin=1@400"},
+    };
+    std::printf("%-8s %10s %8s %10s %10s %12s %8s\n", "event", "iter ms",
+                "epoch", "resyncs", "resync", "resync ms", "state");
+    for (const Scenario& s : scenarios) {
+      const TrainReport report =
+          RunElastic(model, cluster, ParseOrDie(s.spec), 8);
+      const MembershipReport& m = report.membership;
+      const std::string prefix = StrFormat("planned.%s", s.name);
+      reporter.Record(prefix, report);
+      RecordMembership(reporter, prefix, m);
+      const bool converged = m.model_fingerprint == clean_fp;
+      reporter.registry()
+          .gauge(prefix + ".fingerprint_match")
+          .Set(converged ? 1.0 : 0.0);
+      std::printf("%-8s %10.2f %8llu %10llu %10s %12.2f %8s\n", s.name,
+                  ToMillis(report.iteration_time),
+                  static_cast<unsigned long long>(m.final_epoch),
+                  static_cast<unsigned long long>(m.resyncs),
+                  HumanBytes(m.resync_bytes).c_str(), ToMillis(m.resync_time),
+                  m.state_consistent ? "ok" : "DIVERGED");
+      gate(m.enabled && m.state_consistent && converged,
+           StrFormat("planned %s converges to churn-free state", s.name));
+    }
+  }
+
+  // The soak proper: the full run is the acceptance gate (200+ iterations,
+  // >= 6 interleaved events); --smoke keeps the same topology and gates
+  // but shortens the run for CI.
+  ChaosOptions chaos;
+  chaos.seed = 29;
+  chaos.num_nodes = 4;
+  chaos.num_standby = 1;
+  chaos.events = smoke ? 6 : 8;
+  chaos.first_event_ms = 40.0;
+  chaos.spacing_ms = smoke ? 60.0 : 150.0;
+  const int iterations = smoke ? 40 : 200;
+  const FaultConfig schedule = MakeChaosSchedule(chaos);
+
+  Header(StrFormat("chaos soak: resnet50, %d nodes (+%d standby), seed %llu, "
+                   "%d events, %d iterations%s",
+                   chaos.num_nodes - chaos.num_standby, chaos.num_standby,
+                   static_cast<unsigned long long>(chaos.seed), chaos.events,
+                   iterations, smoke ? " [smoke]" : "")
+             .c_str());
+  const TrainReport soak = RunElastic(model, cluster, schedule, iterations);
+  const MembershipReport& m = soak.membership;
+  const uint64_t transitions = m.joins + m.leaves + m.crashes + m.rejoins;
+  std::printf("epoch %llu, members %zu/%d, %llu join(s) %llu leave(s) "
+              "%llu crash(es) %llu rejoin(s), %zu degradation window(s)\n",
+              static_cast<unsigned long long>(m.final_epoch),
+              m.final_members.size(), chaos.num_nodes,
+              static_cast<unsigned long long>(m.joins),
+              static_cast<unsigned long long>(m.leaves),
+              static_cast<unsigned long long>(m.crashes),
+              static_cast<unsigned long long>(m.rejoins),
+              schedule.degradations.size());
+  std::printf("%llu resync(s) (%s, %.2f ms), %llu rejoined contribution(s), "
+              "fingerprint %016llx\n",
+              static_cast<unsigned long long>(m.resyncs),
+              HumanBytes(m.resync_bytes).c_str(), ToMillis(m.resync_time),
+              static_cast<unsigned long long>(m.rejoined_contributions),
+              static_cast<unsigned long long>(m.model_fingerprint));
+  std::printf("%s", m.event_log.c_str());
+
+  // Replay: the same schedule must reproduce the transition history and
+  // the model state bit-for-bit.
+  const TrainReport replay = RunElastic(model, cluster, schedule, iterations);
+  // Churn-free reference: same state seed, no events.
+  FaultConfig churn_free;
+  churn_free.seed = schedule.seed;
+  const TrainReport reference =
+      RunElastic(model, cluster, churn_free, iterations);
+
+  const double total_ms = ToMillis(soak.iteration_time) * iterations;
+  const bool replay_match =
+      replay.membership.event_log == m.event_log &&
+      replay.membership.model_fingerprint == m.model_fingerprint;
+  const bool fingerprint_match =
+      m.model_fingerprint == reference.membership.model_fingerprint;
+  const double steady_pool_misses =
+      soak.metrics->gauge("net.step_pool_misses").value();
+
+  std::printf("\n");
+  gate(m.enabled, "soak run completes with membership enabled");
+  gate(transitions + schedule.degradations.size() >=
+           static_cast<uint64_t>(chaos.events),
+       StrFormat("interleaved events >= %d", chaos.events));
+  gate(m.crashes >= 1 && m.rejoins >= 1, "a crashed node rejoins");
+  gate(m.rejoined_contributions >= 1, "rejoined node contributes compute");
+  gate(m.state_consistent, "final members hold identical state");
+  gate(fingerprint_match, "state bit-identical to churn-free run");
+  gate(replay_match, "event log + state replay bit-identically");
+  gate(steady_pool_misses == 0.0, "steady-state wire pool misses == 0");
+  gate(ToMillis(m.resync_time) <= 0.10 * total_ms,
+       "drain + re-sync time within 10% of run");
+  gate(ToMillis(soak.recovery_time) <= 0.10 * total_ms,
+       "crash recovery time within 10% of run");
+
+  reporter.Record("soak", soak);
+  RecordMembership(reporter, "soak", m);
+  MetricsRegistry& reg = reporter.registry();
+  reg.gauge("soak.iterations").Set(iterations);
+  reg.gauge("soak.transitions").Set(static_cast<double>(transitions));
+  reg.gauge("soak.fingerprint_match").Set(fingerprint_match ? 1.0 : 0.0);
+  reg.gauge("soak.replay_match").Set(replay_match ? 1.0 : 0.0);
+  reg.gauge("soak.steady_pool_misses").Set(steady_pool_misses);
+  reg.gauge("soak.recovery_ms").Set(ToMillis(soak.recovery_time));
+  reporter.Record("soak.churn_free", reference);
+
+  reporter.Write();
+  if (failures > 0) {
+    std::fprintf(stderr, "\n%d chaos-soak gate(s) failed\n", failures);
+    return 1;
+  }
+  return 0;
+}

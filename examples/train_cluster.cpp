@@ -4,7 +4,8 @@
 //   train_cluster [--model vgg19] [--system hipress-ps] [--algorithm onebit]
 //                 [--nodes 16] [--cluster ec2|local] [--gbps <bandwidth>]
 //                 [--bitwidth N] [--ratio R] [--no-rdma] [--compare]
-//                 [--faults SPEC] [--step-report steps.jsonl]
+//                 [--faults SPEC] [--chaos SEED[:EVENTS]]
+//                 [--step-report steps.jsonl]
 //                 [--iterations N] [--adaptive] [--adaptive-codecs a,b]
 //
 // --compare runs all systems side by side (a miniature Figure 7/8 panel).
@@ -14,10 +15,18 @@
 //   --faults "drop=0.01,seed=7"              1% message loss
 //   --faults "crash=3@40"                    node 3 dies 40 ms in
 //   --faults "degrade=0-1@10-20@0.25"        link 0->1 at 25% bw for 10 ms
+//   --faults "standby=3,join=3@60"           node 3 joins the view at 60 ms
+//   --faults "crash=2@40,rejoin=2@200"       node 2 crashes, rejoins at 200 ms
+// --chaos generates a seeded chaos-soak schedule (interleaved crashes,
+// joins, leaves, rejoins and degradation windows) over --nodes; the
+// optional :EVENTS suffix sets the event count (default 6). Chaos events
+// merge on top of any --faults spec. Two runs with the same seed replay
+// bit-identically (docs/FAULT_TOLERANCE.md).
 // --adaptive turns on the runtime-adaptive compression controller
 // (docs/ADAPTIVE.md); --adaptive-codecs adds candidate codec-ladder rungs
 // beyond the configured algorithm, e.g. --adaptive-codecs onebit,tbq.
 // Pair with --faults "degrade=..." to watch the controller re-plan.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +58,9 @@ struct Args {
   std::string faults;       // --faults "drop=0.01,crash=3@40,..."
   std::string step_report;  // --step-report steps.jsonl: per-iteration JSONL
   int iterations = 0;       // --iterations N (0 = trainer default)
+  bool chaos = false;       // --chaos SEED[:EVENTS]: seeded soak schedule
+  uint64_t chaos_seed = 1;
+  int chaos_events = 6;
   bool adaptive = false;
   std::string adaptive_codecs;  // comma-separated extra ladder rungs
 };
@@ -87,6 +99,14 @@ bool Parse(int argc, char** argv, Args* args) {
       args->step_report = next();
     } else if (flag == "--iterations") {
       args->iterations = std::atoi(next());
+    } else if (flag == "--chaos") {
+      args->chaos = true;
+      const std::string spec = next();
+      const size_t colon = spec.find(':');
+      args->chaos_seed = std::strtoull(spec.c_str(), nullptr, 10);
+      if (colon != std::string::npos) {
+        args->chaos_events = std::atoi(spec.c_str() + colon + 1);
+      }
     } else if (flag == "--adaptive") {
       args->adaptive = true;
     } else if (flag == "--adaptive-codecs") {
@@ -144,6 +164,31 @@ int main(int argc, char** argv) {
       return 2;
     }
     cluster.net.faults = *faults;
+  }
+  if (args.chaos) {
+    ChaosOptions chaos;
+    chaos.seed = args.chaos_seed;
+    chaos.num_nodes = args.nodes;
+    chaos.events = args.chaos_events;
+    const FaultConfig schedule = MakeChaosSchedule(chaos);
+    FaultConfig& faults = cluster.net.faults;
+    faults.seed = schedule.seed;
+    faults.crashes.insert(faults.crashes.end(), schedule.crashes.begin(),
+                          schedule.crashes.end());
+    faults.degradations.insert(faults.degradations.end(),
+                               schedule.degradations.begin(),
+                               schedule.degradations.end());
+    faults.membership.insert(faults.membership.end(),
+                             schedule.membership.begin(),
+                             schedule.membership.end());
+    faults.standby_nodes.insert(faults.standby_nodes.end(),
+                                schedule.standby_nodes.begin(),
+                                schedule.standby_nodes.end());
+    std::printf("chaos: seed %llu, %zu crash(es), %zu membership event(s), "
+                "%zu degradation window(s), %zu standby\n",
+                static_cast<unsigned long long>(args.chaos_seed),
+                schedule.crashes.size(), schedule.membership.size(),
+                schedule.degradations.size(), schedule.standby_nodes.size());
   }
   CompressorParams params;
   params.bitwidth = args.bitwidth;
@@ -208,7 +253,7 @@ int main(int argc, char** argv) {
                   report.adaptive.final_algorithm.c_str());
       std::printf("%s", report.adaptive.decision_log.c_str());
     }
-    if (!args.faults.empty()) {
+    if (!args.faults.empty() || args.chaos) {
       std::printf(
           "  faults: %llu drops, %llu retries, %s retransmitted, "
           "%llu recoveries (%.2f ms)\n",
@@ -227,6 +272,29 @@ int main(int argc, char** argv) {
         }
         std::printf("  degraded: node(s) %s failed, %d/%d surviving\n",
                     failed.c_str(), report.surviving_nodes, args.nodes);
+      }
+      if (report.membership.enabled) {
+        const MembershipReport& membership = report.membership;
+        std::string members;
+        for (const int node : membership.final_members) {
+          members += (members.empty() ? "" : ",") + std::to_string(node);
+        }
+        std::printf(
+            "  membership: epoch %llu, members [%s], %llu join(s) "
+            "%llu leave(s) %llu crash(es) %llu rejoin(s), %llu resync(s) "
+            "(%s, %.2f ms), state %s, fingerprint %016llx\n",
+            static_cast<unsigned long long>(membership.final_epoch),
+            members.c_str(),
+            static_cast<unsigned long long>(membership.joins),
+            static_cast<unsigned long long>(membership.leaves),
+            static_cast<unsigned long long>(membership.crashes),
+            static_cast<unsigned long long>(membership.rejoins),
+            static_cast<unsigned long long>(membership.resyncs),
+            HumanBytes(membership.resync_bytes).c_str(),
+            ToMillis(membership.resync_time),
+            membership.state_consistent ? "consistent" : "DIVERGED",
+            static_cast<unsigned long long>(membership.model_fingerprint));
+        std::printf("%s", membership.event_log.c_str());
       }
     }
     if (!args.step_report.empty() && !args.compare) {

@@ -56,6 +56,24 @@ int AdaptiveController::Replan(size_t codec, double bytes_per_second) {
   return changed;
 }
 
+bool AdaptiveController::OnMembershipChange(int num_nodes) {
+  CHECK_GT(num_nodes, 0);
+  if (num_nodes == config_.num_nodes) {
+    return false;
+  }
+  config_.num_nodes = num_nodes;
+  // Re-price every unit over the new view with the active codec at the
+  // bandwidth the current plan was built with: the SeCoPa cost terms and
+  // the 2N partition cap changed underneath the plan, so the old plan is
+  // stale regardless of performance signals.
+  Replan(active_codec_, planned_bps_);
+  // Streaks were evidence about the old membership; a running cooldown
+  // stays — this was not a performance decision.
+  tighten_streak_ = 0;
+  relax_streak_ = 0;
+  return true;
+}
+
 SimTime AdaptiveController::TotalPlannedCost(
     const SeCoPaPlanner& planner) const {
   SimTime total = 0;

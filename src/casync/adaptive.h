@@ -136,6 +136,18 @@ class AdaptiveController {
   }
   double planned_gbps() const { return planned_gbps_; }
 
+  // Membership change at an iteration boundary: re-prices every unit's
+  // plan over the new view size (SeCoPa's alpha/beta/gamma terms and the
+  // 2N partition cap all depend on it), keeping the active codec and
+  // bandwidth estimate. Clears the tighten/relax streaks — attributions
+  // observed over the old membership are not evidence about the new one —
+  // but deliberately leaves any cooldown running: membership is a
+  // correctness event, not a performance trigger, and must not reopen the
+  // decision window early (the cooldown-crash regression in
+  // tests/adaptive_test.cc). Returns true when the view size changed and
+  // plans were rebuilt.
+  bool OnMembershipChange(int num_nodes);
+
   // Feed iteration `iteration`'s critical-path attribution and the
   // engine's auditor (whose send statistics the controller snapshots for
   // the window estimate). When the returned decision has replanned set,

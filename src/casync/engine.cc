@@ -103,6 +103,23 @@ void CaSyncEngine::ApplyCodec(const std::string& algorithm, CodecImpl impl,
   auditor_.SetPrediction(CostPrimitive::kDecode, codec_speed_.decode);
 }
 
+void CaSyncEngine::ReviveNode(int node) {
+  CHECK(Idle()) << "rejoin with task graphs in flight: active graphs were "
+                   "built over the pre-rejoin membership";
+  CHECK_GE(node, 0);
+  CHECK_LT(node, static_cast<int>(node_failed_.size()));
+  if (!node_failed_[node]) {
+    return;
+  }
+  node_failed_[node] = false;
+  failed_nodes_.erase(
+      std::remove(failed_nodes_.begin(), failed_nodes_.end(), node),
+      failed_nodes_.end());
+  if (reliable_ != nullptr) {
+    reliable_->ReinstatePeer(node);
+  }
+}
+
 EngineStats CaSyncEngine::stats() const {
   EngineStats stats;
   stats.encode_tasks = encode_metrics_.tasks->value();

@@ -84,6 +84,14 @@ class CaSyncEngine {
   const std::vector<int>& failed_nodes() const { return failed_nodes_; }
   bool node_failed(int node) const { return node_failed_[node]; }
 
+  // Clears the failed mark on `node` — the crash-rejoin path: the
+  // membership layer re-admits the node at an iteration boundary after its
+  // model state has been re-synced from a donor, and subsequent task
+  // graphs may include it again. CHECK-fails unless Idle() (in-flight
+  // graphs were built over the old membership); idempotent for a node
+  // that was never marked failed.
+  void ReviveNode(int node);
+
   // Total simulated time the node's sync path spent on compression-related
   // kernels (for latency breakdowns).
   SimTime compute_busy(int node) const;

@@ -108,16 +108,30 @@ BufferPool::Stats BufferPool::stats() const {
   return stats_;
 }
 
-void BufferPool::Trim() {
+size_t BufferPool::Trim(size_t keep_free_bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (std::vector<void*>& free_list : free_lists_) {
-    for (void* block : free_list) {
-      ::operator delete(block);
+  size_t released = 0;
+  // Largest buckets first: the peak-size blocks a shrunken batch (or
+  // worker set) will never ask for again are exactly the ones worth
+  // returning to the heap, while small warm buckets keep serving the
+  // steady-state path miss-free.
+  for (int index = kNumBuckets - 1; index >= 0; --index) {
+    std::vector<void*>& free_list = free_lists_[index];
+    const size_t capacity = kMinBucketBytes << index;
+    while (!free_list.empty() && stats_.free_bytes > keep_free_bytes) {
+      ::operator delete(free_list.back());
+      free_list.pop_back();
+      stats_.free_bytes -= capacity;
+      --stats_.free_blocks;
+      released += capacity;
     }
-    free_list.clear();
+    if (stats_.free_bytes <= keep_free_bytes) {
+      break;
+    }
   }
-  stats_.free_bytes = 0;
-  stats_.free_blocks = 0;
+  stats_.trims += released > 0 ? 1 : 0;
+  stats_.trimmed_bytes += released;
+  return released;
 }
 
 void BufferPool::set_trace(SpanCollector* spans, int node) {

@@ -59,6 +59,8 @@ class BufferPool {
     uint64_t peak_bytes = 0;    // high-water mark of bytes_in_use
     uint64_t free_bytes = 0;    // cached in free lists, ready to reuse
     uint64_t free_blocks = 0;
+    uint64_t trims = 0;          // Trim() calls that released anything
+    uint64_t trimmed_bytes = 0;  // bytes returned to the heap by Trim()
   };
 
   // `registry`, when set, receives live "<prefix>.pool_hits"/
@@ -82,9 +84,14 @@ class BufferPool {
 
   Stats stats() const;
 
-  // Drops every cached free block back to the heap. Outstanding blocks are
-  // unaffected. Mainly for tests and memory-pressure handling.
-  void Trim();
+  // Watermark-based trim: returns cached free blocks to the heap, largest
+  // buckets first, until at most `keep_free_bytes` remain cached; returns
+  // the bytes released. Trim(0) drops everything (the old behavior).
+  // Outstanding blocks are unaffected. Shrinking batch sizes or worker
+  // sets call this with a scaled-down watermark so peak-size buckets are
+  // released while the warm steady-state buckets keep the pool miss-free
+  // (docs/MEMORY.md).
+  size_t Trim(size_t keep_free_bytes = 0);
 
   // When set, every pool miss (fresh malloc) is recorded as a zero-width
   // span on `spans` (lane kTraceLaneMemAlloc, wall-clock ns since pool

@@ -336,6 +336,8 @@ const char* TraceLaneName(int lane) {
       return "critical-path";
     case kTraceLaneAdaptive:
       return "adaptive";
+    case kTraceLaneMembership:
+      return "membership";
     default:
       return "lane";
   }

@@ -166,6 +166,10 @@ inline constexpr int kTraceLaneCriticalPath = 16;
 // iteration boundary where the controller re-planned, named
 // "adaptive:<codec>" (docs/ADAPTIVE.md).
 inline constexpr int kTraceLaneAdaptive = 17;
+// Elastic-membership transitions (src/net/membership.h): drain windows for
+// planned leaves, donor re-sync transfers for joins/rejoins, and crash
+// evictions, one span per epoch change (docs/FAULT_TOLERANCE.md).
+inline constexpr int kTraceLaneMembership = 18;
 
 // Human-readable row name for a lane ("net:uplink", "coordinator", ...);
 // lanes 0..9 are resolved by the exporter against GpuTaskKindName.

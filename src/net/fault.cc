@@ -7,6 +7,18 @@
 
 namespace hipress {
 
+const char* MembershipEventKindName(MembershipEventKind kind) {
+  switch (kind) {
+    case MembershipEventKind::kJoin:
+      return "join";
+    case MembershipEventKind::kLeave:
+      return "leave";
+    case MembershipEventKind::kRejoin:
+      return "rejoin";
+  }
+  return "unknown";
+}
+
 SimTime FaultConfig::CrashTime(int node) const {
   SimTime earliest = -1;
   for (const NodeCrash& crash : crashes) {
@@ -15,6 +27,28 @@ SimTime FaultConfig::CrashTime(int node) const {
     }
   }
   return earliest;
+}
+
+bool FaultConfig::AliveAt(int node, SimTime when) const {
+  // The node is dead iff the most recent crash at or before `when` has not
+  // been closed by a later rejoin at or before `when`. Crash/rejoin
+  // schedules are static, so this is decidable for any `when`.
+  SimTime latest_crash = -1;
+  for (const NodeCrash& crash : crashes) {
+    if (crash.node == node && crash.at <= when && crash.at > latest_crash) {
+      latest_crash = crash.at;
+    }
+  }
+  if (latest_crash < 0) {
+    return true;
+  }
+  for (const MembershipEvent& event : membership) {
+    if (event.kind == MembershipEventKind::kRejoin && event.node == node &&
+        event.at > latest_crash && event.at <= when) {
+      return true;
+    }
+  }
+  return false;
 }
 
 double FaultConfig::DegradationFactor(int src, int dst, SimTime when) const {
@@ -125,9 +159,159 @@ StatusOr<FaultConfig> ParseFaultSpec(const std::string& spec) {
       degradation.start = FromMillis(start_ms);
       degradation.end = FromMillis(end_ms);
       config.degradations.push_back(degradation);
+    } else if (key == "join" || key == "leave" || key == "rejoin") {
+      // join=N@MS / leave=N@MS / rejoin=N@MS
+      const std::vector<std::string> parts = Split(value, '@');
+      if (parts.size() != 2) {
+        return InvalidArgumentError(key + " clause wants N@MS: " + value);
+      }
+      MembershipEvent event;
+      event.kind = key == "join"    ? MembershipEventKind::kJoin
+                   : key == "leave" ? MembershipEventKind::kLeave
+                                    : MembershipEventKind::kRejoin;
+      ASSIGN_OR_RETURN(event.node, ParseEndpoint(parts[0]));
+      ASSIGN_OR_RETURN(const double at_ms, ParseDouble(parts[1]));
+      if (event.node < 0 || at_ms < 0.0) {
+        return InvalidArgumentError("bad " + key + " clause: " + value);
+      }
+      event.at = FromMillis(at_ms);
+      config.membership.push_back(event);
+    } else if (key == "standby") {
+      int node = -1;
+      ASSIGN_OR_RETURN(node, ParseEndpoint(value));
+      if (node < 0) {
+        return InvalidArgumentError("bad standby clause: " + value);
+      }
+      config.standby_nodes.push_back(node);
     } else {
       return InvalidArgumentError("unknown fault clause: " + key);
     }
+  }
+  return config;
+}
+
+FaultConfig MakeChaosSchedule(const ChaosOptions& options) {
+  FaultConfig config;
+  config.seed = options.seed;
+  config.drop_prob = options.drop_prob;
+  const int standby_count =
+      std::max(0, std::min(options.num_standby, options.num_nodes - 2));
+  std::vector<int> members;
+  std::vector<int> standby;
+  for (int node = 0; node < options.num_nodes; ++node) {
+    if (node >= options.num_nodes - standby_count) {
+      standby.push_back(node);
+      config.standby_nodes.push_back(node);
+    } else {
+      members.push_back(node);
+    }
+  }
+  std::vector<int> crashed;
+  // All randomness comes from one seeded ordinal stream, so the schedule
+  // is a pure function of ChaosOptions.
+  uint64_t ordinal = 0;
+  auto uniform = [&] {
+    return FaultUniform(options.seed ^ 0xc4a05c4edULL, ordinal++);
+  };
+  auto take = [&](std::vector<int>* pool) {
+    size_t index = static_cast<size_t>(uniform() *
+                                       static_cast<double>(pool->size()));
+    index = std::min(index, pool->size() - 1);
+    const int node = (*pool)[index];
+    pool->erase(pool->begin() + static_cast<long>(index));
+    return node;
+  };
+
+  enum EventClass { kCrash = 0, kRejoinEv, kJoinEv, kLeaveEv, kDegradeEv };
+  // First pass walks every class once (feasibility permitting) so short
+  // schedules still interleave all transition kinds; later events are
+  // hash-picked among whatever is feasible.
+  static constexpr EventClass kForced[] = {kCrash, kRejoinEv, kJoinEv,
+                                           kLeaveEv, kDegradeEv};
+  double now_ms = options.first_event_ms;
+  for (int k = 0; k < options.events; ++k) {
+    std::vector<EventClass> feasible;
+    // Crashes and leaves keep the cluster at >= 2 live members.
+    if (members.size() > 2) {
+      feasible.push_back(kCrash);
+    }
+    if (!crashed.empty()) {
+      feasible.push_back(kRejoinEv);
+    }
+    if (!standby.empty()) {
+      feasible.push_back(kJoinEv);
+    }
+    if (members.size() > 2) {
+      feasible.push_back(kLeaveEv);
+    }
+    if (members.size() >= 2) {
+      feasible.push_back(kDegradeEv);
+    }
+    if (feasible.empty()) {
+      break;
+    }
+    EventClass chosen = feasible[0];
+    if (k < static_cast<int>(sizeof(kForced) / sizeof(kForced[0]))) {
+      const EventClass want = kForced[k];
+      if (std::find(feasible.begin(), feasible.end(), want) !=
+          feasible.end()) {
+        chosen = want;
+      }
+    } else {
+      size_t index = static_cast<size_t>(
+          uniform() * static_cast<double>(feasible.size()));
+      chosen = feasible[std::min(index, feasible.size() - 1)];
+    }
+    switch (chosen) {
+      case kCrash: {
+        const int node = take(&members);
+        config.crashes.push_back({node, FromMillis(now_ms)});
+        crashed.push_back(node);
+        break;
+      }
+      case kRejoinEv: {
+        const int node = take(&crashed);
+        config.membership.push_back(
+            {MembershipEventKind::kRejoin, node, FromMillis(now_ms)});
+        members.push_back(node);
+        break;
+      }
+      case kJoinEv: {
+        const int node = take(&standby);
+        config.membership.push_back(
+            {MembershipEventKind::kJoin, node, FromMillis(now_ms)});
+        members.push_back(node);
+        break;
+      }
+      case kLeaveEv: {
+        const int node = take(&members);
+        config.membership.push_back(
+            {MembershipEventKind::kLeave, node, FromMillis(now_ms)});
+        break;
+      }
+      case kDegradeEv: {
+        std::vector<int> pool = members;
+        const int src = take(&pool);
+        const int dst = take(&pool);
+        LinkDegradation window;
+        window.src = src;
+        window.dst = dst;
+        window.start = FromMillis(now_ms);
+        window.end = FromMillis(now_ms + options.degrade_duration_ms);
+        window.bandwidth_factor = options.degrade_factor;
+        config.degradations.push_back(window);
+        break;
+      }
+    }
+    now_ms += options.spacing_ms * (0.5 + uniform());
+  }
+  // Close any crash window left open so every crashed node rejoins and the
+  // post-quiesce state check covers the full crash->rejoin lifecycle.
+  while (!crashed.empty()) {
+    const int node = take(&crashed);
+    config.membership.push_back(
+        {MembershipEventKind::kRejoin, node, FromMillis(now_ms)});
+    now_ms += options.spacing_ms;
   }
   return config;
 }

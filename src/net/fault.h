@@ -35,11 +35,31 @@ struct LinkDegradation {
   double bandwidth_factor = 1.0;
 };
 
-// Node `node` fails at time `at` and never recovers (fail-stop).
+// Node `node` fails at time `at`. Without a matching kRejoin membership
+// event the failure is fail-stop; with one, the node is dead during
+// [at, rejoin.at) and may be re-admitted by the trainer's membership
+// layer (docs/FAULT_TOLERANCE.md).
 struct NodeCrash {
   int node = -1;
   SimTime at = 0;
 };
+
+// Scheduled membership transitions, applied by the trainer at the first
+// iteration boundary at or after `at` (the network only consults kRejoin,
+// which reopens a crashed node's liveness window).
+enum class MembershipEventKind {
+  kJoin,    // a standby node is admitted to the worker set
+  kLeave,   // a member drains its in-flight work and exits cleanly
+  kRejoin,  // a previously crashed node comes back and re-syncs state
+};
+
+struct MembershipEvent {
+  MembershipEventKind kind = MembershipEventKind::kJoin;
+  int node = -1;
+  SimTime at = 0;
+};
+
+const char* MembershipEventKindName(MembershipEventKind kind);
 
 struct FaultConfig {
   // Per-message drop probability in [0, 1).
@@ -48,13 +68,24 @@ struct FaultConfig {
   uint64_t seed = 0x5eedf001;
   std::vector<LinkDegradation> degradations;
   std::vector<NodeCrash> crashes;
+  // Elastic-membership schedule: planned joins/leaves and crash rejoins.
+  std::vector<MembershipEvent> membership;
+  // Nodes that start outside the worker set and only participate once a
+  // kJoin event admits them.
+  std::vector<int> standby_nodes;
 
   bool any() const {
-    return drop_prob > 0.0 || !degradations.empty() || !crashes.empty();
+    return drop_prob > 0.0 || !degradations.empty() || !crashes.empty() ||
+           !membership.empty() || !standby_nodes.empty();
   }
 
   // Crash time for `node`, or -1 when it never crashes.
   SimTime CrashTime(int node) const;
+
+  // Interval-based liveness: false while `node` sits inside a crash window
+  // [crash.at, rejoin.at) that no kRejoin event has closed by `when`.
+  // Standby nodes count as alive — they are silent, not dead.
+  bool AliveAt(int node, SimTime when) const;
 
   // Smallest remaining-bandwidth factor over the windows matching
   // (src, dst) at time `when`; 1.0 when no window matches.
@@ -72,8 +103,33 @@ double FaultUniform(uint64_t seed, uint64_t ordinal);
 //   crash=N@MS        node N crashes at MS milliseconds
 //   degrade=A-B@T0-T1@F   link A->B at factor F during [T0, T1) ms
 //                         (A or B may be '*' for any endpoint)
-// e.g. "drop=0.01,seed=7,crash=3@40,degrade=0-1@10-20@0.5".
+//   join=N@MS         standby node N joins the worker set at MS ms
+//   leave=N@MS        member N drains and leaves at MS ms
+//   rejoin=N@MS       crashed node N rejoins (re-syncs state) at MS ms
+//   standby=N         node N starts outside the worker set
+// e.g. "drop=0.01,seed=7,crash=3@40,rejoin=3@120,standby=5,join=5@60".
 StatusOr<FaultConfig> ParseFaultSpec(const std::string& spec);
+
+// Deterministic chaos-soak schedule generator (bench_membership,
+// train_cluster --chaos). Emits a FaultConfig whose crash/join/leave/
+// rejoin/degradation events interleave over the run, derived purely from
+// `seed` so two runs with the same options are bit-identical.
+struct ChaosOptions {
+  uint64_t seed = 1;
+  int num_nodes = 8;     // total nodes, including standby
+  int num_standby = 1;   // nodes held out of the initial worker set
+  int events = 6;        // membership/degradation events to schedule
+  double first_event_ms = 40.0;
+  double spacing_ms = 60.0;  // nominal gap between events (jittered)
+  double drop_prob = 0.0;    // optional background loss
+  double degrade_factor = 0.35;
+  double degrade_duration_ms = 30.0;
+};
+
+// The generated schedule always keeps at least two live members, pairs
+// every crash with a later rejoin, and covers each event class at least
+// once when `events` allows.
+FaultConfig MakeChaosSchedule(const ChaosOptions& options);
 
 }  // namespace hipress
 

@@ -1,0 +1,125 @@
+#include "src/net/membership.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace hipress {
+
+const char* MembershipChangeName(MembershipChange change) {
+  switch (change) {
+    case MembershipChange::kJoin:
+      return "join";
+    case MembershipChange::kLeave:
+      return "leave";
+    case MembershipChange::kCrash:
+      return "crash";
+    case MembershipChange::kRejoin:
+      return "rejoin";
+  }
+  return "unknown";
+}
+
+MembershipManager::MembershipManager(int num_nodes,
+                                     const std::vector<int>& standby,
+                                     MetricsRegistry* metrics)
+    : num_nodes_(num_nodes) {
+  CHECK_GT(num_nodes, 0);
+  for (int node = 0; node < num_nodes; ++node) {
+    if (std::find(standby.begin(), standby.end(), node) == standby.end()) {
+      members_.push_back(node);
+    }
+  }
+  CHECK(!members_.empty()) << "every node is standby";
+  if (metrics != nullptr) {
+    epoch_gauge_ = &metrics->gauge("membership.epoch");
+    size_gauge_ = &metrics->gauge("membership.size");
+    joins_counter_ = &metrics->counter("membership.joins");
+    leaves_counter_ = &metrics->counter("membership.leaves");
+    crashes_counter_ = &metrics->counter("membership.crashes");
+    rejoins_counter_ = &metrics->counter("membership.rejoins");
+    epoch_gauge_->Set(0.0);
+    size_gauge_->Set(static_cast<double>(members_.size()));
+  }
+}
+
+bool MembershipManager::is_member(int node) const {
+  return std::binary_search(members_.begin(), members_.end(), node);
+}
+
+uint64_t MembershipManager::Admit(int node, MembershipChange change,
+                                  SimTime at) {
+  CHECK(change == MembershipChange::kJoin ||
+        change == MembershipChange::kRejoin)
+      << "Admit wants kJoin or kRejoin";
+  CHECK_GE(node, 0);
+  CHECK_LT(node, num_nodes_);
+  CHECK(!is_member(node)) << "node " << node << " is already a member";
+  members_.insert(
+      std::lower_bound(members_.begin(), members_.end(), node), node);
+  Record(change, node, at);
+  return epoch_;
+}
+
+uint64_t MembershipManager::Remove(int node, MembershipChange change,
+                                   SimTime at) {
+  CHECK(change == MembershipChange::kLeave ||
+        change == MembershipChange::kCrash)
+      << "Remove wants kLeave or kCrash";
+  CHECK(is_member(node)) << "node " << node << " is not a member";
+  CHECK_GT(members_.size(), 1u) << "removing the last member";
+  members_.erase(
+      std::lower_bound(members_.begin(), members_.end(), node));
+  Record(change, node, at);
+  return epoch_;
+}
+
+void MembershipManager::Record(MembershipChange change, int node,
+                               SimTime at) {
+  ++epoch_;
+  log_.push_back(MembershipRecord{epoch_, change, node, at, size()});
+  switch (change) {
+    case MembershipChange::kJoin:
+      ++joins_;
+      if (joins_counter_ != nullptr) {
+        joins_counter_->Increment();
+      }
+      break;
+    case MembershipChange::kLeave:
+      ++leaves_;
+      if (leaves_counter_ != nullptr) {
+        leaves_counter_->Increment();
+      }
+      break;
+    case MembershipChange::kCrash:
+      ++crashes_;
+      if (crashes_counter_ != nullptr) {
+        crashes_counter_->Increment();
+      }
+      break;
+    case MembershipChange::kRejoin:
+      ++rejoins_;
+      if (rejoins_counter_ != nullptr) {
+        rejoins_counter_->Increment();
+      }
+      break;
+  }
+  if (epoch_gauge_ != nullptr) {
+    epoch_gauge_->Set(static_cast<double>(epoch_));
+    size_gauge_->Set(static_cast<double>(members_.size()));
+  }
+}
+
+std::string MembershipManager::LogString() const {
+  std::string out;
+  for (const MembershipRecord& record : log_) {
+    out += StrFormat("epoch %llu: %s node %d at %.3f ms (%d members)\n",
+                     static_cast<unsigned long long>(record.epoch),
+                     MembershipChangeName(record.change), record.node,
+                     ToMillis(record.at), record.members_after);
+  }
+  return out;
+}
+
+}  // namespace hipress

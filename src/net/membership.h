@@ -1,0 +1,102 @@
+// Epoch-numbered membership views of the live worker set.
+//
+// PR 2's fault layer only ever shrinks the cluster: a crashed node is gone
+// forever. The MembershipManager turns that into a full lifecycle — planned
+// leaves (drain + clean exit), planned joins from a standby pool, and
+// crash rejoins — by maintaining an epoch-numbered view of the current
+// members. Every transition produces a new epoch; the trainer re-plans
+// partitions/codecs over the new view at the next iteration boundary and
+// stamps the ReliableChannel with the new epoch so messages sent under an
+// older view are rejected on delivery (docs/FAULT_TOLERANCE.md).
+//
+// The manager is pure bookkeeping: it never touches the simulator, so
+// attaching it to a run without membership events changes no timing.
+#ifndef HIPRESS_SRC_NET_MEMBERSHIP_H_
+#define HIPRESS_SRC_NET_MEMBERSHIP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/units.h"
+
+namespace hipress {
+
+// Why a node entered or exited the view.
+enum class MembershipChange {
+  kJoin,    // standby node admitted
+  kLeave,   // planned drain + exit
+  kCrash,   // fail-stop detection (retry budget exhausted / ground truth)
+  kRejoin,  // crashed node re-admitted after state re-sync
+};
+
+const char* MembershipChangeName(MembershipChange change);
+
+// One recorded transition; the log of these replays bit-identically for a
+// fixed fault schedule (LogString()).
+struct MembershipRecord {
+  uint64_t epoch = 0;  // epoch the transition created
+  MembershipChange change = MembershipChange::kJoin;
+  int node = -1;
+  SimTime at = 0;
+  int members_after = 0;  // view size once the transition applied
+};
+
+class MembershipManager {
+ public:
+  // `num_nodes` is the full node id space [0, num_nodes); `standby` lists
+  // nodes excluded from the initial view (epoch 0). `metrics` (optional)
+  // receives the "membership.epoch"/"membership.size" gauges and
+  // per-transition counters ("membership.joins", ...).
+  MembershipManager(int num_nodes, const std::vector<int>& standby,
+                    MetricsRegistry* metrics = nullptr);
+
+  // Current view. `members()` is always sorted ascending.
+  uint64_t epoch() const { return epoch_; }
+  const std::vector<int>& members() const { return members_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  bool is_member(int node) const;
+
+  // Admits `node` (kJoin or kRejoin) / removes `node` (kLeave or kCrash)
+  // at simulated time `at`, advancing the epoch. CHECK-fails on a
+  // transition that does not apply (admitting a member, removing a
+  // non-member, removing the last member) — the trainer validates
+  // schedules before applying them.
+  uint64_t Admit(int node, MembershipChange change, SimTime at);
+  uint64_t Remove(int node, MembershipChange change, SimTime at);
+
+  uint64_t joins() const { return joins_; }
+  uint64_t leaves() const { return leaves_; }
+  uint64_t crashes() const { return crashes_; }
+  uint64_t rejoins() const { return rejoins_; }
+
+  const std::vector<MembershipRecord>& log() const { return log_; }
+
+  // Deterministic one-line-per-transition serialization; two runs of the
+  // same fault schedule must reproduce it byte-for-byte (the chaos-soak
+  // replay gate in bench/bench_membership.cc).
+  std::string LogString() const;
+
+ private:
+  void Record(MembershipChange change, int node, SimTime at);
+
+  int num_nodes_;
+  uint64_t epoch_ = 0;
+  std::vector<int> members_;
+  std::vector<MembershipRecord> log_;
+  uint64_t joins_ = 0;
+  uint64_t leaves_ = 0;
+  uint64_t crashes_ = 0;
+  uint64_t rejoins_ = 0;
+  Gauge* epoch_gauge_ = nullptr;
+  Gauge* size_gauge_ = nullptr;
+  Counter* joins_counter_ = nullptr;
+  Counter* leaves_counter_ = nullptr;
+  Counter* crashes_counter_ = nullptr;
+  Counter* rejoins_counter_ = nullptr;
+};
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_NET_MEMBERSHIP_H_

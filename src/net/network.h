@@ -49,6 +49,10 @@ struct NetMessage {
   int dst = -1;
   uint64_t bytes = 0;
   uint64_t tag = 0;
+  // Membership epoch the sender stamped at Send time (ReliableChannel).
+  // A receiver whose channel has advanced past it rejects the frame as
+  // stale instead of handing it upward (docs/FAULT_TOLERANCE.md).
+  uint64_t epoch = 0;
   std::shared_ptr<void> payload;
 };
 
@@ -84,10 +88,10 @@ class Network {
   void Send(NetMessage message,
             std::function<void(const NetMessage&)> on_delivered);
 
-  // True when `node` has not (yet) crashed at simulated time `when`.
+  // True when `node` is not inside a crash window at simulated time
+  // `when`; a scheduled rejoin closes the window (src/net/fault.h).
   bool AliveAt(int node, SimTime when) const {
-    const SimTime crash = config_.faults.CrashTime(node);
-    return crash < 0 || when < crash;
+    return config_.faults.AliveAt(node, when);
   }
   bool alive(int node) const { return AliveAt(node, sim_->now()); }
 

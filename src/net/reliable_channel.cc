@@ -18,6 +18,8 @@ ReliableChannel::ReliableChannel(Simulator* sim, Network* net,
     retransmit_bytes_metric_ = &metrics->counter("net.retransmit_bytes");
     acks_metric_ = &metrics->counter("net.acks");
     peer_failures_metric_ = &metrics->counter("net.peer_failures");
+    budget_exhausted_metric_ = &metrics->counter("net.retry_budget_exhausted");
+    stale_epoch_metric_ = &metrics->counter("net.stale_epoch_rejected");
     backoff_us_ = &metrics->histogram("net.backoff_us");
   }
 }
@@ -62,13 +64,22 @@ void ReliableChannel::Send(NetMessage message,
                                  : -1;
   if (known_dead >= 0) {
     // Known-dead endpoint: fail fast on the next event instead of burning
-    // a full retry budget per transfer.
-    sim_->Schedule(0, [known_dead, on_complete = std::move(on_complete)] {
-      on_complete(UnavailableError(
-          StrFormat("peer %d already marked failed", known_dead)));
+    // a full retry budget per transfer. The blamed peer and the epoch the
+    // send was attempted under let the caller tell a stale plan from a
+    // fresh failure.
+    const uint64_t epoch = epoch_;
+    sim_->Schedule(0,
+                   [known_dead, epoch, on_complete = std::move(on_complete)] {
+      on_complete(UnavailableError(StrFormat(
+          "peer %d already marked failed (send attempted at epoch %llu)",
+          known_dead, static_cast<unsigned long long>(epoch))));
     });
     return;
   }
+  // Stamp the sender's current membership epoch; retransmits reuse the
+  // stamp, so a transfer that outlives a membership change is rejected on
+  // delivery rather than feeding a dissolved worker set.
+  message.epoch = epoch_;
   const uint64_t id = next_transfer_id_++;
   Transfer& transfer = transfers_[id];
   transfer.message = std::move(message);
@@ -96,7 +107,16 @@ void ReliableChannel::Attempt(uint64_t id) {
     auto deliver_it = transfers_.find(id);
     if (deliver_it != transfers_.end() && !deliver_it->second.delivered) {
       deliver_it->second.delivered = true;
-      if (deliver_it->second.on_deliver) {
+      if (delivered.epoch < epoch_) {
+        // The membership view advanced while this copy was in flight: the
+        // payload was built over a worker set that no longer exists.
+        // Reject it (still acked below — the *transfer* is done, the
+        // content is just obsolete).
+        ++stale_epoch_rejected_;
+        if (stale_epoch_metric_ != nullptr) {
+          stale_epoch_metric_->Increment();
+        }
+      } else if (deliver_it->second.on_deliver) {
         deliver_it->second.on_deliver(delivered);
       }
     }
@@ -134,6 +154,9 @@ void ReliableChannel::HandleTimeout(uint64_t id, int attempt) {
     // Blame the endpoint that actually died: a crashed *sender* blackholes
     // its own retransmits, and declaring the destination failed would evict
     // an innocent node from the topology.
+    if (budget_exhausted_metric_ != nullptr) {
+      budget_exhausted_metric_->Increment();
+    }
     const int dead = !net_->alive(transfer.message.src)
                          ? transfer.message.src
                          : transfer.message.dst;
@@ -193,12 +216,25 @@ void ReliableChannel::MarkPeerFailed(int peer) {
   if (first_failure && on_peer_failure_) {
     on_peer_failure_(peer);
   }
-  const Status status =
-      UnavailableError(StrFormat("peer %d unresponsive after %d attempts",
-                                 peer, config_.max_attempts));
+  const Status status = UnavailableError(StrFormat(
+      "retry budget exhausted: peer %d unresponsive after %d attempts "
+      "at epoch %llu",
+      peer, config_.max_attempts,
+      static_cast<unsigned long long>(epoch_)));
   for (auto& callback : callbacks) {
     callback(status);
   }
+}
+
+void ReliableChannel::ReinstatePeer(int peer) {
+  if (peer < 0 || peer >= static_cast<int>(peer_failed_.size()) ||
+      !peer_failed_[peer]) {
+    return;
+  }
+  peer_failed_[peer] = false;
+  failed_peers_.erase(
+      std::remove(failed_peers_.begin(), failed_peers_.end(), peer),
+      failed_peers_.end());
 }
 
 }  // namespace hipress

@@ -77,6 +77,20 @@ class ReliableChannel {
     on_peer_failure_ = std::move(handler);
   }
 
+  // Current membership epoch. Every outgoing message is stamped with it at
+  // Send time; a message delivered after the channel advanced past its
+  // stamp is rejected as stale — acked (the sender's transfer completes)
+  // but never handed to on_deliver, because it was built over a worker set
+  // that no longer exists ("net.stale_epoch_rejected").
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
+  uint64_t epoch() const { return epoch_; }
+  uint64_t stale_epoch_rejected() const { return stale_epoch_rejected_; }
+
+  // Clears the failed mark on `peer` so it can carry traffic again — the
+  // rejoin path, called once the node has been re-admitted to the
+  // membership view and its state re-synced. No-op for a healthy peer.
+  void ReinstatePeer(int peer);
+
   bool peer_failed(int node) const { return peer_failed_[node]; }
   const std::vector<int>& failed_peers() const { return failed_peers_; }
   uint64_t retries() const { return retries_; }
@@ -108,6 +122,8 @@ class ReliableChannel {
   Counter* retransmit_bytes_metric_ = nullptr;
   Counter* acks_metric_ = nullptr;
   Counter* peer_failures_metric_ = nullptr;
+  Counter* budget_exhausted_metric_ = nullptr;
+  Counter* stale_epoch_metric_ = nullptr;
   Histogram* backoff_us_ = nullptr;
 
   std::function<void(int)> on_peer_failure_;
@@ -117,6 +133,8 @@ class ReliableChannel {
   uint64_t next_transfer_id_ = 1;
   uint64_t retries_ = 0;
   uint64_t acks_ = 0;
+  uint64_t epoch_ = 0;
+  uint64_t stale_epoch_rejected_ = 0;
 };
 
 }  // namespace hipress

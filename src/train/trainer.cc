@@ -1,12 +1,14 @@
 #include "src/train/trainer.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/casync/builder.h"
 #include "src/casync/engine.h"
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
 #include "src/compress/registry.h"
+#include "src/net/membership.h"
 #include "src/net/network.h"
 #include "src/sim/simulator.h"
 
@@ -34,6 +36,105 @@ SimTime LocalAggregationTime(uint64_t bytes, const SyncConfig& config) {
                               static_cast<double>(kSecond));
 }
 
+// Static feasibility walk over the crash + membership schedule: joins only
+// admit non-members, leaves only remove members, rejoins need a prior
+// crash, and the view never empties. Detection timing is dynamic, but the
+// node sets are decidable up front.
+Status ValidateMembershipSchedule(int num_nodes, const FaultConfig& faults) {
+  std::vector<bool> standby(static_cast<size_t>(num_nodes), false);
+  for (const int node : faults.standby_nodes) {
+    if (node < 0 || node >= num_nodes) {
+      return InvalidArgumentError(
+          StrFormat("standby node %d out of range", node));
+    }
+    if (standby[node]) {
+      return InvalidArgumentError(
+          StrFormat("standby node %d listed twice", node));
+    }
+    standby[node] = true;
+  }
+  std::vector<bool> member(static_cast<size_t>(num_nodes), false);
+  std::vector<bool> crashed(static_cast<size_t>(num_nodes), false);
+  int members = 0;
+  for (int node = 0; node < num_nodes; ++node) {
+    member[node] = !standby[node];
+    members += member[node] ? 1 : 0;
+  }
+  if (members == 0) {
+    return InvalidArgumentError("every node is standby");
+  }
+  struct WalkEvent {
+    SimTime at = 0;
+    int order = 0;  // crashes sort before membership events at equal time
+    int node = -1;
+    MembershipEventKind kind = MembershipEventKind::kJoin;
+  };
+  std::vector<WalkEvent> walk;
+  for (const NodeCrash& crash : faults.crashes) {
+    walk.push_back(WalkEvent{crash.at, 0, crash.node, {}});
+  }
+  for (const MembershipEvent& event : faults.membership) {
+    if (event.node < 0 || event.node >= num_nodes) {
+      return InvalidArgumentError(StrFormat(
+          "%s node %d out of range", MembershipEventKindName(event.kind),
+          event.node));
+    }
+    walk.push_back(WalkEvent{event.at, 1, event.node, event.kind});
+  }
+  std::sort(walk.begin(), walk.end(),
+            [](const WalkEvent& a, const WalkEvent& b) {
+              return a.at != b.at     ? a.at < b.at
+                     : a.order != b.order ? a.order < b.order
+                                          : a.node < b.node;
+            });
+  for (const WalkEvent& event : walk) {
+    if (event.order == 0) {  // crash
+      if (member[event.node]) {
+        member[event.node] = false;
+        if (--members == 0) {
+          return InvalidArgumentError("crash schedule empties the cluster");
+        }
+      }
+      crashed[event.node] = true;
+      continue;
+    }
+    switch (event.kind) {
+      case MembershipEventKind::kJoin:
+        if (member[event.node]) {
+          return InvalidArgumentError(
+              StrFormat("join of current member %d", event.node));
+        }
+        if (crashed[event.node]) {
+          return InvalidArgumentError(StrFormat(
+              "join of crashed node %d (use rejoin)", event.node));
+        }
+        member[event.node] = true;
+        ++members;
+        break;
+      case MembershipEventKind::kLeave:
+        if (!member[event.node]) {
+          return InvalidArgumentError(
+              StrFormat("leave of non-member %d", event.node));
+        }
+        member[event.node] = false;
+        if (--members == 0) {
+          return InvalidArgumentError("leave schedule empties the cluster");
+        }
+        break;
+      case MembershipEventKind::kRejoin:
+        if (!crashed[event.node]) {
+          return InvalidArgumentError(StrFormat(
+              "rejoin of node %d without a prior crash", event.node));
+        }
+        crashed[event.node] = false;
+        member[event.node] = true;
+        ++members;
+        break;
+    }
+  }
+  return OkStatus();
+}
+
 }  // namespace
 
 StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
@@ -45,12 +146,22 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
   if (config.num_nodes < 1) {
     return InvalidArgumentError("need at least one node");
   }
-  if (!config.net.faults.crashes.empty() &&
+  const FaultConfig& faults = config.net.faults;
+  const bool membership_active =
+      !faults.membership.empty() || !faults.standby_nodes.empty();
+  if ((!faults.crashes.empty() || membership_active) &&
       (options.staleness > 0 || config.sequential_collectives)) {
     return InvalidArgumentError(
-        "node-crash recovery is only supported on the BSP "
-        "concurrent-collectives path (staleness == 0, "
+        "node-crash recovery and elastic membership are only supported on "
+        "the BSP concurrent-collectives path (staleness == 0, "
         "sequential_collectives off)");
+  }
+  if (membership_active || !faults.crashes.empty()) {
+    const Status schedule_ok =
+        ValidateMembershipSchedule(config.num_nodes, faults);
+    if (!schedule_ok.ok()) {
+      return schedule_ok;
+    }
   }
   if (options.adaptive.enabled) {
     if (!config.compression || !config.secopa) {
@@ -444,6 +555,267 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
     return report;
   }
 
+  // ---------------------------------------------------------------------
+  // Elastic membership (docs/FAULT_TOLERANCE.md). The manager keeps an
+  // epoch-numbered view of the live worker set; scheduled joins/leaves and
+  // crash rejoins apply at iteration boundaries (the engine is idle, so
+  // plans rebuild and the channel epoch advances without touching
+  // in-flight graphs). Each node carries a small replicated model state
+  // whose per-iteration delta is a pure function of (seed, iteration):
+  // live replicas stay bit-identical, a crashed replica is invalidated
+  // until a donor re-sync restores it, and a churned run must finish with
+  // exactly the churn-free run's state — the chaos-soak gate.
+  // ---------------------------------------------------------------------
+  MembershipManager membership(config.num_nodes, faults.standby_nodes,
+                               metrics.get());
+  std::vector<int> current_members = membership.members();
+  constexpr size_t kStateFloats = 32;
+  constexpr size_t kStateBytes = kStateFloats * sizeof(float);
+  const uint64_t state_seed = faults.seed ^ 0x6d6f64656cULL;  // "model"
+  std::vector<std::vector<float>> model_state(
+      static_cast<size_t>(config.num_nodes));
+  std::vector<bool> state_valid(static_cast<size_t>(config.num_nodes),
+                                false);
+  for (int node = 0; node < config.num_nodes; ++node) {
+    model_state[node].resize(kStateFloats);
+    for (size_t j = 0; j < kStateFloats; ++j) {
+      model_state[node][j] = static_cast<float>(FaultUniform(state_seed, j));
+    }
+  }
+  for (const int node : current_members) {
+    state_valid[node] = true;
+  }
+  uint64_t model_bytes = 0;
+  for (const uint64_t bytes : model.gradient_bytes) {
+    model_bytes += bytes;
+  }
+  std::vector<bool> crash_processed(faults.crashes.size(), false);
+  std::vector<bool> rejoined(static_cast<size_t>(config.num_nodes), false);
+  std::vector<MembershipEvent> schedule = faults.membership;
+  std::sort(schedule.begin(), schedule.end(),
+            [](const MembershipEvent& a, const MembershipEvent& b) {
+              return a.at != b.at ? a.at < b.at : a.node < b.node;
+            });
+  size_t next_event = 0;
+  MembershipReport mreport;
+  mreport.enabled = membership_active;
+  Counter& resyncs_counter = metrics->counter("membership.resyncs");
+  Counter& resync_bytes_counter = metrics->counter("membership.resync_bytes");
+  Counter& drains_counter = metrics->counter("membership.drains");
+  Counter& rejoined_contrib_counter =
+      metrics->counter("membership.rejoined_contributions");
+  Counter& pool_trimmed_counter =
+      metrics->counter("membership.pool_trimmed_bytes");
+  Histogram& resync_ms = metrics->histogram(
+      "membership.resync_ms", HistogramBuckets::Exponential(0.125, 2.0, 16));
+  Histogram& drain_ms = metrics->histogram(
+      "membership.drain_ms", HistogramBuckets::Exponential(0.125, 2.0, 16));
+  ReliableChannel* channel = engine.reliable_channel();
+
+  // Re-price every unit's <compress?, K> over a live view of `live_nodes`
+  // members (the SeCoPa cost terms and 2N partition cap depend on the
+  // view size). The adaptive controller owns this when enabled.
+  SyncConfig elastic_config = config;
+  auto replan_units = [&](int live_nodes) {
+    if (!config.compression || !config.secopa) {
+      return;
+    }
+    elastic_config.num_nodes = live_nodes;
+    const SeCoPaPlanner live_planner(elastic_config, rate);
+    for (SyncUnit& unit : units) {
+      const SyncPlan plan = live_planner.Plan(unit.bytes);
+      unit.plan.compress = plan.compress;
+      unit.plan.partitions = plan.partitions;
+    }
+  };
+
+  // Ships `bytes` of state from src to dst over the pooled wire path
+  // (ReliableChannel when present — always, under fault injection) and
+  // runs the simulator to quiescence; returns the transfer's duration.
+  // The payload carries src's replicated model state; `copy_state`
+  // installs it on dst at delivery (donor re-sync), while drain handoffs
+  // only account the wire time.
+  auto transfer_state = [&](int src, int dst, uint64_t bytes,
+                            bool copy_state) {
+    const SimTime started = sim.now();
+    const std::span<const uint8_t> view(
+        reinterpret_cast<const uint8_t*>(model_state[src].data()),
+        kStateBytes);
+    NetMessage message;
+    message.src = src;
+    message.dst = dst;
+    message.bytes = std::max<uint64_t>(1, bytes);
+    message.tag = 0xe1a0000 + static_cast<uint64_t>(membership.epoch());
+    message.payload = MakePooledPayload(view, net.wire_pool());
+    auto on_deliver = [&model_state, &state_valid, dst, copy_state,
+                       kStateBytes](const NetMessage& delivered) {
+      if (!copy_state) {
+        return;
+      }
+      auto payload =
+          std::static_pointer_cast<PooledBytes>(delivered.payload);
+      std::memcpy(model_state[dst].data(), payload->data(),
+                  std::min<size_t>(payload->size(), kStateBytes));
+      state_valid[dst] = true;
+    };
+    if (channel != nullptr) {
+      channel->Send(std::move(message), on_deliver, [](const Status&) {});
+    } else {
+      net.Send(std::move(message), on_deliver);
+    }
+    sim.Run();
+    return sim.now() - started;
+  };
+
+  // Ground-truth crash bookkeeping: a replica inside a crash window loses
+  // its state (until re-synced) whether or not the transport has blamed
+  // the node yet.
+  auto invalidate_crashed = [&](SimTime upto) {
+    for (size_t c = 0; c < faults.crashes.size(); ++c) {
+      if (!crash_processed[c] && faults.crashes[c].at <= upto) {
+        crash_processed[c] = true;
+        state_valid[faults.crashes[c].node] = false;
+      }
+    }
+  };
+
+  // Applies crash evictions and due membership events at an iteration
+  // boundary, then re-plans over the new view, advances the channel
+  // epoch, and trims the wire pool when the view shrank.
+  auto process_boundary = [&](SimTime boundary) {
+    bool changed = false;
+    invalidate_crashed(sim.now());
+    // Crash detections from the reliable transport become membership
+    // evictions.
+    for (const int node : engine.failed_nodes()) {
+      if (membership.is_member(node) && membership.size() > 1) {
+        membership.Remove(node, MembershipChange::kCrash, sim.now());
+        changed = true;
+        if (spans) {
+          spans->Add(node, kTraceLaneMembership,
+                     StrFormat("crash node %d", node), sim.now(), sim.now());
+        }
+      }
+    }
+    while (next_event < schedule.size() &&
+           schedule[next_event].at <= boundary) {
+      const MembershipEvent event = schedule[next_event++];
+      if (event.at > sim.now()) {
+        // Apply the transition at its scheduled time — a rejoin's crash
+        // window only closes at event.at, so an earlier re-sync would send
+        // into the blackhole.
+        sim.ScheduleAt(event.at, [] {});
+        sim.Run();
+      }
+      switch (event.kind) {
+        case MembershipEventKind::kLeave: {
+          if (!membership.is_member(event.node) || membership.size() <= 1) {
+            break;  // crashed before its planned leave; nothing to drain
+          }
+          // Planned drain: in-flight units already completed (the engine
+          // is idle at a boundary); the leaver ships its partition share
+          // to the lowest-id remaining member, then exits cleanly.
+          int successor = -1;
+          for (const int member : membership.members()) {
+            if (member != event.node) {
+              successor = member;
+              break;
+            }
+          }
+          const uint64_t share = model_bytes /
+                                 static_cast<uint64_t>(membership.size());
+          const SimTime took =
+              transfer_state(event.node, successor, share, false);
+          membership.Remove(event.node, MembershipChange::kLeave, sim.now());
+          state_valid[event.node] = false;
+          drains_counter.Increment();
+          drain_ms.Observe(ToMillis(took));
+          mreport.resync_time += took;
+          if (spans) {
+            spans->Add(event.node, kTraceLaneMembership,
+                       StrFormat("leave node %d (drain)", event.node),
+                       sim.now() - took, sim.now());
+          }
+          changed = true;
+          break;
+        }
+        case MembershipEventKind::kJoin:
+        case MembershipEventKind::kRejoin: {
+          const bool is_rejoin = event.kind == MembershipEventKind::kRejoin;
+          if (is_rejoin && membership.is_member(event.node)) {
+            // The crash this rejoin answers was never detected (no traffic
+            // touched the corpse); evict it first so the epoch history
+            // reflects the full crash->rejoin cycle.
+            membership.Remove(event.node, MembershipChange::kCrash,
+                              sim.now());
+          }
+          if (membership.is_member(event.node)) {
+            break;  // duplicate admit; validation rejects hand-written ones
+          }
+          if (is_rejoin) {
+            engine.ReviveNode(event.node);
+          }
+          // Donor re-sync: the lowest-id member streams current model
+          // state to the (re)joining node over the pooled wire path.
+          const int donor = membership.members().front();
+          const SimTime took =
+              transfer_state(donor, event.node, model_bytes, true);
+          membership.Admit(event.node,
+                           is_rejoin ? MembershipChange::kRejoin
+                                     : MembershipChange::kJoin,
+                           sim.now());
+          resyncs_counter.Increment();
+          resync_bytes_counter.Increment(model_bytes);
+          ++mreport.resyncs;
+          mreport.resync_bytes += model_bytes;
+          mreport.resync_time += took;
+          resync_ms.Observe(ToMillis(took));
+          if (is_rejoin) {
+            rejoined[event.node] = true;
+          }
+          if (spans) {
+            spans->Add(event.node, kTraceLaneMembership,
+                       StrFormat("%s node %d (resync from %d)",
+                                 is_rejoin ? "rejoin" : "join", event.node,
+                                 donor),
+                       sim.now() - took, sim.now());
+          }
+          changed = true;
+          break;
+        }
+      }
+    }
+    if (!changed) {
+      return;
+    }
+    const int old_size = static_cast<int>(current_members.size());
+    current_members = membership.members();
+    const int new_size = membership.size();
+    if (channel != nullptr) {
+      // Messages stamped under the old view are now stale on delivery.
+      channel->set_epoch(membership.epoch());
+    }
+    if (adaptive) {
+      if (adaptive->OnMembershipChange(new_size)) {
+        for (size_t i = 0; i < units.size(); ++i) {
+          units[i].plan = adaptive->plans()[i];
+        }
+      }
+    } else if (new_size != old_size) {
+      replan_units(new_size);
+    }
+    if (new_size < old_size) {
+      // Shrunken view: release the wire pool's peak-size buckets but keep
+      // the proportional warm share so the smaller cluster stays miss-free
+      // (watermark Trim, docs/MEMORY.md).
+      const BufferPool::Stats wire = net.wire_pool()->stats();
+      const size_t keep = static_cast<size_t>(wire.free_bytes) *
+                          static_cast<size_t>(new_size) /
+                          static_cast<size_t>(old_size);
+      pool_trimmed_counter.Increment(net.wire_pool()->Trim(keep));
+    }
+  };
+
   SimTime iter_start = 0;
   SimTime measured_iter_time = 0;
   SimTime measured_uplink_busy = 0;
@@ -465,6 +837,11 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
     // Stray coordinator-timeout events can fire slightly after the last
     // sync completes; align the next iteration start past them.
     iter_start = std::max(iter_start, sim.now());
+    // Membership transitions apply here, between iterations: the engine is
+    // idle, so evictions, drains and donor re-syncs cannot race in-flight
+    // graphs. Re-sync wire time pushes the boundary out.
+    process_boundary(iter_start);
+    iter_start = std::max(iter_start, sim.now());
     if (measured && options.record_timeline) {
       report.timeline_origin = iter_start;
     }
@@ -472,11 +849,12 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
     // One starter event at the iteration boundary submits compute and arms
     // the per-gradient sync launches, so all offsets are iteration-relative.
     sim.ScheduleAt(iter_start, [&] {
-      // Survivors at this iteration's start; nodes already declared failed
-      // neither compute nor participate in synchronization.
+      // The current membership view, minus any node the transport declared
+      // failed since the boundary; failed or departed nodes neither compute
+      // nor participate in synchronization.
       std::vector<int> alive;
-      alive.reserve(config.num_nodes);
-      for (int node = 0; node < config.num_nodes; ++node) {
+      alive.reserve(current_members.size());
+      for (const int node : current_members) {
         if (!engine.node_failed(node)) {
           alive.push_back(node);
         }
@@ -488,6 +866,10 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
         const SimTime node_compute =
             node == options.straggler_node ? slowest_compute : compute_time;
         gpus[node]->SubmitCompute(node_compute, [] {});
+        if (rejoined[node]) {
+          // A node that crashed, re-synced and rejoined is computing again.
+          rejoined_contrib_counter.Increment();
+        }
       }
       // Build the per-unit sync graphs up front, over the survivors when
       // already degraded.
@@ -518,26 +900,26 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
             std::make_shared<std::function<void(size_t, TaskGraph*)>>();
         *execute_unit = [&engine, &sim, &config, &units, &graphs, &report,
                          &recovery_started_at, &recoveries_counter,
-                         complete_one, execute_unit](size_t i,
-                                                     TaskGraph* graph_ptr) {
+                         &current_members, complete_one,
+                         execute_unit](size_t i, TaskGraph* graph_ptr) {
           engine.Execute(
               graph_ptr,
               [&engine, &sim, &config, &units, &graphs, &report,
-               &recovery_started_at, &recoveries_counter, complete_one,
-               execute_unit, i](const Status& status) {
+               &recovery_started_at, &recoveries_counter, &current_members,
+               complete_one, execute_unit, i](const Status& status) {
                 if (status.ok()) {
                   complete_one();
                   return;
                 }
                 // Peer failure: recovery. Rebuild this unit's topology over
-                // the surviving nodes and run it again.
+                // the surviving members and run it again.
                 if (recovery_started_at < 0) {
                   recovery_started_at = sim.now();
                 }
                 recoveries_counter.Increment();
                 ++report.recoveries;
                 std::vector<int> survivors;
-                for (int node = 0; node < config.num_nodes; ++node) {
+                for (const int node : current_members) {
                   if (!engine.node_failed(node)) {
                     survivors.push_back(node);
                   }
@@ -623,6 +1005,22 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
                    StrFormat("recovery (%zu node(s) failed)",
                              engine.failed_nodes().size()),
                    recovery_started_at, end);
+      }
+    }
+    // Model-state step: every member that survived this iteration applies
+    // the same (seed, iteration)-derived delta, so live replicas stay
+    // bit-identical and a resynced joiner lands on the churn-free sum.
+    // Ordinals start at kStateFloats to stay disjoint from the init draws.
+    invalidate_crashed(end);
+    for (const int node : current_members) {
+      if (!state_valid[node] || engine.node_failed(node)) {
+        continue;
+      }
+      for (size_t j = 0; j < kStateFloats; ++j) {
+        const uint64_t ordinal =
+            static_cast<uint64_t>(iteration + 1) * kStateFloats + j;
+        model_state[node][j] += static_cast<float>(
+            FaultUniform(state_seed, ordinal) - 0.5);
       }
     }
     // Critical-path attribution of this iteration's window, over every
@@ -764,6 +1162,53 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
   if (report.degraded) {
     // Only the survivors still contribute samples.
     report.total_gpus = report.surviving_nodes * config.gpus_per_node;
+  }
+  // Quiesce the membership view: crashes detected during the final
+  // iteration become evictions so the report's view matches the epoch log.
+  invalidate_crashed(sim.now());
+  for (const int node : engine.failed_nodes()) {
+    if (membership.is_member(node) && membership.size() > 1) {
+      membership.Remove(node, MembershipChange::kCrash, sim.now());
+    }
+  }
+  mreport.final_epoch = membership.epoch();
+  mreport.final_members = membership.members();
+  mreport.joins = membership.joins();
+  mreport.leaves = membership.leaves();
+  mreport.crashes = membership.crashes();
+  mreport.rejoins = membership.rejoins();
+  mreport.rejoined_contributions = rejoined_contrib_counter.value();
+  mreport.event_log = membership.LogString();
+  // The chaos-soak gate: every final member holds valid model state,
+  // bit-identical across members, fingerprinted for cross-run comparison.
+  mreport.state_consistent = !mreport.final_members.empty();
+  const std::vector<float>& canon = model_state[mreport.final_members[0]];
+  for (const int node : mreport.final_members) {
+    if (!state_valid[node] ||
+        std::memcmp(model_state[node].data(), canon.data(), kStateBytes) !=
+            0) {
+      mreport.state_consistent = false;
+      break;
+    }
+  }
+  uint64_t fingerprint = 14695981039346656037ULL;  // FNV-1a offset basis
+  const uint8_t* canon_bytes =
+      reinterpret_cast<const uint8_t*>(canon.data());
+  for (size_t b = 0; b < kStateBytes; ++b) {
+    fingerprint ^= canon_bytes[b];
+    fingerprint *= 1099511628211ULL;
+  }
+  mreport.model_fingerprint = fingerprint;
+  metrics->gauge("membership.state_consistent")
+      .Set(mreport.state_consistent ? 1.0 : 0.0);
+  metrics->gauge("membership.final_members")
+      .Set(static_cast<double>(mreport.final_members.size()));
+  report.membership = mreport;
+  if (membership_active) {
+    // Joins/leaves make crash-count arithmetic wrong; the view is the
+    // authority on who still contributes samples.
+    report.surviving_nodes = membership.size();
+    report.total_gpus = membership.size() * config.gpus_per_node;
   }
   const double iter_seconds = ToSeconds(measured_iter_time);
   if (iter_seconds > 0) {

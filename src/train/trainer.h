@@ -58,6 +58,37 @@ struct TrainOptions {
   AdaptiveOptions adaptive;
 };
 
+// Elastic-membership summary (docs/FAULT_TOLERANCE.md): the epoch-numbered
+// transition history, donor re-sync accounting, and the post-quiesce model
+// state check the chaos-soak gate relies on. `enabled` is set when the
+// fault schedule carries membership events or standby nodes.
+struct MembershipReport {
+  bool enabled = false;
+  uint64_t final_epoch = 0;
+  std::vector<int> final_members;
+  uint64_t joins = 0;
+  uint64_t leaves = 0;
+  uint64_t crashes = 0;
+  uint64_t rejoins = 0;
+  // Donor state transfers (joins + rejoins) over the pooled wire path.
+  uint64_t resyncs = 0;
+  uint64_t resync_bytes = 0;
+  // Total simulated time spent in drain + re-sync windows.
+  SimTime resync_time = 0;
+  // Node-iterations computed by nodes that crashed and later rejoined —
+  // nonzero proves a rejoined node contributed to training again.
+  uint64_t rejoined_contributions = 0;
+  // MembershipManager::LogString(): one line per transition, reproduced
+  // byte-for-byte by a replay with the same fault schedule.
+  std::string event_log;
+  // FNV-1a over the lowest-id final member's model state. Bit-identical to
+  // the churn-free run with the same seed and iteration count once every
+  // transition has quiesced.
+  uint64_t model_fingerprint = 0;
+  // All final members hold bit-identical, valid model state.
+  bool state_consistent = false;
+};
+
 struct TrainReport {
   SimTime iteration_time = 0;
   SimTime compute_time = 0;  // single-GPU forward+backward
@@ -96,6 +127,9 @@ struct TrainReport {
   // One StepRecord per BSP iteration (including warm-up), ready for
   // WriteStepReport (`train_cluster --step-report`). Empty under SSP.
   std::vector<StepRecord> steps;
+  // Elastic-membership lifecycle summary; also exported as the
+  // "membership.*" metrics family.
+  MembershipReport membership;
   // Adaptive-controller summary (enabled == false when the run was fixed):
   // one decision per iteration, replan/switch counts, and the
   // deterministic decision log replays must reproduce byte-for-byte.

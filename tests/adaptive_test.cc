@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -218,6 +219,48 @@ TEST(AdaptiveControllerTest, HysteresisAbsorbsANoisyBoundary) {
   }
   EXPECT_EQ(controller.codec_switches(), 1) << controller.DecisionLog();
   EXPECT_EQ(controller.replans(), 1) << controller.DecisionLog();
+}
+
+TEST(AdaptiveControllerTest, CrashDuringCooldownReplansOverNewMembership) {
+  const SyncConfig config = AdaptiveConfig();  // 8 nodes
+  AdaptiveOptions options;
+  AdaptiveController controller(config, options, UnitBytes(),
+                                Ladder(config));
+  CostModelAuditor auditor;
+
+  // Trigger a decision so the cooldown window is open, and confirm the
+  // active plan was built over the full 8-node view.
+  for (int i = 0; i < 2; ++i) {
+    FeedSends(&auditor, kNominalGbps / 2.0, 6);
+    controller.Observe(i, MakeAttribution(0.6), auditor);
+  }
+  ASSERT_EQ(controller.replans(), 1);
+  int widest = 0;
+  for (const GradientSync& plan : controller.plans()) {
+    widest = std::max(widest, plan.partitions);
+  }
+  ASSERT_GT(widest, 2 * 3) << "test premise: 8-node plans exceed the "
+                              "6-partition cap of a 3-node view";
+
+  // A crash eviction shrinks the view to 3 mid-cooldown. The plans must be
+  // repriced immediately over the new membership (2N partition cap).
+  ASSERT_TRUE(controller.OnMembershipChange(3));
+  for (const GradientSync& plan : controller.plans()) {
+    EXPECT_LE(plan.partitions, 2 * 3);
+  }
+
+  // The cooldown keeps running — the next boundary refuses a performance
+  // decision and, crucially, does NOT reinstall the stale 8-node plan.
+  FeedSends(&auditor, kNominalGbps / 4.0, 6);
+  const AdaptiveDecision decision =
+      controller.Observe(2, MakeAttribution(0.6), auditor);
+  EXPECT_FALSE(decision.replanned);
+  EXPECT_EQ(decision.reason, "cooldown");
+  for (const GradientSync& plan : controller.plans()) {
+    EXPECT_LE(plan.partitions, 2 * 3);
+  }
+  // Same-size notifications are no-ops.
+  EXPECT_FALSE(controller.OnMembershipChange(3));
 }
 
 TEST(AdaptiveControllerTest, RelaxesWhenBandwidthRecovers) {

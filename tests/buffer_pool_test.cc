@@ -79,6 +79,38 @@ TEST(BufferPoolTest, TrimDropsCachedBlocks) {
   EXPECT_EQ(pool.stats().misses, misses_before + 1);
 }
 
+TEST(BufferPoolTest, WatermarkTrimReleasesLargestBucketsFirst) {
+  BufferPool pool;
+  pool.Release(pool.Acquire(256));
+  pool.Release(pool.Acquire(1024));
+  pool.Release(pool.Acquire(64 << 10));
+  ASSERT_EQ(pool.stats().free_bytes, 256u + 1024u + (64u << 10));
+
+  // Trim down to a watermark that only the two small buckets fit under:
+  // the peak-size 64 KiB block goes, the warm small blocks stay.
+  const size_t released = pool.Trim(/*keep_free_bytes=*/2048);
+  EXPECT_EQ(released, 64u << 10);
+  EXPECT_EQ(pool.stats().free_bytes, 256u + 1024u);
+  EXPECT_EQ(pool.stats().free_blocks, 2u);
+  EXPECT_EQ(pool.stats().trims, 1u);
+  EXPECT_EQ(pool.stats().trimmed_bytes, 64u << 10);
+
+  // The surviving blocks still serve hits.
+  const uint64_t hits_before = pool.stats().hits;
+  pool.Release(pool.Acquire(256));
+  EXPECT_EQ(pool.stats().hits, hits_before + 1);
+
+  // A trim already under the watermark is a no-op and not counted.
+  EXPECT_EQ(pool.Trim(/*keep_free_bytes=*/4096), 0u);
+  EXPECT_EQ(pool.stats().trims, 1u);
+
+  // Trim() without a watermark keeps the historical drop-everything
+  // behavior.
+  EXPECT_EQ(pool.Trim(), 256u + 1024u);
+  EXPECT_EQ(pool.stats().free_bytes, 0u);
+  EXPECT_EQ(pool.stats().trims, 2u);
+}
+
 TEST(BufferPoolTest, PublishesMetricsWhenRegistryWired) {
   MetricsRegistry registry;
   BufferPool pool(&registry);

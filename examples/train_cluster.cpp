@@ -7,6 +7,8 @@
 //                 [--faults SPEC] [--chaos SEED[:EVENTS]]
 //                 [--step-report steps.jsonl]
 //                 [--iterations N] [--adaptive] [--adaptive-codecs a,b]
+//                 [--topology flat|fattree[:RATIO[:HOSTS]]]
+//                 [--jobs K] [--placement striped|packed]
 //
 // --compare runs all systems side by side (a miniature Figure 7/8 panel).
 // --step-report writes one JSON object per iteration with the critical-path
@@ -26,6 +28,13 @@
 // (docs/ADAPTIVE.md); --adaptive-codecs adds candidate codec-ladder rungs
 // beyond the configured algorithm, e.g. --adaptive-codecs onebit,tbq.
 // Pair with --faults "degrade=..." to watch the controller re-plan.
+// --topology selects the network model (docs/TOPOLOGY.md):
+//   --topology fattree:3        NIC->ToR->spine, 3:1 oversubscribed
+//   --topology fattree:3:8      same, 8 hosts per rack (default 16)
+// --jobs K splits the cluster into K concurrent training jobs sharing one
+// simulated fabric (docs/TOPOLOGY.md); --placement picks node striping
+// across racks (default, adversarial) or packed per-rack blocks. Faults
+// are single-job only and are rejected when --jobs > 1.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +46,8 @@
 #include "src/common/string_util.h"
 #include "src/casync/workflow.h"
 #include "src/net/fault.h"
+#include "src/net/topology.h"
+#include "src/train/cluster_job.h"
 #include "src/train/trace.h"
 
 using namespace hipress;
@@ -63,6 +74,9 @@ struct Args {
   int chaos_events = 6;
   bool adaptive = false;
   std::string adaptive_codecs;  // comma-separated extra ladder rungs
+  std::string topology;         // flat | fattree[:RATIO[:HOSTS]]
+  int jobs = 1;                 // --jobs K: concurrent jobs on one fabric
+  std::string placement = "striped";
 };
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -111,12 +125,49 @@ bool Parse(int argc, char** argv, Args* args) {
       args->adaptive = true;
     } else if (flag == "--adaptive-codecs") {
       args->adaptive_codecs = next();
+    } else if (flag == "--topology") {
+      args->topology = next();
+    } else if (flag == "--jobs") {
+      args->jobs = std::atoi(next());
+    } else if (flag == "--placement") {
+      args->placement = next();
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
     }
   }
   return true;
+}
+
+bool ApplyTopology(const std::string& spec, NetworkConfig* net) {
+  if (spec == "flat") {
+    net->topology.kind = TopologyKind::kFlat;
+    return true;
+  }
+  if (spec.rfind("fattree", 0) != 0) {
+    return false;
+  }
+  net->topology.kind = TopologyKind::kFatTree;
+  size_t colon = spec.find(':');
+  if (colon != std::string::npos) {
+    net->topology.oversubscription = std::atof(spec.c_str() + colon + 1);
+    colon = spec.find(':', colon + 1);
+    if (colon != std::string::npos) {
+      net->topology.hosts_per_tor = std::atoi(spec.c_str() + colon + 1);
+    }
+  }
+  return net->topology.oversubscription >= 1.0 &&
+         net->topology.hosts_per_tor >= 1;
+}
+
+void PrintSchedulerHealth(MetricsRegistry& metrics) {
+  std::printf(
+      "  scheduler: %.0f events, %.2fM events/s, peak depth %.0f, "
+      "%.0f pool miss(es)\n",
+      metrics.gauge("sim.events_processed").value(),
+      metrics.gauge("sim.events_per_wall_second").value() / 1e6,
+      metrics.gauge("sim.queue_peak_depth").value(),
+      metrics.gauge("sim.sched_pool_misses").value());
 }
 
 void PrintReport(const std::string& system, const TrainReport& report,
@@ -155,6 +206,13 @@ int main(int argc, char** argv) {
                             : ClusterSpec::Ec2(args.nodes);
   if (args.gbps > 0) {
     cluster.net.link_bandwidth = Bandwidth::Gbps(args.gbps);
+  }
+  if (!args.topology.empty() && !ApplyTopology(args.topology, &cluster.net)) {
+    std::fprintf(stderr,
+                 "--topology: expected flat or fattree[:RATIO[:HOSTS]] with "
+                 "RATIO >= 1, got '%s'\n",
+                 args.topology.c_str());
+    return 2;
   }
   if (!args.faults.empty()) {
     auto faults = ParseFaultSpec(args.faults);
@@ -204,10 +262,16 @@ int main(int argc, char** argv) {
               profile->num_gradients(),
               HumanBytes(profile->total_bytes()).c_str(),
               profile->batch_per_gpu, profile->sample_unit.c_str());
-  std::printf("cluster: %d nodes x %d GPUs (%s), %.0f Gbps\n", args.nodes,
+  std::printf("cluster: %d nodes x %d GPUs (%s), %.0f Gbps", args.nodes,
               cluster.gpus_per_node,
               cluster.platform == GpuPlatform::kV100 ? "V100" : "1080Ti",
               cluster.net.link_bandwidth.bits_per_second / 1e9);
+  if (cluster.net.topology.kind == TopologyKind::kFatTree) {
+    std::printf(", fat tree %.1f:1 (%d hosts/rack)",
+                cluster.net.topology.oversubscription,
+                cluster.net.topology.hosts_per_tor);
+  }
+  std::printf("\n");
   if (!args.compare) {
     if (auto config = MakeSystemConfig(args.system, cluster, args.algorithm);
         config.ok()) {
@@ -215,6 +279,62 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\n");
+
+  if (args.jobs > 1) {
+    if (args.compare) {
+      std::fprintf(stderr, "--jobs and --compare are mutually exclusive\n");
+      return 2;
+    }
+    ClusterJobsOptions copts;
+    copts.cluster = cluster;
+    copts.placement = args.placement == "packed" ? JobPlacement::kPacked
+                                                 : JobPlacement::kStriped;
+    for (int k = 0; k < args.jobs; ++k) {
+      ClusterJobSpec spec;
+      spec.model = args.model;
+      spec.system = args.system;
+      spec.algorithm = args.algorithm;
+      spec.codec_params = params;
+      if (args.iterations > 0) {
+        spec.iterations = args.iterations;
+      }
+      if (args.adaptive) {
+        spec.adaptive.enabled = true;
+        for (const std::string& name : Split(args.adaptive_codecs, ',')) {
+          if (!name.empty()) {
+            spec.adaptive.candidate_algorithms.push_back(name);
+          }
+        }
+      }
+      copts.jobs.push_back(spec);
+    }
+    auto run = RunClusterJobs(copts);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%d jobs (%s placement), %d nodes each:\n", args.jobs,
+                args.placement.c_str(),
+                args.nodes / args.jobs);
+    for (const ClusterJobReport& job : run->jobs) {
+      std::printf(
+          "%-8s %10.0f %s/s   iter %7.2f ms   send share %4.1f%%\n",
+          job.name.c_str(), job.throughput, profile->sample_unit.c_str(),
+          ToMillis(job.iteration_time), job.send_share * 100.0);
+      if (job.adaptive.enabled) {
+        std::printf("  adaptive: %d replan(s), %d codec switch(es), "
+                    "final %s\n",
+                    job.adaptive.replans, job.adaptive.codec_switches,
+                    job.adaptive.final_algorithm.c_str());
+      }
+    }
+    std::printf("sim: %.2f ms simulated in %.0f ms wall, fingerprint "
+                "%016llx\n",
+                ToMillis(run->sim_time), run->wall_seconds * 1e3,
+                static_cast<unsigned long long>(run->replay_fingerprint));
+    PrintSchedulerHealth(*run->metrics);
+    return 0;
+  }
 
   auto run_one = [&](const std::string& system) {
     HiPressOptions options;
@@ -247,6 +367,9 @@ int main(int argc, char** argv) {
     }
     PrintReport(system, result->report, *profile);
     const TrainReport& report = result->report;
+    if (!args.compare) {
+      PrintSchedulerHealth(*report.metrics);
+    }
     if (args.adaptive && report.adaptive.enabled) {
       std::printf("  adaptive: %d replan(s), %d codec switch(es), final %s\n",
                   report.adaptive.replans, report.adaptive.codec_switches,

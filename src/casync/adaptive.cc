@@ -20,7 +20,9 @@ AdaptiveController::AdaptiveController(
          "compression with SeCoPa enabled";
   CHECK(!codecs_.empty()) << "need at least the configured codec";
   CHECK(!unit_bytes_.empty()) << "nothing to plan";
-  nominal_bps_ = config_.net.link_bandwidth.bytes_per_second();
+  // Price against the real path: under an oversubscribed fat tree the
+  // fair-share fabric bandwidth, not the NIC rate, bounds steady traffic.
+  nominal_bps_ = config_.net.effective_bandwidth().bytes_per_second();
   estimate_bps_ = nominal_bps_;
   // The initial plan is exactly the fixed plan: rung 0 priced at the
   // configured link bandwidth.

@@ -35,8 +35,8 @@ CaSyncEngine::CaSyncEngine(Simulator* sim, Network* net,
   auditor_.SetPrediction(CostPrimitive::kMerge, merge_cost_);
   auditor_.SetPrediction(
       CostPrimitive::kSend,
-      KernelCost{config_.net.latency + config_.net.per_message_overhead,
-                 config_.net.link_bandwidth.bytes_per_second()});
+      KernelCost{config_.net.path_latency() + config_.net.per_message_overhead,
+                 config_.net.effective_bandwidth().bytes_per_second()});
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<MetricsRegistry>();
     metrics = owned_metrics_.get();

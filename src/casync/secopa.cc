@@ -17,7 +17,11 @@ SeCoPaPlanner::SeCoPaPlanner(const SyncConfig& config, double rate,
 
 SeCoPaPlanner SeCoPaPlanner::WithBandwidth(Bandwidth bandwidth) const {
   SyncConfig config = config_;
+  // `bandwidth` is a measured end-to-end rate, so it already folds in any
+  // fabric oversubscription; neutralize the topology discount to avoid
+  // double-counting it.
   config.net.link_bandwidth = bandwidth;
+  config.net.topology.oversubscription = 1.0;
   return SeCoPaPlanner(config, rate_, codec_);
 }
 
@@ -71,9 +75,9 @@ double SeCoPaPlanner::Gamma() const {
 
 SimTime SeCoPaPlanner::SendTime(double bytes) const {
   return static_cast<SimTime>(
-             bytes / config_.net.link_bandwidth.bytes_per_second() *
+             bytes / config_.net.effective_bandwidth().bytes_per_second() *
              static_cast<double>(kSecond)) +
-         config_.net.latency + config_.net.per_message_overhead;
+         config_.net.path_latency() + config_.net.per_message_overhead;
 }
 
 SimTime SeCoPaPlanner::SyncCostPlain(uint64_t bytes, int partitions) const {

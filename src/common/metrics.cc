@@ -338,6 +338,10 @@ const char* TraceLaneName(int lane) {
       return "adaptive";
     case kTraceLaneMembership:
       return "membership";
+    case kTraceLaneNetFabric:
+      return "net:fabric";
+    case kTraceLaneLinkBusy:
+      return "net:busy";
     default:
       return "lane";
   }

@@ -170,6 +170,14 @@ inline constexpr int kTraceLaneAdaptive = 17;
 // planned leaves, donor re-sync transfers for joins/rejoins, and crash
 // evictions, one span per epoch change (docs/FAULT_TOLERANCE.md).
 inline constexpr int kTraceLaneMembership = 18;
+// Fat-tree fabric hops (src/net/topology.h): ToR uplink/downlink segments
+// of a cross-rack route, charged to the sending/receiving node's track
+// (docs/TOPOLOGY.md).
+inline constexpr int kTraceLaneNetFabric = 19;
+// Per-iteration endpoint busy summaries from the trainer: one "tx busy" and
+// one "rx busy" span over the measured window, so transmit- and
+// receive-side serialization load chart side by side.
+inline constexpr int kTraceLaneLinkBusy = 20;
 
 // Human-readable row name for a lane ("net:uplink", "coordinator", ...);
 // lanes 0..9 are resolved by the exporter against GpuTaskKindName.

@@ -6,6 +6,23 @@
 #include "src/common/string_util.h"
 
 namespace hipress {
+namespace {
+
+// Per-message jitter stream id: a hash of the flow identity (src, dst, tag)
+// and a per-sender sequence number. Mixing the flow identity in keeps
+// concurrent jobs on disjoint senders drawing independent streams — one
+// job's traffic cannot shift another's jitter draws.
+uint64_t JitterOrdinal(int src, int dst, uint64_t tag, uint64_t seq) {
+  auto mix = [](uint64_t h, uint64_t v) {
+    return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  };
+  uint64_t h = mix(static_cast<uint64_t>(src) + 1,
+                   static_cast<uint64_t>(dst) + 1);
+  h = mix(h, tag);
+  return mix(h, seq);
+}
+
+}  // namespace
 
 Network::Network(Simulator* sim, int num_nodes, NetworkConfig config,
                  MetricsRegistry* metrics, SpanCollector* spans)
@@ -13,15 +30,17 @@ Network::Network(Simulator* sim, int num_nodes, NetworkConfig config,
       num_nodes_(num_nodes),
       config_(config),
       spans_(spans),
+      topology_(MakeTopology(config.topology, num_nodes, config.latency)),
       wire_pool_(metrics, "net") {
   CHECK_GT(num_nodes, 0);
   // std::max keeps GCC's range analysis from flagging the vector fill.
   const auto nodes = static_cast<size_t>(std::max(num_nodes, 1));
-  uplink_free_.assign(nodes, 0);
-  downlink_free_.assign(nodes, 0);
-  uplink_busy_.assign(nodes, 0);
+  const auto links = static_cast<size_t>(std::max(topology_->num_links(), 1));
+  link_free_.assign(links, 0);
+  link_busy_.assign(links, 0);
   tx_bytes_.assign(nodes, 0);
   rx_bytes_.assign(nodes, 0);
+  jitter_seq_.assign(nodes, 0);
   if (metrics != nullptr) {
     messages_sent_metric_ = &metrics->counter("net.messages_sent");
     messages_delivered_metric_ = &metrics->counter("net.messages_delivered");
@@ -36,7 +55,32 @@ Network::Network(Simulator* sim, int num_nodes, NetworkConfig config,
 }
 
 SimTime Network::EarliestStart(int src, int dst) const {
-  return std::max({sim_->now(), uplink_free_[src], downlink_free_[dst]});
+  Route route;
+  topology_->FillRoute(src, dst, &route);
+  SimTime earliest = sim_->now();
+  for (int i = 0; i < route.hops; ++i) {
+    earliest = std::max(earliest, link_free_[route.link[i]]);
+  }
+  return earliest;
+}
+
+SimTime Network::UncontendedSendTime(uint64_t bytes) const {
+  SimTime serialize = TransferTime(bytes);
+  if (config_.topology.kind == TopologyKind::kFatTree &&
+      topology_->num_tors() > 1) {
+    // Worst-case (cross-rack) route: cut-through forwarding bounds the
+    // transfer by the slowest tier, and the fabric adds two hops.
+    const double fabric_scale =
+        config_.topology.oversubscription /
+        static_cast<double>(std::max(1, config_.topology.hosts_per_tor));
+    if (fabric_scale > 1.0) {
+      serialize = std::max(
+          serialize, static_cast<SimTime>(static_cast<double>(serialize) *
+                                          fabric_scale));
+    }
+    return serialize + config_.path_latency() + config_.per_message_overhead;
+  }
+  return serialize + config_.latency + config_.per_message_overhead;
 }
 
 void Network::Send(NetMessage message,
@@ -60,8 +104,11 @@ void Network::Send(NetMessage message,
   SimTime serialize = TransferTime(message.bytes);
   if (config_.bandwidth_jitter > 0.0) {
     // Deterministic, order-independent slowdown factor in [1, 1 + jitter]
-    // hashed from the message counter.
-    const double uniform = FaultUniform(config_.jitter_seed, messages_sent_);
+    // hashed from the flow identity and a per-sender sequence number.
+    const uint64_t ordinal =
+        JitterOrdinal(message.src, message.dst, message.tag,
+                      jitter_seq_[message.src]++);
+    const double uniform = FaultUniform(config_.jitter_seed, ordinal);
     serialize = static_cast<SimTime>(
         static_cast<double>(serialize) *
         (1.0 + config_.bandwidth_jitter * uniform));
@@ -76,42 +123,55 @@ void Network::Send(NetMessage message,
       degraded_metric_->Increment();
     }
   }
-  // Seeded per-message loss: the message still burns uplink/downlink time
-  // (the bits were transmitted) but is never delivered.
+  // Seeded per-message loss: the message still burns link time (the bits
+  // were transmitted) but is never delivered.
   const bool lost =
       config_.faults.drop_prob > 0.0 &&
       FaultUniform(config_.faults.seed, messages_sent_) <
           config_.faults.drop_prob;
   ++messages_sent_;
-  // Uplink and downlink serialize independently: a congested receiver must
-  // not block the sender's uplink for unrelated flows. Delivery is
-  // cut-through — when the downlink is idle the last bit arrives one
-  // propagation latency after it left the sender.
-  const SimTime up_start = std::max(sim_->now(), uplink_free_[message.src]) +
-                           config_.per_message_overhead;
-  const SimTime up_done = up_start + serialize;
-  uplink_free_[message.src] = up_done;
-  uplink_busy_[message.src] += serialize;
+  // Every link of the route serializes independently and forwards
+  // cut-through: segment i may begin once its link is free and the first
+  // bit has arrived (previous segment's start plus one hop latency), and
+  // finishes no earlier than the previous segment's last bit plus the hop
+  // latency. On a flat route this reduces to the original two-endpoint
+  // model: a congested receiver never blocks the sender's uplink, and an
+  // idle path delivers one propagation latency after the uplink finishes.
+  Route route;
+  topology_->FillRoute(message.src, message.dst, &route);
+  SimTime start[Route::kMaxHops];
+  SimTime done[Route::kMaxHops];
+  start[0] = std::max(sim_->now(), link_free_[route.link[0]]) +
+             config_.per_message_overhead;
+  done[0] = start[0] + serialize;
+  link_free_[route.link[0]] = done[0];
+  link_busy_[route.link[0]] += serialize;
+  // Queueing delay beyond the unavoidable overhead + propagation: uplink
+  // backlog plus any wait past the arrival of the first bit downstream.
+  SimTime queue_wait = start[0] - config_.per_message_overhead - sim_->now();
+  for (int i = 1; i < route.hops; ++i) {
+    const double scale = route.serialize_scale[i];
+    const SimTime hop_serialize =
+        scale == 1.0 ? serialize
+                     : static_cast<SimTime>(static_cast<double>(serialize) *
+                                            scale);
+    const SimTime first_bit = start[i - 1] + route.hop_latency[i];
+    start[i] = std::max(first_bit, link_free_[route.link[i]]);
+    done[i] = std::max(start[i] + hop_serialize,
+                       done[i - 1] + route.hop_latency[i]);
+    link_free_[route.link[i]] = done[i];
+    link_busy_[route.link[i]] += hop_serialize;
+    queue_wait += start[i] - first_bit;
+  }
+  const SimTime deliver_at = done[route.hops - 1];
   tx_bytes_[message.src] += message.bytes;
   rx_bytes_[message.dst] += message.bytes;
-
-  const SimTime down_start =
-      std::max(up_start + config_.latency, downlink_free_[message.dst]);
-  const SimTime deliver_at = down_start + serialize;
-  downlink_free_[message.dst] = deliver_at;
 
   if (messages_sent_metric_ != nullptr) {
     messages_sent_metric_->Increment();
     tx_bytes_metric_->Increment(message.bytes);
     transfer_bytes_->Observe(static_cast<double>(message.bytes));
-    // Queueing delay: time the message waited for its endpoints beyond the
-    // unavoidable overhead + propagation — uplink backlog plus any extra
-    // downlink backlog past the arrival of the first bit.
-    const SimTime uplink_wait =
-        up_start - config_.per_message_overhead - sim_->now();
-    const SimTime downlink_wait = down_start - (up_start + config_.latency);
-    queue_delay_us_->Observe(static_cast<double>(uplink_wait + downlink_wait) /
-                             kMicrosecond);
+    queue_delay_us_->Observe(static_cast<double>(queue_wait) / kMicrosecond);
   }
   // The crash schedule is static, so delivery to a node that will be dead
   // at arrival time is decidable now: the bits are sent but never received.
@@ -121,11 +181,17 @@ void Network::Send(NetMessage message,
         "%s %d->%d", HumanBytes(message.bytes).c_str(), message.src,
         message.dst);
     spans_->Add(message.src, kTraceLaneNetUplink,
-                (lost || blackholed ? "tx(lost) " : "tx ") + label, up_start,
-                up_done);
+                (lost || blackholed ? "tx(lost) " : "tx ") + label, start[0],
+                done[0]);
     if (!lost && !blackholed) {
+      if (route.hops == 4) {
+        spans_->Add(message.src, kTraceLaneNetFabric, "tor-up " + label,
+                    start[1], done[1]);
+        spans_->Add(message.dst, kTraceLaneNetFabric, "tor-down " + label,
+                    start[2], done[2]);
+      }
       spans_->Add(message.dst, kTraceLaneNetDownlink, "rx " + label,
-                  down_start, deliver_at);
+                  start[route.hops - 1], deliver_at);
     }
   }
   if (lost || blackholed) {

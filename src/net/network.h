@@ -1,12 +1,15 @@
 // Simulated cluster network.
 //
-// Models N homogeneous nodes joined by full-duplex links of configurable
-// bandwidth and latency (the paper's settings: 100/56/25/10 Gbps). Each node
-// has one uplink and one downlink, each FIFO-serialized; a transfer occupies
-// the sender's uplink and the receiver's downlink for bytes/bandwidth and is
-// delivered one propagation latency later. This captures the first-order
-// properties HiPress depends on: per-link serialization, bidirectional
-// bandwidth, and contention when multiple transfers share an endpoint.
+// Models N homogeneous nodes joined through a configurable interconnect
+// Topology (src/net/topology.h). The default FlatTopology reproduces the
+// original model — full-duplex per-node links at the paper's settings
+// (100/56/25/10 Gbps), every pair one propagation latency apart — while
+// FatTreeTopology routes cross-rack traffic over shared, possibly
+// oversubscribed ToR/spine links. Every directed link a route crosses is
+// FIFO-serialized independently and forwards cut-through, so the model
+// captures per-link serialization, bidirectional bandwidth, endpoint
+// contention, and — under a fat tree — cross-job contention on the shared
+// fabric (docs/TOPOLOGY.md).
 #ifndef HIPRESS_SRC_NET_NETWORK_H_
 #define HIPRESS_SRC_NET_NETWORK_H_
 
@@ -22,6 +25,7 @@
 #include "src/common/metrics.h"
 #include "src/common/units.h"
 #include "src/net/fault.h"
+#include "src/net/topology.h"
 #include "src/sim/simulator.h"
 
 namespace hipress {
@@ -31,15 +35,39 @@ struct NetworkConfig {
   SimTime latency = FromMicros(5.0);
   // Fixed per-message software overhead (RPC framing, RDMA post, etc.).
   SimTime per_message_overhead = FromMicros(2.0);
+  // Interconnect shape; defaults to the flat full-duplex model.
+  TopologyConfig topology;
   // Deterministic per-transfer bandwidth jitter in [0, 1): each message's
   // serialization time is scaled by a factor in [1, 1 + jitter], drawn from
-  // a hash of the message counter. Models the interference the paper's
-  // cost-model future work worries about; 0 disables.
+  // a hash of (src, dst, tag) and a per-sender sequence number — so
+  // concurrent jobs on disjoint nodes draw independent jitter streams.
+  // Models the interference the paper's cost-model future work worries
+  // about; 0 disables.
   double bandwidth_jitter = 0.0;
   uint64_t jitter_seed = 0x71773;
   // Deterministic fault injection (drops, degradation windows, crashes);
   // defaults to a perfect network. See src/net/fault.h.
   FaultConfig faults;
+
+  // Planning-time view of the configured topology, used by SeCoPa and the
+  // cost models so compression decisions price against the real path:
+  // end-to-end propagation of a worst-case (cross-rack) route, and the
+  // fair-share per-flow bandwidth once the oversubscribed tier is split
+  // among its rack's hosts. Both collapse to the flat values under kFlat.
+  SimTime path_latency() const {
+    if (topology.kind == TopologyKind::kFatTree) {
+      return latency + 2 * topology.tor_hop_latency;
+    }
+    return latency;
+  }
+  Bandwidth effective_bandwidth() const {
+    if (topology.kind == TopologyKind::kFatTree &&
+        topology.oversubscription > 1.0) {
+      return Bandwidth{link_bandwidth.bits_per_second /
+                       topology.oversubscription};
+    }
+    return link_bandwidth;
+  }
 };
 
 // A message in flight. The payload pointer is opaque to the network and may
@@ -75,8 +103,8 @@ class Network {
   // `metrics` (optional) receives transfer counts/bytes and the endpoint
   // queueing-delay histogram ("net.messages_sent", "net.tx_bytes",
   // "net.queue_delay_us"); `spans` (optional) receives one uplink span on
-  // the sender's track and one downlink span on the receiver's per message,
-  // for the merged Perfetto trace.
+  // the sender's track and one downlink span on the receiver's per message
+  // (plus fabric spans for cross-rack hops), for the merged Perfetto trace.
   Network(Simulator* sim, int num_nodes, NetworkConfig config,
           MetricsRegistry* metrics = nullptr, SpanCollector* spans = nullptr);
 
@@ -96,21 +124,24 @@ class Network {
   bool alive(int node) const { return AliveAt(node, sim_->now()); }
 
   // Earliest time a new transfer from src to dst could start serializing,
-  // given current backlog on the two link endpoints.
+  // given the current backlog on every link of its route.
   SimTime EarliestStart(int src, int dst) const;
 
-  // Pure serialization time of `bytes` on one link (no latency/overhead).
+  // Pure serialization time of `bytes` on one NIC link (no latency or
+  // overhead).
   SimTime TransferTime(uint64_t bytes) const {
     return config_.link_bandwidth.TransferTime(bytes);
   }
 
-  // Modelled end-to-end time for an uncontended `bytes` transfer.
-  SimTime UncontendedSendTime(uint64_t bytes) const {
-    return TransferTime(bytes) + config_.latency + config_.per_message_overhead;
-  }
+  // Modelled end-to-end time for an uncontended `bytes` transfer over the
+  // topology's worst-case route: cut-through serialization bounded by the
+  // slowest link tier, plus propagation across every hop and the fixed
+  // overhead. Identical to the original flat formula under FlatTopology.
+  SimTime UncontendedSendTime(uint64_t bytes) const;
 
   int num_nodes() const { return num_nodes_; }
   const NetworkConfig& config() const { return config_; }
+  const Topology& topology() const { return *topology_; }
 
   // Pool backing wire-path payloads (batch frames, retransmit blocks,
   // staging copies). Owned by the network so wire allocations are gated
@@ -122,7 +153,16 @@ class Network {
 
   uint64_t tx_bytes(int node) const { return tx_bytes_[node]; }
   uint64_t rx_bytes(int node) const { return rx_bytes_[node]; }
-  SimTime uplink_busy(int node) const { return uplink_busy_[node]; }
+  // Cumulative serialization time charged to a node's NIC uplink/downlink —
+  // the transmit and receive sides of endpoint contention.
+  SimTime uplink_busy(int node) const { return link_busy_[node]; }
+  SimTime downlink_busy(int node) const {
+    return link_busy_[num_nodes_ + node];
+  }
+  // Cumulative serialization on a ToR fabric link (0 when flat or idle).
+  SimTime tor_uplink_busy(int tor) const {
+    return link_busy_[2 * num_nodes_ + tor];
+  }
   uint64_t messages_delivered() const { return messages_delivered_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
 
@@ -131,6 +171,7 @@ class Network {
   int num_nodes_;
   NetworkConfig config_;
   SpanCollector* spans_ = nullptr;
+  std::unique_ptr<Topology> topology_;
   BufferPool wire_pool_;
   // Cached metric handles; all null when no registry is wired.
   Counter* messages_sent_metric_ = nullptr;
@@ -142,12 +183,15 @@ class Network {
   Histogram* queue_delay_us_ = nullptr;
   Histogram* transfer_bytes_ = nullptr;
 
-  // free_at per uplink / downlink endpoint.
-  std::vector<SimTime> uplink_free_;
-  std::vector<SimTime> downlink_free_;
-  std::vector<SimTime> uplink_busy_;
+  // Per directed link (uplinks, downlinks, then ToR fabric links): time the
+  // link is serialized through, and cumulative busy time.
+  std::vector<SimTime> link_free_;
+  std::vector<SimTime> link_busy_;
   std::vector<uint64_t> tx_bytes_;
   std::vector<uint64_t> rx_bytes_;
+  // Per-sender jitter sequence; keeps jitter draws independent across
+  // disjoint sender sets (multi-job determinism).
+  std::vector<uint64_t> jitter_seq_;
   uint64_t messages_delivered_ = 0;
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;

@@ -409,6 +409,17 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
     metrics->gauge("train.iteration_ms_last")
         .Set(ToMillis(report.iteration_time));
     metrics->gauge("train.compute_ms").Set(ToMillis(report.compute_time));
+    // Scheduler health (docs/TOPOLOGY.md): event volume, sustained event
+    // rate and peak queue depth of the run, plus pool misses — the
+    // calendar-queue arena should stop allocating once warm.
+    metrics->gauge("sim.events_processed")
+        .Set(static_cast<double>(sim.events_processed()));
+    metrics->gauge("sim.events_per_wall_second")
+        .Set(sim.events_per_wall_second());
+    metrics->gauge("sim.queue_peak_depth")
+        .Set(static_cast<double>(sim.queue_peak_depth()));
+    metrics->gauge("sim.sched_pool_misses")
+        .Set(static_cast<double>(sim.sched_pool_misses()));
     if (options.record_timeline) {
       for (const GpuDevice* gpu : gpus) {
         report.node_timelines.push_back(gpu->timeline());
@@ -819,6 +830,7 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
   SimTime iter_start = 0;
   SimTime measured_iter_time = 0;
   SimTime measured_uplink_busy = 0;
+  SimTime measured_downlink_busy = 0;
   SimTime measured_sync_tail = 0;
   SimTime measured_sync_span = 0;
 
@@ -831,6 +843,7 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
     // recovery window when the degraded BSP barrier completes.
     SimTime recovery_started_at = -1;
     const SimTime uplink_busy_before = net.uplink_busy(0);
+    const SimTime downlink_busy_before = net.downlink_busy(0);
     const EngineStats stats_before = engine.stats();
     const uint64_t wire_misses_before = net.wire_pool()->stats().misses;
     const bool measured = iteration == options.iterations - 1;
@@ -1124,6 +1137,25 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
     if (measured) {
       measured_iter_time = end - iter_start;
       measured_uplink_busy = net.uplink_busy(0) - uplink_busy_before;
+      measured_downlink_busy = net.downlink_busy(0) - downlink_busy_before;
+      if (spans && end > iter_start) {
+        // Busy-occupancy bars for node 0's two link sides: bar length is
+        // the serialization time accrued this iteration, so it reads
+        // directly against the iteration span above it.
+        const double iter_span = static_cast<double>(end - iter_start);
+        spans->Add(
+            0, kTraceLaneLinkBusy,
+            StrFormat("uplink-busy %.1f%%",
+                      100.0 * static_cast<double>(measured_uplink_busy) /
+                          iter_span),
+            iter_start, iter_start + measured_uplink_busy);
+        spans->Add(
+            0, kTraceLaneLinkBusy,
+            StrFormat("downlink-busy %.1f%%",
+                      100.0 * static_cast<double>(measured_downlink_busy) /
+                          iter_span),
+            iter_start, iter_start + measured_downlink_busy);
+      }
       measured_sync_tail =
           std::max<SimTime>(0, end - (iter_start + compute_time));
       // Synchronization span: from the first gradient's sync launch to the
@@ -1222,6 +1254,9 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
                           static_cast<double>(measured_iter_time));
     report.network_busy_ratio =
         std::min(1.0, static_cast<double>(measured_uplink_busy) /
+                          static_cast<double>(measured_iter_time));
+    report.rx_busy_ratio =
+        std::min(1.0, static_cast<double>(measured_downlink_busy) /
                           static_cast<double>(measured_iter_time));
   }
   if (options.record_timeline) {

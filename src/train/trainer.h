@@ -102,6 +102,8 @@ struct TrainReport {
   double comm_ratio = 0.0;
   // Node-0 uplink busy share (pure wire-serialization view).
   double network_busy_ratio = 0.0;
+  // Node-0 downlink (receive-side) busy share.
+  double rx_busy_ratio = 0.0;
   int total_gpus = 0;
   // --- fault tolerance (docs/FAULT_TOLERANCE.md) -------------------------
   // True when at least one node was declared failed during the run; the

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "src/sim/resource.h"
@@ -7,6 +11,43 @@
 
 namespace hipress {
 namespace {
+
+// Minimal copy of the pre-calendar engine: one global priority queue with
+// the (when, seq) tie-break. The golden-ordering test drives identical
+// churn through both engines and demands identical fire sequences.
+class ReferenceHeap {
+ public:
+  SimTime now() const { return now_; }
+  void Schedule(SimTime delay, std::function<void()> fn) {
+    queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+  }
+  void Run() {
+    while (!queue_.empty()) {
+      Event event = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_ = event.when;
+      event.fn();
+    }
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
 
 TEST(SimulatorTest, StartsAtZeroAndIdle) {
   Simulator sim;
@@ -79,6 +120,155 @@ TEST(SimulatorTest, CountsProcessedEvents) {
   }
   sim.Run();
   EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(SimulatorTest, RunUntilRunsEventsExactlyAtDeadline) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.Schedule(200, [&] { fired.push_back(sim.now()); });
+  sim.Schedule(100, [&] { fired.push_back(sim.now()); });
+  sim.Schedule(201, [&] { fired.push_back(sim.now()); });
+  sim.RunUntil(200);
+  // The t=200 event is inside the window; t=201 stays queued and the clock
+  // holds at the last executed event, not the deadline.
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1], 200);
+  EXPECT_EQ(sim.now(), 200);
+  EXPECT_FALSE(sim.idle());
+  sim.Run();
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[2], 201);
+}
+
+TEST(SimulatorTest, StepInterleavesWithScheduleAtNow) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(10, [&] {
+    order.push_back(0);
+    // Same-time follow-up gets a later seq, so it runs after the already
+    // queued t=10 peer — FIFO across a mid-step enqueue.
+    sim.ScheduleAt(sim.now(), [&] { order.push_back(2); });
+  });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(sim.now(), 10);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimulatorTest, SameTimeFifoAcrossBucketBoundaries) {
+  // Timestamps straddle fine-bucket edges, the initial frame boundary, and
+  // horizons deep enough to cross the spillover/outer calendar; same-time
+  // groups must still fire in scheduling order everywhere.
+  Simulator sim;
+  const std::vector<SimTime> horizons = {
+      0,
+      63,
+      64,
+      65535,
+      65536,
+      (SimTime{2048} << 16) - 1,  // last tick of the initial frame
+      SimTime{2048} << 16,        // first spillover tick
+      SimTime{1} << 30,
+      SimTime{1} << 40,
+  };
+  std::vector<std::pair<SimTime, int>> scheduled;
+  std::vector<std::pair<SimTime, int>> fired;
+  int id = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (SimTime t : horizons) {
+      scheduled.push_back({t, id});
+      sim.ScheduleAt(t, [&fired, &sim, my = id] {
+        fired.push_back({sim.now(), my});
+      });
+      ++id;
+    }
+  }
+  sim.Run();
+  std::stable_sort(scheduled.begin(), scheduled.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  EXPECT_EQ(fired, scheduled);
+}
+
+TEST(SimulatorTest, OversizedSameWindowChainStaysFifo) {
+  // > kSplitThreshold events landing in one calendar window exercises the
+  // ladder's narrow-then-heapify path (and the outer calendar on the way,
+  // since they first gather in the far-future spillover).
+  Simulator sim;
+  std::vector<int> order;
+  const SimTime when = SimTime{1} << 30;
+  constexpr int kEvents = 3000;
+  for (int i = 0; i < kEvents; ++i) {
+    sim.ScheduleAt(when, [&order, i] { order.push_back(i); });
+  }
+  SimTime straggler = 0;
+  sim.ScheduleAt(when + FromMillis(5), [&] { straggler = sim.now(); });
+  sim.Run();
+  ASSERT_EQ(order.size(), static_cast<size_t>(kEvents));
+  for (int i = 0; i < kEvents; ++i) {
+    ASSERT_EQ(order[i], i) << "FIFO broke at position " << i;
+  }
+  EXPECT_EQ(straggler, when + FromMillis(5));
+}
+
+TEST(SimulatorTest, MatchesReferenceHeapUnderDeepChurn) {
+  // Deterministic self-rescheduling churn with a ~1 s horizon: thousands of
+  // pending events force spillover rebuilds, the outer calendar, and frame
+  // splits. The fire sequence (time per event) must match the original
+  // heap engine exactly — bit-reproducibility is the contract.
+  auto churn = [](auto* sim, std::vector<SimTime>* trace) {
+    uint64_t rng = 0x243f6a8885a308d3ULL;
+    int remaining = 20000;
+    std::function<void()> fire = [&rng, &remaining, &fire, sim, trace] {
+      trace->push_back(sim->now());
+      if (remaining == 0) {
+        return;
+      }
+      --remaining;
+      rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+      // Mostly sub-second delays with frequent exact ties (delay 0 keeps
+      // same-time FIFO interleavings in play).
+      const SimTime delay =
+          (rng % 7 == 0) ? 0 : static_cast<SimTime>(rng >> 34);
+      sim->Schedule(delay, fire);
+    };
+    for (int a = 0; a < 3000; ++a) {
+      sim->Schedule(0, fire);
+    }
+    sim->Run();
+  };
+  std::vector<SimTime> calendar_trace;
+  Simulator calendar;
+  churn(&calendar, &calendar_trace);
+  std::vector<SimTime> heap_trace;
+  ReferenceHeap heap;
+  churn(&heap, &heap_trace);
+  ASSERT_EQ(calendar_trace.size(), heap_trace.size());
+  EXPECT_EQ(calendar_trace, heap_trace);
+}
+
+TEST(SimulatorTest, EventPoolStopsMissingInSteadyState) {
+  Simulator sim;
+  auto burst = [&] {
+    for (int i = 0; i < 512; ++i) {
+      sim.Schedule(i, [] {});
+    }
+    sim.Run();
+  };
+  for (int round = 0; round < 3; ++round) {
+    burst();  // warm the record arena
+  }
+  const uint64_t misses = sim.sched_pool_misses();
+  for (int round = 0; round < 5; ++round) {
+    burst();
+  }
+  EXPECT_EQ(sim.sched_pool_misses(), misses);
+  EXPECT_GT(sim.sched_pool_hits(), 0u);
+  EXPECT_GE(sim.queue_peak_depth(), 512u);
 }
 
 TEST(SimResourceTest, SerializesJobsBackToBack) {

@@ -9,6 +9,7 @@
 //                 [--iterations N] [--adaptive] [--adaptive-codecs a,b]
 //                 [--topology flat|fattree[:RATIO[:HOSTS]]]
 //                 [--jobs K] [--placement striped|packed]
+//                 [--flight-record out.hpfr] [--health-exit]
 //
 // --compare runs all systems side by side (a miniature Figure 7/8 panel).
 // --step-report writes one JSON object per iteration with the critical-path
@@ -35,6 +36,11 @@
 // simulated fabric (docs/TOPOLOGY.md); --placement picks node striping
 // across racks (default, adversarial) or packed per-rack blocks. Faults
 // are single-job only and are rejected when --jobs > 1.
+// --flight-record FILE arms the always-on flight recorder's dump path: a
+// fatal error, retry-budget exhaustion, a watchdog trip or normal run end
+// writes the per-node black-box rings there; decode with
+// tools/flight_decode.py (docs/OBSERVABILITY.md).
+// --health-exit exits 3 when a watchdog rule is still tripped at run end.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -77,6 +83,8 @@ struct Args {
   std::string topology;         // flat | fattree[:RATIO[:HOSTS]]
   int jobs = 1;                 // --jobs K: concurrent jobs on one fabric
   std::string placement = "striped";
+  std::string flight_record;  // --flight-record FILE: black-box dump path
+  bool health_exit = false;   // --health-exit: exit 3 if still tripped
 };
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -131,6 +139,10 @@ bool Parse(int argc, char** argv, Args* args) {
       args->jobs = std::atoi(next());
     } else if (flag == "--placement") {
       args->placement = next();
+    } else if (flag == "--flight-record") {
+      args->flight_record = next();
+    } else if (flag == "--health-exit") {
+      args->health_exit = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -289,6 +301,7 @@ int main(int argc, char** argv) {
     copts.cluster = cluster;
     copts.placement = args.placement == "packed" ? JobPlacement::kPacked
                                                  : JobPlacement::kStriped;
+    copts.observability.flight_dump_path = args.flight_record;
     for (int k = 0; k < args.jobs; ++k) {
       ClusterJobSpec spec;
       spec.model = args.model;
@@ -333,9 +346,14 @@ int main(int argc, char** argv) {
                 ToMillis(run->sim_time), run->wall_seconds * 1e3,
                 static_cast<unsigned long long>(run->replay_fingerprint));
     PrintSchedulerHealth(*run->metrics);
+    std::printf("  %s\n", run->health.Summary().c_str());
+    if (args.health_exit && !run->health.healthy()) {
+      return 3;
+    }
     return 0;
   }
 
+  bool unhealthy = false;
   auto run_one = [&](const std::string& system) {
     HiPressOptions options;
     options.model = args.model;
@@ -348,6 +366,7 @@ int main(int argc, char** argv) {
         (system.rfind("byteps", 0) == 0 &&
          cluster.platform == GpuPlatform::kV100);
     options.train.record_timeline = !args.trace_path.empty();
+    options.train.observability.flight_dump_path = args.flight_record;
     if (args.iterations > 0) {
       options.train.iterations = args.iterations;
     }
@@ -369,7 +388,9 @@ int main(int argc, char** argv) {
     const TrainReport& report = result->report;
     if (!args.compare) {
       PrintSchedulerHealth(*report.metrics);
+      std::printf("  %s\n", report.health.Summary().c_str());
     }
+    unhealthy = unhealthy || !report.health.healthy();
     if (args.adaptive && report.adaptive.enabled) {
       std::printf("  adaptive: %d replan(s), %d codec switch(es), final %s\n",
                   report.adaptive.replans, report.adaptive.codec_switches,
@@ -449,6 +470,9 @@ int main(int argc, char** argv) {
     }
   } else {
     run_one(args.system);
+  }
+  if (args.health_exit && unhealthy) {
+    return 3;
   }
   return 0;
 }

@@ -1,0 +1,212 @@
+#include "src/common/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/common/metrics.h"
+
+namespace hipress {
+namespace {
+
+std::atomic<FlightRecorder*> g_global_recorder{nullptr};
+
+// Fatal-log hook: dump the installed recorder's rings before the process
+// aborts, so a CHECK failure leaves a black box behind.
+void DumpGlobalOnFatal() {
+  FlightRecorder* recorder =
+      g_global_recorder.load(std::memory_order_acquire);
+  if (recorder != nullptr) {
+    recorder->TriggerDump("fatal");
+  }
+}
+
+void AppendU32(std::string* out, uint32_t value) {
+  char bytes[4];
+  std::memcpy(bytes, &value, sizeof(value));
+  out->append(bytes, sizeof(bytes));
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  char bytes[8];
+  std::memcpy(bytes, &value, sizeof(value));
+  out->append(bytes, sizeof(bytes));
+}
+
+size_t RoundUpPowerOfTwo(size_t value) {
+  size_t result = 1;
+  while (result < value) {
+    result <<= 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(Options options) : options_(options) {
+  CHECK_GT(options_.num_nodes, 0);
+  CHECK_GT(options_.events_per_node, 0u);
+  const size_t capacity = RoundUpPowerOfTwo(options_.events_per_node);
+  mask_ = capacity - 1;
+  rings_ = std::vector<Ring>(static_cast<size_t>(options_.num_nodes));
+  for (Ring& ring : rings_) {
+    ring.records.assign(capacity, FlightRecord());
+  }
+  // Id 0 is reserved so a zeroed record decodes as "(empty)".
+  type_names_.push_back("(empty)");
+}
+
+FlightRecorder::~FlightRecorder() { ClearGlobal(this); }
+
+uint16_t FlightRecorder::Intern(const std::string& name) {
+  std::lock_guard<std::mutex> lock(intern_mutex_);
+  for (size_t i = 0; i < type_names_.size(); ++i) {
+    if (type_names_[i] == name) {
+      return static_cast<uint16_t>(i);
+    }
+  }
+  CHECK_LT(type_names_.size(), 65536u) << "flight-record type table full";
+  type_names_.push_back(name);
+  return static_cast<uint16_t>(type_names_.size() - 1);
+}
+
+uint64_t FlightRecorder::events_recorded() const {
+  uint64_t total = 0;
+  for (const Ring& ring : rings_) {
+    total += ring.head.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t FlightRecorder::events_overwritten() const {
+  const uint64_t capacity = mask_ + 1;
+  uint64_t total = 0;
+  for (const Ring& ring : rings_) {
+    const uint64_t head = ring.head.load(std::memory_order_relaxed);
+    total += head > capacity ? head - capacity : 0;
+  }
+  return total;
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot(int node) const {
+  std::vector<FlightRecord> out;
+  if (node < 0 || node >= num_nodes()) {
+    return out;
+  }
+  const Ring& ring = rings_[node];
+  const uint64_t head = ring.head.load(std::memory_order_acquire);
+  const uint64_t capacity = mask_ + 1;
+  const uint64_t valid = std::min(head, capacity);
+  out.reserve(valid);
+  for (uint64_t i = head - valid; i < head; ++i) {
+    out.push_back(ring.records[i & mask_]);
+  }
+  return out;
+}
+
+std::vector<std::string> FlightRecorder::type_names() const {
+  std::lock_guard<std::mutex> lock(intern_mutex_);
+  return type_names_;
+}
+
+std::string FlightRecorder::Serialize() const {
+  std::string out;
+  out.append(kFlightDumpMagic, sizeof(kFlightDumpMagic));
+  AppendU32(&out, kFlightDumpVersion);
+  const std::vector<std::string> names = type_names();
+  AppendU32(&out, static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    AppendU32(&out, static_cast<uint32_t>(name.size()));
+    out.append(name);
+  }
+  AppendU32(&out, static_cast<uint32_t>(num_nodes()));
+  AppendU32(&out, static_cast<uint32_t>(mask_ + 1));
+  for (int node = 0; node < num_nodes(); ++node) {
+    const std::vector<FlightRecord> records = Snapshot(node);
+    AppendU64(&out, rings_[node].head.load(std::memory_order_relaxed));
+    AppendU32(&out, static_cast<uint32_t>(records.size()));
+    for (const FlightRecord& record : records) {
+      AppendU64(&out, record.time_type);
+      AppendU64(&out, record.a0);
+      AppendU64(&out, record.a1);
+    }
+  }
+  return out;
+}
+
+Status FlightRecorder::Dump(const std::string& path) const {
+  const std::string bytes = Serialize();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return InvalidArgumentError("cannot open flight dump: " + path);
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
+  std::fclose(file);
+  if (written != bytes.size()) {
+    return InternalError("short write to flight dump: " + path);
+  }
+  dumps_written_.fetch_add(1, std::memory_order_relaxed);
+  dump_bytes_.store(bytes.size(), std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void FlightRecorder::TriggerDump(const std::string& reason) {
+  if (options_.dump_path.empty()) {
+    return;
+  }
+  // Stamp the trigger as the newest node-0 event, timed just after the
+  // newest record so decoded tails end with the cause.
+  SimTime last = 0;
+  for (int node = 0; node < num_nodes(); ++node) {
+    const std::vector<FlightRecord> records = Snapshot(node);
+    if (!records.empty()) {
+      last = std::max(last, records.back().time());
+    }
+  }
+  Record(0, Intern("fr.dump:" + reason), last);
+  const Status status = Dump(options_.dump_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "flight recorder: dump failed: %s\n",
+                 status.message().c_str());
+    return;
+  }
+  std::fprintf(stderr, "flight recorder: dumped %d ring(s) to %s (%s)\n",
+               num_nodes(), options_.dump_path.c_str(), reason.c_str());
+}
+
+void FlightRecorder::PublishMetrics(MetricsRegistry* registry) const {
+  if (registry == nullptr) {
+    return;
+  }
+  registry->gauge("fr.events_recorded")
+      .Set(static_cast<double>(events_recorded()));
+  registry->gauge("fr.events_overwritten")
+      .Set(static_cast<double>(events_overwritten()));
+  registry->gauge("fr.ring_nodes").Set(static_cast<double>(num_nodes()));
+  registry->gauge("fr.ring_capacity")
+      .Set(static_cast<double>(capacity_per_node()));
+  registry->gauge("fr.dumps_written")
+      .Set(static_cast<double>(dumps_written()));
+  registry->gauge("fr.dump_bytes")
+      .Set(static_cast<double>(dump_bytes_.load(std::memory_order_relaxed)));
+}
+
+void FlightRecorder::InstallGlobal(FlightRecorder* recorder) {
+  g_global_recorder.store(recorder, std::memory_order_release);
+  SetFatalHandler(recorder != nullptr ? &DumpGlobalOnFatal : nullptr);
+}
+
+void FlightRecorder::ClearGlobal(FlightRecorder* recorder) {
+  FlightRecorder* expected = recorder;
+  if (g_global_recorder.compare_exchange_strong(expected, nullptr,
+                                                std::memory_order_acq_rel)) {
+    SetFatalHandler(nullptr);
+  }
+}
+
+FlightRecorder* FlightRecorder::Global() {
+  return g_global_recorder.load(std::memory_order_acquire);
+}
+
+}  // namespace hipress

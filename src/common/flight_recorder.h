@@ -1,0 +1,144 @@
+// Always-on black-box flight recorder.
+//
+// A FlightRecorder keeps one fixed-size binary ring buffer of compact event
+// records per node. Recording is a relaxed fetch_add plus a 24-byte store —
+// cheap enough (bench_observability gates <= 100 ns/event and <= 3% wall
+// overhead at 1024-node scale) to stay on for every run, unlike the full
+// span trace. When a run dies — a CHECK failure, ReliableChannel retry-budget
+// exhaustion, a watchdog trip — the rings are dumped to a binary file that
+// tools/flight_decode.py turns back into JSONL or a Perfetto trace (lane 21),
+// reconstructing each node's last moments (docs/OBSERVABILITY.md).
+//
+// Event types are interned strings: Intern("net.send") returns a stable
+// 16-bit id, and each record packs (sim_time_ns << 16 | type_id) with two
+// free-form u64 arguments. The recorder never influences simulation
+// decisions, so replay fingerprints are bit-identical with it on or off.
+#ifndef HIPRESS_SRC_COMMON_FLIGHT_RECORDER_H_
+#define HIPRESS_SRC_COMMON_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace hipress {
+
+class MetricsRegistry;
+
+// One recorded event: 24 bytes. The top 48 bits of `time_type` hold the
+// sim time in nanoseconds (enough for ~3.2 simulated days), the low 16 the
+// interned type id.
+struct FlightRecord {
+  uint64_t time_type = 0;
+  uint64_t a0 = 0;
+  uint64_t a1 = 0;
+
+  SimTime time() const { return static_cast<SimTime>(time_type >> 16); }
+  uint16_t type() const { return static_cast<uint16_t>(time_type & 0xffff); }
+};
+static_assert(sizeof(FlightRecord) == 24, "records must stay compact");
+
+class FlightRecorder {
+ public:
+  struct Options {
+    int num_nodes = 1;
+    // Ring capacity per node; rounded up to a power of two. 256 records is
+    // 6 KiB/node — a 1024-node cluster's black box fits in 6 MiB.
+    size_t events_per_node = 256;
+    // When non-empty, TriggerDump() writes the rings here. The trainer
+    // threads --flight-record through this field.
+    std::string dump_path;
+  };
+
+  explicit FlightRecorder(Options options);
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Returns the stable id for `name`, interning it on first use. Ids are
+  // assigned in interning order; at most 65535 distinct types. Hot paths
+  // intern once up front and cache the id.
+  uint16_t Intern(const std::string& name);
+
+  // Appends an event to `node`'s ring, overwriting the oldest record once
+  // the ring is full. Lock-free: a relaxed fetch_add claims the slot.
+  void Record(int node, uint16_t type, SimTime now, uint64_t a0 = 0,
+              uint64_t a1 = 0) {
+    if (node < 0 || node >= static_cast<int>(rings_.size())) {
+      return;
+    }
+    Ring& ring = rings_[node];
+    const uint64_t seq = ring.head.fetch_add(1, std::memory_order_relaxed);
+    FlightRecord& slot = ring.records[seq & mask_];
+    slot.time_type = (static_cast<uint64_t>(now) << 16) |
+                     static_cast<uint64_t>(type);
+    slot.a0 = a0;
+    slot.a1 = a1;
+  }
+
+  int num_nodes() const { return static_cast<int>(rings_.size()); }
+  size_t capacity_per_node() const { return mask_ + 1; }
+  const std::string& dump_path() const { return options_.dump_path; }
+
+  // Total events ever recorded / overwritten after their ring filled.
+  uint64_t events_recorded() const;
+  uint64_t events_overwritten() const;
+  uint64_t dumps_written() const {
+    return dumps_written_.load(std::memory_order_relaxed);
+  }
+
+  // Snapshot of `node`'s retained records, oldest to newest.
+  std::vector<FlightRecord> Snapshot(int node) const;
+  // Interned type names, indexed by id.
+  std::vector<std::string> type_names() const;
+
+  // Binary serialization: "HPFR" magic, version, the string table, then one
+  // section per node ring (tools/flight_decode.py reads this format).
+  std::string Serialize() const;
+  Status Dump(const std::string& path) const;
+
+  // Dumps to options_.dump_path (no-op without one), stamping the reason
+  // into a final "fr.dump" event on node 0. Called from the fatal-log
+  // handler, retry-budget exhaustion and watchdog trips.
+  void TriggerDump(const std::string& reason);
+
+  // Publishes fr.* gauges (events recorded/overwritten, ring geometry,
+  // dumps written) into `registry`.
+  void PublishMetrics(MetricsRegistry* registry) const;
+
+  // Process-wide instance for the fatal path: InstallGlobal registers
+  // `recorder` (not owned) and hooks the logging fatal handler so a CHECK
+  // failure dumps the rings before aborting. ClearGlobal(recorder) detaches
+  // only if `recorder` is still the installed one.
+  static void InstallGlobal(FlightRecorder* recorder);
+  static void ClearGlobal(FlightRecorder* recorder);
+  static FlightRecorder* Global();
+
+ private:
+  struct Ring {
+    std::atomic<uint64_t> head{0};
+    std::vector<FlightRecord> records;
+  };
+
+  Options options_;
+  uint64_t mask_ = 0;
+  std::vector<Ring> rings_;
+  mutable std::mutex intern_mutex_;
+  std::vector<std::string> type_names_;
+  // Mutated by the (logically const) Dump path.
+  mutable std::atomic<uint64_t> dumps_written_{0};
+  mutable std::atomic<uint64_t> dump_bytes_{0};
+};
+
+// Binary dump format constants, shared with tools/flight_decode.py.
+inline constexpr char kFlightDumpMagic[4] = {'H', 'P', 'F', 'R'};
+inline constexpr uint32_t kFlightDumpVersion = 1;
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_COMMON_FLIGHT_RECORDER_H_

@@ -9,6 +9,8 @@ namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_log_mutex;
+std::atomic<FatalHandler> g_fatal_handler{nullptr};
+std::atomic<bool> g_in_fatal{false};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -47,12 +49,24 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
           << "] ";
 }
 
+void SetFatalHandler(FatalHandler handler) {
+  g_fatal_handler.store(handler, std::memory_order_release);
+}
+
 LogMessage::~LogMessage() {
   {
     std::lock_guard<std::mutex> lock(g_log_mutex);
     std::cerr << stream_.str() << std::endl;
   }
   if (level_ == LogLevel::kFatal) {
+    // Run the handler outside the log mutex (it may log), and only for the
+    // first fatal: a CHECK failing inside the handler must still abort.
+    if (!g_in_fatal.exchange(true, std::memory_order_acq_rel)) {
+      FatalHandler handler = g_fatal_handler.load(std::memory_order_acquire);
+      if (handler != nullptr) {
+        handler();
+      }
+    }
     std::abort();
   }
 }

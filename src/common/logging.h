@@ -21,6 +21,13 @@ enum class LogLevel : int {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// Hook invoked once, after a fatal message prints and before the process
+// aborts. The flight recorder installs its ring dump here so a CHECK
+// failure leaves a black box behind (src/common/flight_recorder.h).
+// nullptr uninstalls. Re-entrant fatals skip the handler.
+using FatalHandler = void (*)();
+void SetFatalHandler(FatalHandler handler);
+
 // One log statement. Streams into itself, emits on destruction.
 class LogMessage {
  public:

@@ -1,6 +1,7 @@
 #include "src/common/metrics.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -13,12 +14,17 @@ namespace {
 
 // JSON forbids NaN/Inf literals; metrics are measurements, so non-finite
 // values collapse to 0 rather than poisoning the document.
+// Finite values use std::to_chars shortest form: it round-trips to the
+// exact same double, so compare_bench.py exact-tolerance rules (replay
+// fingerprints, gate booleans) can never flap on serialization.
 std::string JsonNumber(double value) {
   if (!std::isfinite(value)) {
     return "0";
   }
-  std::string text = StrFormat("%.17g", value);
-  return text;
+  char buffer[32];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  CHECK(result.ec == std::errc());
+  return std::string(buffer, result.ptr);
 }
 
 std::string JsonString(const std::string& text) {
@@ -342,6 +348,8 @@ const char* TraceLaneName(int lane) {
       return "net:fabric";
     case kTraceLaneLinkBusy:
       return "net:busy";
+    case kTraceLaneFlight:
+      return "flight";
     default:
       return "lane";
   }

@@ -178,6 +178,10 @@ inline constexpr int kTraceLaneNetFabric = 19;
 // one "rx busy" span over the measured window, so transmit- and
 // receive-side serialization load chart side by side.
 inline constexpr int kTraceLaneLinkBusy = 20;
+// Flight-recorder events (src/common/flight_recorder.h): instant markers
+// decoded from a black-box dump by tools/flight_decode.py --perfetto, one
+// per ring record on the owning node's track (docs/OBSERVABILITY.md).
+inline constexpr int kTraceLaneFlight = 21;
 
 // Human-readable row name for a lane ("net:uplink", "coordinator", ...);
 // lanes 0..9 are resolved by the exporter against GpuTaskKindName.

@@ -98,7 +98,15 @@ void Network::Send(NetMessage message,
       drops_metric_->Increment();
       dropped_bytes_metric_->Increment(message.bytes);
     }
+    if (flight_ != nullptr) {
+      flight_->Record(message.src, ev_drop_, sim_->now(),
+                      static_cast<uint64_t>(message.dst), message.bytes);
+    }
     return;
+  }
+  if (flight_ != nullptr) {
+    flight_->Record(message.src, ev_send_, sim_->now(),
+                    static_cast<uint64_t>(message.dst), message.bytes);
   }
 
   SimTime serialize = TransferTime(message.bytes);
@@ -200,6 +208,10 @@ void Network::Send(NetMessage message,
       drops_metric_->Increment();
       dropped_bytes_metric_->Increment(message.bytes);
     }
+    if (flight_ != nullptr) {
+      flight_->Record(message.src, ev_drop_, sim_->now(),
+                      static_cast<uint64_t>(message.dst), message.bytes);
+    }
     return;
   }
   sim_->ScheduleAt(deliver_at, [this, message = std::move(message),
@@ -207,6 +219,10 @@ void Network::Send(NetMessage message,
     ++messages_delivered_;
     if (messages_delivered_metric_ != nullptr) {
       messages_delivered_metric_->Increment();
+    }
+    if (flight_ != nullptr) {
+      flight_->Record(message.dst, ev_deliver_, sim_->now(),
+                      static_cast<uint64_t>(message.src), message.bytes);
     }
     on_delivered(message);
   });

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/common/buffer_pool.h"
+#include "src/common/flight_recorder.h"
 #include "src/common/metrics.h"
 #include "src/common/units.h"
 #include "src/net/fault.h"
@@ -166,6 +167,19 @@ class Network {
   uint64_t messages_delivered() const { return messages_delivered_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
 
+  // Wires the always-on black box: every send/delivery/drop appends a
+  // compact event to the owning node's ring (src/common/flight_recorder.h).
+  // Not owned; null disables.
+  void set_flight_recorder(FlightRecorder* recorder) {
+    flight_ = recorder;
+    if (flight_ != nullptr) {
+      ev_send_ = flight_->Intern("net.send");
+      ev_deliver_ = flight_->Intern("net.deliver");
+      ev_drop_ = flight_->Intern("net.drop");
+    }
+  }
+  FlightRecorder* flight_recorder() const { return flight_; }
+
  private:
   Simulator* sim_;
   int num_nodes_;
@@ -182,6 +196,11 @@ class Network {
   Counter* degraded_metric_ = nullptr;
   Histogram* queue_delay_us_ = nullptr;
   Histogram* transfer_bytes_ = nullptr;
+  // Black-box event sink and its interned event ids (set_flight_recorder).
+  FlightRecorder* flight_ = nullptr;
+  uint16_t ev_send_ = 0;
+  uint16_t ev_deliver_ = 0;
+  uint16_t ev_drop_ = 0;
 
   // Per directed link (uplinks, downlinks, then ToR fabric links): time the
   // link is serialized through, and cumulative busy time.

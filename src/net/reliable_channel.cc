@@ -160,6 +160,11 @@ void ReliableChannel::HandleTimeout(uint64_t id, int attempt) {
     const int dead = !net_->alive(transfer.message.src)
                          ? transfer.message.src
                          : transfer.message.dst;
+    if (flight_ != nullptr) {
+      flight_->Record(transfer.message.src, ev_exhausted_, sim_->now(),
+                      static_cast<uint64_t>(dead), transfer.message.bytes);
+      flight_->TriggerDump("retry-budget-exhausted");
+    }
     MarkPeerFailed(dead);
     return;
   }
@@ -167,6 +172,11 @@ void ReliableChannel::HandleTimeout(uint64_t id, int attempt) {
   if (retries_metric_ != nullptr) {
     retries_metric_->Increment();
     retransmit_bytes_metric_->Increment(transfer.message.bytes);
+  }
+  if (flight_ != nullptr) {
+    flight_->Record(transfer.message.src, ev_retry_, sim_->now(),
+                    static_cast<uint64_t>(transfer.message.dst),
+                    static_cast<uint64_t>(transfer.attempts));
   }
   const SimTime backoff = BackoffDelay(transfer.attempts);
   if (backoff_us_ != nullptr) {

@@ -96,6 +96,18 @@ class ReliableChannel {
   uint64_t retries() const { return retries_; }
   uint64_t acks() const { return acks_; }
 
+  // Wires the always-on black box: retries and budget exhaustion append
+  // events to the sender's ring, and exhaustion triggers a dump — the
+  // recorder's tail then shows the doomed transfer's final retransmits
+  // (docs/OBSERVABILITY.md). Not owned; null disables.
+  void set_flight_recorder(FlightRecorder* recorder) {
+    flight_ = recorder;
+    if (flight_ != nullptr) {
+      ev_retry_ = flight_->Intern("net.retry");
+      ev_exhausted_ = flight_->Intern("net.retry_exhausted");
+    }
+  }
+
  private:
   struct Transfer {
     // Holds the payload shared_ptr for the transfer's whole lifetime;
@@ -125,6 +137,10 @@ class ReliableChannel {
   Counter* budget_exhausted_metric_ = nullptr;
   Counter* stale_epoch_metric_ = nullptr;
   Histogram* backoff_us_ = nullptr;
+  // Black-box event sink and interned ids (set_flight_recorder).
+  FlightRecorder* flight_ = nullptr;
+  uint16_t ev_retry_ = 0;
+  uint16_t ev_exhausted_ = 0;
 
   std::function<void(int)> on_peer_failure_;
   std::unordered_map<uint64_t, Transfer> transfers_;

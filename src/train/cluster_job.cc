@@ -334,6 +334,58 @@ StatusOr<ClusterRunReport> RunClusterJobs(const ClusterJobsOptions& options) {
   }
 
   // -------------------------------------------------------------------
+  // Observability (docs/OBSERVABILITY.md): one cluster-wide black box (a
+  // ring per node, all jobs' traffic interleaved) plus a watchdog over the
+  // shared fabric — scheduler queue depth, wire-pool misses — and a
+  // per-job iteration-stall rule.
+  // -------------------------------------------------------------------
+  std::shared_ptr<FlightRecorder> flight;
+  uint16_t ev_job_iter = 0;
+  if (options.observability.flight_recorder) {
+    FlightRecorder::Options fr_options;
+    fr_options.num_nodes = total_nodes;
+    fr_options.events_per_node = options.observability.flight_events_per_node;
+    fr_options.dump_path = options.observability.flight_dump_path;
+    flight = std::make_shared<FlightRecorder>(fr_options);
+    ev_job_iter = flight->Intern("job.iter.end");
+    net.set_flight_recorder(flight.get());
+    FlightRecorder::InstallGlobal(flight.get());
+  }
+  TimeSeriesHub hub;
+  std::unique_ptr<HealthMonitor> watchdog;
+  if (options.observability.watchdog) {
+    hub.AttachCounter(metrics.get(), "net.pool_misses");
+    hub.AttachGauge(metrics.get(), "sim.queue_depth");
+    watchdog =
+        std::make_unique<HealthMonitor>(&hub, metrics.get(), flight.get());
+    HealthRule queue_blowup;
+    queue_blowup.name = "queue_blowup";
+    queue_blowup.series = "sim.queue_depth";
+    queue_blowup.kind = HealthRuleKind::kAboveMedianFactor;
+    queue_blowup.threshold = 4.0;
+    watchdog->AddRule(queue_blowup);
+    HealthRule pool_misses;
+    pool_misses.name = "pool_miss_growth";
+    pool_misses.series = "net.pool_misses";
+    pool_misses.kind = HealthRuleKind::kAboveValue;
+    pool_misses.threshold = 0.0;
+    watchdog->AddRule(pool_misses);
+    for (const auto& job : jobs) {
+      HealthRule stall;
+      stall.name = job->prefix + ".stall";
+      stall.series = job->prefix + ".iteration_ms";
+      stall.kind = HealthRuleKind::kAboveMedianFactor;
+      stall.threshold = 3.0;
+      watchdog->AddRule(stall);
+    }
+    watchdog->set_on_trip([&flight](const HealthRule&) {
+      if (flight) {
+        flight->TriggerDump("watchdog-trip");
+      }
+    });
+  }
+
+  // -------------------------------------------------------------------
   // Event-driven BSP: each job chains its own iterations through simulator
   // events; there is no global drain between iterations, so jobs overlap
   // freely and contend on the shared links.
@@ -383,6 +435,21 @@ StatusOr<ClusterRunReport> RunClusterJobs(const ClusterJobsOptions& options) {
         ->histogram(job->prefix + ".iteration_ms",
                     HistogramBuckets::Exponential(1.0, 2.0, 16))
         .Observe(ToMillis(end - job->iter_start));
+    if (flight) {
+      flight->Record(job->nodes.front(), ev_job_iter, end,
+                     static_cast<uint64_t>(job->iteration),
+                     static_cast<uint64_t>(end - job->iter_start));
+    }
+    if (watchdog) {
+      // Queue depth is sampled mid-run here (other jobs still in flight),
+      // so the blowup rule watches genuinely live backlog.
+      hub.Series(job->prefix + ".iteration_ms")
+          .Observe(end, ToMillis(end - job->iter_start));
+      metrics->gauge("sim.queue_depth")
+          .Set(static_cast<double>(sim.queue_depth()));
+      hub.SampleAll(end);
+      watchdog->Evaluate(end);
+    }
 
     std::vector<const TaskGraph*> views;
     views.reserve(job->graphs.size());
@@ -460,6 +527,16 @@ StatusOr<ClusterRunReport> RunClusterJobs(const ClusterJobsOptions& options) {
                           : 0;
   run.metrics = metrics;
   run.spans = spans;
+  if (watchdog) {
+    run.health = watchdog->Finalize();
+  }
+  if (flight) {
+    flight->PublishMetrics(metrics.get());
+    if (!options.observability.flight_dump_path.empty()) {
+      flight->TriggerDump("end-of-run");
+    }
+    run.flight = flight;
+  }
 
   uint64_t fingerprint = 14695981039346656037ULL;
   for (size_t k = 0; k < jobs.size(); ++k) {

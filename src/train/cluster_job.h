@@ -27,8 +27,10 @@
 
 #include "src/casync/adaptive.h"
 #include "src/casync/critical_path.h"
+#include "src/common/flight_recorder.h"
 #include "src/common/metrics.h"
 #include "src/common/status.h"
+#include "src/common/watchdog.h"
 #include "src/compress/compressor.h"
 #include "src/strategies/presets.h"
 
@@ -64,6 +66,10 @@ struct ClusterJobsOptions {
   JobPlacement placement = JobPlacement::kStriped;
   SimTime launch_overhead = FromMicros(50.0);
   bool record_timeline = false;
+  // Flight recorder + watchdog (docs/OBSERVABILITY.md). The recorder spans
+  // the whole cluster (one ring per node); watchdog rules cover the shared
+  // scheduler/network plus a per-job iteration-stall rule.
+  ObservabilityOptions observability;
 };
 
 struct ClusterJobReport {
@@ -102,6 +108,10 @@ struct ClusterRunReport {
   uint64_t replay_fingerprint = 0;
   std::shared_ptr<MetricsRegistry> metrics;
   std::shared_ptr<SpanCollector> spans;
+  // Watchdog verdict over the whole run (health.* gauges mirror it).
+  HealthReport health;
+  // Cluster-wide black box (one ring per node, all jobs' traffic).
+  std::shared_ptr<FlightRecorder> flight;
 };
 
 // Node subsets for `num_jobs` jobs over `num_nodes` nodes (must divide

@@ -360,6 +360,32 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
   }
   CaSyncEngine engine(&sim, &net, gpus, config, metrics.get(), spans.get());
 
+  // Always-on black box (docs/OBSERVABILITY.md): every net send/delivery,
+  // transport retry, iteration boundary and membership transition appends a
+  // 24-byte record to the owning node's ring. Installed as the process
+  // fatal hook so a CHECK failure dumps the rings before aborting.
+  std::shared_ptr<FlightRecorder> flight;
+  uint16_t ev_iter_start = 0;
+  uint16_t ev_iter_end = 0;
+  uint16_t ev_recovery = 0;
+  uint16_t ev_member = 0;
+  if (options.observability.flight_recorder) {
+    FlightRecorder::Options fr_options;
+    fr_options.num_nodes = config.num_nodes;
+    fr_options.events_per_node = options.observability.flight_events_per_node;
+    fr_options.dump_path = options.observability.flight_dump_path;
+    flight = std::make_shared<FlightRecorder>(fr_options);
+    ev_iter_start = flight->Intern("iter.start");
+    ev_iter_end = flight->Intern("iter.end");
+    ev_recovery = flight->Intern("train.recovery");
+    ev_member = flight->Intern("member.change");
+    net.set_flight_recorder(flight.get());
+    if (engine.reliable_channel() != nullptr) {
+      engine.reliable_channel()->set_flight_recorder(flight.get());
+    }
+    FlightRecorder::InstallGlobal(flight.get());
+  }
+
   // Pre-build one task graph per unit; graphs are reusable templates but
   // dependency counters mutate during execution, so build per iteration.
   TrainReport report;
@@ -368,6 +394,7 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
   report.surviving_nodes = config.num_nodes;
   report.metrics = metrics;
   report.spans = spans;
+  report.flight = flight;
   Histogram& iteration_ms = metrics->histogram(
       "train.iteration_ms", HistogramBuckets::Exponential(1.0, 2.0, 16));
   Histogram& sync_tail_ms = metrics->histogram(
@@ -420,6 +447,12 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
         .Set(static_cast<double>(sim.queue_peak_depth()));
     metrics->gauge("sim.sched_pool_misses")
         .Set(static_cast<double>(sim.sched_pool_misses()));
+    if (flight) {
+      flight->PublishMetrics(metrics.get());
+      if (!options.observability.flight_dump_path.empty()) {
+        flight->TriggerDump("end-of-run");
+      }
+    }
     if (options.record_timeline) {
       for (const GpuDevice* gpu : gpus) {
         report.node_timelines.push_back(gpu->timeline());
@@ -802,6 +835,10 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
     const int old_size = static_cast<int>(current_members.size());
     current_members = membership.members();
     const int new_size = membership.size();
+    if (flight) {
+      flight->Record(0, ev_member, sim.now(), membership.epoch(),
+                     static_cast<uint64_t>(new_size));
+    }
     if (channel != nullptr) {
       // Messages stamped under the old view are now stale on delivery.
       channel->set_epoch(membership.epoch());
@@ -826,6 +863,35 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
       pool_trimmed_counter.Increment(net.wire_pool()->Trim(keep));
     }
   };
+
+  // Windowed telemetry + health watchdog (docs/OBSERVABILITY.md): series
+  // are fed once per iteration boundary — the trainer-observed signals
+  // directly, the attached registry metrics via SampleAll — and the rules
+  // compare each iteration's newest window against the run's own rolling
+  // history, so trips replay deterministically for a fixed seed.
+  TimeSeriesHub hub;
+  std::unique_ptr<HealthMonitor> watchdog;
+  CostSampleStats send_stats_prev;
+  if (options.observability.watchdog) {
+    hub.AttachCounter(metrics.get(), "net.retries");
+    hub.AttachCounter(metrics.get(), "net.pool_misses");
+    hub.AttachGauge(metrics.get(), "sim.queue_depth");
+    hub.AttachGauge(metrics.get(), "cp.share.send");
+    if (adaptive) {
+      hub.AttachGauge(metrics.get(), "adaptive.observed_gbps");
+    }
+    watchdog = std::make_unique<HealthMonitor>(&hub, metrics.get(),
+                                               flight.get());
+    for (HealthRule& rule : HealthMonitor::DefaultTrainerRules()) {
+      watchdog->AddRule(std::move(rule));
+    }
+    // A trip is exactly the moment the black box exists for.
+    watchdog->set_on_trip([&flight](const HealthRule&) {
+      if (flight) {
+        flight->TriggerDump("watchdog-trip");
+      }
+    });
+  }
 
   SimTime iter_start = 0;
   SimTime measured_iter_time = 0;
@@ -855,6 +921,10 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
     // graphs. Re-sync wire time pushes the boundary out.
     process_boundary(iter_start);
     iter_start = std::max(iter_start, sim.now());
+    if (flight) {
+      flight->Record(0, ev_iter_start, iter_start,
+                     static_cast<uint64_t>(iteration));
+    }
     if (measured && options.record_timeline) {
       report.timeline_origin = iter_start;
     }
@@ -1127,6 +1197,36 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
           }
         }
       }
+      // Feed the windowed series and run the watchdog at the boundary. The
+      // send-bandwidth signal is the auditor's per-iteration sample delta —
+      // the same windowed estimate the adaptive controller plans from.
+      if (watchdog) {
+        hub.Series("train.iteration_ms")
+            .Observe(end, ToMillis(end - iter_start));
+        const CostSampleStats send_now =
+            engine.auditor().Snapshot(CostPrimitive::kSend);
+        const CostSampleStats send_delta = send_now.Since(send_stats_prev);
+        send_stats_prev = send_now;
+        if (send_delta.count > 0) {
+          hub.Series("net.send_gbps")
+              .Observe(end, send_delta.MeanThroughput() * 8.0 / 1e9);
+        }
+        metrics->gauge("sim.queue_depth")
+            .Set(static_cast<double>(sim.queue_depth()));
+        metrics->gauge("cp.share.send")
+            .Set(attrib.attribution.Share(CpCategory::kSend));
+        hub.SampleAll(end);
+        watchdog->Evaluate(end);
+      }
+      if (flight) {
+        flight->Record(0, ev_iter_end, end, static_cast<uint64_t>(iteration),
+                       static_cast<uint64_t>(end - iter_start));
+        if (recovery_started_at >= 0) {
+          flight->Record(0, ev_recovery, end,
+                         static_cast<uint64_t>(iteration),
+                         static_cast<uint64_t>(end - recovery_started_at));
+        }
+      }
     }
     iterations_counter.Increment();
     iteration_ms.Observe(ToMillis(end - iter_start));
@@ -1261,6 +1361,9 @@ StatusOr<TrainReport> SimulateTraining(const ModelProfile& model,
   }
   if (options.record_timeline) {
     report.timeline = gpus[0]->timeline();
+  }
+  if (watchdog) {
+    report.health = watchdog->Finalize();
   }
   finalize_observability();
   return report;

@@ -23,8 +23,10 @@
 #include "src/casync/critical_path.h"
 #include "src/casync/engine.h"
 #include "src/casync/secopa.h"
+#include "src/common/flight_recorder.h"
 #include "src/common/metrics.h"
 #include "src/common/profiler.h"
+#include "src/common/watchdog.h"
 #include "src/common/status.h"
 #include "src/models/model_profile.h"
 #include "src/simgpu/gpu.h"
@@ -56,6 +58,8 @@ struct TrainOptions {
   // codec/ratio/cutoffs at iteration boundaries. Requires compression with
   // SeCoPa on the BSP path (staleness == 0, concurrent collectives).
   AdaptiveOptions adaptive;
+  // Always-on flight recorder + health watchdog (docs/OBSERVABILITY.md).
+  ObservabilityOptions observability;
 };
 
 // Elastic-membership summary (docs/FAULT_TOLERANCE.md): the epoch-numbered
@@ -151,6 +155,13 @@ struct TrainReport {
   std::shared_ptr<MetricsRegistry> metrics;
   std::shared_ptr<SpanCollector> spans;
   std::vector<std::vector<GpuInterval>> node_timelines;
+  // Watchdog verdict over the run (health.* metrics mirror it); enabled is
+  // false when options.observability.watchdog was off or the run was SSP.
+  HealthReport health;
+  // The run's black box, still holding every ring (BSP path, recorder on).
+  // Callers can Dump() it after the fact; train_cluster --flight-record
+  // wires the dump path through ObservabilityOptions instead.
+  std::shared_ptr<FlightRecorder> flight;
 };
 
 // Runs the simulation; deterministic for fixed inputs.

@@ -6,6 +6,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 #include <map>
 #include <memory>
@@ -240,6 +241,42 @@ TEST(MetricsTest, ConcurrentIncrementsDontLoseCounts) {
   EXPECT_EQ(histogram.count(), 40000u);
 }
 
+TEST(MetricsTest, ConcurrentWritersAndJsonReaderAreSafe) {
+  // Counter/gauge/histogram writers racing a ToJson snapshotter: the TSan
+  // CI job runs this to prove the registry's cross-thread contract.
+  MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&registry, t] {
+      for (int i = 0; i < 5000; ++i) {
+        registry.counter("w" + std::to_string(t)).Increment();
+        registry.gauge("g" + std::to_string(t))
+            .Set(static_cast<double>(i));
+        registry.histogram("h").Observe(static_cast<double>(i % 64));
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      EXPECT_FALSE(registry.ToJson().empty());
+    }
+  });
+  for (auto& writer : writers) {
+    writer.join();
+  }
+  stop.store(true);
+  reader.join();
+  auto root = JsonParser(registry.ToJson()).Parse();
+  const JsonObject& counters = root->object().at("counters")->object();
+  EXPECT_DOUBLE_EQ(counters.at("w0")->number(), 5000.0);
+  EXPECT_DOUBLE_EQ(counters.at("w2")->number(), 5000.0);
+  EXPECT_DOUBLE_EQ(
+      root->object().at("histograms")->object().at("h")->object()
+          .at("count")->number(),
+      15000.0);
+}
+
 // -------------------------------------------------------- JSON round-trip
 
 TEST(MetricsTest, JsonRoundTripThroughParser) {
@@ -282,6 +319,36 @@ TEST(MetricsTest, JsonRoundTripThroughParser) {
   EXPECT_DOUBLE_EQ(buckets[0]->object().at("count")->number(), 1.0);
   EXPECT_DOUBLE_EQ(buckets[1]->object().at("le")->number(), 10.0);
   EXPECT_DOUBLE_EQ(buckets[1]->object().at("count")->number(), 1.0);
+}
+
+TEST(MetricsTest, JsonNumbersRoundTripBitExactly) {
+  // JsonNumber emits std::to_chars shortest round-trip literals: parsing
+  // what ToJson wrote must reproduce the stored double bit-for-bit, with
+  // no fixed-precision truncation (0.1, 1/3) and no overflow to inf at
+  // the extremes of the double range.
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           -0.125,
+                           1e300,
+                           std::numeric_limits<double>::max(),
+                           // Smallest normal; subnormals stay out because
+                           // this test's std::stod-based parser reports
+                           // ERANGE on them, not because JsonNumber can't
+                           // print them.
+                           std::numeric_limits<double>::min(),
+                           1e-7,
+                           123456789.123456789};
+  MetricsRegistry registry;
+  for (size_t i = 0; i < std::size(values); ++i) {
+    registry.gauge("g" + std::to_string(i)).Set(values[i]);
+  }
+  auto root = JsonParser(registry.ToJson()).Parse();
+  const JsonObject& gauges = root->object().at("gauges")->object();
+  for (size_t i = 0; i < std::size(values); ++i) {
+    const double parsed = gauges.at("g" + std::to_string(i))->number();
+    EXPECT_EQ(std::memcmp(&parsed, &values[i], sizeof(double)), 0)
+        << "gauge g" << i << " drifted: " << parsed << " vs " << values[i];
+  }
 }
 
 TEST(MetricsTest, JsonEscapesMetricNames) {
@@ -346,6 +413,25 @@ TEST(MetricsTest, HistogramQuantileSingleObservation) {
   histogram.Observe(5.0);
   EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 5.0);
   EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 5.0);
+}
+
+TEST(MetricsTest, HistogramQuantileBucketBoundaries) {
+  // 10 samples in (.., 10], 10 in (10, 20]: the median rank lands exactly
+  // on the shared bucket edge and must interpolate to that bound, with
+  // higher q continuing smoothly into the next bucket.
+  Histogram histogram({10.0, 20.0, 30.0});
+  for (int i = 0; i < 10; ++i) {
+    histogram.Observe(5.0);
+    histogram.Observe(15.0);
+  }
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.75), 12.5);
+  // The ends clamp to the observed extremes, not the bucket bounds.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 15.0);
+  // Out-of-range q clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(-1.0), 5.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(2.0), 15.0);
 }
 
 TEST(MetricsTest, JsonHistogramCarriesQuantiles) {

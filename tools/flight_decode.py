@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Flight-recorder dump decoder.
+
+Turns the binary black-box dump a run writes on a fatal error, retry-budget
+exhaustion, watchdog trip or normal exit (`train_cluster --flight-record`,
+docs/OBSERVABILITY.md) back into something a human can read:
+
+    tools/flight_decode.py run.hpfr                       # JSONL on stdout
+    tools/flight_decode.py run.hpfr --node 3 --tail 32    # node 3's last 32
+    tools/flight_decode.py run.hpfr --perfetto trace.json # lane-21 trace
+
+JSONL output is one object per retained record, ordered by (node, seq):
+
+    {"node": 3, "seq": 251, "t_ns": 181234567, "type": "net.retry",
+     "a0": 7, "a1": 4}
+
+`seq` is the record's position in its node's total event stream — when a
+ring wrapped, the retained window starts at `head - capacity` and the
+dropped prefix is reported on stderr.  --perfetto writes a Chrome
+trace-event file with one instant event per record on lane 21 ("flight",
+pid = node), mergeable with the trainer's span trace in ui.perfetto.dev.
+
+Binary format (src/common/flight_recorder.h, all little-endian):
+
+    "HPFR" | u32 version | u32 num_types | num_types x (u32 len, bytes)
+    u32 num_nodes | u32 capacity | num_nodes x (u64 head, u32 n, n x 24B)
+
+Each 24-byte record is (u64 time_type, u64 a0, u64 a1) with the sim time in
+nanoseconds in the top 48 bits of time_type and the interned type id in the
+low 16.
+"""
+
+import argparse
+import json
+import os
+import struct
+import sys
+
+MAGIC = b"HPFR"
+SUPPORTED_VERSION = 1
+
+
+class DumpError(Exception):
+    pass
+
+
+class Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.offset = 0
+
+    def take(self, fmt: str):
+        size = struct.calcsize(fmt)
+        if self.offset + size > len(self.data):
+            raise DumpError(
+                f"truncated dump: need {size} bytes at offset {self.offset}, "
+                f"have {len(self.data) - self.offset}"
+            )
+        values = struct.unpack_from(fmt, self.data, self.offset)
+        self.offset += size
+        return values
+
+    def take_bytes(self, size: int) -> bytes:
+        if self.offset + size > len(self.data):
+            raise DumpError(f"truncated dump at offset {self.offset}")
+        out = self.data[self.offset : self.offset + size]
+        self.offset += size
+        return out
+
+
+def decode(data: bytes):
+    """Returns (type_names, capacity, nodes) where nodes is a list of
+    (head, [record dicts])."""
+    reader = Reader(data)
+    if reader.take_bytes(4) != MAGIC:
+        raise DumpError("not a flight-recorder dump (bad magic)")
+    (version,) = reader.take("<I")
+    if version != SUPPORTED_VERSION:
+        raise DumpError(f"unsupported dump version {version}")
+    (num_types,) = reader.take("<I")
+    type_names = []
+    for _ in range(num_types):
+        (length,) = reader.take("<I")
+        type_names.append(reader.take_bytes(length).decode("utf-8"))
+    num_nodes, capacity = reader.take("<II")
+    nodes = []
+    for node in range(num_nodes):
+        (head,) = reader.take("<Q")
+        (count,) = reader.take("<I")
+        records = []
+        first_seq = head - count
+        for i in range(count):
+            time_type, a0, a1 = reader.take("<QQQ")
+            type_id = time_type & 0xFFFF
+            name = (
+                type_names[type_id]
+                if type_id < len(type_names)
+                else f"type#{type_id}"
+            )
+            records.append(
+                {
+                    "node": node,
+                    "seq": first_seq + i,
+                    "t_ns": time_type >> 16,
+                    "type": name,
+                    "a0": a0,
+                    "a1": a1,
+                }
+            )
+        nodes.append((head, records))
+    if reader.offset != len(data):
+        raise DumpError(
+            f"{len(data) - reader.offset} trailing byte(s) after last ring"
+        )
+    return type_names, capacity, nodes
+
+
+def write_perfetto(path: str, nodes) -> int:
+    """One instant event per record, pid = node, tid = 21 (the "flight"
+    trace lane, src/common/metrics.h)."""
+    events = []
+    named_threads = set()
+    for _, records in nodes:
+        for record in records:
+            node = record["node"]
+            if node not in named_threads:
+                named_threads.add(node)
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": node,
+                        "tid": 21,
+                        "args": {"name": "flight"},
+                    }
+                )
+            events.append(
+                {
+                    "name": record["type"],
+                    "ph": "i",
+                    "s": "t",
+                    "pid": node,
+                    "tid": 21,
+                    "ts": record["t_ns"] / 1000.0,  # microseconds
+                    "args": {"a0": record["a0"], "a1": record["a1"]},
+                }
+            )
+    with open(path, "w", encoding="utf-8") as out:
+        json.dump({"traceEvents": events}, out)
+    return sum(len(records) for _, records in nodes)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="decode a flight-recorder dump to JSONL or Perfetto"
+    )
+    parser.add_argument("dump", help="binary dump file (HPFR)")
+    parser.add_argument(
+        "--node", type=int, default=None, help="only this node's ring"
+    )
+    parser.add_argument(
+        "--tail",
+        type=int,
+        default=None,
+        help="only each ring's last N records",
+    )
+    parser.add_argument(
+        "--perfetto",
+        metavar="OUT",
+        default=None,
+        help="write a Chrome trace-event file instead of JSONL",
+    )
+    args = parser.parse_args()
+
+    with open(args.dump, "rb") as f:
+        data = f.read()
+    try:
+        type_names, capacity, nodes = decode(data)
+    except DumpError as error:
+        print(f"{args.dump}: {error}", file=sys.stderr)
+        return 1
+
+    if args.node is not None:
+        if not 0 <= args.node < len(nodes):
+            print(
+                f"--node {args.node}: dump has {len(nodes)} node(s)",
+                file=sys.stderr,
+            )
+            return 1
+        nodes = [nodes[args.node]]
+    if args.tail is not None:
+        nodes = [(head, records[-args.tail :]) for head, records in nodes]
+
+    overwritten = sum(max(0, head - capacity) for head, _ in nodes)
+    if overwritten:
+        print(
+            f"note: {overwritten} older event(s) were overwritten in-ring",
+            file=sys.stderr,
+        )
+
+    if args.perfetto is not None:
+        count = write_perfetto(args.perfetto, nodes)
+        print(
+            f"wrote {args.perfetto} ({count} events, "
+            f"{len(type_names)} types)",
+            file=sys.stderr,
+        )
+        return 0
+
+    for _, records in nodes:
+        for record in records:
+            print(json.dumps(record, separators=(", ", ": ")))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; suppress the traceback the
+        # interpreter would print while flushing stdout at exit.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(141)

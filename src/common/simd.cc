@@ -1,0 +1,97 @@
+#include "src/common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace hipress {
+namespace {
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(HIPRESS_FORCE_SCALAR)
+constexpr bool kSimdCompiledIn = true;
+
+SimdTier DetectHostTier() {
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return SimdTier::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+      __builtin_cpu_supports("f16c")) {
+    return SimdTier::kAvx2;
+  }
+  return SimdTier::kScalar;
+}
+#else
+constexpr bool kSimdCompiledIn = false;
+
+SimdTier DetectHostTier() { return SimdTier::kScalar; }
+#endif
+
+SimdTier EnvCap() {
+  const char* env = std::getenv("HIPRESS_SIMD");
+  if (env == nullptr || *env == '\0') {
+    return SimdTier::kAvx512;  // no cap
+  }
+  return ParseSimdTier(env);
+}
+
+// kNoOverride sentinel keeps the override slot lock-free.
+constexpr int kNoOverride = -1;
+std::atomic<int> g_override{kNoOverride};
+
+}  // namespace
+
+bool SimdCompiledIn() { return kSimdCompiledIn; }
+
+SimdTier SimdHostTier() {
+  static const SimdTier tier = DetectHostTier();
+  return tier;
+}
+
+SimdTier ActiveSimdTier() {
+  static const SimdTier capped = [] {
+    const SimdTier host = SimdHostTier();
+    const SimdTier cap = EnvCap();
+    return host < cap ? host : cap;
+  }();
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced != kNoOverride) {
+    const SimdTier tier = static_cast<SimdTier>(forced);
+    return tier < capped ? tier : capped;
+  }
+  return capped;
+}
+
+void SimdTierOverride(SimdTier tier) {
+  g_override.store(static_cast<int>(tier), std::memory_order_relaxed);
+}
+
+void ClearSimdTierOverride() {
+  g_override.store(kNoOverride, std::memory_order_relaxed);
+}
+
+std::string_view SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+SimdTier ParseSimdTier(std::string_view name) {
+  if (name == "avx512") {
+    return SimdTier::kAvx512;
+  }
+  if (name == "avx2") {
+    return SimdTier::kAvx2;
+  }
+  return SimdTier::kScalar;
+}
+
+}  // namespace hipress

@@ -1,0 +1,58 @@
+// Runtime SIMD tier detection and dispatch for the CPU compression kernels.
+//
+// The hand-vectorized codecs (src/compress/simd_kernels.h) and the CompLL
+// code generator's vector backend (src/compll/codegen.h) both compile three
+// variants of every hot loop — portable scalar, AVX2, AVX-512 — and select
+// one at runtime from CPUID. All variants are bit-identical by construction
+// (docs/KERNELS.md), so the tier only changes speed, never bytes.
+//
+// Selection order:
+//   1. Compile-time: building with -DHIPRESS_FORCE_SCALAR=ON pins the
+//      scalar tier (the CI forced-scalar configuration), and non-x86-64 or
+//      non-GCC/Clang toolchains only ever see the scalar tier.
+//   2. Environment: HIPRESS_SIMD=scalar|avx2|avx512 caps the tier below
+//      (never above) what the CPU supports — used by tests and by
+//      bench_kernels' scalar-vs-SIMD panel via SimdTierOverride.
+//   3. CPUID: the highest tier the host supports.
+#ifndef HIPRESS_SRC_COMMON_SIMD_H_
+#define HIPRESS_SRC_COMMON_SIMD_H_
+
+#include <string_view>
+
+namespace hipress {
+
+enum class SimdTier {
+  kScalar = 0,  // portable C++, any CPU
+  kAvx2 = 1,    // AVX2 + FMA + F16C (every AVX2-era x86-64 core)
+  kAvx512 = 2,  // AVX-512 F + BW + VL
+};
+
+// True when this binary carries vector kernel variants at all (x86-64,
+// GCC/Clang, not HIPRESS_FORCE_SCALAR).
+bool SimdCompiledIn();
+
+// Highest tier the host CPU supports (ignores env overrides). Cached after
+// the first call.
+SimdTier SimdHostTier();
+
+// Tier the kernels actually dispatch to: min(host tier, HIPRESS_SIMD env
+// cap, override). Cached; the env var is read once.
+SimdTier ActiveSimdTier();
+
+// Process-wide override used by tests and benches to force a lower tier
+// (e.g. measure scalar vs AVX2 in one process). Passing a tier above the
+// host's capability clamps to the host tier. Not thread-safe with respect
+// to concurrently running kernels — set it between kernel invocations.
+void SimdTierOverride(SimdTier tier);
+void ClearSimdTierOverride();
+
+// "scalar", "avx2", "avx512".
+std::string_view SimdTierName(SimdTier tier);
+
+// Parses a tier name (as in HIPRESS_SIMD); returns kScalar for unknown
+// strings.
+SimdTier ParseSimdTier(std::string_view name);
+
+}  // namespace hipress
+
+#endif  // HIPRESS_SRC_COMMON_SIMD_H_

@@ -1,6 +1,7 @@
 #include "src/compll/codegen.h"
 
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "src/common/string_util.h"
@@ -18,14 +19,67 @@ constexpr const char* kRuntimePreamble = R"CPP(
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <vector>
+
+// SIMD backend gate: only GCC on x86-64 gets the multi-ISA clones (the
+// target/optimize attribute combination used here is GCC-specific); every
+// other toolchain compiles the portable scalar tier. COMPLL_FORCE_SCALAR
+// pins the scalar tier at compile time regardless of host support.
+#if COMPLL_ENABLE_SIMD && defined(__x86_64__) && defined(__GNUC__) && \
+    !defined(__clang__) && !defined(COMPLL_FORCE_SCALAR) &&           \
+    !defined(HIPRESS_FORCE_SCALAR)
+#define COMPLL_SIMD 1
+#define COMPLL_VEC(isa) \
+  __attribute__((target(isa), optimize("O3", "tree-vectorize")))
+#else
+#define COMPLL_SIMD 0
+#endif
 
 namespace {
 
 using Array = std::vector<double>;
 using Bytes = std::vector<uint8_t>;
+
+// Runtime tier selection, mirroring hipress ActiveSimdTier(): CPUID caps
+// the tier to what the host executes, the HIPRESS_SIMD environment variable
+// caps it further (scalar < avx2 < avx512).
+inline int __simd_tier_detect() {
+#if COMPLL_SIMD
+  int tier = 0;
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    tier = 1;
+  }
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vl")) {
+    tier = 2;
+  }
+  if (const char* env = std::getenv("HIPRESS_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) {
+      tier = 0;
+    } else if (std::strcmp(env, "avx2") == 0 && tier > 1) {
+      tier = 1;
+    }
+  }
+  return tier;
+#else
+  return 0;
+#endif
+}
+inline int __simd_tier() {
+  static const int tier = __simd_tier_detect();
+  return tier;
+}
+
+// Branch-free select: both arms are evaluated (they are pure in converted
+// udfs), so tiled map loops built from selects auto-vectorize.
+inline double __select(double c, double a, double b) {
+  return c != 0.0 ? a : b;
+}
 
 inline double __coerce_float(double v) {
   return static_cast<double>(static_cast<float>(v));
@@ -102,10 +156,63 @@ inline double __reduce_max(const Array& input) {
   for (double v : input) r = std::max(r, v);
   return r;
 }
+// Canonical deterministic sum: within each 4096-element block, lane j
+// accumulates elements with index = j (mod 8) and lanes merge in ascending
+// order; block partials merge in block order. The interpreter's ReduceOp
+// uses the same schedule, so generated code and interpreter agree to the
+// last bit at every input size, on every tier. The 8-lane inner loop is
+// what the AVX2/AVX-512 clones auto-vectorize (2x4 / 1x8 doubles).
+#define COMPLL_BLOCK_SUM8_BODY                     \
+  {                                                \
+    double lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};    \
+    const size_t n8 = n & ~static_cast<size_t>(7); \
+    for (size_t i = 0; i < n8; i += 8) {           \
+      for (size_t j = 0; j < 8; ++j) {             \
+        lanes[j] += x[i + j];                      \
+      }                                            \
+    }                                              \
+    for (size_t j = 0; j < n - n8; ++j) {          \
+      lanes[j] += x[n8 + j];                       \
+    }                                              \
+    double r = 0.0;                                \
+    for (size_t j = 0; j < 8; ++j) {               \
+      r += lanes[j];                               \
+    }                                              \
+    return r;                                      \
+  }
+
+inline double __block_sum8_scalar(const double* x, size_t n)
+    COMPLL_BLOCK_SUM8_BODY
+#if COMPLL_SIMD
+COMPLL_VEC("avx2,fma")
+inline double __block_sum8_avx2(const double* x, size_t n)
+    COMPLL_BLOCK_SUM8_BODY
+COMPLL_VEC("avx512f,avx512bw,avx512vl")
+inline double __block_sum8_avx512(const double* x, size_t n)
+    COMPLL_BLOCK_SUM8_BODY
+#endif
+#undef COMPLL_BLOCK_SUM8_BODY
+
+inline double __block_sum8(const double* x, size_t n) {
+#if COMPLL_SIMD
+  const int tier = __simd_tier();
+  if (tier >= 2) return __block_sum8_avx512(x, n);
+  if (tier >= 1) return __block_sum8_avx2(x, n);
+#endif
+  return __block_sum8_scalar(x, n);
+}
+
+inline double __reduce_sum_ptr(const double* x, size_t n) {
+  constexpr size_t kBlock = 4096;
+  double total = 0.0;
+  for (size_t base = 0; base < n; base += kBlock) {
+    const size_t len = n - base < kBlock ? n - base : kBlock;
+    total += __block_sum8(x + base, len);
+  }
+  return total;
+}
 inline double __reduce_sum(const Array& input) {
-  double r = 0.0;
-  for (double v : input) r += v;
-  return r;
+  return __reduce_sum_ptr(input.data(), input.size());
 }
 inline double __reduce_maxabs(const Array& input) {
   double r = 0.0;
@@ -178,6 +285,28 @@ inline void __append_packed(Bytes& buffer, const Array& values,
   }
   const size_t offset = buffer.size();
   buffer.resize(offset + (values.size() * bits + 7) / 8, 0);
+  if (bits == 1 || bits == 2 || bits == 4) {
+    // Fast path: sub-byte groups never straddle a byte, so each output
+    // byte is assembled independently — no read-modify-write of partial
+    // bytes, and the group loop is vectorizable.
+    const size_t per = 8 / bits;
+    const uint32_t mask = (1u << bits) - 1u;
+    uint8_t* out = buffer.data() + offset;
+    const size_t num_bytes = (values.size() * bits + 7) / 8;
+    for (size_t b = 0; b < num_bytes; ++b) {
+      const size_t base = b * per;
+      const size_t limit =
+          values.size() - base < per ? values.size() - base : per;
+      uint32_t byte = 0;
+      for (size_t j = 0; j < limit; ++j) {
+        byte |= (static_cast<uint32_t>(__coerce_uint(values[base + j], bits)) &
+                 mask)
+                << (j * bits);
+      }
+      out[b] = static_cast<uint8_t>(byte);
+    }
+    return;
+  }
   for (size_t i = 0; i < values.size(); ++i) {
     __write_bits(buffer.data() + offset, i * bits, bits,
                  static_cast<uint32_t>(__coerce_uint(values[i], bits)));
@@ -226,6 +355,24 @@ struct Reader {
       bytes = (elements * bits + 7) / 8;
     }
     Array values(elements, 0.0);
+    if (bits == 1 || bits == 2 || bits == 4) {
+      // Fast path mirroring __append_packed: whole bytes fan out to their
+      // sub-byte groups without bit-serial reads.
+      const size_t per = 8 / bits;
+      const uint32_t mask = (1u << bits) - 1u;
+      const uint8_t* in = data + cursor;
+      for (size_t b = 0; b * per < elements; ++b) {
+        const size_t base = b * per;
+        const size_t limit = elements - base < per ? elements - base : per;
+        const uint32_t byte = in[b];
+        for (size_t j = 0; j < limit; ++j) {
+          values[base + j] =
+              static_cast<double>((byte >> (j * bits)) & mask);
+        }
+      }
+      cursor += bytes;
+      return values;
+    }
     for (size_t i = 0; i < elements; ++i) {
       values[i] =
           static_cast<double>(__read_bits(data + cursor, i * bits, bits));
@@ -281,13 +428,19 @@ class Codegen {
   StatusOr<std::string> Generate() {
     out_ << "// Generated by CompLL from DSL source. Do not edit.\n";
     out_ << "// Algorithm: " << options_.algorithm_name << "\n";
+    out_ << "#define COMPLL_ENABLE_SIMD " << (options_.simd ? 1 : 0)
+         << "\n";
     out_ << kRuntimePreamble << "\n";
     out_ << "namespace compll_gen_" << options_.algorithm_name << " {\n\n";
     out_ << "constexpr uint64_t kSeed = " << options_.seed << "ull;\n\n";
 
     EmitParamStructs();
     RETURN_IF_ERROR(EmitGlobals());
+    if (options_.simd) {
+      RETURN_IF_ERROR(PrepareVectorUdfs());
+    }
     RETURN_IF_ERROR(EmitFunctionPrototypes());
+    EmitVectorMapKernels();
     for (const FunctionDecl& fn : program_.functions) {
       RETURN_IF_ERROR(EmitFunction(fn));
     }
@@ -337,6 +490,21 @@ class Codegen {
            << "  *out_size = buffer.size();\n"
            << "  return 0;\n}\n";
     }
+    // Raw kernel hooks for microbenchmarks (bench_kernels' generated-vs-
+    // hand-tuned panel) — they expose the vector operator loops without the
+    // Array marshalling of the entry points.
+    if (options_.simd) {
+      out_ << "\nextern \"C\" double " << options_.algorithm_name
+           << "_reduce_sum_c(const double* x, size_t n) {\n"
+           << "  return __reduce_sum_ptr(x, n);\n}\n";
+      for (const auto& [name, body] : vector_udfs_) {
+        out_ << "\nextern \"C\" void " << options_.algorithm_name << "_map_"
+             << name << "_c(const double* in, double* out, size_t n) {\n"
+             << "  " << ns << "::__map_vec_" << name << "_ptr(in, out, n);\n"
+             << "}\n";
+      }
+    }
+
     if (decode != nullptr) {
       out_ << "\nextern \"C\" int " << options_.algorithm_name
            << "_decode_c(const uint8_t* input, size_t n, float* out,\n"
@@ -411,10 +579,312 @@ class Codegen {
     return result;
   }
 
+  // ---------------------------------------------------- SIMD map lowering --
+  //
+  // A udf is vector-lowerable when it takes one scalar parameter, is pure
+  // (no assignments, no user-defined calls, no array reads) and its control
+  // flow if-converts into one branch-free expression: each `if` merges into
+  // __select(cond, then-value, else-value). The udf is then emitted
+  // branch-free and every map over it lowers to a tiled loop with per-ISA
+  // clones (EmitVectorMapKernels) instead of the generic __map.
+
+  struct BranchFreeBody {
+    std::vector<std::string> decls;  // "const double r = ...;" prefix lines
+    std::string value;               // the single return expression
+  };
+
+  static bool IsPureExpr(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kNumber:
+      case ExprKind::kVar:
+        return true;
+      case ExprKind::kUnary:
+        return IsPureExpr(*static_cast<const UnaryExpr&>(expr).operand);
+      case ExprKind::kBinary: {
+        const auto& binary = static_cast<const BinaryExpr&>(expr);
+        return IsPureExpr(*binary.lhs) && IsPureExpr(*binary.rhs);
+      }
+      case ExprKind::kMember:
+        return IsPureExpr(*static_cast<const MemberExpr&>(expr).object);
+      case ExprKind::kIndex:
+        return false;  // array access is not a per-element map
+      case ExprKind::kCall: {
+        const auto& call = static_cast<const CallExpr&>(expr);
+        const bool builtin = call.callee == "random" ||
+                             call.callee == "floor" || call.callee == "ceil" ||
+                             call.callee == "sqrt" || call.callee == "abs" ||
+                             call.callee == "min" || call.callee == "max";
+        if (!builtin) {
+          return false;  // user udf calls may touch globals; stay branchy
+        }
+        for (const ExprPtr& argument : call.args) {
+          if (!IsPureExpr(*argument)) {
+            return false;
+          }
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Folds a statement worklist into the expression it returns. `if`
+  // statements recurse with the continuation appended to both arms (the
+  // arm that does not return falls through to it), which duplicates the
+  // tail — bounded by the depth cap. Falling off the end mirrors the
+  // branchy lowering's trailing `return 0;`.
+  StatusOr<std::string> ConvertValue(const std::vector<const Stmt*>& work,
+                                     bool allow_decls, int depth,
+                                     BranchFreeBody* body) {
+    if (depth > 8) {
+      return InvalidArgumentError("codegen: if-conversion too deep");
+    }
+    for (size_t idx = 0; idx < work.size(); ++idx) {
+      const Stmt& stmt = *work[idx];
+      switch (stmt.kind) {
+        case StmtKind::kReturn: {
+          const auto& ret = static_cast<const ReturnStmt&>(stmt);
+          if (ret.value == nullptr || !IsPureExpr(*ret.value)) {
+            return InvalidArgumentError("codegen: return not convertible");
+          }
+          ASSIGN_OR_RETURN(auto value, EmitExpr(*ret.value));
+          return Coerce(return_coerce_, value.code);
+        }
+        case StmtKind::kDecl: {
+          const auto& decl = static_cast<const DeclStmt&>(stmt);
+          if (!allow_decls || decl.type.is_array || decl.init == nullptr ||
+              !IsPureExpr(*decl.init)) {
+            return InvalidArgumentError("codegen: decl not convertible");
+          }
+          ASSIGN_OR_RETURN(auto init, EmitExpr(*decl.init));
+          body->decls.push_back("const double " + decl.name + " = " +
+                                Coerce(decl.type.scalar, init.code) + ";");
+          scope_[decl.name] = CgType::Scalar(decl.type.scalar);
+          continue;
+        }
+        case StmtKind::kIf: {
+          const auto& if_stmt = static_cast<const IfStmt&>(stmt);
+          if (!IsPureExpr(*if_stmt.condition)) {
+            return InvalidArgumentError("codegen: condition not convertible");
+          }
+          ASSIGN_OR_RETURN(auto condition, EmitExpr(*if_stmt.condition));
+          const std::vector<const Stmt*> rest(work.begin() + idx + 1,
+                                              work.end());
+          auto with_rest = [&rest](const std::vector<StmtPtr>& arm) {
+            std::vector<const Stmt*> merged;
+            for (const StmtPtr& s : arm) {
+              merged.push_back(s.get());
+            }
+            merged.insert(merged.end(), rest.begin(), rest.end());
+            return merged;
+          };
+          ASSIGN_OR_RETURN(
+              std::string then_value,
+              ConvertValue(with_rest(if_stmt.then_body), false, depth + 1,
+                           body));
+          ASSIGN_OR_RETURN(
+              std::string else_value,
+              ConvertValue(with_rest(if_stmt.else_body), false, depth + 1,
+                           body));
+          return "__select(" + condition.code + ", " + then_value + ", " +
+                 else_value + ")";
+        }
+        case StmtKind::kAssign:
+        case StmtKind::kExpr:
+          return InvalidArgumentError("codegen: stmt blocks if-conversion");
+      }
+    }
+    return std::string("0");
+  }
+
+  static void CollectMapUdfsExpr(const Expr& expr,
+                                 std::set<std::string>* names) {
+    switch (expr.kind) {
+      case ExprKind::kNumber:
+      case ExprKind::kVar:
+        return;
+      case ExprKind::kUnary:
+        CollectMapUdfsExpr(*static_cast<const UnaryExpr&>(expr).operand,
+                           names);
+        return;
+      case ExprKind::kBinary: {
+        const auto& binary = static_cast<const BinaryExpr&>(expr);
+        CollectMapUdfsExpr(*binary.lhs, names);
+        CollectMapUdfsExpr(*binary.rhs, names);
+        return;
+      }
+      case ExprKind::kMember:
+        CollectMapUdfsExpr(*static_cast<const MemberExpr&>(expr).object,
+                           names);
+        return;
+      case ExprKind::kIndex: {
+        const auto& index = static_cast<const IndexExpr&>(expr);
+        CollectMapUdfsExpr(*index.object, names);
+        CollectMapUdfsExpr(*index.index, names);
+        return;
+      }
+      case ExprKind::kCall: {
+        const auto& call = static_cast<const CallExpr&>(expr);
+        if (call.callee == "map" && call.args.size() == 2 &&
+            call.args[1]->kind == ExprKind::kVar) {
+          names->insert(static_cast<const VarExpr&>(*call.args[1]).name);
+        }
+        for (const ExprPtr& argument : call.args) {
+          CollectMapUdfsExpr(*argument, names);
+        }
+        return;
+      }
+    }
+  }
+
+  static void CollectMapUdfsStmt(const Stmt& stmt,
+                                 std::set<std::string>* names) {
+    switch (stmt.kind) {
+      case StmtKind::kDecl: {
+        const auto& decl = static_cast<const DeclStmt&>(stmt);
+        if (decl.init != nullptr) {
+          CollectMapUdfsExpr(*decl.init, names);
+        }
+        return;
+      }
+      case StmtKind::kAssign: {
+        const auto& assign = static_cast<const AssignStmt&>(stmt);
+        CollectMapUdfsExpr(*assign.target, names);
+        CollectMapUdfsExpr(*assign.value, names);
+        return;
+      }
+      case StmtKind::kReturn: {
+        const auto& ret = static_cast<const ReturnStmt&>(stmt);
+        if (ret.value != nullptr) {
+          CollectMapUdfsExpr(*ret.value, names);
+        }
+        return;
+      }
+      case StmtKind::kExpr:
+        CollectMapUdfsExpr(*static_cast<const ExprStmt&>(stmt).expr, names);
+        return;
+      case StmtKind::kIf: {
+        const auto& if_stmt = static_cast<const IfStmt&>(stmt);
+        CollectMapUdfsExpr(*if_stmt.condition, names);
+        for (const StmtPtr& s : if_stmt.then_body) {
+          CollectMapUdfsStmt(*s, names);
+        }
+        for (const StmtPtr& s : if_stmt.else_body) {
+          CollectMapUdfsStmt(*s, names);
+        }
+        return;
+      }
+    }
+  }
+
+  Status PrepareVectorUdfs() {
+    std::set<std::string> map_udfs;
+    for (const FunctionDecl& fn : program_.functions) {
+      for (const StmtPtr& stmt : fn.body) {
+        CollectMapUdfsStmt(*stmt, &map_udfs);
+      }
+    }
+    for (const std::string& name : map_udfs) {
+      const FunctionDecl* fn = program_.FindFunction(name);
+      if (fn == nullptr || fn->params.size() != 1 ||
+          fn->params[0].type.is_array) {
+        continue;
+      }
+      scope_.clear();
+      scope_[fn->params[0].name] =
+          CgType::Scalar(fn->params[0].type.scalar);
+      return_coerce_ = fn->return_type.scalar;
+      std::vector<const Stmt*> work;
+      for (const StmtPtr& stmt : fn->body) {
+        work.push_back(stmt.get());
+      }
+      BranchFreeBody body;
+      StatusOr<std::string> value =
+          ConvertValue(work, /*allow_decls=*/true, 0, &body);
+      scope_.clear();
+      if (!value.ok()) {
+        continue;  // stays on the branchy scalar lowering
+      }
+      body.value = std::move(value.value());
+      vector_udfs_[name] = std::move(body);
+    }
+    return OkStatus();
+  }
+
+  void EmitMapTile(const std::string& name, const std::string& suffix,
+                   const std::string& attr) {
+    out_ << attr << "static void __map_tile_" << name << "_" << suffix
+         << "(const double* __in, double* __res, size_t __len,\n"
+         << "    size_t __base) {\n"
+         << "  for (size_t __i = 0; __i < __len; ++__i) {\n"
+         << "    __res[__i] = " << name << "(__in[__i], __base + __i);\n"
+         << "  }\n"
+         << "}\n";
+  }
+
+  void EmitVectorMapKernels() {
+    if (vector_udfs_.empty()) {
+      return;
+    }
+    out_ << "// Tiled map kernels: one clone per ISA, dispatched per tile\n"
+         << "// on __simd_tier(). Every clone evaluates the same branch-free\n"
+         << "// per-element expression, so outputs are bit-identical across\n"
+         << "// tiers; only throughput changes.\n";
+    for (const auto& [name, body] : vector_udfs_) {
+      EmitMapTile(name, "scalar", "");
+      out_ << "#if COMPLL_SIMD\n";
+      EmitMapTile(name, "avx2", "COMPLL_VEC(\"avx2,fma\")\n");
+      EmitMapTile(name, "avx512",
+                  "COMPLL_VEC(\"avx512f,avx512bw,avx512vl\")\n");
+      out_ << "#endif\n";
+      out_ << "static void __map_vec_" << name
+           << "_ptr(const double* __in, double* __res, size_t __n) {\n"
+           << "  constexpr size_t __tile = 4096;\n"
+           << "  for (size_t __b = 0; __b < __n; __b += __tile) {\n"
+           << "    const size_t __len = __n - __b < __tile ? __n - __b "
+              ": __tile;\n"
+           << "#if COMPLL_SIMD\n"
+           << "    const int __tier = __simd_tier();\n"
+           << "    if (__tier >= 2) {\n"
+           << "      __map_tile_" << name
+           << "_avx512(__in + __b, __res + __b, __len, __b);\n"
+           << "      continue;\n"
+           << "    }\n"
+           << "    if (__tier >= 1) {\n"
+           << "      __map_tile_" << name
+           << "_avx2(__in + __b, __res + __b, __len, __b);\n"
+           << "      continue;\n"
+           << "    }\n"
+           << "#endif\n"
+           << "    __map_tile_" << name
+           << "_scalar(__in + __b, __res + __b, __len, __b);\n"
+           << "  }\n"
+           << "}\n"
+           << "static Array __map_vec_" << name << "(const Array& __in) {\n"
+           << "  Array __res(__in.size());\n"
+           << "  __map_vec_" << name
+           << "_ptr(__in.data(), __res.data(), __in.size());\n"
+           << "  return __res;\n"
+           << "}\n\n";
+    }
+  }
+
   Status EmitFunction(const FunctionDecl& fn) {
     scope_.clear();
     if (fn.name == "encode" || fn.name == "decode") {
       return EmitEntry(fn);
+    }
+    if (auto it = vector_udfs_.find(fn.name); it != vector_udfs_.end()) {
+      // Branch-free form (see PrepareVectorUdfs): decl prefix + one return.
+      ASSIGN_OR_RETURN(std::string signature,
+                       UdfSignature(fn, /*with_default=*/false));
+      out_ << signature << " {\n";
+      out_ << "  (void)__idx;\n";
+      for (const std::string& decl : it->second.decls) {
+        out_ << "  " << decl << "\n";
+      }
+      out_ << "  return " << it->second.value << ";\n}\n\n";
+      return OkStatus();
     }
     ASSIGN_OR_RETURN(std::string signature,
                      UdfSignature(fn, /*with_default=*/false));
@@ -813,6 +1283,20 @@ class Codegen {
         return InvalidArgumentError("codegen: " + callee + " takes 2 args");
       }
       ASSIGN_OR_RETURN(auto input, arg(0));
+      if (callee == "map" && call.args[1]->kind == ExprKind::kVar) {
+        // Vector-lowered udfs get the tiled per-ISA kernel instead of the
+        // generic per-element loop.
+        const std::string udf_name =
+            static_cast<const VarExpr&>(*call.args[1]).name;
+        if (vector_udfs_.count(udf_name) > 0) {
+          ScalarType elem = ScalarType::kFloat;
+          if (const FunctionDecl* fn_decl = program_.FindFunction(udf_name)) {
+            elem = fn_decl->return_type.scalar;
+          }
+          return EmittedExpr{"__map_vec_" + udf_name + "(" + input.code + ")",
+                             CgType::Array(elem)};
+        }
+      }
       ASSIGN_OR_RETURN(std::string lambda, UdfLambda(*call.args[1]));
       const std::string fn =
           callee == "map" ? "__map" : (callee == "filter" ? "__filter" : "__findex");
@@ -1030,6 +1514,8 @@ class Codegen {
   std::map<std::string, CgType> globals_;
   std::map<std::string, std::string> param_vars_;   // var -> struct name
   std::map<std::string, std::string> reader_names_;  // buffer var -> reader
+  // Udfs successfully if-converted for SIMD map lowering (PrepareVectorUdfs).
+  std::map<std::string, BranchFreeBody> vector_udfs_;
 };
 
 }  // namespace

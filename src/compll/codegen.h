@@ -30,6 +30,13 @@ struct CodegenOptions {
   // Namespace / symbol prefix for the generated unit.
   std::string algorithm_name = "algorithm";
   uint64_t seed = 0x5eed;
+  // Emit the SIMD backend: branch-free (if-converted) udfs, tiled map
+  // kernels cloned per ISA (scalar/AVX2/AVX-512) behind a runtime CPUID
+  // dispatch, and the blocked vector-width-invariant reduce. The emitted
+  // unit still compiles and runs everywhere — non-GCC or non-x86 hosts
+  // (and -DCOMPLL_FORCE_SCALAR / -DHIPRESS_FORCE_SCALAR builds) collapse
+  // to the scalar clones. Outputs are bit-identical across tiers.
+  bool simd = true;
 };
 
 // Generates a C++ translation unit for the program. Fails on constructs the

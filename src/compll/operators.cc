@@ -14,6 +14,54 @@ namespace {
 
 constexpr size_t kParallelGrain = 32 * 1024;
 
+// Canonical deterministic sum schedule, shared with the SIMD kernels
+// (src/compress/simd_kernels.h) and with CompLL-generated code: within a
+// 4096-element block, lane j accumulates elements with index = j (mod 8)
+// and the 8 lanes merge in ascending order. Block partials merge in block
+// order. Any implementation following this schedule — scalar, AVX2,
+// AVX-512, interpreter, generated — produces bit-identical sums at every
+// input size and thread count.
+constexpr size_t kSumBlockElements = 4096;
+
+double BlockSum8(const double* x, size_t n) {
+  double lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  for (size_t i = 0; i < n8; i += 8) {
+    for (size_t j = 0; j < 8; ++j) {
+      lanes[j] += x[i + j];
+    }
+  }
+  for (size_t j = 0; j < n - n8; ++j) {
+    lanes[j] += x[n8 + j];
+  }
+  double r = 0.0;
+  for (size_t j = 0; j < 8; ++j) {
+    r += lanes[j];
+  }
+  return r;
+}
+
+double BlockedSum(std::span<const double> input) {
+  const size_t num_blocks =
+      (input.size() + kSumBlockElements - 1) / kSumBlockElements;
+  std::vector<double> partials(num_blocks);
+  ThreadPool::Global().ParallelFor(
+      num_blocks, kParallelGrain / kSumBlockElements + 1,
+      [&](size_t block_begin, size_t block_end) {
+        for (size_t b = block_begin; b < block_end; ++b) {
+          const size_t begin = b * kSumBlockElements;
+          const size_t end =
+              std::min(input.size(), begin + kSumBlockElements);
+          partials[b] = BlockSum8(input.data() + begin, end - begin);
+        }
+      });
+  double total = 0.0;
+  for (const double partial : partials) {
+    total += partial;
+  }
+  return total;
+}
+
 }  // namespace
 
 StatusOr<BuiltinUdf> ParseBuiltinUdf(const std::string& name) {
@@ -48,6 +96,12 @@ double ReduceOp(std::span<const double> input, BuiltinUdf udf) {
   if (input.empty()) {
     return 0.0;
   }
+  if (udf == BuiltinUdf::kSum) {
+    // Sum is not associative in floating point; use the canonical blocked
+    // schedule so the result matches the SIMD kernels and generated code
+    // bit for bit regardless of sharding.
+    return BlockedSum(input);
+  }
   auto combine = [udf](double a, double b) {
     switch (udf) {
       case BuiltinUdf::kSmaller:
@@ -61,8 +115,8 @@ double ReduceOp(std::span<const double> input, BuiltinUdf udf) {
     }
     return a;
   };
-  // Per-shard partials merged afterwards; all builtin combiners are
-  // associative and commutative, so shard order does not matter.
+  // Per-shard partials merged afterwards; min/max/maxabs are associative
+  // and commutative, so shard order does not matter.
   std::vector<double> partials;
   std::mutex partials_mutex;
   ThreadPool::Global().ParallelFor(

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/thread_pool.h"
+#include "src/compress/simd_kernels.h"
 
 namespace hipress {
 namespace {
@@ -15,26 +16,37 @@ uint16_t FloatToHalf(float value) {
   uint32_t bits;
   std::memcpy(&bits, &value, sizeof(bits));
   const uint32_t sign = (bits >> 16) & 0x8000u;
-  int32_t exponent = static_cast<int32_t>((bits >> 23) & 0xff) - 127 + 15;
-  uint32_t mantissa = bits & 0x7fffffu;
+  const uint32_t src_exponent = (bits >> 23) & 0xffu;
+  const uint32_t mantissa = bits & 0x7fffffu;
 
-  if (exponent >= 0x1f) {
-    // Overflow / inf / NaN.
-    const uint32_t payload = ((bits >> 23) & 0xff) == 0xff && mantissa != 0
-                                 ? 0x200u  // quiet NaN
-                                 : 0u;
+  if (src_exponent == 0xffu) {
+    // Inf passes through; NaN keeps its top 10 payload bits and is quieted
+    // — the same result the F16C/AVX-512 conversion instructions produce,
+    // which keeps the scalar tier bit-identical to the vector tiers.
+    const uint32_t payload =
+        mantissa != 0 ? (0x200u | (mantissa >> 13)) : 0u;
     return static_cast<uint16_t>(sign | 0x7c00u | payload);
+  }
+
+  const int32_t exponent = static_cast<int32_t>(src_exponent) - 127 + 15;
+  if (exponent >= 0x1f) {
+    return static_cast<uint16_t>(sign | 0x7c00u);  // overflow to inf
   }
   if (exponent <= 0) {
     if (exponent < -10) {
       return static_cast<uint16_t>(sign);  // underflow to signed zero
     }
-    // Subnormal: shift mantissa (with implicit leading 1) into place.
-    mantissa |= 0x800000u;
+    // Subnormal: shift mantissa (with implicit leading 1) into place,
+    // rounding to nearest-even like the hardware converters.
+    const uint32_t full = mantissa | 0x800000u;
     const uint32_t shift = static_cast<uint32_t>(14 - exponent);
-    const uint32_t rounded =
-        (mantissa + (1u << (shift - 1))) >> shift;
-    return static_cast<uint16_t>(sign | rounded);
+    uint32_t half = full >> shift;
+    const uint32_t rem = full & ((1u << shift) - 1u);
+    const uint32_t half_point = 1u << (shift - 1);
+    if (rem > half_point || (rem == half_point && (half & 1u) != 0)) {
+      ++half;  // may carry into the smallest normal, which is still correct
+    }
+    return static_cast<uint16_t>(sign | half);
   }
   // Normal: round mantissa to 10 bits (round-to-nearest-even).
   uint32_t half = sign | (static_cast<uint32_t>(exponent) << 10) |
@@ -67,7 +79,12 @@ float HalfToFloat(uint16_t half) {
              ((m & 0x3ffu) << 13);
     }
   } else if (exponent == 0x1f) {
-    bits = sign | 0x7f800000u | (mantissa << 13);  // inf / NaN
+    if (mantissa == 0) {
+      bits = sign | 0x7f800000u;  // inf
+    } else {
+      // NaN: quieted like the hardware converter (bit 22 forced on).
+      bits = sign | 0x7f800000u | 0x400000u | (mantissa << 13);
+    }
   } else {
     bits = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
   }
@@ -86,12 +103,11 @@ StatusOr<size_t> Fp16Compressor::EncodeInto(std::span<const float> gradient,
   const uint32_t count = static_cast<uint32_t>(n);
   std::memcpy(out.data(), &count, sizeof(count));
   auto* halves = reinterpret_cast<uint16_t*>(out.data() + kCountHeaderBytes);
-  ThreadPool::Global().ParallelFor(n, kParallelGrain,
-                                   [&](size_t begin, size_t end) {
-                                     for (size_t i = begin; i < end; ++i) {
-                                       halves[i] = FloatToHalf(gradient[i]);
-                                     }
-                                   });
+  ThreadPool::Global().ParallelFor(
+      n, kParallelGrain, [&](size_t begin, size_t end) {
+        simd::Fp16Encode(gradient.data() + begin, end - begin, halves + begin,
+                         end - begin);
+      });
   return needed;
 }
 
@@ -114,12 +130,11 @@ Status Fp16DecodeImpl(const ByteBuffer& in, std::span<float> out) {
       reinterpret_cast<const uint16_t*>(in.data() + kCountHeaderBytes);
   ThreadPool::Global().ParallelFor(
       count, kParallelGrain, [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          if constexpr (kAccumulate) {
-            out[i] += HalfToFloat(halves[i]);
-          } else {
-            out[i] = HalfToFloat(halves[i]);
-          }
+        if constexpr (kAccumulate) {
+          simd::Fp16DecodeAdd(halves + begin, end - begin,
+                              out.data() + begin);
+        } else {
+          simd::Fp16Decode(halves + begin, end - begin, out.data() + begin);
         }
       });
   return OkStatus();

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
-#include <mutex>
+#include <vector>
 
 #include "src/common/bitops.h"
 #include "src/common/thread_pool.h"
+#include "src/compress/simd_kernels.h"
 
 namespace hipress {
 namespace {
@@ -13,13 +14,6 @@ namespace {
 constexpr size_t kHeaderBytes =
     kCountHeaderBytes + 2 * sizeof(float);  // count, neg_mean, pos_mean
 constexpr size_t kParallelGrain = 64 * 1024;
-
-struct SignStats {
-  double pos_sum = 0.0;
-  double neg_sum = 0.0;
-  size_t pos_count = 0;
-  size_t neg_count = 0;
-};
 
 }  // namespace
 
@@ -32,36 +26,40 @@ StatusOr<size_t> OnebitCompressor::EncodeInto(std::span<const float> gradient,
   }
   uint8_t* bytes = out.data();
 
-  // Pass 1: signed means (sharded reduce).
-  SignStats stats;
-  std::mutex stats_mutex;
-  ThreadPool::Global().ParallelFor(n, kParallelGrain, [&](size_t begin,
-                                                          size_t end) {
-    SignStats local;
-    for (size_t i = begin; i < end; ++i) {
-      const float v = gradient[i];
-      if (v >= 0.0f) {
-        local.pos_sum += v;
-        ++local.pos_count;
-      } else {
-        local.neg_sum += v;
-        ++local.neg_count;
-      }
-    }
-    std::lock_guard<std::mutex> lock(stats_mutex);
-    stats.pos_sum += local.pos_sum;
-    stats.neg_sum += local.neg_sum;
-    stats.pos_count += local.pos_count;
-    stats.neg_count += local.neg_count;
-  });
+  // Pass 1: signed means. One SignStats partial per fixed-size block,
+  // computed in parallel (vectorized per block) and merged in block order —
+  // the result is independent of thread count and SIMD tier, so encoded
+  // bytes are reproducible across machines (docs/KERNELS.md).
+  const size_t num_blocks =
+      (n + simd::kReduceBlockElements - 1) / simd::kReduceBlockElements;
+  std::vector<simd::SignStats> partials(num_blocks);
+  ThreadPool::Global().ParallelFor(
+      num_blocks, kParallelGrain / simd::kReduceBlockElements + 1,
+      [&](size_t block_begin, size_t block_end) {
+        for (size_t b = block_begin; b < block_end; ++b) {
+          const size_t begin = b * simd::kReduceBlockElements;
+          const size_t end =
+              std::min(n, begin + simd::kReduceBlockElements);
+          partials[b] = simd::OnebitSignStats(gradient.data() + begin,
+                                              end - begin);
+        }
+      });
+  simd::SignStats stats;
+  for (const simd::SignStats& partial : partials) {
+    stats.pos_sum += partial.pos_sum;
+    stats.neg_sum += partial.neg_sum;
+    stats.pos_count += partial.pos_count;
+  }
+  const uint64_t neg_count = n - stats.pos_count;
   const float pos_mean =
       stats.pos_count > 0
-          ? static_cast<float>(stats.pos_sum / static_cast<double>(stats.pos_count))
+          ? static_cast<float>(stats.pos_sum /
+                               static_cast<double>(stats.pos_count))
           : 0.0f;
   const float neg_mean =
-      stats.neg_count > 0
-          ? static_cast<float>(stats.neg_sum / static_cast<double>(stats.neg_count))
-          : 0.0f;
+      neg_count > 0 ? static_cast<float>(stats.neg_sum /
+                                         static_cast<double>(neg_count))
+                    : 0.0f;
 
   const uint32_t count = static_cast<uint32_t>(n);
   std::memcpy(bytes, &count, sizeof(count));
@@ -75,17 +73,11 @@ StatusOr<size_t> OnebitCompressor::EncodeInto(std::span<const float> gradient,
   const size_t num_bytes = PackedBytes(n, 1);
   ThreadPool::Global().ParallelFor(
       num_bytes, kParallelGrain / 8, [&](size_t byte_begin, size_t byte_end) {
-        for (size_t b = byte_begin; b < byte_end; ++b) {
-          uint8_t byte = 0;
-          const size_t base = b * 8;
-          const size_t limit = std::min<size_t>(8, n - base);
-          for (size_t i = 0; i < limit; ++i) {
-            if (gradient[base + i] >= 0.0f) {
-              byte |= static_cast<uint8_t>(1u << i);
-            }
-          }
-          packed[b] = byte;
-        }
+        const size_t elem_begin = byte_begin * 8;
+        const size_t elem_end = std::min(n, byte_end * 8);
+        simd::OnebitPackSigns(gradient.data() + elem_begin,
+                              elem_end - elem_begin, packed + byte_begin,
+                              byte_end - byte_begin);
       });
   return needed;
 }
@@ -109,14 +101,11 @@ Status OnebitCompressor::Decode(const ByteBuffer& in,
   ThreadPool::Global().ParallelFor(
       PackedBytes(count, 1), kParallelGrain / 8,
       [&](size_t byte_begin, size_t byte_end) {
-        for (size_t b = byte_begin; b < byte_end; ++b) {
-          const uint8_t byte = packed[b];
-          const size_t base = b * 8;
-          const size_t limit = std::min<size_t>(8, count - base);
-          for (size_t i = 0; i < limit; ++i) {
-            out[base + i] = ((byte >> i) & 1u) ? pos_mean : neg_mean;
-          }
-        }
+        const size_t elem_begin = byte_begin * 8;
+        const size_t elem_end = std::min<size_t>(count, byte_end * 8);
+        simd::OnebitUnpackSigns(packed + byte_begin, elem_end - elem_begin,
+                                neg_mean, pos_mean,
+                                out.data() + elem_begin);
       });
   return OkStatus();
 }
@@ -140,14 +129,11 @@ Status OnebitCompressor::DecodeAdd(const ByteBuffer& in,
   ThreadPool::Global().ParallelFor(
       PackedBytes(count, 1), kParallelGrain / 8,
       [&](size_t byte_begin, size_t byte_end) {
-        for (size_t b = byte_begin; b < byte_end; ++b) {
-          const uint8_t byte = packed[b];
-          const size_t base = b * 8;
-          const size_t limit = std::min<size_t>(8, count - base);
-          for (size_t i = 0; i < limit; ++i) {
-            accum[base + i] += ((byte >> i) & 1u) ? pos_mean : neg_mean;
-          }
-        }
+        const size_t elem_begin = byte_begin * 8;
+        const size_t elem_end = std::min<size_t>(count, byte_end * 8);
+        simd::OnebitUnpackSignsAdd(packed + byte_begin,
+                                   elem_end - elem_begin, neg_mean, pos_mean,
+                                   accum.data() + elem_begin);
       });
   return OkStatus();
 }

@@ -1,0 +1,652 @@
+#include "src/compress/simd_kernels.h"
+
+#include <cstring>
+
+#include "src/common/bitops.h"
+#include "src/common/logging.h"
+#include "src/compress/fp16.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(HIPRESS_FORCE_SCALAR)
+#define HIPRESS_SIMD_X86 1
+#include <immintrin.h>
+#define HIPRESS_TARGET_AVX2 __attribute__((target("avx2,fma,f16c")))
+#define HIPRESS_TARGET_AVX512 \
+  __attribute__((target("avx512f,avx512bw,avx512vl,f16c")))
+#endif
+
+namespace hipress::simd {
+namespace {
+
+// Interleaves an 8-bit mask into the even bit positions of a 16-bit word
+// (bit i -> bit 2i); OR a second spread mask shifted left by one to build
+// the 2-bit-per-element TBQ group.
+constexpr uint32_t Spread8(uint32_t v) {
+  v &= 0xffu;
+  v = (v | (v << 4)) & 0x0f0fu;
+  v = (v | (v << 2)) & 0x3333u;
+  v = (v | (v << 1)) & 0x5555u;
+  return v;
+}
+
+constexpr uint32_t Spread16(uint32_t v) {
+  v &= 0xffffu;
+  v = (v | (v << 8)) & 0x00ff00ffu;
+  v = (v | (v << 4)) & 0x0f0f0f0fu;
+  v = (v | (v << 2)) & 0x33333333u;
+  v = (v | (v << 1)) & 0x55555555u;
+  return v;
+}
+
+// --------------------------------------------------------- scalar variants
+//
+// The scalar variants are the semantic reference: they execute the exact
+// lane schedule the vector variants implement, so every tier produces the
+// same bits (docs/KERNELS.md "Determinism" section).
+
+SignStats OnebitSignStatsScalar(const float* x, size_t n) {
+  double pos[8] = {0.0};
+  double neg[8] = {0.0};
+  uint64_t cnt[8] = {0};
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    for (size_t j = 0; j < 8; ++j) {
+      const double v = static_cast<double>(x[i + j]);
+      if (x[i + j] >= 0.0f) {
+        pos[j] += v;
+        ++cnt[j];
+      } else {
+        neg[j] += v;
+      }
+    }
+  }
+  for (size_t j = 0; j < n - n8; ++j) {
+    const double v = static_cast<double>(x[n8 + j]);
+    if (x[n8 + j] >= 0.0f) {
+      pos[j] += v;
+      ++cnt[j];
+    } else {
+      neg[j] += v;
+    }
+  }
+  SignStats stats;
+  for (size_t j = 0; j < 8; ++j) {
+    stats.pos_sum += pos[j];
+    stats.neg_sum += neg[j];
+    stats.pos_count += cnt[j];
+  }
+  return stats;
+}
+
+void OnebitPackSignsScalar(const float* x, size_t n, uint8_t* out) {
+  const size_t num_bytes = PackedBytes(n, 1);
+  for (size_t b = 0; b < num_bytes; ++b) {
+    const size_t base = b * 8;
+    const size_t limit = n - base < 8 ? n - base : 8;
+    uint8_t byte = 0;
+    for (size_t i = 0; i < limit; ++i) {
+      if (x[base + i] >= 0.0f) {
+        byte |= static_cast<uint8_t>(1u << i);
+      }
+    }
+    out[b] = byte;
+  }
+}
+
+template <bool kAccumulate>
+void OnebitUnpackScalar(const uint8_t* packed, size_t n, float neg, float pos,
+                        float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const float v = ((packed[i >> 3] >> (i & 7)) & 1u) ? pos : neg;
+    if constexpr (kAccumulate) {
+      out[i] += v;
+    } else {
+      out[i] = v;
+    }
+  }
+}
+
+void TbqPackCodesScalar(const float* x, size_t n, float tau, uint8_t* out) {
+  const float ntau = -tau;
+  const size_t num_bytes = PackedBytes(n, 2);
+  for (size_t b = 0; b < num_bytes; ++b) {
+    const size_t base = b * 4;
+    const size_t limit = n - base < 4 ? n - base : 4;
+    uint8_t byte = 0;
+    for (size_t i = 0; i < limit; ++i) {
+      const float v = x[base + i];
+      uint8_t code = 0;
+      if (v > tau) {
+        code = 1;
+      } else if (v < ntau) {
+        code = 2;
+      }
+      byte |= static_cast<uint8_t>(code << (2 * i));
+    }
+    out[b] = byte;
+  }
+}
+
+template <bool kAccumulate>
+void TbqUnpackScalar(const uint8_t* packed, size_t n, float tau, float* out) {
+  const float ntau = -tau;
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t code = (packed[i >> 2] >> (2 * (i & 3))) & 3u;
+    const float v = code == 1 ? tau : (code == 2 ? ntau : 0.0f);
+    if constexpr (kAccumulate) {
+      out[i] += v;
+    } else {
+      out[i] = v;
+    }
+  }
+}
+
+void Fp16EncodeScalar(const float* x, size_t n, uint16_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = FloatToHalf(x[i]);
+  }
+}
+
+template <bool kAccumulate>
+void Fp16DecodeScalar(const uint16_t* halves, size_t n, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    if constexpr (kAccumulate) {
+      out[i] += HalfToFloat(halves[i]);
+    } else {
+      out[i] = HalfToFloat(halves[i]);
+    }
+  }
+}
+
+#ifdef HIPRESS_SIMD_X86
+
+// ----------------------------------------------------------- AVX2 variants
+
+HIPRESS_TARGET_AVX2 SignStats OnebitSignStatsAvx2(const float* x, size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  __m256d pos_lo = zero, pos_hi = zero, neg_lo = zero, neg_hi = zero;
+  __m256i cnt_lo = _mm256_setzero_si256(), cnt_hi = _mm256_setzero_si256();
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256d dlo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+    const __m256d dhi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+    const __m256d ge_lo = _mm256_cmp_pd(dlo, zero, _CMP_GE_OQ);
+    const __m256d ge_hi = _mm256_cmp_pd(dhi, zero, _CMP_GE_OQ);
+    pos_lo = _mm256_add_pd(pos_lo, _mm256_and_pd(ge_lo, dlo));
+    pos_hi = _mm256_add_pd(pos_hi, _mm256_and_pd(ge_hi, dhi));
+    neg_lo = _mm256_add_pd(neg_lo, _mm256_andnot_pd(ge_lo, dlo));
+    neg_hi = _mm256_add_pd(neg_hi, _mm256_andnot_pd(ge_hi, dhi));
+    // Comparison masks are all-ones (-1); subtracting increments the count.
+    cnt_lo = _mm256_sub_epi64(cnt_lo, _mm256_castpd_si256(ge_lo));
+    cnt_hi = _mm256_sub_epi64(cnt_hi, _mm256_castpd_si256(ge_hi));
+  }
+  alignas(32) double pos[8], neg[8];
+  alignas(32) uint64_t cnt[8];
+  _mm256_store_pd(pos, pos_lo);
+  _mm256_store_pd(pos + 4, pos_hi);
+  _mm256_store_pd(neg, neg_lo);
+  _mm256_store_pd(neg + 4, neg_hi);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(cnt), cnt_lo);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(cnt + 4), cnt_hi);
+  for (size_t j = 0; j < n - n8; ++j) {
+    const double v = static_cast<double>(x[n8 + j]);
+    if (x[n8 + j] >= 0.0f) {
+      pos[j] += v;
+      ++cnt[j];
+    } else {
+      neg[j] += v;
+    }
+  }
+  SignStats stats;
+  for (size_t j = 0; j < 8; ++j) {
+    stats.pos_sum += pos[j];
+    stats.neg_sum += neg[j];
+    stats.pos_count += cnt[j];
+  }
+  return stats;
+}
+
+HIPRESS_TARGET_AVX2 void OnebitPackSignsAvx2(const float* x, size_t n,
+                                             uint8_t* out) {
+  const __m256 zero = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const int mask = _mm256_movemask_ps(_mm256_cmp_ps(v, zero, _CMP_GE_OQ));
+    out[i >> 3] = static_cast<uint8_t>(mask);
+  }
+  if (i < n) {
+    OnebitPackSignsScalar(x + i, n - i, out + (i >> 3));
+  }
+}
+
+template <bool kAccumulate>
+HIPRESS_TARGET_AVX2 void OnebitUnpackAvx2(const uint8_t* packed, size_t n,
+                                          float neg, float pos, float* out) {
+  const __m256i bit = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+  const __m256 posv = _mm256_set1_ps(pos);
+  const __m256 negv = _mm256_set1_ps(neg);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i bits = _mm256_set1_epi32(packed[i >> 3]);
+    const __m256i sel =
+        _mm256_cmpeq_epi32(_mm256_and_si256(bits, bit), bit);
+    const __m256 v =
+        _mm256_blendv_ps(negv, posv, _mm256_castsi256_ps(sel));
+    if constexpr (kAccumulate) {
+      _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(out + i), v));
+    } else {
+      _mm256_storeu_ps(out + i, v);
+    }
+  }
+  if (i < n) {
+    OnebitUnpackScalar<kAccumulate>(packed + (i >> 3), n - i, neg, pos,
+                                    out + i);
+  }
+}
+
+HIPRESS_TARGET_AVX2 void TbqPackCodesAvx2(const float* x, size_t n, float tau,
+                                          uint8_t* out) {
+  const __m256 tauv = _mm256_set1_ps(tau);
+  const __m256 ntauv = _mm256_set1_ps(-tau);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const uint32_t plus = static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_cmp_ps(v, tauv, _CMP_GT_OQ)));
+    const uint32_t minus = static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_cmp_ps(v, ntauv, _CMP_LT_OQ)));
+    const uint32_t group = Spread8(plus) | (Spread8(minus) << 1);
+    out[i >> 2] = static_cast<uint8_t>(group);
+    out[(i >> 2) + 1] = static_cast<uint8_t>(group >> 8);
+  }
+  if (i < n) {
+    TbqPackCodesScalar(x + i, n - i, tau, out + (i >> 2));
+  }
+}
+
+template <bool kAccumulate>
+HIPRESS_TARGET_AVX2 void TbqUnpackAvx2(const uint8_t* packed, size_t n,
+                                       float tau, float* out) {
+  const __m256i shifts = _mm256_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14);
+  const __m256i three = _mm256_set1_epi32(3);
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i two = _mm256_set1_epi32(2);
+  const __m256 tauv = _mm256_set1_ps(tau);
+  const __m256 ntauv = _mm256_set1_ps(-tau);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const uint32_t word = static_cast<uint32_t>(packed[i >> 2]) |
+                          (static_cast<uint32_t>(packed[(i >> 2) + 1]) << 8);
+    const __m256i codes = _mm256_and_si256(
+        _mm256_srlv_epi32(_mm256_set1_epi32(static_cast<int>(word)), shifts),
+        three);
+    const __m256 isp =
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(codes, one));
+    const __m256 ism =
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(codes, two));
+    const __m256 v = _mm256_or_ps(_mm256_and_ps(isp, tauv),
+                                  _mm256_and_ps(ism, ntauv));
+    if constexpr (kAccumulate) {
+      _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(out + i), v));
+    } else {
+      _mm256_storeu_ps(out + i, v);
+    }
+  }
+  if (i < n) {
+    TbqUnpackScalar<kAccumulate>(packed + (i >> 2), n - i, tau, out + i);
+  }
+}
+
+HIPRESS_TARGET_AVX2 void Fp16EncodeAvx2(const float* x, size_t n,
+                                        uint16_t* out) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h = _mm256_cvtps_ph(
+        _mm256_loadu_ps(x + i), _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), h);
+  }
+  if (i < n) {
+    Fp16EncodeScalar(x + i, n - i, out + i);
+  }
+}
+
+template <bool kAccumulate>
+HIPRESS_TARGET_AVX2 void Fp16DecodeAvx2(const uint16_t* halves, size_t n,
+                                        float* out) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(halves + i)));
+    if constexpr (kAccumulate) {
+      _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(out + i), v));
+    } else {
+      _mm256_storeu_ps(out + i, v);
+    }
+  }
+  if (i < n) {
+    Fp16DecodeScalar<kAccumulate>(halves + i, n - i, out + i);
+  }
+}
+
+// -------------------------------------------------------- AVX-512 variants
+
+HIPRESS_TARGET_AVX512 SignStats OnebitSignStatsAvx512(const float* x,
+                                                      size_t n) {
+  // Same 8-lane schedule as scalar/AVX2: one zmm of 8 doubles per step.
+  const __m512d zero = _mm512_setzero_pd();
+  __m512d pos_acc = zero, neg_acc = zero;
+  __m512i cnt_acc = _mm512_setzero_si512();
+  const __m512i one64 = _mm512_set1_epi64(1);
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    const __m512d d = _mm512_cvtps_pd(_mm256_loadu_ps(x + i));
+    const __mmask8 ge = _mm512_cmp_pd_mask(d, zero, _CMP_GE_OQ);
+    pos_acc = _mm512_add_pd(pos_acc, _mm512_maskz_mov_pd(ge, d));
+    neg_acc = _mm512_add_pd(
+        neg_acc, _mm512_maskz_mov_pd(static_cast<__mmask8>(~ge), d));
+    cnt_acc = _mm512_add_epi64(cnt_acc, _mm512_maskz_mov_epi64(ge, one64));
+  }
+  alignas(64) double pos[8], neg[8];
+  alignas(64) uint64_t cnt[8];
+  _mm512_store_pd(pos, pos_acc);
+  _mm512_store_pd(neg, neg_acc);
+  _mm512_store_si512(cnt, cnt_acc);
+  for (size_t j = 0; j < n - n8; ++j) {
+    const double v = static_cast<double>(x[n8 + j]);
+    if (x[n8 + j] >= 0.0f) {
+      pos[j] += v;
+      ++cnt[j];
+    } else {
+      neg[j] += v;
+    }
+  }
+  SignStats stats;
+  for (size_t j = 0; j < 8; ++j) {
+    stats.pos_sum += pos[j];
+    stats.neg_sum += neg[j];
+    stats.pos_count += cnt[j];
+  }
+  return stats;
+}
+
+HIPRESS_TARGET_AVX512 void OnebitPackSignsAvx512(const float* x, size_t n,
+                                                 uint8_t* out) {
+  const __m512 zero = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __mmask16 m =
+        _mm512_cmp_ps_mask(_mm512_loadu_ps(x + i), zero, _CMP_GE_OQ);
+    const uint16_t bits = static_cast<uint16_t>(m);
+    out[i >> 3] = static_cast<uint8_t>(bits);
+    out[(i >> 3) + 1] = static_cast<uint8_t>(bits >> 8);
+  }
+  if (i < n) {
+    OnebitPackSignsScalar(x + i, n - i, out + (i >> 3));
+  }
+}
+
+template <bool kAccumulate>
+HIPRESS_TARGET_AVX512 void OnebitUnpackAvx512(const uint8_t* packed, size_t n,
+                                              float neg, float pos,
+                                              float* out) {
+  const __m512 posv = _mm512_set1_ps(pos);
+  const __m512 negv = _mm512_set1_ps(neg);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __mmask16 m = static_cast<__mmask16>(
+        static_cast<uint32_t>(packed[i >> 3]) |
+        (static_cast<uint32_t>(packed[(i >> 3) + 1]) << 8));
+    const __m512 v = _mm512_mask_blend_ps(m, negv, posv);
+    if constexpr (kAccumulate) {
+      _mm512_storeu_ps(out + i, _mm512_add_ps(_mm512_loadu_ps(out + i), v));
+    } else {
+      _mm512_storeu_ps(out + i, v);
+    }
+  }
+  if (i < n) {
+    OnebitUnpackScalar<kAccumulate>(packed + (i >> 3), n - i, neg, pos,
+                                    out + i);
+  }
+}
+
+HIPRESS_TARGET_AVX512 void TbqPackCodesAvx512(const float* x, size_t n,
+                                              float tau, uint8_t* out) {
+  const __m512 tauv = _mm512_set1_ps(tau);
+  const __m512 ntauv = _mm512_set1_ps(-tau);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 v = _mm512_loadu_ps(x + i);
+    const uint32_t plus = _mm512_cmp_ps_mask(v, tauv, _CMP_GT_OQ);
+    const uint32_t minus = _mm512_cmp_ps_mask(v, ntauv, _CMP_LT_OQ);
+    const uint32_t group = Spread16(plus) | (Spread16(minus) << 1);
+    std::memcpy(out + (i >> 2), &group, sizeof(group));
+  }
+  if (i < n) {
+    TbqPackCodesScalar(x + i, n - i, tau, out + (i >> 2));
+  }
+}
+
+template <bool kAccumulate>
+HIPRESS_TARGET_AVX512 void TbqUnpackAvx512(const uint8_t* packed, size_t n,
+                                           float tau, float* out) {
+  const __m512i shifts = _mm512_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14, 16, 18,
+                                           20, 22, 24, 26, 28, 30);
+  const __m512i three = _mm512_set1_epi32(3);
+  const __m512i one = _mm512_set1_epi32(1);
+  const __m512i two = _mm512_set1_epi32(2);
+  const __m512 tauv = _mm512_set1_ps(tau);
+  const __m512 ntauv = _mm512_set1_ps(-tau);
+  const __m512 zerov = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    uint32_t group;
+    std::memcpy(&group, packed + (i >> 2), sizeof(group));
+    const __m512i codes = _mm512_and_si512(
+        _mm512_srlv_epi32(_mm512_set1_epi32(static_cast<int>(group)), shifts),
+        three);
+    const __mmask16 isp = _mm512_cmpeq_epi32_mask(codes, one);
+    const __mmask16 ism = _mm512_cmpeq_epi32_mask(codes, two);
+    __m512 v = _mm512_mask_blend_ps(isp, zerov, tauv);
+    v = _mm512_mask_blend_ps(ism, v, ntauv);
+    if constexpr (kAccumulate) {
+      _mm512_storeu_ps(out + i, _mm512_add_ps(_mm512_loadu_ps(out + i), v));
+    } else {
+      _mm512_storeu_ps(out + i, v);
+    }
+  }
+  if (i < n) {
+    TbqUnpackScalar<kAccumulate>(packed + (i >> 2), n - i, tau, out + i);
+  }
+}
+
+HIPRESS_TARGET_AVX512 void Fp16EncodeAvx512(const float* x, size_t n,
+                                            uint16_t* out) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i h = _mm512_cvtps_ph(
+        _mm512_loadu_ps(x + i), _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), h);
+  }
+  if (i < n) {
+    Fp16EncodeScalar(x + i, n - i, out + i);
+  }
+}
+
+template <bool kAccumulate>
+HIPRESS_TARGET_AVX512 void Fp16DecodeAvx512(const uint16_t* halves, size_t n,
+                                            float* out) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 v = _mm512_cvtph_ps(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(halves + i)));
+    if constexpr (kAccumulate) {
+      _mm512_storeu_ps(out + i, _mm512_add_ps(_mm512_loadu_ps(out + i), v));
+    } else {
+      _mm512_storeu_ps(out + i, v);
+    }
+  }
+  if (i < n) {
+    Fp16DecodeScalar<kAccumulate>(halves + i, n - i, out + i);
+  }
+}
+
+#endif  // HIPRESS_SIMD_X86
+
+}  // namespace
+
+// ------------------------------------------------------------- dispatchers
+
+SignStats OnebitSignStats(const float* x, size_t n) {
+#ifdef HIPRESS_SIMD_X86
+  switch (ActiveSimdTier()) {
+    case SimdTier::kAvx512:
+      return OnebitSignStatsAvx512(x, n);
+    case SimdTier::kAvx2:
+      return OnebitSignStatsAvx2(x, n);
+    case SimdTier::kScalar:
+      break;
+  }
+#endif
+  return OnebitSignStatsScalar(x, n);
+}
+
+void OnebitPackSigns(const float* x, size_t n, uint8_t* out,
+                     size_t out_bytes) {
+  CHECK_GE(out_bytes, PackedBytes(n, 1))
+      << "onebit pack: misreported output capacity";
+#ifdef HIPRESS_SIMD_X86
+  switch (ActiveSimdTier()) {
+    case SimdTier::kAvx512:
+      return OnebitPackSignsAvx512(x, n, out);
+    case SimdTier::kAvx2:
+      return OnebitPackSignsAvx2(x, n, out);
+    case SimdTier::kScalar:
+      break;
+  }
+#endif
+  OnebitPackSignsScalar(x, n, out);
+}
+
+void OnebitUnpackSigns(const uint8_t* packed, size_t n, float neg, float pos,
+                       float* out) {
+#ifdef HIPRESS_SIMD_X86
+  switch (ActiveSimdTier()) {
+    case SimdTier::kAvx512:
+      return OnebitUnpackAvx512<false>(packed, n, neg, pos, out);
+    case SimdTier::kAvx2:
+      return OnebitUnpackAvx2<false>(packed, n, neg, pos, out);
+    case SimdTier::kScalar:
+      break;
+  }
+#endif
+  OnebitUnpackScalar<false>(packed, n, neg, pos, out);
+}
+
+void OnebitUnpackSignsAdd(const uint8_t* packed, size_t n, float neg,
+                          float pos, float* accum) {
+#ifdef HIPRESS_SIMD_X86
+  switch (ActiveSimdTier()) {
+    case SimdTier::kAvx512:
+      return OnebitUnpackAvx512<true>(packed, n, neg, pos, accum);
+    case SimdTier::kAvx2:
+      return OnebitUnpackAvx2<true>(packed, n, neg, pos, accum);
+    case SimdTier::kScalar:
+      break;
+  }
+#endif
+  OnebitUnpackScalar<true>(packed, n, neg, pos, accum);
+}
+
+void TbqPackCodes(const float* x, size_t n, float tau, uint8_t* out,
+                  size_t out_bytes) {
+  CHECK_GE(out_bytes, PackedBytes(n, 2))
+      << "tbq pack: misreported output capacity";
+#ifdef HIPRESS_SIMD_X86
+  switch (ActiveSimdTier()) {
+    case SimdTier::kAvx512:
+      return TbqPackCodesAvx512(x, n, tau, out);
+    case SimdTier::kAvx2:
+      return TbqPackCodesAvx2(x, n, tau, out);
+    case SimdTier::kScalar:
+      break;
+  }
+#endif
+  TbqPackCodesScalar(x, n, tau, out);
+}
+
+void TbqUnpackCodes(const uint8_t* packed, size_t n, float tau, float* out) {
+#ifdef HIPRESS_SIMD_X86
+  switch (ActiveSimdTier()) {
+    case SimdTier::kAvx512:
+      return TbqUnpackAvx512<false>(packed, n, tau, out);
+    case SimdTier::kAvx2:
+      return TbqUnpackAvx2<false>(packed, n, tau, out);
+    case SimdTier::kScalar:
+      break;
+  }
+#endif
+  TbqUnpackScalar<false>(packed, n, tau, out);
+}
+
+void TbqUnpackCodesAdd(const uint8_t* packed, size_t n, float tau,
+                       float* accum) {
+#ifdef HIPRESS_SIMD_X86
+  switch (ActiveSimdTier()) {
+    case SimdTier::kAvx512:
+      return TbqUnpackAvx512<true>(packed, n, tau, accum);
+    case SimdTier::kAvx2:
+      return TbqUnpackAvx2<true>(packed, n, tau, accum);
+    case SimdTier::kScalar:
+      break;
+  }
+#endif
+  TbqUnpackScalar<true>(packed, n, tau, accum);
+}
+
+void Fp16Encode(const float* x, size_t n, uint16_t* out,
+                size_t out_capacity) {
+  CHECK_GE(out_capacity, n) << "fp16 encode: misreported output capacity";
+#ifdef HIPRESS_SIMD_X86
+  switch (ActiveSimdTier()) {
+    case SimdTier::kAvx512:
+      return Fp16EncodeAvx512(x, n, out);
+    case SimdTier::kAvx2:
+      return Fp16EncodeAvx2(x, n, out);
+    case SimdTier::kScalar:
+      break;
+  }
+#endif
+  Fp16EncodeScalar(x, n, out);
+}
+
+void Fp16Decode(const uint16_t* halves, size_t n, float* out) {
+#ifdef HIPRESS_SIMD_X86
+  switch (ActiveSimdTier()) {
+    case SimdTier::kAvx512:
+      return Fp16DecodeAvx512<false>(halves, n, out);
+    case SimdTier::kAvx2:
+      return Fp16DecodeAvx2<false>(halves, n, out);
+    case SimdTier::kScalar:
+      break;
+  }
+#endif
+  Fp16DecodeScalar<false>(halves, n, out);
+}
+
+void Fp16DecodeAdd(const uint16_t* halves, size_t n, float* accum) {
+#ifdef HIPRESS_SIMD_X86
+  switch (ActiveSimdTier()) {
+    case SimdTier::kAvx512:
+      return Fp16DecodeAvx512<true>(halves, n, accum);
+    case SimdTier::kAvx2:
+      return Fp16DecodeAvx2<true>(halves, n, accum);
+    case SimdTier::kScalar:
+      break;
+  }
+#endif
+  Fp16DecodeScalar<true>(halves, n, accum);
+}
+
+}  // namespace hipress::simd

@@ -1,0 +1,90 @@
+// Hand-vectorized inner loops for the hottest built-in codecs: onebit, TBQ
+// and fp16 (docs/KERNELS.md). Every primitive ships three variants — scalar,
+// AVX2, AVX-512 — selected per call from ActiveSimdTier(); the variants are
+// bit-identical by construction, so the dispatch tier changes throughput
+// only, never a single output byte.
+//
+// Determinism contract (what makes cross-tier and cross-machine encoded
+// bytes reproducible):
+//   * Reductions (OnebitSignStats) follow a fixed 8-lane schedule — lane j
+//     accumulates elements with index ≡ j (mod 8) in double precision and
+//     the lanes merge in ascending order. The scalar variant executes the
+//     exact same schedule, so AVX2 (2×4 double lanes) and AVX-512 (1×8)
+//     produce the same sums to the last bit. Callers that parallelize must
+//     shard on kReduceBlockElements boundaries and merge block partials in
+//     block order (see OnebitCompressor::EncodeInto).
+//   * Pack/unpack primitives are per-element maps with no cross-lane
+//     arithmetic; shards must be aligned to whole output byte groups
+//     (8 elements for 1-bit, 4 for 2-bit) so no two shards touch one byte.
+//   * fp16 conversion uses IEEE round-to-nearest-even everywhere; the
+//     scalar FloatToHalf in fp16.h mirrors the F16C/AVX-512 hardware
+//     semantics bit for bit, including NaN payload truncation.
+//
+// Capacity is a hard contract: each pack kernel CHECK-aborts when the
+// caller-reported output capacity cannot hold the packed bytes — a lying
+// capacity would otherwise scribble past the buffer at vector width.
+#ifndef HIPRESS_SRC_COMPRESS_SIMD_KERNELS_H_
+#define HIPRESS_SRC_COMPRESS_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/simd.h"
+
+namespace hipress::simd {
+
+// Fixed block size for deterministic parallel reductions: callers compute
+// one partial per 4096-element block (in parallel) and merge the partials
+// in block order, making the result independent of both thread count and
+// SIMD tier.
+inline constexpr size_t kReduceBlockElements = 4096;
+
+// ------------------------------------------------------------------ onebit
+
+struct SignStats {
+  double pos_sum = 0.0;
+  double neg_sum = 0.0;
+  uint64_t pos_count = 0;
+};
+
+// 8-lane deterministic signed-sum/count over x[0..n). NaNs count as
+// negative (matching `v >= 0.0f` being false).
+SignStats OnebitSignStats(const float* x, size_t n);
+
+// Packs sign bits (x[i] >= 0) into out, 8 elements per byte, LSB first;
+// trailing bits of a partial final byte are zero. CHECK-aborts unless
+// out_bytes >= PackedBytes(n, 1).
+void OnebitPackSigns(const float* x, size_t n, uint8_t* out,
+                     size_t out_bytes);
+
+// out[i] = bit_i ? pos : neg (overwrite) / accum[i] += ... (fused add).
+void OnebitUnpackSigns(const uint8_t* packed, size_t n, float neg, float pos,
+                       float* out);
+void OnebitUnpackSignsAdd(const uint8_t* packed, size_t n, float neg,
+                          float pos, float* accum);
+
+// --------------------------------------------------------------------- tbq
+
+// Packs ternary codes (0: |x| <= tau, 1: x > tau, 2: x < -tau) into out,
+// 4 elements per byte, 2 bits each, LSB first. CHECK-aborts unless
+// out_bytes >= PackedBytes(n, 2).
+void TbqPackCodes(const float* x, size_t n, float tau, uint8_t* out,
+                  size_t out_bytes);
+
+// out[i] = {0, +tau, -tau}[code_i] (overwrite) / accum[i] += ... .
+void TbqUnpackCodes(const uint8_t* packed, size_t n, float tau, float* out);
+void TbqUnpackCodesAdd(const uint8_t* packed, size_t n, float tau,
+                       float* accum);
+
+// -------------------------------------------------------------------- fp16
+
+// IEEE binary16 conversion, round-to-nearest-even; bit-identical to the
+// scalar FloatToHalf/HalfToFloat in fp16.h on every input including NaN
+// payloads and subnormal ties. CHECK-aborts unless out_capacity >= n.
+void Fp16Encode(const float* x, size_t n, uint16_t* out, size_t out_capacity);
+void Fp16Decode(const uint16_t* halves, size_t n, float* out);
+void Fp16DecodeAdd(const uint16_t* halves, size_t n, float* accum);
+
+}  // namespace hipress::simd
+
+#endif  // HIPRESS_SRC_COMPRESS_SIMD_KERNELS_H_

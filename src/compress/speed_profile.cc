@@ -47,6 +47,12 @@ constexpr double kGB = 1e9;
 constexpr double k1080TiScale = 484.0 / 900.0;
 // On-CPU onebit is 35.6x slower than CompLL's GPU kernel (Section 2.5).
 constexpr double kCpuSlowdown = 35.6;
+// The AVX2/AVX-512 CPU kernels recover most of that gap: bench_kernels
+// measures >= 3x scalar encode throughput for the hand-vectorized codecs
+// (onebit sign-pack via movemask, TBQ two-plane pack, fp16 cvtps_ph — see
+// docs/KERNELS.md), so the SIMD CPU tier sits at 35.6 / 4 ≈ 8.9x below the
+// GPU kernel before the PCIe round trip is folded in.
+constexpr double kCpuSimdSlowdown = kCpuSlowdown / 4.0;
 
 }  // namespace
 
@@ -75,8 +81,17 @@ CodecSpeed GetCodecSpeed(std::string_view algorithm, CodecImpl impl,
       decode_bps = 1.0 / (1.0 / decode_bps + 1.0 / 12e9);
       overhead = FromMicros(50.0);
       break;
+    case CodecImpl::kCpuSimd:
+      encode_bps /= kCpuSimdSlowdown;
+      decode_bps /= kCpuSimdSlowdown;
+      // Same PCIe round trip as the scalar CPU path.
+      encode_bps = 1.0 / (1.0 / encode_bps + 1.0 / 12e9);
+      decode_bps = 1.0 / (1.0 / decode_bps + 1.0 / 12e9);
+      overhead = FromMicros(50.0);
+      break;
   }
-  if (platform == GpuPlatform::k1080Ti && impl != CodecImpl::kCpu) {
+  if (platform == GpuPlatform::k1080Ti && impl != CodecImpl::kCpu &&
+      impl != CodecImpl::kCpuSimd) {
     encode_bps *= k1080TiScale;
     decode_bps *= k1080TiScale;
   }

@@ -34,9 +34,12 @@ enum class GpuPlatform {
 };
 
 enum class CodecImpl {
-  kCompLL,  // generated, optimized (on-GPU)
-  kOss,     // open-source counterpart (on-GPU where one exists)
-  kCpu,     // on-CPU implementation (BytePS's original onebit)
+  kCompLL,   // generated, optimized (on-GPU)
+  kOss,      // open-source counterpart (on-GPU where one exists)
+  kCpu,      // on-CPU implementation (BytePS's original onebit, scalar)
+  kCpuSimd,  // on-CPU with the AVX2/AVX-512 kernels (src/compress/
+             // simd_kernels.h); calibrated from bench_kernels' measured
+             // scalar-vs-SIMD speedups (docs/KERNELS.md)
 };
 
 struct CodecSpeed {

@@ -5,16 +5,13 @@
 
 #include "src/common/bitops.h"
 #include "src/common/thread_pool.h"
+#include "src/compress/simd_kernels.h"
 
 namespace hipress {
 namespace {
 
 constexpr size_t kHeaderBytes = kCountHeaderBytes + sizeof(float);
 constexpr size_t kParallelGrain = 16 * 1024;  // bytes of packed output
-
-constexpr uint8_t kZero = 0;
-constexpr uint8_t kPlus = 1;
-constexpr uint8_t kMinus = 2;
 
 }  // namespace
 
@@ -36,22 +33,11 @@ StatusOr<size_t> TbqCompressor::EncodeInto(std::span<const float> gradient,
   // 4 codes per output byte; shards own disjoint bytes.
   ThreadPool::Global().ParallelFor(
       num_bytes, kParallelGrain, [&](size_t byte_begin, size_t byte_end) {
-        for (size_t b = byte_begin; b < byte_end; ++b) {
-          uint8_t byte = 0;
-          const size_t base = b * 4;
-          const size_t limit = std::min<size_t>(4, n - base);
-          for (size_t i = 0; i < limit; ++i) {
-            const float v = gradient[base + i];
-            uint8_t code = kZero;
-            if (v > tau) {
-              code = kPlus;
-            } else if (v < -tau) {
-              code = kMinus;
-            }
-            byte |= static_cast<uint8_t>(code << (2 * i));
-          }
-          packed[b] = byte;
-        }
+        const size_t elem_begin = byte_begin * 4;
+        const size_t elem_end = std::min(n, byte_end * 4);
+        simd::TbqPackCodes(gradient.data() + elem_begin,
+                           elem_end - elem_begin, tau, packed + byte_begin,
+                           byte_end - byte_begin);
       });
   return needed;
 }
@@ -77,24 +63,15 @@ Status TbqDecodeImpl(const ByteBuffer& in, std::span<float> out) {
   ThreadPool::Global().ParallelFor(
       PackedBytes(count, 2), kParallelGrain,
       [&](size_t byte_begin, size_t byte_end) {
-        for (size_t b = byte_begin; b < byte_end; ++b) {
-          const uint8_t byte = packed[b];
-          const size_t base = b * 4;
-          const size_t limit = std::min<size_t>(4, count - base);
-          for (size_t i = 0; i < limit; ++i) {
-            const uint8_t code = (byte >> (2 * i)) & 3u;
-            float value = 0.0f;
-            if (code == kPlus) {
-              value = tau;
-            } else if (code == kMinus) {
-              value = -tau;
-            }
-            if constexpr (kAccumulate) {
-              out[base + i] += value;
-            } else {
-              out[base + i] = value;
-            }
-          }
+        const size_t elem_begin = byte_begin * 4;
+        const size_t elem_end = std::min<size_t>(count, byte_end * 4);
+        if constexpr (kAccumulate) {
+          simd::TbqUnpackCodesAdd(packed + byte_begin,
+                                  elem_end - elem_begin, tau,
+                                  out.data() + elem_begin);
+        } else {
+          simd::TbqUnpackCodes(packed + byte_begin, elem_end - elem_begin,
+                               tau, out.data() + elem_begin);
         }
       });
   return OkStatus();

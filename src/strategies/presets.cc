@@ -94,6 +94,20 @@ StatusOr<SyncConfig> MakeSystemConfig(const std::string& system,
     config.extra_copy_overhead = FromMicros(10.0);
     return config;
   }
+  if (system == "byteps-cpu-simd") {
+    // Same topology as byteps-cpu but with the vectorized CPU kernels
+    // (CodecImpl::kCpuSimd) — what the BytePS CPU path looks like once the
+    // hand-tuned AVX2/AVX-512 codecs replace the scalar loops.
+    config.strategy = StrategyKind::kPs;
+    config.compression = true;
+    config.codec_impl = CodecImpl::kCpuSimd;
+    config.pipelining = false;
+    config.bulk = false;
+    config.secopa = false;
+    config.fixed_partitions = 4;
+    config.extra_copy_overhead = FromMicros(10.0);
+    return config;
+  }
   if (system == "ring-oss") {
     config.strategy = StrategyKind::kRing;
     config.net.link_bandwidth.bits_per_second *= 0.85;

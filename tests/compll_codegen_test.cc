@@ -13,9 +13,11 @@
 namespace hipress::compll {
 namespace {
 
-std::string MustGenerate(const std::string& source, const std::string& name) {
+std::string MustGenerate(const std::string& source, const std::string& name,
+                         bool simd = true) {
   CodegenOptions options;
   options.algorithm_name = name;
+  options.simd = simd;
   auto generated = GenerateCppFromSource(source, options);
   EXPECT_TRUE(generated.ok()) << generated.status();
   return std::move(generated).value();
@@ -44,12 +46,78 @@ TEST(CodegenTest, GlobalsBecomeFileScopeVariables) {
 }
 
 TEST(CodegenTest, MapLowersToRuntimeHelperWithHiddenIndex) {
+  // With the SIMD backend disabled, map lowers to the generic __map helper
+  // with a (value, index) lambda over the udf.
   const DslAlgorithm* terngrad = FindDslAlgorithm("terngrad");
-  const std::string code = MustGenerate(terngrad->source, "terngrad");
+  const std::string code =
+      MustGenerate(terngrad->source, "terngrad", /*simd=*/false);
   EXPECT_TRUE(Contains(code, "__map("));
   EXPECT_TRUE(Contains(code, "floatToUint(__x, __i)"));
+  EXPECT_TRUE(Contains(code, "#define COMPLL_ENABLE_SIMD 0"));
+  EXPECT_FALSE(Contains(code, "__map_vec_"));
   // random() lowers to the counter-based uniform keyed on the element index.
   EXPECT_TRUE(Contains(code, "__random(0, 1, kSeed, __idx)"));
+}
+
+TEST(CodegenTest, SimdMapLowersToTiledPerIsaKernels) {
+  const DslAlgorithm* terngrad = FindDslAlgorithm("terngrad");
+  const std::string code = MustGenerate(terngrad->source, "terngrad");
+  EXPECT_TRUE(Contains(code, "#define COMPLL_ENABLE_SIMD 1"));
+  // The map over floatToUint uses the tiled wrapper, not the lambda loop.
+  EXPECT_TRUE(Contains(code, "__map_vec_floatToUint("));
+  EXPECT_FALSE(Contains(code, "floatToUint(__x, __i)"));
+  // One tile clone per ISA, dispatched on the runtime tier.
+  EXPECT_TRUE(Contains(code, "__map_tile_floatToUint_scalar"));
+  EXPECT_TRUE(Contains(code, "__map_tile_floatToUint_avx2"));
+  EXPECT_TRUE(Contains(code, "__map_tile_floatToUint_avx512"));
+  EXPECT_TRUE(Contains(code, "__simd_tier()"));
+}
+
+TEST(CodegenTest, SimdIfConvertsMappedUdfsToSelect) {
+  // onebit's signBit is `if (elem >= 0) return 1; return 0;` — under the
+  // SIMD backend it must become a single branch-free __select return.
+  const DslAlgorithm* onebit = FindDslAlgorithm("onebit");
+  ASSERT_NE(onebit, nullptr);
+  const std::string code = MustGenerate(onebit->source, "onebit");
+  EXPECT_TRUE(Contains(code, "return __select("));
+  EXPECT_TRUE(Contains(code, "__map_vec_signBit("));
+  // With the backend off, udfs keep the branchy scalar lowering (the
+  // __select helper still exists in the preamble but is never called).
+  const std::string branchy =
+      MustGenerate(onebit->source, "onebit", /*simd=*/false);
+  EXPECT_FALSE(Contains(branchy, "return __select("));
+}
+
+TEST(CodegenTest, SimdReduceSumUsesCanonicalBlockedSchedule) {
+  const DslAlgorithm* onebit = FindDslAlgorithm("onebit");
+  const std::string code = MustGenerate(onebit->source, "onebit");
+  EXPECT_TRUE(Contains(code, "__reduce_sum("));
+  EXPECT_TRUE(Contains(code, "__block_sum8"));
+  EXPECT_TRUE(Contains(code, "__block_sum8_avx512"));
+}
+
+TEST(CodegenTest, ImpureUdfsStayOnBranchyLowering) {
+  // A udf that assigns to a global cannot be if-converted; map must fall
+  // back to the generic lambda helper even with the SIMD backend on.
+  const std::string code = MustGenerate(R"(
+float g;
+float tally(float x) {
+  if (x > 0) {
+    g = g + 1;
+    return x;
+  }
+  return 0;
+}
+void encode(float* gradient, uint8* compressed) {
+  compressed = concat(map(gradient, tally));
+}
+void decode(uint8* compressed, float* gradient) {
+  gradient = extract<float*>(compressed);
+}
+)",
+                                        "tally");
+  EXPECT_TRUE(Contains(code, "__map("));
+  EXPECT_FALSE(Contains(code, "__map_vec_tally"));
 }
 
 TEST(CodegenTest, SubByteArraysUseBitPacking) {
@@ -156,6 +224,14 @@ TEST_P(CodegenCompileTest, GeneratedCodeCompiles) {
   }
   EXPECT_EQ(WEXITSTATUS(rc), 0) << "generated code failed to compile:\n"
                                 << code;
+  // The scalar pin must also compile: COMPLL_FORCE_SCALAR strips every
+  // target-attributed clone from the unit.
+  const std::string scalar_command =
+      "c++ -std=c++20 -fsyntax-only -Wall -DCOMPLL_FORCE_SCALAR " + path +
+      " 2>/dev/null";
+  const int scalar_rc = std::system(scalar_command.c_str());
+  EXPECT_EQ(WEXITSTATUS(scalar_rc), 0)
+      << "generated code failed to compile with COMPLL_FORCE_SCALAR";
   std::remove(path.c_str());
 }
 

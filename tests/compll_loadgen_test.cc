@@ -130,5 +130,80 @@ INSTANTIATE_TEST_SUITE_P(Algorithms, LoadGenTest,
                          ::testing::Values("onebit", "tbq", "terngrad",
                                            "dgc", "graddrop"));
 
+bool CopyFile(const std::string& from, const std::string& to) {
+  std::ifstream in(from, std::ios::binary);
+  std::ofstream out(to, std::ios::binary);
+  out << in.rdbuf();
+  return in.good() && out.good();
+}
+
+// Large-input cross-validation: at ~100k elements the interpreter shards
+// its reductions and the generated unit runs multi-block __reduce_sum on
+// whatever SIMD tier the host supports. Payloads must still match byte for
+// byte — this is what pins the canonical blocked-sum schedule — and the
+// generated payload must be invariant under HIPRESS_SIMD=scalar (each .so
+// copy caches its tier independently, so we load the same unit twice).
+TEST(LoadGenLargeTest, LargePayloadMatchesInterpreterAndIsTierInvariant) {
+  const std::string algorithm = "onebit";
+  LoadedCodec native;
+  if (!CompileAndLoad(algorithm, &native)) {
+    GTEST_SKIP() << "host compiler or dlopen unavailable";
+  }
+
+  Rng rng(1234);
+  Tensor gradient("g", 100003);  // multi-block, non-multiple-of-4096 tail
+  gradient.FillGaussian(rng);
+  const double fields[] = {0.02};
+
+  std::vector<uint8_t> wire_native(1 << 21);
+  size_t native_size = 0;
+  ASSERT_EQ(native.encode(gradient.data(), gradient.size(),
+                          wire_native.data(), wire_native.size(),
+                          &native_size, fields, 1),
+            0);
+
+  // Same unit, tier pinned to scalar via the environment (read lazily at
+  // the first encode of the fresh copy).
+  const std::string base = "/tmp/compll_load_" + algorithm;
+  const std::string scalar_so = base + "_scalar.so";
+  ASSERT_TRUE(CopyFile(base + ".so", scalar_so));
+  ASSERT_EQ(setenv("HIPRESS_SIMD", "scalar", 1), 0);
+  void* scalar_handle = dlopen(scalar_so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  ASSERT_NE(scalar_handle, nullptr);
+  auto scalar_encode = reinterpret_cast<EncodeFn>(
+      dlsym(scalar_handle, (algorithm + "_encode_c").c_str()));
+  ASSERT_NE(scalar_encode, nullptr);
+  std::vector<uint8_t> wire_scalar(1 << 21);
+  size_t scalar_size = 0;
+  ASSERT_EQ(scalar_encode(gradient.data(), gradient.size(),
+                          wire_scalar.data(), wire_scalar.size(),
+                          &scalar_size, fields, 1),
+            0);
+  ASSERT_EQ(unsetenv("HIPRESS_SIMD"), 0);
+
+  ASSERT_EQ(native_size, scalar_size);
+  EXPECT_EQ(std::memcmp(wire_native.data(), wire_scalar.data(), native_size),
+            0)
+      << algorithm << ": payload depends on the SIMD tier";
+
+  // Interpreter reference on the same gradient.
+  CompressorParams params;
+  params.sparsity_ratio = 0.02;
+  auto reference = DslCompressor::CreateBuiltin(algorithm, params);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ByteBuffer reference_wire;
+  ASSERT_TRUE((*reference)->Encode(gradient.span(), &reference_wire).ok());
+  ASSERT_EQ(native_size, reference_wire.size() - kCountHeaderBytes);
+  EXPECT_EQ(std::memcmp(wire_native.data(),
+                        reference_wire.data() + kCountHeaderBytes,
+                        native_size),
+            0)
+      << algorithm << ": generated payload differs from interpreter";
+
+  dlclose(scalar_handle);
+  dlclose(native.handle);
+  std::remove(scalar_so.c_str());
+}
+
 }  // namespace
 }  // namespace hipress::compll

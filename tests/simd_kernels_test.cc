@@ -1,0 +1,341 @@
+// Cross-tier bit-identity tests for the hand-vectorized codec kernels
+// (src/compress/simd_kernels.h). Every primitive is run at every SIMD tier
+// the host supports and compared bit-for-bit against the scalar tier — on
+// unaligned spans, on lengths that are not a multiple of any vector width,
+// and on adversarial values (NaN, ±inf, ±0, subnormals, threshold ties).
+#include "src/compress/simd_kernels.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/bitops.h"
+#include "src/common/rng.h"
+#include "src/common/simd.h"
+#include "src/compress/fp16.h"
+
+namespace hipress {
+namespace {
+
+// Lengths that straddle every vector width (8, 16) and the reduce block.
+const size_t kLengths[] = {0,  1,  7,   8,   9,    15,   16,  17,
+                           31, 32, 33,  63,  64,   65,   100, 1023,
+                           4095, 4096, 4097, 10000};
+
+std::vector<SimdTier> AvailableTiers() {
+  std::vector<SimdTier> tiers = {SimdTier::kScalar};
+  if (SimdHostTier() >= SimdTier::kAvx2) {
+    tiers.push_back(SimdTier::kAvx2);
+  }
+  if (SimdHostTier() >= SimdTier::kAvx512) {
+    tiers.push_back(SimdTier::kAvx512);
+  }
+  return tiers;
+}
+
+// Fills n floats starting at an intentionally misaligned pointer: the
+// backing store is over-allocated and the span starts one element in, so
+// every vector load/store in the kernels must tolerate arbitrary alignment.
+class UnalignedSpan {
+ public:
+  explicit UnalignedSpan(size_t n) : storage_(n + 1), n_(n) {}
+  float* data() { return storage_.data() + 1; }
+  const float* data() const { return storage_.data() + 1; }
+  size_t size() const { return n_; }
+
+ private:
+  std::vector<float> storage_;
+  size_t n_;
+};
+
+void FillAdversarial(float* x, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    switch (rng.NextBounded(12)) {
+      case 0:
+        x[i] = 0.0f;
+        break;
+      case 1:
+        x[i] = -0.0f;
+        break;
+      case 2:
+        x[i] = std::numeric_limits<float>::quiet_NaN();
+        break;
+      case 3:
+        x[i] = std::numeric_limits<float>::infinity();
+        break;
+      case 4:
+        x[i] = -std::numeric_limits<float>::infinity();
+        break;
+      case 5:
+        x[i] = std::numeric_limits<float>::denorm_min();
+        break;
+      case 6:
+        x[i] = -std::numeric_limits<float>::denorm_min();
+        break;
+      case 7:
+        x[i] = 0.5f;  // exactly the TBQ threshold used below
+        break;
+      case 8:
+        x[i] = -0.5f;
+        break;
+      case 9:
+        x[i] = 65520.0f;  // fp16 overflow boundary (ties to inf)
+        break;
+      default:
+        x[i] = static_cast<float>(rng.NextGaussian()) * 2.0f;
+        break;
+    }
+  }
+}
+
+// Bit-pattern comparison: EXPECT_EQ on doubles rejects NaN == NaN, but a
+// NaN sum (gradient containing NaN) must still be the *same* NaN bits.
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+class SimdTierGuard {
+ public:
+  explicit SimdTierGuard(SimdTier tier) { SimdTierOverride(tier); }
+  ~SimdTierGuard() { ClearSimdTierOverride(); }
+};
+
+TEST(SimdKernelsTest, OnebitSignStatsBitIdenticalAcrossTiers) {
+  for (size_t n : kLengths) {
+    UnalignedSpan x(n);
+    FillAdversarial(x.data(), n, /*seed=*/n * 7919 + 1);
+    simd::SignStats ref;
+    {
+      SimdTierGuard guard(SimdTier::kScalar);
+      ref = simd::OnebitSignStats(x.data(), n);
+    }
+    for (SimdTier tier : AvailableTiers()) {
+      SimdTierGuard guard(tier);
+      const simd::SignStats got = simd::OnebitSignStats(x.data(), n);
+      // Exact bit equality: the lane schedule is fixed across tiers.
+      EXPECT_EQ(DoubleBits(ref.pos_sum), DoubleBits(got.pos_sum))
+          << "n=" << n << " tier=" << SimdTierName(tier);
+      EXPECT_EQ(DoubleBits(ref.neg_sum), DoubleBits(got.neg_sum))
+          << "n=" << n << " tier=" << SimdTierName(tier);
+      EXPECT_EQ(ref.pos_count, got.pos_count)
+          << "n=" << n << " tier=" << SimdTierName(tier);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, OnebitPackUnpackBitIdenticalAcrossTiers) {
+  for (size_t n : kLengths) {
+    UnalignedSpan x(n);
+    FillAdversarial(x.data(), n, /*seed=*/n * 104729 + 2);
+    const size_t packed_bytes = PackedBytes(n, 1);
+    std::vector<uint8_t> ref_packed(packed_bytes, 0xee);
+    std::vector<float> ref_out(n), ref_accum(n, 0.25f);
+    {
+      SimdTierGuard guard(SimdTier::kScalar);
+      simd::OnebitPackSigns(x.data(), n, ref_packed.data(), packed_bytes);
+      simd::OnebitUnpackSigns(ref_packed.data(), n, -1.5f, 2.5f,
+                              ref_out.data());
+      simd::OnebitUnpackSignsAdd(ref_packed.data(), n, -1.5f, 2.5f,
+                                 ref_accum.data());
+    }
+    for (SimdTier tier : AvailableTiers()) {
+      SimdTierGuard guard(tier);
+      std::vector<uint8_t> packed(packed_bytes, 0xee);
+      simd::OnebitPackSigns(x.data(), n, packed.data(), packed_bytes);
+      EXPECT_EQ(ref_packed, packed)
+          << "n=" << n << " tier=" << SimdTierName(tier);
+      std::vector<float> out(n), accum(n, 0.25f);
+      simd::OnebitUnpackSigns(packed.data(), n, -1.5f, 2.5f, out.data());
+      simd::OnebitUnpackSignsAdd(packed.data(), n, -1.5f, 2.5f,
+                                 accum.data());
+      EXPECT_EQ(0, std::memcmp(ref_out.data(), out.data(),
+                               n * sizeof(float)))
+          << "n=" << n << " tier=" << SimdTierName(tier);
+      EXPECT_EQ(0, std::memcmp(ref_accum.data(), accum.data(),
+                               n * sizeof(float)))
+          << "n=" << n << " tier=" << SimdTierName(tier);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, TbqPackUnpackBitIdenticalAcrossTiers) {
+  for (float tau : {0.5f, 0.0f}) {
+    for (size_t n : kLengths) {
+      UnalignedSpan x(n);
+      FillAdversarial(x.data(), n, /*seed=*/n * 31337 + 3);
+      const size_t packed_bytes = PackedBytes(n, 2);
+      std::vector<uint8_t> ref_packed(packed_bytes, 0xee);
+      std::vector<float> ref_out(n), ref_accum(n, -0.75f);
+      {
+        SimdTierGuard guard(SimdTier::kScalar);
+        simd::TbqPackCodes(x.data(), n, tau, ref_packed.data(),
+                           packed_bytes);
+        simd::TbqUnpackCodes(ref_packed.data(), n, tau, ref_out.data());
+        simd::TbqUnpackCodesAdd(ref_packed.data(), n, tau,
+                                ref_accum.data());
+      }
+      for (SimdTier tier : AvailableTiers()) {
+        SimdTierGuard guard(tier);
+        std::vector<uint8_t> packed(packed_bytes, 0xee);
+        simd::TbqPackCodes(x.data(), n, tau, packed.data(), packed_bytes);
+        EXPECT_EQ(ref_packed, packed)
+            << "n=" << n << " tau=" << tau << " tier=" << SimdTierName(tier);
+        std::vector<float> out(n), accum(n, -0.75f);
+        simd::TbqUnpackCodes(packed.data(), n, tau, out.data());
+        simd::TbqUnpackCodesAdd(packed.data(), n, tau, accum.data());
+        EXPECT_EQ(0, std::memcmp(ref_out.data(), out.data(),
+                                 n * sizeof(float)))
+            << "n=" << n << " tau=" << tau << " tier=" << SimdTierName(tier);
+        EXPECT_EQ(0, std::memcmp(ref_accum.data(), accum.data(),
+                                 n * sizeof(float)))
+            << "n=" << n << " tau=" << tau << " tier=" << SimdTierName(tier);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, Fp16EncodeBitIdenticalAcrossTiers) {
+  for (size_t n : kLengths) {
+    UnalignedSpan x(n);
+    FillAdversarial(x.data(), n, /*seed=*/n * 65537 + 4);
+    std::vector<uint16_t> ref(n);
+    {
+      SimdTierGuard guard(SimdTier::kScalar);
+      simd::Fp16Encode(x.data(), n, ref.data(), n);
+    }
+    for (SimdTier tier : AvailableTiers()) {
+      SimdTierGuard guard(tier);
+      std::vector<uint16_t> got(n);
+      simd::Fp16Encode(x.data(), n, got.data(), n);
+      EXPECT_EQ(ref, got) << "n=" << n << " tier=" << SimdTierName(tier);
+    }
+  }
+}
+
+// The scalar FloatToHalf must mirror the F16C/AVX-512 hardware conversion
+// on *every* interesting bit pattern, not just the random mix above: sweep
+// all 65536 upper-half patterns (which cover every sign/exponent and the
+// mantissa bits that select the rounding case) with the low mantissa bits
+// varied, and compare the vector tiers against scalar.
+TEST(SimdKernelsTest, Fp16EncodeHardwareSemanticsSweep) {
+  if (SimdHostTier() == SimdTier::kScalar) {
+    GTEST_SKIP() << "no vector tier on this host";
+  }
+  constexpr size_t kN = 1u << 16;
+  std::vector<float> x(4 * kN);
+  for (uint32_t upper = 0; upper < kN; ++upper) {
+    // Low bits chosen to exercise RNE ties: all-zero, guard-bit-only,
+    // sticky-only, and all-ones.
+    const uint32_t lows[4] = {0x0000u, 0x1000u, 0x0001u, 0xffffu};
+    for (int j = 0; j < 4; ++j) {
+      const uint32_t bits = (upper << 16) | lows[j];
+      std::memcpy(&x[4 * upper + j], &bits, sizeof(float));
+    }
+  }
+  std::vector<uint16_t> scalar_out(x.size());
+  {
+    SimdTierGuard guard(SimdTier::kScalar);
+    simd::Fp16Encode(x.data(), x.size(), scalar_out.data(), x.size());
+  }
+  for (SimdTier tier : AvailableTiers()) {
+    if (tier == SimdTier::kScalar) {
+      continue;
+    }
+    SimdTierGuard guard(tier);
+    std::vector<uint16_t> got(x.size());
+    simd::Fp16Encode(x.data(), x.size(), got.data(), x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      uint32_t bits;
+      std::memcpy(&bits, &x[i], sizeof(bits));
+      ASSERT_EQ(scalar_out[i], got[i])
+          << "input bits 0x" << std::hex << bits << " tier "
+          << SimdTierName(tier);
+    }
+  }
+}
+
+// Decode of every possible half pattern must match across tiers, including
+// signaling NaNs (which the hardware quiets).
+TEST(SimdKernelsTest, Fp16DecodeAllPatternsBitIdenticalAcrossTiers) {
+  constexpr size_t kN = 1u << 16;
+  std::vector<uint16_t> halves(kN);
+  for (uint32_t h = 0; h < kN; ++h) {
+    halves[h] = static_cast<uint16_t>(h);
+  }
+  std::vector<float> ref(kN);
+  {
+    SimdTierGuard guard(SimdTier::kScalar);
+    simd::Fp16Decode(halves.data(), kN, ref.data());
+  }
+  for (SimdTier tier : AvailableTiers()) {
+    SimdTierGuard guard(tier);
+    std::vector<float> got(kN);
+    simd::Fp16Decode(halves.data(), kN, got.data());
+    for (size_t i = 0; i < kN; ++i) {
+      uint32_t ref_bits, got_bits;
+      std::memcpy(&ref_bits, &ref[i], sizeof(ref_bits));
+      std::memcpy(&got_bits, &got[i], sizeof(got_bits));
+      ASSERT_EQ(ref_bits, got_bits)
+          << "half 0x" << std::hex << i << " tier " << SimdTierName(tier);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, Fp16DecodeAddMatchesAcrossTiers) {
+  const size_t n = 4097;
+  std::vector<float> src(n);
+  FillAdversarial(src.data(), n, /*seed=*/99);
+  std::vector<uint16_t> halves(n);
+  simd::Fp16Encode(src.data(), n, halves.data(), n);
+  std::vector<float> ref(n, 0.125f);
+  {
+    SimdTierGuard guard(SimdTier::kScalar);
+    simd::Fp16DecodeAdd(halves.data(), n, ref.data());
+  }
+  for (SimdTier tier : AvailableTiers()) {
+    SimdTierGuard guard(tier);
+    std::vector<float> accum(n, 0.125f);
+    simd::Fp16DecodeAdd(halves.data(), n, accum.data());
+    EXPECT_EQ(0, std::memcmp(ref.data(), accum.data(), n * sizeof(float)))
+        << "tier=" << SimdTierName(tier);
+  }
+}
+
+// Misreported capacity is a contract violation, not a recoverable error:
+// the pack kernels must abort rather than scribble past the buffer at
+// vector width.
+TEST(SimdKernelsDeathTest, OnebitPackAbortsOnMisreportedCapacity) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  std::vector<float> x(64, 1.0f);
+  std::vector<uint8_t> out(PackedBytes(x.size(), 1));
+  EXPECT_DEATH(
+      simd::OnebitPackSigns(x.data(), x.size(), out.data(), out.size() - 1),
+      "misreported output capacity");
+}
+
+TEST(SimdKernelsDeathTest, TbqPackAbortsOnMisreportedCapacity) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  std::vector<float> x(64, 1.0f);
+  std::vector<uint8_t> out(PackedBytes(x.size(), 2));
+  EXPECT_DEATH(
+      simd::TbqPackCodes(x.data(), x.size(), 0.5f, out.data(),
+                         out.size() - 1),
+      "misreported output capacity");
+}
+
+TEST(SimdKernelsDeathTest, Fp16EncodeAbortsOnMisreportedCapacity) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  std::vector<float> x(64, 1.0f);
+  std::vector<uint16_t> out(x.size());
+  EXPECT_DEATH(simd::Fp16Encode(x.data(), x.size(), out.data(), x.size() - 1),
+               "misreported output capacity");
+}
+
+}  // namespace
+}  // namespace hipress

@@ -104,6 +104,34 @@ TEST(SpeedProfileTest, TbqOssSlowdownMatchesPaper) {
   EXPECT_NEAR(ratio, 12.0, 1.5);
 }
 
+TEST(SpeedProfileTest, CpuSimdSitsBetweenCpuAndGpu) {
+  // The vectorized CPU tier must price strictly faster than the scalar CPU
+  // path but stay well below the GPU kernels. The raw kernel ratio is 4x
+  // (bench_kernels gates >= 3x), but both CPU tiers fold in the same
+  // 12 GB/s PCIe round trip, which compresses the effective gap.
+  for (const char* alg : {"onebit", "tbq", "fp16"}) {
+    const auto compll =
+        GetCodecSpeed(alg, CodecImpl::kCompLL, GpuPlatform::kV100);
+    const auto cpu = GetCodecSpeed(alg, CodecImpl::kCpu, GpuPlatform::kV100);
+    const auto simd =
+        GetCodecSpeed(alg, CodecImpl::kCpuSimd, GpuPlatform::kV100);
+    EXPECT_GT(simd.encode.bytes_per_second,
+              1.5 * cpu.encode.bytes_per_second)
+        << alg;
+    EXPECT_LT(simd.encode.bytes_per_second, compll.encode.bytes_per_second)
+        << alg;
+    EXPECT_GT(simd.decode.bytes_per_second, cpu.decode.bytes_per_second)
+        << alg;
+  }
+  // Platform scaling applies to GPU implementations only; the CPU tiers are
+  // host-side and identical across clusters.
+  EXPECT_EQ(GetCodecSpeed("onebit", CodecImpl::kCpuSimd, GpuPlatform::kV100)
+                .encode.bytes_per_second,
+            GetCodecSpeed("onebit", CodecImpl::kCpuSimd,
+                          GpuPlatform::k1080Ti)
+                .encode.bytes_per_second);
+}
+
 TEST(SpeedProfileTest, CpuOnebitSlowdownMatchesPaper) {
   const auto compll =
       GetCodecSpeed("onebit", CodecImpl::kCompLL, GpuPlatform::kV100);
